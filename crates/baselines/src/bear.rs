@@ -1,0 +1,240 @@
+//! BEAR-APPROX (Shin, Jung, Sael & Kang, SIGMOD'15): block elimination with
+//! a precomputed, drop-tolerance-pruned Schur complement inverse.
+//!
+//! Preprocessing permutes the RWR system matrix `H = I − (1−c)·Ãᵀ` into
+//! hub/spoke order, inverts the block-diagonal `H₁₁` per block, forms the
+//! dense Schur complement `S = H₂₂ − H₂₁·H₁₁⁻¹·H₁₂`, inverts it, and prunes
+//! both inverses with a drop tolerance (the paper sets `ξ = n^{-1/2}` for
+//! BEAR-APPROX). Queries are four sparse mat-vecs. The `O(n₂²)` dense Schur
+//! work is why BEAR's preprocessing dominates Fig. 1(b) and why it runs out
+//! of memory on larger graphs in Fig. 1(a).
+
+use crate::blockelim::{build_partitions, invert_h11, split_seed, unpermute};
+use crate::slashburn::{hub_spoke_order, SlashburnConfig};
+use crate::{MemoryBudget, PreprocessError, RwrMethod};
+use std::sync::Arc;
+use tpa_graph::{CsrGraph, NodeId};
+use tpa_linalg::{Lu, SparseMatrix};
+
+/// BEAR-APPROX parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BearConfig {
+    /// Restart probability.
+    pub c: f64,
+    /// Drop tolerance ξ for the precomputed inverses; `None` uses the
+    /// paper's `n^{-1/2}`.
+    pub drop_tolerance: Option<f64>,
+    /// Hub/spoke reordering parameters.
+    pub slashburn: SlashburnConfig,
+}
+
+impl Default for BearConfig {
+    fn default() -> Self {
+        Self { c: 0.15, drop_tolerance: None, slashburn: SlashburnConfig::default() }
+    }
+}
+
+/// The preprocessed BEAR-APPROX method.
+pub struct BearApprox {
+    c: f64,
+    n1: usize,
+    perm: Vec<NodeId>,
+    inv_perm: Vec<u32>,
+    h11_inv: SparseMatrix,
+    h12: SparseMatrix,
+    h21: SparseMatrix,
+    schur_inv: SparseMatrix,
+}
+
+impl BearApprox {
+    /// Preprocessing phase: reorder, partition, invert.
+    pub fn preprocess(
+        graph: Arc<CsrGraph>,
+        cfg: BearConfig,
+        budget: MemoryBudget,
+    ) -> Result<Self, PreprocessError> {
+        let n = graph.n();
+        let xi = cfg.drop_tolerance.unwrap_or(1.0 / (n as f64).sqrt());
+        let ordering = hub_spoke_order(&graph, cfg.slashburn);
+        let (n1, n2) = (ordering.n1(), ordering.n2());
+
+        // The dense Schur complement, its inverse, and the LU workspace
+        // dominate memory: 3·n2²·8 bytes, checked before any expensive work.
+        let est = 3 * n2 * n2 * 8 + graph.m() * 12;
+        budget.check("BEAR_APPROX", est)?;
+
+        let parts = build_partitions(&graph, &ordering, cfg.c);
+        let h11_inv = invert_h11(&parts.h11, &ordering, xi, "BEAR_APPROX")?;
+
+        // S = H22 − H21·H11⁻¹·H12, dense.
+        let x = h11_inv.matmul(&parts.h12); // n1 × n2
+        let sub = parts.h21.matmul(&x); // n2 × n2
+        let mut s = parts.h22.to_dense();
+        for r in 0..n2 {
+            let (cols, vals) = sub.row(r);
+            for (c2, v) in cols.iter().zip(vals) {
+                let cur = s.get(r, *c2 as usize);
+                s.set(r, *c2 as usize, cur - v);
+            }
+        }
+        let schur_inv_dense = Lu::factor(&s)
+            .map_err(|e| PreprocessError::Numerical("BEAR_APPROX", e.to_string()))?
+            .inverse();
+        let schur_inv = SparseMatrix::from_dense(&schur_inv_dense, xi);
+
+        let me = Self {
+            c: cfg.c,
+            n1,
+            perm: ordering.permutation(),
+            inv_perm: ordering.inverse_permutation(),
+            h11_inv,
+            h12: parts.h12,
+            h21: parts.h21,
+            schur_inv,
+        };
+        // Post-check actual footprint too (pruning may not have saved enough).
+        budget.check("BEAR_APPROX", me.index_bytes())?;
+        Ok(me)
+    }
+}
+
+impl RwrMethod for BearApprox {
+    fn name(&self) -> &'static str {
+        "BEAR_APPROX"
+    }
+
+    fn query(&self, seed: NodeId) -> Vec<f64> {
+        // Block elimination (BEAR eq. 3/4):
+        //   x2 = S⁻¹·(q2 − H21·H11⁻¹·q1)
+        //   x1 = H11⁻¹·(q1 − H12·x2)
+        //   r = c·P⁻¹·[x1; x2]
+        let (q1, q2, _) = split_seed(&self.inv_perm, self.n1, seed);
+        let t1 = self.h11_inv.matvec(&q1);
+        let h21t1 = self.h21.matvec(&t1);
+        let q2_tilde: Vec<f64> = q2.iter().zip(&h21t1).map(|(a, b)| a - b).collect();
+        let x2 = self.schur_inv.matvec(&q2_tilde);
+        let h12x2 = self.h12.matvec(&x2);
+        let rhs1: Vec<f64> = q1.iter().zip(&h12x2).map(|(a, b)| a - b).collect();
+        let x1 = self.h11_inv.matvec(&rhs1);
+        unpermute(&self.perm, self.c, &x1, &x2)
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.h11_inv.memory_bytes()
+            + self.h12.memory_bytes()
+            + self.h21.memory_bytes()
+            + self.schur_inv.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_core::CpiConfig;
+    use tpa_graph::gen::{lfr_lite, LfrConfig};
+
+    fn l1_dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    fn test_graph() -> Arc<CsrGraph> {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        Arc::new(lfr_lite(LfrConfig { n: 300, m: 2400, ..Default::default() }, &mut rng).graph)
+    }
+
+    #[test]
+    fn exact_when_drop_tolerance_zero() {
+        let g = test_graph();
+        let bear = BearApprox::preprocess(
+            Arc::clone(&g),
+            BearConfig { drop_tolerance: Some(0.0), ..Default::default() },
+            MemoryBudget::unlimited(),
+        )
+        .unwrap();
+        let exact = tpa_core::exact_rwr(&g, 11, &CpiConfig { eps: 1e-14, ..Default::default() });
+        let est = bear.query(11);
+        assert!(l1_dist(&est, &exact) < 1e-8, "err {}", l1_dist(&est, &exact));
+    }
+
+    #[test]
+    fn approx_with_small_drop_tolerance() {
+        // n^{-1/2} is calibrated for the paper's 10⁵–10⁸-node graphs; at
+        // test scale (n=300) it prunes far too aggressively, so pin an
+        // absolute tolerance instead.
+        let g = test_graph();
+        let bear = BearApprox::preprocess(
+            Arc::clone(&g),
+            BearConfig { drop_tolerance: Some(1e-4), ..Default::default() },
+            MemoryBudget::unlimited(),
+        )
+        .unwrap();
+        let exact = tpa_core::exact_rwr(&g, 42, &CpiConfig::default());
+        let est = bear.query(42);
+        assert!(l1_dist(&est, &exact) < 0.05, "err {}", l1_dist(&est, &exact));
+    }
+
+    #[test]
+    fn larger_drop_tolerance_increases_error() {
+        let g = test_graph();
+        let exact = tpa_core::exact_rwr(&g, 7, &CpiConfig::default());
+        let errs: Vec<f64> = [0.0, 1e-3, 5e-2]
+            .iter()
+            .map(|&tol| {
+                let bear = BearApprox::preprocess(
+                    Arc::clone(&g),
+                    BearConfig { drop_tolerance: Some(tol), ..Default::default() },
+                    MemoryBudget::unlimited(),
+                )
+                .unwrap();
+                l1_dist(&bear.query(7), &exact)
+            })
+            .collect();
+        assert!(errs[0] <= errs[1] + 1e-12 && errs[1] <= errs[2] + 1e-12, "{errs:?}");
+    }
+
+    #[test]
+    fn drop_tolerance_shrinks_index() {
+        let g = test_graph();
+        let exact_idx = BearApprox::preprocess(
+            Arc::clone(&g),
+            BearConfig { drop_tolerance: Some(0.0), ..Default::default() },
+            MemoryBudget::unlimited(),
+        )
+        .unwrap();
+        let pruned = BearApprox::preprocess(
+            Arc::clone(&g),
+            BearConfig { drop_tolerance: Some(1e-2), ..Default::default() },
+            MemoryBudget::unlimited(),
+        )
+        .unwrap();
+        assert!(pruned.index_bytes() < exact_idx.index_bytes());
+    }
+
+    #[test]
+    fn oom_on_tight_budget() {
+        let g = test_graph();
+        let err = BearApprox::preprocess(g, BearConfig::default(), MemoryBudget::bytes(1000))
+            .err().unwrap();
+        assert!(matches!(err, PreprocessError::OutOfMemory { method: "BEAR_APPROX", .. }));
+    }
+
+    #[test]
+    fn hub_seed_and_spoke_seed_both_work() {
+        let g = test_graph();
+        let bear = BearApprox::preprocess(
+            Arc::clone(&g),
+            BearConfig { drop_tolerance: Some(0.0), ..Default::default() },
+            MemoryBudget::unlimited(),
+        )
+        .unwrap();
+        let cfg = CpiConfig { eps: 1e-14, ..Default::default() };
+        // A hub (high degree) and a spoke (low degree) seed.
+        let hub = (0..g.n() as NodeId).max_by_key(|&v| g.out_degree(v)).unwrap();
+        let spoke = (0..g.n() as NodeId).min_by_key(|&v| g.out_degree(v)).unwrap();
+        for seed in [hub, spoke] {
+            let err = l1_dist(&bear.query(seed), &tpa_core::exact_rwr(&g, seed, &cfg));
+            assert!(err < 1e-8, "seed {seed}: {err}");
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Shared block-elimination plumbing for BEAR-APPROX and BePI: building the
+//! permuted RWR system matrix `H = I − (1−c)·Ãᵀ` and inverting its
+//! block-diagonal leading block.
+
+use crate::slashburn::HubSpokeOrdering;
+use crate::PreprocessError;
+use tpa_graph::{CsrGraph, NodeId};
+use tpa_linalg::{DenseMatrix, Lu, SparseMatrix};
+
+/// The four partitions of the permuted system matrix.
+pub(crate) struct PartitionedH {
+    /// `n1 × n1`, block diagonal by construction.
+    pub h11: SparseMatrix,
+    /// `n1 × n2`.
+    pub h12: SparseMatrix,
+    /// `n2 × n1`.
+    pub h21: SparseMatrix,
+    /// `n2 × n2`.
+    pub h22: SparseMatrix,
+}
+
+/// Builds `H = I − (1−c)·Ãᵀ` in the permuted order and splits it at `n1`.
+pub(crate) fn build_partitions(
+    graph: &CsrGraph,
+    ordering: &HubSpokeOrdering,
+    c: f64,
+) -> PartitionedH {
+    let n = graph.n();
+    let n1 = ordering.n1();
+    let inv_perm = ordering.inverse_permutation();
+    let inv_out = graph.inv_out_degrees();
+
+    // Triplets of H in permuted coordinates. H[pv][pu] -= (1−c)/outdeg(u)
+    // for every edge u→v, H[p][p] += 1.
+    let mut t11 = Vec::new();
+    let mut t12 = Vec::new();
+    let mut t21 = Vec::new();
+    let mut t22 = Vec::new();
+    for u in 0..n as NodeId {
+        let w = (1.0 - c) * inv_out[u as usize];
+        let pu = inv_perm[u as usize] as usize;
+        for &v in graph.out_neighbors(u) {
+            let pv = inv_perm[v as usize] as usize;
+            let entry = -w;
+            match (pv < n1, pu < n1) {
+                (true, true) => t11.push((pv as u32, pu as u32, entry)),
+                (true, false) => t12.push((pv as u32, (pu - n1) as u32, entry)),
+                (false, true) => t21.push(((pv - n1) as u32, pu as u32, entry)),
+                (false, false) => t22.push(((pv - n1) as u32, (pu - n1) as u32, entry)),
+            }
+        }
+    }
+    for p in 0..n {
+        if p < n1 {
+            t11.push((p as u32, p as u32, 1.0));
+        } else {
+            t22.push(((p - n1) as u32, (p - n1) as u32, 1.0));
+        }
+    }
+    let n2 = n - n1;
+    PartitionedH {
+        h11: SparseMatrix::from_triplets(n1, n1, t11),
+        h12: SparseMatrix::from_triplets(n1, n2, t12),
+        h21: SparseMatrix::from_triplets(n2, n1, t21),
+        h22: SparseMatrix::from_triplets(n2, n2, t22),
+    }
+}
+
+/// Inverts the block-diagonal `H11` exactly, block by block, returning the
+/// inverse as a sparse matrix with entries below `drop_tol` removed.
+pub(crate) fn invert_h11(
+    h11: &SparseMatrix,
+    ordering: &HubSpokeOrdering,
+    drop_tol: f64,
+    method: &'static str,
+) -> Result<SparseMatrix, PreprocessError> {
+    let n1 = ordering.n1();
+    let mut triplets: Vec<(u32, u32, f64)> = Vec::new();
+    for (start, len) in ordering.block_ranges() {
+        // Extract the dense block, invert, re-emit.
+        let mut block = DenseMatrix::zeros(len, len);
+        for r in 0..len {
+            let (cols, vals) = h11.row(start + r);
+            for (col, v) in cols.iter().zip(vals) {
+                let c_local = *col as usize;
+                debug_assert!(
+                    c_local >= start && c_local < start + len,
+                    "H11 is not block diagonal"
+                );
+                block.set(r, c_local - start, *v);
+            }
+        }
+        let inv = Lu::factor(&block)
+            .map_err(|e| PreprocessError::Numerical(method, format!("block at {start}: {e}")))?
+            .inverse();
+        for r in 0..len {
+            for c2 in 0..len {
+                let v = inv.get(r, c2);
+                if v.abs() >= drop_tol {
+                    triplets.push(((start + r) as u32, (start + c2) as u32, v));
+                }
+            }
+        }
+    }
+    Ok(SparseMatrix::from_triplets(n1, n1, triplets))
+}
+
+/// Permutes a seed vector entry into `(q1, q2)` block coordinates: the seed
+/// is a unit vector so only one side is nonzero.
+pub(crate) fn split_seed(
+    inv_perm: &[u32],
+    n1: usize,
+    seed: NodeId,
+) -> (Vec<f64>, Vec<f64>, usize) {
+    let p = inv_perm[seed as usize] as usize;
+    let n2 = inv_perm.len() - n1;
+    let mut q1 = vec![0.0; n1];
+    let mut q2 = vec![0.0; n2];
+    if p < n1 {
+        q1[p] = 1.0;
+    } else {
+        q2[p - n1] = 1.0;
+    }
+    (q1, q2, p)
+}
+
+/// Scatters the permuted solution `[x1; x2]` (scaled by `c`) back to
+/// original node order.
+pub(crate) fn unpermute(perm: &[NodeId], c: f64, x1: &[f64], x2: &[f64]) -> Vec<f64> {
+    let mut r = vec![0.0; perm.len()];
+    for (new, &old) in perm.iter().enumerate() {
+        let v = if new < x1.len() { x1[new] } else { x2[new - x1.len()] };
+        r[old as usize] = c * v;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slashburn::{hub_spoke_order, SlashburnConfig};
+    use std::sync::Arc;
+    use tpa_graph::gen::{lfr_lite, LfrConfig};
+
+    fn setup() -> (Arc<CsrGraph>, HubSpokeOrdering) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = Arc::new(
+            lfr_lite(LfrConfig { n: 200, m: 1500, ..Default::default() }, &mut rng).graph,
+        );
+        let ord = hub_spoke_order(&g, SlashburnConfig { max_block: 32, ..Default::default() });
+        (g, ord)
+    }
+
+    #[test]
+    fn partitions_cover_h_exactly() {
+        let (g, ord) = setup();
+        let c = 0.15;
+        let parts = build_partitions(&g, &ord, c);
+        let n1 = ord.n1();
+        // Reassemble H and compare against the direct construction.
+        let inv_perm = ord.inverse_permutation();
+        let inv_out = g.inv_out_degrees();
+        let mut expect = vec![std::collections::HashMap::new(); g.n()];
+        for u in 0..g.n() as NodeId {
+            for &v in g.out_neighbors(u) {
+                let (pv, pu) = (inv_perm[v as usize] as usize, inv_perm[u as usize] as usize);
+                *expect[pv].entry(pu).or_insert(0.0) += -(1.0 - c) * inv_out[u as usize];
+            }
+        }
+        for p in 0..g.n() {
+            *expect[p].entry(p).or_insert(0.0) += 1.0;
+        }
+        for (pv, row) in expect.iter().enumerate() {
+            for (&pu, &want) in row {
+                let got = match (pv < n1, pu < n1) {
+                    (true, true) => parts.h11.get(pv, pu),
+                    (true, false) => parts.h12.get(pv, pu - n1),
+                    (false, true) => parts.h21.get(pv - n1, pu),
+                    (false, false) => parts.h22.get(pv - n1, pu - n1),
+                };
+                assert!((got - want).abs() < 1e-12, "H[{pv}][{pu}]");
+            }
+        }
+    }
+
+    #[test]
+    fn h11_inverse_is_correct_per_block() {
+        let (g, ord) = setup();
+        let parts = build_partitions(&g, &ord, 0.15);
+        let inv = invert_h11(&parts.h11, &ord, 0.0, "test").unwrap();
+        // H11 · H11⁻¹ = I on a few probe vectors.
+        let n1 = ord.n1();
+        for probe in [0usize, n1 / 3, n1 - 1] {
+            let mut e = vec![0.0; n1];
+            e[probe] = 1.0;
+            let y = inv.matvec(&e);
+            let z = parts.h11.matvec(&y);
+            for (i, &zi) in z.iter().enumerate() {
+                let want = if i == probe { 1.0 } else { 0.0 };
+                assert!((zi - want).abs() < 1e-8, "probe {probe} row {i}: {zi}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_seed_places_unit_mass() {
+        let (g, ord) = setup();
+        let inv_perm = ord.inverse_permutation();
+        let n1 = ord.n1();
+        for seed in [0u32, 5, 100] {
+            let (q1, q2, _) = split_seed(&inv_perm, n1, seed);
+            let total: f64 = q1.iter().sum::<f64>() + q2.iter().sum::<f64>();
+            assert_eq!(total, 1.0);
+            let _ = g.n();
+        }
+    }
+
+    #[test]
+    fn unpermute_restores_node_order() {
+        let (_, ord) = setup();
+        let perm = ord.permutation();
+        let n1 = ord.n1();
+        let x1: Vec<f64> = (0..n1).map(|i| i as f64).collect();
+        let x2: Vec<f64> = (0..ord.n2()).map(|i| (n1 + i) as f64).collect();
+        let r = unpermute(&perm, 1.0, &x1, &x2);
+        for (new, &old) in perm.iter().enumerate() {
+            assert_eq!(r[old as usize], new as f64);
+        }
+    }
+}

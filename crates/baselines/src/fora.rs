@@ -1,0 +1,272 @@
+//! FORA (Wang et al., KDD'17): Forward Push with early termination followed
+//! by Monte Carlo walks on the remaining residuals; FORA+ additionally
+//! precomputes and indexes the walks' destinations.
+//!
+//! Estimator: after a push with threshold `rmax`,
+//! `rwr(t) = reserve(t) + Σ_v residual(v)·rwr_v(t)`; the second term is
+//! estimated by `⌈residual(v)·ω⌉` walks from each residual node `v`.
+
+use crate::{forward_push, MemoryBudget, PreprocessError, RwrMethod};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tpa_graph::{CsrGraph, NodeId};
+
+/// FORA parameters; defaults follow the paper's evaluation settings
+/// `(δ, p_f, ε) = (1/n, 1/n, 0.5)`.
+#[derive(Clone, Copy, Debug)]
+pub struct ForaConfig {
+    /// Restart probability.
+    pub c: f64,
+    /// Relative error target ε.
+    pub epsilon: f64,
+    /// Minimum score threshold δ; `None` means `1/n`.
+    pub delta: Option<f64>,
+    /// Failure probability `p_f`; `None` means `1/n`.
+    pub p_fail: Option<f64>,
+    /// RNG seed for walk generation.
+    pub rng_seed: u64,
+    /// Scale factor applied to the theoretical walk count ω (the authors'
+    /// code exposes the same knob; `1.0` = theory, smaller = faster).
+    pub omega_scale: f64,
+}
+
+impl Default for ForaConfig {
+    fn default() -> Self {
+        Self { c: 0.15, epsilon: 0.5, delta: None, p_fail: None, rng_seed: 0xf04a, omega_scale: 1.0 }
+    }
+}
+
+impl ForaConfig {
+    /// Walk-count coefficient `ω = (2ε/3 + 2)·ln(2/p_f)/(ε²·δ)`.
+    pub fn omega(&self, n: usize) -> f64 {
+        let delta = self.delta.unwrap_or(1.0 / n as f64);
+        let p_f = self.p_fail.unwrap_or(1.0 / n as f64);
+        self.omega_scale * (2.0 * self.epsilon / 3.0 + 2.0) * (2.0 / p_f).ln()
+            / (self.epsilon * self.epsilon * delta)
+    }
+
+    /// Cost-balancing push threshold: pushing costs `O(m·rmax·ω)` fewer
+    /// walks per unit of push work, so the optimum equalizes
+    /// `1/rmax ≈ rmax·ω·m`, i.e. `rmax = 1/√(ω·m)`.
+    pub fn rmax(&self, n: usize, m: usize) -> f64 {
+        (1.0 / (self.omega(n) * m as f64)).sqrt()
+    }
+}
+
+/// FORA without an index: push + fresh walks per query.
+pub struct Fora {
+    graph: Arc<CsrGraph>,
+    cfg: ForaConfig,
+    rng: Mutex<StdRng>,
+}
+
+impl Fora {
+    /// Creates the method.
+    pub fn new(graph: Arc<CsrGraph>, cfg: ForaConfig) -> Self {
+        let rng = Mutex::new(StdRng::seed_from_u64(cfg.rng_seed));
+        Self { graph, cfg, rng }
+    }
+
+    fn combine(
+        graph: &CsrGraph,
+        cfg: &ForaConfig,
+        seed: NodeId,
+        mut sample_walk: impl FnMut(NodeId, usize) -> NodeId,
+    ) -> Vec<f64> {
+        let n = graph.n();
+        let m = graph.m();
+        let rmax = cfg.rmax(n, m);
+        let omega = cfg.omega(n);
+        let push = forward_push(graph, seed, cfg.c, rmax);
+        let mut scores = push.reserve;
+        for v in 0..n as NodeId {
+            let r = push.residual[v as usize];
+            if r <= 0.0 {
+                continue;
+            }
+            let walks = (r * omega).ceil().max(1.0) as usize;
+            let w = r / walks as f64;
+            for i in 0..walks {
+                let end = sample_walk(v, i);
+                scores[end as usize] += w;
+            }
+        }
+        scores
+    }
+}
+
+impl RwrMethod for Fora {
+    fn name(&self) -> &'static str {
+        "FORA"
+    }
+
+    fn query(&self, seed: NodeId) -> Vec<f64> {
+        let mut rng = self.rng.lock();
+        *rng = StdRng::seed_from_u64(self.cfg.rng_seed ^ ((seed as u64) << 18));
+        Self::combine(&self.graph, &self.cfg, seed, |v, _| walk(&self.graph, self.cfg.c, v, &mut *rng))
+    }
+
+    fn index_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// FORA+ — the indexed variant benchmarked in Fig. 1: destinations of
+/// enough walks per node to cover the worst-case residual
+/// (`residual(v) ≤ rmax·outdeg(v)` after any push) are precomputed.
+pub struct ForaIndex {
+    graph: Arc<CsrGraph>,
+    cfg: ForaConfig,
+    /// `walk_offsets[v]..walk_offsets[v+1]` indexes `walk_dest`.
+    walk_offsets: Vec<usize>,
+    /// Precomputed walk destinations, `walks_for(v)` per node.
+    walk_dest: Vec<NodeId>,
+}
+
+impl ForaIndex {
+    /// Builds the walk index (FORA+'s preprocessing phase).
+    pub fn preprocess(
+        graph: Arc<CsrGraph>,
+        cfg: ForaConfig,
+        budget: MemoryBudget,
+    ) -> Result<Self, PreprocessError> {
+        let n = graph.n();
+        let m = graph.m();
+        let omega = cfg.omega(n);
+        let rmax = cfg.rmax(n, m);
+
+        // Estimate before building: Σ_v ⌈rmax·d(v)·ω⌉ ≈ rmax·ω·m + n walks.
+        let est_walks = (rmax * omega * m as f64).ceil() as usize + n;
+        let est_bytes = est_walks * std::mem::size_of::<NodeId>() + (n + 1) * 8;
+        budget.check("FORA", est_bytes)?;
+
+        let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
+        let mut walk_offsets = Vec::with_capacity(n + 1);
+        let mut walk_dest: Vec<NodeId> = Vec::with_capacity(est_walks);
+        walk_offsets.push(0);
+        for v in 0..n as NodeId {
+            let need = (rmax * graph.out_degree(v) as f64 * omega).ceil().max(1.0) as usize;
+            for _ in 0..need {
+                walk_dest.push(walk(&graph, cfg.c, v, &mut rng));
+            }
+            walk_offsets.push(walk_dest.len());
+        }
+        Ok(Self { graph, cfg, walk_offsets, walk_dest })
+    }
+
+    /// Number of stored walks.
+    pub fn stored_walks(&self) -> usize {
+        self.walk_dest.len()
+    }
+}
+
+impl RwrMethod for ForaIndex {
+    fn name(&self) -> &'static str {
+        "FORA"
+    }
+
+    fn query(&self, seed: NodeId) -> Vec<f64> {
+        Fora::combine(&self.graph, &self.cfg, seed, |v, i| {
+            let (s, e) = (self.walk_offsets[v as usize], self.walk_offsets[v as usize + 1]);
+            // Reuse stored destinations round-robin; the index is sized for
+            // the worst-case residual so wrap-around is rare.
+            self.walk_dest[s + i % (e - s).max(1)]
+        })
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.walk_dest.len() * std::mem::size_of::<NodeId>() + self.walk_offsets.len() * 8
+    }
+}
+
+/// One restart-terminated walk from `start`.
+fn walk<R: Rng + ?Sized>(graph: &CsrGraph, c: f64, start: NodeId, rng: &mut R) -> NodeId {
+    let mut v = start;
+    loop {
+        if rng.gen::<f64>() < c {
+            return v;
+        }
+        let neigh = graph.out_neighbors(v);
+        if neigh.is_empty() {
+            return v;
+        }
+        v = neigh[rng.gen_range(0..neigh.len())];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_core::CpiConfig;
+    use tpa_graph::gen::{lfr_lite, LfrConfig};
+
+    fn l1_dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    fn test_graph() -> Arc<CsrGraph> {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        Arc::new(lfr_lite(LfrConfig { n: 250, m: 2000, ..Default::default() }, &mut rng).graph)
+    }
+
+    #[test]
+    fn fora_close_to_exact() {
+        let g = test_graph();
+        let exact = tpa_core::exact_rwr(&g, 5, &CpiConfig::default());
+        let fora = Fora::new(Arc::clone(&g), ForaConfig::default());
+        let est = fora.query(5);
+        assert!(l1_dist(&est, &exact) < 0.05, "err {}", l1_dist(&est, &exact));
+    }
+
+    #[test]
+    fn fora_mass_close_to_one() {
+        let g = test_graph();
+        let fora = Fora::new(g, ForaConfig::default());
+        let est = fora.query(0);
+        let total: f64 = est.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn indexed_fora_close_to_exact() {
+        let g = test_graph();
+        let exact = tpa_core::exact_rwr(&g, 17, &CpiConfig::default());
+        let fora = ForaIndex::preprocess(
+            Arc::clone(&g),
+            ForaConfig::default(),
+            MemoryBudget::unlimited(),
+        )
+        .unwrap();
+        let est = fora.query(17);
+        assert!(l1_dist(&est, &exact) < 0.08, "err {}", l1_dist(&est, &exact));
+        assert!(fora.index_bytes() > 0);
+    }
+
+    #[test]
+    fn index_respects_budget() {
+        let g = test_graph();
+        let err =
+            ForaIndex::preprocess(g, ForaConfig::default(), MemoryBudget::bytes(10)).err().unwrap();
+        assert!(matches!(err, PreprocessError::OutOfMemory { method: "FORA", .. }));
+    }
+
+    #[test]
+    fn rmax_balances_costs() {
+        let cfg = ForaConfig::default();
+        let (n, m) = (10_000, 100_000);
+        let rmax = cfg.rmax(n, m);
+        let omega = cfg.omega(n);
+        // Cost-balance identity: rmax²·ω·m = 1.
+        assert!((rmax * rmax * omega * m as f64 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fora_deterministic_per_seed() {
+        let g = test_graph();
+        let fora = Fora::new(g, ForaConfig::default());
+        assert_eq!(fora.query(3), fora.query(3));
+    }
+}

@@ -1,0 +1,344 @@
+//! HubPPR (Wang, Tang, Xiao, Yang & Li, VLDB'16): bidirectional PPR
+//! estimation with a precomputed hub index.
+//!
+//! A single-pair estimate combines a *backward push* from the target with
+//! forward random walks from the source:
+//! `π(s,t) ≈ p_t(s) + Σ_v π̂(s,v)·r_t(v)` where `p_t`/`r_t` are the
+//! backward reserve/residual and `π̂` is the empirical walk-endpoint
+//! distribution. HubPPR precomputes backward states for high-degree *hubs*.
+//! A full-vector query (what the paper benchmarks — "by querying all nodes
+//! in a graph as the target nodes") loops over every target, which is why
+//! HubPPR's online time trails TPA's by up to 30× in Fig. 1(c).
+
+use crate::{MemoryBudget, PreprocessError, RwrMethod};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tpa_graph::{CsrGraph, NodeId};
+
+/// HubPPR parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct HubPprConfig {
+    /// Restart probability.
+    pub c: f64,
+    /// Backward-push residual threshold (per-pair additive error bound).
+    pub rmax_backward: f64,
+    /// Forward walks per query.
+    pub walks: usize,
+    /// Fraction of nodes (highest degree) indexed as hubs.
+    pub hub_fraction: f64,
+    /// RNG seed.
+    pub rng_seed: u64,
+}
+
+impl Default for HubPprConfig {
+    fn default() -> Self {
+        Self { c: 0.15, rmax_backward: 1e-3, walks: 10_000, hub_fraction: 0.02, rng_seed: 0x4b }
+    }
+}
+
+/// Sparse backward-push state stored for a hub target.
+struct HubEntry {
+    target: NodeId,
+    /// `(node, reserve)` pairs, sorted by node.
+    reserve: Vec<(NodeId, f64)>,
+    /// `(node, residual)` pairs, sorted by node.
+    residual: Vec<(NodeId, f64)>,
+}
+
+/// The HubPPR method.
+pub struct HubPpr {
+    graph: Arc<CsrGraph>,
+    cfg: HubPprConfig,
+    /// `hub_slot[v]` = index into `hubs` if `v` is an indexed hub.
+    hub_slot: Vec<Option<u32>>,
+    hubs: Vec<HubEntry>,
+    rng: Mutex<StdRng>,
+}
+
+impl HubPpr {
+    /// Preprocessing: backward-push states for the top-degree hubs. Never
+    /// fails on the budget — the hub index simply stops growing at the cap
+    /// (the `Result` is kept for interface symmetry).
+    pub fn preprocess(
+        graph: Arc<CsrGraph>,
+        cfg: HubPprConfig,
+        budget: MemoryBudget,
+    ) -> Result<Self, PreprocessError> {
+        let n = graph.n();
+        let hub_count = ((n as f64 * cfg.hub_fraction) as usize).min(n);
+        let mut by_degree: Vec<NodeId> = (0..n as NodeId).collect();
+        by_degree.sort_by_key(|&v| std::cmp::Reverse(graph.in_degree(v) + graph.out_degree(v)));
+
+        let mut scratch = BackwardScratch::new(n);
+        let mut hubs = Vec::with_capacity(hub_count);
+        let mut hub_slot = vec![None; n];
+        let mut bytes = 0usize;
+        for &t in by_degree.iter().take(hub_count) {
+            let (reserve, residual) = scratch.push(&graph, t, cfg.c, cfg.rmax_backward);
+            bytes += (reserve.len() + residual.len()) * 12 + 16;
+            // HubPPR sizes its index *to* the available memory (the paper
+            // notes it "trades off the online computation time against the
+            // size of preprocessed data"): stop indexing hubs at the budget
+            // instead of failing.
+            if budget.check("HubPPR", bytes).is_err() {
+                break;
+            }
+            hub_slot[t as usize] = Some(hubs.len() as u32);
+            hubs.push(HubEntry { target: t, reserve, residual });
+        }
+        Ok(Self {
+            graph,
+            cfg,
+            hub_slot,
+            hubs,
+            rng: Mutex::new(StdRng::seed_from_u64(cfg.rng_seed)),
+        })
+    }
+
+    /// Empirical endpoint distribution of `walks` forward walks from `seed`.
+    fn forward_counts<R: Rng + ?Sized>(&self, seed: NodeId, rng: &mut R) -> Vec<u32> {
+        let mut counts = vec![0u32; self.graph.n()];
+        for _ in 0..self.cfg.walks {
+            let mut v = seed;
+            loop {
+                if rng.gen::<f64>() < self.cfg.c {
+                    break;
+                }
+                let neigh = self.graph.out_neighbors(v);
+                if neigh.is_empty() {
+                    break;
+                }
+                v = neigh[rng.gen_range(0..neigh.len())];
+            }
+            counts[v as usize] += 1;
+        }
+        counts
+    }
+
+    fn combine(
+        seed: NodeId,
+        counts: &[u32],
+        walks: f64,
+        reserve: &[(NodeId, f64)],
+        residual: &[(NodeId, f64)],
+    ) -> f64 {
+        let mut score = match reserve.binary_search_by_key(&seed, |&(v, _)| v) {
+            Ok(i) => reserve[i].1,
+            Err(_) => 0.0,
+        };
+        for &(v, r) in residual {
+            let cnt = counts[v as usize];
+            if cnt > 0 {
+                score += r * cnt as f64 / walks;
+            }
+        }
+        score
+    }
+}
+
+impl RwrMethod for HubPpr {
+    fn name(&self) -> &'static str {
+        "HubPPR"
+    }
+
+    fn query(&self, seed: NodeId) -> Vec<f64> {
+        let n = self.graph.n();
+        let mut rng = self.rng.lock();
+        *rng = StdRng::seed_from_u64(self.cfg.rng_seed ^ ((seed as u64) << 16));
+        let counts = self.forward_counts(seed, &mut *rng);
+        drop(rng);
+        let walks = self.cfg.walks as f64;
+
+        let mut scores = vec![0.0f64; n];
+        let mut scratch = BackwardScratch::new(n);
+        for t in 0..n as NodeId {
+            let score = if let Some(slot) = self.hub_slot[t as usize] {
+                let e = &self.hubs[slot as usize];
+                debug_assert_eq!(e.target, t);
+                Self::combine(seed, &counts, walks, &e.reserve, &e.residual)
+            } else {
+                let (reserve, residual) =
+                    scratch.push(&self.graph, t, self.cfg.c, self.cfg.rmax_backward);
+                Self::combine(seed, &counts, walks, &reserve, &residual)
+            };
+            scores[t as usize] = score;
+        }
+        scores
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.hubs
+            .iter()
+            .map(|h| (h.reserve.len() + h.residual.len()) * 12 + 16)
+            .sum()
+    }
+}
+
+/// Reusable dense buffers for backward pushes (reset via touched lists so a
+/// full-vector query does not pay `O(n)` per target).
+struct BackwardScratch {
+    reserve: Vec<f64>,
+    residual: Vec<f64>,
+    touched: Vec<NodeId>,
+    queue: std::collections::VecDeque<NodeId>,
+    in_queue: Vec<bool>,
+}
+
+impl BackwardScratch {
+    fn new(n: usize) -> Self {
+        Self {
+            reserve: vec![0.0; n],
+            residual: vec![0.0; n],
+            touched: Vec::new(),
+            queue: std::collections::VecDeque::new(),
+            in_queue: vec![false; n],
+        }
+    }
+
+    /// Backward push from `target`; returns sparse (reserve, residual).
+    fn push(
+        &mut self,
+        graph: &CsrGraph,
+        target: NodeId,
+        c: f64,
+        rmax: f64,
+    ) -> (Vec<(NodeId, f64)>, Vec<(NodeId, f64)>) {
+        // Reset previous state.
+        for &v in &self.touched {
+            self.reserve[v as usize] = 0.0;
+            self.residual[v as usize] = 0.0;
+        }
+        self.touched.clear();
+        self.queue.clear();
+
+        self.residual[target as usize] = 1.0;
+        self.touched.push(target);
+        self.queue.push_back(target);
+        self.in_queue[target as usize] = true;
+
+        while let Some(v) = self.queue.pop_front() {
+            self.in_queue[v as usize] = false;
+            let r = self.residual[v as usize];
+            if r <= rmax {
+                continue;
+            }
+            self.residual[v as usize] = 0.0;
+            self.reserve[v as usize] += c * r;
+            // Backward step: mass flows to in-neighbors u, scaled by u's
+            // out-degree (π(u,t) ≥ (1−c)/d(u)·π(v,t) for u→v).
+            for &u in graph.in_neighbors(v) {
+                let du = graph.out_degree(u).max(1);
+                let before = self.residual[u as usize];
+                if before == 0.0 && self.reserve[u as usize] == 0.0 {
+                    self.touched.push(u);
+                }
+                self.residual[u as usize] = before + (1.0 - c) * r / du as f64;
+                if !self.in_queue[u as usize] && self.residual[u as usize] > rmax {
+                    self.in_queue[u as usize] = true;
+                    self.queue.push_back(u);
+                }
+            }
+        }
+
+        let mut reserve: Vec<(NodeId, f64)> = Vec::new();
+        let mut residual: Vec<(NodeId, f64)> = Vec::new();
+        self.touched.sort_unstable();
+        self.touched.dedup();
+        for &v in &self.touched {
+            if self.reserve[v as usize] > 0.0 {
+                reserve.push((v, self.reserve[v as usize]));
+            }
+            if self.residual[v as usize] > 0.0 {
+                residual.push((v, self.residual[v as usize]));
+            }
+        }
+        (reserve, residual)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_core::CpiConfig;
+    use tpa_graph::gen::{lfr_lite, LfrConfig};
+
+    fn l1_dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    fn test_graph() -> Arc<CsrGraph> {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        Arc::new(lfr_lite(LfrConfig { n: 200, m: 1600, ..Default::default() }, &mut rng).graph)
+    }
+
+    #[test]
+    fn close_to_exact() {
+        let g = test_graph();
+        let hub = HubPpr::preprocess(
+            Arc::clone(&g),
+            HubPprConfig { rmax_backward: 1e-4, walks: 40_000, ..Default::default() },
+            MemoryBudget::unlimited(),
+        )
+        .unwrap();
+        let exact = tpa_core::exact_rwr(&g, 3, &CpiConfig::default());
+        let est = hub.query(3);
+        let err = l1_dist(&est, &exact);
+        assert!(err < 0.12, "err {err}");
+    }
+
+    #[test]
+    fn backward_push_invariant() {
+        // For every (s, t): exact π(s,t) = p_t(s) + Σ_v π(s,v)·r_t(v).
+        let g = test_graph();
+        let mut scratch = BackwardScratch::new(g.n());
+        let (reserve, residual) = scratch.push(&g, 7, 0.15, 1e-4);
+        let cfg = CpiConfig { eps: 1e-12, ..Default::default() };
+        for s in [0u32, 10, 100] {
+            let pi_s = tpa_core::exact_rwr(&g, s, &cfg);
+            let mut est = match reserve.binary_search_by_key(&s, |&(v, _)| v) {
+                Ok(i) => reserve[i].1,
+                Err(_) => 0.0,
+            };
+            for &(v, r) in &residual {
+                est += pi_s[v as usize] * r;
+            }
+            assert!((est - pi_s[7]).abs() < 1e-9, "seed {s}: {est} vs {}", pi_s[7]);
+        }
+    }
+
+    #[test]
+    fn hub_index_reused_and_counted() {
+        let g = test_graph();
+        let hub = HubPpr::preprocess(
+            Arc::clone(&g),
+            HubPprConfig { hub_fraction: 0.1, ..Default::default() },
+            MemoryBudget::unlimited(),
+        )
+        .unwrap();
+        assert!(hub.index_bytes() > 0);
+        assert_eq!(hub.hubs.len(), g.n() / 10);
+    }
+
+    #[test]
+    fn no_hubs_means_empty_index() {
+        let g = test_graph();
+        let hub = HubPpr::preprocess(
+            Arc::clone(&g),
+            HubPprConfig { hub_fraction: 0.0, ..Default::default() },
+            MemoryBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(hub.index_bytes(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = test_graph();
+        let hub =
+            HubPpr::preprocess(g, HubPprConfig::default(), MemoryBudget::unlimited()).unwrap();
+        assert_eq!(hub.query(5), hub.query(5));
+    }
+}

@@ -1,0 +1,147 @@
+//! Monte Carlo RWR: simulate restart-terminated random walks and use the
+//! empirical endpoint distribution as the score estimate.
+//!
+//! The walk position at termination (termination probability `c` per step)
+//! is distributed exactly as the RWR vector, so the estimator is unbiased
+//! with variance `O(1/W)` per entry.
+
+use crate::RwrMethod;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tpa_graph::{CsrGraph, NodeId};
+
+/// Monte Carlo configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MonteCarloConfig {
+    /// Restart probability.
+    pub c: f64,
+    /// Number of walks per query.
+    pub walks: usize,
+    /// RNG seed (each query reseeds deterministically from this and the
+    /// seed node, so repeated queries are reproducible).
+    pub rng_seed: u64,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        Self { c: 0.15, walks: 100_000, rng_seed: 0x7ea_5eed }
+    }
+}
+
+/// Monte Carlo RWR method.
+pub struct MonteCarlo {
+    graph: Arc<CsrGraph>,
+    cfg: MonteCarloConfig,
+    /// Cached per-query RNG, reseeded per query for determinism.
+    rng: Mutex<StdRng>,
+}
+
+impl MonteCarlo {
+    /// Creates the method.
+    pub fn new(graph: Arc<CsrGraph>, cfg: MonteCarloConfig) -> Self {
+        assert!(cfg.c > 0.0 && cfg.c < 1.0);
+        assert!(cfg.walks > 0);
+        let rng = Mutex::new(StdRng::seed_from_u64(cfg.rng_seed));
+        Self { graph, cfg, rng }
+    }
+
+    /// One restart-terminated walk from `start`; returns the endpoint.
+    /// A walk stranded on a dangling node terminates there (consistent
+    /// with the `Keep` dangling policy; the default builder policy adds
+    /// self-loops so this rarely triggers).
+    fn walk<R: Rng + ?Sized>(&self, start: NodeId, rng: &mut R) -> NodeId {
+        let mut v = start;
+        loop {
+            if rng.gen::<f64>() < self.cfg.c {
+                return v;
+            }
+            let neigh = self.graph.out_neighbors(v);
+            if neigh.is_empty() {
+                return v;
+            }
+            v = neigh[rng.gen_range(0..neigh.len())];
+        }
+    }
+}
+
+impl RwrMethod for MonteCarlo {
+    fn name(&self) -> &'static str {
+        "MonteCarlo"
+    }
+
+    fn query(&self, seed: NodeId) -> Vec<f64> {
+        let mut rng = self.rng.lock();
+        // Derive a per-(method-seed, query-seed) stream: deterministic and
+        // independent across seeds.
+        *rng = StdRng::seed_from_u64(self.cfg.rng_seed ^ ((seed as u64) << 20));
+        let mut counts = vec![0u32; self.graph.n()];
+        for _ in 0..self.cfg.walks {
+            let end = self.walk(seed, &mut *rng);
+            counts[end as usize] += 1;
+        }
+        let w = self.cfg.walks as f64;
+        counts.into_iter().map(|k| k as f64 / w).collect()
+    }
+
+    fn index_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_core::CpiConfig;
+    use tpa_graph::gen::star_graph;
+
+    fn l1_dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    #[test]
+    fn estimates_sum_to_one() {
+        let g = Arc::new(star_graph(10));
+        let mc = MonteCarlo::new(g, MonteCarloConfig { walks: 5000, ..Default::default() });
+        let r = mc.query(0);
+        let total: f64 = r.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_to_exact_with_many_walks() {
+        let g = Arc::new(star_graph(8));
+        let exact = tpa_core::exact_rwr(&g, 2, &CpiConfig::default());
+        let mc = MonteCarlo::new(
+            Arc::clone(&g),
+            MonteCarloConfig { walks: 400_000, ..Default::default() },
+        );
+        let est = mc.query(2);
+        assert!(l1_dist(&est, &exact) < 0.01, "err {}", l1_dist(&est, &exact));
+    }
+
+    #[test]
+    fn deterministic_per_query() {
+        let g = Arc::new(star_graph(8));
+        let mc = MonteCarlo::new(g, MonteCarloConfig { walks: 1000, ..Default::default() });
+        assert_eq!(mc.query(1), mc.query(1));
+    }
+
+    #[test]
+    fn more_walks_reduce_error() {
+        let g = Arc::new(star_graph(12));
+        let exact = tpa_core::exact_rwr(&g, 0, &CpiConfig::default());
+        let coarse = MonteCarlo::new(
+            Arc::clone(&g),
+            MonteCarloConfig { walks: 500, ..Default::default() },
+        )
+        .query(0);
+        let fine = MonteCarlo::new(
+            Arc::clone(&g),
+            MonteCarloConfig { walks: 200_000, ..Default::default() },
+        )
+        .query(0);
+        assert!(l1_dist(&fine, &exact) < l1_dist(&coarse, &exact));
+    }
+}

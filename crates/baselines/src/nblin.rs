@@ -1,0 +1,223 @@
+//! NB-LIN (Tong, Faloutsos & Pan, KAIS 2008): low-rank approximation of the
+//! transition matrix plus the Sherman–Morrison–Woodbury identity.
+//!
+//! With `Ãᵀ ≈ U·Σ·Vᵀ` (rank `t`), the RWR resolvent becomes
+//!
+//! ```text
+//! (I − (1−c)·ÃᵀU)⁻¹ ≈ I + (1−c)·U·Λ̃·Vᵀ,
+//! Λ̃ = (Σ⁻¹ − (1−c)·Vᵀ·U)⁻¹
+//! ```
+//!
+//! so a query is two thin dense mat-vecs: `r = c·q + c(1−c)·U·(Λ̃·(Vᵀ·q))`.
+//! The index stores `U (n×t)`, `Vᵀ (t×n)` and `Λ̃ (t×t)` — the `O(n·t)`
+//! memory that makes NB-LIN infeasible on large graphs in Fig. 1(a).
+
+use crate::{MemoryBudget, PreprocessError, RwrMethod};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use tpa_graph::{CsrGraph, NodeId};
+use tpa_linalg::{randomized_svd, DenseMatrix, LinOp, Lu, SvdConfig};
+
+/// NB-LIN parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NbLinConfig {
+    /// Restart probability.
+    pub c: f64,
+    /// Rank `t` of the low-rank decomposition. Accuracy and memory both
+    /// grow with `t`; the original paper partitions + decomposes, our
+    /// variant decomposes globally with a randomized SVD.
+    pub rank: usize,
+    /// Oversampling for the randomized range finder.
+    pub oversample: usize,
+    /// Power iterations for the range finder.
+    pub power_iters: usize,
+    /// RNG seed for the sketch.
+    pub rng_seed: u64,
+}
+
+impl Default for NbLinConfig {
+    fn default() -> Self {
+        Self { c: 0.15, rank: 64, oversample: 16, power_iters: 2, rng_seed: 0x9b11 }
+    }
+}
+
+/// The transition operator `Ãᵀ` as a [`LinOp`] for the sketching SVD.
+struct TransitionOp<'g> {
+    graph: &'g CsrGraph,
+    inv_out: Vec<f64>,
+}
+
+impl LinOp for TransitionOp<'_> {
+    fn nrows(&self) -> usize {
+        self.graph.n()
+    }
+    fn ncols(&self) -> usize {
+        self.graph.n()
+    }
+    // y = Ãᵀ·x (gather over in-edges).
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for v in 0..self.graph.n() as NodeId {
+            let mut acc = 0.0;
+            for &u in self.graph.in_neighbors(v) {
+                acc += x[u as usize] * self.inv_out[u as usize];
+            }
+            y[v as usize] = acc;
+        }
+    }
+    // y = Ã·x (gather over out-edges).
+    fn apply_t(&self, x: &[f64], y: &mut [f64]) {
+        for u in 0..self.graph.n() as NodeId {
+            let mut acc = 0.0;
+            for &v in self.graph.out_neighbors(u) {
+                acc += x[v as usize];
+            }
+            y[u as usize] = acc * self.inv_out[u as usize];
+        }
+    }
+}
+
+/// The preprocessed NB-LIN method.
+pub struct NbLin {
+    cfg: NbLinConfig,
+
+    /// Left factor `U`, `n × t`.
+    u: DenseMatrix,
+    /// Right factor `Vᵀ`, `t × n`.
+    vt: DenseMatrix,
+    /// Woodbury core `Λ̃`, `t × t`.
+    core: DenseMatrix,
+}
+
+impl NbLin {
+    /// Preprocessing: randomized SVD of `Ãᵀ` + core inversion.
+    pub fn preprocess(
+        graph: Arc<CsrGraph>,
+        cfg: NbLinConfig,
+        budget: MemoryBudget,
+    ) -> Result<Self, PreprocessError> {
+        let n = graph.n();
+        let t = cfg.rank;
+        let est_bytes = (2 * n * t + t * t) * 8;
+        budget.check("NB_LIN", est_bytes)?;
+
+        let op = TransitionOp { graph: &graph, inv_out: graph.inv_out_degrees() };
+        let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
+        let svd = randomized_svd(
+            &op,
+            SvdConfig { rank: t, oversample: cfg.oversample, power_iters: cfg.power_iters },
+            &mut rng,
+        );
+
+        // Truncate to the *effective* rank: a graph whose transition matrix
+        // has lower rank than requested yields vanishing σᵢ, which would
+        // make Σ⁻¹ blow up. Keeping only σᵢ > tol·σ₀ loses nothing.
+        let sigma0 = svd.s.first().copied().unwrap_or(0.0);
+        if sigma0 <= 1e-12 {
+            return Err(PreprocessError::Numerical("NB_LIN", "zero spectrum".into()));
+        }
+        let t_eff = svd.s.iter().take_while(|&&s| s > 1e-10 * sigma0.max(1.0)).count();
+        let u = svd.u.take_cols(t_eff);
+        let vt = svd.vt.take_rows(t_eff);
+        let s = &svd.s[..t_eff];
+
+        // Λ̃ = (Σ⁻¹ − (1−c)·Vᵀ·U)⁻¹.
+        let mut m = vt.matmul(&u); // t_eff × t_eff
+        let one_minus_c = 1.0 - cfg.c;
+        for r in 0..t_eff {
+            for c2 in 0..t_eff {
+                let mut v = -one_minus_c * m.get(r, c2);
+                if r == c2 {
+                    v += 1.0 / s[r];
+                }
+                m.set(r, c2, v);
+            }
+        }
+        let core = Lu::factor(&m)
+            .map_err(|e| PreprocessError::Numerical("NB_LIN", e.to_string()))?
+            .inverse();
+
+        Ok(Self { cfg, u, vt, core })
+    }
+}
+
+impl RwrMethod for NbLin {
+    fn name(&self) -> &'static str {
+        "NB_LIN"
+    }
+
+    fn query(&self, seed: NodeId) -> Vec<f64> {
+        let c = self.cfg.c;
+        // Vᵀ·q is just column `seed` of Vᵀ.
+        let vq = self.vt.col(seed as usize);
+        let lv = self.core.matvec(&vq);
+        let ulv = self.u.matvec(&lv);
+        let mut r: Vec<f64> = ulv.into_iter().map(|x| c * (1.0 - c) * x).collect();
+        r[seed as usize] += c;
+        r
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.u.memory_bytes() + self.vt.memory_bytes() + self.core.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_core::CpiConfig;
+    use tpa_graph::gen::{sbm, star_graph};
+
+    fn l1_dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    #[test]
+    fn near_exact_on_low_rank_graph() {
+        // A star graph's transition matrix has tiny effective rank.
+        let g = Arc::new(star_graph(40));
+        let nblin = NbLin::preprocess(
+            Arc::clone(&g),
+            NbLinConfig { rank: 8, ..Default::default() },
+            MemoryBudget::unlimited(),
+        )
+        .unwrap();
+        let exact = tpa_core::exact_rwr(&g, 3, &CpiConfig { eps: 1e-12, ..Default::default() });
+        let est = nblin.query(3);
+        assert!(l1_dist(&est, &exact) < 1e-6, "err {}", l1_dist(&est, &exact));
+    }
+
+    #[test]
+    fn block_graph_good_accuracy_with_enough_rank() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = Arc::new(sbm(&[40, 40, 40], 0.3, 0.01, &mut rng));
+        let nblin = NbLin::preprocess(
+            Arc::clone(&g),
+            NbLinConfig { rank: 60, ..Default::default() },
+            MemoryBudget::unlimited(),
+        )
+        .unwrap();
+        let exact = tpa_core::exact_rwr(&g, 10, &CpiConfig::default());
+        let est = nblin.query(10);
+        assert!(l1_dist(&est, &exact) < 0.25, "err {}", l1_dist(&est, &exact));
+    }
+
+    #[test]
+    fn memory_grows_linearly_with_n() {
+        let small = Arc::new(star_graph(50));
+        let big = Arc::new(star_graph(200));
+        let cfg = NbLinConfig { rank: 8, ..Default::default() };
+        let a = NbLin::preprocess(small, cfg, MemoryBudget::unlimited()).unwrap();
+        let b = NbLin::preprocess(big, cfg, MemoryBudget::unlimited()).unwrap();
+        assert!(b.index_bytes() > 3 * a.index_bytes());
+    }
+
+    #[test]
+    fn oom_on_tight_budget() {
+        let g = Arc::new(star_graph(100));
+        let err = NbLin::preprocess(g, NbLinConfig::default(), MemoryBudget::bytes(1000))
+            .err().unwrap();
+        assert!(matches!(err, PreprocessError::OutOfMemory { method: "NB_LIN", .. }));
+    }
+}

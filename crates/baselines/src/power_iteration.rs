@@ -1,0 +1,53 @@
+//! Exact power iteration (CPI to convergence) as an online-only method —
+//! the no-preprocessing reference point and the harness's ground truth.
+
+use crate::RwrMethod;
+use std::sync::Arc;
+use tpa_core::{cpi, CpiConfig, SeedSet, Transition};
+use tpa_graph::{CsrGraph, NodeId};
+
+/// Exact RWR by running CPI to convergence at query time. `O(m·log(ε/c))`
+/// per query, zero preprocessed bytes.
+pub struct PowerIteration {
+    graph: Arc<CsrGraph>,
+    cfg: CpiConfig,
+}
+
+impl PowerIteration {
+    /// Binds the method to a graph.
+    pub fn new(graph: Arc<CsrGraph>, cfg: CpiConfig) -> Self {
+        cfg.validate();
+        Self { graph, cfg }
+    }
+}
+
+impl RwrMethod for PowerIteration {
+    fn name(&self) -> &'static str {
+        "PowerIteration"
+    }
+
+    fn query(&self, seed: NodeId) -> Vec<f64> {
+        let t = Transition::new(&self.graph);
+        cpi(&t, &SeedSet::single(seed), &self.cfg, 0, None).scores
+    }
+
+    fn index_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_graph::gen::star_graph;
+
+    #[test]
+    fn matches_exact_rwr() {
+        let g = Arc::new(star_graph(20));
+        let m = PowerIteration::new(Arc::clone(&g), CpiConfig::default());
+        let got = m.query(3);
+        let want = tpa_core::exact_rwr(&g, 3, &CpiConfig::default());
+        assert_eq!(got, want);
+        assert_eq!(m.index_bytes(), 0);
+    }
+}

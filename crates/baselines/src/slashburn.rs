@@ -1,0 +1,264 @@
+//! SlashBurn-style hub/spoke reordering (Kang & Faloutsos, ICDM'11) — the
+//! node permutation underlying BEAR's and BePI's block elimination.
+//!
+//! Repeatedly removing the highest-degree *hub* nodes shatters a power-law
+//! graph into many small connected *spoke* components. Ordering spokes
+//! first and hubs last makes the leading `n1 × n1` block of the RWR system
+//! matrix block-diagonal with small blocks — cheap to invert exactly.
+
+use std::sync::Arc;
+use tpa_graph::{CsrGraph, NodeId};
+
+/// Reordering parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SlashburnConfig {
+    /// Fraction of currently-alive nodes promoted to hubs each round.
+    pub hub_fraction: f64,
+    /// Components at most this large become spoke blocks; larger ones stay
+    /// alive for further hub removal.
+    pub max_block: usize,
+    /// Safety cap on rounds; after it, every remaining node becomes a hub.
+    pub max_rounds: usize,
+}
+
+impl Default for SlashburnConfig {
+    fn default() -> Self {
+        Self { hub_fraction: 0.02, max_block: 256, max_rounds: 60 }
+    }
+}
+
+/// Result of the reordering: spoke blocks (disjoint, no edges between
+/// different blocks) and the hub set.
+#[derive(Clone, Debug)]
+pub struct HubSpokeOrdering {
+    /// Spoke blocks in removal order; every inter-block path passes
+    /// through a hub.
+    pub blocks: Vec<Vec<NodeId>>,
+    /// Hub nodes (ordered by removal round, then degree).
+    pub hubs: Vec<NodeId>,
+}
+
+impl HubSpokeOrdering {
+    /// Number of spoke (non-hub) nodes, `n1`.
+    pub fn n1(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum()
+    }
+
+    /// Number of hub nodes, `n2`.
+    pub fn n2(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// Permutation `new index → old node id`: spoke blocks first (in block
+    /// order), hubs last.
+    pub fn permutation(&self) -> Vec<NodeId> {
+        let mut p = Vec::with_capacity(self.n1() + self.n2());
+        for b in &self.blocks {
+            p.extend_from_slice(b);
+        }
+        p.extend_from_slice(&self.hubs);
+        p
+    }
+
+    /// Inverse permutation `old node id → new index`.
+    pub fn inverse_permutation(&self) -> Vec<u32> {
+        let p = self.permutation();
+        let mut inv = vec![0u32; p.len()];
+        for (new, &old) in p.iter().enumerate() {
+            inv[old as usize] = new as u32;
+        }
+        inv
+    }
+
+    /// `(start, len)` ranges of each block within the permuted order.
+    pub fn block_ranges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.blocks.len());
+        let mut start = 0usize;
+        for b in &self.blocks {
+            out.push((start, b.len()));
+            start += b.len();
+        }
+        out
+    }
+}
+
+/// Computes the hub/spoke ordering. Treats the graph as undirected for both
+/// the degree ranking and the connectivity (as SlashBurn does).
+pub fn hub_spoke_order(graph: &Arc<CsrGraph>, cfg: SlashburnConfig) -> HubSpokeOrdering {
+    let n = graph.n();
+    let mut alive = vec![true; n];
+    let mut alive_count = n;
+    let mut blocks: Vec<Vec<NodeId>> = Vec::new();
+    let mut hubs: Vec<NodeId> = Vec::new();
+
+    let degree =
+        |v: NodeId| -> usize { graph.out_degree(v) + graph.in_degree(v) };
+
+    for _round in 0..cfg.max_rounds {
+        if alive_count == 0 {
+            break;
+        }
+        // 1. Promote the k highest-degree alive nodes to hubs.
+        let k = ((alive_count as f64 * cfg.hub_fraction).ceil() as usize).max(1);
+        let mut candidates: Vec<NodeId> =
+            (0..n as NodeId).filter(|&v| alive[v as usize]).collect();
+        candidates.sort_by_key(|&v| std::cmp::Reverse(degree(v)));
+        for &h in candidates.iter().take(k) {
+            alive[h as usize] = false;
+            hubs.push(h);
+        }
+        alive_count -= k.min(alive_count);
+
+        // 2. Connected components of the remaining graph; small ones become
+        //    spoke blocks.
+        let mut giant_exists = false;
+        let mut visited = vec![false; n];
+        for start in 0..n as NodeId {
+            if !alive[start as usize] || visited[start as usize] {
+                continue;
+            }
+            let comp = bfs_component(graph, start, &alive, &mut visited);
+            if comp.len() <= cfg.max_block {
+                for &v in &comp {
+                    alive[v as usize] = false;
+                }
+                alive_count -= comp.len();
+                blocks.push(comp);
+            } else {
+                giant_exists = true;
+            }
+        }
+        if !giant_exists {
+            break;
+        }
+    }
+
+    // Whatever survives the round cap becomes hubs (keeps the block-diagonal
+    // guarantee unconditionally).
+    for v in 0..n as NodeId {
+        if alive[v as usize] {
+            hubs.push(v);
+        }
+    }
+
+    HubSpokeOrdering { blocks, hubs }
+}
+
+/// Undirected BFS over alive nodes.
+fn bfs_component(
+    graph: &CsrGraph,
+    start: NodeId,
+    alive: &[bool],
+    visited: &mut [bool],
+) -> Vec<NodeId> {
+    let mut comp = vec![start];
+    let mut queue = std::collections::VecDeque::from([start]);
+    visited[start as usize] = true;
+    while let Some(v) = queue.pop_front() {
+        for &w in graph.out_neighbors(v).iter().chain(graph.in_neighbors(v)) {
+            if alive[w as usize] && !visited[w as usize] {
+                visited[w as usize] = true;
+                comp.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_graph::gen::{lfr_lite, star_graph, LfrConfig};
+
+    fn test_graph() -> Arc<CsrGraph> {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        Arc::new(lfr_lite(LfrConfig { n: 500, m: 4000, ..Default::default() }, &mut rng).graph)
+    }
+
+    #[test]
+    fn partition_is_complete_and_disjoint() {
+        let g = test_graph();
+        let ord = hub_spoke_order(&g, SlashburnConfig::default());
+        assert_eq!(ord.n1() + ord.n2(), g.n());
+        let mut seen = vec![false; g.n()];
+        for &v in ord.permutation().iter() {
+            assert!(!seen[v as usize], "node {v} appears twice");
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn no_edges_between_distinct_blocks() {
+        let g = test_graph();
+        let ord = hub_spoke_order(&g, SlashburnConfig::default());
+        let mut block_of = vec![usize::MAX; g.n()];
+        for (bi, b) in ord.blocks.iter().enumerate() {
+            for &v in b {
+                block_of[v as usize] = bi;
+            }
+        }
+        for (u, v) in g.edges() {
+            let (bu, bv) = (block_of[u as usize], block_of[v as usize]);
+            if bu != usize::MAX && bv != usize::MAX {
+                assert_eq!(bu, bv, "edge ({u},{v}) crosses blocks {bu}/{bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_respect_max_size() {
+        let g = test_graph();
+        let cfg = SlashburnConfig { max_block: 64, ..Default::default() };
+        let ord = hub_spoke_order(&g, cfg);
+        assert!(ord.blocks.iter().all(|b| b.len() <= 64));
+    }
+
+    #[test]
+    fn star_hub_is_selected_first() {
+        let g = Arc::new(star_graph(50));
+        let ord = hub_spoke_order(&g, SlashburnConfig::default());
+        assert_eq!(ord.hubs[0], 0, "the star center must be the first hub");
+        // Removing the center shatters the star into singleton leaves.
+        assert!(ord.blocks.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn inverse_permutation_roundtrip() {
+        let g = test_graph();
+        let ord = hub_spoke_order(&g, SlashburnConfig::default());
+        let p = ord.permutation();
+        let inv = ord.inverse_permutation();
+        for (new, &old) in p.iter().enumerate() {
+            assert_eq!(inv[old as usize] as usize, new);
+        }
+    }
+
+    #[test]
+    fn block_ranges_tile_n1() {
+        let g = test_graph();
+        let ord = hub_spoke_order(&g, SlashburnConfig::default());
+        let ranges = ord.block_ranges();
+        let mut cursor = 0;
+        for (i, (start, len)) in ranges.iter().enumerate() {
+            assert_eq!(*start, cursor, "range {i}");
+            cursor += len;
+        }
+        assert_eq!(cursor, ord.n1());
+    }
+
+    #[test]
+    fn hubs_shrink_with_power_law_structure() {
+        // On a heavy-tailed graph, hub count should be well under half of n.
+        let g = test_graph();
+        let ord = hub_spoke_order(&g, SlashburnConfig::default());
+        assert!(
+            ord.n2() < g.n() / 2,
+            "hubs {} of {} — shattering failed",
+            ord.n2(),
+            g.n()
+        );
+    }
+}

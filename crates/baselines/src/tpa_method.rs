@@ -1,0 +1,87 @@
+//! TPA wrapped in the common [`RwrMethod`] interface so the experiment
+//! harness can run it side by side with the competitors.
+
+use crate::{MemoryBudget, PreprocessError, RwrMethod};
+use std::sync::Arc;
+use tpa_core::{TpaIndex, TpaParams, Transition};
+use tpa_graph::{CsrGraph, NodeId};
+
+/// The proposed method (paper Algorithms 2 & 3) as an [`RwrMethod`].
+pub struct Tpa {
+    graph: Arc<CsrGraph>,
+    index: TpaIndex,
+}
+
+impl Tpa {
+    /// Runs the preprocessing phase (stranger approximation).
+    pub fn preprocess(
+        graph: Arc<CsrGraph>,
+        params: TpaParams,
+        budget: MemoryBudget,
+    ) -> Result<Self, PreprocessError> {
+        // TPA's index is one f64 per node.
+        budget.check("TPA", graph.n() * 8)?;
+        let index = TpaIndex::preprocess(&graph, params);
+        Ok(Self { graph, index })
+    }
+
+    /// Access to the inner index (for part-wise experiments).
+    pub fn index(&self) -> &TpaIndex {
+        &self.index
+    }
+}
+
+impl RwrMethod for Tpa {
+    fn name(&self) -> &'static str {
+        "TPA"
+    }
+
+    fn query(&self, seed: NodeId) -> Vec<f64> {
+        let t = Transition::new(&self.graph);
+        self.index.query(&t, seed)
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.index.index_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_core::bounds;
+    use tpa_graph::gen::{lfr_lite, LfrConfig};
+
+    fn l1_dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    #[test]
+    fn wrapper_matches_direct_index() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(43);
+        let g = Arc::new(
+            lfr_lite(LfrConfig { n: 250, m: 2000, ..Default::default() }, &mut rng).graph,
+        );
+        let params = TpaParams::new(5, 10);
+        let tpa = Tpa::preprocess(Arc::clone(&g), params, MemoryBudget::unlimited()).unwrap();
+        let direct = TpaIndex::preprocess(&g, params);
+        let t = Transition::new(&g);
+        assert_eq!(tpa.query(9), direct.query(&t, 9));
+        assert_eq!(tpa.index_bytes(), g.n() * 8);
+    }
+
+    #[test]
+    fn respects_error_bound_via_wrapper() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(44);
+        let g = Arc::new(
+            lfr_lite(LfrConfig { n: 250, m: 2000, ..Default::default() }, &mut rng).graph,
+        );
+        let params = TpaParams::new(4, 9);
+        let tpa = Tpa::preprocess(Arc::clone(&g), params, MemoryBudget::unlimited()).unwrap();
+        let exact = tpa_core::exact_rwr(&g, 77, &params.cpi_config());
+        let err = l1_dist(&tpa.query(77), &exact);
+        assert!(err <= bounds::total_bound(params.c, params.s) + 1e-9);
+    }
+}

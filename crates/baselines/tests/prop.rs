@@ -1,0 +1,115 @@
+//! Property-based tests across the baseline methods.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+use tpa_baselines::{
+    forward_push, hub_spoke_order, Fora, ForaConfig, MemoryBudget, MonteCarlo, MonteCarloConfig,
+    RwrMethod, SlashburnConfig, Tpa,
+};
+use tpa_core::{CpiConfig, TpaParams};
+use tpa_graph::gen::erdos_renyi_gnm;
+use tpa_graph::{CsrGraph, NodeId};
+
+fn l1_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+fn random_graph(n: usize, seed: u64) -> Arc<CsrGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = (4 * n).min(n * (n - 1) / 2);
+    Arc::new(erdos_renyi_gnm(n, m, &mut rng))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Forward push: error is bounded by the residual mass, for any rmax.
+    #[test]
+    fn push_error_bounded_by_residual(
+        n in 8usize..50,
+        gseed in 0u64..300,
+        rmax_exp in 2u32..6,
+        seed_frac in 0.0f64..1.0,
+    ) {
+        let g = random_graph(n, gseed);
+        let seed = ((n as f64 * seed_frac) as usize).min(n - 1) as NodeId;
+        let rmax = 10f64.powi(-(rmax_exp as i32));
+        let res = forward_push(&g, seed, 0.15, rmax);
+        let exact = tpa_core::exact_rwr(&g, seed, &CpiConfig { eps: 1e-12, ..Default::default() });
+        prop_assert!(l1_dist(&res.reserve, &exact) <= res.residual_sum + 1e-9);
+        // Reserve never overestimates any entry.
+        for (r, e) in res.reserve.iter().zip(&exact) {
+            prop_assert!(*r <= e + 1e-9);
+        }
+    }
+
+    /// Monte Carlo estimates are proper distributions and deterministic.
+    #[test]
+    fn monte_carlo_is_distribution(n in 5usize..40, gseed in 0u64..200) {
+        let g = random_graph(n, gseed);
+        let mc = MonteCarlo::new(
+            Arc::clone(&g),
+            MonteCarloConfig { walks: 2000, ..Default::default() },
+        );
+        let est = mc.query(0);
+        prop_assert!((est.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(est.iter().all(|&v| v >= 0.0));
+        prop_assert_eq!(mc.query(0), est);
+    }
+
+    /// SlashBurn: partition is complete, disjoint, and block-diagonal for
+    /// arbitrary random graphs (not just power-law ones).
+    #[test]
+    fn slashburn_invariants(n in 10usize..60, gseed in 0u64..300, max_block in 4usize..32) {
+        let g = random_graph(n, gseed);
+        let ord = hub_spoke_order(
+            &g,
+            SlashburnConfig { max_block, ..Default::default() },
+        );
+        prop_assert_eq!(ord.n1() + ord.n2(), n);
+        // Disjoint cover.
+        let mut seen = vec![false; n];
+        for &v in ord.permutation().iter() {
+            prop_assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        // Block size respected and no cross-block edges.
+        let mut block_of = vec![usize::MAX; n];
+        for (bi, b) in ord.blocks.iter().enumerate() {
+            prop_assert!(b.len() <= max_block);
+            for &v in b {
+                block_of[v as usize] = bi;
+            }
+        }
+        for (u, v) in g.edges() {
+            let (bu, bv) = (block_of[u as usize], block_of[v as usize]);
+            if bu != usize::MAX && bv != usize::MAX {
+                prop_assert_eq!(bu, bv);
+            }
+        }
+    }
+
+    /// FORA's estimate sums to ≈1 and respects the relative-error contract
+    /// on above-threshold entries in aggregate.
+    #[test]
+    fn fora_mass_and_determinism(n in 10usize..50, gseed in 0u64..200) {
+        let g = random_graph(n, gseed);
+        let fora = Fora::new(Arc::clone(&g), ForaConfig::default());
+        let est = fora.query(1);
+        prop_assert!((est.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        prop_assert_eq!(fora.query(1), est);
+    }
+
+    /// TPA through the RwrMethod interface keeps the Theorem-2 bound on
+    /// arbitrary random graphs.
+    #[test]
+    fn tpa_method_bound(n in 10usize..50, gseed in 0u64..200, s in 1usize..5) {
+        let g = random_graph(n, gseed);
+        let params = TpaParams::new(s, s + 5);
+        let tpa = Tpa::preprocess(Arc::clone(&g), params, MemoryBudget::unlimited()).unwrap();
+        let exact = tpa_core::exact_rwr(&g, 2, &params.cpi_config());
+        let err = l1_dist(&tpa.query(2), &exact);
+        prop_assert!(err <= tpa_core::bounds::total_bound(params.c, s) + 1e-9);
+    }
+}

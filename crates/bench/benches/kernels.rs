@@ -1,0 +1,97 @@
+//! Micro-benchmarks of the computational kernels every method is built
+//! from: the CPI propagation step (gather), the forward-push operation,
+//! random-walk simulation. Also ablates the gather-vs-scatter design
+//! choice called out in DESIGN.md §6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tpa_baselines::forward_push;
+use tpa_core::Transition;
+use tpa_graph::{CsrGraph, NodeId};
+
+fn bench_graph() -> CsrGraph {
+    let spec = tpa_datasets::spec("slashdot-s").unwrap();
+    (*tpa_datasets::generate(spec).graph).clone()
+}
+
+/// Scatter-based propagation (the alternative the gather kernel replaced).
+fn propagate_scatter(g: &CsrGraph, inv_out: &[f64], coeff: f64, x: &[f64], y: &mut [f64]) {
+    y.iter_mut().for_each(|v| *v = 0.0);
+    for u in 0..g.n() as NodeId {
+        let share = coeff * x[u as usize] * inv_out[u as usize];
+        if share == 0.0 {
+            continue;
+        }
+        for &v in g.out_neighbors(u) {
+            y[v as usize] += share;
+        }
+    }
+}
+
+fn kernels(c: &mut Criterion) {
+    let g = bench_graph();
+    let n = g.n();
+    let t = Transition::new(&g);
+    let inv_out = g.inv_out_degrees();
+    let mut rng = StdRng::seed_from_u64(1);
+    let x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() / n as f64).collect();
+    let mut y = vec![0.0f64; n];
+
+    let mut group = c.benchmark_group("propagate");
+    group.throughput(Throughput::Elements(g.m() as u64));
+    group.bench_function("gather_in_edges", |b| {
+        b.iter(|| t.propagate_into(0.85, black_box(&x), black_box(&mut y)))
+    });
+    group.bench_function("scatter_out_edges", |b| {
+        b.iter(|| propagate_scatter(&g, &inv_out, 0.85, black_box(&x), black_box(&mut y)))
+    });
+    for threads in [2usize, 4] {
+        use tpa_core::Propagator;
+        let par = tpa_core::ParallelTransition::new(&g, threads);
+        group.bench_function(format!("gather_parallel_{threads}t"), |b| {
+            b.iter(|| par.propagate_into(0.85, black_box(&x), black_box(&mut y)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("forward_push");
+    for rmax in [1e-4, 1e-5] {
+        group.bench_with_input(BenchmarkId::from_parameter(rmax), &rmax, |b, &rmax| {
+            b.iter(|| forward_push(black_box(&g), 7, 0.15, rmax))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("random_walks");
+    group.bench_function("1000_walks", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                let mut v: NodeId = 7;
+                loop {
+                    if rng.gen::<f64>() < 0.15 {
+                        break;
+                    }
+                    let neigh = g.out_neighbors(v);
+                    if neigh.is_empty() {
+                        break;
+                    }
+                    v = neigh[rng.gen_range(0..neigh.len())];
+                }
+                acc += v as u64;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = kernels
+}
+criterion_main!(benches);

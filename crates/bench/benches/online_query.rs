@@ -1,0 +1,61 @@
+//! Criterion version of Fig. 1(c): online query latency of TPA against
+//! the competitors, on the Slashdot analog (the dataset every method can
+//! preprocess). Statistical rigor (warmup, outlier rejection) complements
+//! the wall-clock sweep in `fig1_performance`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use tpa_baselines::{
+    Brppr, BrpprConfig, Fora, ForaConfig, ForaIndex, MemoryBudget, NbLin, NbLinConfig,
+    PowerIteration, RwrMethod, Tpa,
+};
+use tpa_core::{CpiConfig, TpaParams};
+
+fn online_query(c: &mut Criterion) {
+    let spec = tpa_datasets::spec("slashdot-s").unwrap();
+    let d = tpa_datasets::generate(spec);
+    let g = Arc::clone(&d.graph);
+
+    let methods: Vec<Box<dyn RwrMethod>> = vec![
+        Box::new(
+            Tpa::preprocess(
+                Arc::clone(&g),
+                TpaParams::new(spec.s, spec.t),
+                MemoryBudget::unlimited(),
+            )
+            .unwrap(),
+        ),
+        Box::new(PowerIteration::new(Arc::clone(&g), CpiConfig::default())),
+        Box::new(Fora::new(Arc::clone(&g), ForaConfig::default())),
+        Box::new(
+            ForaIndex::preprocess(Arc::clone(&g), ForaConfig::default(), MemoryBudget::unlimited())
+                .unwrap(),
+        ),
+        Box::new(Brppr::new(Arc::clone(&g), BrpprConfig::default())),
+        Box::new(
+            NbLin::preprocess(
+                Arc::clone(&g),
+                NbLinConfig { rank: 64, ..Default::default() },
+                MemoryBudget::unlimited(),
+            )
+            .unwrap(),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("online_query/slashdot-s");
+    group.sample_size(10);
+    for (i, m) in methods.iter().enumerate() {
+        // Disambiguate FORA vs FORA+ (same paper label).
+        let name = match i {
+            2 => "FORA(no-index)".to_string(),
+            3 => "FORA(indexed)".to_string(),
+            _ => m.name().to_string(),
+        };
+        group.bench_function(&name, |b| b.iter(|| black_box(m.query(42))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, online_query);
+criterion_main!(benches);

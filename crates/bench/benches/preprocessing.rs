@@ -1,0 +1,76 @@
+//! Criterion version of Fig. 1(b): preprocessing cost of the indexing
+//! methods on a 10×-scaled Slashdot analog (small enough that even the
+//! slow preprocessors finish within criterion's sampling budget).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use tpa_baselines::{
+    RwrMethod,
+    BePi, BePiConfig, ForaConfig, ForaIndex, HubPpr, HubPprConfig, MemoryBudget, NbLin,
+    NbLinConfig, Tpa,
+};
+use tpa_core::TpaParams;
+
+fn preprocessing(c: &mut Criterion) {
+    let spec = tpa_datasets::spec("slashdot-s").unwrap().scaled_down(10);
+    let d = tpa_datasets::generate(&spec);
+    let g = Arc::clone(&d.graph);
+    let unlimited = MemoryBudget::unlimited();
+
+    let mut group = c.benchmark_group("preprocess/slashdot-s@10pct");
+    group.sample_size(10);
+    group.bench_function("TPA", |b| {
+        b.iter(|| {
+            black_box(
+                Tpa::preprocess(Arc::clone(&g), TpaParams::new(spec.s, spec.t), unlimited)
+                    .unwrap()
+                    .index_bytes(),
+            )
+        })
+    });
+    group.bench_function("FORA(indexed)", |b| {
+        b.iter(|| {
+            black_box(
+                ForaIndex::preprocess(Arc::clone(&g), ForaConfig::default(), unlimited)
+                    .unwrap()
+                    .index_bytes(),
+            )
+        })
+    });
+    group.bench_function("HubPPR", |b| {
+        b.iter(|| {
+            black_box(
+                HubPpr::preprocess(Arc::clone(&g), HubPprConfig::default(), unlimited)
+                    .unwrap()
+                    .index_bytes(),
+            )
+        })
+    });
+    group.bench_function("NB_LIN", |b| {
+        b.iter(|| {
+            black_box(
+                NbLin::preprocess(
+                    Arc::clone(&g),
+                    NbLinConfig { rank: 32, ..Default::default() },
+                    unlimited,
+                )
+                .unwrap()
+                .index_bytes(),
+            )
+        })
+    });
+    group.bench_function("BePI", |b| {
+        b.iter(|| {
+            black_box(
+                BePi::preprocess(Arc::clone(&g), BePiConfig::default(), unlimited)
+                    .unwrap()
+                    .index_bytes(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, preprocessing);
+criterion_main!(benches);

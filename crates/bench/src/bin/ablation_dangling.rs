@@ -1,0 +1,65 @@
+//! Ablation: dangling-node policy (DESIGN.md §6).
+//!
+//! The paper's math assumes a column-stochastic `Ãᵀ` — every node has an
+//! out-edge. Real edge lists violate this; the builder's default patches
+//! dangling nodes with self-loops, while `Keep` lets walk mass leak. This
+//! binary quantifies the leak and its effect on TPA's accuracy so the
+//! default policy choice is evidence-backed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpa_bench::harness::results_dir;
+use tpa_core::{exact_rwr, CpiConfig, TpaIndex, TpaParams, Transition};
+use tpa_eval::{metrics, seeds::sample_seeds, Stats, Table};
+use tpa_graph::{DanglingPolicy, GraphBuilder, NodeId};
+
+const N: usize = 4000;
+const M: usize = 24_000;
+
+fn main() {
+    let params = TpaParams::new(5, 10);
+    let cfg = CpiConfig::default();
+    let mut table = Table::new(
+        "Ablation: dangling-node policy (n=4000, ~10% dangling in input)",
+        &["policy", "dangling_nodes", "rwr_mass", "tpa_l1_error_vs_own_exact"],
+    );
+
+    // Edge list in which ~10% of nodes have no out-edge.
+    let mut rng = StdRng::seed_from_u64(0xda11);
+    let sinks: Vec<bool> = (0..N).map(|_| rng.gen::<f64>() < 0.1).collect();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(M);
+    while edges.len() < M {
+        let u = rng.gen_range(0..N);
+        let v = rng.gen_range(0..N);
+        if u != v && !sinks[u] {
+            edges.push((u as NodeId, v as NodeId));
+        }
+    }
+
+    for (name, policy) in [("self-loop (default)", DanglingPolicy::SelfLoop), ("keep (leaky)", DanglingPolicy::Keep)]
+    {
+        let g = GraphBuilder::with_capacity(N, M)
+            .dangling_policy(policy)
+            .extend_edges(edges.iter().copied())
+            .build();
+        let t = Transition::new(&g);
+        let index = TpaIndex::preprocess(&g, params);
+        let seeds = sample_seeds(g.n(), 10, 0xda11);
+        let mut masses = Vec::new();
+        let mut errs = Vec::new();
+        for &s in &seeds {
+            let exact = exact_rwr(&g, s, &cfg);
+            masses.push(exact.iter().sum::<f64>());
+            errs.push(metrics::l1_error(&index.query(&t, s), &exact));
+        }
+        table.row(&[
+            name.into(),
+            g.dangling_nodes().len().to_string(),
+            format!("{:.4}", Stats::from_samples(&masses).mean),
+            format!("{:.4}", Stats::from_samples(&errs).mean),
+        ]);
+    }
+
+    print!("{}", table.render());
+    table.write_csv(results_dir().join("ablation_dangling.csv")).unwrap();
+}

@@ -1,0 +1,73 @@
+//! Figure 10 (Appendix A): TPA vs BePI — preprocessed-data size,
+//! preprocessing time and online time on every dataset.
+//!
+//! BePI is exact and, in the paper, fits every dataset into the 200 GB
+//! machine; this comparison therefore runs without the memory budget used
+//! for Fig. 1.
+
+use tpa_baselines::MemoryBudget;
+use tpa_bench::harness::{
+    all_dataset_keys, build_method, ground_truth, load_dataset, query_seeds, results_dir,
+    MethodKind,
+};
+use tpa_eval::{metrics, time, Stats, Table};
+
+fn main() {
+    let mut table = Table::new(
+        "Fig 10: TPA vs BePI (index size, preprocess time, online time)",
+        &[
+            "dataset",
+            "method",
+            "index_mib",
+            "preprocess_s",
+            "online_s",
+            "l1_error",
+        ],
+    );
+
+    for key in all_dataset_keys() {
+        let d = load_dataset(key);
+        eprintln!("[fig10] {key}");
+        let seeds = query_seeds(&d);
+        let truths: Vec<Vec<f64>> = seeds.iter().map(|&s| ground_truth(&d, s)).collect();
+
+        for kind in [MethodKind::Tpa, MethodKind::BePi] {
+            let built = build_method(kind, &d, MemoryBudget::unlimited());
+            let method = match built.method {
+                Some(m) => m,
+                None => {
+                    table.row(&[
+                        key.into(),
+                        built.label.into(),
+                        "FAIL".into(),
+                        "FAIL".into(),
+                        "FAIL".into(),
+                        format!("{:?}", built.error),
+                    ]);
+                    continue;
+                }
+            };
+            let mut times = Vec::new();
+            let mut errs = Vec::new();
+            for (i, &s) in seeds.iter().enumerate() {
+                let (scores, dt) = time(|| method.query(s));
+                times.push(dt);
+                errs.push(metrics::l1_error(&scores, &truths[i]));
+            }
+            table.row(&[
+                key.into(),
+                built.label.into(),
+                format!("{:.3}", method.index_bytes() as f64 / (1 << 20) as f64),
+                format!(
+                    "{:.4}",
+                    built.preprocess.map(|d| d.as_secs_f64()).unwrap_or(0.0)
+                ),
+                format!("{:.5}", Stats::from_durations(&times).mean),
+                format!("{:.6}", Stats::from_samples(&errs).mean),
+            ]);
+        }
+    }
+
+    print!("{}", table.render());
+    table.write_csv(results_dir().join("fig10_bepi.csv")).unwrap();
+}

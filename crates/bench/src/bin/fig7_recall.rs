@@ -1,0 +1,77 @@
+//! Figure 7: recall of the approximate top-k against the exact top-k for
+//! k = 100…500, on the paper's four showcased datasets.
+
+use tpa_bench::harness::{
+    budget_for, build_method, ground_truth, load_dataset, query_seeds, results_dir, FIG1_METHODS,
+};
+use tpa_eval::{metrics, Stats, Table};
+
+const KS: [usize; 5] = [100, 200, 300, 400, 500];
+
+fn main() {
+    let mut table = Table::new(
+        "Fig 7: recall of top-k RWR vertices (avg over seeds; OOM = over budget)",
+        &["dataset", "method", "k", "recall"],
+    );
+
+    // The paper's four showcased datasets; `TPA_DATASETS=a,b` restricts the
+    // run (used for time-boxed partial regeneration).
+    let default_keys = ["slashdot-s", "pokec-s", "wikilink-s", "twitter-s"];
+    let restricted = std::env::var("TPA_DATASETS").ok();
+    let keys: Vec<&str> = match &restricted {
+        Some(s) => s.split(',').map(str::trim).collect(),
+        None => default_keys.to_vec(),
+    };
+    for key in keys {
+        let d = load_dataset(key);
+        eprintln!("[fig7] {key}");
+        let budget = budget_for(&d);
+        let seeds = query_seeds(&d);
+        let truths: Vec<Vec<f64>> = seeds.iter().map(|&s| ground_truth(&d, s)).collect();
+
+        for kind in FIG1_METHODS {
+            let built = build_method(kind, &d, budget);
+            match built.method {
+                None => {
+                    for k in KS {
+                        table.row(&[
+                            key.into(),
+                            built.label.into(),
+                            k.to_string(),
+                            "OOM".into(),
+                        ]);
+                    }
+                }
+                Some(method) => {
+                    // One query per seed; recall at every k from the same
+                    // score vector. Slow methods are capped at 60 s
+                    // cumulative (≥3 seeds) like in fig1_performance.
+                    let mut recalls: Vec<Vec<f64>> = vec![Vec::new(); KS.len()];
+                    let started = std::time::Instant::now();
+                    for (i, &s) in seeds.iter().enumerate() {
+                        let approx = method.query(s);
+                        for (ki, &k) in KS.iter().enumerate() {
+                            recalls[ki].push(metrics::recall_at_k(&truths[i], &approx, k));
+                        }
+                        if started.elapsed().as_secs() >= 60 && i + 1 >= 3 {
+                            eprintln!("[fig7] {key}/{}: capped at {} seeds", built.label, i + 1);
+                            break;
+                        }
+                    }
+                    for (ki, &k) in KS.iter().enumerate() {
+                        let r = Stats::from_samples(&recalls[ki]).mean;
+                        table.row(&[
+                            key.into(),
+                            built.label.into(),
+                            k.to_string(),
+                            format!("{r:.4}"),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+
+    print!("{}", table.render());
+    table.write_csv(results_dir().join("fig7_recall.csv")).unwrap();
+}

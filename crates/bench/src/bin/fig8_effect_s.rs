@@ -1,0 +1,44 @@
+//! Figure 8: effect of the parameter S (start of the neighbor
+//! approximation) on TPA's online time and L1 error, with T fixed to 10,
+//! on the LiveJournal and Pokec analogs.
+
+use tpa_bench::harness::{ground_truth, load_dataset, query_seeds, results_dir};
+use tpa_core::{TpaIndex, TpaParams, Transition};
+use tpa_eval::{metrics, time, Stats, Table};
+
+const T: usize = 10;
+
+fn main() {
+    let mut table = Table::new(
+        "Fig 8: effect of S on online time and L1 error (T=10)",
+        &["dataset", "S", "online_s", "l1_error"],
+    );
+
+    for key in ["livejournal-s", "pokec-s"] {
+        let d = load_dataset(key);
+        eprintln!("[fig8] {key}");
+        let seeds = query_seeds(&d);
+        let truths: Vec<Vec<f64>> = seeds.iter().map(|&s| ground_truth(&d, s)).collect();
+        let transition = Transition::new(&d.graph);
+
+        for s in 2..=6usize {
+            let index = TpaIndex::preprocess(&d.graph, TpaParams::new(s, T));
+            let mut times = Vec::new();
+            let mut errs = Vec::new();
+            for (i, &seed) in seeds.iter().enumerate() {
+                let (scores, dt) = time(|| index.query(&transition, seed));
+                times.push(dt);
+                errs.push(metrics::l1_error(&scores, &truths[i]));
+            }
+            table.row(&[
+                key.into(),
+                s.to_string(),
+                format!("{:.5}", Stats::from_durations(&times).mean),
+                format!("{:.4}", Stats::from_samples(&errs).mean),
+            ]);
+        }
+    }
+
+    print!("{}", table.render());
+    table.write_csv(results_dir().join("fig8_effect_s.csv")).unwrap();
+}

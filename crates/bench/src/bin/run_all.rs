@@ -1,0 +1,56 @@
+//! Runs every experiment binary in sequence, regenerating all tables and
+//! figures into `results/`. Honors the same environment knobs as the
+//! individual binaries (`TPA_QUICK`, `TPA_SEEDS`, `TPA_BUDGET_MB`, …).
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 12] = [
+    "table2_datasets",
+    "table3_errors",
+    "fig1_performance",
+    "fig3_density",
+    "fig4_nonzeros",
+    "fig6_block_structure",
+    "fig7_recall",
+    "fig8_effect_s",
+    "fig9_effect_t",
+    "ablation_structure",
+    "ablation_models",
+    "ablation_dangling",
+];
+
+fn main() {
+    // Sibling binaries live next to this one.
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("binary dir");
+    let mut failures = Vec::new();
+
+    let all: Vec<&str> = EXPERIMENTS
+        .iter()
+        .copied()
+        .chain(std::iter::once("fig10_bepi"))
+        .collect();
+    for name in all {
+        let path = dir.join(name);
+        eprintln!("\n===== running {name} =====");
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("[run_all] {name} exited with {s}");
+                failures.push(name);
+            }
+            Err(e) => {
+                eprintln!("[run_all] {name} failed to start: {e} (did you build all bins?)");
+                failures.push(name);
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        eprintln!("\n[run_all] all experiments completed; see results/");
+    } else {
+        eprintln!("\n[run_all] FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

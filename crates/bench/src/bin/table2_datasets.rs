@@ -1,0 +1,42 @@
+//! Table II: dataset statistics and the per-dataset S/T split points,
+//! for the synthetic analogs actually generated.
+
+use tpa_bench::harness::{all_dataset_keys, load_dataset, results_dir};
+use tpa_eval::Table;
+use tpa_graph::NodeId;
+
+fn main() {
+    let mut t = Table::new(
+        "Table II: dataset statistics (synthetic analogs; S/T from the paper)",
+        &[
+            "dataset",
+            "analog_of",
+            "nodes",
+            "edges",
+            "avg_deg",
+            "max_out_deg",
+            "scale_factor",
+            "S",
+            "T",
+        ],
+    );
+    for key in all_dataset_keys() {
+        let d = load_dataset(key);
+        let g = &d.graph;
+        let max_deg = (0..g.n() as NodeId).map(|v| g.out_degree(v)).max().unwrap_or(0);
+        let scale = d.spec.original_nodes as f64 / d.spec.nodes as f64;
+        t.row(&[
+            key.into(),
+            d.spec.analog_of.into(),
+            g.n().to_string(),
+            g.m().to_string(),
+            format!("{:.2}", g.avg_degree()),
+            max_deg.to_string(),
+            format!("{scale:.0}x"),
+            d.spec.s.to_string(),
+            d.spec.t.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    t.write_csv(results_dir().join("table2_datasets.csv")).unwrap();
+}

@@ -1,0 +1,81 @@
+//! Table III: measured L1 errors of the neighbor approximation, the
+//! stranger approximation, and full TPA against their theoretical bounds
+//! (Lemmas 1/3, Theorem 2), on every dataset.
+
+use tpa_bench::harness::{all_dataset_keys, load_dataset, query_seeds, results_dir};
+use tpa_core::{bounds, decompose, CpiConfig, SeedSet, TpaParams, Transition};
+use tpa_eval::{metrics, Stats, Table};
+
+fn main() {
+    let mut t = Table::new(
+        "Table III: error statistics (actual vs theoretical bound)",
+        &[
+            "dataset",
+            "na_bound",
+            "na_error",
+            "na_pct",
+            "sa_bound",
+            "sa_error",
+            "sa_pct",
+            "tpa_bound",
+            "tpa_error",
+            "tpa_pct",
+        ],
+    );
+
+    for key in all_dataset_keys() {
+        let d = load_dataset(key);
+        let (s, tt) = (d.spec.s, d.spec.t);
+        let params = TpaParams::new(s, tt);
+        let cfg = CpiConfig::default();
+        let tr = Transition::new(&d.graph);
+        eprintln!("[table3] {key} (S={s}, T={tt})");
+
+        // Seed-independent pieces: the PageRank stranger part.
+        let p_stranger = tpa_core::pagerank_window(&d.graph, &cfg, tt, None).scores;
+        let scale = params.neighbor_scale();
+
+        let mut na_errs = Vec::new();
+        let mut sa_errs = Vec::new();
+        let mut tpa_errs = Vec::new();
+        for &seed in &query_seeds(&d) {
+            let dec = decompose(&tr, &SeedSet::single(seed), &cfg, s, tt);
+            // Neighbor approximation: r̃_neighbor = scale · r_family.
+            let approx_neighbor: Vec<f64> = dec.family.iter().map(|&f| scale * f).collect();
+            na_errs.push(metrics::l1_error(&dec.neighbor, &approx_neighbor));
+            // Stranger approximation: r̃_stranger = p_stranger.
+            sa_errs.push(metrics::l1_error(&dec.stranger, &p_stranger));
+            // Full TPA vs exact.
+            let exact = dec.total();
+            let tpa: Vec<f64> = dec
+                .family
+                .iter()
+                .zip(&p_stranger)
+                .map(|(&f, &ps)| f + scale * f + ps)
+                .collect();
+            tpa_errs.push(metrics::l1_error(&exact, &tpa));
+        }
+
+        let na = Stats::from_samples(&na_errs).mean;
+        let sa = Stats::from_samples(&sa_errs).mean;
+        let tp = Stats::from_samples(&tpa_errs).mean;
+        let nb = bounds::neighbor_bound(cfg.c, s, tt);
+        let sb = bounds::stranger_bound(cfg.c, tt);
+        let tb = bounds::total_bound(cfg.c, s);
+        t.row(&[
+            key.into(),
+            format!("{nb:.4}"),
+            format!("{na:.4}"),
+            format!("{:.2}%", 100.0 * na / nb),
+            format!("{sb:.4}"),
+            format!("{sa:.4}"),
+            format!("{:.2}%", 100.0 * sa / sb),
+            format!("{tb:.4}"),
+            format!("{tp:.4}"),
+            format!("{:.2}%", 100.0 * tp / tb),
+        ]);
+    }
+
+    print!("{}", t.render());
+    t.write_csv(results_dir().join("table3_errors.csv")).unwrap();
+}

@@ -1,0 +1,281 @@
+//! Shared wiring for the per-figure experiment binaries: dataset loading,
+//! method construction with per-dataset parameters, the memory budget, and
+//! environment knobs.
+//!
+//! Environment variables:
+//! * `TPA_QUICK=1` — scale every dataset down 10× and use 5 query seeds
+//!   (fast smoke runs; the full run uses the paper's 30 seeds).
+//! * `TPA_SEEDS=<k>` — override the query-seed count.
+//! * `TPA_BUDGET_MB=<mb>` — override the preprocessing memory budget.
+//! * `TPA_RESULTS_DIR=<dir>` — where CSV artifacts go (default `results/`).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+use tpa_baselines::{
+    BePi, BePiConfig, BearApprox, BearConfig, Brppr, BrpprConfig, Fora, ForaConfig, ForaIndex,
+    ForwardPush, HubPpr, HubPprConfig, MemoryBudget, MonteCarlo, MonteCarloConfig, NbLin,
+    NbLinConfig, PowerIteration, PreprocessError, RwrMethod, Tpa,
+};
+use tpa_core::{CpiConfig, TpaParams};
+use tpa_datasets::Dataset;
+use tpa_eval::time;
+
+/// The paper's workstation memory cap (200 GB).
+pub const PAPER_BUDGET_BYTES: usize = 200 << 30;
+
+/// Preprocessing budget for one dataset: the paper's 200 GB cap scaled by
+/// the same factor the dataset itself was scaled by
+/// (`200 GB · nodes / original_nodes`), so "fits on the paper's machine"
+/// translates faithfully to the analog. `TPA_BUDGET_MB` overrides with an
+/// absolute cap.
+pub fn budget_for(d: &Dataset) -> MemoryBudget {
+    if let Some(mb) = std::env::var("TPA_BUDGET_MB").ok().and_then(|v| v.parse::<usize>().ok()) {
+        return MemoryBudget::bytes(mb << 20);
+    }
+    let scaled =
+        (PAPER_BUDGET_BYTES as f64 * d.spec.nodes as f64 / d.spec.original_nodes as f64) as usize;
+    MemoryBudget::bytes(scaled)
+}
+
+/// True when `TPA_QUICK=1`.
+pub fn quick() -> bool {
+    std::env::var("TPA_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Query seeds per dataset (paper: 30).
+pub fn seed_count() -> usize {
+    if let Some(k) = std::env::var("TPA_SEEDS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        return k;
+    }
+    if quick() {
+        5
+    } else {
+        tpa_eval::seeds::PAPER_SEED_COUNT
+    }
+}
+
+/// Results directory.
+pub fn results_dir() -> PathBuf {
+    std::env::var("TPA_RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Loads a dataset, honoring quick mode.
+pub fn load_dataset(key: &str) -> Dataset {
+    let spec = tpa_datasets::spec(key).unwrap_or_else(|| panic!("unknown dataset {key}"));
+    if quick() {
+        tpa_datasets::generate(&spec.scaled_down(10))
+    } else {
+        tpa_datasets::load(key)
+    }
+}
+
+/// Keys of all seven datasets in paper order.
+pub fn all_dataset_keys() -> Vec<&'static str> {
+    tpa_datasets::DATASETS.iter().map(|d| d.key).collect()
+}
+
+/// The methods of Fig. 1/7 in the paper's legend order.
+pub const FIG1_METHODS: [MethodKind; 6] = [
+    MethodKind::Tpa,
+    MethodKind::Brppr,
+    MethodKind::ForaPlus,
+    MethodKind::HubPpr,
+    MethodKind::BearApprox,
+    MethodKind::NbLin,
+];
+
+/// Identifier for each runnable method.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MethodKind {
+    /// TPA (the proposed method).
+    Tpa,
+    /// BRPPR (online-only).
+    Brppr,
+    /// FORA+ with its precomputed walk index.
+    ForaPlus,
+    /// FORA without the index.
+    Fora,
+    /// HubPPR with its hub index.
+    HubPpr,
+    /// BEAR-APPROX.
+    BearApprox,
+    /// NB-LIN.
+    NbLin,
+    /// BePI (exact; Fig. 10).
+    BePi,
+    /// Exact power iteration.
+    PowerIteration,
+    /// Plain Monte Carlo.
+    MonteCarlo,
+    /// Plain Forward Push.
+    ForwardPush,
+}
+
+impl MethodKind {
+    /// Display name matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MethodKind::Tpa => "TPA",
+            MethodKind::Brppr => "BRPPR",
+            MethodKind::ForaPlus | MethodKind::Fora => "FORA",
+            MethodKind::HubPpr => "HubPPR",
+            MethodKind::BearApprox => "BEAR_APPROX",
+            MethodKind::NbLin => "NB_LIN",
+            MethodKind::BePi => "BePI",
+            MethodKind::PowerIteration => "PowerIteration",
+            MethodKind::MonteCarlo => "MonteCarlo",
+            MethodKind::ForwardPush => "ForwardPush",
+        }
+    }
+}
+
+/// Outcome of constructing (≈ preprocessing) a method on a dataset.
+pub struct BuildOutcome {
+    /// Display label.
+    pub label: &'static str,
+    /// The ready-to-query method, unless preprocessing failed.
+    pub method: Option<Box<dyn RwrMethod>>,
+    /// Preprocessing wall-clock (None for online-only methods: their
+    /// "preprocessing" is a no-op and excluded from Fig. 1(a)/(b)).
+    pub preprocess: Option<Duration>,
+    /// Why preprocessing failed, if it did (OOM reproduces the paper's
+    /// omitted bars).
+    pub error: Option<PreprocessError>,
+}
+
+/// Builds a method on a dataset with the paper's per-dataset parameters.
+pub fn build_method(kind: MethodKind, d: &Dataset, budget: MemoryBudget) -> BuildOutcome {
+    let g = Arc::clone(&d.graph);
+    let label = kind.label();
+    match kind {
+        MethodKind::Tpa => {
+            let params = TpaParams::new(d.spec.s, d.spec.t);
+            let (res, dt) = time(|| Tpa::preprocess(g, params, budget));
+            wrap(label, res.map(boxed), Some(dt))
+        }
+        MethodKind::Brppr => BuildOutcome {
+            label,
+            method: Some(Box::new(Brppr::new(g, BrpprConfig::default()))),
+            preprocess: None,
+            error: None,
+        },
+        MethodKind::Fora => BuildOutcome {
+            label,
+            method: Some(Box::new(Fora::new(g, ForaConfig::default()))),
+            preprocess: None,
+            error: None,
+        },
+        MethodKind::ForaPlus => {
+            let (res, dt) = time(|| ForaIndex::preprocess(g, ForaConfig::default(), budget));
+            wrap(label, res.map(boxed), Some(dt))
+        }
+        MethodKind::HubPpr => {
+            let (res, dt) = time(|| HubPpr::preprocess(g, HubPprConfig::default(), budget));
+            wrap(label, res.map(boxed), Some(dt))
+        }
+        MethodKind::BearApprox => {
+            let (res, dt) = time(|| BearApprox::preprocess(g, BearConfig::default(), budget));
+            wrap(label, res.map(boxed), Some(dt))
+        }
+        MethodKind::NbLin => {
+            // NB-LIN needs rank growing with graph size for usable accuracy
+            // (it must span the community space); this is what drives its
+            // O(n·t) index out of memory on the large graphs in Fig. 1(a).
+            let rank = (d.graph.n() / 64).max(64);
+            let cfg = NbLinConfig { rank, ..Default::default() };
+            let (res, dt) = time(|| NbLin::preprocess(g, cfg, budget));
+            wrap(label, res.map(boxed), Some(dt))
+        }
+        MethodKind::BePi => {
+            let (res, dt) = time(|| BePi::preprocess(g, BePiConfig::default(), budget));
+            wrap(label, res.map(boxed), Some(dt))
+        }
+        MethodKind::PowerIteration => BuildOutcome {
+            label,
+            method: Some(Box::new(PowerIteration::new(g, CpiConfig::default()))),
+            preprocess: None,
+            error: None,
+        },
+        MethodKind::MonteCarlo => BuildOutcome {
+            label,
+            method: Some(Box::new(MonteCarlo::new(g, MonteCarloConfig::default()))),
+            preprocess: None,
+            error: None,
+        },
+        MethodKind::ForwardPush => BuildOutcome {
+            label,
+            method: Some(Box::new(ForwardPush::new(g, 0.15, 1e-6))),
+            preprocess: None,
+            error: None,
+        },
+    }
+}
+
+fn boxed<M: RwrMethod + 'static>(m: M) -> Box<dyn RwrMethod> {
+    Box::new(m)
+}
+
+fn wrap(
+    label: &'static str,
+    res: Result<Box<dyn RwrMethod>, PreprocessError>,
+    preprocess: Option<Duration>,
+) -> BuildOutcome {
+    match res {
+        Ok(m) => BuildOutcome { label, method: Some(m), preprocess, error: None },
+        Err(e) => BuildOutcome { label, method: None, preprocess: None, error: Some(e) },
+    }
+}
+
+/// Exact ground-truth RWR used to score every method (CPI to ε = 1e-9,
+/// equivalent to the paper's use of BePI as ground truth).
+pub fn ground_truth(d: &Dataset, seed: u32) -> Vec<f64> {
+    tpa_core::exact_rwr(&d.graph, seed, &CpiConfig::default())
+}
+
+/// Sampled query seeds for a dataset (paper: 30 random seeds).
+pub fn query_seeds(d: &Dataset) -> Vec<u32> {
+    tpa_eval::seeds::sample_seeds(d.graph.n(), seed_count(), 0xbead ^ d.spec.seed)
+}
+
+/// Formats an `Option<Duration>` in seconds for table cells.
+pub fn fmt_opt_secs(d: Option<Duration>) -> String {
+    match d {
+        Some(d) => format!("{:.4}", d.as_secs_f64()),
+        None => "-".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fig1_methods_build_on_tiny_dataset() {
+        let spec = tpa_datasets::spec("slashdot-s").unwrap();
+        let d = tpa_datasets::generate(&spec.scaled_down(20));
+        for kind in FIG1_METHODS {
+            let out = build_method(kind, &d, MemoryBudget::unlimited());
+            assert!(out.method.is_some(), "{} failed: {:?}", out.label, out.error);
+            let m = out.method.unwrap();
+            let scores = m.query(0);
+            assert_eq!(scores.len(), d.graph.n());
+        }
+    }
+
+    #[test]
+    fn ground_truth_is_normalized() {
+        let spec = tpa_datasets::spec("slashdot-s").unwrap();
+        let d = tpa_datasets::generate(&spec.scaled_down(20));
+        let r = ground_truth(&d, 3);
+        let total: f64 = r.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn query_seeds_deterministic_per_dataset() {
+        let spec = tpa_datasets::spec("slashdot-s").unwrap();
+        let d = tpa_datasets::generate(&spec.scaled_down(20));
+        assert_eq!(query_seeds(&d), query_seeds(&d));
+    }
+}

@@ -1,0 +1,9 @@
+//! # tpa-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5 for the
+//! index), plus criterion micro-benchmarks. All binaries write both an
+//! ASCII table to stdout and a CSV artifact under `results/`.
+
+#![warn(missing_docs)]
+
+pub mod harness;

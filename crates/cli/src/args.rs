@@ -1,0 +1,148 @@
+//! Minimal dependency-free argument parsing for the `tpa` CLI.
+//!
+//! Grammar: `tpa <subcommand> [--flag value]... [--switch]...`.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: the subcommand plus `--key value` options.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Args {
+    /// First positional token (the subcommand).
+    pub command: String,
+    /// `--key value` pairs. Bare switches map to `"true"`.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Parse failure with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Args {
+    /// Parses a token stream (excluding `argv[0]`).
+    pub fn parse(tokens: impl IntoIterator<Item = String>) -> Result<Args, ParseError> {
+        let mut it = tokens.into_iter().peekable();
+        let command = it
+            .next()
+            .ok_or_else(|| ParseError("missing subcommand; try `tpa help`".into()))?;
+        if command.starts_with("--") {
+            return Err(ParseError(format!("expected subcommand, found flag {command}")));
+        }
+        let mut options = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| ParseError(format!("unexpected positional argument {tok}")))?;
+            if key.is_empty() {
+                return Err(ParseError("empty flag name".into()));
+            }
+            // A flag is a switch if the next token is absent or another flag.
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().unwrap(),
+                _ => "true".to_string(),
+            };
+            if options.insert(key.to_string(), value).is_some() {
+                return Err(ParseError(format!("duplicate flag --{key}")));
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    /// Required string option.
+    pub fn required(&self, key: &str) -> Result<&str, ParseError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ParseError(format!("missing required flag --{key}")))
+    }
+
+    /// Optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Optional parsed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ParseError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| ParseError(format!("flag --{key}: cannot parse {raw:?}"))),
+        }
+    }
+
+    /// Boolean switch (present ⇒ true).
+    pub fn switch(&self, key: &str) -> bool {
+        self.options.get(key).map(|v| v == "true").unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let a = Args::parse(toks("query --graph g.bin --seed 42 --top 10")).unwrap();
+        assert_eq!(a.command, "query");
+        assert_eq!(a.required("graph").unwrap(), "g.bin");
+        assert_eq!(a.get_or::<u32>("seed", 0).unwrap(), 42);
+        assert_eq!(a.get_or::<usize>("top", 5).unwrap(), 10);
+    }
+
+    #[test]
+    fn switches_without_values() {
+        let a = Args::parse(toks("stats --graph g.bin --verbose")).unwrap();
+        assert!(a.switch("verbose"));
+        assert!(!a.switch("quiet"));
+    }
+
+    #[test]
+    fn switch_followed_by_flag() {
+        let a = Args::parse(toks("stats --verbose --graph g.bin")).unwrap();
+        assert!(a.switch("verbose"));
+        assert_eq!(a.required("graph").unwrap(), "g.bin");
+    }
+
+    #[test]
+    fn missing_subcommand_is_error() {
+        assert!(Args::parse(Vec::<String>::new()).is_err());
+        assert!(Args::parse(toks("--graph g.bin")).is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_is_error() {
+        assert!(Args::parse(toks("x --a 1 --a 2")).is_err());
+    }
+
+    #[test]
+    fn missing_required_is_reported() {
+        let a = Args::parse(toks("query --seed 1")).unwrap();
+        let err = a.required("graph").unwrap_err();
+        assert!(err.0.contains("--graph"));
+    }
+
+    #[test]
+    fn bad_number_is_reported() {
+        let a = Args::parse(toks("query --seed abc")).unwrap();
+        assert!(a.get_or::<u32>("seed", 0).is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(toks("query")).unwrap();
+        assert_eq!(a.get_or::<usize>("top", 7).unwrap(), 7);
+        assert_eq!(a.get("missing"), None);
+    }
+}

@@ -1,0 +1,327 @@
+//! Implementations of the `tpa` subcommands, separated from `main` for
+//! testability. Every command takes parsed [`Args`] and a writer for
+//! output, and returns a process exit code.
+
+use crate::args::Args;
+use std::io::Write;
+use std::path::Path;
+use tpa_core::{exact_rwr, CpiConfig, TpaIndex, TpaParams, Transition};
+use tpa_eval::metrics::top_k;
+use tpa_graph::{algo, io as gio, CsrGraph};
+
+/// Runs a subcommand; prints results to `out` and errors to stderr.
+pub fn run(args: &Args, out: &mut dyn Write) -> i32 {
+    let result = match args.command.as_str() {
+        "help" | "--help" | "-h" => {
+            let _ = writeln!(out, "{}", usage());
+            Ok(())
+        }
+        "generate" => cmd_generate(args, out),
+        "stats" => cmd_stats(args, out),
+        "preprocess" => cmd_preprocess(args, out),
+        "query" => cmd_query(args, out),
+        "exact" => cmd_exact(args, out),
+        "convert" => cmd_convert(args, out),
+        other => Err(format!("unknown subcommand {other:?}; try `tpa help`")),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            1
+        }
+    }
+}
+
+/// CLI usage text.
+pub fn usage() -> &'static str {
+    "tpa — Two-Phase Approximation for Random Walk with Restart
+
+USAGE: tpa <command> [flags]
+
+COMMANDS:
+  generate   --dataset <key> [--scale N] --out <file>
+             write a synthetic Table-II analog graph (binary snapshot)
+  convert    --in <edges.txt|snapshot> --out <file> [--format edges|snapshot]
+             convert between edge-list and snapshot formats
+  stats      --graph <file> [--cc-sample N]
+             print node/edge counts, degrees, components, reciprocity
+  preprocess --graph <file> --s <S> --t <T> --out <index.tpa>
+             run TPA's preprocessing phase and save the index
+  query      --graph <file> --index <index.tpa> --seed <node> [--top K]
+             approximate RWR scores for a seed (fast online phase)
+  exact      --graph <file> --seed <node> [--top K]
+             exact RWR via power iteration (ground truth)
+
+Dataset keys: slashdot-s google-s pokec-s livejournal-s wikilink-s
+              twitter-s friendster-s"
+}
+
+/// Loads a graph from either format (snapshot detected by magic).
+fn load_graph(path: &str) -> Result<CsrGraph, String> {
+    let p = Path::new(path);
+    let head = std::fs::read(p).map_err(|e| format!("{path}: {e}"))?;
+    if head.starts_with(b"TPAGRAF1") {
+        gio::read_snapshot(std::io::Cursor::new(head)).map_err(|e| format!("{path}: {e}"))
+    } else {
+        gio::read_edge_list(std::io::Cursor::new(head), None)
+            .map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn cmd_generate(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let key = args.required("dataset").map_err(|e| e.to_string())?;
+    let scale = args.get_or::<usize>("scale", 1).map_err(|e| e.to_string())?;
+    let path = args.required("out").map_err(|e| e.to_string())?;
+    let spec = tpa_datasets::spec(key).ok_or_else(|| format!("unknown dataset {key}"))?;
+    let spec = if scale > 1 { spec.scaled_down(scale) } else { *spec };
+    let d = tpa_datasets::generate(&spec);
+    gio::write_snapshot_file(&d.graph, path).map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "wrote {} ({} nodes, {} edges, S={}, T={})",
+        path,
+        d.graph.n(),
+        d.graph.m(),
+        spec.s,
+        spec.t
+    );
+    Ok(())
+}
+
+fn cmd_convert(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let input = args.required("in").map_err(|e| e.to_string())?;
+    let output = args.required("out").map_err(|e| e.to_string())?;
+    let format = args.get("format").unwrap_or("snapshot");
+    let g = load_graph(input)?;
+    match format {
+        "snapshot" => gio::write_snapshot_file(&g, output).map_err(|e| e.to_string())?,
+        "edges" => gio::write_edge_list_file(&g, output).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown --format {other}; use edges|snapshot")),
+    }
+    let _ = writeln!(out, "wrote {output} ({} nodes, {} edges)", g.n(), g.m());
+    Ok(())
+}
+
+fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let g = load_graph(args.required("graph").map_err(|e| e.to_string())?)?;
+    let cc_sample = args.get_or::<usize>("cc-sample", 500).map_err(|e| e.to_string())?;
+    let (_, wcc) = algo::weakly_connected_components(&g);
+    let (_, scc) = algo::strongly_connected_components(&g);
+    let hist = algo::degree_histogram(&g);
+    let max_deg = hist.len().saturating_sub(1);
+    let gamma = algo::power_law_exponent(&g, 4);
+    let _ = writeln!(out, "nodes                {}", g.n());
+    let _ = writeln!(out, "edges                {}", g.m());
+    let _ = writeln!(out, "avg out-degree       {:.3}", g.avg_degree());
+    let _ = writeln!(out, "max out-degree       {max_deg}");
+    let _ = writeln!(out, "dangling nodes       {}", g.dangling_nodes().len());
+    let _ = writeln!(out, "weakly connected     {wcc}");
+    let _ = writeln!(out, "strongly connected   {scc}");
+    let _ = writeln!(out, "reciprocity          {:.4}", algo::reciprocity(&g));
+    match gamma {
+        Some(v) => {
+            let _ = writeln!(out, "power-law exponent   {v:.2} (MLE, d>=4)");
+        }
+        None => {
+            let _ = writeln!(out, "power-law exponent   n/a");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "clustering coeff     {:.4} (sampled {})",
+        algo::clustering_coefficient(&g, cc_sample, 42),
+        cc_sample.min(g.n())
+    );
+    Ok(())
+}
+
+fn cmd_preprocess(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let g = load_graph(args.required("graph").map_err(|e| e.to_string())?)?;
+    let s = args.get_or::<usize>("s", 5).map_err(|e| e.to_string())?;
+    let t = args.get_or::<usize>("t", 10).map_err(|e| e.to_string())?;
+    let path = args.required("out").map_err(|e| e.to_string())?;
+    let params = TpaParams::new(s, t);
+    let (index, dt) = tpa_eval::time(|| TpaIndex::preprocess(&g, params));
+    let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    index.save(std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "preprocessed in {} — index {} → {}",
+        tpa_eval::format_secs(dt.as_secs_f64()),
+        tpa_eval::format_bytes(index.index_bytes()),
+        path
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let g = load_graph(args.required("graph").map_err(|e| e.to_string())?)?;
+    let index_path = args.required("index").map_err(|e| e.to_string())?;
+    let seed = args.get_or::<u32>("seed", 0).map_err(|e| e.to_string())?;
+    let top = args.get_or::<usize>("top", 10).map_err(|e| e.to_string())?;
+    if seed as usize >= g.n() {
+        return Err(format!("seed {seed} out of range (n = {})", g.n()));
+    }
+    let f = std::fs::File::open(index_path).map_err(|e| e.to_string())?;
+    let index = TpaIndex::load(std::io::BufReader::new(f)).map_err(|e| e.to_string())?;
+    if index.stranger().len() != g.n() {
+        return Err(format!(
+            "index is for a graph with {} nodes, this graph has {}",
+            index.stranger().len(),
+            g.n()
+        ));
+    }
+    let transition = Transition::new(&g);
+    let (scores, dt) = tpa_eval::time(|| index.query(&transition, seed));
+    let _ = writeln!(out, "query took {}", tpa_eval::format_secs(dt.as_secs_f64()));
+    print_ranking(out, &scores, top);
+    Ok(())
+}
+
+fn cmd_exact(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let g = load_graph(args.required("graph").map_err(|e| e.to_string())?)?;
+    let seed = args.get_or::<u32>("seed", 0).map_err(|e| e.to_string())?;
+    let top = args.get_or::<usize>("top", 10).map_err(|e| e.to_string())?;
+    if seed as usize >= g.n() {
+        return Err(format!("seed {seed} out of range (n = {})", g.n()));
+    }
+    let (scores, dt) = tpa_eval::time(|| exact_rwr(&g, seed, &CpiConfig::default()));
+    let _ = writeln!(out, "query took {}", tpa_eval::format_secs(dt.as_secs_f64()));
+    print_ranking(out, &scores, top);
+    Ok(())
+}
+
+fn print_ranking(out: &mut dyn Write, scores: &[f64], top: usize) {
+    let _ = writeln!(out, "rank  node        score");
+    for (rank, v) in top_k(scores, top).into_iter().enumerate() {
+        let _ = writeln!(out, "{:<5} {:<11} {:.8}", rank + 1, v, scores[v as usize]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn run_cmd(line: &str) -> (i32, String) {
+        let args =
+            Args::parse(line.split_whitespace().map(str::to_string)).expect("parse");
+        let mut buf = Vec::new();
+        let code = run(&args, &mut buf);
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("tpa-cli-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, text) = run_cmd("help");
+        assert_eq!(code, 0);
+        assert!(text.contains("preprocess"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        let (code, _) = run_cmd("frobnicate");
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn full_pipeline_generate_stats_preprocess_query() {
+        let d = tmpdir("pipeline");
+        let graph = d.join("g.bin");
+        let index = d.join("g.tpa");
+
+        let (code, text) = run_cmd(&format!(
+            "generate --dataset slashdot-s --scale 20 --out {}",
+            graph.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("nodes"));
+
+        let (code, text) = run_cmd(&format!("stats --graph {}", graph.display()));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("reciprocity"));
+        assert!(text.contains("strongly connected"));
+
+        let (code, text) = run_cmd(&format!(
+            "preprocess --graph {} --s 5 --t 10 --out {}",
+            graph.display(),
+            index.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+
+        let (code, text) = run_cmd(&format!(
+            "query --graph {} --index {} --seed 3 --top 5",
+            graph.display(),
+            index.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("rank"));
+
+        let (code, text) = run_cmd(&format!("exact --graph {} --seed 3", graph.display()));
+        assert_eq!(code, 0, "{text}");
+
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn convert_roundtrip() {
+        let d = tmpdir("convert");
+        let snap = d.join("c.bin");
+        let edges = d.join("c.txt");
+        let (code, _) = run_cmd(&format!(
+            "generate --dataset slashdot-s --scale 40 --out {}",
+            snap.display()
+        ));
+        assert_eq!(code, 0);
+        let (code, _) = run_cmd(&format!(
+            "convert --in {} --out {} --format edges",
+            snap.display(),
+            edges.display()
+        ));
+        assert_eq!(code, 0);
+        let g1 = load_graph(snap.to_str().unwrap()).unwrap();
+        let g2 = load_graph(edges.to_str().unwrap()).unwrap();
+        assert_eq!(g1, g2);
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn query_rejects_mismatched_index() {
+        let d = tmpdir("mismatch");
+        let g1 = d.join("a.bin");
+        let g2 = d.join("b.bin");
+        let idx = d.join("a.tpa");
+        run_cmd(&format!("generate --dataset slashdot-s --scale 40 --out {}", g1.display()));
+        run_cmd(&format!("generate --dataset slashdot-s --scale 20 --out {}", g2.display()));
+        run_cmd(&format!(
+            "preprocess --graph {} --s 5 --t 10 --out {}",
+            g1.display(),
+            idx.display()
+        ));
+        let (code, _) = run_cmd(&format!(
+            "query --graph {} --index {} --seed 0",
+            g2.display(),
+            idx.display()
+        ));
+        assert_eq!(code, 1);
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn seed_out_of_range_rejected() {
+        let d = tmpdir("range");
+        let graph = d.join("s.bin");
+        run_cmd(&format!("generate --dataset slashdot-s --scale 40 --out {}", graph.display()));
+        let (code, _) = run_cmd(&format!("exact --graph {} --seed 999999", graph.display()));
+        assert_eq!(code, 1);
+        let _ = std::fs::remove_dir_all(d);
+    }
+}

@@ -1,0 +1,24 @@
+//! `tpa` — command-line interface for the TPA reproduction.
+//!
+//! ```text
+//! tpa generate --dataset slashdot-s --out g.bin
+//! tpa stats --graph g.bin
+//! tpa preprocess --graph g.bin --s 5 --t 15 --out g.tpa
+//! tpa query --graph g.bin --index g.tpa --seed 42 --top 10
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::Args::parse(tokens) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    std::process::exit(commands::run(&parsed, &mut stdout));
+}

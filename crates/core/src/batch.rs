@@ -1,0 +1,203 @@
+//! Batched multi-seed queries.
+//!
+//! Serving scenarios ("Who to Follow" for every active user) issue many
+//! RWR queries against one graph. Propagating a *block* of B score vectors
+//! in one sweep turns B random-access passes over the in-edges into one:
+//! each edge is read once per iteration and updates B lanes contiguously.
+//! Results are bitwise identical to B independent queries.
+
+use crate::{Transition, TpaIndex};
+use tpa_graph::NodeId;
+
+/// A block of `B` interleaved score vectors (`lane j` of node `v` lives at
+/// `v·B + j`).
+pub struct ScoreBlock {
+    n: usize,
+    lanes: usize,
+    data: Vec<f64>,
+}
+
+impl ScoreBlock {
+    /// Zeroed block for `n` nodes × `lanes` vectors.
+    pub fn zeros(n: usize, lanes: usize) -> Self {
+        Self { n, lanes, data: vec![0.0; n * lanes] }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Extracts lane `j` as an ordinary vector.
+    pub fn lane(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.lanes);
+        (0..self.n).map(|v| self.data[v * self.lanes + j]).collect()
+    }
+
+    #[inline]
+    fn row(&self, v: usize) -> &[f64] {
+        &self.data[v * self.lanes..(v + 1) * self.lanes]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, v: usize) -> &mut [f64] {
+        &mut self.data[v * self.lanes..(v + 1) * self.lanes]
+    }
+}
+
+/// One batched propagation step `Y ← coeff·Ãᵀ·X` over all lanes.
+pub fn propagate_block(t: &Transition<'_>, coeff: f64, x: &ScoreBlock, y: &mut ScoreBlock) {
+    let n = t.n();
+    assert_eq!(x.n, n);
+    assert_eq!(y.n, n);
+    assert_eq!(x.lanes, y.lanes);
+    let inv = t.inv_out_degrees();
+    let graph = t.graph();
+    for v in 0..n as NodeId {
+        let yrow = y.row_mut(v as usize);
+        yrow.iter_mut().for_each(|e| *e = 0.0);
+        for &u in graph.in_neighbors(v) {
+            let w = inv[u as usize];
+            if w == 0.0 {
+                continue;
+            }
+            let xrow = x.row(u as usize);
+            for (yj, xj) in yrow.iter_mut().zip(xrow) {
+                *yj += xj * w;
+            }
+        }
+        for e in yrow.iter_mut() {
+            *e *= coeff;
+        }
+    }
+}
+
+/// Batched CPI over a window (one lane per seed); mirrors [`crate::cpi`]
+/// but shares every edge traversal across the batch.
+pub fn cpi_batch(
+    t: &Transition<'_>,
+    seeds: &[NodeId],
+    cfg: &crate::CpiConfig,
+    start: usize,
+    end: Option<usize>,
+) -> ScoreBlock {
+    cfg.validate();
+    let n = t.n();
+    let lanes = seeds.len();
+    assert!(lanes > 0, "need at least one seed");
+    let mut x = ScoreBlock::zeros(n, lanes);
+    for (j, &s) in seeds.iter().enumerate() {
+        assert!((s as usize) < n, "seed {s} out of range");
+        x.data[s as usize * lanes + j] = cfg.c;
+    }
+    let mut next = ScoreBlock::zeros(n, lanes);
+    let mut acc = ScoreBlock::zeros(n, lanes);
+
+    if start == 0 {
+        for (a, b) in acc.data.iter_mut().zip(&x.data) {
+            *a += b;
+        }
+    }
+    let hard_end = end.unwrap_or(usize::MAX);
+    let mut i = 0usize;
+    // All lanes share ‖x(i)‖₁ = c(1−c)^i, so one residual drives them all.
+    let mut residual: f64 = x.data.iter().map(|v| v.abs()).sum::<f64>() / lanes as f64;
+    while residual >= cfg.eps && i < hard_end && i < cfg.max_iters {
+        i += 1;
+        propagate_block(t, 1.0 - cfg.c, &x, &mut next);
+        std::mem::swap(&mut x.data, &mut next.data);
+        if i >= start {
+            for (a, b) in acc.data.iter_mut().zip(&x.data) {
+                *a += b;
+            }
+        }
+        residual = x.data.iter().map(|v| v.abs()).sum::<f64>() / lanes as f64;
+    }
+    acc
+}
+
+impl TpaIndex {
+    /// **Algorithm 3, batched**: answers every seed in one family-sweep.
+    /// Bitwise identical to calling [`TpaIndex::query`] per seed, with one
+    /// edge pass per CPI iteration instead of `seeds.len()`.
+    pub fn query_batch(&self, t: &Transition<'_>, seeds: &[NodeId]) -> Vec<Vec<f64>> {
+        assert_eq!(t.n(), self.stranger().len(), "index/graph mismatch");
+        let params = *self.params();
+        let family = cpi_batch(t, seeds, &params.cpi_config(), 0, Some(params.s - 1));
+        let scale = params.neighbor_scale();
+        (0..seeds.len())
+            .map(|j| {
+                let mut lane = family.lane(j);
+                for (r, &st) in lane.iter_mut().zip(self.stranger()) {
+                    *r += scale * *r + st;
+                }
+                lane
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cpi, CpiConfig, SeedSet, TpaParams};
+    use tpa_graph::gen::{lfr_lite, LfrConfig};
+    use tpa_graph::CsrGraph;
+
+    fn test_graph() -> CsrGraph {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(97);
+        lfr_lite(LfrConfig { n: 300, m: 2400, ..Default::default() }, &mut rng).graph
+    }
+
+    #[test]
+    fn batch_cpi_matches_individual_runs() {
+        let g = test_graph();
+        let t = Transition::new(&g);
+        let cfg = CpiConfig::default();
+        let seeds = [3u32, 100, 250];
+        let block = cpi_batch(&t, &seeds, &cfg, 0, Some(6));
+        for (j, &s) in seeds.iter().enumerate() {
+            let single = cpi(&t, &SeedSet::single(s), &cfg, 0, Some(6)).scores;
+            assert_eq!(block.lane(j), single, "lane {j}");
+        }
+    }
+
+    #[test]
+    fn batch_query_matches_single_queries() {
+        let g = test_graph();
+        let t = Transition::new(&g);
+        let index = TpaIndex::preprocess(&g, TpaParams::new(5, 10));
+        let seeds = [0u32, 7, 42, 299];
+        let batch = index.query_batch(&t, &seeds);
+        for (j, &s) in seeds.iter().enumerate() {
+            assert_eq!(batch[j], index.query(&t, s), "seed {s}");
+        }
+    }
+
+    #[test]
+    fn single_lane_batch_equals_plain_query() {
+        let g = test_graph();
+        let t = Transition::new(&g);
+        let index = TpaIndex::preprocess(&g, TpaParams::new(4, 9));
+        assert_eq!(index.query_batch(&t, &[11])[0], index.query(&t, 11));
+    }
+
+    #[test]
+    fn lane_extraction_roundtrip() {
+        let mut b = ScoreBlock::zeros(4, 3);
+        b.data[1 * 3 + 2] = 5.0;
+        b.data[3 * 3 + 0] = 7.0;
+        assert_eq!(b.lane(2), vec![0.0, 5.0, 0.0, 0.0]);
+        assert_eq!(b.lane(0), vec![0.0, 0.0, 0.0, 7.0]);
+        assert_eq!(b.lanes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn rejects_empty_batch() {
+        let g = test_graph();
+        let t = Transition::new(&g);
+        cpi_batch(&t, &[], &CpiConfig::default(), 0, None);
+    }
+}

@@ -1,0 +1,94 @@
+//! Closed-form accuracy bounds for TPA (paper Lemmas 1–3, Theorem 2).
+//!
+//! All bounds are on the L1 norm of the error of the corresponding part.
+//! Table III compares them against measured errors; the measured values
+//! sit far below these bounds on block-structured graphs.
+
+/// Lemma 1: `‖r_stranger − r̃_stranger‖₁ ≤ 2(1−c)^T`.
+///
+/// ```
+/// // The paper's Slashdot setting (c = 0.15, T = 15):
+/// let b = tpa_core::bounds::stranger_bound(0.15, 15);
+/// assert!((b - 0.1747).abs() < 5e-4);
+/// ```
+pub fn stranger_bound(c: f64, t: usize) -> f64 {
+    2.0 * (1.0 - c).powi(t as i32)
+}
+
+/// Lemma 3: `‖r_neighbor − r̃_neighbor‖₁ ≤ 2(1−c)^S − 2(1−c)^T`.
+pub fn neighbor_bound(c: f64, s: usize, t: usize) -> f64 {
+    assert!(s <= t, "S must not exceed T");
+    2.0 * (1.0 - c).powi(s as i32) - 2.0 * (1.0 - c).powi(t as i32)
+}
+
+/// Theorem 2: `‖r_CPI − r_TPA‖₁ ≤ 2(1−c)^S`.
+///
+/// ```
+/// // Larger S tightens the bound geometrically:
+/// use tpa_core::bounds::total_bound;
+/// assert!(total_bound(0.15, 10) < total_bound(0.15, 5));
+/// assert!((total_bound(0.15, 5) - 0.8874).abs() < 5e-4); // paper Table III
+/// ```
+pub fn total_bound(c: f64, s: usize) -> f64 {
+    2.0 * (1.0 - c).powi(s as i32)
+}
+
+/// Smallest `S` whose Theorem-2 bound is below `target` — a principled way
+/// to pick the online-phase budget for a desired worst-case accuracy.
+pub fn min_s_for_error(c: f64, target: f64) -> usize {
+    assert!(target > 0.0 && target < 2.0);
+    let s = ((target / 2.0).ln() / (1.0 - c).ln()).ceil();
+    (s as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_compose() {
+        // neighbor + stranger bounds must sum to the total bound.
+        let (c, s, t) = (0.15, 5, 10);
+        let sum = neighbor_bound(c, s, t) + stranger_bound(c, t);
+        assert!((sum - total_bound(c, s)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn paper_table3_bound_values() {
+        // Table III, S=5, T=15 (Slashdot row): NA bound 0.7127, SA 0.1747,
+        // total 0.8874.
+        let c = 0.15;
+        assert!((neighbor_bound(c, 5, 15) - 0.7127).abs() < 5e-4);
+        assert!((stranger_bound(c, 15) - 0.1747).abs() < 5e-4);
+        assert!((total_bound(c, 5) - 0.8874).abs() < 5e-4);
+    }
+
+    #[test]
+    fn paper_table3_twitter_row() {
+        // Twitter: S=4, T=6 → NA 0.2897, SA 0.7543, total 1.0440.
+        let c = 0.15;
+        assert!((neighbor_bound(c, 4, 6) - 0.2897).abs() < 5e-4);
+        assert!((stranger_bound(c, 6) - 0.7543).abs() < 5e-4);
+        assert!((total_bound(c, 4) - 1.0440).abs() < 5e-4);
+    }
+
+    #[test]
+    fn bounds_monotone_in_s() {
+        for s in 1..20 {
+            assert!(total_bound(0.15, s + 1) < total_bound(0.15, s));
+        }
+    }
+
+    #[test]
+    fn min_s_inverts_total_bound() {
+        for s in 2..20 {
+            let bound = total_bound(0.15, s);
+            assert_eq!(min_s_for_error(0.15, bound * 1.0000001), s);
+        }
+    }
+
+    #[test]
+    fn stranger_bound_vanishes_for_large_t() {
+        assert!(stranger_bound(0.15, 200) < 1e-13);
+    }
+}

@@ -1,0 +1,283 @@
+//! Cumulative Power Iteration (CPI) — Algorithm 1 of the paper.
+//!
+//! CPI interprets RWR as score propagation: `x(0) = c·q`, then
+//! `x(i) = (1−c)·Ãᵀ·x(i−1)`, and the RWR vector is the cumulative sum
+//! `r = Σᵢ x(i)`. The `start`/`end` iteration window is what TPA uses to
+//! split the sum into family / neighbor / stranger parts.
+
+use crate::{Propagator, SeedSet};
+
+/// Shared CPI parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CpiConfig {
+    /// Restart probability `c` (the paper uses 0.15 throughout).
+    pub c: f64,
+    /// Convergence tolerance ε: iteration stops once `‖x(i)‖₁ < ε`.
+    pub eps: f64,
+    /// Safety cap on iterations (the geometric decay normally stops the
+    /// loop long before).
+    pub max_iters: usize,
+}
+
+impl Default for CpiConfig {
+    fn default() -> Self {
+        Self { c: 0.15, eps: 1e-9, max_iters: 1000 }
+    }
+}
+
+impl CpiConfig {
+    /// Config with a custom restart probability.
+    pub fn with_c(c: f64) -> Self {
+        Self { c, ..Self::default() }
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) {
+        assert!(self.c > 0.0 && self.c < 1.0, "restart probability must be in (0,1)");
+        assert!(self.eps > 0.0, "tolerance must be positive");
+        assert!(self.max_iters >= 1);
+    }
+
+    /// Number of iterations CPI needs to converge:
+    /// `log_{1−c}(ε/c)` (paper, Lemma 4).
+    pub fn iterations_to_converge(&self) -> usize {
+        ((self.eps / self.c).ln() / (1.0 - self.c).ln()).ceil().max(1.0) as usize
+    }
+}
+
+/// Result of a CPI run.
+#[derive(Clone, Debug)]
+pub struct CpiResult {
+    /// Accumulated score vector (the sum of `x(i)` over the window).
+    pub scores: Vec<f64>,
+    /// Index of the last iteration whose interim vector was computed.
+    pub last_iteration: usize,
+    /// `‖x(last)‖₁` at exit.
+    pub final_residual: f64,
+    /// True if the ε-criterion (not the window end or iteration cap)
+    /// terminated the run.
+    pub converged: bool,
+}
+
+/// Runs CPI accumulating `x(i)` for `start ≤ i ≤ end` (`end = None` ⇒ run
+/// to convergence). This is Algorithm 1 with `siter = start`,
+/// `titer = end`.
+///
+/// Iteration 0 is the seed vector `x(0) = c·q` itself; it is accumulated
+/// when `start == 0`, matching the series `r = Σ_{i≥0} x(i)`.
+pub fn cpi<P: Propagator + ?Sized>(
+    transition: &P,
+    seeds: &SeedSet,
+    cfg: &CpiConfig,
+    start: usize,
+    end: Option<usize>,
+) -> CpiResult {
+    cpi_trace(transition, seeds, cfg, start, end, |_, _| {})
+}
+
+/// [`cpi`] with a per-iteration callback receiving `(i, x(i))` for every
+/// interim vector computed — the hook the decomposition experiments
+/// (Table III, Fig. 9) use to capture the family/neighbor/stranger split.
+pub fn cpi_trace<P: Propagator + ?Sized>(
+    transition: &P,
+    seeds: &SeedSet,
+    cfg: &CpiConfig,
+    start: usize,
+    end: Option<usize>,
+    mut on_iteration: impl FnMut(usize, &[f64]),
+) -> CpiResult {
+    cfg.validate();
+    if let Some(e) = end {
+        assert!(start <= e, "empty CPI window: start {start} > end {e}");
+    }
+    let n = transition.n();
+    let mut x = vec![0.0f64; n];
+    seeds.fill_seed_vector(cfg.c, &mut x);
+    let mut next = vec![0.0f64; n];
+    let mut scores = vec![0.0f64; n];
+
+    on_iteration(0, &x);
+    if start == 0 {
+        add_assign(&mut scores, &x);
+    }
+
+    let mut i = 0usize;
+    let mut residual = l1(&x);
+    let mut converged = residual < cfg.eps;
+    let hard_end = end.unwrap_or(usize::MAX);
+
+    while !converged && i < hard_end && i < cfg.max_iters {
+        i += 1;
+        transition.propagate_into(1.0 - cfg.c, &x, &mut next);
+        std::mem::swap(&mut x, &mut next);
+        on_iteration(i, &x);
+        if i >= start {
+            add_assign(&mut scores, &x);
+        }
+        residual = l1(&x);
+        if residual < cfg.eps {
+            converged = true;
+        }
+    }
+
+    CpiResult { scores, last_iteration: i, final_residual: residual, converged }
+}
+
+#[inline]
+fn add_assign(acc: &mut [f64], x: &[f64]) {
+    for (a, b) in acc.iter_mut().zip(x) {
+        *a += b;
+    }
+}
+
+#[inline]
+fn l1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Transition;
+    use tpa_graph::gen::{complete_graph, cycle_graph};
+    use tpa_graph::CsrGraph;
+
+    fn l1_dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    #[test]
+    fn full_window_sums_to_one() {
+        // Mass conservation: Σ r = Σᵢ c(1−c)ⁱ = 1 at convergence.
+        let g = cycle_graph(10);
+        let t = Transition::new(&g);
+        let r = cpi(&t, &SeedSet::single(0), &CpiConfig::default(), 0, None);
+        assert!(r.converged);
+        let total: f64 = r.scores.iter().sum();
+        assert!((total - 1.0).abs() < 1e-7, "total {total}");
+    }
+
+    #[test]
+    fn satisfies_steady_state_equation() {
+        // Theorem 1: r = (1−c)·Ãᵀ·r + c·q.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 0), (0, 2)]);
+        let t = Transition::new(&g);
+        let cfg = CpiConfig { eps: 1e-12, ..Default::default() };
+        let r = cpi(&t, &SeedSet::single(0), &cfg, 0, None);
+        let mut rhs = vec![0.0; 4];
+        t.propagate_into(1.0 - cfg.c, &r.scores, &mut rhs);
+        rhs[0] += cfg.c;
+        assert!(l1_dist(&r.scores, &rhs) < 1e-9);
+    }
+
+    #[test]
+    fn window_split_equals_full_run() {
+        // family(0..=s−1) + rest(s..) must equal the full sum.
+        let g = complete_graph(8);
+        let t = Transition::new(&g);
+        let cfg = CpiConfig::default();
+        let seeds = SeedSet::single(3);
+        let full = cpi(&t, &seeds, &cfg, 0, None);
+        let s = 4;
+        let family = cpi(&t, &seeds, &cfg, 0, Some(s - 1));
+        let rest = cpi(&t, &seeds, &cfg, s, None);
+        let merged: Vec<f64> = family
+            .scores
+            .iter()
+            .zip(&rest.scores)
+            .map(|(a, b)| a + b)
+            .collect();
+        assert!(l1_dist(&full.scores, &merged) < 1e-9);
+    }
+
+    #[test]
+    fn family_mass_matches_lemma2() {
+        // ‖r_family‖₁ = 1 − (1−c)^S (Lemma 2) on a dangling-free graph.
+        let g = cycle_graph(6);
+        let t = Transition::new(&g);
+        let cfg = CpiConfig::default();
+        for s in [1usize, 3, 5] {
+            let fam = cpi(&t, &SeedSet::single(2), &cfg, 0, Some(s - 1));
+            let want = 1.0 - (1.0 - cfg.c).powi(s as i32);
+            let got: f64 = fam.scores.iter().sum();
+            assert!((got - want).abs() < 1e-12, "S={s}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn interim_norm_is_geometric() {
+        // ‖x(i)‖₁ = c(1−c)ⁱ exactly (column-stochastic case).
+        let g = cycle_graph(5);
+        let t = Transition::new(&g);
+        let cfg = CpiConfig::default();
+        let mut norms = Vec::new();
+        cpi_trace(&t, &SeedSet::single(0), &cfg, 0, Some(10), |_, x| {
+            norms.push(x.iter().sum::<f64>());
+        });
+        for (i, &norm) in norms.iter().enumerate() {
+            let want = cfg.c * (1.0 - cfg.c).powi(i as i32);
+            assert!((norm - want).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn callback_sees_every_iteration() {
+        let g = cycle_graph(4);
+        let t = Transition::new(&g);
+        let mut seen = Vec::new();
+        cpi_trace(
+            &t,
+            &SeedSet::single(0),
+            &CpiConfig::default(),
+            0,
+            Some(5),
+            |i, _| seen.push(i),
+        );
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn multi_seed_splits_initial_mass() {
+        let g = cycle_graph(4);
+        let t = Transition::new(&g);
+        let cfg = CpiConfig::default();
+        let r = cpi(&t, &SeedSet::set(vec![0, 2]), &cfg, 0, Some(0));
+        assert_eq!(r.scores[0], cfg.c / 2.0);
+        assert_eq!(r.scores[2], cfg.c / 2.0);
+        assert_eq!(r.scores[1], 0.0);
+    }
+
+    #[test]
+    fn uniform_seed_is_pagerank_start() {
+        let g = cycle_graph(4);
+        let t = Transition::new(&g);
+        let cfg = CpiConfig::default();
+        let r = cpi(&t, &SeedSet::Uniform, &cfg, 0, Some(0));
+        for &v in &r.scores {
+            assert!((v - cfg.c / 4.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn iterations_to_converge_formula() {
+        let cfg = CpiConfig::default();
+        let predicted = cfg.iterations_to_converge();
+        let g = cycle_graph(7);
+        let t = Transition::new(&g);
+        let r = cpi(&t, &SeedSet::single(0), &cfg, 0, None);
+        // Within ±2 iterations of the closed form.
+        assert!(
+            (r.last_iteration as i64 - predicted as i64).abs() <= 2,
+            "ran {} predicted {predicted}",
+            r.last_iteration
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty CPI window")]
+    fn rejects_inverted_window() {
+        let g = cycle_graph(3);
+        let t = Transition::new(&g);
+        cpi(&t, &SeedSet::single(0), &CpiConfig::default(), 5, Some(2));
+    }
+}

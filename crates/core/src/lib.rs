@@ -1,0 +1,59 @@
+//! # tpa-core — TPA: Two-Phase Approximation for RWR
+//!
+//! Reproduction of *"TPA: Fast, Scalable, and Accurate Method for
+//! Approximate Random Walk with Restart on Billion Scale Graphs"*
+//! (Yoon, Jung & Kang, ICDE 2018).
+//!
+//! The crate implements the paper's computational model and contribution:
+//!
+//! * [`Transition`] — the row-normalized transition operator `Ãᵀ`.
+//! * [`cpi`] / [`cpi_trace`] — **Algorithm 1**, Cumulative Power Iteration,
+//!   with the `siter`/`titer` window TPA splits on.
+//! * [`pagerank`], [`exact_rwr`], [`personalized_pagerank`] — CPI
+//!   instances differing only in the seed vector.
+//! * [`TpaIndex::preprocess`] — **Algorithm 2**, the stranger
+//!   approximation (seed-independent PageRank tail, precomputed once).
+//! * [`TpaIndex::query`] — **Algorithm 3**, the online phase: exact family
+//!   part + rescaled neighbor estimate + precomputed stranger part.
+//! * [`bounds`] — Lemmas 1–3 and Theorem 2 in closed form.
+//! * [`decompose`] — exact part-wise decomposition used by the accuracy
+//!   experiments (Table III, Fig. 9).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tpa_core::{TpaIndex, TpaParams, Transition};
+//! use tpa_graph::gen::star_graph;
+//!
+//! let graph = star_graph(100);
+//! // One-time preprocessing (stranger approximation).
+//! let index = TpaIndex::preprocess(&graph, TpaParams::new(5, 10));
+//! // Fast online query for any seed.
+//! let transition = Transition::new(&graph);
+//! let scores = index.query(&transition, 42);
+//! assert_eq!(scores.len(), 100);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod bounds;
+mod cpi;
+mod decompose;
+pub mod offcore;
+mod pagerank;
+mod parallel;
+pub mod params;
+mod seeds;
+mod tpa;
+mod transition;
+mod weighted;
+
+pub use cpi::{cpi, cpi_trace, CpiConfig, CpiResult};
+pub use decompose::{decompose, Decomposition};
+pub use pagerank::{exact_rwr, pagerank, pagerank_window, personalized_pagerank};
+pub use seeds::SeedSet;
+pub use tpa::{PreprocessStats, TpaIndex, TpaParams, TpaParts};
+pub use parallel::ParallelTransition;
+pub use transition::{Propagator, Transition};
+pub use weighted::WeightedTransition;

@@ -1,0 +1,220 @@
+//! Out-of-core (disk-based) RWR — the extension the paper's conclusion
+//! names as future work: *"extending TPA into a disk-based RWR method to
+//! handle huge, disk-resident graphs."*
+//!
+//! The CPI kernel only needs one sequential sweep over the edges per
+//! iteration, plus two `O(n)` score vectors. [`DiskGraph`] therefore keeps
+//! nothing but the out-degree array in memory and streams
+//! destination-sorted edge records from disk on every propagation. Any CPI
+//! consumer ([`crate::cpi`], [`crate::TpaIndex`] via
+//! [`crate::TpaIndex::preprocess_on`]) runs unchanged on top of it through the
+//! [`Propagator`] trait.
+
+use crate::Propagator;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use tpa_graph::{CsrGraph, NodeId};
+
+/// Magic prefix of the on-disk edge-stream format.
+const MAGIC: &[u8; 8] = b"TPADISK1";
+/// Edges per read chunk (64 Ki edges × 8 B = 512 KiB buffers).
+const CHUNK_EDGES: usize = 64 * 1024;
+
+/// A graph resident on disk: `O(n)` memory (degree array), edges streamed
+/// per propagation pass.
+pub struct DiskGraph {
+    path: PathBuf,
+    n: usize,
+    m: usize,
+    inv_out_deg: Vec<f64>,
+}
+
+impl DiskGraph {
+    /// Converts an in-memory graph into the streaming format. Edges are
+    /// written sorted by destination (gather order).
+    pub fn create(graph: &CsrGraph, path: impl AsRef<Path>) -> io::Result<DiskGraph> {
+        let path = path.as_ref().to_path_buf();
+        let mut w = BufWriter::new(File::create(&path)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&(graph.n() as u64).to_le_bytes())?;
+        w.write_all(&(graph.m() as u64).to_le_bytes())?;
+        for v in 0..graph.n() as NodeId {
+            w.write_all(&(graph.out_degree(v) as u32).to_le_bytes())?;
+        }
+        // Destination-major order: iterate the transpose.
+        for v in 0..graph.n() as NodeId {
+            for &u in graph.in_neighbors(v) {
+                w.write_all(&u.to_le_bytes())?;
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        w.flush()?;
+        drop(w);
+        Self::open(path)
+    }
+
+    /// Opens an existing disk graph, loading only the degree array.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<DiskGraph> {
+        let path = path.as_ref().to_path_buf();
+        let mut r = BufReader::new(File::open(&path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad disk-graph magic"));
+        }
+        let mut u64buf = [0u8; 8];
+        r.read_exact(&mut u64buf)?;
+        let n = u64::from_le_bytes(u64buf) as usize;
+        r.read_exact(&mut u64buf)?;
+        let m = u64::from_le_bytes(u64buf) as usize;
+        let mut inv_out_deg = Vec::with_capacity(n);
+        let mut u32buf = [0u8; 4];
+        for _ in 0..n {
+            r.read_exact(&mut u32buf)?;
+            let d = u32::from_le_bytes(u32buf);
+            inv_out_deg.push(if d == 0 { 0.0 } else { 1.0 / d as f64 });
+        }
+        Ok(DiskGraph { path, n, m, inv_out_deg })
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (on disk).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// In-memory footprint: the degree array only.
+    pub fn memory_bytes(&self) -> usize {
+        self.inv_out_deg.len() * 8
+    }
+
+    /// One streaming propagation pass; I/O errors are returned.
+    pub fn try_propagate_into(&self, coeff: f64, x: &[f64], y: &mut [f64]) -> io::Result<()> {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        y.iter_mut().for_each(|v| *v = 0.0);
+        let mut r = BufReader::with_capacity(1 << 20, File::open(&self.path)?);
+        // Skip header + degree array.
+        let header = 8 + 8 + 8 + 4 * self.n as u64;
+        io::copy(&mut (&mut r).take(header), &mut io::sink())?;
+
+        let mut buf = vec![0u8; CHUNK_EDGES * 8];
+        let mut remaining = self.m;
+        while remaining > 0 {
+            let take = remaining.min(CHUNK_EDGES);
+            let bytes = take * 8;
+            r.read_exact(&mut buf[..bytes])?;
+            for rec in buf[..bytes].chunks_exact(8) {
+                let u = u32::from_le_bytes(rec[0..4].try_into().unwrap()) as usize;
+                let v = u32::from_le_bytes(rec[4..8].try_into().unwrap()) as usize;
+                y[v] += x[u] * self.inv_out_deg[u];
+            }
+            remaining -= take;
+        }
+        for v in y.iter_mut() {
+            *v *= coeff;
+        }
+        Ok(())
+    }
+}
+
+impl Propagator for DiskGraph {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Streaming propagation. I/O failure mid-pass is unrecoverable for the
+    /// caller (the score vectors are torn), so it panics; use
+    /// [`DiskGraph::try_propagate_into`] to handle errors explicitly.
+    fn propagate_into(&self, coeff: f64, x: &[f64], y: &mut [f64]) {
+        self.try_propagate_into(coeff, x, y).expect("disk graph I/O failed mid-propagation");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cpi, exact_rwr, CpiConfig, SeedSet, TpaIndex, TpaParams, Transition};
+    use tpa_graph::gen::{lfr_lite, LfrConfig};
+
+    fn l1_dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tpa-offcore-{name}-{}", std::process::id()))
+    }
+
+    fn test_graph() -> CsrGraph {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(53);
+        lfr_lite(LfrConfig { n: 300, m: 2400, ..Default::default() }, &mut rng).graph
+    }
+
+    #[test]
+    fn propagation_matches_in_memory() {
+        let g = test_graph();
+        let path = tmp("prop");
+        let disk = DiskGraph::create(&g, &path).unwrap();
+        let t = Transition::new(&g);
+        let x: Vec<f64> = (0..g.n()).map(|i| (i % 7) as f64 / g.n() as f64).collect();
+        let mut y_mem = vec![0.0; g.n()];
+        let mut y_disk = vec![0.0; g.n()];
+        t.propagate_into(0.85, &x, &mut y_mem);
+        disk.try_propagate_into(0.85, &x, &mut y_disk).unwrap();
+        assert!(l1_dist(&y_mem, &y_disk) < 1e-12);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn cpi_runs_out_of_core() {
+        let g = test_graph();
+        let path = tmp("cpi");
+        let disk = DiskGraph::create(&g, &path).unwrap();
+        let cfg = CpiConfig::default();
+        let on_disk = cpi(&disk, &SeedSet::single(11), &cfg, 0, None).scores;
+        let in_mem = exact_rwr(&g, 11, &cfg);
+        assert!(l1_dist(&on_disk, &in_mem) < 1e-12);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn tpa_preprocess_and_query_out_of_core() {
+        let g = test_graph();
+        let path = tmp("tpa");
+        let disk = DiskGraph::create(&g, &path).unwrap();
+        let params = TpaParams::new(5, 10);
+        let on_disk = TpaIndex::preprocess_on(&disk, params);
+        let in_mem = TpaIndex::preprocess(&g, params);
+        assert!(l1_dist(on_disk.stranger(), in_mem.stranger()) < 1e-12);
+        let q_disk = on_disk.query_on(&disk, &SeedSet::single(3));
+        let t = Transition::new(&g);
+        let q_mem = in_mem.query(&t, 3);
+        assert!(l1_dist(&q_disk, &q_mem) < 1e-12);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn memory_footprint_is_o_n() {
+        let g = test_graph();
+        let path = tmp("mem");
+        let disk = DiskGraph::create(&g, &path).unwrap();
+        assert_eq!(disk.memory_bytes(), g.n() * 8);
+        assert_eq!(disk.n(), g.n());
+        assert_eq!(disk.m(), g.m());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a disk graph").unwrap();
+        assert!(DiskGraph::open(&path).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,112 @@
+//! PageRank and exact RWR as CPI instances (paper §II).
+
+use crate::{cpi, CpiConfig, CpiResult, SeedSet, Transition};
+use tpa_graph::{CsrGraph, NodeId};
+
+/// Global PageRank via CPI with the uniform seed (`q = 1/n·1`).
+pub fn pagerank(graph: &CsrGraph, cfg: &CpiConfig) -> Vec<f64> {
+    let t = Transition::new(graph);
+    cpi(&t, &SeedSet::Uniform, cfg, 0, None).scores
+}
+
+/// Exact RWR from a single seed: CPI run to convergence over the full
+/// iteration window. This is the ground truth every approximate method is
+/// scored against (the paper uses BePI; Theorem 1 shows both solve the
+/// same steady-state equation).
+pub fn exact_rwr(graph: &CsrGraph, seed: NodeId, cfg: &CpiConfig) -> Vec<f64> {
+    let t = Transition::new(graph);
+    cpi(&t, &SeedSet::single(seed), cfg, 0, None).scores
+}
+
+/// Exact personalized PageRank for a seed set.
+pub fn personalized_pagerank(graph: &CsrGraph, seeds: Vec<NodeId>, cfg: &CpiConfig) -> Vec<f64> {
+    let t = Transition::new(graph);
+    cpi(&t, &SeedSet::set(seeds), cfg, 0, None).scores
+}
+
+/// PageRank restricted to an iteration window — the preprocessing kernel
+/// behind TPA's stranger approximation (`p_stranger` = iterations `T..∞`).
+pub fn pagerank_window(
+    graph: &CsrGraph,
+    cfg: &CpiConfig,
+    start: usize,
+    end: Option<usize>,
+) -> CpiResult {
+    let t = Transition::new(graph);
+    cpi(&t, &SeedSet::Uniform, cfg, start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_graph::gen::{cycle_graph, star_graph};
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        // Perfect symmetry ⇒ uniform PageRank.
+        let g = cycle_graph(8);
+        let p = pagerank(&g, &CpiConfig::default());
+        for &v in &p {
+            assert!((v - 1.0 / 8.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn pagerank_hub_dominates_star() {
+        let g = star_graph(10);
+        let p = pagerank(&g, &CpiConfig::default());
+        let hub = p[0];
+        for &leaf in &p[1..] {
+            assert!(hub > 3.0 * leaf, "hub {hub} leaf {leaf}");
+        }
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let g = star_graph(12);
+        let p = pagerank(&g, &CpiConfig::default());
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn exact_rwr_concentrates_near_seed() {
+        // Seed at leaf 5: every walk passes through the hub, so the hub
+        // collects the most mass, but the seed leaf beats all other leaves
+        // thanks to the restart.
+        let g = star_graph(10);
+        let r = exact_rwr(&g, 5, &CpiConfig::default());
+        assert!(r[0] > r[5], "hub should dominate");
+        for leaf in 1..10u32 {
+            if leaf != 5 {
+                assert!(r[5] > r[leaf as usize], "seed leaf vs leaf {leaf}");
+            }
+        }
+        let total: f64 = r.iter().sum();
+        assert!((total - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn personalized_pagerank_interpolates_seeds() {
+        let g = cycle_graph(10);
+        let ppr = personalized_pagerank(&g, vec![0, 5], &CpiConfig::default());
+        let single0 = exact_rwr(&g, 0, &CpiConfig::default());
+        let single5 = exact_rwr(&g, 5, &CpiConfig::default());
+        for i in 0..10 {
+            let want = 0.5 * (single0[i] + single5[i]);
+            assert!((ppr[i] - want).abs() < 1e-9, "node {i}");
+        }
+    }
+
+    #[test]
+    fn window_decomposition_of_pagerank() {
+        let g = star_graph(9);
+        let cfg = CpiConfig::default();
+        let full = pagerank(&g, &cfg);
+        let head = pagerank_window(&g, &cfg, 0, Some(9)).scores;
+        let tail = pagerank_window(&g, &cfg, 10, None).scores;
+        for i in 0..9 {
+            assert!((full[i] - head[i] - tail[i]).abs() < 1e-9);
+        }
+    }
+}

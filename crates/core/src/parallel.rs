@@ -1,0 +1,201 @@
+//! Multi-threaded propagation backend.
+//!
+//! The gather kernel is embarrassingly parallel over *destination* nodes:
+//! each thread owns a contiguous slice of `y` and reads shared `x`, so the
+//! result is bit-identical to the sequential kernel (no atomics, no
+//! reduction reordering). Thread ranges are balanced by in-edge count, not
+//! node count, because power-law graphs concentrate edges on few nodes.
+
+use crate::Propagator;
+use tpa_graph::{CsrGraph, NodeId};
+
+/// Parallel version of [`crate::Transition`].
+pub struct ParallelTransition<'g> {
+    graph: &'g CsrGraph,
+    inv_out_deg: Vec<f64>,
+    /// Destination ranges, one per worker, balanced by in-edge count.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl<'g> ParallelTransition<'g> {
+    /// Binds the operator with `threads` workers (clamped to ≥1).
+    pub fn new(graph: &'g CsrGraph, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let n = graph.n();
+        let m = graph.m().max(1);
+        let mut ranges = Vec::with_capacity(threads);
+        let per_worker = m.div_ceil(threads);
+        let in_offsets = graph.in_offsets();
+        let mut start = 0u32;
+        for w in 0..threads {
+            let target_edges = ((w + 1) * per_worker).min(m);
+            // First node whose in-offset reaches the target edge count.
+            let mut end = start as usize;
+            while end < n && in_offsets[end + 1] <= target_edges {
+                end += 1;
+            }
+            if w == threads - 1 {
+                end = n;
+            }
+            let end = (end as u32).max(start);
+            ranges.push((start, end));
+            start = end;
+        }
+        // Make sure the last range covers everything.
+        if let Some(last) = ranges.last_mut() {
+            last.1 = n as u32;
+        }
+        Self { graph, inv_out_deg: graph.inv_out_degrees(), ranges }
+    }
+
+    /// Default worker count: available parallelism.
+    pub fn with_default_threads(graph: &'g CsrGraph) -> Self {
+        let threads =
+            std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+        Self::new(graph, threads)
+    }
+
+    /// Number of worker ranges.
+    pub fn threads(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+impl Propagator for ParallelTransition<'_> {
+    fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn propagate_into(&self, coeff: f64, x: &[f64], y: &mut [f64]) {
+        let n = self.graph.n();
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        if self.ranges.len() == 1 {
+            // Sequential fast path.
+            gather_range(self.graph, &self.inv_out_deg, coeff, x, y, 0, n as u32);
+            return;
+        }
+        // Split y into per-worker disjoint slices matching `ranges`.
+        let mut slices: Vec<&mut [f64]> = Vec::with_capacity(self.ranges.len());
+        let mut rest = y;
+        let mut cursor = 0u32;
+        for &(start, end) in &self.ranges {
+            debug_assert_eq!(start, cursor);
+            let (head, tail) = rest.split_at_mut((end - start) as usize);
+            slices.push(head);
+            rest = tail;
+            cursor = end;
+        }
+        std::thread::scope(|scope| {
+            for (slice, &(start, end)) in slices.into_iter().zip(&self.ranges) {
+                let graph = self.graph;
+                let inv = &self.inv_out_deg;
+                scope.spawn(move || {
+                    gather_range_into(graph, inv, coeff, x, slice, start, end);
+                });
+            }
+        });
+    }
+}
+
+/// Gather into `y[start..end]` where `y` is the full-length buffer.
+fn gather_range(
+    graph: &CsrGraph,
+    inv: &[f64],
+    coeff: f64,
+    x: &[f64],
+    y: &mut [f64],
+    start: u32,
+    end: u32,
+) {
+    for v in start..end {
+        let mut acc = 0.0;
+        for &u in graph.in_neighbors(v) {
+            acc += x[u as usize] * inv[u as usize];
+        }
+        y[v as usize] = coeff * acc;
+    }
+}
+
+/// Gather into a slice that *starts* at node `start` (offset-local writes).
+fn gather_range_into(
+    graph: &CsrGraph,
+    inv: &[f64],
+    coeff: f64,
+    x: &[f64],
+    y_local: &mut [f64],
+    start: u32,
+    end: u32,
+) {
+    for v in start..end {
+        let mut acc = 0.0;
+        for &u in graph.in_neighbors(v as NodeId) {
+            acc += x[u as usize] * inv[u as usize];
+        }
+        y_local[(v - start) as usize] = coeff * acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cpi, CpiConfig, SeedSet, Transition};
+    use tpa_graph::gen::{lfr_lite, LfrConfig};
+
+    fn test_graph() -> CsrGraph {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(83);
+        lfr_lite(LfrConfig { n: 500, m: 4000, ..Default::default() }, &mut rng).graph
+    }
+
+    #[test]
+    fn matches_sequential_bitwise() {
+        let g = test_graph();
+        let seq = Transition::new(&g);
+        for threads in [1usize, 2, 3, 8] {
+            let par = ParallelTransition::new(&g, threads);
+            let x: Vec<f64> = (0..g.n()).map(|i| (i % 13) as f64 / 13.0).collect();
+            let mut y_seq = vec![0.0; g.n()];
+            let mut y_par = vec![0.0; g.n()];
+            seq.propagate_into(0.85, &x, &mut y_seq);
+            par.propagate_into(0.85, &x, &mut y_par);
+            assert_eq!(y_seq, y_par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn cpi_identical_through_parallel_backend() {
+        let g = test_graph();
+        let seq = Transition::new(&g);
+        let par = ParallelTransition::new(&g, 4);
+        let cfg = CpiConfig::default();
+        let a = cpi(&seq, &SeedSet::single(3), &cfg, 0, None).scores;
+        let b = cpi(&par, &SeedSet::single(3), &cfg, 0, None).scores;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranges_cover_all_nodes_disjointly() {
+        let g = test_graph();
+        for threads in [1usize, 2, 5, 16, 1000] {
+            let par = ParallelTransition::new(&g, threads);
+            let mut covered = 0u32;
+            for &(start, end) in &par.ranges {
+                assert_eq!(start, covered);
+                covered = end;
+            }
+            assert_eq!(covered as usize, g.n());
+        }
+    }
+
+    #[test]
+    fn more_threads_than_nodes_is_fine() {
+        let g = tpa_graph::gen::cycle_graph(3);
+        let par = ParallelTransition::new(&g, 64);
+        let x = vec![1.0 / 3.0; 3];
+        let mut y = vec![0.0; 3];
+        par.propagate_into(1.0, &x, &mut y);
+        let total: f64 = y.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,99 @@
+//! Seed vectors: the only difference between RWR and PageRank (paper §II-B).
+
+use tpa_graph::NodeId;
+
+/// Where the random walk restarts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SeedSet {
+    /// Restart at one node — classic RWR with `q = e_s`.
+    Single(NodeId),
+    /// Restart uniformly over a node set — personalized PageRank with
+    /// `q_s = 1/|S|`.
+    Set(Vec<NodeId>),
+    /// Restart uniformly over all nodes — global PageRank with `q = 1/n·1`.
+    Uniform,
+}
+
+impl SeedSet {
+    /// Single-seed constructor.
+    pub fn single(s: NodeId) -> Self {
+        SeedSet::Single(s)
+    }
+
+    /// Multi-seed constructor. Panics on an empty set.
+    pub fn set(seeds: Vec<NodeId>) -> Self {
+        assert!(!seeds.is_empty(), "seed set must not be empty");
+        SeedSet::Set(seeds)
+    }
+
+    /// Writes `x ← c·q` into a zeroed-or-not buffer of length `n`.
+    pub fn fill_seed_vector(&self, c: f64, x: &mut [f64]) {
+        let n = x.len();
+        x.fill(0.0);
+        match self {
+            SeedSet::Single(s) => {
+                assert!((*s as usize) < n, "seed {s} out of range for n={n}");
+                x[*s as usize] = c;
+            }
+            SeedSet::Set(seeds) => {
+                let w = c / seeds.len() as f64;
+                for &s in seeds {
+                    assert!((s as usize) < n, "seed {s} out of range for n={n}");
+                    x[s as usize] += w;
+                }
+            }
+            SeedSet::Uniform => {
+                let w = c / n as f64;
+                x.fill(w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_seed_vector() {
+        let mut x = vec![9.0; 4];
+        SeedSet::single(2).fill_seed_vector(0.15, &mut x);
+        assert_eq!(x, vec![0.0, 0.0, 0.15, 0.0]);
+    }
+
+    #[test]
+    fn set_seed_splits_mass() {
+        let mut x = vec![0.0; 4];
+        SeedSet::set(vec![0, 3]).fill_seed_vector(0.2, &mut x);
+        assert_eq!(x, vec![0.1, 0.0, 0.0, 0.1]);
+    }
+
+    #[test]
+    fn duplicate_seeds_accumulate() {
+        let mut x = vec![0.0; 2];
+        SeedSet::set(vec![1, 1]).fill_seed_vector(0.2, &mut x);
+        assert_eq!(x, vec![0.0, 0.2]);
+    }
+
+    #[test]
+    fn uniform_seed() {
+        let mut x = vec![0.0; 5];
+        SeedSet::Uniform.fill_seed_vector(0.15, &mut x);
+        for &v in &x {
+            assert!((v - 0.03).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_seed() {
+        let mut x = vec![0.0; 2];
+        SeedSet::single(5).fill_seed_vector(0.15, &mut x);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn rejects_empty_seed_set() {
+        SeedSet::set(vec![]);
+    }
+}

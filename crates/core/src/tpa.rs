@@ -1,0 +1,390 @@
+//! TPA: the two-phase approximation itself (paper §III, Algorithms 2 & 3).
+
+use crate::{cpi, CpiConfig, SeedSet, Transition};
+use tpa_graph::{CsrGraph, NodeId};
+
+/// TPA parameters: restart probability, tolerance, and the two split
+/// points of the CPI iteration series.
+#[derive(Clone, Copy, Debug)]
+pub struct TpaParams {
+    /// Restart probability `c`.
+    pub c: f64,
+    /// Convergence tolerance ε for the preprocessing CPI run.
+    pub eps: f64,
+    /// `S`: first iteration of the *neighbor* part. The family part
+    /// `x(0)…x(S−1)` is the only exactly computed piece at query time, so
+    /// `S` is the accuracy/online-speed knob (Theorem 2: error ≤ 2(1−c)^S).
+    pub s: usize,
+    /// `T`: first iteration of the *stranger* part, approximated by
+    /// PageRank. Must satisfy `S < T` (paper §III-C discusses tuning).
+    pub t: usize,
+}
+
+impl TpaParams {
+    /// Parameters with the paper's defaults (`c = 0.15`, `ε = 1e-9`).
+    pub fn new(s: usize, t: usize) -> Self {
+        Self { c: 0.15, eps: 1e-9, s, t }
+    }
+
+    /// Panics if the parameters are out of range.
+    pub fn validate(&self) {
+        assert!(self.c > 0.0 && self.c < 1.0, "c must be in (0,1)");
+        assert!(self.eps > 0.0, "eps must be positive");
+        assert!(self.s >= 1, "S must be at least 1");
+        assert!(self.t > self.s, "T ({}) must exceed S ({})", self.t, self.s);
+    }
+
+    /// The neighbor rescaling factor
+    /// `‖r_neighbor‖₁ / ‖r_family‖₁ = ((1−c)^S − (1−c)^T) / (1 − (1−c)^S)`
+    /// (from Lemma 2).
+    pub fn neighbor_scale(&self) -> f64 {
+        let d = 1.0 - self.c;
+        (d.powi(self.s as i32) - d.powi(self.t as i32)) / (1.0 - d.powi(self.s as i32))
+    }
+
+    /// CPI config used by both phases.
+    pub fn cpi_config(&self) -> CpiConfig {
+        CpiConfig { c: self.c, eps: self.eps, max_iters: 1000 }
+    }
+}
+
+/// Statistics from the preprocessing phase.
+#[derive(Clone, Copy, Debug)]
+pub struct PreprocessStats {
+    /// Iterations the PageRank CPI ran (from `T` to convergence).
+    pub iterations: usize,
+    /// Final `‖x(i)‖₁` when the run stopped.
+    pub final_residual: f64,
+}
+
+/// The preprocessed TPA index: just the stranger vector (`O(n)` doubles —
+/// the paper's headline memory advantage in Fig. 1(a)) plus parameters.
+#[derive(Clone, Debug)]
+pub struct TpaIndex {
+    params: TpaParams,
+    stranger: Vec<f64>,
+    stats: PreprocessStats,
+}
+
+impl TpaIndex {
+    /// **Algorithm 2** (preprocessing phase): computes
+    /// `r̃_stranger = p_stranger = Σ_{i≥T} x'(i)` with the uniform PageRank
+    /// seed. Runs once per graph; independent of any future seed node.
+    pub fn preprocess(graph: &CsrGraph, params: TpaParams) -> Self {
+        Self::preprocess_on(&Transition::new(graph), params)
+    }
+
+    /// [`TpaIndex::preprocess`] over any propagation backend — e.g. the
+    /// out-of-core [`crate::offcore::DiskGraph`].
+    pub fn preprocess_on<P: crate::Propagator + ?Sized>(backend: &P, params: TpaParams) -> Self {
+        params.validate();
+        let run = cpi(backend, &SeedSet::Uniform, &params.cpi_config(), params.t, None);
+        Self {
+            params,
+            stranger: run.scores,
+            stats: PreprocessStats {
+                iterations: run.last_iteration,
+                final_residual: run.final_residual,
+            },
+        }
+    }
+
+    /// **Algorithm 3** (online phase): computes the family part exactly
+    /// (`S` CPI iterations, `O(mS)`), rescales it into the neighbor
+    /// estimate, and adds the precomputed stranger vector.
+    pub fn query(&self, transition: &Transition<'_>, seed: NodeId) -> Vec<f64> {
+        self.query_seeds(transition, &SeedSet::single(seed))
+    }
+
+    /// [`TpaIndex::query`] generalized to arbitrary seed sets.
+    pub fn query_seeds(&self, transition: &Transition<'_>, seeds: &SeedSet) -> Vec<f64> {
+        self.query_on(transition, seeds)
+    }
+
+    /// Online phase over any propagation backend (e.g. the out-of-core
+    /// [`crate::offcore::DiskGraph`]).
+    pub fn query_on<P: crate::Propagator + ?Sized>(&self, backend: &P, seeds: &SeedSet) -> Vec<f64> {
+        let parts = self.query_parts_on(backend, seeds);
+        let mut r = parts.family;
+        let scale = self.params.neighbor_scale();
+        for (ri, &si) in r.iter_mut().zip(&self.stranger) {
+            // r = family + scale·family + stranger
+            *ri += scale * *ri + si;
+        }
+        r
+    }
+
+    /// Online phase exposing the individual parts (used by the error
+    /// decomposition experiments).
+    pub fn query_parts(&self, transition: &Transition<'_>, seeds: &SeedSet) -> TpaParts {
+        self.query_parts_on(transition, seeds)
+    }
+
+    /// [`TpaIndex::query_parts`] over any propagation backend.
+    pub fn query_parts_on<P: crate::Propagator + ?Sized>(
+        &self,
+        backend: &P,
+        seeds: &SeedSet,
+    ) -> TpaParts {
+        assert_eq!(
+            backend.n(),
+            self.stranger.len(),
+            "index was preprocessed for a different graph"
+        );
+        let family = cpi(
+            backend,
+            seeds,
+            &self.params.cpi_config(),
+            0,
+            Some(self.params.s - 1),
+        )
+        .scores;
+        TpaParts { family }
+    }
+
+    /// The approximate neighbor part implied by a family vector.
+    pub fn scale_neighbor(&self, family: &[f64]) -> Vec<f64> {
+        let scale = self.params.neighbor_scale();
+        family.iter().map(|&f| scale * f).collect()
+    }
+
+    /// The precomputed stranger vector `r̃_stranger`.
+    pub fn stranger(&self) -> &[f64] {
+        &self.stranger
+    }
+
+    /// Parameters the index was built with.
+    pub fn params(&self) -> &TpaParams {
+        &self.params
+    }
+
+    /// Preprocessing statistics.
+    pub fn stats(&self) -> &PreprocessStats {
+        &self.stats
+    }
+
+    /// Size of the preprocessed data in bytes — one `f64` per node
+    /// (Theorem 4's `O(n)` term; the graph itself is accounted separately).
+    pub fn index_bytes(&self) -> usize {
+        self.stranger.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Serializes the index (magic, params, stats, stranger vector; all
+    /// little-endian). Preprocess once, ship the index, query anywhere.
+    pub fn save(&self, mut w: impl std::io::Write) -> std::io::Result<()> {
+        w.write_all(b"TPAINDX1")?;
+        w.write_all(&self.params.c.to_le_bytes())?;
+        w.write_all(&self.params.eps.to_le_bytes())?;
+        w.write_all(&(self.params.s as u64).to_le_bytes())?;
+        w.write_all(&(self.params.t as u64).to_le_bytes())?;
+        w.write_all(&(self.stats.iterations as u64).to_le_bytes())?;
+        w.write_all(&self.stats.final_residual.to_le_bytes())?;
+        w.write_all(&(self.stranger.len() as u64).to_le_bytes())?;
+        for &v in &self.stranger {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.flush()
+    }
+
+    /// Deserializes an index produced by [`TpaIndex::save`].
+    pub fn load(mut r: impl std::io::Read) -> std::io::Result<Self> {
+        use std::io::{Error, ErrorKind};
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != b"TPAINDX1" {
+            return Err(Error::new(ErrorKind::InvalidData, "bad TPA index magic"));
+        }
+        let mut f = [0u8; 8];
+        let mut read_f64 = |r: &mut dyn std::io::Read| -> std::io::Result<f64> {
+            r.read_exact(&mut f)?;
+            Ok(f64::from_le_bytes(f))
+        };
+        let c = read_f64(&mut r)?;
+        let eps = read_f64(&mut r)?;
+        let mut u = [0u8; 8];
+        let mut read_u64 = |r: &mut dyn std::io::Read| -> std::io::Result<u64> {
+            r.read_exact(&mut u)?;
+            Ok(u64::from_le_bytes(u))
+        };
+        let s = read_u64(&mut r)? as usize;
+        let t = read_u64(&mut r)? as usize;
+        let iterations = read_u64(&mut r)? as usize;
+        let mut f2 = [0u8; 8];
+        r.read_exact(&mut f2)?;
+        let final_residual = f64::from_le_bytes(f2);
+        let mut u2 = [0u8; 8];
+        r.read_exact(&mut u2)?;
+        let n = u64::from_le_bytes(u2) as usize;
+        if n > (1usize << 40) {
+            return Err(Error::new(ErrorKind::InvalidData, "implausible index length"));
+        }
+        let mut stranger = Vec::with_capacity(n);
+        let mut buf = [0u8; 8];
+        for _ in 0..n {
+            r.read_exact(&mut buf)?;
+            let v = f64::from_le_bytes(buf);
+            if !v.is_finite() || v < 0.0 {
+                return Err(Error::new(ErrorKind::InvalidData, "corrupt stranger entry"));
+            }
+            stranger.push(v);
+        }
+        let params = TpaParams { c, eps, s, t };
+        params.validate();
+        Ok(Self { params, stranger, stats: PreprocessStats { iterations, final_residual } })
+    }
+}
+
+/// The exactly-computed pieces of a TPA query.
+#[derive(Clone, Debug)]
+pub struct TpaParts {
+    /// `r_family`: the exact sum of iterations `0..S−1`.
+    pub family: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_rwr;
+    use tpa_graph::gen::{lfr_lite, LfrConfig};
+    use tpa_graph::CsrGraph;
+
+    fn l1_dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    fn test_graph() -> CsrGraph {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        lfr_lite(LfrConfig { n: 400, m: 3200, mu: 0.15, ..Default::default() }, &mut rng).graph
+    }
+
+    #[test]
+    fn neighbor_scale_closed_form() {
+        let p = TpaParams::new(5, 10);
+        let d: f64 = 0.85;
+        let want = (d.powi(5) - d.powi(10)) / (1.0 - d.powi(5));
+        assert!((p.neighbor_scale() - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn error_within_theorem2_bound() {
+        let g = test_graph();
+        let params = TpaParams::new(5, 10);
+        let index = TpaIndex::preprocess(&g, params);
+        let t = Transition::new(&g);
+        let bound = crate::bounds::total_bound(params.c, params.s);
+        for seed in [0u32, 13, 200, 399] {
+            let approx = index.query(&t, seed);
+            let exact = exact_rwr(&g, seed, &params.cpi_config());
+            let err = l1_dist(&approx, &exact);
+            assert!(err <= bound + 1e-9, "seed {seed}: error {err} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn real_graph_error_well_below_bound() {
+        // The paper's Table III: block-wise structure pushes the practical
+        // error far below 2(1−c)^S.
+        let g = test_graph();
+        let params = TpaParams::new(5, 10);
+        let index = TpaIndex::preprocess(&g, params);
+        let t = Transition::new(&g);
+        let bound = crate::bounds::total_bound(params.c, params.s);
+        let approx = index.query(&t, 42);
+        let exact = exact_rwr(&g, 42, &params.cpi_config());
+        let err = l1_dist(&approx, &exact);
+        assert!(err < 0.6 * bound, "error {err} not well below bound {bound}");
+    }
+
+    #[test]
+    fn query_mass_approximately_one() {
+        let g = test_graph();
+        let index = TpaIndex::preprocess(&g, TpaParams::new(5, 10));
+        let t = Transition::new(&g);
+        let r = index.query(&t, 7);
+        let total: f64 = r.iter().sum();
+        // family + scaled neighbor give exactly 1 − (1−c)^T of the mass;
+        // stranger adds the tail, so the total is ≈ 1.
+        assert!((total - 1.0).abs() < 0.05, "total {total}");
+    }
+
+    #[test]
+    fn index_bytes_is_n_doubles() {
+        let g = test_graph();
+        let index = TpaIndex::preprocess(&g, TpaParams::new(4, 8));
+        assert_eq!(index.index_bytes(), g.n() * 8);
+    }
+
+    #[test]
+    fn stranger_vector_independent_of_seed() {
+        // Querying different seeds must reuse the identical stranger part.
+        let g = test_graph();
+        let index = TpaIndex::preprocess(&g, TpaParams::new(5, 10));
+        let before = index.stranger().to_vec();
+        let t = Transition::new(&g);
+        let _ = index.query(&t, 3);
+        let _ = index.query(&t, 300);
+        assert_eq!(index.stranger(), &before[..]);
+    }
+
+    #[test]
+    fn larger_s_reduces_error() {
+        let g = test_graph();
+        let t = Transition::new(&g);
+        let exact = exact_rwr(&g, 11, &CpiConfig::default());
+        let mut prev_err = f64::INFINITY;
+        for s in [2usize, 4, 6] {
+            let index = TpaIndex::preprocess(&g, TpaParams::new(s, 12));
+            let err = l1_dist(&index.query(&t, 11), &exact);
+            assert!(err < prev_err, "error did not shrink at S={s}: {err} vs {prev_err}");
+            prev_err = err;
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let g = test_graph();
+        let index = TpaIndex::preprocess(&g, TpaParams::new(5, 10));
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let loaded = TpaIndex::load(std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(loaded.stranger(), index.stranger());
+        assert_eq!(loaded.params().s, 5);
+        assert_eq!(loaded.params().t, 10);
+        // Queries from the loaded index are identical.
+        let t = Transition::new(&g);
+        assert_eq!(index.query(&t, 3), loaded.query(&t, 3));
+    }
+
+    #[test]
+    fn load_rejects_bad_magic() {
+        let err = TpaIndex::load(std::io::Cursor::new(b"NOTANIDX........")).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn load_rejects_truncation() {
+        let g = test_graph();
+        let index = TpaIndex::preprocess(&g, TpaParams::new(5, 10));
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(TpaIndex::load(std::io::Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed S")]
+    fn rejects_t_not_greater_than_s() {
+        TpaParams::new(5, 5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph")]
+    fn rejects_mismatched_graph() {
+        let g1 = test_graph();
+        let index = TpaIndex::preprocess(&g1, TpaParams::new(5, 10));
+        let g2 = tpa_graph::gen::cycle_graph(10);
+        let t2 = Transition::new(&g2);
+        index.query(&t2, 0);
+    }
+}

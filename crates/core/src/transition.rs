@@ -1,0 +1,128 @@
+//! The RWR transition operator `Ãᵀ` bound to a graph.
+
+use tpa_graph::{CsrGraph, NodeId};
+
+/// A propagation backend: anything that can compute the CPI step
+/// `y ← coeff·Ãᵀ·x`. The in-memory [`Transition`] is the default; the
+/// out-of-core [`crate::offcore::DiskGraph`] streams edges from disk
+/// (the paper's "disk-based RWR" future work).
+pub trait Propagator {
+    /// Number of nodes.
+    fn n(&self) -> usize;
+    /// `y ← coeff · Ãᵀ·x`; `x` and `y` have length `n`.
+    fn propagate_into(&self, coeff: f64, x: &[f64], y: &mut [f64]);
+}
+
+/// Row-normalized transposed adjacency operator `Ãᵀ` with the per-source
+/// `1/outdeg` weights precomputed.
+///
+/// The propagation `y ← (1−c)·Ãᵀ·x` is implemented as a *gather* over
+/// in-edges: each node pulls `x[u]/outdeg(u)` from its in-neighbors `u`.
+/// Writes are sequential (good for cache), reads are the random part.
+pub struct Transition<'g> {
+    graph: &'g CsrGraph,
+    inv_out_deg: Vec<f64>,
+}
+
+impl<'g> Transition<'g> {
+    /// Binds the operator to a graph, precomputing `1/outdeg`.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        Self { graph, inv_out_deg: graph.inv_out_degrees() }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.graph
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// `y ← coeff · Ãᵀ·x`. `x` and `y` must both have length `n` and be
+    /// distinct buffers.
+    pub fn propagate_into(&self, coeff: f64, x: &[f64], y: &mut [f64]) {
+        let n = self.n();
+        assert_eq!(x.len(), n, "input vector length mismatch");
+        assert_eq!(y.len(), n, "output vector length mismatch");
+        for v in 0..n as NodeId {
+            let mut acc = 0.0;
+            for &u in self.graph.in_neighbors(v) {
+                acc += x[u as usize] * self.inv_out_deg[u as usize];
+            }
+            y[v as usize] = coeff * acc;
+        }
+    }
+
+    /// Precomputed `1/outdeg` weights (0.0 for dangling nodes).
+    #[inline]
+    pub fn inv_out_degrees(&self) -> &[f64] {
+        &self.inv_out_deg
+    }
+}
+
+impl Propagator for Transition<'_> {
+    fn n(&self) -> usize {
+        Transition::n(self)
+    }
+    fn propagate_into(&self, coeff: f64, x: &[f64], y: &mut [f64]) {
+        Transition::propagate_into(self, coeff, x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_graph::CsrGraph;
+
+    #[test]
+    fn propagation_splits_mass_over_out_edges() {
+        // 0 → {1, 2}: half of x[0] should arrive at each target.
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2), (1, 0), (2, 0)]);
+        let t = Transition::new(&g);
+        let x = vec![1.0, 0.0, 0.0];
+        let mut y = vec![0.0; 3];
+        t.propagate_into(1.0, &x, &mut y);
+        assert_eq!(y, vec![0.0, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn propagation_conserves_mass_without_dangling() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        assert!(g.dangling_nodes().is_empty());
+        let t = Transition::new(&g);
+        let x = vec![0.25; 4];
+        let mut y = vec![0.0; 4];
+        t.propagate_into(1.0, &x, &mut y);
+        let total: f64 = y.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficient_scales_output() {
+        let g = CsrGraph::from_edges(2, &[(0, 1), (1, 0)]);
+        let t = Transition::new(&g);
+        let x = vec![1.0, 0.0];
+        let mut y = vec![0.0; 2];
+        t.propagate_into(0.85, &x, &mut y);
+        assert_eq!(y, vec![0.0, 0.85]);
+    }
+
+    #[test]
+    fn dangling_mass_leaks_under_keep_policy() {
+        use tpa_graph::{DanglingPolicy, GraphBuilder};
+        let g = GraphBuilder::new(2)
+            .dangling_policy(DanglingPolicy::Keep)
+            .extend_edges([(0, 1)])
+            .build();
+        let t = Transition::new(&g);
+        let x = vec![0.5, 0.5];
+        let mut y = vec![0.0; 2];
+        t.propagate_into(1.0, &x, &mut y);
+        // Node 1 is dangling: its 0.5 disappears.
+        assert_eq!(y, vec![0.0, 0.5]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for CPI / TPA invariants.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use tpa_core::{bounds, cpi, decompose, exact_rwr, CpiConfig, SeedSet, TpaIndex, TpaParams, Transition};
+use tpa_graph::gen::erdos_renyi_gnm;
+use tpa_graph::{CsrGraph, NodeId};
+
+fn l1(a: &[f64]) -> f64 {
+    a.iter().map(|v| v.abs()).sum()
+}
+
+fn l1_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+fn random_graph(n: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = (4 * n).min(n * (n - 1) / 2);
+    erdos_renyi_gnm(n, m, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Exact RWR always sums to 1 (no dangling leak under default policy).
+    #[test]
+    fn rwr_mass_conservation(n in 5usize..60, gseed in 0u64..500, seed_frac in 0.0f64..1.0) {
+        let g = random_graph(n, gseed);
+        let seed = ((n as f64 * seed_frac) as usize).min(n - 1) as NodeId;
+        let r = exact_rwr(&g, seed, &CpiConfig::default());
+        prop_assert!((l1(&r) - 1.0).abs() < 1e-6);
+        prop_assert!(r.iter().all(|&v| v >= 0.0));
+    }
+
+    /// The steady-state equation r = (1−c)Ãᵀr + cq holds for any c.
+    #[test]
+    fn steady_state_for_any_c(n in 5usize..40, gseed in 0u64..200, c in 0.05f64..0.9) {
+        let g = random_graph(n, gseed);
+        let cfg = CpiConfig { c, eps: 1e-12, max_iters: 5000 };
+        let r = exact_rwr(&g, 0, &cfg);
+        let t = Transition::new(&g);
+        let mut rhs = vec![0.0; n];
+        t.propagate_into(1.0 - c, &r, &mut rhs);
+        rhs[0] += c;
+        prop_assert!(l1_dist(&r, &rhs) < 1e-8);
+    }
+
+    /// TPA error never exceeds the Theorem-2 bound, for any valid
+    /// (c, S, T) — the bound is parametric in the restart probability too.
+    #[test]
+    fn tpa_respects_theorem2(
+        n in 10usize..50,
+        gseed in 0u64..200,
+        s in 1usize..6,
+        t_extra in 1usize..8,
+        seed_frac in 0.0f64..1.0,
+        c in 0.05f64..0.6,
+    ) {
+        let g = random_graph(n, gseed);
+        let params = TpaParams { c, eps: 1e-10, s, t: s + t_extra };
+        let index = TpaIndex::preprocess(&g, params);
+        let tr = Transition::new(&g);
+        let seed = ((n as f64 * seed_frac) as usize).min(n - 1) as NodeId;
+        let approx = index.query(&tr, seed);
+        let exact = exact_rwr(&g, seed, &params.cpi_config());
+        let err = l1_dist(&approx, &exact);
+        prop_assert!(
+            err <= bounds::total_bound(params.c, s) + 1e-9,
+            "err {} bound {}",
+            err,
+            bounds::total_bound(params.c, s)
+        );
+    }
+
+    /// Part-wise decomposition reassembles to the exact vector and each
+    /// part's mass matches Lemma 2.
+    #[test]
+    fn decomposition_is_partition(
+        n in 5usize..40,
+        gseed in 0u64..200,
+        s in 1usize..5,
+        t_extra in 1usize..6,
+    ) {
+        let g = random_graph(n, gseed);
+        let tr = Transition::new(&g);
+        let cfg = CpiConfig::default();
+        let t = s + t_extra;
+        let d = decompose(&tr, &SeedSet::single(0), &cfg, s, t);
+        let exact = exact_rwr(&g, 0, &cfg);
+        prop_assert!(l1_dist(&d.total(), &exact) < 1e-8);
+        let df = 1.0 - cfg.c;
+        prop_assert!((l1(&d.family) - (1.0 - df.powi(s as i32))).abs() < 1e-9);
+        prop_assert!(
+            (l1(&d.neighbor) - (df.powi(s as i32) - df.powi(t as i32))).abs() < 1e-9
+        );
+    }
+
+    /// CPI windows compose: [0,k] + [k+1,∞) = full.
+    #[test]
+    fn cpi_windows_compose(n in 5usize..40, gseed in 0u64..200, k in 0usize..12) {
+        let g = random_graph(n, gseed);
+        let tr = Transition::new(&g);
+        let cfg = CpiConfig::default();
+        let seeds = SeedSet::single((n / 2) as NodeId);
+        let head = cpi(&tr, &seeds, &cfg, 0, Some(k)).scores;
+        let tail = cpi(&tr, &seeds, &cfg, k + 1, None).scores;
+        let full = cpi(&tr, &seeds, &cfg, 0, None).scores;
+        let merged: Vec<f64> = head.iter().zip(&tail).map(|(a, b)| a + b).collect();
+        prop_assert!(l1_dist(&full, &merged) < 1e-8);
+    }
+
+    /// PageRank is the average of all single-seed RWR vectors (linearity).
+    #[test]
+    fn pagerank_is_average_rwr(n in 3usize..12, gseed in 0u64..100) {
+        let g = random_graph(n, gseed);
+        let cfg = CpiConfig { eps: 1e-12, ..Default::default() };
+        let pr = tpa_core::pagerank(&g, &cfg);
+        let mut avg = vec![0.0; n];
+        for s in 0..n as NodeId {
+            let r = exact_rwr(&g, s, &cfg);
+            for (a, b) in avg.iter_mut().zip(&r) {
+                *a += b / n as f64;
+            }
+        }
+        prop_assert!(l1_dist(&pr, &avg) < 1e-7);
+    }
+}

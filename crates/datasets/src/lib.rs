@@ -1,0 +1,338 @@
+//! # tpa-datasets — synthetic analogs of the paper's Table II datasets
+//!
+//! The paper evaluates on seven KONECT graphs up to Friendster
+//! (68 M nodes / 2.6 B edges). This environment has no network access, so
+//! each dataset is replaced by a deterministic synthetic analog, scaled
+//! down 10×–2000× while preserving:
+//!
+//! * the original **average degree** (the per-iteration CPI cost driver),
+//! * a **heavy-tailed degree distribution** (what the stranger
+//!   approximation exploits),
+//! * **block-wise community structure** for the social networks (what the
+//!   neighbor approximation exploits): LFR-lite with mixing parameter μ;
+//!   the hyperlink graphs (Google, WikiLink) use R-MAT.
+//!
+//! The paper's per-dataset `S`/`T` values (Table II) are carried over
+//! unchanged. Generation is deterministic per dataset key, and graphs are
+//! cached in-process and optionally on disk as binary snapshots.
+
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+use tpa_graph::gen::{lfr_lite, rmat, LfrConfig, RmatConfig};
+use tpa_graph::CsrGraph;
+
+/// Which generator family backs a dataset.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Generator {
+    /// LFR-lite: power-law degrees + planted communities (social networks).
+    LfrLite {
+        /// Mixing parameter μ (fraction of inter-community edges).
+        mu: f64,
+        /// Edge reciprocity (fraction of edges with a reverse partner).
+        reciprocity: f64,
+    },
+    /// R-MAT recursive-matrix generator (hyperlink networks).
+    Rmat,
+}
+
+/// Static description of one synthetic dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetSpec {
+    /// Registry key, e.g. `"slashdot-s"`.
+    pub key: &'static str,
+    /// The Table II graph this stands in for.
+    pub analog_of: &'static str,
+    /// Node count of the original graph (for the scale-factor column).
+    pub original_nodes: usize,
+    /// Edge count of the original graph.
+    pub original_edges: usize,
+    /// Nodes in the synthetic analog.
+    pub nodes: usize,
+    /// Distinct directed edges in the synthetic analog.
+    pub edges: usize,
+    /// Paper's `S` (start of neighbor approximation) for this graph.
+    pub s: usize,
+    /// Paper's `T` (start of stranger approximation) for this graph.
+    pub t: usize,
+    /// Generator family.
+    pub generator: Generator,
+    /// RNG seed (fixed per dataset for bit-reproducible tables).
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// A copy of the spec scaled down by `factor` (for quick runs / CI).
+    pub fn scaled_down(&self, factor: usize) -> DatasetSpec {
+        let mut s = *self;
+        s.nodes = (s.nodes / factor).max(64);
+        s.edges = (s.edges / factor).max(4 * s.nodes);
+        s
+    }
+}
+
+/// All seven Table II analogs, ordered as in the paper (small → large).
+pub const DATASETS: [DatasetSpec; 7] = [
+    DatasetSpec {
+        key: "slashdot-s",
+        analog_of: "Slashdot",
+        original_nodes: 82_144,
+        original_edges: 549_202,
+        nodes: 8_214,
+        edges: 54_920,
+        s: 5,
+        t: 15,
+        generator: Generator::LfrLite { mu: 0.25, reciprocity: 0.8 },
+        seed: 0x51a5_bd07,
+    },
+    DatasetSpec {
+        key: "google-s",
+        analog_of: "Google",
+        original_nodes: 875_713,
+        original_edges: 5_105_039,
+        nodes: 17_514,
+        edges: 102_100,
+        s: 5,
+        t: 20,
+        generator: Generator::Rmat,
+        seed: 0x6006_1e00,
+    },
+    DatasetSpec {
+        key: "pokec-s",
+        analog_of: "Pokec",
+        original_nodes: 1_632_803,
+        original_edges: 30_622_564,
+        nodes: 16_328,
+        edges: 306_200,
+        s: 5,
+        t: 10,
+        generator: Generator::LfrLite { mu: 0.18, reciprocity: 0.75 },
+        seed: 0x90ce_c001,
+    },
+    DatasetSpec {
+        key: "livejournal-s",
+        analog_of: "LiveJournal",
+        original_nodes: 4_847_571,
+        original_edges: 68_475_391,
+        nodes: 24_238,
+        edges: 342_377,
+        s: 5,
+        t: 10,
+        generator: Generator::LfrLite { mu: 0.25, reciprocity: 0.7 },
+        seed: 0x11e0_a21b,
+    },
+    DatasetSpec {
+        key: "wikilink-s",
+        analog_of: "WikiLink",
+        original_nodes: 12_150_976,
+        original_edges: 378_142_420,
+        nodes: 24_302,
+        edges: 756_200,
+        s: 5,
+        t: 6,
+        generator: Generator::Rmat,
+        seed: 0x3121_1111,
+    },
+    DatasetSpec {
+        key: "twitter-s",
+        analog_of: "Twitter",
+        original_nodes: 41_652_230,
+        original_edges: 1_468_365_182,
+        nodes: 41_652,
+        edges: 1_468_300,
+        s: 4,
+        t: 6,
+        generator: Generator::LfrLite { mu: 0.35, reciprocity: 0.4 },
+        seed: 0x7317_7e50,
+    },
+    DatasetSpec {
+        key: "friendster-s",
+        analog_of: "Friendster",
+        original_nodes: 68_349_466,
+        original_edges: 2_586_147_869,
+        nodes: 34_175,
+        edges: 1_293_000,
+        s: 4,
+        t: 20,
+        generator: Generator::LfrLite { mu: 0.25, reciprocity: 0.8 },
+        seed: 0xf21e_0d57,
+    },
+];
+
+/// Looks up a dataset spec by key.
+pub fn spec(key: &str) -> Option<&'static DatasetSpec> {
+    DATASETS.iter().find(|d| d.key == key)
+}
+
+/// A generated dataset: the graph plus, for LFR-lite graphs, the planted
+/// community assignment (used by the community-search example).
+#[derive(Clone)]
+pub struct Dataset {
+    /// The spec this was generated from.
+    pub spec: DatasetSpec,
+    /// The graph.
+    pub graph: Arc<CsrGraph>,
+    /// Planted community per node (LFR-lite only).
+    pub communities: Option<Arc<Vec<u32>>>,
+}
+
+/// Generates a dataset from its spec (deterministic; no caching).
+pub fn generate(spec: &DatasetSpec) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    match spec.generator {
+        Generator::LfrLite { mu, reciprocity } => {
+            let out = lfr_lite(
+                LfrConfig {
+                    n: spec.nodes,
+                    m: spec.edges,
+                    mu,
+                    degree_exponent: 2.5,
+                    community_exponent: 2.0,
+                    min_community: 20,
+                    max_community: (spec.nodes / 20).max(40),
+                    reciprocity,
+                },
+                &mut rng,
+            );
+            Dataset {
+                spec: *spec,
+                graph: Arc::new(out.graph),
+                communities: Some(Arc::new(out.communities)),
+            }
+        }
+        Generator::Rmat => {
+            let g = rmat(spec.nodes, spec.edges, RmatConfig::default(), &mut rng);
+            Dataset { spec: *spec, graph: Arc::new(g), communities: None }
+        }
+    }
+}
+
+/// Process-wide dataset cache so benches and examples generate each graph
+/// once per run.
+static CACHE: Mutex<Option<HashMap<&'static str, Dataset>>> = Mutex::new(None);
+
+/// Generates (or reuses from the in-process cache) the dataset for `key`.
+/// Panics on an unknown key — dataset keys are compile-time constants.
+pub fn load(key: &str) -> Dataset {
+    let spec = spec(key).unwrap_or_else(|| panic!("unknown dataset key {key}"));
+    let mut cache = CACHE.lock();
+    let map = cache.get_or_insert_with(HashMap::new);
+    if let Some(d) = map.get(spec.key) {
+        return d.clone();
+    }
+    let d = generate(spec);
+    map.insert(spec.key, d.clone());
+    d
+}
+
+/// Loads via an on-disk snapshot cache (generates and writes it on a miss).
+/// Community labels are not persisted — only the graph.
+pub fn load_with_disk_cache(spec: &DatasetSpec, dir: &Path) -> std::io::Result<Dataset> {
+    let path = dir.join(format!("{}.tpagraph", spec.key));
+    if path.exists() {
+        match tpa_graph::io::read_snapshot_file(&path) {
+            Ok(g) => {
+                return Ok(Dataset { spec: *spec, graph: Arc::new(g), communities: None })
+            }
+            Err(_) => {
+                // Stale/corrupt cache: fall through and regenerate.
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+    let d = generate(spec);
+    std::fs::create_dir_all(dir)?;
+    tpa_graph::io::write_snapshot_file(&d.graph, &path)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_seven_datasets_in_paper_order() {
+        assert_eq!(DATASETS.len(), 7);
+        let keys: Vec<_> = DATASETS.iter().map(|d| d.key).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "slashdot-s",
+                "google-s",
+                "pokec-s",
+                "livejournal-s",
+                "wikilink-s",
+                "twitter-s",
+                "friendster-s"
+            ]
+        );
+    }
+
+    #[test]
+    fn specs_preserve_paper_s_t() {
+        // Table II values.
+        assert_eq!(spec("slashdot-s").unwrap().s, 5);
+        assert_eq!(spec("slashdot-s").unwrap().t, 15);
+        assert_eq!(spec("friendster-s").unwrap().s, 4);
+        assert_eq!(spec("friendster-s").unwrap().t, 20);
+        assert_eq!(spec("twitter-s").unwrap().t, 6);
+    }
+
+    #[test]
+    fn average_degree_matches_original() {
+        for d in &DATASETS {
+            let orig = d.original_edges as f64 / d.original_nodes as f64;
+            let ours = d.edges as f64 / d.nodes as f64;
+            let rel = (orig - ours).abs() / orig;
+            assert!(rel < 0.05, "{}: avg degree {ours:.2} vs original {orig:.2}", d.key);
+        }
+    }
+
+    #[test]
+    fn generate_smallest_dataset() {
+        let d = generate(spec("slashdot-s").unwrap());
+        assert_eq!(d.graph.n(), 8_214);
+        assert!(d.graph.m() >= 54_000, "m = {}", d.graph.m());
+        assert!(d.communities.is_some());
+        assert!(d.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = spec("slashdot-s").unwrap().scaled_down(10);
+        let a = generate(&s);
+        let b = generate(&s);
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn in_process_cache_returns_same_arc() {
+        let a = load("slashdot-s");
+        let b = load("slashdot-s");
+        assert!(Arc::ptr_eq(&a.graph, &b.graph));
+    }
+
+    #[test]
+    fn disk_cache_roundtrip() {
+        let dir = std::env::temp_dir().join("tpa-dataset-cache-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = spec("slashdot-s").unwrap().scaled_down(20);
+        let first = load_with_disk_cache(&s, &dir).unwrap();
+        let second = load_with_disk_cache(&s, &dir).unwrap();
+        assert_eq!(*first.graph, *second.graph);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scaled_down_keeps_sane_shape() {
+        let s = spec("twitter-s").unwrap().scaled_down(100);
+        assert!(s.nodes >= 64);
+        assert!(s.edges >= 4 * s.nodes);
+    }
+}

@@ -1,0 +1,19 @@
+//! # tpa-eval — measurement substrate for the TPA reproduction
+//!
+//! Pure measurement utilities shared by the experiment binaries:
+//!
+//! * [`metrics`] — L1/L2/max errors, top-k recall (Fig. 7), Spearman, NDCG.
+//! * [`timing`] — wall-clock helpers and summary [`timing::Stats`].
+//! * [`table`] — aligned ASCII + CSV result tables written to `results/`.
+//! * [`seeds`] — deterministic query-seed sampling (the paper averages
+//!   each measurement over 30 random seed nodes).
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod seeds;
+pub mod table;
+pub mod timing;
+
+pub use table::Table;
+pub use timing::{format_bytes, format_secs, time, Stats};

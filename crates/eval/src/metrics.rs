@@ -1,0 +1,268 @@
+//! Accuracy metrics used in the paper's evaluation: L1 error (Table III,
+//! Figs. 6/8/9) and recall of the exact top-k (Fig. 7), plus rank
+//! correlations for the extended analyses.
+
+/// `‖a − b‖₁`.
+pub fn l1_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// `‖a − b‖₂`.
+pub fn l2_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// `max_i |a_i − b_i|`.
+pub fn max_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+/// Indices of the `k` largest scores, descending; ties broken by lower
+/// index (deterministic).
+///
+/// ```
+/// let ranked = tpa_eval::metrics::top_k(&[0.1, 0.9, 0.4], 2);
+/// assert_eq!(ranked, vec![1, 2]);
+/// ```
+pub fn top_k(scores: &[f64], k: usize) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    let k = k.min(scores.len());
+    idx.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Recall of the approximate top-k against the exact top-k:
+/// `|approx ∩ exact| / k` — the y-axis of Fig. 7.
+pub fn recall_at_k(exact_scores: &[f64], approx_scores: &[f64], k: usize) -> f64 {
+    let exact: std::collections::HashSet<u32> = top_k(exact_scores, k).into_iter().collect();
+    let hit = top_k(approx_scores, k)
+        .into_iter()
+        .filter(|v| exact.contains(v))
+        .count();
+    hit as f64 / k.min(exact_scores.len()) as f64
+}
+
+/// Spearman rank correlation between two score vectors.
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let mean = (n as f64 - 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..n {
+        let xa = ra[i] - mean;
+        let xb = rb[i] - mean;
+        num += xa * xb;
+        da += xa * xa;
+        db += xb * xb;
+    }
+    if da == 0.0 || db == 0.0 {
+        return 0.0;
+    }
+    num / (da * db).sqrt()
+}
+
+/// Average ranks (ties get the mean of their positions).
+fn ranks(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).unwrap());
+    let mut r = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && x[idx[j + 1]] == x[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            r[k] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+/// Kendall rank correlation (τ-a) restricted to the union of both top-k
+/// sets — the pairwise-order agreement of the rankings users actually see.
+/// `O(k²)` pairs; intended for k ≤ a few thousand.
+pub fn kendall_tau_top_k(exact: &[f64], approx: &[f64], k: usize) -> f64 {
+    let mut nodes = top_k(exact, k);
+    nodes.extend(top_k(approx, k));
+    nodes.sort_unstable();
+    nodes.dedup();
+    let n = nodes.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let (a, b) = (nodes[i] as usize, nodes[j] as usize);
+            let de = exact[a] - exact[b];
+            let da = approx[a] - approx[b];
+            let prod = de * da;
+            if prod > 0.0 {
+                concordant += 1;
+            } else if prod < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let total = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / total
+}
+
+/// Top-k overlap curve: `overlap[i]` = |exact top-(i+1) ∩ approx
+/// top-(i+1)| / (i+1) for `i < k`. A strictly richer view than a single
+/// recall@k number.
+pub fn overlap_curve(exact: &[f64], approx: &[f64], k: usize) -> Vec<f64> {
+    let e = top_k(exact, k);
+    let a = top_k(approx, k);
+    let k = e.len().min(a.len());
+    let mut in_e = std::collections::HashSet::new();
+    let mut in_a = std::collections::HashSet::new();
+    let mut shared = 0usize;
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        // Count the new intersections contributed by the i-th element of
+        // each ranking (one shared element when they coincide).
+        if e[i] == a[i] {
+            shared += 1;
+        } else {
+            if in_a.contains(&e[i]) {
+                shared += 1;
+            }
+            if in_e.contains(&a[i]) {
+                shared += 1;
+            }
+        }
+        in_e.insert(e[i]);
+        in_a.insert(a[i]);
+        out.push(shared as f64 / (i + 1) as f64);
+    }
+    out
+}
+
+/// Normalized discounted cumulative gain at `k`, with the exact scores as
+/// graded relevance.
+pub fn ndcg_at_k(exact_scores: &[f64], approx_scores: &[f64], k: usize) -> f64 {
+    let gain = |order: &[u32]| -> f64 {
+        order
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| exact_scores[v as usize] / ((i + 2) as f64).log2())
+            .sum()
+    };
+    let ideal = gain(&top_k(exact_scores, k));
+    if ideal == 0.0 {
+        return 1.0;
+    }
+    gain(&top_k(approx_scores, k)) / ideal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l_norm_errors() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 0.0, 7.0];
+        assert_eq!(l1_error(&a, &b), 6.0);
+        assert_eq!(l2_error(&a, &b), (4.0f64 + 16.0).sqrt());
+        assert_eq!(max_error(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn top_k_orders_descending_with_stable_ties() {
+        let scores = [0.1, 0.5, 0.5, 0.9, 0.0];
+        assert_eq!(top_k(&scores, 3), vec![3, 1, 2]);
+        assert_eq!(top_k(&scores, 10).len(), 5);
+    }
+
+    #[test]
+    fn recall_perfect_and_partial() {
+        let exact = [0.9, 0.8, 0.7, 0.1, 0.0];
+        assert_eq!(recall_at_k(&exact, &exact, 3), 1.0);
+        let approx = [0.9, 0.0, 0.7, 0.8, 0.0]; // swapped node 1 ↔ 3
+        assert!((recall_at_k(&exact, &approx, 3) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_bounds() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let rev = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman_rho(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((spearman_rho(&a, &rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0];
+        let b = [2.0, 2.0, 4.0];
+        assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_perfect_is_one() {
+        let exact = [0.5, 0.3, 0.2, 0.0];
+        assert!((ndcg_at_k(&exact, &exact, 3) - 1.0).abs() < 1e-12);
+        let worst = [0.0, 0.2, 0.3, 0.5];
+        assert!(ndcg_at_k(&exact, &worst, 3) < 1.0);
+    }
+
+    #[test]
+    fn kendall_bounds_and_identity() {
+        let exact = [0.9, 0.7, 0.5, 0.3, 0.1];
+        assert!((kendall_tau_top_k(&exact, &exact, 5) - 1.0).abs() < 1e-12);
+        let reversed = [0.1, 0.3, 0.5, 0.7, 0.9];
+        assert!((kendall_tau_top_k(&exact, &reversed, 5) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_partial_disagreement() {
+        let exact = [0.9, 0.7, 0.5];
+        let approx = [0.9, 0.5, 0.7]; // one swapped pair of three
+        let tau = kendall_tau_top_k(&exact, &approx, 3);
+        assert!((tau - 1.0 / 3.0).abs() < 1e-12, "tau {tau}");
+    }
+
+    #[test]
+    fn overlap_curve_identity_is_all_ones() {
+        let exact = [0.5, 0.4, 0.3, 0.2, 0.1];
+        let c = overlap_curve(&exact, &exact, 4);
+        assert_eq!(c.len(), 4);
+        assert!(c.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn overlap_curve_detects_disjoint_prefix() {
+        let exact = [1.0, 0.9, 0.0, 0.0];
+        let approx = [0.0, 0.0, 1.0, 0.9];
+        let c = overlap_curve(&exact, &approx, 2);
+        assert!(c.iter().all(|&v| v == 0.0), "{c:?}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Wall-clock measurement helpers (the unit of Figs. 1(b), 1(c), 8, 10).
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` once, returning its result and the elapsed wall-clock time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Summary statistics over repeated measurements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (lower of the middle pair for even lengths).
+    pub median: f64,
+}
+
+impl Stats {
+    /// Computes stats from raw samples. Panics on empty input.
+    pub fn from_samples(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "need at least one sample");
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self {
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            median: sorted[(sorted.len() - 1) / 2],
+        }
+    }
+
+    /// Stats over durations, in seconds.
+    pub fn from_durations(ds: &[Duration]) -> Self {
+        let xs: Vec<f64> = ds.iter().map(Duration::as_secs_f64).collect();
+        Self::from_samples(&xs)
+    }
+}
+
+/// Formats a byte count with binary prefixes (`12.3 MiB`).
+pub fn format_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[unit])
+    }
+}
+
+/// Formats seconds adaptively (`123 µs`, `4.5 ms`, `6.78 s`).
+pub fn format_secs(secs: f64) -> String {
+    if secs < 1e-3 {
+        format!("{:.0} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures_something() {
+        let (v, d) = time(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn stats_known_values() {
+        let s = Stats::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.0);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert_eq!(format_bytes(3 * 1024 * 1024), "3.00 MiB");
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(format_secs(0.0000123), "12 µs");
+        assert_eq!(format_secs(0.0123), "12.30 ms");
+        assert_eq!(format_secs(1.5), "1.50 s");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn stats_reject_empty() {
+        Stats::from_samples(&[]);
+    }
+}

@@ -1,0 +1,428 @@
+//! Classic graph algorithms used for dataset characterization (the
+//! extended Table II) and by the block-elimination baselines.
+
+use crate::{CsrGraph, NodeId};
+use std::collections::VecDeque;
+
+/// BFS hop distances from `source`, treating the graph as directed.
+/// Unreachable nodes get `u32::MAX`.
+pub fn bfs_distances(g: &CsrGraph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut q = VecDeque::from([source]);
+    dist[source as usize] = 0;
+    while let Some(u) = q.pop_front() {
+        let d = dist[u as usize] + 1;
+        for &v in g.out_neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = d;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Weakly connected components (edge direction ignored): returns
+/// `(component_id per node, component count)`.
+pub fn weakly_connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = g.n();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n as NodeId {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = count;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count as usize)
+}
+
+/// Strongly connected components via Tarjan's algorithm (iterative, so
+/// deep graphs don't blow the stack). Returns `(scc_id per node, count)`;
+/// ids are in reverse topological order of the condensation.
+pub fn strongly_connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = g.n();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut scc = vec![UNSET; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut scc_count = 0u32;
+
+    // Explicit DFS state machine: (node, next-child cursor).
+    let mut call: Vec<(NodeId, usize)> = Vec::new();
+    for root in 0..n as NodeId {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        call.push((root, 0));
+        while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+            if *cursor == 0 {
+                index[v as usize] = next_index;
+                lowlink[v as usize] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v as usize] = true;
+            }
+            let neighbors = g.out_neighbors(v);
+            if *cursor < neighbors.len() {
+                let w = neighbors[*cursor];
+                *cursor += 1;
+                if index[w as usize] == UNSET {
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                // v is finished.
+                if lowlink[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().unwrap();
+                        on_stack[w as usize] = false;
+                        scc[w as usize] = scc_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc_count += 1;
+                }
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+            }
+        }
+    }
+    (scc, scc_count as usize)
+}
+
+/// Fraction of (non-self-loop) edges whose reverse edge also exists.
+pub fn reciprocity(g: &CsrGraph) -> f64 {
+    let mut mutual = 0usize;
+    let mut total = 0usize;
+    for (u, v) in g.edges() {
+        if u == v {
+            continue;
+        }
+        total += 1;
+        if g.has_edge(v, u) {
+            mutual += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        mutual as f64 / total as f64
+    }
+}
+
+/// Out-degree histogram: `hist[d]` = number of nodes with out-degree `d`
+/// (trailing zeros trimmed).
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in 0..g.n() as NodeId {
+        let d = g.out_degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Power-law exponent estimate for the out-degree distribution via the
+/// Hill / maximum-likelihood estimator `1 + n̂/Σ ln(dᵢ/(dmin−½))` over
+/// degrees ≥ `dmin`.
+pub fn power_law_exponent(g: &CsrGraph, dmin: usize) -> Option<f64> {
+    assert!(dmin >= 1);
+    let mut count = 0usize;
+    let mut log_sum = 0.0f64;
+    for v in 0..g.n() as NodeId {
+        let d = g.out_degree(v);
+        if d >= dmin {
+            count += 1;
+            log_sum += (d as f64 / (dmin as f64 - 0.5)).ln();
+        }
+    }
+    if count < 10 || log_sum <= 0.0 {
+        None
+    } else {
+        Some(1.0 + count as f64 / log_sum)
+    }
+}
+
+/// K-core decomposition (undirected view): `core[v]` is the largest `k`
+/// such that `v` belongs to a subgraph where every node has degree ≥ k.
+/// Peeling algorithm, `O(n + m)` with bucketed degrees. High-core nodes
+/// are the "hubs" block-elimination methods peel off first.
+pub fn k_core(g: &CsrGraph) -> Vec<u32> {
+    let n = g.n();
+    // Undirected degree (distinct neighbors in either direction).
+    let mut degree: Vec<usize> = (0..n as NodeId)
+        .map(|v| {
+            let mut ns: Vec<NodeId> =
+                g.out_neighbors(v).iter().chain(g.in_neighbors(v)).copied().collect();
+            ns.sort_unstable();
+            ns.dedup();
+            ns.retain(|&x| x != v);
+            ns.len()
+        })
+        .collect();
+    let max_deg = degree.iter().max().copied().unwrap_or(0);
+
+    // Bucket queue over degrees.
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n {
+        buckets[degree[v]].push(v as NodeId);
+    }
+    let mut core = vec![0u32; n];
+    let mut removed = vec![false; n];
+    let mut current_k = 0usize;
+    let mut processed = 0usize;
+    let mut cursor = 0usize; // lowest possibly non-empty bucket
+    while processed < n {
+        // Find the next node with minimal remaining degree.
+        while cursor <= max_deg && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        if cursor > max_deg {
+            break;
+        }
+        let v = buckets[cursor].pop().unwrap();
+        if removed[v as usize] || degree[v as usize] != cursor {
+            continue; // stale entry
+        }
+        current_k = current_k.max(cursor);
+        core[v as usize] = current_k as u32;
+        removed[v as usize] = true;
+        processed += 1;
+        // Decrement neighbors.
+        let mut ns: Vec<NodeId> =
+            g.out_neighbors(v).iter().chain(g.in_neighbors(v)).copied().collect();
+        ns.sort_unstable();
+        ns.dedup();
+        for w in ns {
+            if w == v || removed[w as usize] {
+                continue;
+            }
+            let d = degree[w as usize];
+            if d > 0 {
+                degree[w as usize] = d - 1;
+                buckets[d - 1].push(w);
+                if d - 1 < cursor {
+                    cursor = d - 1;
+                }
+            }
+        }
+    }
+    core
+}
+
+/// Estimated average local clustering coefficient over a node sample
+/// (treating edges as undirected). Exact when `sample >= n`.
+pub fn clustering_coefficient(g: &CsrGraph, sample: usize, rng_seed: u64) -> f64 {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let n = g.n();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let nodes: Vec<NodeId> = if sample >= n {
+        (0..n as NodeId).collect()
+    } else {
+        (0..sample).map(|_| rng.gen_range(0..n) as NodeId).collect()
+    };
+    let neighbors = |v: NodeId| -> Vec<NodeId> {
+        let mut ns: Vec<NodeId> =
+            g.out_neighbors(v).iter().chain(g.in_neighbors(v)).copied().collect();
+        ns.sort_unstable();
+        ns.dedup();
+        ns.retain(|&x| x != v);
+        ns
+    };
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for v in nodes {
+        let ns = neighbors(v);
+        if ns.len() < 2 {
+            continue;
+        }
+        let mut links = 0usize;
+        for (i, &a) in ns.iter().enumerate() {
+            for &b in &ns[i + 1..] {
+                if g.has_edge(a, b) || g.has_edge(b, a) {
+                    links += 1;
+                }
+            }
+        }
+        total += 2.0 * links as f64 / (ns.len() * (ns.len() - 1)) as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{complete_graph, cycle_graph, path_graph, star_graph};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d1 = bfs_distances(&g, 2);
+        assert_eq!(d1[0], u32::MAX); // directed: can't go back
+        assert_eq!(d1[4], 2);
+    }
+
+    #[test]
+    fn wcc_counts_islands() {
+        // Two disconnected cycles.
+        let g = GraphBuilder::new(6)
+            .extend_edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .build();
+        let (comp, count) = weakly_connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[3], comp[5]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn scc_on_cycle_is_single() {
+        let g = cycle_graph(6);
+        let (_, count) = strongly_connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn scc_on_dag_is_per_node() {
+        let g = GraphBuilder::new(4)
+            .dangling_policy(crate::DanglingPolicy::Keep)
+            .extend_edges([(0, 1), (1, 2), (2, 3), (0, 2)])
+            .build();
+        let (_, count) = strongly_connected_components(&g);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn scc_mixed() {
+        // Cycle {0,1,2} feeding into a 2-cycle {3,4}.
+        let g = GraphBuilder::new(5)
+            .extend_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)])
+            .build();
+        let (scc, count) = strongly_connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(scc[0], scc[1]);
+        assert_eq!(scc[0], scc[2]);
+        assert_eq!(scc[3], scc[4]);
+        assert_ne!(scc[0], scc[3]);
+    }
+
+    #[test]
+    fn reciprocity_extremes() {
+        let sym = star_graph(5); // all edges mutual
+        assert!((reciprocity(&sym) - 1.0).abs() < 1e-12);
+        let path = GraphBuilder::new(3)
+            .dangling_policy(crate::DanglingPolicy::Keep)
+            .extend_edges([(0, 1), (1, 2)])
+            .build();
+        assert_eq!(reciprocity(&path), 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = star_graph(10);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 10);
+        assert_eq!(h[9], 1); // the hub
+        assert_eq!(h[1], 9); // the leaves
+    }
+
+    #[test]
+    fn power_law_estimator_on_uniform_graph_is_large() {
+        // A complete graph has no heavy tail: exponent estimate is huge
+        // (all degrees equal → log-sum tiny) or None.
+        let g = complete_graph(20);
+        if let Some(gamma) = power_law_exponent(&g, 2) {
+            assert!(gamma > 1.0);
+        }
+    }
+
+    #[test]
+    fn k_core_of_complete_graph() {
+        let g = complete_graph(6);
+        let core = k_core(&g);
+        assert!(core.iter().all(|&c| c == 5), "{core:?}");
+    }
+
+    #[test]
+    fn k_core_of_star_is_one() {
+        let g = star_graph(8);
+        let core = k_core(&g);
+        assert!(core.iter().all(|&c| c == 1), "{core:?}");
+    }
+
+    #[test]
+    fn k_core_peels_pendant_chain() {
+        // Triangle {0,1,2} with a pendant path 2-3-4.
+        let g = GraphBuilder::new(5)
+            .extend_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+            .symmetrize()
+            .build();
+        let core = k_core(&g);
+        assert_eq!(core[0], 2);
+        assert_eq!(core[1], 2);
+        assert_eq!(core[2], 2);
+        assert_eq!(core[3], 1);
+        assert_eq!(core[4], 1);
+    }
+
+    #[test]
+    fn k_core_monotone_under_edge_addition() {
+        let sparse = GraphBuilder::new(4)
+            .extend_edges([(0, 1), (1, 2), (2, 3)])
+            .symmetrize()
+            .build();
+        let dense = complete_graph(4);
+        let cs = k_core(&sparse);
+        let cd = k_core(&dense);
+        for v in 0..4 {
+            assert!(cd[v] >= cs[v]);
+        }
+    }
+
+    #[test]
+    fn clustering_complete_graph_is_one() {
+        let g = complete_graph(8);
+        let c = clustering_coefficient(&g, 100, 1);
+        assert!((c - 1.0).abs() < 1e-12, "c = {c}");
+    }
+
+    #[test]
+    fn clustering_cycle_is_zero() {
+        let g = cycle_graph(10);
+        let c = clustering_coefficient(&g, 100, 1);
+        assert!(c.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,263 @@
+//! Incremental construction of [`CsrGraph`] from unsorted edge streams.
+
+use crate::{CsrGraph, NodeId};
+
+/// What to do with nodes that end up with zero out-degree.
+///
+/// The TPA/CPI math (paper §II) requires `Ãᵀ` to be column-stochastic, which
+/// holds only when every node has at least one out-edge. Real edge lists and
+/// random generators routinely violate this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DanglingPolicy {
+    /// Add a self-loop to every dangling node (default). Keeps the walk
+    /// probability mass conserved, matching the paper's assumptions.
+    #[default]
+    SelfLoop,
+    /// Leave dangling nodes alone; probability mass "leaks" at them, so CPI
+    /// sums converge to less than 1. Useful for studying the leak itself.
+    Keep,
+}
+
+/// Builder collecting edges before the one-shot CSR construction.
+///
+/// Construction sorts the staged edge list once per orientation
+/// (`O(m log m)`); deduplication is a linear pass over the sorted list.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    dedup: bool,
+    keep_self_loops: bool,
+    dangling: DanglingPolicy,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph with exactly `n` nodes (`0..n`).
+    pub fn new(n: usize) -> Self {
+        Self::with_capacity(n, 0)
+    }
+
+    /// Builder preallocating space for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        assert!(n <= NodeId::MAX as usize, "node count exceeds u32 id space");
+        Self {
+            n,
+            edges: Vec::with_capacity(m),
+            dedup: true,
+            keep_self_loops: true,
+            dangling: DanglingPolicy::default(),
+        }
+    }
+
+    /// Disable duplicate-edge removal (parallel edges are kept).
+    pub fn allow_parallel_edges(mut self) -> Self {
+        self.dedup = false;
+        self
+    }
+
+    /// Remove self-loops present in the input during [`Self::build`].
+    /// (Self-loops added by [`DanglingPolicy::SelfLoop`] are unaffected:
+    /// they are inserted after filtering.)
+    pub fn drop_self_loops(mut self) -> Self {
+        self.keep_self_loops = false;
+        self
+    }
+
+    /// Set the dangling-node policy (default: [`DanglingPolicy::SelfLoop`]).
+    pub fn dangling_policy(mut self, p: DanglingPolicy) -> Self {
+        self.dangling = p;
+        self
+    }
+
+    /// Add one directed edge. Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Add every edge from an iterator (chainable by-value form).
+    pub fn extend_edges(mut self, it: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Add the reverse of every edge added so far, making the graph
+    /// symmetric (an undirected graph in directed representation).
+    pub fn symmetrize(mut self) -> Self {
+        let rev: Vec<(NodeId, NodeId)> = self.edges.iter().map(|&(u, v)| (v, u)).collect();
+        self.edges.extend(rev);
+        self
+    }
+
+    /// Number of edges currently staged (before dedup).
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalize into an immutable [`CsrGraph`].
+    pub fn build(self) -> CsrGraph {
+        let Self { n, mut edges, dedup, keep_self_loops, dangling } = self;
+
+        if !keep_self_loops {
+            edges.retain(|&(u, v)| u != v);
+        }
+
+        if dedup {
+            edges.sort_unstable();
+            edges.dedup();
+        }
+
+        if dangling == DanglingPolicy::SelfLoop {
+            let mut has_out = vec![false; n];
+            for &(u, _) in &edges {
+                has_out[u as usize] = true;
+            }
+            for u in 0..n {
+                if !has_out[u] {
+                    edges.push((u as NodeId, u as NodeId));
+                }
+            }
+        }
+
+        let (out_offsets, out_targets) = bucket(n, &edges, false);
+        let (in_offsets, in_sources) = bucket(n, &edges, true);
+        CsrGraph::from_raw_parts(out_offsets, out_targets, in_offsets, in_sources)
+    }
+}
+
+/// Counting-sort `edges` into CSR `(offsets, data)`. With `transpose` the
+/// edges are keyed by target and the sources are stored. Data within each
+/// node's range is sorted ascending.
+fn bucket(n: usize, edges: &[(NodeId, NodeId)], transpose: bool) -> (Vec<usize>, Vec<NodeId>) {
+    let key = |&(u, v): &(NodeId, NodeId)| if transpose { (v, u) } else { (u, v) };
+    let mut counts = vec![0usize; n + 1];
+    for e in edges {
+        counts[key(e).0 as usize + 1] += 1;
+    }
+    for i in 0..n {
+        counts[i + 1] += counts[i];
+    }
+    let offsets = counts.clone();
+    let mut data = vec![0 as NodeId; edges.len()];
+    let mut cursor = counts;
+    for e in edges {
+        let (k, v) = key(e);
+        data[cursor[k as usize]] = v;
+        cursor[k as usize] += 1;
+    }
+    for u in 0..n {
+        data[offsets[u]..offsets[u + 1]].sort_unstable();
+    }
+    (offsets, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_adjacency() {
+        let g = GraphBuilder::new(3)
+            .dangling_policy(DanglingPolicy::Keep)
+            .extend_edges([(2, 1), (0, 2), (0, 1), (2, 0)])
+            .build();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(2), &[0, 1]);
+        assert_eq!(g.in_neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn dedup_removes_parallel_edges() {
+        let g = GraphBuilder::new(2)
+            .extend_edges([(0, 1), (0, 1), (0, 1), (1, 0)])
+            .build();
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn parallel_edges_kept_when_allowed() {
+        let g = GraphBuilder::new(2)
+            .allow_parallel_edges()
+            .dangling_policy(DanglingPolicy::Keep)
+            .extend_edges([(0, 1), (0, 1)])
+            .build();
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.out_neighbors(0), &[1, 1]);
+    }
+
+    #[test]
+    fn self_loop_patching_for_dangling() {
+        let g = GraphBuilder::new(3).extend_edges([(0, 1), (0, 2)]).build();
+        // 1 and 2 were dangling; each gets a self-loop.
+        assert_eq!(g.dangling_nodes(), Vec::<NodeId>::new());
+        assert!(g.has_edge(1, 1));
+        assert!(g.has_edge(2, 2));
+        assert_eq!(g.m(), 4);
+    }
+
+    #[test]
+    fn keep_policy_leaves_dangling() {
+        let g = GraphBuilder::new(3)
+            .dangling_policy(DanglingPolicy::Keep)
+            .extend_edges([(0, 1), (0, 2)])
+            .build();
+        assert_eq!(g.dangling_nodes(), vec![1, 2]);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn drop_self_loops_filters_input_only() {
+        let g = GraphBuilder::new(2)
+            .drop_self_loops()
+            .dangling_policy(DanglingPolicy::Keep)
+            .extend_edges([(0, 0), (0, 1)])
+            .build();
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn symmetrize_doubles_edges() {
+        let g = GraphBuilder::new(3)
+            .extend_edges([(0, 1), (1, 2)])
+            .symmetrize()
+            .build();
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(2, 1));
+        assert_eq!(g.m(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edge() {
+        GraphBuilder::new(2).extend_edges([(0, 2)]).build();
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let edges = [(0, 1), (2, 0), (1, 2), (2, 1)];
+        let a = GraphBuilder::new(3).extend_edges(edges).build();
+        let b = GraphBuilder::new(3).extend_edges(edges).build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn self_loop_patch_after_self_loop_filter() {
+        // Node 1's only edge is a self-loop which gets filtered; the
+        // dangling policy must then re-add one.
+        let g = GraphBuilder::new(2)
+            .drop_self_loops()
+            .extend_edges([(0, 1), (1, 1)])
+            .build();
+        assert!(g.has_edge(1, 1));
+        assert_eq!(g.dangling_nodes(), Vec::<NodeId>::new());
+    }
+}

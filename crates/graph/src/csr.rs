@@ -1,0 +1,325 @@
+//! Compressed sparse row (CSR) graph storage.
+//!
+//! [`CsrGraph`] stores a directed graph in both orientations: out-edges in
+//! CSR order and in-edges in CSC order (the transpose). RWR propagation
+//! `y ← (1−c)·Ãᵀx` is a *gather* over in-edges, so the transpose is the hot
+//! structure; the forward orientation serves push-style methods (Forward
+//! Push, FORA, Monte Carlo walks).
+
+use crate::NodeId;
+
+/// An immutable directed graph in compressed sparse row form.
+///
+/// Node identifiers are dense `u32` values in `0..n`. Parallel edges are
+/// permitted (the builder deduplicates by default); self-loops are permitted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrGraph {
+    /// `out_offsets[u]..out_offsets[u+1]` indexes `out_targets` — length `n+1`.
+    out_offsets: Vec<usize>,
+    /// Flattened out-neighbor lists, sorted within each node's range.
+    out_targets: Vec<NodeId>,
+    /// `in_offsets[v]..in_offsets[v+1]` indexes `in_sources` — length `n+1`.
+    in_offsets: Vec<usize>,
+    /// Flattened in-neighbor lists, sorted within each node's range.
+    in_sources: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph directly from raw CSR arrays.
+    ///
+    /// Callers normally go through [`crate::GraphBuilder`]; this constructor
+    /// is for deserialization and tests. Panics if the arrays are not a valid
+    /// CSR/CSC pair (checked via [`CsrGraph::validate`] in debug builds).
+    pub fn from_raw_parts(
+        out_offsets: Vec<usize>,
+        out_targets: Vec<NodeId>,
+        in_offsets: Vec<usize>,
+        in_sources: Vec<NodeId>,
+    ) -> Self {
+        let g = Self { out_offsets, out_targets, in_offsets, in_sources };
+        debug_assert!(g.validate().is_ok(), "invalid CSR arrays: {:?}", g.validate());
+        g
+    }
+
+    /// Constructs the graph from an edge list. Convenience wrapper used by
+    /// generators; equivalent to pushing every pair into a builder with
+    /// default options.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        crate::GraphBuilder::with_capacity(n, edges.len())
+            .extend_edges(edges.iter().copied())
+            .build()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-neighbors of `u`, sorted ascending.
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.out_targets[self.out_offsets[u]..self.out_offsets[u + 1]]
+    }
+
+    /// In-neighbors of `v` (sources of edges into `v`), sorted ascending.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        let u = u as usize;
+        self.out_offsets[u + 1] - self.out_offsets[u]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.in_offsets[v + 1] - self.in_offsets[v]
+    }
+
+    /// Raw out-offset array (length `n+1`).
+    #[inline]
+    pub fn out_offsets(&self) -> &[usize] {
+        &self.out_offsets
+    }
+
+    /// Raw out-target array (length `m`).
+    #[inline]
+    pub fn out_targets(&self) -> &[NodeId] {
+        &self.out_targets
+    }
+
+    /// Raw in-offset array (length `n+1`).
+    #[inline]
+    pub fn in_offsets(&self) -> &[usize] {
+        &self.in_offsets
+    }
+
+    /// Raw in-source array (length `m`).
+    #[inline]
+    pub fn in_sources(&self) -> &[NodeId] {
+        &self.in_sources
+    }
+
+    /// Iterator over all directed edges in CSR order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n() as NodeId)
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// True if the graph contains the directed edge `(u, v)`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Nodes with zero out-degree ("dangling" nodes). The RWR transition
+    /// matrix is column-stochastic only when this list is empty.
+    pub fn dangling_nodes(&self) -> Vec<NodeId> {
+        (0..self.n() as NodeId).filter(|&u| self.out_degree(u) == 0).collect()
+    }
+
+    /// `1 / out_degree(u)` per node, with `0.0` for dangling nodes.
+    /// Precomputed once by propagation kernels.
+    pub fn inv_out_degrees(&self) -> Vec<f64> {
+        (0..self.n() as NodeId)
+            .map(|u| {
+                let d = self.out_degree(u);
+                if d == 0 {
+                    0.0
+                } else {
+                    1.0 / d as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Heap footprint in bytes of the CSR arrays (the `O(n+m)` storage term
+    /// in the paper's Theorem 4).
+    pub fn memory_bytes(&self) -> usize {
+        self.out_offsets.len() * std::mem::size_of::<usize>()
+            + self.in_offsets.len() * std::mem::size_of::<usize>()
+            + self.out_targets.len() * std::mem::size_of::<NodeId>()
+            + self.in_sources.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Average out-degree `m / n`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.m() as f64 / self.n() as f64
+        }
+    }
+
+    /// Checks every structural invariant: offset monotonicity, bounds of
+    /// neighbor ids, per-node sortedness, and the CSR/CSC mirror property
+    /// (each orientation must contain exactly the same multiset of edges).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n();
+        if self.in_offsets.len() != n + 1 {
+            return Err(format!(
+                "in_offsets length {} != n+1 = {}",
+                self.in_offsets.len(),
+                n + 1
+            ));
+        }
+        for (name, offsets, data) in [
+            ("out", &self.out_offsets, &self.out_targets),
+            ("in", &self.in_offsets, &self.in_sources),
+        ] {
+            if offsets[0] != 0 {
+                return Err(format!("{name}_offsets[0] != 0"));
+            }
+            if *offsets.last().unwrap() != data.len() {
+                return Err(format!("{name}_offsets last != data len"));
+            }
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("{name}_offsets not monotonic"));
+            }
+            if data.iter().any(|&x| (x as usize) >= n) {
+                return Err(format!("{name} data contains out-of-range node id"));
+            }
+            for u in 0..n {
+                let seg = &data[offsets[u]..offsets[u + 1]];
+                if seg.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(format!("{name} neighbors of {u} not sorted"));
+                }
+            }
+        }
+        if self.out_targets.len() != self.in_sources.len() {
+            return Err("edge count mismatch between CSR and CSC".into());
+        }
+        // Mirror property: count edges (u,v) in both orientations.
+        let mut fwd: Vec<(NodeId, NodeId)> = self.edges().collect();
+        let mut bwd: Vec<(NodeId, NodeId)> = (0..n as NodeId)
+            .flat_map(|v| self.in_neighbors(v).iter().map(move |&u| (u, v)))
+            .collect();
+        fwd.sort_unstable();
+        bwd.sort_unstable();
+        if fwd != bwd {
+            return Err("CSR and CSC orientations disagree".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 0
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = diamond();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 5);
+        assert_eq!(g.avg_degree(), 1.25);
+    }
+
+    #[test]
+    fn neighbors_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(3), &[0]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[3]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.in_degree(1), 1);
+    }
+
+    #[test]
+    fn has_edge_lookup() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(3, 0));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(3, 3));
+    }
+
+    #[test]
+    fn edges_iterator_roundtrip() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn dangling_detection() {
+        let g = crate::GraphBuilder::new(3)
+            .dangling_policy(crate::DanglingPolicy::Keep)
+            .extend_edges([(0, 1), (0, 2)])
+            .build();
+        assert_eq!(g.dangling_nodes(), vec![1, 2]);
+        let inv = g.inv_out_degrees();
+        assert_eq!(inv, vec![0.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn validate_accepts_good_graph() {
+        assert!(diamond().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_orientations() {
+        let g = CsrGraph {
+            out_offsets: vec![0, 1, 1],
+            out_targets: vec![1],
+            in_offsets: vec![0, 1, 1],
+            in_sources: vec![1], // should be edge (0,1) mirrored: in_neighbors(1) = [0]
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn single_node_no_edges() {
+        let g = crate::GraphBuilder::new(1)
+            .dangling_policy(crate::DanglingPolicy::Keep)
+            .build();
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.out_degree(0), 0);
+        assert_eq!(g.dangling_nodes(), vec![0]);
+    }
+
+    #[test]
+    fn from_edges_patches_dangling_by_default() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2)]);
+        assert!(g.dangling_nodes().is_empty());
+        assert!(g.has_edge(1, 1) && g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn memory_accounting_scales_with_m() {
+        let small = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let big = CsrGraph::from_edges(
+            4,
+            &[(0, 1), (1, 0), (2, 3), (3, 2), (0, 2), (2, 0), (1, 3), (3, 1)],
+        );
+        assert!(big.memory_bytes() > small.memory_bytes());
+    }
+}

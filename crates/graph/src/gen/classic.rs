@@ -1,0 +1,144 @@
+//! Classic random-graph models used by the ablation benches:
+//! Barabási–Albert preferential attachment (heavy tail, no planted
+//! communities) and Watts–Strogatz small world (high clustering, flat
+//! degrees). Together with ER and LFR-lite they span the structure axes —
+//! degree skew × clustering × community — that TPA's two approximations
+//! depend on.
+
+use crate::{CsrGraph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Barabási–Albert preferential attachment: starts from a small complete
+/// core and attaches each new node to `m_per_node` existing nodes chosen
+/// proportionally to their current degree. Edges are inserted in both
+/// directions (the classic model is undirected).
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m_per_node: usize, rng: &mut R) -> CsrGraph {
+    assert!(m_per_node >= 1);
+    assert!(n > m_per_node + 1, "need n > m_per_node + 1");
+    let core = m_per_node + 1;
+    let mut builder = GraphBuilder::with_capacity(n, 2 * n * m_per_node);
+    // Repeated-endpoint list: sampling uniformly from it is degree-biased.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m_per_node);
+    for u in 0..core {
+        for v in 0..core {
+            if u != v {
+                builder.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+        for _ in 0..core - 1 {
+            endpoints.push(u as NodeId);
+        }
+    }
+    for v in core..n {
+        let v = v as NodeId;
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m_per_node);
+        let mut guard = 0;
+        while chosen.len() < m_per_node && guard < 100 * m_per_node {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            builder.add_edge(v, t);
+            builder.add_edge(t, v);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    builder.build()
+}
+
+/// Watts–Strogatz small world: a ring lattice where each node connects to
+/// `k/2` neighbors on each side, with every edge rewired to a random
+/// target with probability `beta`. Bidirectional edges.
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> CsrGraph {
+    assert!(k >= 2 && k % 2 == 0, "k must be even and >= 2");
+    assert!(n > k, "need n > k");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut builder = GraphBuilder::with_capacity(n, n * k);
+    for u in 0..n {
+        for hop in 1..=k / 2 {
+            let mut v = (u + hop) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire to a uniform non-self target.
+                loop {
+                    let cand = rng.gen_range(0..n);
+                    if cand != u {
+                        v = cand;
+                        break;
+                    }
+                }
+            }
+            builder.add_edge(u as NodeId, v as NodeId);
+            builder.add_edge(v as NodeId, u as NodeId);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ba_has_heavy_tail() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let g = barabasi_albert(2000, 3, &mut rng);
+        assert!(g.validate().is_ok());
+        let mut degs: Vec<usize> = (0..g.n() as NodeId).map(|v| g.out_degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        // Hub-to-median ratio should be large under preferential attachment.
+        assert!(degs[0] > 8 * degs[g.n() / 2], "max {} median {}", degs[0], degs[g.n() / 2]);
+    }
+
+    #[test]
+    fn ba_is_connected() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let g = barabasi_albert(500, 2, &mut rng);
+        let (_, wcc) = algo::weakly_connected_components(&g);
+        assert_eq!(wcc, 1);
+    }
+
+    #[test]
+    fn ws_zero_beta_is_regular_lattice() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let g = watts_strogatz(100, 4, 0.0, &mut rng);
+        for v in 0..100u32 {
+            assert_eq!(g.out_degree(v), 4, "node {v}");
+        }
+        // Ring lattices have high clustering.
+        assert!(algo::clustering_coefficient(&g, 200, 1) > 0.3);
+    }
+
+    #[test]
+    fn ws_rewiring_shrinks_diameter() {
+        let mut rng = StdRng::seed_from_u64(94);
+        let lattice = watts_strogatz(400, 4, 0.0, &mut rng);
+        let small_world = watts_strogatz(400, 4, 0.2, &mut rng);
+        let ecc = |g: &CsrGraph| {
+            let d = algo::bfs_distances(g, 0);
+            d.iter().filter(|&&x| x != u32::MAX).max().copied().unwrap_or(0)
+        };
+        assert!(
+            ecc(&small_world) < ecc(&lattice),
+            "rewiring should create shortcuts: {} vs {}",
+            ecc(&small_world),
+            ecc(&lattice)
+        );
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        let a = barabasi_albert(200, 2, &mut StdRng::seed_from_u64(5));
+        let b = barabasi_albert(200, 2, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        let c = watts_strogatz(100, 4, 0.3, &mut StdRng::seed_from_u64(5));
+        let d = watts_strogatz(100, 4, 0.3, &mut StdRng::seed_from_u64(5));
+        assert_eq!(c, d);
+    }
+}

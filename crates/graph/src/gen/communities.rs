@@ -1,0 +1,394 @@
+//! Community-structured generators: stochastic block model and an LFR-style
+//! planted-partition model with power-law degrees ("LFR-lite").
+//!
+//! These provide the *block-wise structure* that the paper's neighbor
+//! approximation exploits (§III-B, Fig. 5, Fig. 6): nodes inside a community
+//! are densely inter-connected, so scores propagated from a seed keep
+//! circulating inside the seed's community for the early iterations.
+
+use super::{power_law_weights, AliasTable};
+use crate::{CsrGraph, GraphBuilder, NodeId};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Stochastic block model with explicit block sizes.
+///
+/// Every ordered intra-block pair becomes an edge with probability `p_in`,
+/// every inter-block pair with probability `p_out`. Edge counts per block
+/// pair are drawn from a Poisson approximation of the Binomial, then that
+/// many distinct pairs are sampled — accurate for the sparse graphs used
+/// here and `O(m)` instead of `O(n²)`.
+pub fn sbm<R: Rng + ?Sized>(block_sizes: &[usize], p_in: f64, p_out: f64, rng: &mut R) -> CsrGraph {
+    assert!(!block_sizes.is_empty());
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let n: usize = block_sizes.iter().sum();
+    let starts: Vec<usize> = block_sizes
+        .iter()
+        .scan(0usize, |acc, &s| {
+            let start = *acc;
+            *acc += s;
+            Some(start)
+        })
+        .collect();
+
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut builder = GraphBuilder::new(n);
+    for (bi, &si) in block_sizes.iter().enumerate() {
+        for (bj, &sj) in block_sizes.iter().enumerate() {
+            let p = if bi == bj { p_in } else { p_out };
+            if p == 0.0 {
+                continue;
+            }
+            let pairs = if bi == bj { si * si.saturating_sub(1) } else { si * sj };
+            let target = poisson_approx_binomial(pairs as u64, p, rng);
+            let mut placed = 0u64;
+            let mut tries = 0u64;
+            let budget = 30 * target + 1000;
+            while placed < target && tries < budget {
+                tries += 1;
+                let u = (starts[bi] + rng.gen_range(0..si)) as NodeId;
+                let v = (starts[bj] + rng.gen_range(0..sj)) as NodeId;
+                if u == v {
+                    continue;
+                }
+                let key = (u as u64) << 32 | v as u64;
+                if seen.insert(key) {
+                    builder.add_edge(u, v);
+                    placed += 1;
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Sample from Binomial(n, p) via the Poisson limit (sparse regime) with a
+/// normal approximation for large means. Exact enough for graph generation.
+fn poisson_approx_binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    let lambda = n as f64 * p;
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        // Knuth's algorithm.
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut prod = 1.0f64;
+        loop {
+            prod *= rng.gen::<f64>();
+            if prod <= l {
+                return k.min(n);
+            }
+            k += 1;
+        }
+    }
+    // Normal approximation with continuity, clamped to [0, n].
+    let std = lambda.sqrt();
+    let z: f64 = {
+        // Box–Muller.
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    let x = (lambda + std * z).round();
+    x.clamp(0.0, n as f64) as u64
+}
+
+/// Configuration for [`lfr_lite`].
+#[derive(Clone, Copy, Debug)]
+pub struct LfrConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of distinct directed edges to place.
+    pub m: usize,
+    /// Mixing parameter μ: fraction of edges whose target is chosen globally
+    /// instead of within the source's community. μ=0 → perfectly separated
+    /// blocks, μ=1 → no community structure (pure Chung–Lu).
+    pub mu: f64,
+    /// Degree power-law exponent γ (weights ∝ rank^(−1/(γ−1))).
+    pub degree_exponent: f64,
+    /// Community-size power-law exponent.
+    pub community_exponent: f64,
+    /// Smallest allowed community.
+    pub min_community: usize,
+    /// Largest allowed community.
+    pub max_community: usize,
+    /// Probability that an edge is accompanied by its reverse edge.
+    /// Social networks are highly reciprocal (LiveJournal ≈ 0.7,
+    /// Twitter ≈ 0.2); reciprocity produces the 2-step walk returns that
+    /// block-wise structure relies on.
+    pub reciprocity: f64,
+}
+
+impl Default for LfrConfig {
+    fn default() -> Self {
+        Self {
+            n: 1000,
+            m: 8000,
+            mu: 0.2,
+            degree_exponent: 2.5,
+            community_exponent: 2.0,
+            min_community: 20,
+            max_community: 200,
+            reciprocity: 0.0,
+        }
+    }
+}
+
+/// An LFR-lite graph together with its planted community assignment.
+#[derive(Clone, Debug)]
+pub struct LfrGraph {
+    /// The generated graph.
+    pub graph: CsrGraph,
+    /// `communities[v]` = planted community index of node `v`.
+    pub communities: Vec<u32>,
+    /// Number of planted communities.
+    pub num_communities: usize,
+}
+
+/// LFR-style benchmark graph: power-law degrees, power-law community sizes,
+/// and a mixing parameter μ controlling inter-community edges.
+///
+/// Simplifications vs. full LFR (hence "lite"): degree/community-size
+/// sequences are rank-based rather than sampled, and edges are drawn with a
+/// Chung–Lu two-endpoint scheme rather than stub matching. Both heavy tails
+/// and tunable block-wise structure — the two graph properties the paper's
+/// approximations exploit — are preserved.
+pub fn lfr_lite<R: Rng + ?Sized>(cfg: LfrConfig, rng: &mut R) -> LfrGraph {
+    assert!(cfg.n >= 2 && cfg.m >= 1);
+    assert!((0.0..=1.0).contains(&cfg.mu), "mu must be in [0,1]");
+    assert!(cfg.min_community >= 2 && cfg.min_community <= cfg.max_community);
+
+    // 1. Community sizes: power-law ranks clipped to [min, max], drawn until
+    //    they cover n nodes.
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut covered = 0usize;
+    let alpha = 1.0 / (cfg.community_exponent - 1.0);
+    let mut rank = 1usize;
+    while covered < cfg.n {
+        let raw = cfg.max_community as f64 * (rank as f64).powf(-alpha);
+        let size = (raw as usize).clamp(cfg.min_community, cfg.max_community);
+        let size = size.min(cfg.n - covered).max(1);
+        sizes.push(size);
+        covered += size;
+        rank += 1;
+    }
+    let num_communities = sizes.len();
+
+    // 2. Assign nodes to communities in shuffled order so community id does
+    //    not correlate with node id.
+    let mut order: Vec<NodeId> = (0..cfg.n as NodeId).collect();
+    shuffle(&mut order, rng);
+    let mut communities = vec![0u32; cfg.n];
+    let mut members: Vec<Vec<NodeId>> = Vec::with_capacity(num_communities);
+    {
+        let mut cursor = 0usize;
+        for (ci, &size) in sizes.iter().enumerate() {
+            let slice = &order[cursor..cursor + size];
+            for &v in slice {
+                communities[v as usize] = ci as u32;
+            }
+            members.push(slice.to_vec());
+            cursor += size;
+        }
+    }
+
+    // 3. Heavy-tailed node weights, shuffled onto ids.
+    let mut weights = power_law_weights(cfg.n, cfg.degree_exponent);
+    shuffle(&mut weights, rng);
+
+    // 4. Alias tables: one global, one per community.
+    let global = AliasTable::new(&weights);
+    let per_comm: Vec<AliasTable> = members
+        .iter()
+        .map(|ms| AliasTable::new(&ms.iter().map(|&v| weights[v as usize]).collect::<Vec<_>>()))
+        .collect();
+
+    // 5. Draw edges.
+    let mut seen: HashSet<u64> = HashSet::with_capacity(cfg.m * 2);
+    let mut builder = GraphBuilder::with_capacity(cfg.n, cfg.m);
+    let mut stall = 0usize;
+    let max_stall = 80 * cfg.m + 10_000;
+    while seen.len() < cfg.m && stall < max_stall {
+        let u = global.sample(rng) as NodeId;
+        let cu = communities[u as usize] as usize;
+        let v = if rng.gen::<f64>() < cfg.mu {
+            global.sample(rng) as NodeId
+        } else {
+            members[cu][per_comm[cu].sample(rng)]
+        };
+        if u == v {
+            stall += 1;
+            continue;
+        }
+        let key = (u as u64) << 32 | v as u64;
+        if seen.insert(key) {
+            builder.add_edge(u, v);
+            stall = 0;
+            if cfg.reciprocity > 0.0
+                && seen.len() < cfg.m
+                && rng.gen::<f64>() < cfg.reciprocity
+            {
+                let rkey = (v as u64) << 32 | u as u64;
+                if seen.insert(rkey) {
+                    builder.add_edge(v, u);
+                }
+            }
+        } else {
+            stall += 1;
+        }
+    }
+
+    LfrGraph { graph: builder.build(), communities, num_communities }
+}
+
+/// Fisher–Yates shuffle (avoids depending on `rand::seq` trait imports at
+/// call sites).
+fn shuffle<T, R: Rng + ?Sized>(xs: &mut [T], rng: &mut R) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sbm_intra_block_density_dominates() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = sbm(&[100, 100, 100], 0.08, 0.002, &mut rng);
+        assert!(g.validate().is_ok());
+        let block = |v: NodeId| (v as usize) / 100;
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (u, v) in g.edges() {
+            if u == v {
+                continue; // dangling patches
+            }
+            if block(u) == block(v) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 4 * inter, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn sbm_zero_out_probability_gives_disconnected_blocks() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = sbm(&[50, 50], 0.1, 0.0, &mut rng);
+        for (u, v) in g.edges() {
+            assert_eq!((u as usize) / 50, (v as usize) / 50);
+        }
+    }
+
+    #[test]
+    fn lfr_covers_all_nodes_with_communities() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let out = lfr_lite(LfrConfig { n: 500, m: 3000, ..Default::default() }, &mut rng);
+        assert_eq!(out.communities.len(), 500);
+        assert!(out.num_communities >= 3);
+        assert!(out
+            .communities
+            .iter()
+            .all(|&c| (c as usize) < out.num_communities));
+        assert!(out.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn lfr_low_mu_concentrates_edges_within_communities() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let cfg = LfrConfig { n: 800, m: 6000, mu: 0.1, ..Default::default() };
+        let out = lfr_lite(cfg, &mut rng);
+        let mut intra = 0usize;
+        let mut total = 0usize;
+        for (u, v) in out.graph.edges() {
+            if u == v {
+                continue;
+            }
+            total += 1;
+            if out.communities[u as usize] == out.communities[v as usize] {
+                intra += 1;
+            }
+        }
+        let frac = intra as f64 / total as f64;
+        assert!(frac > 0.75, "intra-community fraction {frac}");
+    }
+
+    #[test]
+    fn lfr_high_mu_mixes_edges() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let cfg = LfrConfig { n: 800, m: 6000, mu: 1.0, ..Default::default() };
+        let out = lfr_lite(cfg, &mut rng);
+        let mut intra = 0usize;
+        let mut total = 0usize;
+        for (u, v) in out.graph.edges() {
+            if u == v {
+                continue;
+            }
+            total += 1;
+            if out.communities[u as usize] == out.communities[v as usize] {
+                intra += 1;
+            }
+        }
+        let frac = intra as f64 / total as f64;
+        assert!(frac < 0.5, "intra-community fraction {frac} too high for mu=1");
+    }
+
+    #[test]
+    fn reciprocity_creates_mutual_edges() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let cfg = LfrConfig { n: 400, m: 3000, reciprocity: 0.9, ..Default::default() };
+        let out = lfr_lite(cfg, &mut rng);
+        let g = &out.graph;
+        let mut mutual = 0usize;
+        let mut total = 0usize;
+        for (u, v) in g.edges() {
+            if u == v {
+                continue;
+            }
+            total += 1;
+            if g.has_edge(v, u) {
+                mutual += 1;
+            }
+        }
+        let frac = mutual as f64 / total as f64;
+        assert!(frac > 0.6, "mutual fraction {frac}");
+    }
+
+    #[test]
+    fn zero_reciprocity_mostly_one_way() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let cfg = LfrConfig { n: 400, m: 3000, reciprocity: 0.0, ..Default::default() };
+        let out = lfr_lite(cfg, &mut rng);
+        let g = &out.graph;
+        let mutual = g
+            .edges()
+            .filter(|&(u, v)| u != v && g.has_edge(v, u))
+            .count();
+        assert!((mutual as f64) < 0.2 * g.m() as f64, "mutual {mutual} of {}", g.m());
+    }
+
+    #[test]
+    fn lfr_deterministic() {
+        let cfg = LfrConfig { n: 300, m: 1500, ..Default::default() };
+        let a = lfr_lite(cfg, &mut StdRng::seed_from_u64(7));
+        let b = lfr_lite(cfg, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.communities, b.communities);
+    }
+
+    #[test]
+    fn poisson_binomial_sane_bounds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..50 {
+            let x = poisson_approx_binomial(1000, 0.01, &mut rng);
+            assert!(x <= 1000);
+        }
+        assert_eq!(poisson_approx_binomial(100, 0.0, &mut rng), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Random and structured graph generators.
+//!
+//! Every generator is deterministic given an RNG seed. They back the
+//! synthetic analogs of the paper's Table II datasets (`tpa-datasets`) and
+//! the random-graph controls of Fig. 6.
+
+mod alias;
+mod classic;
+mod communities;
+mod random;
+mod rewire;
+mod rmat;
+mod structured;
+
+pub use alias::AliasTable;
+pub use classic::{barabasi_albert, watts_strogatz};
+pub use communities::{lfr_lite, sbm, LfrConfig, LfrGraph};
+pub use random::{chung_lu, erdos_renyi_gnm, power_law_weights};
+pub use rewire::{configuration_model, er_control};
+pub use rmat::{rmat, RmatConfig};
+pub use structured::{complete_graph, cycle_graph, grid_graph, path_graph, star_graph};

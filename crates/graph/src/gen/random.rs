@@ -1,0 +1,168 @@
+//! Unstructured random graph models: Erdős–Rényi and Chung–Lu.
+
+use super::AliasTable;
+use crate::{CsrGraph, GraphBuilder, NodeId};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Directed Erdős–Rényi `G(n, m)`: exactly `m` distinct directed edges
+/// (self-loops excluded) chosen uniformly at random.
+///
+/// This is the paper's "random graph" control in Fig. 6: same node and edge
+/// counts as a real graph but no block-wise structure.
+///
+/// Panics if `m` exceeds the number of possible edges `n·(n−1)`.
+pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
+    assert!(n >= 1, "need at least one node");
+    let max_m = n * (n.saturating_sub(1));
+    assert!(m <= max_m, "m = {m} exceeds max directed edges {max_m}");
+
+    let mut seen: HashSet<u64> = HashSet::with_capacity(m * 2);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u == v {
+            continue;
+        }
+        let key = (u as u64) << 32 | v as u64;
+        if seen.insert(key) {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+/// Rank-based discrete power-law weights: `w_i ∝ (i+1)^(−1/(γ−1))` for ranks
+/// `i = 0..n`, scaled so the mean weight is 1. The assignment of weight to
+/// node id is the caller's business (shuffle for random placement).
+///
+/// γ is the exponent of the implied degree distribution `P(d) ∝ d^(−γ)`;
+/// social networks typically have γ ∈ [2, 3].
+pub fn power_law_weights(n: usize, gamma: f64) -> Vec<f64> {
+    assert!(n > 0);
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    let alpha = 1.0 / (gamma - 1.0);
+    let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let mean: f64 = w.iter().sum::<f64>() / n as f64;
+    for x in &mut w {
+        *x /= mean;
+    }
+    w
+}
+
+/// Directed Chung–Lu graph: samples `m` distinct edges with source chosen
+/// proportionally to `out_weights` and target proportionally to
+/// `in_weights`. Produces heavy-tailed in/out degree sequences matching the
+/// weights in expectation.
+///
+/// Sampling retries collisions and self-loops, so extremely dense requests
+/// (`m` close to `n²`) will stall; intended for sparse graphs.
+pub fn chung_lu<R: Rng + ?Sized>(
+    out_weights: &[f64],
+    in_weights: &[f64],
+    m: usize,
+    rng: &mut R,
+) -> CsrGraph {
+    assert_eq!(out_weights.len(), in_weights.len(), "weight vectors must have equal length");
+    let n = out_weights.len();
+    assert!(n >= 2, "need at least two nodes");
+    let src = AliasTable::new(out_weights);
+    let dst = AliasTable::new(in_weights);
+
+    let mut seen: HashSet<u64> = HashSet::with_capacity(m * 2);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    let mut stall = 0usize;
+    // A heavy-tailed weight vector concentrates collisions on the head; cap
+    // the retry budget so adversarial inputs terminate (slightly under `m`
+    // edges is acceptable for a random model).
+    let max_stall = 50 * m + 10_000;
+    while seen.len() < m && stall < max_stall {
+        let u = src.sample(rng) as NodeId;
+        let v = dst.sample(rng) as NodeId;
+        if u == v {
+            stall += 1;
+            continue;
+        }
+        let key = (u as u64) << 32 | v as u64;
+        if seen.insert(key) {
+            builder.add_edge(u, v);
+            stall = 0;
+        } else {
+            stall += 1;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn er_has_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi_gnm(100, 500, &mut rng);
+        assert_eq!(g.n(), 100);
+        // Self-loop patching may add edges for dangling nodes.
+        assert!(g.m() >= 500);
+        assert!(g.m() <= 600);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn er_no_self_loops_in_core_edges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = erdos_renyi_gnm(50, 200, &mut rng);
+        // Any self-loop present must be a dangling patch, i.e. out-degree 1.
+        for (u, v) in g.edges() {
+            if u == v {
+                assert_eq!(g.out_degree(u), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn er_deterministic_for_same_seed() {
+        let a = erdos_renyi_gnm(80, 300, &mut StdRng::seed_from_u64(9));
+        let b = erdos_renyi_gnm(80, 300, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn er_rejects_impossible_density() {
+        erdos_renyi_gnm(3, 100, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn power_law_weights_are_decreasing_mean_one() {
+        let w = power_law_weights(1000, 2.5);
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+        let mean = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chung_lu_head_nodes_get_higher_degree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = power_law_weights(500, 2.2);
+        let g = chung_lu(&w, &w, 4000, &mut rng);
+        assert!(g.validate().is_ok());
+        // Node 0 has the largest weight; its total degree should dominate the
+        // median node's.
+        let head = g.out_degree(0) + g.in_degree(0);
+        let mid = g.out_degree(250) + g.in_degree(250);
+        assert!(head > 3 * mid, "head {head} vs mid {mid}");
+    }
+
+    #[test]
+    fn chung_lu_edge_count_close_to_target() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = power_law_weights(300, 2.5);
+        let g = chung_lu(&w, &w, 2000, &mut rng);
+        assert!(g.m() >= 1900, "got {}", g.m());
+    }
+}

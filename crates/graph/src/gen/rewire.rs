@@ -1,0 +1,79 @@
+//! Null-model controls for real graphs.
+//!
+//! Fig. 6 of the paper compares `‖Ā^S f − f‖₁` on a real graph against a
+//! "random graph with the same numbers of nodes and edges" — our
+//! [`er_control`]. The [`configuration_model`] additionally preserves the
+//! degree sequences, a stricter control used in the ablation benches.
+
+use super::erdos_renyi_gnm;
+use crate::{CsrGraph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// The paper's Fig. 6 control: an Erdős–Rényi graph with the same `n` and
+/// `m` as the input (edge placement fully random → no block structure).
+pub fn er_control<R: Rng + ?Sized>(g: &CsrGraph, rng: &mut R) -> CsrGraph {
+    erdos_renyi_gnm(g.n(), g.m().min(g.n() * (g.n() - 1)), rng)
+}
+
+/// Directed configuration model: preserves every node's in- and out-degree
+/// while randomizing which out-stub connects to which in-stub. Destroys
+/// community structure but keeps the degree distribution (and hence the
+/// PageRank profile) roughly intact.
+pub fn configuration_model<R: Rng + ?Sized>(g: &CsrGraph, rng: &mut R) -> CsrGraph {
+    let n = g.n();
+    let mut out_stubs: Vec<NodeId> = Vec::with_capacity(g.m());
+    let mut in_stubs: Vec<NodeId> = Vec::with_capacity(g.m());
+    for (u, v) in g.edges() {
+        out_stubs.push(u);
+        in_stubs.push(v);
+    }
+    // Shuffle the in-stub side; the pairing then induces a random matching.
+    for i in (1..in_stubs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        in_stubs.swap(i, j);
+    }
+    GraphBuilder::with_capacity(n, out_stubs.len())
+        .allow_parallel_edges()
+        .extend_edges(out_stubs.into_iter().zip(in_stubs))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{lfr_lite, LfrConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn er_control_matches_size() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let real = lfr_lite(LfrConfig { n: 400, m: 2400, ..Default::default() }, &mut rng).graph;
+        let ctrl = er_control(&real, &mut rng);
+        assert_eq!(ctrl.n(), real.n());
+        // within dangling-patch slack
+        let diff = ctrl.m().abs_diff(real.m());
+        assert!(diff < real.n() / 5, "edge count drifted by {diff}");
+    }
+
+    #[test]
+    fn configuration_model_preserves_degrees() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let real = lfr_lite(LfrConfig { n: 300, m: 1800, ..Default::default() }, &mut rng).graph;
+        let ctrl = configuration_model(&real, &mut rng);
+        assert_eq!(ctrl.n(), real.n());
+        assert_eq!(ctrl.m(), real.m());
+        for u in 0..real.n() as NodeId {
+            assert_eq!(ctrl.out_degree(u), real.out_degree(u), "out degree of {u}");
+            assert_eq!(ctrl.in_degree(u), real.in_degree(u), "in degree of {u}");
+        }
+    }
+
+    #[test]
+    fn configuration_model_actually_rewires() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let real = lfr_lite(LfrConfig { n: 300, m: 1800, ..Default::default() }, &mut rng).graph;
+        let ctrl = configuration_model(&real, &mut rng);
+        assert_ne!(real, ctrl);
+    }
+}

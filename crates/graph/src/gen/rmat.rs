@@ -1,0 +1,164 @@
+//! R-MAT (recursive matrix) generator — Chakrabarti, Zhan & Faloutsos 2004.
+//!
+//! Produces graphs with heavy-tailed degrees and self-similar
+//! community-within-community structure; used for the hyperlink-network
+//! analogs (Google, WikiLink) in `tpa-datasets`.
+
+use crate::{CsrGraph, GraphBuilder, NodeId};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Quadrant probabilities for the recursive edge placement.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatConfig {
+    /// Probability of recursing into the top-left quadrant (both endpoints
+    /// in the lower half of the id range).
+    pub a: f64,
+    /// Top-right quadrant.
+    pub b: f64,
+    /// Bottom-left quadrant.
+    pub c: f64,
+    /// Noise added to the quadrant probabilities at each level to avoid
+    /// exactly self-similar staircases (0 disables).
+    pub noise: f64,
+}
+
+impl Default for RmatConfig {
+    /// The classic (a,b,c,d) = (0.57, 0.19, 0.19, 0.05) parameters used in
+    /// the Graph500 benchmark and typical web-graph fits.
+    fn default() -> Self {
+        Self { a: 0.57, b: 0.19, c: 0.19, noise: 0.1 }
+    }
+}
+
+impl RmatConfig {
+    /// Implied probability of the bottom-right quadrant.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates an R-MAT graph with `n` nodes and `m` distinct directed edges.
+///
+/// Edges are placed in a `2^k × 2^k` virtual adjacency matrix
+/// (`k = ceil(log2 n)`); placements landing outside `n × n` or duplicating
+/// an existing edge are rejected and resampled, so the output has exactly
+/// `m` distinct edges before dangling patching.
+pub fn rmat<R: Rng + ?Sized>(n: usize, m: usize, cfg: RmatConfig, rng: &mut R) -> CsrGraph {
+    assert!(n >= 2, "need at least two nodes");
+    let total = cfg.a + cfg.b + cfg.c;
+    assert!(
+        total < 1.0 + 1e-9 && cfg.a > 0.0 && cfg.b >= 0.0 && cfg.c >= 0.0 && cfg.d() >= 0.0,
+        "invalid R-MAT quadrant probabilities"
+    );
+    let k = usize::BITS - (n - 1).leading_zeros(); // ceil(log2 n)
+    let side = 1usize << k;
+    debug_assert!(side >= n);
+
+    let mut seen: HashSet<u64> = HashSet::with_capacity(m * 2);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    let mut rejected = 0usize;
+    let max_rejected = 200 * m + 100_000;
+    while seen.len() < m && rejected < max_rejected {
+        let (u, v) = place_edge(k, side, cfg, rng);
+        if u >= n || v >= n || u == v {
+            rejected += 1;
+            continue;
+        }
+        let key = (u as u64) << 32 | v as u64;
+        if seen.insert(key) {
+            builder.add_edge(u as NodeId, v as NodeId);
+        } else {
+            rejected += 1;
+        }
+    }
+    builder.build()
+}
+
+/// One recursive quadrant descent, returning a (row, col) cell.
+fn place_edge<R: Rng + ?Sized>(k: u32, side: usize, cfg: RmatConfig, rng: &mut R) -> (usize, usize) {
+    let mut u = 0usize;
+    let mut v = 0usize;
+    let mut half = side >> 1;
+    for _ in 0..k {
+        // Per-level multiplicative noise, renormalized.
+        let jitter = |p: f64, rng: &mut R| {
+            if cfg.noise > 0.0 {
+                p * (1.0 - cfg.noise / 2.0 + cfg.noise * rng.gen::<f64>())
+            } else {
+                p
+            }
+        };
+        let a = jitter(cfg.a, rng);
+        let b = jitter(cfg.b, rng);
+        let c = jitter(cfg.c, rng);
+        let d = jitter(cfg.d(), rng);
+        let sum = a + b + c + d;
+        let r = rng.gen::<f64>() * sum;
+        if r < a {
+            // top-left: no change
+        } else if r < a + b {
+            v += half;
+        } else if r < a + b + c {
+            u += half;
+        } else {
+            u += half;
+            v += half;
+        }
+        half >>= 1;
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_size() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = rmat(1000, 6000, RmatConfig::default(), &mut rng);
+        assert_eq!(g.n(), 1000);
+        assert!(g.m() >= 6000); // + dangling self-loops
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn non_power_of_two_node_count() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = rmat(777, 3000, RmatConfig::default(), &mut rng);
+        assert_eq!(g.n(), 777);
+        assert!(g.edges().all(|(u, v)| (u as usize) < 777 && (v as usize) < 777));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = rmat(2048, 16_000, RmatConfig::default(), &mut rng);
+        let mut degs: Vec<usize> = (0..g.n() as NodeId).map(|u| g.out_degree(u)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top1pct: usize = degs[..20].iter().sum();
+        // With a=0.57, the hottest 1% of nodes should hold a large edge share.
+        assert!(
+            top1pct as f64 > 0.08 * g.m() as f64,
+            "top-1% degree share too small: {top1pct} of {}",
+            g.m()
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = RmatConfig::default();
+        let a = rmat(512, 2000, cfg, &mut StdRng::seed_from_u64(5));
+        let b = rmat(512, 2000, cfg, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid R-MAT")]
+    fn rejects_bad_probabilities() {
+        rmat(16, 10, RmatConfig { a: 0.9, b: 0.3, c: 0.3, noise: 0.0 }, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,107 @@
+//! Small deterministic graphs with known closed-form RWR behaviour, used
+//! throughout the test suites.
+
+use crate::{CsrGraph, DanglingPolicy, GraphBuilder, NodeId};
+
+/// Directed path `0 → 1 → … → n−1` (last node gets a self-loop patch).
+pub fn path_graph(n: usize) -> CsrGraph {
+    GraphBuilder::new(n)
+        .extend_edges((0..n.saturating_sub(1)).map(|i| (i as NodeId, i as NodeId + 1)))
+        .build()
+}
+
+/// Directed cycle `0 → 1 → … → n−1 → 0`.
+pub fn cycle_graph(n: usize) -> CsrGraph {
+    assert!(n >= 1);
+    GraphBuilder::new(n)
+        .extend_edges((0..n).map(|i| (i as NodeId, ((i + 1) % n) as NodeId)))
+        .build()
+}
+
+/// Star: hub 0 with bidirectional edges to every leaf `1..n`.
+pub fn star_graph(n: usize) -> CsrGraph {
+    assert!(n >= 2);
+    GraphBuilder::new(n)
+        .extend_edges((1..n).flat_map(|i| [(0, i as NodeId), (i as NodeId, 0)]))
+        .build()
+}
+
+/// Complete directed graph on `n` nodes (no self-loops).
+pub fn complete_graph(n: usize) -> CsrGraph {
+    assert!(n >= 2);
+    GraphBuilder::new(n)
+        .dangling_policy(DanglingPolicy::Keep)
+        .extend_edges(
+            (0..n).flat_map(move |u| {
+                (0..n).filter(move |&v| v != u).map(move |v| (u as NodeId, v as NodeId))
+            }),
+        )
+        .build()
+}
+
+/// 4-connected grid of `rows × cols` nodes with bidirectional edges; node
+/// `(r, c)` has id `r * cols + c`.
+pub fn grid_graph(rows: usize, cols: usize) -> CsrGraph {
+    assert!(rows >= 1 && cols >= 1);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+                b.add_edge(id(r, c + 1), id(r, c));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+                b.add_edge(id(r + 1, c), id(r, c));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path_graph(4);
+        assert_eq!(g.n(), 4);
+        assert!(g.has_edge(0, 1) && g.has_edge(2, 3));
+        assert!(g.has_edge(3, 3)); // dangling patch
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle_graph(5);
+        assert_eq!(g.m(), 5);
+        assert!(g.has_edge(4, 0));
+        assert!(g.dangling_nodes().is_empty());
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star_graph(5);
+        assert_eq!(g.out_degree(0), 4);
+        assert_eq!(g.in_degree(0), 4);
+        assert_eq!(g.out_degree(3), 1);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete_graph(4);
+        assert_eq!(g.m(), 12);
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid_graph(3, 3);
+        assert_eq!(g.n(), 9);
+        // corner has degree 2, center degree 4
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(4), 4);
+        assert!(g.validate().is_ok());
+    }
+}

@@ -1,0 +1,295 @@
+//! Edge-weighted directed graphs.
+//!
+//! RWR generalizes directly to weighted graphs: the walker leaves node `u`
+//! along edge `(u, v)` with probability `w(u,v) / Σ_x w(u,x)`, i.e. the
+//! transition matrix is the *weight*-row-normalized adjacency. All of
+//! TPA's math only needs column-stochasticity of `Ãᵀ`, which weighted
+//! normalization preserves, so every bound carries over unchanged.
+
+use crate::{CsrGraph, NodeId};
+
+/// An immutable directed graph with positive edge weights, stored in CSR
+/// (out-edges) and CSC (in-edges) form like [`CsrGraph`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedCsrGraph {
+    /// Topology (used for traversal and degree queries).
+    topology: CsrGraph,
+    /// Weight of each out-edge, aligned with `topology.out_targets()`.
+    out_weights: Vec<f64>,
+    /// Weight of each in-edge, aligned with `topology.in_sources()`.
+    in_weights: Vec<f64>,
+    /// Total outgoing weight per node (the normalization denominator).
+    out_weight_sums: Vec<f64>,
+}
+
+impl WeightedCsrGraph {
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.topology.n()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.topology.m()
+    }
+
+    /// The unweighted topology.
+    #[inline]
+    pub fn topology(&self) -> &CsrGraph {
+        &self.topology
+    }
+
+    /// Out-neighbors of `u` with their edge weights.
+    pub fn out_edges(&self, u: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let (s, e) = self.out_range(u);
+        self.topology.out_neighbors(u).iter().copied().zip(self.out_weights[s..e].iter().copied())
+    }
+
+    /// In-neighbors of `v` with their edge weights.
+    pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let (s, e) = self.in_range(v);
+        self.topology.in_neighbors(v).iter().copied().zip(self.in_weights[s..e].iter().copied())
+    }
+
+    fn out_range(&self, u: NodeId) -> (usize, usize) {
+        let offs = self.topology.out_offsets();
+        (offs[u as usize], offs[u as usize + 1])
+    }
+
+    fn in_range(&self, v: NodeId) -> (usize, usize) {
+        let offs = self.topology.in_offsets();
+        (offs[v as usize], offs[v as usize + 1])
+    }
+
+    /// Total outgoing weight of `u` (0.0 for dangling nodes).
+    #[inline]
+    pub fn out_weight_sum(&self, u: NodeId) -> f64 {
+        self.out_weight_sums[u as usize]
+    }
+
+    /// Per-node `1 / Σ w(u,·)` for the propagation kernel (0.0 if
+    /// dangling).
+    pub fn inv_out_weight_sums(&self) -> Vec<f64> {
+        self.out_weight_sums
+            .iter()
+            .map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 })
+            .collect()
+    }
+
+    /// Heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.topology.memory_bytes()
+            + (self.out_weights.len() + self.in_weights.len() + self.out_weight_sums.len()) * 8
+    }
+
+    /// Checks the weighted invariants on top of the CSR ones: positive
+    /// weights and matching weight multisets between the two orientations.
+    pub fn validate(&self) -> Result<(), String> {
+        self.topology.validate()?;
+        if self.out_weights.len() != self.m() || self.in_weights.len() != self.m() {
+            return Err("weight arrays have wrong length".into());
+        }
+        if self.out_weights.iter().chain(&self.in_weights).any(|&w| !(w > 0.0) || !w.is_finite())
+        {
+            return Err("weights must be positive and finite".into());
+        }
+        // Forward and transpose orientations must carry identical weights.
+        let mut fwd: Vec<(NodeId, NodeId, u64)> = Vec::with_capacity(self.m());
+        for u in 0..self.n() as NodeId {
+            for (v, w) in self.out_edges(u) {
+                fwd.push((u, v, w.to_bits()));
+            }
+        }
+        let mut bwd: Vec<(NodeId, NodeId, u64)> = Vec::with_capacity(self.m());
+        for v in 0..self.n() as NodeId {
+            for (u, w) in self.in_edges(v) {
+                bwd.push((u, v, w.to_bits()));
+            }
+        }
+        fwd.sort_unstable();
+        bwd.sort_unstable();
+        if fwd != bwd {
+            return Err("orientations disagree on weights".into());
+        }
+        // Weight sums are consistent.
+        for u in 0..self.n() as NodeId {
+            let s: f64 = self.out_edges(u).map(|(_, w)| w).sum();
+            if (s - self.out_weight_sums[u as usize]).abs() > 1e-9 * s.max(1.0) {
+                return Err(format!("stale weight sum at node {u}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`WeightedCsrGraph`]. Duplicate edges have their weights
+/// summed; dangling nodes get a unit-weight self-loop (same policy as the
+/// unweighted default builder).
+#[derive(Clone, Debug, Default)]
+pub struct WeightedGraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl WeightedGraphBuilder {
+    /// Builder for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= NodeId::MAX as usize);
+        Self { n, edges: Vec::new() }
+    }
+
+    /// Adds a directed edge with a positive finite weight.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) -> &mut Self {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "edge out of range");
+        assert!(w > 0.0 && w.is_finite(), "weight must be positive and finite");
+        self.edges.push((u, v, w));
+        self
+    }
+
+    /// Chainable bulk insertion.
+    pub fn extend_edges(mut self, it: impl IntoIterator<Item = (NodeId, NodeId, f64)>) -> Self {
+        for (u, v, w) in it {
+            self.add_edge(u, v, w);
+        }
+        self
+    }
+
+    /// Finalizes the graph.
+    pub fn build(self) -> WeightedCsrGraph {
+        let Self { n, mut edges } = self;
+        // Merge duplicates by weight summation.
+        edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        edges.dedup_by(|next, prev| {
+            if prev.0 == next.0 && prev.1 == next.1 {
+                prev.2 += next.2;
+                true
+            } else {
+                false
+            }
+        });
+        // Unit self-loops for dangling nodes.
+        let mut has_out = vec![false; n];
+        for &(u, _, _) in &edges {
+            has_out[u as usize] = true;
+        }
+        for u in 0..n {
+            if !has_out[u] {
+                edges.push((u as NodeId, u as NodeId, 1.0));
+            }
+        }
+        edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+
+        let topology = crate::GraphBuilder::with_capacity(n, edges.len())
+            .dangling_policy(crate::DanglingPolicy::Keep)
+            .extend_edges(edges.iter().map(|&(u, v, _)| (u, v)))
+            .build();
+
+        // Out-weights align with the (sorted) CSR layout because the edge
+        // list above is already in (u, v) order with distinct pairs.
+        let out_weights: Vec<f64> = edges.iter().map(|&(_, _, w)| w).collect();
+        let mut out_weight_sums = vec![0.0f64; n];
+        for &(u, _, w) in &edges {
+            out_weight_sums[u as usize] += w;
+        }
+
+        // In-weights: sort by (v, u) and emit in CSC order.
+        let mut by_target = edges;
+        by_target.sort_unstable_by_key(|&(u, v, _)| (v, u));
+        let in_weights: Vec<f64> = by_target.iter().map(|&(_, _, w)| w).collect();
+
+        let g = WeightedCsrGraph { topology, out_weights, in_weights, out_weight_sums };
+        debug_assert!(g.validate().is_ok(), "{:?}", g.validate());
+        g
+    }
+}
+
+/// Wraps an unweighted graph as a weighted one with unit weights (the two
+/// propagation kernels then agree exactly).
+pub fn unit_weights(graph: &CsrGraph) -> WeightedCsrGraph {
+    let mut b = WeightedGraphBuilder::new(graph.n());
+    for (u, v) in graph.edges() {
+        b.add_edge(u, v, 1.0);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WeightedCsrGraph {
+        WeightedGraphBuilder::new(3)
+            .extend_edges([(0, 1, 2.0), (0, 2, 6.0), (1, 0, 1.0), (2, 0, 1.0)])
+            .build()
+    }
+
+    #[test]
+    fn weights_and_sums() {
+        let g = sample();
+        assert_eq!(g.out_weight_sum(0), 8.0);
+        let edges: Vec<_> = g.out_edges(0).collect();
+        assert_eq!(edges, vec![(1, 2.0), (2, 6.0)]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_edges_merge_weights() {
+        let g = WeightedGraphBuilder::new(2)
+            .extend_edges([(0, 1, 1.5), (0, 1, 2.5), (1, 0, 1.0)])
+            .build();
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.out_edges(0).next(), Some((1, 4.0)));
+    }
+
+    #[test]
+    fn dangling_gets_unit_self_loop() {
+        let g = WeightedGraphBuilder::new(2).extend_edges([(0, 1, 3.0)]).build();
+        assert_eq!(g.out_edges(1).next(), Some((1, 1.0)));
+        assert_eq!(g.out_weight_sum(1), 1.0);
+    }
+
+    #[test]
+    fn in_edges_mirror_out_edges() {
+        let g = sample();
+        let ins: Vec<_> = g.in_edges(0).collect();
+        assert_eq!(ins, vec![(1, 1.0), (2, 1.0)]);
+        let ins2: Vec<_> = g.in_edges(2).collect();
+        assert_eq!(ins2, vec![(0, 6.0)]);
+    }
+
+    #[test]
+    fn unit_weights_match_topology() {
+        let base = crate::CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let w = unit_weights(&base);
+        assert_eq!(w.topology(), &base);
+        assert!(w.out_edges(0).all(|(_, wt)| wt == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_zero_weight() {
+        WeightedGraphBuilder::new(2).add_edge(0, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_nan_weight() {
+        WeightedGraphBuilder::new(2).add_edge(0, 1, f64::NAN);
+    }
+
+    #[test]
+    fn inv_sums_zero_free() {
+        let g = sample();
+        let inv = g.inv_out_weight_sums();
+        assert_eq!(inv.len(), 3);
+        assert!((inv[0] - 0.125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let g = sample();
+        assert!(g.memory_bytes() > g.topology().memory_bytes());
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use tpa_graph::{gen, io, CsrGraph, DanglingPolicy, GraphBuilder, NodeId};
+
+/// Strategy: a node count and an arbitrary in-range edge list.
+fn graph_inputs() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2usize..60).prop_flat_map(|n| {
+        let edge = (0..n as NodeId, 0..n as NodeId);
+        (Just(n), proptest::collection::vec(edge, 0..200))
+    })
+}
+
+proptest! {
+    /// Every built graph satisfies all CSR/CSC structural invariants.
+    #[test]
+    fn built_graphs_validate((n, edges) in graph_inputs()) {
+        let g = GraphBuilder::with_capacity(n, edges.len())
+            .extend_edges(edges)
+            .build();
+        prop_assert!(g.validate().is_ok());
+    }
+
+    /// With the default policy no node is dangling and mass conservation
+    /// `Σ out_degree = m` holds.
+    #[test]
+    fn default_policy_eliminates_dangling((n, edges) in graph_inputs()) {
+        let g = GraphBuilder::with_capacity(n, edges.len())
+            .extend_edges(edges)
+            .build();
+        prop_assert!(g.dangling_nodes().is_empty());
+        let total: usize = (0..n as NodeId).map(|u| g.out_degree(u)).sum();
+        prop_assert_eq!(total, g.m());
+    }
+
+    /// Dedup keeps exactly the distinct input edges (plus dangling patches).
+    #[test]
+    fn dedup_matches_set_semantics((n, edges) in graph_inputs()) {
+        let g = GraphBuilder::with_capacity(n, edges.len())
+            .dangling_policy(DanglingPolicy::Keep)
+            .extend_edges(edges.clone())
+            .build();
+        let mut distinct: Vec<_> = edges;
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut got: Vec<_> = g.edges().collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, distinct);
+    }
+
+    /// In-degree of each node equals the number of edges pointing at it.
+    #[test]
+    fn degrees_are_consistent((n, edges) in graph_inputs()) {
+        let g = GraphBuilder::with_capacity(n, edges.len())
+            .dangling_policy(DanglingPolicy::Keep)
+            .extend_edges(edges)
+            .build();
+        for v in 0..n as NodeId {
+            let by_scan = g.edges().filter(|&(_, t)| t == v).count();
+            prop_assert_eq!(by_scan, g.in_degree(v));
+        }
+    }
+
+    /// Edge-list text roundtrip is the identity on built graphs.
+    #[test]
+    fn edge_list_roundtrip((n, edges) in graph_inputs()) {
+        let g = GraphBuilder::with_capacity(n, edges.len())
+            .extend_edges(edges)
+            .build();
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = io::read_edge_list(std::io::Cursor::new(buf), Some(n)).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    /// Binary snapshot roundtrip is the identity.
+    #[test]
+    fn snapshot_roundtrip((n, edges) in graph_inputs()) {
+        let g = GraphBuilder::with_capacity(n, edges.len())
+            .extend_edges(edges)
+            .build();
+        let mut buf = Vec::new();
+        io::write_snapshot(&g, &mut buf).unwrap();
+        let g2 = io::read_snapshot(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    /// Corrupting any single header byte of a snapshot never panics — it
+    /// either fails cleanly or (for payload bytes) still validates.
+    #[test]
+    fn snapshot_corruption_is_handled(
+        (n, edges) in graph_inputs(),
+        idx in 0usize..24,
+        delta in 1u8..255,
+    ) {
+        let g = GraphBuilder::with_capacity(n, edges.len())
+            .extend_edges(edges)
+            .build();
+        let mut buf = Vec::new();
+        io::write_snapshot(&g, &mut buf).unwrap();
+        let i = idx % buf.len();
+        buf[i] = buf[i].wrapping_add(delta);
+        let _ = io::read_snapshot(std::io::Cursor::new(buf)); // must not panic
+    }
+
+    /// The ER generator respects n, produces ≥ m edges (dangling patches),
+    /// and never emits out-of-range ids.
+    #[test]
+    fn er_generator_invariants(n in 5usize..80, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let m = n; // sparse
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = gen::erdos_renyi_gnm(n, m, &mut rng);
+        prop_assert_eq!(g.n(), n);
+        prop_assert!(g.m() >= m);
+        prop_assert!(g.validate().is_ok());
+    }
+
+    /// Configuration-model rewiring preserves both degree sequences exactly.
+    #[test]
+    fn rewire_preserves_degrees(n in 10usize..50, seed in 0u64..500) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = gen::erdos_renyi_gnm(n, 3 * n, &mut rng);
+        let r = gen::configuration_model(&g, &mut rng);
+        for u in 0..n as NodeId {
+            prop_assert_eq!(g.out_degree(u), r.out_degree(u));
+            prop_assert_eq!(g.in_degree(u), r.in_degree(u));
+        }
+    }
+}
+
+#[test]
+fn from_edges_equals_builder_default() {
+    let edges = [(0, 1), (1, 2), (2, 0), (0, 2)];
+    let a = CsrGraph::from_edges(3, &edges);
+    let b = GraphBuilder::new(3).extend_edges(edges).build();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the weighted-graph and algorithm modules.
+
+use proptest::prelude::*;
+use tpa_graph::{algo, unit_weights, CsrGraph, GraphBuilder, NodeId, WeightedGraphBuilder};
+
+fn graph_inputs() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n as NodeId, 0..n as NodeId);
+        (Just(n), proptest::collection::vec(edge, 1..150))
+    })
+}
+
+fn weighted_inputs() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId, f64)>)> {
+    (2usize..30).prop_flat_map(|n| {
+        let edge = (0..n as NodeId, 0..n as NodeId, 0.01f64..100.0);
+        (Just(n), proptest::collection::vec(edge, 1..100))
+    })
+}
+
+proptest! {
+    /// Weighted builder: validation passes, weight sums are consistent,
+    /// and duplicate edges merge additively.
+    #[test]
+    fn weighted_builder_invariants((n, edges) in weighted_inputs()) {
+        let g = WeightedGraphBuilder::new(n).extend_edges(edges.clone()).build();
+        prop_assert!(g.validate().is_ok());
+        // Every node's weight sum equals the sum over its (merged) edges,
+        // which equals the sum of all input weights for that source (plus
+        // possibly a unit self-loop for dangling nodes).
+        for u in 0..n as NodeId {
+            let input_sum: f64 =
+                edges.iter().filter(|&&(s, _, _)| s == u).map(|&(_, _, w)| w).sum();
+            let got = g.out_weight_sum(u);
+            if input_sum > 0.0 {
+                prop_assert!((got - input_sum).abs() < 1e-9 * input_sum.max(1.0));
+            } else {
+                prop_assert_eq!(got, 1.0); // dangling self-loop
+            }
+        }
+    }
+
+    /// unit_weights preserves topology exactly.
+    #[test]
+    fn unit_weights_topology((n, edges) in graph_inputs()) {
+        let g = GraphBuilder::with_capacity(n, edges.len()).extend_edges(edges).build();
+        let w = unit_weights(&g);
+        prop_assert_eq!(w.topology(), &g);
+        for u in 0..n as NodeId {
+            prop_assert!((w.out_weight_sum(u) - g.out_degree(u) as f64).abs() < 1e-12);
+        }
+    }
+
+    /// WCC count is between 1 and n, labels are stable under edge
+    /// reachability (endpoint nodes of any edge share a component).
+    #[test]
+    fn wcc_labels_consistent((n, edges) in graph_inputs()) {
+        let g = GraphBuilder::with_capacity(n, edges.len())
+            .extend_edges(edges)
+            .build();
+        let (comp, count) = algo::weakly_connected_components(&g);
+        prop_assert!(count >= 1 && count <= n);
+        for (u, v) in g.edges() {
+            prop_assert_eq!(comp[u as usize], comp[v as usize]);
+        }
+        // Component ids are dense 0..count.
+        let max = comp.iter().max().copied().unwrap_or(0);
+        prop_assert_eq!(max as usize + 1, count);
+    }
+
+    /// SCC refines WCC: nodes in one SCC are in one WCC, and the SCC
+    /// count is at least the WCC count.
+    #[test]
+    fn scc_refines_wcc((n, edges) in graph_inputs()) {
+        let g = GraphBuilder::with_capacity(n, edges.len())
+            .extend_edges(edges)
+            .build();
+        let (wcc, wcc_count) = algo::weakly_connected_components(&g);
+        let (scc, scc_count) = algo::strongly_connected_components(&g);
+        prop_assert!(scc_count >= wcc_count);
+        // Two nodes in the same SCC must share a WCC.
+        for u in 0..n {
+            for v in u + 1..n {
+                if scc[u] == scc[v] {
+                    prop_assert_eq!(wcc[u], wcc[v]);
+                }
+            }
+        }
+    }
+
+    /// Mutual reachability implies same SCC (checked via BFS both ways).
+    #[test]
+    fn scc_matches_mutual_reachability((n, edges) in graph_inputs()) {
+        let g = GraphBuilder::with_capacity(n, edges.len())
+            .extend_edges(edges)
+            .build();
+        let (scc, _) = algo::strongly_connected_components(&g);
+        // Sample a few pairs to keep it cheap.
+        for u in (0..n as NodeId).step_by(3) {
+            let du = algo::bfs_distances(&g, u);
+            for v in (0..n as NodeId).step_by(4) {
+                let dv = algo::bfs_distances(&g, v);
+                let mutual = du[v as usize] != u32::MAX && dv[u as usize] != u32::MAX;
+                prop_assert_eq!(
+                    mutual,
+                    scc[u as usize] == scc[v as usize],
+                    "nodes {} and {}",
+                    u,
+                    v
+                );
+            }
+        }
+    }
+
+    /// Reciprocity is in [0, 1] and symmetrized graphs hit exactly 1.
+    #[test]
+    fn reciprocity_bounds((n, edges) in graph_inputs()) {
+        let g = GraphBuilder::with_capacity(n, edges.len())
+            .extend_edges(edges.clone())
+            .build();
+        let r = algo::reciprocity(&g);
+        prop_assert!((0.0..=1.0).contains(&r));
+        let sym = GraphBuilder::with_capacity(n, edges.len() * 2)
+            .extend_edges(edges)
+            .symmetrize()
+            .build();
+        if sym.edges().any(|(u, v)| u != v) {
+            prop_assert!((algo::reciprocity(&sym) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Degree histogram partitions n and matches avg degree.
+    #[test]
+    fn histogram_consistency((n, edges) in graph_inputs()) {
+        let g = GraphBuilder::with_capacity(n, edges.len()).extend_edges(edges).build();
+        let h = algo::degree_histogram(&g);
+        prop_assert_eq!(h.iter().sum::<usize>(), n);
+        let total_deg: usize = h.iter().enumerate().map(|(d, &c)| d * c).sum();
+        prop_assert_eq!(total_deg, g.m());
+    }
+}
+
+#[test]
+fn bfs_distance_triangle_inequality_on_star() {
+    let g: CsrGraph = tpa_graph::gen::star_graph(20);
+    let d = algo::bfs_distances(&g, 5);
+    assert_eq!(d[5], 0);
+    assert_eq!(d[0], 1); // leaf → hub
+    assert!(d.iter().all(|&x| x <= 2)); // anywhere within 2 hops
+}

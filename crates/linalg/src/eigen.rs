@@ -1,0 +1,179 @@
+//! Cyclic Jacobi eigen-decomposition for small symmetric matrices — used to
+//! turn the randomized range-finder's small Gram matrix into singular
+//! values/vectors.
+
+use crate::DenseMatrix;
+
+/// Eigen-decomposition `A = V·diag(λ)·Vᵀ` of a symmetric matrix, sorted by
+/// descending eigenvalue.
+#[derive(Clone, Debug)]
+pub struct SymEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Column `i` of `vectors` is the eigenvector for `values[i]`.
+    pub vectors: DenseMatrix,
+}
+
+/// Jacobi eigenvalue iteration. `a` must be symmetric (checked to 1e-9
+/// relative tolerance). Converges quadratically; the sweep limit is a
+/// safety net, not a tuning knob.
+pub fn sym_eigen(a: &DenseMatrix) -> SymEigen {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "eigen needs a square matrix");
+    let scale = a.max_abs().max(1e-300);
+    for i in 0..n {
+        for j in 0..i {
+            assert!(
+                (a.get(i, j) - a.get(j, i)).abs() <= 1e-9 * scale,
+                "matrix is not symmetric at ({i},{j})"
+            );
+        }
+    }
+
+    let mut m = a.clone();
+    let mut v = DenseMatrix::identity(n);
+    let tol = 1e-14 * scale;
+
+    for _sweep in 0..100 {
+        // Off-diagonal Frobenius mass.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m.get(i, j) * m.get(i, j);
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol * 1e-2 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation on both sides: M ← JᵀMJ, V ← VJ.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = DenseMatrix::zeros(n, n);
+    for (new_c, &old_c) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, new_c, v.get(r, old_c));
+        }
+    }
+    SymEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_holds() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 12;
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let x = rng.gen::<f64>() - 0.5;
+                a.set(i, j, x);
+                a.set(j, i, x);
+            }
+        }
+        let e = sym_eigen(&a);
+        // A·v_i = λ_i·v_i for all i.
+        for i in 0..n {
+            let vi = e.vectors.col(i);
+            let av = a.matvec(&vi);
+            for k in 0..n {
+                assert!(
+                    (av[k] - e.values[i] * vi[k]).abs() < 1e-9,
+                    "eigenpair {i} residual at {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = DenseMatrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, 0.2],
+            &[0.5, 0.2, 1.0],
+        ]);
+        let e = sym_eigen(&a);
+        let gram = e.vectors.transpose().matmul(&e.vectors);
+        let err = gram.add_scaled(-1.0, &DenseMatrix::identity(3)).max_abs();
+        assert!(err < 1e-10);
+    }
+
+    #[test]
+    fn values_sorted_descending() {
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 0.0, 0.0],
+            &[0.0, 5.0, 0.0],
+            &[0.0, 0.0, 3.0],
+        ]);
+        let e = sym_eigen(&a);
+        assert!(e.values.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn rejects_asymmetric_input() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        sym_eigen(&a);
+    }
+}

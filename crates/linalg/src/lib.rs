@@ -1,0 +1,49 @@
+//! # tpa-linalg — linear-algebra substrate for the TPA reproduction
+//!
+//! From-scratch dense and sparse linear algebra sized for the needs of the
+//! competitor RWR methods:
+//!
+//! * [`DenseMatrix`], [`Lu`], [`qr::qr`], [`sym_eigen`] — direct dense
+//!   kernels (NB-LIN's Woodbury core, BEAR's Schur complement).
+//! * [`randomized_svd`] — Halko-style truncated SVD over any [`LinOp`]
+//!   (NB-LIN's low-rank decomposition).
+//! * [`SparseMatrix`] — CSR with product/transpose/extract/drop-tolerance
+//!   (BEAR and BePI block elimination).
+//! * [`solvers`] — Richardson and BiCGSTAB iterative solvers (BePI's
+//!   query-time Schur solve).
+//! * [`PatternMatrix`] — bit-packed boolean matrix powers (the Fig. 3/4
+//!   density experiments).
+
+#![warn(missing_docs)]
+
+mod dense;
+mod eigen;
+mod lu;
+mod pattern;
+pub mod qr;
+mod sparse;
+pub mod solvers;
+mod svd;
+pub mod vecops;
+
+pub use dense::DenseMatrix;
+pub use eigen::{sym_eigen, SymEigen};
+pub use lu::{Lu, SingularMatrix};
+pub use pattern::PatternMatrix;
+pub use sparse::SparseMatrix;
+pub use svd::{randomized_svd, Svd, SvdConfig};
+
+/// Abstract linear operator `A : ℝⁿ → ℝᵐ` with access to both `A·x` and
+/// `Aᵀ·x`. Lets the randomized SVD and the iterative solvers run against
+/// sparse matrices, graph transition operators, or composed operators
+/// without materializing anything.
+pub trait LinOp {
+    /// Output dimension `m`.
+    fn nrows(&self) -> usize;
+    /// Input dimension `n`.
+    fn ncols(&self) -> usize;
+    /// `y ← A·x` (`y` has length `m`).
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+    /// `y ← Aᵀ·x` (`y` has length `n`).
+    fn apply_t(&self, x: &[f64], y: &mut [f64]);
+}

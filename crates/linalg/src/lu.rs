@@ -1,0 +1,211 @@
+//! LU decomposition with partial pivoting — the direct solver behind
+//! NB-LIN's Woodbury core and BEAR's block inversions.
+
+use crate::DenseMatrix;
+
+/// Packed LU factors of a square matrix (`P·A = L·U`).
+#[derive(Clone, Debug)]
+pub struct Lu {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: DenseMatrix,
+    /// Row permutation: `perm[i]` = original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    sign: f64,
+}
+
+/// Error for singular systems.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular to working precision")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+impl Lu {
+    /// Factors `a` (must be square). Returns [`SingularMatrix`] if a pivot
+    /// underflows `1e-13 · max|a|`.
+    pub fn factor(a: &DenseMatrix) -> Result<Self, SingularMatrix> {
+        assert_eq!(a.nrows(), a.ncols(), "LU needs a square matrix");
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let tiny = 1e-13 * a.max_abs().max(1e-300);
+
+        for k in 0..n {
+            // Partial pivot: the largest |entry| in column k at/below row k.
+            let mut p = k;
+            let mut best = lu.get(k, k).abs();
+            for r in k + 1..n {
+                let v = lu.get(r, k).abs();
+                if v > best {
+                    best = v;
+                    p = r;
+                }
+            }
+            if best <= tiny {
+                return Err(SingularMatrix);
+            }
+            if p != k {
+                perm.swap(p, k);
+                sign = -sign;
+                for c in 0..n {
+                    let t = lu.get(k, c);
+                    lu.set(k, c, lu.get(p, c));
+                    lu.set(p, c, t);
+                }
+            }
+            let pivot = lu.get(k, k);
+            for r in k + 1..n {
+                let factor = lu.get(r, k) / pivot;
+                lu.set(r, k, factor);
+                if factor != 0.0 {
+                    for c in k + 1..n {
+                        let v = lu.get(r, c) - factor * lu.get(k, c);
+                        lu.set(r, c, v);
+                    }
+                }
+            }
+        }
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Order of the factored matrix.
+    pub fn n(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A·x = b` for one right-hand side.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n();
+        assert_eq!(b.len(), n);
+        // Apply permutation, then forward- and back-substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for r in 1..n {
+            let mut acc = x[r];
+            for c in 0..r {
+                acc -= self.lu.get(r, c) * x[c];
+            }
+            x[r] = acc;
+        }
+        for r in (0..n).rev() {
+            let mut acc = x[r];
+            for c in r + 1..n {
+                acc -= self.lu.get(r, c) * x[c];
+            }
+            x[r] = acc / self.lu.get(r, r);
+        }
+        x
+    }
+
+    /// Solves for every column of `b`, returning the solution matrix.
+    pub fn solve_matrix(&self, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(b.nrows(), self.n());
+        let mut out = DenseMatrix::zeros(b.nrows(), b.ncols());
+        for c in 0..b.ncols() {
+            let col = b.col(c);
+            let x = self.solve(&col);
+            for (r, v) in x.into_iter().enumerate() {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    /// Explicit inverse `A⁻¹` (use sparingly; prefer [`Lu::solve`]).
+    pub fn inverse(&self) -> DenseMatrix {
+        self.solve_matrix(&DenseMatrix::identity(self.n()))
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.n() {
+            d *= self.lu.get(i, i);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // [2 1; 1 3] x = [3; 5] → x = [4/5, 7/5]
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        assert_close(&lu.solve(&[3.0, 5.0]), &[0.8, 1.4], 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = DenseMatrix::from_rows(&[
+            &[4.0, -2.0, 1.0],
+            &[-2.0, 4.0, -2.0],
+            &[1.0, -2.0, 4.0],
+        ]);
+        let inv = Lu::factor(&a).unwrap().inverse();
+        let prod = a.matmul(&inv);
+        let err = prod.add_scaled(-1.0, &DenseMatrix::identity(3)).max_abs();
+        assert!(err < 1e-12, "residual {err}");
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        assert_close(&lu.solve(&[2.0, 3.0]), &[3.0, 2.0], 1e-14);
+    }
+
+    #[test]
+    fn det_matches_closed_form() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_sign_flips_with_pivot() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((Lu::factor(&a).unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(Lu::factor(&a).unwrap_err(), SingularMatrix);
+    }
+
+    #[test]
+    fn random_system_residual_small() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 40;
+        let mut a = DenseMatrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                a.set(r, c, rng.gen::<f64>() - 0.5);
+            }
+            // Diagonal dominance keeps the system well-conditioned.
+            a.set(r, r, a.get(r, r) + n as f64);
+        }
+        let b: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let x = Lu::factor(&a).unwrap().solve(&b);
+        let r = a.matvec(&x);
+        assert_close(&r, &b, 1e-9);
+    }
+}

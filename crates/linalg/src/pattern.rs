@@ -1,0 +1,206 @@
+//! Boolean (pattern-only) matrix powers over bitset rows.
+//!
+//! Fig. 3 and Fig. 4(a) of the paper track how the *sparsity pattern* of
+//! `(Ãᵀ)^i` fills in as `i` grows. Storing one bit per potential entry makes
+//! this affordable (`n²/8` bytes) even when the numeric matrix power would
+//! not fit.
+
+/// Dense boolean matrix with bit-packed rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatternMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl PatternMatrix {
+    /// All-zeros pattern of order `n`.
+    pub fn empty(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        Self { n, words_per_row, bits: vec![0; n * words_per_row] }
+    }
+
+    /// Identity pattern.
+    pub fn identity(n: usize) -> Self {
+        let mut p = Self::empty(n);
+        for i in 0..n {
+            p.set(i, i);
+        }
+        p
+    }
+
+    /// Builds from row adjacency: `rows[r]` lists the set columns of row `r`.
+    pub fn from_rows<'a>(n: usize, rows: impl Iterator<Item = (usize, &'a [u32])>) -> Self {
+        let mut p = Self::empty(n);
+        for (r, cols) in rows {
+            for &c in cols {
+                p.set(r, c as usize);
+            }
+        }
+        p
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sets bit `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize) {
+        debug_assert!(r < self.n && c < self.n);
+        self.bits[r * self.words_per_row + c / 64] |= 1u64 << (c % 64);
+    }
+
+    /// Tests bit `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        debug_assert!(r < self.n && c < self.n);
+        self.bits[r * self.words_per_row + c / 64] & (1u64 << (c % 64)) != 0
+    }
+
+    /// Row `r` as a word slice.
+    #[inline]
+    fn row(&self, r: usize) -> &[u64] {
+        &self.bits[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Total number of set bits — `nnz` of the pattern (Fig. 4a's y-axis).
+    pub fn count_nonzeros(&self) -> u64 {
+        self.bits.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Set bits in row `r`.
+    pub fn row_count(&self, r: usize) -> u32 {
+        self.row(r).iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Pattern product `adjacency × self`: row `r` of the result is the
+    /// union of `self`'s rows indexed by `adj_rows(r)`.
+    ///
+    /// With `self = pattern((Ãᵀ)^i)` and `adj_rows` the rows of `Ãᵀ`, the
+    /// result is `pattern((Ãᵀ)^{i+1})`.
+    pub fn premultiply_by_adjacency<'a>(
+        &self,
+        adj_rows: impl Fn(usize) -> &'a [u32],
+    ) -> PatternMatrix {
+        let mut out = PatternMatrix::empty(self.n);
+        for r in 0..self.n {
+            let dst_start = r * self.words_per_row;
+            for &k in adj_rows(r) {
+                let src = self.row(k as usize);
+                let dst = &mut out.bits[dst_start..dst_start + self.words_per_row];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d |= s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Counts set bits inside each cell of a `g × g` grid coarsening of the
+    /// matrix — the data behind the Fig. 3 heat maps.
+    pub fn block_counts(&self, g: usize) -> Vec<Vec<u64>> {
+        assert!(g >= 1);
+        let mut grid = vec![vec![0u64; g]; g];
+        let cell = |i: usize| (i * g / self.n).min(g - 1);
+        for r in 0..self.n {
+            let gr = cell(r);
+            for (wi, &w) in self.row(r).iter().enumerate() {
+                let mut word = w;
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    let c = wi * 64 + bit;
+                    grid[gr][cell(c)] += 1;
+                    word &= word - 1;
+                }
+            }
+        }
+        grid
+    }
+
+    /// Heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3-cycle adjacency: 0→1→2→0 (rows of Ãᵀ are in-neighbors).
+    fn cycle_in_rows() -> Vec<Vec<u32>> {
+        vec![vec![2], vec![0], vec![1]]
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut p = PatternMatrix::empty(70);
+        p.set(0, 0);
+        p.set(69, 69);
+        p.set(3, 65);
+        assert!(p.get(0, 0) && p.get(69, 69) && p.get(3, 65));
+        assert!(!p.get(1, 1));
+        assert_eq!(p.count_nonzeros(), 3);
+    }
+
+    #[test]
+    fn identity_has_n_nonzeros() {
+        let p = PatternMatrix::identity(100);
+        assert_eq!(p.count_nonzeros(), 100);
+        assert!(p.get(42, 42));
+    }
+
+    #[test]
+    fn cycle_power_permutes() {
+        let rows = cycle_in_rows();
+        // pattern(M^1) where M[r][c]=1 iff c in rows[r].
+        let m1 = PatternMatrix::from_rows(3, rows.iter().enumerate().map(|(r, c)| (r, &c[..])));
+        assert_eq!(m1.count_nonzeros(), 3);
+        let m2 = m1.premultiply_by_adjacency(|r| &rows[r][..]);
+        // M² of a 3-cycle is the other 3-cycle direction; still 3 nonzeros.
+        assert_eq!(m2.count_nonzeros(), 3);
+        let m3 = m2.premultiply_by_adjacency(|r| &rows[r][..]);
+        // M³ = I.
+        assert_eq!(m3, PatternMatrix::identity(3));
+    }
+
+    #[test]
+    fn star_power_fills() {
+        // Star: hub 0 ↔ leaves 1,2,3. In-rows (sources of in-edges):
+        let rows: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![0], vec![0], vec![0]];
+        let m1 = PatternMatrix::from_rows(4, rows.iter().enumerate().map(|(r, c)| (r, &c[..])));
+        let m2 = m1.premultiply_by_adjacency(|r| &rows[r][..]);
+        // Two hops: leaf→leaf via hub, hub→hub via any leaf.
+        assert!(m2.get(1, 2) && m2.get(0, 0));
+        assert!(m2.count_nonzeros() > m1.count_nonzeros());
+    }
+
+    #[test]
+    fn block_counts_partition_all_bits() {
+        let mut p = PatternMatrix::empty(10);
+        for i in 0..10 {
+            p.set(i, 9 - i);
+        }
+        let grid = p.block_counts(2);
+        let total: u64 = grid.iter().flatten().sum();
+        assert_eq!(total, p.count_nonzeros());
+        // Anti-diagonal: bits fall in the off-diagonal blocks.
+        assert_eq!(grid[0][0], 0);
+        assert_eq!(grid[0][1], 5);
+        assert_eq!(grid[1][0], 5);
+    }
+
+    #[test]
+    fn row_count_sums_to_total() {
+        let mut p = PatternMatrix::empty(65);
+        p.set(0, 64);
+        p.set(0, 0);
+        p.set(64, 1);
+        assert_eq!(p.row_count(0), 2);
+        assert_eq!(p.row_count(64), 1);
+        let sum: u64 = (0..65).map(|r| p.row_count(r) as u64).sum();
+        assert_eq!(sum, p.count_nonzeros());
+    }
+}

@@ -1,0 +1,161 @@
+//! Thin Householder QR — the orthonormalization step of the randomized SVD
+//! range finder.
+
+use crate::DenseMatrix;
+
+/// Thin QR factorization `A = Q·R` of an `m × k` matrix with `m ≥ k`:
+/// `Q` is `m × k` with orthonormal columns, `R` is `k × k` upper triangular.
+#[derive(Clone, Debug)]
+pub struct Qr {
+    /// Orthonormal factor.
+    pub q: DenseMatrix,
+    /// Upper-triangular factor.
+    pub r: DenseMatrix,
+}
+
+/// Computes the thin QR of `a` via Householder reflections.
+pub fn qr(a: &DenseMatrix) -> Qr {
+    let m = a.nrows();
+    let k = a.ncols();
+    assert!(m >= k, "thin QR requires nrows >= ncols");
+
+    // Work on a copy; reflectors are accumulated in `vs`.
+    let mut r_full = a.clone();
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // Householder vector for column j below the diagonal.
+        let mut v = vec![0.0; m - j];
+        for i in j..m {
+            v[i - j] = r_full.get(i, j);
+        }
+        let alpha = -v[0].signum() * crate::vecops::norm2(&v);
+        if alpha.abs() < 1e-300 {
+            // Column already zero below the diagonal; identity reflector.
+            vs.push(vec![0.0; m - j]);
+            continue;
+        }
+        v[0] -= alpha;
+        let vnorm = crate::vecops::norm2(&v);
+        if vnorm < 1e-300 {
+            vs.push(vec![0.0; m - j]);
+            continue;
+        }
+        for x in &mut v {
+            *x /= vnorm;
+        }
+        // Apply H = I − 2vvᵀ to the trailing submatrix of R.
+        for c in j..k {
+            let mut proj = 0.0;
+            for i in j..m {
+                proj += v[i - j] * r_full.get(i, c);
+            }
+            proj *= 2.0;
+            for i in j..m {
+                let val = r_full.get(i, c) - proj * v[i - j];
+                r_full.set(i, c, val);
+            }
+        }
+        vs.push(v);
+    }
+
+    // R = leading k × k block of the transformed matrix.
+    let mut r = DenseMatrix::zeros(k, k);
+    for i in 0..k {
+        for j in i..k {
+            r.set(i, j, r_full.get(i, j));
+        }
+    }
+
+    // Q = H₀·H₁·…·H_{k−1} applied to the first k columns of the identity.
+    let mut q = DenseMatrix::zeros(m, k);
+    for c in 0..k {
+        q.set(c, c, 1.0);
+    }
+    for j in (0..k).rev() {
+        let v = &vs[j];
+        if v.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        for c in 0..k {
+            let mut proj = 0.0;
+            for i in j..m {
+                proj += v[i - j] * q.get(i, c);
+            }
+            proj *= 2.0;
+            for i in j..m {
+                let val = q.get(i, c) - proj * v[i - j];
+                q.set(i, c, val);
+            }
+        }
+    }
+
+    Qr { q, r }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_matrix(m: usize, k: usize, seed: u64) -> DenseMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = DenseMatrix::zeros(m, k);
+        for r in 0..m {
+            for c in 0..k {
+                a.set(r, c, rng.gen::<f64>() - 0.5);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = random_matrix(12, 5, 1);
+        let Qr { q, r } = qr(&a);
+        let err = q.matmul(&r).add_scaled(-1.0, &a).max_abs();
+        assert!(err < 1e-12, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = random_matrix(20, 7, 2);
+        let Qr { q, .. } = qr(&a);
+        let gram = q.transpose().matmul(&q);
+        let err = gram.add_scaled(-1.0, &DenseMatrix::identity(7)).max_abs();
+        assert!(err < 1e-12, "orthonormality error {err}");
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = random_matrix(10, 6, 3);
+        let Qr { r, .. } = qr(&a);
+        for i in 0..6 {
+            for j in 0..i {
+                assert!(r.get(i, j).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn square_orthogonal_input() {
+        let a = DenseMatrix::identity(4);
+        let Qr { q, r } = qr(&a);
+        let err = q.matmul(&r).add_scaled(-1.0, &a).max_abs();
+        assert!(err < 1e-13);
+    }
+
+    #[test]
+    fn rank_deficient_column_does_not_panic() {
+        // Third column is a multiple of the first.
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 0.0, 2.0],
+            &[1.0, 1.0, 2.0],
+            &[1.0, 2.0, 2.0],
+            &[1.0, 3.0, 2.0],
+        ]);
+        let Qr { q, r } = qr(&a);
+        let err = q.matmul(&r).add_scaled(-1.0, &a).max_abs();
+        assert!(err < 1e-12);
+    }
+}

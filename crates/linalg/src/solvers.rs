@@ -1,0 +1,217 @@
+//! Iterative linear solvers for the block-elimination methods.
+//!
+//! BePI solves its Schur-complement system `(I − M)·x = b` iteratively at
+//! query time; the natural fit is Richardson iteration because the RWR
+//! iteration matrix has spectral radius `(1−c) < 1`. BiCGSTAB is provided
+//! as a general-purpose fallback for systems without that guarantee.
+
+use crate::{vecops, LinOp};
+
+/// Outcome of an iterative solve.
+#[derive(Clone, Debug)]
+pub struct SolveResult {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations actually run.
+    pub iterations: usize,
+    /// Final residual norm (L1 for Richardson, L2 for BiCGSTAB).
+    pub residual: f64,
+    /// Whether the tolerance was reached before the iteration cap.
+    pub converged: bool,
+}
+
+/// Solves `(I − M)·x = b` by the fixed-point iteration
+/// `x_{k+1} = b + M·x_k`, which converges whenever `ρ(M) < 1`.
+///
+/// For RWR, `M = (1−c)·Ãᵀ` restricted to a block, so `ρ(M) ≤ 1−c`.
+pub fn richardson(m: &dyn LinOp, b: &[f64], tol: f64, max_iters: usize) -> SolveResult {
+    assert_eq!(m.nrows(), m.ncols(), "Richardson needs a square operator");
+    assert_eq!(b.len(), m.nrows());
+    let n = b.len();
+    let mut x = b.to_vec();
+    let mut mx = vec![0.0; n];
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+    while iterations < max_iters {
+        m.apply(&x, &mut mx);
+        // next = b + M x
+        let mut delta = 0.0;
+        for i in 0..n {
+            let next = b[i] + mx[i];
+            delta += (next - x[i]).abs();
+            x[i] = next;
+        }
+        iterations += 1;
+        residual = delta;
+        if delta < tol {
+            return SolveResult { x, iterations, residual, converged: true };
+        }
+    }
+    SolveResult { x, iterations, residual, converged: false }
+}
+
+/// BiCGSTAB for a general square system `A·x = b` (van der Vorst 1992).
+/// Unpreconditioned; adequate for the well-conditioned RWR systems here.
+pub fn bicgstab(a: &dyn LinOp, b: &[f64], tol: f64, max_iters: usize) -> SolveResult {
+    assert_eq!(a.nrows(), a.ncols(), "BiCGSTAB needs a square operator");
+    assert_eq!(b.len(), a.nrows());
+    let n = b.len();
+    let bnorm = vecops::norm2(b).max(1e-300);
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec(); // r = b − A·0
+    let r_hat = r.clone();
+    let mut rho = 1.0f64;
+    let mut alpha = 1.0f64;
+    let mut omega = 1.0f64;
+    let mut v = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut s = vec![0.0; n];
+    let mut t = vec![0.0; n];
+
+    for k in 0..max_iters {
+        let rho_new = vecops::dot(&r_hat, &r);
+        if rho_new.abs() < 1e-300 {
+            return SolveResult {
+                x,
+                iterations: k,
+                residual: vecops::norm2(&r),
+                converged: vecops::norm2(&r) <= tol * bnorm,
+            };
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        a.apply(&p, &mut v);
+        let denom = vecops::dot(&r_hat, &v);
+        if denom.abs() < 1e-300 {
+            break;
+        }
+        alpha = rho / denom;
+        for i in 0..n {
+            s[i] = r[i] - alpha * v[i];
+        }
+        if vecops::norm2(&s) <= tol * bnorm {
+            vecops::axpy(alpha, &p, &mut x);
+            return SolveResult {
+                x,
+                iterations: k + 1,
+                residual: vecops::norm2(&s),
+                converged: true,
+            };
+        }
+        a.apply(&s, &mut t);
+        let tt = vecops::dot(&t, &t);
+        omega = if tt > 1e-300 { vecops::dot(&t, &s) / tt } else { 0.0 };
+        for i in 0..n {
+            x[i] += alpha * p[i] + omega * s[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        let res = vecops::norm2(&r);
+        if res <= tol * bnorm {
+            return SolveResult { x, iterations: k + 1, residual: res, converged: true };
+        }
+        if omega.abs() < 1e-300 {
+            break;
+        }
+    }
+    let res = vecops::norm2(&r);
+    SolveResult { x, iterations: max_iters, residual: res, converged: res <= tol * bnorm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SparseMatrix;
+
+    #[test]
+    fn richardson_solves_contraction_system() {
+        // M = 0.5 * P for a permutation P: ρ(M) = 0.5.
+        let m = SparseMatrix::from_triplets(3, 3, [(0, 1, 0.5), (1, 2, 0.5), (2, 0, 0.5)]);
+        let b = vec![1.0, 0.0, 0.0];
+        let res = richardson(&m, &b, 1e-12, 1000);
+        assert!(res.converged);
+        // Verify (I − M) x = b.
+        let mx = m.matvec(&res.x);
+        for i in 0..3 {
+            assert!((res.x[i] - mx[i] - b[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn richardson_reports_nonconvergence() {
+        // ρ(M) = 1 → no convergence.
+        let m = SparseMatrix::identity(2);
+        let res = richardson(&m, &[1.0, 1.0], 1e-12, 50);
+        assert!(!res.converged);
+        assert_eq!(res.iterations, 50);
+    }
+
+    #[test]
+    fn bicgstab_solves_spd_system() {
+        // Diagonally dominant symmetric system.
+        let a = SparseMatrix::from_triplets(
+            3,
+            3,
+            [
+                (0, 0, 4.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 4.0),
+                (1, 2, -1.0),
+                (2, 1, -1.0),
+                (2, 2, 4.0),
+            ],
+        );
+        let b = vec![1.0, 2.0, 3.0];
+        let res = bicgstab(&a, &b, 1e-12, 100);
+        assert!(res.converged, "residual {}", res.residual);
+        let ax = a.matvec(&res.x);
+        for i in 0..3 {
+            assert!((ax[i] - b[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn bicgstab_solves_nonsymmetric_system() {
+        let a = SparseMatrix::from_triplets(
+            2,
+            2,
+            [(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0)],
+        );
+        let b = vec![5.0, 6.0];
+        let res = bicgstab(&a, &b, 1e-12, 100);
+        assert!(res.converged);
+        assert!((res.x[1] - 2.0).abs() < 1e-8);
+        assert!((res.x[0] - 1.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn richardson_matches_bicgstab_on_rwr_like_system() {
+        // M = 0.85 · column-stochastic matrix.
+        let half = 0.85 / 2.0;
+        let m = SparseMatrix::from_triplets(
+            3,
+            3,
+            [
+                (0, 1, half),
+                (0, 2, half),
+                (1, 0, half),
+                (1, 2, half),
+                (2, 0, half),
+                (2, 1, half),
+            ],
+        );
+        let b = vec![0.15, 0.0, 0.0];
+        let rich = richardson(&m, &b, 1e-13, 10_000);
+        // Build I − M explicitly for BiCGSTAB.
+        let h = m.identity_minus_scaled(1.0);
+        let bi = bicgstab(&h, &b, 1e-13, 1000);
+        assert!(rich.converged && bi.converged);
+        for i in 0..3 {
+            assert!((rich.x[i] - bi.x[i]).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! CSR sparse matrices with the operations the block-elimination methods
+//! (BEAR, BePI) and the density experiments (Fig. 3/4) need.
+
+use crate::DenseMatrix;
+
+/// Sparse matrix in compressed sparse row format with `f64` values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseMatrix {
+    nrows: usize,
+    ncols: usize,
+    offsets: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds from unsorted `(row, col, value)` triplets. Duplicate
+    /// coordinates are summed; explicit zeros are kept (call
+    /// [`Self::drop_tolerance`] to prune).
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: impl IntoIterator<Item = (u32, u32, f64)>,
+    ) -> Self {
+        let mut ts: Vec<(u32, u32, f64)> = triplets.into_iter().collect();
+        for &(r, c, _) in &ts {
+            assert!((r as usize) < nrows && (c as usize) < ncols, "triplet out of range");
+        }
+        ts.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut offsets = vec![0usize; nrows + 1];
+        let mut cols: Vec<u32> = Vec::with_capacity(ts.len());
+        let mut vals: Vec<f64> = Vec::with_capacity(ts.len());
+        let mut last: Option<(u32, u32)> = None;
+        for (r, c, v) in ts {
+            if last == Some((r, c)) {
+                *vals.last_mut().unwrap() += v;
+            } else {
+                offsets[r as usize + 1] += 1;
+                cols.push(c);
+                vals.push(v);
+                last = Some((r, c));
+            }
+        }
+        // offsets currently hold per-row counts at index r+1; prefix-sum.
+        for i in 0..nrows {
+            offsets[i + 1] += offsets[i];
+        }
+        Self { nrows, ncols, offsets, cols, vals }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            nrows: n,
+            ncols: n,
+            offsets: (0..=n).collect(),
+            cols: (0..n as u32).collect(),
+            vals: vec![1.0; n],
+        }
+    }
+
+    /// Empty (all-zero) matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, offsets: vec![0; nrows + 1], cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `(columns, values)` of row `r`.
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let (s, e) = (self.offsets[r], self.offsets[r + 1]);
+        (&self.cols[s..e], &self.vals[s..e])
+    }
+
+    /// Entry `(r, c)` or 0.0 (binary search within the row).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&(c as u32)) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Heap footprint in bytes — the "preprocessed data size" unit of
+    /// Fig. 1(a).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.cols.len() * std::mem::size_of::<u32>()
+            + self.vals.len() * std::mem::size_of::<f64>()
+    }
+
+    /// `y = A·x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.nrows];
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c as usize];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// `y = Aᵀ·x` without materializing the transpose.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nrows, "matvec_t dimension mismatch");
+        let mut y = vec![0.0; self.ncols];
+        for r in 0..self.nrows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                y[*c as usize] += v * xr;
+            }
+        }
+        y
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> SparseMatrix {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.cols {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cols = vec![0u32; self.nnz()];
+        let mut vals = vec![0.0; self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.nrows {
+            let (rc, rv) = self.row(r);
+            for (c, v) in rc.iter().zip(rv) {
+                let pos = cursor[*c as usize];
+                cols[pos] = r as u32;
+                vals[pos] = *v;
+                cursor[*c as usize] += 1;
+            }
+        }
+        SparseMatrix { nrows: self.ncols, ncols: self.nrows, offsets, cols, vals }
+    }
+
+    /// Sparse × sparse product using a dense accumulator per row
+    /// (Gustavson's algorithm). A separate marker array tracks touched
+    /// columns — guarding on `acc == 0.0` would emit duplicate entries
+    /// whenever a contribution is exactly zero or a partial sum cancels.
+    pub fn matmul(&self, other: &SparseMatrix) -> SparseMatrix {
+        assert_eq!(self.ncols, other.nrows, "matmul dimension mismatch");
+        let mut offsets = vec![0usize; self.nrows + 1];
+        let mut cols: Vec<u32> = Vec::new();
+        let mut vals: Vec<f64> = Vec::new();
+        let mut acc = vec![0.0f64; other.ncols];
+        let mut seen = vec![false; other.ncols];
+        let mut touched: Vec<u32> = Vec::new();
+        for r in 0..self.nrows {
+            let (rc, rv) = self.row(r);
+            for (k, v) in rc.iter().zip(rv) {
+                let (kc, kv) = other.row(*k as usize);
+                for (c, w) in kc.iter().zip(kv) {
+                    let ci = *c as usize;
+                    if !seen[ci] {
+                        seen[ci] = true;
+                        touched.push(*c);
+                    }
+                    acc[ci] += v * w;
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                cols.push(c);
+                vals.push(acc[c as usize]);
+                acc[c as usize] = 0.0;
+                seen[c as usize] = false;
+            }
+            offsets[r + 1] = cols.len();
+            touched.clear();
+        }
+        SparseMatrix { nrows: self.nrows, ncols: other.ncols, offsets, cols, vals }
+    }
+
+    /// Sparse × dense product (`self · d`).
+    pub fn matmul_dense(&self, d: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.ncols, d.nrows(), "matmul_dense dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.nrows, d.ncols());
+        for r in 0..self.nrows {
+            let (rc, rv) = self.row(r);
+            let orow = out.row_mut(r);
+            for (c, v) in rc.iter().zip(rv) {
+                crate::vecops::axpy(*v, d.row(*c as usize), orow);
+            }
+        }
+        out
+    }
+
+    /// Copy with every entry `|v| < tol` removed — BEAR-APPROX's drop
+    /// operation (its accuracy/space tradeoff knob).
+    pub fn drop_tolerance(&self, tol: f64) -> SparseMatrix {
+        let mut offsets = vec![0usize; self.nrows + 1];
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for r in 0..self.nrows {
+            let (rc, rv) = self.row(r);
+            for (c, v) in rc.iter().zip(rv) {
+                if v.abs() >= tol {
+                    cols.push(*c);
+                    vals.push(*v);
+                }
+            }
+            offsets[r + 1] = cols.len();
+        }
+        SparseMatrix { nrows: self.nrows, ncols: self.ncols, offsets, cols, vals }
+    }
+
+    /// `I − alpha·self` (must be square) — builds the RWR system matrix
+    /// `H = I − (1−c)·Ãᵀ`.
+    pub fn identity_minus_scaled(&self, alpha: f64) -> SparseMatrix {
+        assert_eq!(self.nrows, self.ncols, "needs a square matrix");
+        let mut triplets: Vec<(u32, u32, f64)> = Vec::with_capacity(self.nnz() + self.nrows);
+        for r in 0..self.nrows {
+            let (rc, rv) = self.row(r);
+            for (c, v) in rc.iter().zip(rv) {
+                triplets.push((r as u32, *c, -alpha * v));
+            }
+            triplets.push((r as u32, r as u32, 1.0));
+        }
+        SparseMatrix::from_triplets(self.nrows, self.ncols, triplets)
+    }
+
+    /// Extracts the submatrix with the given rows (in order) and a column
+    /// remap: `col_map[c] = Some(new_index)` keeps column `c`.
+    /// This is the partitioning primitive for BEAR/BePI block elimination.
+    pub fn extract(
+        &self,
+        rows: &[u32],
+        col_map: &[Option<u32>],
+        new_ncols: usize,
+    ) -> SparseMatrix {
+        assert_eq!(col_map.len(), self.ncols);
+        let mut offsets = vec![0usize; rows.len() + 1];
+        let mut cols: Vec<u32> = Vec::new();
+        let mut vals: Vec<f64> = Vec::new();
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for (new_r, &r) in rows.iter().enumerate() {
+            let (rc, rv) = self.row(r as usize);
+            scratch.clear();
+            for (c, v) in rc.iter().zip(rv) {
+                if let Some(nc) = col_map[*c as usize] {
+                    scratch.push((nc, *v));
+                }
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &scratch {
+                cols.push(c);
+                vals.push(v);
+            }
+            offsets[new_r + 1] = cols.len();
+        }
+        SparseMatrix { nrows: rows.len(), ncols: new_ncols, offsets, cols, vals }
+    }
+
+    /// Densifies (small matrices only; guards against blowup).
+    pub fn to_dense(&self) -> DenseMatrix {
+        assert!(
+            self.nrows * self.ncols <= 64_000_000,
+            "refusing to densify a {}x{} matrix",
+            self.nrows,
+            self.ncols
+        );
+        let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
+        for r in 0..self.nrows {
+            let (rc, rv) = self.row(r);
+            for (c, v) in rc.iter().zip(rv) {
+                d.set(r, *c as usize, *v);
+            }
+        }
+        d
+    }
+
+    /// Builds from a dense matrix, keeping entries with `|v| > 0`.
+    pub fn from_dense(d: &DenseMatrix, tol: f64) -> SparseMatrix {
+        let mut triplets = Vec::new();
+        for r in 0..d.nrows() {
+            for c in 0..d.ncols() {
+                let v = d.get(r, c);
+                if v.abs() > tol {
+                    triplets.push((r as u32, c as u32, v));
+                }
+            }
+        }
+        SparseMatrix::from_triplets(d.nrows(), d.ncols(), triplets)
+    }
+}
+
+impl crate::LinOp for SparseMatrix {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(&self.matvec(x));
+    }
+    fn apply_t(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(&self.matvec_t(x));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        SparseMatrix::from_triplets(2, 3, [(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)])
+    }
+
+    #[test]
+    fn triplets_sorted_and_merged() {
+        let m = SparseMatrix::from_triplets(2, 2, [(0, 1, 1.0), (0, 0, 2.0), (0, 1, 4.0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let m = sample();
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose() {
+        let m = sample();
+        let x = vec![2.0, -1.0];
+        assert_eq!(m.matvec_t(&x), m.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_against_dense() {
+        let a = sample(); // 2x3
+        let b = SparseMatrix::from_triplets(
+            3,
+            2,
+            [(0, 0, 1.0), (1, 0, 2.0), (1, 1, 1.0), (2, 1, 3.0)],
+        );
+        let c = a.matmul(&b);
+        let dense = a.to_dense().matmul(&b.to_dense());
+        assert_eq!(c.to_dense(), dense);
+    }
+
+    #[test]
+    fn matmul_handles_explicit_zeros_and_cancellation() {
+        // Regression: explicit 0.0 entries and exact cancellation must not
+        // produce duplicate column entries in the product.
+        let a = SparseMatrix::from_triplets(
+            1,
+            2,
+            [(0, 0, 1.0), (0, 1, -1.0)],
+        );
+        // b has rows [1, 0-explicit; 1, 2] so column 0 of a·b cancels.
+        let b = SparseMatrix::from_triplets(
+            2,
+            2,
+            [(0, 0, 1.0), (0, 1, 0.0), (1, 0, 1.0), (1, 1, 2.0)],
+        );
+        let p = a.matmul(&b);
+        let (cols, _) = p.row(0);
+        let mut sorted = cols.to_vec();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cols.len(), "duplicate columns: {cols:?}");
+        assert_eq!(p.get(0, 0), 0.0);
+        assert_eq!(p.get(0, 1), -2.0);
+    }
+
+    #[test]
+    fn identity_behaves() {
+        let i = SparseMatrix::identity(3);
+        assert_eq!(i.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+        assert_eq!(i.nnz(), 3);
+    }
+
+    #[test]
+    fn drop_tolerance_prunes() {
+        let m = SparseMatrix::from_triplets(1, 3, [(0, 0, 0.5), (0, 1, 1e-8), (0, 2, -0.7)]);
+        let p = m.drop_tolerance(1e-4);
+        assert_eq!(p.nnz(), 2);
+        assert_eq!(p.get(0, 1), 0.0);
+        assert_eq!(p.get(0, 2), -0.7);
+    }
+
+    #[test]
+    fn identity_minus_scaled_builds_system_matrix() {
+        let a = SparseMatrix::from_triplets(2, 2, [(0, 1, 1.0), (1, 0, 1.0)]);
+        let h = a.identity_minus_scaled(0.85);
+        assert_eq!(h.get(0, 0), 1.0);
+        assert_eq!(h.get(0, 1), -0.85);
+        assert_eq!(h.get(1, 0), -0.85);
+        assert_eq!(h.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn extract_submatrix() {
+        // 3x3 with a full diagonal plus (0,2).
+        let m = SparseMatrix::from_triplets(
+            3,
+            3,
+            [(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0), (0, 2, 4.0)],
+        );
+        // Take rows [2, 0], keep columns {0→1, 2→0}.
+        let col_map = vec![Some(1), None, Some(0)];
+        let s = m.extract(&[2, 0], &col_map, 2);
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s.ncols(), 2);
+        assert_eq!(s.get(0, 0), 3.0); // old (2,2)
+        assert_eq!(s.get(1, 1), 1.0); // old (0,0)
+        assert_eq!(s.get(1, 0), 4.0); // old (0,2)
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = sample();
+        assert_eq!(SparseMatrix::from_dense(&m.to_dense(), 0.0), m);
+    }
+
+    #[test]
+    fn memory_counts_all_arrays() {
+        let m = sample();
+        assert_eq!(
+            m.memory_bytes(),
+            3 * 8 + 3 * 4 + 3 * 8 // offsets(3 usize) + cols(3 u32) + vals(3 f64)
+        );
+    }
+}

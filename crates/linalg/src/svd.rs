@@ -1,0 +1,264 @@
+//! Randomized truncated SVD (Halko–Martinsson–Tropp) of an arbitrary linear
+//! operator — the low-rank engine behind the NB-LIN baseline.
+//!
+//! NB-LIN approximates the transition matrix `Ãᵀ ≈ U·Σ·Vᵀ` with a small rank
+//! `t`, then inverts the RWR system through the Woodbury identity. The paper
+//! notes NB-LIN's preprocessing (this decomposition) is both slow and
+//! memory-hungry; we reproduce that cost profile honestly.
+
+use crate::{qr::qr, sym_eigen, DenseMatrix, LinOp};
+use rand::Rng;
+
+/// Truncated SVD `A ≈ U·diag(s)·Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors, `m × rank`.
+    pub u: DenseMatrix,
+    /// Singular values, descending, length `rank`.
+    pub s: Vec<f64>,
+    /// Right singular vectors transposed, `rank × n`.
+    pub vt: DenseMatrix,
+}
+
+impl Svd {
+    /// Reconstruction `U·diag(s)·Vᵀ` (tests / error measurement only).
+    pub fn reconstruct(&self) -> DenseMatrix {
+        let mut us = self.u.clone();
+        for r in 0..us.nrows() {
+            let row = us.row_mut(r);
+            for (c, x) in row.iter_mut().enumerate() {
+                *x *= self.s[c];
+            }
+        }
+        us.matmul(&self.vt)
+    }
+
+    /// Heap bytes of the stored factors (NB-LIN index size).
+    pub fn memory_bytes(&self) -> usize {
+        self.u.memory_bytes() + self.vt.memory_bytes() + self.s.len() * 8
+    }
+}
+
+/// Configuration for [`randomized_svd`].
+#[derive(Clone, Copy, Debug)]
+pub struct SvdConfig {
+    /// Target rank `t`.
+    pub rank: usize,
+    /// Extra random probe columns beyond `rank` (improves accuracy; trimmed
+    /// from the output).
+    pub oversample: usize,
+    /// Power-iteration passes `(A·Aᵀ)^q` applied to the probe block;
+    /// sharpens the spectrum separation for slowly decaying spectra.
+    pub power_iters: usize,
+}
+
+impl Default for SvdConfig {
+    fn default() -> Self {
+        Self { rank: 16, oversample: 8, power_iters: 2 }
+    }
+}
+
+/// Computes a rank-`cfg.rank` approximate SVD of `op` using gaussian
+/// sketching. Deterministic given `rng`.
+pub fn randomized_svd<R: Rng + ?Sized>(op: &dyn LinOp, cfg: SvdConfig, rng: &mut R) -> Svd {
+    let m = op.nrows();
+    let n = op.ncols();
+    let l = (cfg.rank + cfg.oversample).min(n).min(m);
+    assert!(l >= 1, "rank + oversample must be >= 1");
+
+    // Probe block Ω (n × l) with standard normal entries; Y = A·Ω (m × l).
+    let mut y = DenseMatrix::zeros(m, l);
+    {
+        let mut omega_col = vec![0.0f64; n];
+        let mut y_col = vec![0.0f64; m];
+        for c in 0..l {
+            for w in omega_col.iter_mut() {
+                *w = gaussian(rng);
+            }
+            op.apply(&omega_col, &mut y_col);
+            for r in 0..m {
+                y.set(r, c, y_col[r]);
+            }
+        }
+    }
+
+    // Power iterations with re-orthonormalization for numerical stability:
+    // Y ← A·(Aᵀ·Q(Y)).
+    for _ in 0..cfg.power_iters {
+        let q = qr(&y).q;
+        let mut z = DenseMatrix::zeros(n, l);
+        let mut qcol = vec![0.0f64; m];
+        let mut zcol = vec![0.0f64; n];
+        for c in 0..l {
+            for r in 0..m {
+                qcol[r] = q.get(r, c);
+            }
+            op.apply_t(&qcol, &mut zcol);
+            for r in 0..n {
+                z.set(r, c, zcol[r]);
+            }
+        }
+        let qz = qr(&z).q;
+        let mut zcol2 = vec![0.0f64; n];
+        let mut ycol = vec![0.0f64; m];
+        for c in 0..l {
+            for r in 0..n {
+                zcol2[r] = qz.get(r, c);
+            }
+            op.apply(&zcol2, &mut ycol);
+            for r in 0..m {
+                y.set(r, c, ycol[r]);
+            }
+        }
+    }
+
+    let q = qr(&y).q; // m × l, orthonormal range basis
+
+    // B = Qᵀ·A computed as rows: Bᵀ = Aᵀ·Q, so B is l × n.
+    let mut b = DenseMatrix::zeros(l, n);
+    {
+        let mut qcol = vec![0.0f64; m];
+        let mut brow = vec![0.0f64; n];
+        for c in 0..l {
+            for r in 0..m {
+                qcol[r] = q.get(r, c);
+            }
+            op.apply_t(&qcol, &mut brow);
+            b.row_mut(c).copy_from_slice(&brow);
+        }
+    }
+
+    // Small SVD of B via the Gram matrix B·Bᵀ (l × l, symmetric PSD):
+    // B·Bᵀ = W·Λ·Wᵀ  →  σᵢ = √λᵢ,  U_B = W,  Vᵀ = Σ⁻¹·Wᵀ·B.
+    let gram = b.matmul(&b.transpose());
+    let eig = sym_eigen(&gram);
+
+    let rank = cfg.rank.min(l);
+    let mut s = Vec::with_capacity(rank);
+    let mut w = DenseMatrix::zeros(l, rank);
+    for i in 0..rank {
+        let sigma = eig.values[i].max(0.0).sqrt();
+        s.push(sigma);
+        for r in 0..l {
+            w.set(r, i, eig.vectors.get(r, i));
+        }
+    }
+
+    // U = Q·W (m × rank).
+    let u = q.matmul(&w);
+
+    // Vᵀ = Σ⁻¹·Wᵀ·B (rank × n); zero rows where σ ≈ 0.
+    let wt_b = w.transpose().matmul(&b);
+    let mut vt = wt_b;
+    for i in 0..rank {
+        let inv = if s[i] > 1e-12 { 1.0 / s[i] } else { 0.0 };
+        for c in 0..n {
+            let v = vt.get(i, c) * inv;
+            vt.set(i, c, v);
+        }
+    }
+
+    Svd { u, s, vt }
+}
+
+/// Standard normal sample via Box–Muller.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SparseMatrix;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Exactly rank-2 matrix: outer product of two pairs of vectors.
+    fn rank2_matrix(n: usize) -> SparseMatrix {
+        let mut triplets = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                let v = (r as f64 + 1.0) * (c as f64 + 1.0) / (n * n) as f64
+                    + ((r % 3) as f64) * ((c % 5) as f64) / 10.0;
+                if v != 0.0 {
+                    triplets.push((r as u32, c as u32, v));
+                }
+            }
+        }
+        SparseMatrix::from_triplets(n, n, triplets)
+    }
+
+    #[test]
+    fn recovers_low_rank_matrix_exactly() {
+        let a = rank2_matrix(30);
+        let mut rng = StdRng::seed_from_u64(5);
+        let svd = randomized_svd(
+            &a,
+            SvdConfig { rank: 4, oversample: 6, power_iters: 2 },
+            &mut rng,
+        );
+        let err = svd
+            .reconstruct()
+            .add_scaled(-1.0, &a.to_dense())
+            .frobenius_norm();
+        assert!(err < 1e-8, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn singular_values_descending_nonnegative() {
+        let a = rank2_matrix(25);
+        let mut rng = StdRng::seed_from_u64(6);
+        let svd = randomized_svd(&a, SvdConfig::default(), &mut rng);
+        assert!(svd.s.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        assert!(svd.s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn u_columns_orthonormal() {
+        let a = rank2_matrix(20);
+        let mut rng = StdRng::seed_from_u64(7);
+        let svd = randomized_svd(
+            &a,
+            SvdConfig { rank: 5, oversample: 5, power_iters: 1 },
+            &mut rng,
+        );
+        let gram = svd.u.transpose().matmul(&svd.u);
+        let err = gram.add_scaled(-1.0, &DenseMatrix::identity(5)).max_abs();
+        assert!(err < 1e-8, "orthonormality error {err}");
+    }
+
+    #[test]
+    fn truncation_error_bounded_by_spectrum() {
+        // Diagonal matrix with known singular values 10, 9, ..., 1.
+        let n = 10;
+        let a = SparseMatrix::from_triplets(
+            n,
+            n,
+            (0..n).map(|i| (i as u32, i as u32, (n - i) as f64)),
+        );
+        let mut rng = StdRng::seed_from_u64(8);
+        let svd = randomized_svd(
+            &a,
+            SvdConfig { rank: 3, oversample: 7, power_iters: 3 },
+            &mut rng,
+        );
+        for (i, &sv) in svd.s.iter().enumerate() {
+            let want = (n - i) as f64;
+            assert!((sv - want).abs() < 1e-6, "σ{i} = {sv}, want {want}");
+        }
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let a = rank2_matrix(15);
+        let mut rng = StdRng::seed_from_u64(9);
+        let svd = randomized_svd(
+            &a,
+            SvdConfig { rank: 3, oversample: 2, power_iters: 0 },
+            &mut rng,
+        );
+        // U: 15x3, Vᵀ: 3x15, s: 3 values.
+        assert_eq!(svd.memory_bytes(), (45 + 45 + 3) * 8);
+    }
+}

@@ -1,0 +1,84 @@
+//! Small dense-vector helpers shared by every solver and method crate.
+
+/// Dot product `xᵀy`. Panics on length mismatch.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `y ← y + alpha·x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← alpha·x`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// L1 norm `Σ|xᵢ|`.
+#[inline]
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// L2 (Euclidean) norm.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Max (infinity) norm.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// L1 distance `‖x − y‖₁` without allocating the difference.
+#[inline]
+pub fn l1_distance(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let x = [3.0, -4.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm1(&x), 7.0);
+        assert_eq!(norm_inf(&x), 4.0);
+    }
+
+    #[test]
+    fn axpy_scale() {
+        let mut y = vec![1.0, 2.0];
+        axpy(2.0, &[10.0, 20.0], &mut y);
+        assert_eq!(y, vec![21.0, 42.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![10.5, 21.0]);
+    }
+
+    #[test]
+    fn l1_distance_matches_manual() {
+        assert_eq!(l1_distance(&[1.0, 2.0], &[0.0, 4.5]), 3.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dot_rejects_mismatched_lengths() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use tpa_linalg::{qr::qr, sym_eigen, vecops, DenseMatrix, Lu, SparseMatrix};
+
+/// Strategy: a small well-conditioned (diagonally dominant) square matrix.
+fn dom_matrix() -> impl Strategy<Value = DenseMatrix> {
+    (2usize..8).prop_flat_map(|n| {
+        proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |mut data| {
+            for i in 0..n {
+                data[i * n + i] += n as f64 + 1.0;
+            }
+            DenseMatrix::from_flat(n, n, data)
+        })
+    })
+}
+
+/// Strategy: sparse matrix as triplets.
+fn sparse_inputs() -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, f64)>)> {
+    (1usize..12, 1usize..12).prop_flat_map(|(r, c)| {
+        let triplet = (0..r as u32, 0..c as u32, -10.0f64..10.0);
+        (Just(r), Just(c), proptest::collection::vec(triplet, 0..40))
+    })
+}
+
+proptest! {
+    /// LU solve then multiply gives back the right-hand side.
+    #[test]
+    fn lu_solve_residual_small(a in dom_matrix(), seed in 0u64..100) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let n = a.nrows();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let x = Lu::factor(&a).unwrap().solve(&b);
+        let ax = a.matvec(&x);
+        prop_assert!(vecops::l1_distance(&ax, &b) < 1e-8);
+    }
+
+    /// A·A⁻¹ = I for diagonally dominant matrices.
+    #[test]
+    fn lu_inverse_is_right_inverse(a in dom_matrix()) {
+        let inv = Lu::factor(&a).unwrap().inverse();
+        let err = a.matmul(&inv)
+            .add_scaled(-1.0, &DenseMatrix::identity(a.nrows()))
+            .max_abs();
+        prop_assert!(err < 1e-8, "residual {err}");
+    }
+
+    /// QR reconstructs and Q is orthonormal, for random rectangular input.
+    #[test]
+    fn qr_invariants(rows in 2usize..10, extra in 0usize..5, seed in 0u64..100) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let cols = rows.saturating_sub(extra).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let a = DenseMatrix::from_flat(rows, cols, data);
+        let f = qr(&a);
+        let rec_err = f.q.matmul(&f.r).add_scaled(-1.0, &a).max_abs();
+        prop_assert!(rec_err < 1e-10, "reconstruction {rec_err}");
+        let gram_err = f.q.transpose().matmul(&f.q)
+            .add_scaled(-1.0, &DenseMatrix::identity(cols))
+            .max_abs();
+        prop_assert!(gram_err < 1e-10, "orthonormality {gram_err}");
+    }
+
+    /// Jacobi eigen residual ‖A·v − λ·v‖ is tiny for random symmetric input.
+    #[test]
+    fn eigen_residual_small(n in 2usize..8, seed in 0u64..100) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let x = rng.gen::<f64>() - 0.5;
+                a.set(i, j, x);
+                a.set(j, i, x);
+            }
+        }
+        let e = sym_eigen(&a);
+        for i in 0..n {
+            let v = e.vectors.col(i);
+            let av = a.matvec(&v);
+            let mut lv = v.clone();
+            vecops::scale(e.values[i], &mut lv);
+            prop_assert!(vecops::l1_distance(&av, &lv) < 1e-8);
+        }
+    }
+
+    /// Sparse matvec agrees with densified matvec.
+    #[test]
+    fn sparse_matvec_matches_dense((r, c, ts) in sparse_inputs(), seed in 0u64..50) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let m = SparseMatrix::from_triplets(r, c, ts);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..c).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let sparse_y = m.matvec(&x);
+        let dense_y = m.to_dense().matvec(&x);
+        prop_assert!(vecops::l1_distance(&sparse_y, &dense_y) < 1e-10);
+    }
+
+    /// Sparse transpose-matvec agrees with the transpose's matvec.
+    #[test]
+    fn sparse_matvec_t_consistent((r, c, ts) in sparse_inputs(), seed in 0u64..50) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let m = SparseMatrix::from_triplets(r, c, ts);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..r).map(|_| rng.gen::<f64>() - 0.5).collect();
+        prop_assert!(vecops::l1_distance(&m.matvec_t(&x), &m.transpose().matvec(&x)) < 1e-10);
+    }
+
+    /// Sparse × sparse equals dense × dense.
+    #[test]
+    fn sparse_matmul_matches_dense(
+        (r, k, ts1) in sparse_inputs(),
+        extra in 1usize..10,
+        seed in 0u64..50,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let a = SparseMatrix::from_triplets(r, k, ts1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c2 = extra;
+        let ts2: Vec<(u32, u32, f64)> = (0..30)
+            .map(|_| (
+                rng.gen_range(0..k as u32),
+                rng.gen_range(0..c2 as u32),
+                rng.gen::<f64>() - 0.5,
+            ))
+            .collect();
+        let b = SparseMatrix::from_triplets(k, c2, ts2);
+        let prod = a.matmul(&b).to_dense();
+        let want = a.to_dense().matmul(&b.to_dense());
+        prop_assert!(prod.add_scaled(-1.0, &want).max_abs() < 1e-10);
+    }
+
+    /// drop_tolerance never increases nnz and keeps large entries intact.
+    #[test]
+    fn drop_tolerance_monotone((r, c, ts) in sparse_inputs(), tol in 0.0f64..5.0) {
+        let m = SparseMatrix::from_triplets(r, c, ts);
+        let d = m.drop_tolerance(tol);
+        prop_assert!(d.nnz() <= m.nnz());
+        for row in 0..r {
+            let (cols, vals) = m.row(row);
+            for (col, v) in cols.iter().zip(vals) {
+                if v.abs() >= tol {
+                    prop_assert_eq!(d.get(row, *col as usize), *v);
+                }
+            }
+        }
+    }
+}

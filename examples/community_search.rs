@@ -1,0 +1,55 @@
+//! Local community search by seed expansion — one of the classic RWR
+//! applications the paper cites (Whang et al., "seed set expansion").
+//!
+//! RWR scores from a seed concentrate inside the seed's community (the
+//! same block-wise property behind TPA's neighbor approximation). Ranking
+//! nodes by `score / degree` (a conductance-style sweep) and cutting at
+//! the planted community size recovers the community with high precision.
+//!
+//! Run with: `cargo run --release --example community_search`
+
+use tpa::{TpaIndex, TpaParams, Transition};
+use tpa_graph::NodeId;
+
+fn main() {
+    // LFR graph with known planted communities.
+    let spec = tpa_datasets::spec("pokec-s").unwrap().scaled_down(4);
+    let data = tpa_datasets::generate(&spec);
+    let graph = &data.graph;
+    let communities = data.communities.as_ref().expect("LFR datasets carry labels");
+    println!("graph: {} nodes, {} edges", graph.n(), graph.m());
+
+    let index = TpaIndex::preprocess(graph, TpaParams::new(spec.s, spec.t));
+    let transition = Transition::new(graph);
+
+    // Evaluate seed-expansion precision over several seeds.
+    let mut precisions = Vec::new();
+    for &seed in &[3u32, 500, 1500, 2500, 3500] {
+        let seed = seed % graph.n() as u32;
+        let target = communities[seed as usize];
+        let members: Vec<NodeId> = (0..graph.n() as NodeId)
+            .filter(|&v| communities[v as usize] == target)
+            .collect();
+
+        let scores = index.query(&transition, seed);
+        // Degree-normalized sweep order (standard local-clustering trick:
+        // high score relative to degree ⇒ inside the cluster).
+        let mut order: Vec<NodeId> = (0..graph.n() as NodeId).collect();
+        order.sort_by(|&a, &b| {
+            let sa = scores[a as usize] / graph.out_degree(a).max(1) as f64;
+            let sb = scores[b as usize] / graph.out_degree(b).max(1) as f64;
+            sb.partial_cmp(&sa).unwrap()
+        });
+        let cut = &order[..members.len()];
+        let hits = cut.iter().filter(|&&v| communities[v as usize] == target).count();
+        let precision = hits as f64 / members.len() as f64;
+        println!(
+            "seed {seed:<5} community {target:<3} size {:<4} precision {precision:.3}",
+            members.len()
+        );
+        precisions.push(precision);
+    }
+    let avg = precisions.iter().sum::<f64>() / precisions.len() as f64;
+    println!("\naverage precision: {avg:.3}");
+    assert!(avg > 0.5, "seed expansion should beat random assignment by far");
+}

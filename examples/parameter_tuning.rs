@@ -1,0 +1,53 @@
+//! Choosing S and T for a new graph (paper §III-C, operationalized).
+//!
+//! `S` follows analytically from the accuracy target via Theorem 2;
+//! `T` has no closed form — this example runs the built-in empirical sweep
+//! (`tpa::params::tune_t`) on a small seed sample and shows the NA-up /
+//! SA-down trade-off the paper's Fig. 9 plots.
+//!
+//! Run with: `cargo run --release --example parameter_tuning`
+
+use tpa::params::{auto_params, tune_t};
+use tpa::{bounds, exact_rwr, CpiConfig, TpaIndex, TpaParams, Transition};
+
+fn main() {
+    let spec = tpa_datasets::spec("pokec-s").unwrap().scaled_down(4);
+    let data = tpa_datasets::generate(&spec);
+    let graph = &data.graph;
+    let cfg = CpiConfig::default();
+    println!("graph: {} nodes, {} edges", graph.n(), graph.m());
+
+    // 1. Pick S from the worst-case error budget.
+    let target = 0.5;
+    let s = bounds::min_s_for_error(cfg.c, target);
+    println!("target L1 error {target} → S = {s} (bound {:.4})", bounds::total_bound(cfg.c, s));
+
+    // 2. Sweep T on a 5-seed sample (one converged CPI per seed).
+    let sample: Vec<u32> = (0..5).map(|i| (i * 613) % graph.n() as u32).collect();
+    let sweep = tune_t(graph, s, &[s + 1, s + 3, s + 5, s + 8, s + 12], &sample, &cfg);
+    println!("\n T | NA error | SA error | total");
+    for c in &sweep.candidates {
+        let marker = if c.t == sweep.best.t { "  <- best" } else { "" };
+        println!(
+            "{:>2} | {:.4}   | {:.4}   | {:.4}{marker}",
+            c.t, c.neighbor_error, c.stranger_error, c.total_error
+        );
+    }
+
+    // 3. Or do both in one call.
+    let params = auto_params(graph, target, &cfg);
+    println!("\nauto_params → S = {}, T = {}", params.s, params.t);
+
+    // 4. Verify on a held-out seed.
+    let index = TpaIndex::preprocess(graph, params);
+    let t = Transition::new(graph);
+    let holdout = 4099 % graph.n() as u32;
+    let err: f64 = index
+        .query(&t, holdout)
+        .iter()
+        .zip(&exact_rwr(graph, holdout, &cfg))
+        .map(|(a, b)| (a - b).abs())
+        .sum();
+    println!("held-out seed {holdout}: L1 error {err:.4} (target {target})");
+    assert!(err <= target);
+}

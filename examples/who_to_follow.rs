@@ -1,0 +1,71 @@
+//! "Who to Follow": Twitter-style follower recommendation (the paper's
+//! motivating application, §IV-B.3 — "the top-500 ranked users in RWR will
+//! be recommended").
+//!
+//! Builds the Twitter analog dataset, computes RWR from a user with TPA,
+//! and recommends the top non-followed accounts. Also reports how well the
+//! fast approximation agrees with the exact top-k (recall@k).
+//!
+//! Run with: `cargo run --release --example who_to_follow`
+
+use tpa::{exact_rwr, CpiConfig, TpaIndex, TpaParams, Transition};
+use tpa_eval::metrics::{recall_at_k, top_k};
+use tpa_graph::NodeId;
+
+fn main() {
+    // A scaled-down Twitter-like graph (heavy-tailed follows + communities).
+    let spec = tpa_datasets::spec("twitter-s").unwrap().scaled_down(4);
+    let data = tpa_datasets::generate(&spec);
+    let graph = &data.graph;
+    println!("social graph: {} users, {} follow edges", graph.n(), graph.m());
+
+    // Preprocess once; serve every user's recommendations from one index.
+    let index = TpaIndex::preprocess(graph, TpaParams::new(spec.s, spec.t));
+    let transition = Transition::new(graph);
+
+    // Pick an active user (highest out-degree = follows the most accounts).
+    let user = (0..graph.n() as NodeId)
+        .max_by_key(|&v| graph.out_degree(v))
+        .unwrap();
+    let follows: std::collections::HashSet<NodeId> =
+        graph.out_neighbors(user).iter().copied().collect();
+    println!("user {user} follows {} accounts", follows.len());
+
+    let scores = index.query(&transition, user);
+
+    // Recommend the top-scoring accounts the user does not already follow.
+    println!("\nWho to follow (top 10 recommendations):");
+    let mut shown = 0;
+    for v in top_k(&scores, 500) {
+        if v != user && !follows.contains(&v) {
+            println!(
+                "  @node{:<6} score {:.6} ({} followers)",
+                v,
+                scores[v as usize],
+                graph.in_degree(v)
+            );
+            shown += 1;
+            if shown == 10 {
+                break;
+            }
+        }
+    }
+
+    // Quality check against the exact ranking (the paper's Fig. 7 metric).
+    let exact = exact_rwr(graph, user, &CpiConfig::default());
+    for k in [100, 500] {
+        println!("recall@{k}: {:.4}", recall_at_k(&exact, &scores, k));
+    }
+
+    // Serving-path bonus: answer a whole batch of users in one edge sweep
+    // per CPI iteration (bitwise identical to per-user queries).
+    let batch_users: Vec<NodeId> = (0..16).map(|i| (i * 97) % graph.n() as NodeId).collect();
+    let (batch, dt) = tpa_eval::time(|| index.query_batch(&transition, &batch_users));
+    println!(
+        "\nbatched {} users in {} ({} per user)",
+        batch.len(),
+        tpa_eval::format_secs(dt.as_secs_f64()),
+        tpa_eval::format_secs(dt.as_secs_f64() / batch.len() as f64),
+    );
+    assert_eq!(batch[0], index.query(&transition, batch_users[0]));
+}

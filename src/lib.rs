@@ -1,0 +1,28 @@
+//! # tpa — facade crate for the TPA reproduction workspace
+//!
+//! Re-exports the public API of the core algorithm crate
+//! ([`tpa_core`]) and the substrate crates, so applications can depend on
+//! a single crate:
+//!
+//! ```
+//! use tpa::{TpaIndex, TpaParams, Transition};
+//! use tpa_graph::gen::star_graph;
+//!
+//! let graph = star_graph(50);
+//! let index = TpaIndex::preprocess(&graph, TpaParams::new(5, 10));
+//! let scores = index.query(&Transition::new(&graph), 3);
+//! assert_eq!(scores.len(), 50);
+//! ```
+//!
+//! See the workspace README for the full architecture and DESIGN.md for
+//! the paper-reproduction map.
+
+#![warn(missing_docs)]
+
+pub use tpa_core::*;
+
+pub use tpa_baselines as baselines;
+pub use tpa_datasets as datasets;
+pub use tpa_eval as eval;
+pub use tpa_graph as graph;
+pub use tpa_linalg as linalg;

@@ -1,0 +1,112 @@
+//! Cross-crate integration tests: the paper's theoretical guarantees hold
+//! end-to-end on dataset-like graphs for every valid parameter setting.
+
+use tpa::bounds;
+use tpa::{exact_rwr, CpiConfig, SeedSet, TpaIndex, TpaParams, Transition};
+use tpa_eval::metrics;
+
+fn dataset(scale: usize) -> tpa_datasets::Dataset {
+    let spec = tpa_datasets::spec("slashdot-s").unwrap().scaled_down(scale);
+    tpa_datasets::generate(&spec)
+}
+
+#[test]
+fn theorem2_holds_across_parameter_grid() {
+    let d = dataset(8);
+    let t = Transition::new(&d.graph);
+    let exact = exact_rwr(&d.graph, 17, &CpiConfig::default());
+    for s in [2usize, 4, 6] {
+        for extra in [1usize, 5, 10] {
+            let params = TpaParams::new(s, s + extra);
+            let index = TpaIndex::preprocess(&d.graph, params);
+            let approx = index.query(&t, 17);
+            let err = metrics::l1_error(&approx, &exact);
+            let bound = bounds::total_bound(params.c, s);
+            assert!(err <= bound + 1e-9, "S={s} T={} err {err} bound {bound}", s + extra);
+        }
+    }
+}
+
+#[test]
+fn lemma1_stranger_bound_holds() {
+    let d = dataset(8);
+    let t = Transition::new(&d.graph);
+    let cfg = CpiConfig::default();
+    for tt in [6usize, 10, 15] {
+        let p_stranger = tpa::pagerank_window(&d.graph, &cfg, tt, None).scores;
+        for seed in [0u32, 99, 400] {
+            let dec = tpa::decompose(&t, &SeedSet::single(seed), &cfg, 5.min(tt - 1), tt);
+            let err = metrics::l1_error(&dec.stranger, &p_stranger);
+            let bound = bounds::stranger_bound(cfg.c, tt);
+            assert!(err <= bound + 1e-9, "T={tt} seed={seed}: {err} > {bound}");
+        }
+    }
+}
+
+#[test]
+fn lemma3_neighbor_bound_holds() {
+    let d = dataset(8);
+    let t = Transition::new(&d.graph);
+    let cfg = CpiConfig::default();
+    let (s, tt) = (4usize, 12usize);
+    let params = TpaParams::new(s, tt);
+    for seed in [3u32, 250] {
+        let dec = tpa::decompose(&t, &SeedSet::single(seed), &cfg, s, tt);
+        let approx: Vec<f64> = dec.family.iter().map(|&f| params.neighbor_scale() * f).collect();
+        let err = metrics::l1_error(&dec.neighbor, &approx);
+        let bound = bounds::neighbor_bound(cfg.c, s, tt);
+        assert!(err <= bound + 1e-9, "seed {seed}: {err} > {bound}");
+    }
+}
+
+#[test]
+fn lemma2_part_masses_exact_on_datasets() {
+    let d = dataset(10);
+    let t = Transition::new(&d.graph);
+    let cfg = CpiConfig::default();
+    let (s, tt) = (5, 10);
+    let dec = tpa::decompose(&t, &SeedSet::single(1), &cfg, s, tt);
+    let df = 1.0 - cfg.c;
+    let fam: f64 = dec.family.iter().sum();
+    let nei: f64 = dec.neighbor.iter().sum();
+    assert!((fam - (1.0 - df.powi(s as i32))).abs() < 1e-10);
+    assert!((nei - (df.powi(s as i32) - df.powi(tt as i32))).abs() < 1e-10);
+}
+
+#[test]
+fn preprocessing_is_seed_independent_and_reusable() {
+    // One index must serve every seed with bounded error.
+    let d = dataset(8);
+    let t = Transition::new(&d.graph);
+    let params = TpaParams::new(5, 10);
+    let index = TpaIndex::preprocess(&d.graph, params);
+    let bound = bounds::total_bound(params.c, params.s);
+    for seed in [0u32, 1, 2, 100, 500, 1000] {
+        let seed = seed % d.graph.n() as u32;
+        let err = metrics::l1_error(
+            &index.query(&t, seed),
+            &exact_rwr(&d.graph, seed, &CpiConfig::default()),
+        );
+        assert!(err <= bound + 1e-9, "seed {seed}");
+    }
+}
+
+#[test]
+fn practical_error_beats_bound_on_block_structured_graphs() {
+    // The paper's headline empirical claim (Table III): block-wise
+    // structure pushes the real error well below the worst case.
+    let d = dataset(4);
+    let t = Transition::new(&d.graph);
+    let params = TpaParams::new(5, 15);
+    let index = TpaIndex::preprocess(&d.graph, params);
+    let bound = bounds::total_bound(params.c, params.s);
+    let mut errs = Vec::new();
+    for seed in tpa_eval::seeds::sample_seeds(d.graph.n(), 10, 7) {
+        errs.push(metrics::l1_error(
+            &index.query(&t, seed),
+            &exact_rwr(&d.graph, seed, &CpiConfig::default()),
+        ));
+    }
+    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+    assert!(mean < 0.8 * bound, "mean err {mean} vs bound {bound}");
+}

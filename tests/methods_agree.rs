@@ -1,0 +1,142 @@
+//! Cross-method integration tests: every implemented RWR method — exact or
+//! approximate — must agree on dataset-like graphs within its own accuracy
+//! regime, and the exact methods must agree to solver tolerance.
+
+use std::sync::Arc;
+use tpa::baselines::{
+    BePi, BePiConfig, BearApprox, BearConfig, Brppr, BrpprConfig, Fora, ForaConfig, ForaIndex,
+    ForwardPush, HubPpr, HubPprConfig, MemoryBudget, MonteCarlo, MonteCarloConfig, NbLin,
+    NbLinConfig, PowerIteration, RwrMethod, Tpa,
+};
+use tpa::{CpiConfig, TpaParams};
+use tpa_eval::metrics;
+
+fn dataset() -> tpa_datasets::Dataset {
+    let spec = tpa_datasets::spec("slashdot-s").unwrap().scaled_down(10);
+    tpa_datasets::generate(&spec)
+}
+
+fn exact(d: &tpa_datasets::Dataset, seed: u32) -> Vec<f64> {
+    tpa::exact_rwr(&d.graph, seed, &CpiConfig { eps: 1e-12, ..Default::default() })
+}
+
+#[test]
+fn exact_methods_agree_to_tolerance() {
+    let d = dataset();
+    let g = Arc::clone(&d.graph);
+    let truth = exact(&d, 5);
+
+    let power = PowerIteration::new(Arc::clone(&g), CpiConfig::default());
+    let bepi = BePi::preprocess(Arc::clone(&g), BePiConfig::default(), MemoryBudget::unlimited())
+        .unwrap();
+    let bear_exact = BearApprox::preprocess(
+        g,
+        BearConfig { drop_tolerance: Some(0.0), ..Default::default() },
+        MemoryBudget::unlimited(),
+    )
+    .unwrap();
+
+    for m in [&power as &dyn RwrMethod, &bepi, &bear_exact] {
+        let err = metrics::l1_error(&m.query(5), &truth);
+        assert!(err < 1e-5, "{}: err {err}", m.name());
+    }
+}
+
+#[test]
+fn approximate_methods_within_their_regimes() {
+    let d = dataset();
+    let g = Arc::clone(&d.graph);
+    let truth = exact(&d, 9);
+
+    // (method, max acceptable L1 error on this graph)
+    let tpa = Tpa::preprocess(
+        Arc::clone(&g),
+        TpaParams::new(d.spec.s, d.spec.t),
+        MemoryBudget::unlimited(),
+    )
+    .unwrap();
+    let fora = Fora::new(Arc::clone(&g), ForaConfig::default());
+    let fora_idx =
+        ForaIndex::preprocess(Arc::clone(&g), ForaConfig::default(), MemoryBudget::unlimited())
+            .unwrap();
+    let brppr = Brppr::new(Arc::clone(&g), BrpprConfig::default());
+    let hub = HubPpr::preprocess(
+        Arc::clone(&g),
+        HubPprConfig { rmax_backward: 1e-4, walks: 30_000, ..Default::default() },
+        MemoryBudget::unlimited(),
+    )
+    .unwrap();
+    let nblin = NbLin::preprocess(
+        Arc::clone(&g),
+        NbLinConfig { rank: 128, ..Default::default() },
+        MemoryBudget::unlimited(),
+    )
+    .unwrap();
+    let mc = MonteCarlo::new(
+        Arc::clone(&g),
+        MonteCarloConfig { walks: 200_000, ..Default::default() },
+    );
+    let push = ForwardPush::new(g, 0.15, 1e-7);
+
+    let cases: Vec<(&dyn RwrMethod, f64)> = vec![
+        (&tpa, tpa::bounds::total_bound(0.15, d.spec.s)),
+        (&fora, 0.1),
+        (&fora_idx, 0.1),
+        (&brppr, 0.1),
+        (&hub, 0.15),
+        (&nblin, 0.9),
+        (&mc, 0.1),
+        (&push, 0.01),
+    ];
+    for (m, max_err) in cases {
+        let err = metrics::l1_error(&m.query(9), &truth);
+        assert!(err < max_err, "{}: err {err} > {max_err}", m.name());
+    }
+}
+
+#[test]
+fn all_methods_recover_the_top_10() {
+    // The application-level contract (Fig. 7): whatever their L1 error,
+    // every method must rank the clearly-relevant nodes on top.
+    let d = dataset();
+    let g = Arc::clone(&d.graph);
+    let truth = exact(&d, 21);
+
+    let tpa = Tpa::preprocess(
+        Arc::clone(&g),
+        TpaParams::new(d.spec.s, d.spec.t),
+        MemoryBudget::unlimited(),
+    )
+    .unwrap();
+    let fora = Fora::new(Arc::clone(&g), ForaConfig::default());
+    let brppr = Brppr::new(Arc::clone(&g), BrpprConfig::default());
+    let bepi =
+        BePi::preprocess(Arc::clone(&g), BePiConfig::default(), MemoryBudget::unlimited())
+            .unwrap();
+
+    for m in [&tpa as &dyn RwrMethod, &fora, &brppr, &bepi] {
+        let recall = metrics::recall_at_k(&truth, &m.query(21), 10);
+        assert!(recall >= 0.8, "{}: top-10 recall {recall}", m.name());
+    }
+}
+
+#[test]
+fn index_sizes_ordered_as_in_fig1a() {
+    // TPA's index must be the smallest of the preprocessing methods.
+    let d = dataset();
+    let g = Arc::clone(&d.graph);
+    let tpa = Tpa::preprocess(
+        Arc::clone(&g),
+        TpaParams::new(d.spec.s, d.spec.t),
+        MemoryBudget::unlimited(),
+    )
+    .unwrap();
+    let fora_idx =
+        ForaIndex::preprocess(Arc::clone(&g), ForaConfig::default(), MemoryBudget::unlimited())
+            .unwrap();
+    let nblin =
+        NbLin::preprocess(Arc::clone(&g), NbLinConfig::default(), MemoryBudget::unlimited())
+            .unwrap();
+    assert!(tpa.index_bytes() < fora_idx.index_bytes(), "TPA vs FORA index");
+    assert!(tpa.index_bytes() < nblin.index_bytes(), "TPA vs NB-LIN index");
+}
