@@ -215,7 +215,8 @@ mod tests {
     fn oom_on_tight_budget() {
         let g = test_graph();
         let err = BearApprox::preprocess(g, BearConfig::default(), MemoryBudget::bytes(1000))
-            .err().unwrap();
+            .err()
+            .unwrap();
         assert!(matches!(err, PreprocessError::OutOfMemory { method: "BEAR_APPROX", .. }));
     }
 

@@ -118,12 +118,7 @@ impl BePi {
 
     /// Solves the Schur system `S·x₂ = rhs` matrix-free.
     pub fn solve_schur(&self, rhs: &[f64]) -> Vec<f64> {
-        let op = SchurOp {
-            h11_inv: &self.h11_inv,
-            h12: &self.h12,
-            h21: &self.h21,
-            h22: &self.h22,
-        };
+        let op = SchurOp { h11_inv: &self.h11_inv, h12: &self.h12, h21: &self.h21, h22: &self.h22 };
         bicgstab(&op, rhs, self.cfg.solve_tol, self.cfg.max_solve_iters).x
     }
 }
@@ -192,24 +187,19 @@ mod tests {
         let n2 = bepi.h22.nrows();
         let x_mid = bepi.h11_inv.matmul(&bepi.h12);
         let sub = bepi.h21.matmul(&x_mid);
-        let op = SchurOp {
-            h11_inv: &bepi.h11_inv,
-            h12: &bepi.h12,
-            h21: &bepi.h21,
-            h22: &bepi.h22,
-        };
+        let op = SchurOp { h11_inv: &bepi.h11_inv, h12: &bepi.h12, h21: &bepi.h21, h22: &bepi.h22 };
         let mut probe = vec![0.0; n2];
         let mut y = vec![0.0; n2];
         for p in [0usize, n2 / 2, n2 - 1] {
             probe.iter_mut().for_each(|v| *v = 0.0);
             probe[p] = 1.0;
             op.apply(&probe, &mut y);
-            for r in 0..n2 {
+            for (r, &yr) in y.iter().enumerate() {
                 let want = bepi.h22.get(r, p) - sub.get(r, p);
                 assert!(
-                    (y[r] - want).abs() < 1e-10,
+                    (yr - want).abs() < 1e-10,
                     "probe {p} row {r}: op {} vs explicit {}",
-                    y[r],
+                    yr,
                     want
                 );
             }

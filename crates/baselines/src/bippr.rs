@@ -53,9 +53,7 @@ impl Bippr {
     pub fn estimate(&self, source: NodeId, target: NodeId) -> f64 {
         let (reserve, residual) = self.backward_push(target);
         let mut rng = self.rng.lock();
-        *rng = StdRng::seed_from_u64(
-            self.cfg.rng_seed ^ ((source as u64) << 24) ^ (target as u64),
-        );
+        *rng = StdRng::seed_from_u64(self.cfg.rng_seed ^ ((source as u64) << 24) ^ (target as u64));
         let mut estimate = reserve[source as usize];
         let mut acc = 0.0;
         for _ in 0..self.cfg.walks {
@@ -156,10 +154,7 @@ mod tests {
         // Aggregate error over a set of targets must not grow with finer rmax.
         let targets: Vec<u32> = (0..40).collect();
         let err = |b: &Bippr| -> f64 {
-            targets
-                .iter()
-                .map(|&t| (b.estimate(5, t) - exact[t as usize]).abs())
-                .sum()
+            targets.iter().map(|&t| (b.estimate(5, t) - exact[t as usize]).abs()).sum()
         };
         assert!(err(&fine) <= err(&coarse) + 0.05);
     }

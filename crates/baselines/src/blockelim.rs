@@ -107,11 +107,7 @@ pub(crate) fn invert_h11(
 
 /// Permutes a seed vector entry into `(q1, q2)` block coordinates: the seed
 /// is a unit vector so only one side is nonzero.
-pub(crate) fn split_seed(
-    inv_perm: &[u32],
-    n1: usize,
-    seed: NodeId,
-) -> (Vec<f64>, Vec<f64>, usize) {
+pub(crate) fn split_seed(inv_perm: &[u32], n1: usize, seed: NodeId) -> (Vec<f64>, Vec<f64>, usize) {
     let p = inv_perm[seed as usize] as usize;
     let n2 = inv_perm.len() - n1;
     let mut q1 = vec![0.0; n1];
@@ -145,9 +141,8 @@ mod tests {
     fn setup() -> (Arc<CsrGraph>, HubSpokeOrdering) {
         use rand::{rngs::StdRng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(23);
-        let g = Arc::new(
-            lfr_lite(LfrConfig { n: 200, m: 1500, ..Default::default() }, &mut rng).graph,
-        );
+        let g =
+            Arc::new(lfr_lite(LfrConfig { n: 200, m: 1500, ..Default::default() }, &mut rng).graph);
         let ord = hub_spoke_order(&g, SlashburnConfig { max_block: 32, ..Default::default() });
         (g, ord)
     }
@@ -168,8 +163,8 @@ mod tests {
                 *expect[pv].entry(pu).or_insert(0.0) += -(1.0 - c) * inv_out[u as usize];
             }
         }
-        for p in 0..g.n() {
-            *expect[p].entry(p).or_insert(0.0) += 1.0;
+        for (p, row) in expect.iter_mut().enumerate() {
+            *row.entry(p).or_insert(0.0) += 1.0;
         }
         for (pv, row) in expect.iter().enumerate() {
             for (&pu, &want) in row {

@@ -149,7 +149,9 @@ mod tests {
     fn test_graph() -> Arc<CsrGraph> {
         use rand::{rngs::StdRng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(13);
-        Arc::new(lfr_lite(LfrConfig { n: 300, m: 2400, mu: 0.15, ..Default::default() }, &mut rng).graph)
+        Arc::new(
+            lfr_lite(LfrConfig { n: 300, m: 2400, mu: 0.15, ..Default::default() }, &mut rng).graph,
+        )
     }
 
     #[test]

@@ -34,7 +34,14 @@ pub struct ForaConfig {
 
 impl Default for ForaConfig {
     fn default() -> Self {
-        Self { c: 0.15, epsilon: 0.5, delta: None, p_fail: None, rng_seed: 0xf04a, omega_scale: 1.0 }
+        Self {
+            c: 0.15,
+            epsilon: 0.5,
+            delta: None,
+            p_fail: None,
+            rng_seed: 0xf04a,
+            omega_scale: 1.0,
+        }
     }
 }
 
@@ -105,7 +112,9 @@ impl RwrMethod for Fora {
     fn query(&self, seed: NodeId) -> Vec<f64> {
         let mut rng = self.rng.lock();
         *rng = StdRng::seed_from_u64(self.cfg.rng_seed ^ ((seed as u64) << 18));
-        Self::combine(&self.graph, &self.cfg, seed, |v, _| walk(&self.graph, self.cfg.c, v, &mut *rng))
+        Self::combine(&self.graph, &self.cfg, seed, |v, _| {
+            walk(&self.graph, self.cfg.c, v, &mut *rng)
+        })
     }
 
     fn index_bytes(&self) -> usize {
@@ -234,12 +243,9 @@ mod tests {
     fn indexed_fora_close_to_exact() {
         let g = test_graph();
         let exact = tpa_core::exact_rwr(&g, 17, &CpiConfig::default());
-        let fora = ForaIndex::preprocess(
-            Arc::clone(&g),
-            ForaConfig::default(),
-            MemoryBudget::unlimited(),
-        )
-        .unwrap();
+        let fora =
+            ForaIndex::preprocess(Arc::clone(&g), ForaConfig::default(), MemoryBudget::unlimited())
+                .unwrap();
         let est = fora.query(17);
         assert!(l1_dist(&est, &exact) < 0.08, "err {}", l1_dist(&est, &exact));
         assert!(fora.index_bytes() > 0);

@@ -135,11 +135,7 @@ mod tests {
         let err = l1_dist(&res.reserve, &exact);
         // reserve underestimates by exactly the RWR mass of the residuals:
         // ‖error‖₁ ≤ ‖residual‖₁.
-        assert!(
-            err <= res.residual_sum + 1e-9,
-            "err {err} residual {}",
-            res.residual_sum
-        );
+        assert!(err <= res.residual_sum + 1e-9, "err {err} residual {}", res.residual_sum);
     }
 
     #[test]

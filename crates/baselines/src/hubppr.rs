@@ -169,10 +169,7 @@ impl RwrMethod for HubPpr {
     }
 
     fn index_bytes(&self) -> usize {
-        self.hubs
-            .iter()
-            .map(|h| (h.reserve.len() + h.residual.len()) * 12 + 16)
-            .sum()
+        self.hubs.iter().map(|h| (h.reserve.len() + h.residual.len()) * 12 + 16).sum()
     }
 }
 
@@ -186,6 +183,9 @@ struct BackwardScratch {
     in_queue: Vec<bool>,
 }
 
+/// Sparse `(reserve, residual)` pair produced by a backward push.
+type PushPair = (Vec<(NodeId, f64)>, Vec<(NodeId, f64)>);
+
 impl BackwardScratch {
     fn new(n: usize) -> Self {
         Self {
@@ -198,13 +198,7 @@ impl BackwardScratch {
     }
 
     /// Backward push from `target`; returns sparse (reserve, residual).
-    fn push(
-        &mut self,
-        graph: &CsrGraph,
-        target: NodeId,
-        c: f64,
-        rmax: f64,
-    ) -> (Vec<(NodeId, f64)>, Vec<(NodeId, f64)>) {
+    fn push(&mut self, graph: &CsrGraph, target: NodeId, c: f64, rmax: f64) -> PushPair {
         // Reset previous state.
         for &v in &self.touched {
             self.reserve[v as usize] = 0.0;

@@ -24,9 +24,9 @@
 #![warn(missing_docs)]
 
 mod bear;
+mod bepi;
 mod bippr;
 mod blockelim;
-mod bepi;
 mod brppr;
 mod fora;
 mod forward_push;
@@ -39,8 +39,8 @@ mod slashburn;
 mod tpa_method;
 
 pub use bear::{BearApprox, BearConfig};
-pub use bippr::{Bippr, BipprConfig};
 pub use bepi::{BePi, BePiConfig};
+pub use bippr::{Bippr, BipprConfig};
 pub use brppr::{Brppr, BrpprConfig};
 pub use fora::{Fora, ForaConfig, ForaIndex};
 pub use forward_push::{forward_push, ForwardPush, PushResult};
@@ -57,6 +57,13 @@ use tpa_graph::NodeId;
 /// A queryable RWR method: given a seed node, produce the full approximate
 /// (or exact) RWR score vector. Preprocessing, if any, happened at
 /// construction time.
+///
+/// Every implementor also serves the [`tpa_core::QueryEngine`] plan
+/// shapes — multi-seed batches and top-k rankings — through the provided
+/// methods below, so the serving layer can drive any method
+/// interchangeably. Methods with a faster batched path (e.g. [`Tpa`],
+/// whose fused block kernel shares edge passes across each lane tile of the batch) override
+/// [`RwrMethod::query_batch`].
 pub trait RwrMethod {
     /// Human-readable method name as used in the paper's figures.
     fn name(&self) -> &'static str;
@@ -65,6 +72,26 @@ pub trait RwrMethod {
     /// Bytes of preprocessed data this method must keep for the online
     /// phase (0 for online-only methods) — the y-axis of Fig. 1(a).
     fn index_bytes(&self) -> usize;
+
+    /// Full score vectors for a batch of seeds, in order. The default
+    /// answers seeds one by one; override when a shared-pass kernel
+    /// exists. Must return exactly what per-seed [`RwrMethod::query`]
+    /// calls would.
+    fn query_batch(&self, seeds: &[NodeId]) -> Vec<Vec<f64>> {
+        seeds.iter().map(|&s| self.query(s)).collect()
+    }
+
+    /// The `k` best `(node, score)` pairs for `seed`, best first, ties
+    /// toward lower ids — partial selection, no full sort.
+    fn query_top_k(&self, seed: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        tpa_core::top_k_scored(&self.query(seed), k)
+    }
+
+    /// Top-k rankings for a whole batch (batched scoring + partial
+    /// selection per lane).
+    fn query_batch_top_k(&self, seeds: &[NodeId], k: usize) -> Vec<Vec<(NodeId, f64)>> {
+        self.query_batch(seeds).iter().map(|scores| tpa_core::top_k_scored(scores, k)).collect()
+    }
 }
 
 /// Memory cap for preprocessing, reproducing the paper's 200 GB workstation

@@ -132,11 +132,9 @@ mod tests {
     fn more_walks_reduce_error() {
         let g = Arc::new(star_graph(12));
         let exact = tpa_core::exact_rwr(&g, 0, &CpiConfig::default());
-        let coarse = MonteCarlo::new(
-            Arc::clone(&g),
-            MonteCarloConfig { walks: 500, ..Default::default() },
-        )
-        .query(0);
+        let coarse =
+            MonteCarlo::new(Arc::clone(&g), MonteCarloConfig { walks: 500, ..Default::default() })
+                .query(0);
         let fine = MonteCarlo::new(
             Arc::clone(&g),
             MonteCarloConfig { walks: 200_000, ..Default::default() },

@@ -124,11 +124,11 @@ impl NbLin {
         // Λ̃ = (Σ⁻¹ − (1−c)·Vᵀ·U)⁻¹.
         let mut m = vt.matmul(&u); // t_eff × t_eff
         let one_minus_c = 1.0 - cfg.c;
-        for r in 0..t_eff {
+        for (r, &sr) in s.iter().enumerate() {
             for c2 in 0..t_eff {
                 let mut v = -one_minus_c * m.get(r, c2);
                 if r == c2 {
-                    v += 1.0 / s[r];
+                    v += 1.0 / sr;
                 }
                 m.set(r, c2, v);
             }
@@ -216,8 +216,8 @@ mod tests {
     #[test]
     fn oom_on_tight_budget() {
         let g = Arc::new(star_graph(100));
-        let err = NbLin::preprocess(g, NbLinConfig::default(), MemoryBudget::bytes(1000))
-            .err().unwrap();
+        let err =
+            NbLin::preprocess(g, NbLinConfig::default(), MemoryBudget::bytes(1000)).err().unwrap();
         assert!(matches!(err, PreprocessError::OutOfMemory { method: "NB_LIN", .. }));
     }
 }

@@ -134,16 +134,12 @@ mod tests {
     fn lower_threshold_is_more_accurate() {
         let g = test_graph();
         let exact = tpa_core::exact_rwr(&g, 8, &CpiConfig::default());
-        let coarse = Rppr::new(
-            Arc::clone(&g),
-            RpprConfig { expand_threshold: 1e-2, ..Default::default() },
-        )
-        .query(8);
-        let fine = Rppr::new(
-            Arc::clone(&g),
-            RpprConfig { expand_threshold: 1e-6, ..Default::default() },
-        )
-        .query(8);
+        let coarse =
+            Rppr::new(Arc::clone(&g), RpprConfig { expand_threshold: 1e-2, ..Default::default() })
+                .query(8);
+        let fine =
+            Rppr::new(Arc::clone(&g), RpprConfig { expand_threshold: 1e-6, ..Default::default() })
+                .query(8);
         assert!(l1_dist(&fine, &exact) <= l1_dist(&coarse, &exact) + 1e-12);
     }
 

@@ -91,8 +91,7 @@ pub fn hub_spoke_order(graph: &Arc<CsrGraph>, cfg: SlashburnConfig) -> HubSpokeO
     let mut blocks: Vec<Vec<NodeId>> = Vec::new();
     let mut hubs: Vec<NodeId> = Vec::new();
 
-    let degree =
-        |v: NodeId| -> usize { graph.out_degree(v) + graph.in_degree(v) };
+    let degree = |v: NodeId| -> usize { graph.out_degree(v) + graph.in_degree(v) };
 
     for _round in 0..cfg.max_rounds {
         if alive_count == 0 {
@@ -100,8 +99,7 @@ pub fn hub_spoke_order(graph: &Arc<CsrGraph>, cfg: SlashburnConfig) -> HubSpokeO
         }
         // 1. Promote the k highest-degree alive nodes to hubs.
         let k = ((alive_count as f64 * cfg.hub_fraction).ceil() as usize).max(1);
-        let mut candidates: Vec<NodeId> =
-            (0..n as NodeId).filter(|&v| alive[v as usize]).collect();
+        let mut candidates: Vec<NodeId> = (0..n as NodeId).filter(|&v| alive[v as usize]).collect();
         candidates.sort_by_key(|&v| std::cmp::Reverse(degree(v)));
         for &h in candidates.iter().take(k) {
             alive[h as usize] = false;
@@ -254,11 +252,6 @@ mod tests {
         // On a heavy-tailed graph, hub count should be well under half of n.
         let g = test_graph();
         let ord = hub_spoke_order(&g, SlashburnConfig::default());
-        assert!(
-            ord.n2() < g.n() / 2,
-            "hubs {} of {} — shattering failed",
-            ord.n2(),
-            g.n()
-        );
+        assert!(ord.n2() < g.n() / 2, "hubs {} of {} — shattering failed", ord.n2(), g.n());
     }
 }

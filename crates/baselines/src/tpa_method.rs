@@ -1,15 +1,17 @@
 //! TPA wrapped in the common [`RwrMethod`] interface so the experiment
-//! harness can run it side by side with the competitors.
+//! harness can run it side by side with the competitors. Queries route
+//! through the [`QueryEngine`] serving layer, so this wrapper serves the
+//! same plans (single, batched, top-k) as the production path.
 
 use crate::{MemoryBudget, PreprocessError, RwrMethod};
 use std::sync::Arc;
-use tpa_core::{TpaIndex, TpaParams, Transition};
+use tpa_core::{QueryEngine, TpaIndex, TpaParams};
 use tpa_graph::{CsrGraph, NodeId};
 
 /// The proposed method (paper Algorithms 2 & 3) as an [`RwrMethod`].
 pub struct Tpa {
     graph: Arc<CsrGraph>,
-    index: TpaIndex,
+    index: Arc<TpaIndex>,
 }
 
 impl Tpa {
@@ -21,13 +23,19 @@ impl Tpa {
     ) -> Result<Self, PreprocessError> {
         // TPA's index is one f64 per node.
         budget.check("TPA", graph.n() * 8)?;
-        let index = TpaIndex::preprocess(&graph, params);
+        let index = Arc::new(TpaIndex::preprocess(&graph, params));
         Ok(Self { graph, index })
     }
 
     /// Access to the inner index (for part-wise experiments).
     pub fn index(&self) -> &TpaIndex {
         &self.index
+    }
+
+    /// A [`QueryEngine`] serving this method's graph and index (the
+    /// engine borrows the graph; the index is shared).
+    pub fn engine(&self) -> QueryEngine<'_> {
+        QueryEngine::sequential(&self.graph).with_index(Arc::clone(&self.index))
     }
 }
 
@@ -37,19 +45,25 @@ impl RwrMethod for Tpa {
     }
 
     fn query(&self, seed: NodeId) -> Vec<f64> {
-        let t = Transition::new(&self.graph);
-        self.index.query(&t, seed)
+        self.engine().query(seed)
     }
 
     fn index_bytes(&self) -> usize {
         self.index.index_bytes()
+    }
+
+    /// Batched override: lane tiles of seeds share edge passes through
+    /// the engine's fused block kernel (bit-identical to per-seed
+    /// queries).
+    fn query_batch(&self, seeds: &[NodeId]) -> Vec<Vec<f64>> {
+        self.engine().query_batch(seeds)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tpa_core::bounds;
+    use tpa_core::{bounds, Transition};
     use tpa_graph::gen::{lfr_lite, LfrConfig};
 
     fn l1_dist(a: &[f64], b: &[f64]) -> f64 {
@@ -60,9 +74,8 @@ mod tests {
     fn wrapper_matches_direct_index() {
         use rand::{rngs::StdRng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(43);
-        let g = Arc::new(
-            lfr_lite(LfrConfig { n: 250, m: 2000, ..Default::default() }, &mut rng).graph,
-        );
+        let g =
+            Arc::new(lfr_lite(LfrConfig { n: 250, m: 2000, ..Default::default() }, &mut rng).graph);
         let params = TpaParams::new(5, 10);
         let tpa = Tpa::preprocess(Arc::clone(&g), params, MemoryBudget::unlimited()).unwrap();
         let direct = TpaIndex::preprocess(&g, params);
@@ -75,13 +88,59 @@ mod tests {
     fn respects_error_bound_via_wrapper() {
         use rand::{rngs::StdRng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(44);
-        let g = Arc::new(
-            lfr_lite(LfrConfig { n: 250, m: 2000, ..Default::default() }, &mut rng).graph,
-        );
+        let g =
+            Arc::new(lfr_lite(LfrConfig { n: 250, m: 2000, ..Default::default() }, &mut rng).graph);
         let params = TpaParams::new(4, 9);
         let tpa = Tpa::preprocess(Arc::clone(&g), params, MemoryBudget::unlimited()).unwrap();
         let exact = tpa_core::exact_rwr(&g, 77, &params.cpi_config());
         let err = l1_dist(&tpa.query(77), &exact);
         assert!(err <= bounds::total_bound(params.c, params.s) + 1e-9);
+    }
+
+    #[test]
+    fn batched_entry_point_is_bitwise_identical() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(45);
+        let g =
+            Arc::new(lfr_lite(LfrConfig { n: 250, m: 2000, ..Default::default() }, &mut rng).graph);
+        let tpa = Tpa::preprocess(Arc::clone(&g), TpaParams::new(5, 10), MemoryBudget::unlimited())
+            .unwrap();
+        let seeds = [0u32, 17, 99, 200];
+        let batch = tpa.query_batch(&seeds);
+        for (j, &s) in seeds.iter().enumerate() {
+            assert_eq!(batch[j], tpa.query(s), "seed {s}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_matches_trait_contract() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(47);
+        let g =
+            Arc::new(lfr_lite(LfrConfig { n: 100, m: 800, ..Default::default() }, &mut rng).graph);
+        let tpa = Tpa::preprocess(Arc::clone(&g), TpaParams::new(4, 9), MemoryBudget::unlimited())
+            .unwrap();
+        // Same behavior as the blanket default: empty in, empty out.
+        assert!(tpa.query_batch(&[]).is_empty());
+        assert!(tpa.query_batch_top_k(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn top_k_entry_points_agree_with_scores() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(46);
+        let g =
+            Arc::new(lfr_lite(LfrConfig { n: 200, m: 1600, ..Default::default() }, &mut rng).graph);
+        let tpa = Tpa::preprocess(Arc::clone(&g), TpaParams::new(5, 10), MemoryBudget::unlimited())
+            .unwrap();
+        let scores = tpa.query(11);
+        let ranked = tpa.query_top_k(11, 5);
+        assert_eq!(ranked.len(), 5);
+        for pair in ranked.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "ranking not descending");
+        }
+        assert_eq!(ranked[0].1, scores.iter().cloned().fold(f64::MIN, f64::max));
+        let batch_ranked = tpa.query_batch_top_k(&[11, 42], 5);
+        assert_eq!(batch_ranked[0], ranked);
     }
 }

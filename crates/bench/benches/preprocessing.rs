@@ -6,9 +6,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 use tpa_baselines::{
-    RwrMethod,
     BePi, BePiConfig, ForaConfig, ForaIndex, HubPpr, HubPprConfig, MemoryBudget, NbLin,
-    NbLinConfig, Tpa,
+    NbLinConfig, RwrMethod, Tpa,
 };
 use tpa_core::TpaParams;
 

@@ -36,7 +36,8 @@ fn main() {
         }
     }
 
-    for (name, policy) in [("self-loop (default)", DanglingPolicy::SelfLoop), ("keep (leaky)", DanglingPolicy::Keep)]
+    for (name, policy) in
+        [("self-loop (default)", DanglingPolicy::SelfLoop), ("keep (leaky)", DanglingPolicy::Keep)]
     {
         let g = GraphBuilder::with_capacity(N, M)
             .dangling_policy(policy)

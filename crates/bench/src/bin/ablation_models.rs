@@ -33,13 +33,7 @@ fn main() {
         (
             "lfr-lite",
             gen::lfr_lite(
-                gen::LfrConfig {
-                    n: N,
-                    m: M,
-                    mu: 0.2,
-                    reciprocity: 0.6,
-                    ..Default::default()
-                },
+                gen::LfrConfig { n: N, m: M, mu: 0.2, reciprocity: 0.6, ..Default::default() },
                 &mut rng(5),
             )
             .graph,

@@ -52,10 +52,7 @@ fn main() {
                 }
                 stab.push(metrics::l1_error(&x, &f));
                 // Actual TPA error.
-                errs.push(metrics::l1_error(
-                    &index.query(&t, seed),
-                    &exact_rwr(&g, seed, &cfg),
-                ));
+                errs.push(metrics::l1_error(&index.query(&t, seed), &exact_rwr(&g, seed, &cfg)));
             }
             table.row(&[
                 format!("{mu:.2}"),

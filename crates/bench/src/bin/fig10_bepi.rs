@@ -15,14 +15,7 @@ use tpa_eval::{metrics, time, Stats, Table};
 fn main() {
     let mut table = Table::new(
         "Fig 10: TPA vs BePI (index size, preprocess time, online time)",
-        &[
-            "dataset",
-            "method",
-            "index_mib",
-            "preprocess_s",
-            "online_s",
-            "l1_error",
-        ],
+        &["dataset", "method", "index_mib", "preprocess_s", "online_s", "l1_error"],
     );
 
     for key in all_dataset_keys() {
@@ -58,10 +51,7 @@ fn main() {
                 key.into(),
                 built.label.into(),
                 format!("{:.3}", method.index_bytes() as f64 / (1 << 20) as f64),
-                format!(
-                    "{:.4}",
-                    built.preprocess.map(|d| d.as_secs_f64()).unwrap_or(0.0)
-                ),
+                format!("{:.4}", built.preprocess.map(|d| d.as_secs_f64()).unwrap_or(0.0)),
                 format!("{:.5}", Stats::from_durations(&times).mean),
                 format!("{:.6}", Stats::from_samples(&errs).mean),
             ]);

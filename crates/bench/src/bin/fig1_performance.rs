@@ -13,10 +13,8 @@ fn main() {
         "Fig 1(a): size of preprocessed data (MiB; '-' = online-only, OOM = over budget)",
         &["dataset", "method", "index_mib"],
     );
-    let mut pre = Table::new(
-        "Fig 1(b): preprocessing time (s)",
-        &["dataset", "method", "preprocess_s"],
-    );
+    let mut pre =
+        Table::new("Fig 1(b): preprocessing time (s)", &["dataset", "method", "preprocess_s"]);
     let mut online = Table::new(
         "Fig 1(c): online time per query (s, avg over seeds)",
         &["dataset", "method", "online_s", "l1_error"],
@@ -25,12 +23,7 @@ fn main() {
     for key in all_dataset_keys() {
         let d = load_dataset(key);
         let budget = budget_for(&d);
-        eprintln!(
-            "[fig1] {key}: n={} m={} (budget {:?})",
-            d.graph.n(),
-            d.graph.m(),
-            budget.0
-        );
+        eprintln!("[fig1] {key}: n={} m={} (budget {:?})", d.graph.n(), d.graph.m(), budget.0);
         let seeds = query_seeds(&d);
         let truths: Vec<Vec<f64>> = seeds.iter().map(|&s| ground_truth(&d, s)).collect();
 

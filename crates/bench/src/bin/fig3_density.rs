@@ -17,13 +17,9 @@ fn main() {
 
     // Rows of Ãᵀ are in-neighbor lists.
     let adj = |v: usize| g.in_neighbors(v as NodeId);
-    let mut current =
-        PatternMatrix::from_rows(n, (0..n).map(|v| (v, g.in_neighbors(v as NodeId))));
+    let mut current = PatternMatrix::from_rows(n, (0..n).map(|v| (v, g.in_neighbors(v as NodeId))));
 
-    let mut summary = Table::new(
-        "Fig 3: nnz of (A~^T)^i on slashdot-s",
-        &["i", "nnz", "density"],
-    );
+    let mut summary = Table::new("Fig 3: nnz of (A~^T)^i on slashdot-s", &["i", "nnz", "density"]);
     let dir = results_dir();
     for i in 1..=7usize {
         if i > 1 {
@@ -40,9 +36,7 @@ fn main() {
                     grid_table.row(&[r.to_string(), c.to_string(), v.to_string()]);
                 }
             }
-            grid_table
-                .write_csv(dir.join(format!("fig3_power{i}_grid.csv")))
-                .unwrap();
+            grid_table.write_csv(dir.join(format!("fig3_power{i}_grid.csv"))).unwrap();
         }
         let nnz = current.count_nonzeros();
         summary.row(&[

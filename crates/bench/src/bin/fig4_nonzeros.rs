@@ -17,10 +17,7 @@ const SEEDS: usize = 30;
 const MAX_POWER: usize = 7;
 
 fn main() {
-    let mut table = Table::new(
-        "Fig 4: nnz((A~^T)^i) and C_i",
-        &["dataset", "i", "nnz", "c_i"],
-    );
+    let mut table = Table::new("Fig 4: nnz((A~^T)^i) and C_i", &["dataset", "i", "nnz", "c_i"]);
     for key in ["slashdot-s", "google-s"] {
         run_dataset(key, &mut table);
     }
@@ -36,8 +33,8 @@ fn run_dataset(key: &str, table: &mut Table) {
     eprintln!("[fig4] {key}: n={n} m={}", g.m());
 
     // Seed columns (s) and sample columns (j), advanced power by power.
-    let seed_ids = sample_seeds(n, SEEDS, 0xf19_4 ^ d.spec.seed);
-    let col_ids = sample_seeds(n, COLUMN_SAMPLES, 0xc01_5 ^ d.spec.seed);
+    let seed_ids = sample_seeds(n, SEEDS, 0xf194 ^ d.spec.seed);
+    let col_ids = sample_seeds(n, COLUMN_SAMPLES, 0xc015 ^ d.spec.seed);
     let unit = |v: u32| {
         let mut x = vec![0.0f64; n];
         x[v as usize] = 1.0;
@@ -46,8 +43,7 @@ fn run_dataset(key: &str, table: &mut Table) {
     let mut seed_cols: Vec<Vec<f64>> = seed_ids.iter().map(|&v| unit(v)).collect();
     let mut sample_cols: Vec<Vec<f64>> = col_ids.iter().map(|&v| unit(v)).collect();
 
-    let mut pattern =
-        PatternMatrix::from_rows(n, (0..n).map(|v| (v, g.in_neighbors(v as NodeId))));
+    let mut pattern = PatternMatrix::from_rows(n, (0..n).map(|v| (v, g.in_neighbors(v as NodeId))));
     let mut scratch = vec![0.0f64; n];
 
     for i in 1..=MAX_POWER {

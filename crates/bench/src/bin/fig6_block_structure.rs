@@ -27,7 +27,7 @@ fn main() {
         eprintln!("[fig6] {key}");
         let seeds = query_seeds(&d);
         let real = avg_stability(&d.graph, &seeds);
-        let mut rng = StdRng::seed_from_u64(0xf16_6 ^ d.spec.seed);
+        let mut rng = StdRng::seed_from_u64(0xf166 ^ d.spec.seed);
         let random_graph = er_control(&d.graph, &mut rng);
         let random = avg_stability(&random_graph, &seeds);
         table.row(&[key.into(), format!("{real:.4}"), format!("{random:.4}")]);

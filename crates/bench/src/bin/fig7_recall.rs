@@ -34,12 +34,7 @@ fn main() {
             match built.method {
                 None => {
                     for k in KS {
-                        table.row(&[
-                            key.into(),
-                            built.label.into(),
-                            k.to_string(),
-                            "OOM".into(),
-                        ]);
+                        table.row(&[key.into(), built.label.into(), k.to_string(), "OOM".into()]);
                     }
                 }
                 Some(method) => {

@@ -58,10 +58,8 @@ fn main() {
         let transition = Transition::new(&d.graph);
         let pr = snapshots(&transition, &SeedSet::Uniform, &cfg);
         let seeds = query_seeds(&d);
-        let traces: Vec<TraceSnapshots> = seeds
-            .iter()
-            .map(|&s| snapshots(&transition, &SeedSet::single(s), &cfg))
-            .collect();
+        let traces: Vec<TraceSnapshots> =
+            seeds.iter().map(|&s| snapshots(&transition, &SeedSet::single(s), &cfg)).collect();
 
         for (ti, &t) in T_SET.iter().enumerate() {
             let decay = 1.0 - cfg.c;
@@ -82,11 +80,8 @@ fn main() {
                 let approx_neighbor: Vec<f64> = family.iter().map(|&f| scale * f).collect();
                 na.push(metrics::l1_error(&neighbor, &approx_neighbor));
                 sa.push(metrics::l1_error(&stranger, &p_stranger));
-                let tpa_vec: Vec<f64> = family
-                    .iter()
-                    .zip(&p_stranger)
-                    .map(|(&f, &p)| f + scale * f + p)
-                    .collect();
+                let tpa_vec: Vec<f64> =
+                    family.iter().zip(&p_stranger).map(|(&f, &p)| f + scale * f + p).collect();
                 tpa.push(metrics::l1_error(&tr.full, &tpa_vec));
             }
             table.row(&[

@@ -47,12 +47,8 @@ fn main() {
             sa_errs.push(metrics::l1_error(&dec.stranger, &p_stranger));
             // Full TPA vs exact.
             let exact = dec.total();
-            let tpa: Vec<f64> = dec
-                .family
-                .iter()
-                .zip(&p_stranger)
-                .map(|(&f, &ps)| f + scale * f + ps)
-                .collect();
+            let tpa: Vec<f64> =
+                dec.family.iter().zip(&p_stranger).map(|(&f, &ps)| f + scale * f + ps).collect();
             tpa_errs.push(metrics::l1_error(&exact, &tpa));
         }
 

@@ -29,9 +29,8 @@ impl Args {
     /// Parses a token stream (excluding `argv[0]`).
     pub fn parse(tokens: impl IntoIterator<Item = String>) -> Result<Args, ParseError> {
         let mut it = tokens.into_iter().peekable();
-        let command = it
-            .next()
-            .ok_or_else(|| ParseError("missing subcommand; try `tpa help`".into()))?;
+        let command =
+            it.next().ok_or_else(|| ParseError("missing subcommand; try `tpa help`".into()))?;
         if command.starts_with("--") {
             return Err(ParseError(format!("expected subcommand, found flag {command}")));
         }
@@ -79,6 +78,7 @@ impl Args {
     }
 
     /// Boolean switch (present ⇒ true).
+    #[allow(dead_code)] // parser API; no current subcommand takes a switch
     pub fn switch(&self, key: &str) -> bool {
         self.options.get(key).map(|v| v == "true").unwrap_or(false)
     }

@@ -5,9 +5,8 @@
 use crate::args::Args;
 use std::io::Write;
 use std::path::Path;
-use tpa_core::{exact_rwr, CpiConfig, TpaIndex, TpaParams, Transition};
-use tpa_eval::metrics::top_k;
-use tpa_graph::{algo, io as gio, CsrGraph};
+use tpa_core::{QueryEngine, QueryPlan, TpaIndex, TpaParams};
+use tpa_graph::{algo, io as gio, CsrGraph, NodeId};
 
 /// Runs a subcommand; prints results to `out` and errors to stderr.
 pub fn run(args: &Args, out: &mut dyn Write) -> i32 {
@@ -20,6 +19,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> i32 {
         "stats" => cmd_stats(args, out),
         "preprocess" => cmd_preprocess(args, out),
         "query" => cmd_query(args, out),
+        "batch" => cmd_batch(args, out),
         "exact" => cmd_exact(args, out),
         "convert" => cmd_convert(args, out),
         other => Err(format!("unknown subcommand {other:?}; try `tpa help`")),
@@ -48,10 +48,19 @@ COMMANDS:
              print node/edge counts, degrees, components, reciprocity
   preprocess --graph <file> --s <S> --t <T> --out <index.tpa>
              run TPA's preprocessing phase and save the index
-  query      --graph <file> --index <index.tpa> --seed <node> [--top K]
+  query      --graph <file> --index <index.tpa> --seed <node>
+             [--topk K] [--threads N]
              approximate RWR scores for a seed (fast online phase)
-  exact      --graph <file> --seed <node> [--top K]
+  batch      --graph <file> --seeds <file> [--index <index.tpa>]
+             [--topk K] [--threads N]
+             serve every seed in the file in one batched engine pass
+             (seeds are whitespace/newline separated; # comments ok);
+             without --index the batch is answered exactly
+  exact      --graph <file> --seed <node> [--topk K] [--threads N]
              exact RWR via power iteration (ground truth)
+
+--threads 0 uses all available cores; the default (1) is sequential.
+--top is accepted as an alias of --topk.
 
 Dataset keys: slashdot-s google-s pokec-s livejournal-s wikilink-s
               twitter-s friendster-s"
@@ -64,8 +73,7 @@ fn load_graph(path: &str) -> Result<CsrGraph, String> {
     if head.starts_with(b"TPAGRAF1") {
         gio::read_snapshot(std::io::Cursor::new(head)).map_err(|e| format!("{path}: {e}"))
     } else {
-        gio::read_edge_list(std::io::Cursor::new(head), None)
-            .map_err(|e| format!("{path}: {e}"))
+        gio::read_edge_list(std::io::Cursor::new(head), None).map_err(|e| format!("{path}: {e}"))
     }
 }
 
@@ -155,15 +163,23 @@ fn cmd_preprocess(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), String> {
-    let g = load_graph(args.required("graph").map_err(|e| e.to_string())?)?;
-    let index_path = args.required("index").map_err(|e| e.to_string())?;
-    let seed = args.get_or::<u32>("seed", 0).map_err(|e| e.to_string())?;
-    let top = args.get_or::<usize>("top", 10).map_err(|e| e.to_string())?;
-    if seed as usize >= g.n() {
-        return Err(format!("seed {seed} out of range (n = {})", g.n()));
+/// `--topk` with `--top` accepted as a legacy alias.
+fn topk_flag(args: &Args) -> Result<usize, String> {
+    match args.get("topk") {
+        Some(_) => args.get_or::<usize>("topk", 10).map_err(|e| e.to_string()),
+        None => args.get_or::<usize>("top", 10).map_err(|e| e.to_string()),
     }
-    let f = std::fs::File::open(index_path).map_err(|e| e.to_string())?;
+}
+
+/// Builds the engine for the `--threads` flag: 1 (default) is the
+/// sequential backend, 0 all cores, N>1 that many workers.
+fn build_engine<'g>(g: &'g CsrGraph, args: &Args) -> Result<QueryEngine<'g>, String> {
+    let threads = args.get_or::<usize>("threads", 1).map_err(|e| e.to_string())?;
+    Ok(if threads == 1 { QueryEngine::sequential(g) } else { QueryEngine::parallel(g, threads) })
+}
+
+fn load_index(path: &str, g: &CsrGraph) -> Result<TpaIndex, String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let index = TpaIndex::load(std::io::BufReader::new(f)).map_err(|e| e.to_string())?;
     if index.stranger().len() != g.n() {
         return Err(format!(
@@ -172,30 +188,96 @@ fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             g.n()
         ));
     }
-    let transition = Transition::new(&g);
-    let (scores, dt) = tpa_eval::time(|| index.query(&transition, seed));
+    Ok(index)
+}
+
+fn check_seed(seed: NodeId, g: &CsrGraph) -> Result<(), String> {
+    if seed as usize >= g.n() {
+        return Err(format!("seed {seed} out of range (n = {})", g.n()));
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let g = load_graph(args.required("graph").map_err(|e| e.to_string())?)?;
+    let index_path = args.required("index").map_err(|e| e.to_string())?;
+    let seed = args.get_or::<u32>("seed", 0).map_err(|e| e.to_string())?;
+    let top = topk_flag(args)?;
+    check_seed(seed, &g)?;
+    let index = load_index(index_path, &g)?;
+    let engine = build_engine(&g, args)?.with_index(index);
+    let (ranked, dt) = tpa_eval::time(|| engine.top_k(seed, top));
     let _ = writeln!(out, "query took {}", tpa_eval::format_secs(dt.as_secs_f64()));
-    print_ranking(out, &scores, top);
+    print_ranking(out, &ranked);
     Ok(())
 }
 
 fn cmd_exact(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let g = load_graph(args.required("graph").map_err(|e| e.to_string())?)?;
     let seed = args.get_or::<u32>("seed", 0).map_err(|e| e.to_string())?;
-    let top = args.get_or::<usize>("top", 10).map_err(|e| e.to_string())?;
-    if seed as usize >= g.n() {
-        return Err(format!("seed {seed} out of range (n = {})", g.n()));
-    }
-    let (scores, dt) = tpa_eval::time(|| exact_rwr(&g, seed, &CpiConfig::default()));
+    let top = topk_flag(args)?;
+    check_seed(seed, &g)?;
+    let engine = build_engine(&g, args)?;
+    let (result, dt) =
+        tpa_eval::time(|| engine.execute(&QueryPlan::single(seed).top_k(top).exact()));
     let _ = writeln!(out, "query took {}", tpa_eval::format_secs(dt.as_secs_f64()));
-    print_ranking(out, &scores, top);
+    print_ranking(out, &result.into_ranked().pop().unwrap());
     Ok(())
 }
 
-fn print_ranking(out: &mut dyn Write, scores: &[f64], top: usize) {
+/// Parses a seed file: whitespace/newline-separated node ids; `#` starts
+/// a comment running to end of line.
+fn parse_seed_file(path: &str) -> Result<Vec<NodeId>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut seeds = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("");
+        for tok in line.split_whitespace() {
+            let seed: NodeId =
+                tok.parse().map_err(|_| format!("{path}:{}: bad seed {tok:?}", lineno + 1))?;
+            seeds.push(seed);
+        }
+    }
+    if seeds.is_empty() {
+        return Err(format!("{path}: no seeds found"));
+    }
+    Ok(seeds)
+}
+
+fn cmd_batch(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let g = load_graph(args.required("graph").map_err(|e| e.to_string())?)?;
+    let seeds = parse_seed_file(args.required("seeds").map_err(|e| e.to_string())?)?;
+    let top = topk_flag(args)?;
+    for &s in &seeds {
+        check_seed(s, &g)?;
+    }
+    let mut engine = build_engine(&g, args)?;
+    let mut plan = QueryPlan::batch(seeds.clone()).top_k(top);
+    match args.get("index") {
+        Some(path) => engine = engine.with_index(load_index(path, &g)?),
+        None => plan = plan.exact(),
+    }
+    let (result, dt) = tpa_eval::time(|| engine.execute(&plan));
+    let rankings = result.into_ranked();
+    let _ = writeln!(
+        out,
+        "batched {} seeds in {} ({} per seed, backend {})",
+        seeds.len(),
+        tpa_eval::format_secs(dt.as_secs_f64()),
+        tpa_eval::format_secs(dt.as_secs_f64() / seeds.len() as f64),
+        engine.backend().name(),
+    );
+    for (seed, ranked) in seeds.iter().zip(rankings) {
+        let _ = writeln!(out, "\nseed {seed}:");
+        print_ranking(out, &ranked);
+    }
+    Ok(())
+}
+
+fn print_ranking(out: &mut dyn Write, ranked: &[(NodeId, f64)]) {
     let _ = writeln!(out, "rank  node        score");
-    for (rank, v) in top_k(scores, top).into_iter().enumerate() {
-        let _ = writeln!(out, "{:<5} {:<11} {:.8}", rank + 1, v, scores[v as usize]);
+    for (rank, &(v, score)) in ranked.iter().enumerate() {
+        let _ = writeln!(out, "{:<5} {:<11} {:.8}", rank + 1, v, score);
     }
 }
 
@@ -205,16 +287,14 @@ mod tests {
     use crate::args::Args;
 
     fn run_cmd(line: &str) -> (i32, String) {
-        let args =
-            Args::parse(line.split_whitespace().map(str::to_string)).expect("parse");
+        let args = Args::parse(line.split_whitespace().map(str::to_string)).expect("parse");
         let mut buf = Vec::new();
         let code = run(&args, &mut buf);
         (code, String::from_utf8(buf).unwrap())
     }
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir()
-            .join(format!("tpa-cli-test-{}-{name}", std::process::id()));
+        let d = std::env::temp_dir().join(format!("tpa-cli-test-{}-{name}", std::process::id()));
         std::fs::create_dir_all(&d).unwrap();
         d
     }
@@ -238,10 +318,8 @@ mod tests {
         let graph = d.join("g.bin");
         let index = d.join("g.tpa");
 
-        let (code, text) = run_cmd(&format!(
-            "generate --dataset slashdot-s --scale 20 --out {}",
-            graph.display()
-        ));
+        let (code, text) =
+            run_cmd(&format!("generate --dataset slashdot-s --scale 20 --out {}", graph.display()));
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("nodes"));
 
@@ -276,10 +354,8 @@ mod tests {
         let d = tmpdir("convert");
         let snap = d.join("c.bin");
         let edges = d.join("c.txt");
-        let (code, _) = run_cmd(&format!(
-            "generate --dataset slashdot-s --scale 40 --out {}",
-            snap.display()
-        ));
+        let (code, _) =
+            run_cmd(&format!("generate --dataset slashdot-s --scale 40 --out {}", snap.display()));
         assert_eq!(code, 0);
         let (code, _) = run_cmd(&format!(
             "convert --in {} --out {} --format edges",
@@ -306,12 +382,89 @@ mod tests {
             g1.display(),
             idx.display()
         ));
-        let (code, _) = run_cmd(&format!(
-            "query --graph {} --index {} --seed 0",
-            g2.display(),
-            idx.display()
-        ));
+        let (code, _) =
+            run_cmd(&format!("query --graph {} --index {} --seed 0", g2.display(), idx.display()));
         assert_eq!(code, 1);
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn batch_serves_seed_file_through_engine() {
+        let d = tmpdir("batch");
+        let graph = d.join("g.bin");
+        let index = d.join("g.tpa");
+        let seeds = d.join("seeds.txt");
+        run_cmd(&format!("generate --dataset slashdot-s --scale 20 --out {}", graph.display()));
+        run_cmd(&format!(
+            "preprocess --graph {} --s 5 --t 10 --out {}",
+            graph.display(),
+            index.display()
+        ));
+        std::fs::write(&seeds, "0 3\n7 # trailing comment\n# full comment line\n9\n").unwrap();
+
+        let (code, text) = run_cmd(&format!(
+            "batch --graph {} --index {} --seeds {} --topk 3 --threads 2",
+            graph.display(),
+            index.display(),
+            seeds.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("batched 4 seeds"), "{text}");
+        assert!(text.contains("backend parallel"), "{text}");
+        assert!(text.contains("seed 7:"), "{text}");
+
+        // Without an index the batch falls back to exact execution.
+        let (code, text) = run_cmd(&format!(
+            "batch --graph {} --seeds {} --topk 2",
+            graph.display(),
+            seeds.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("backend sequential"), "{text}");
+
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn batch_rejects_bad_seed_file() {
+        let d = tmpdir("badseeds");
+        let graph = d.join("g.bin");
+        let seeds = d.join("seeds.txt");
+        run_cmd(&format!("generate --dataset slashdot-s --scale 40 --out {}", graph.display()));
+        std::fs::write(&seeds, "1 frog 2\n").unwrap();
+        let (code, _) =
+            run_cmd(&format!("batch --graph {} --seeds {}", graph.display(), seeds.display()));
+        assert_eq!(code, 1);
+        std::fs::write(&seeds, "# only comments\n").unwrap();
+        let (code, _) =
+            run_cmd(&format!("batch --graph {} --seeds {}", graph.display(), seeds.display()));
+        assert_eq!(code, 1);
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn query_accepts_topk_and_threads_flags() {
+        let d = tmpdir("flags");
+        let graph = d.join("g.bin");
+        let index = d.join("g.tpa");
+        run_cmd(&format!("generate --dataset slashdot-s --scale 20 --out {}", graph.display()));
+        run_cmd(&format!(
+            "preprocess --graph {} --s 5 --t 10 --out {}",
+            graph.display(),
+            index.display()
+        ));
+        let (code, text) = run_cmd(&format!(
+            "query --graph {} --index {} --seed 3 --topk 4 --threads 0",
+            graph.display(),
+            index.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        // Header + 4 ranked rows after the timing line.
+        assert_eq!(text.lines().count(), 6, "{text}");
+        let (code, text) =
+            run_cmd(&format!("exact --graph {} --seed 3 --topk 4 --threads 2", graph.display()));
+        assert_eq!(code, 0, "{text}");
+        assert_eq!(text.lines().count(), 6, "{text}");
         let _ = std::fs::remove_dir_all(d);
     }
 

@@ -5,9 +5,16 @@
 //! in one sweep turns B random-access passes over the in-edges into one:
 //! each edge is read once per iteration and updates B lanes contiguously.
 //! Results are bitwise identical to B independent queries.
+//!
+//! The block step is a [`Propagator`] method
+//! ([`Propagator::propagate_block_into`]), so [`cpi_batch`] and
+//! [`TpaIndex::query_batch_on`] run unchanged over the sequential
+//! [`Transition`], the multi-threaded [`crate::ParallelTransition`], and
+//! the out-of-core [`crate::offcore::DiskGraph`] — each with its own
+//! fused kernel.
 
-use crate::{Transition, TpaIndex};
-use tpa_graph::NodeId;
+use crate::{Propagator, TpaIndex, Transition};
+use tpa_graph::{CsrGraph, NodeId};
 
 /// A block of `B` interleaved score vectors (`lane j` of node `v` lives at
 /// `v·B + j`).
@@ -23,6 +30,11 @@ impl ScoreBlock {
         Self { n, lanes, data: vec![0.0; n * lanes] }
     }
 
+    /// Number of nodes (rows).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
     /// Number of lanes.
     pub fn lanes(&self) -> usize {
         self.lanes
@@ -30,34 +42,108 @@ impl ScoreBlock {
 
     /// Extracts lane `j` as an ordinary vector.
     pub fn lane(&self, j: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        self.copy_lane_into(j, &mut out);
+        out
+    }
+
+    /// Copies lane `j` into `out` (length `n`).
+    pub fn copy_lane_into(&self, j: usize, out: &mut [f64]) {
         assert!(j < self.lanes);
-        (0..self.n).map(|v| self.data[v * self.lanes + j]).collect()
+        assert_eq!(out.len(), self.n);
+        for (v, o) in out.iter_mut().enumerate() {
+            *o = self.data[v * self.lanes + j];
+        }
+    }
+
+    /// Overwrites lane `j` from `src` (length `n`).
+    pub fn set_lane(&mut self, j: usize, src: &[f64]) {
+        assert!(j < self.lanes);
+        assert_eq!(src.len(), self.n);
+        for (v, &s) in src.iter().enumerate() {
+            self.data[v * self.lanes + j] = s;
+        }
+    }
+
+    /// Unpacks every lane in **one** row-major pass over the block.
+    /// Equivalent to `(0..lanes).map(|j| self.lane(j))`, but that form
+    /// re-streams the whole interleaved block once per lane (`O(n·B²)`
+    /// memory traffic — it dominates wide batches); this is `O(n·B)`.
+    pub fn into_lanes(self) -> Vec<Vec<f64>> {
+        let mut out: Vec<Vec<f64>> = (0..self.lanes).map(|_| vec![0.0; self.n]).collect();
+        for (v, row) in self.data.chunks_exact(self.lanes.max(1)).enumerate() {
+            for (o, &r) in out.iter_mut().zip(row) {
+                o[v] = r;
+            }
+        }
+        out
+    }
+
+    /// The interleaved backing storage (`node v`'s row at `v·lanes..`).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable interleaved backing storage (for fused backend kernels).
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
     }
 
     #[inline]
     fn row(&self, v: usize) -> &[f64] {
         &self.data[v * self.lanes..(v + 1) * self.lanes]
     }
-
-    #[inline]
-    fn row_mut(&mut self, v: usize) -> &mut [f64] {
-        &mut self.data[v * self.lanes..(v + 1) * self.lanes]
-    }
 }
 
-/// One batched propagation step `Y ← coeff·Ãᵀ·X` over all lanes.
-pub fn propagate_block(t: &Transition<'_>, coeff: f64, x: &ScoreBlock, y: &mut ScoreBlock) {
-    let n = t.n();
+/// One batched propagation step `Y ← coeff·Ãᵀ·X` over all lanes, on any
+/// backend (dispatches to the backend's fused block kernel).
+pub fn propagate_block<P: Propagator + ?Sized>(
+    t: &P,
+    coeff: f64,
+    x: &ScoreBlock,
+    y: &mut ScoreBlock,
+) {
+    t.propagate_block_into(coeff, x, y);
+}
+
+/// The fused in-memory block kernel: gather over in-edges, all lanes of a
+/// destination updated contiguously from each source row. Used by
+/// [`Transition`] (full range) and [`crate::ParallelTransition`]
+/// (per-worker destination ranges).
+pub(crate) fn block_gather(
+    graph: &CsrGraph,
+    inv_out_deg: &[f64],
+    coeff: f64,
+    x: &ScoreBlock,
+    y: &mut ScoreBlock,
+) {
+    let n = graph.n();
     assert_eq!(x.n, n);
     assert_eq!(y.n, n);
     assert_eq!(x.lanes, y.lanes);
-    let inv = t.inv_out_degrees();
-    let graph = t.graph();
-    for v in 0..n as NodeId {
-        let yrow = y.row_mut(v as usize);
+    block_gather_range(graph, inv_out_deg, coeff, x, &mut y.data, 0, n as NodeId);
+}
+
+/// Gather into the destination rows `[start, end)`, writing into
+/// `y_local`, a row-aligned slice (lane width taken from `x`) whose first
+/// row is node `start`.
+pub(crate) fn block_gather_range(
+    graph: &CsrGraph,
+    inv_out_deg: &[f64],
+    coeff: f64,
+    x: &ScoreBlock,
+    y_local: &mut [f64],
+    start: NodeId,
+    end: NodeId,
+) {
+    let lanes = x.lanes;
+    debug_assert_eq!(y_local.len(), (end - start) as usize * lanes);
+    for v in start..end {
+        let base = (v - start) as usize * lanes;
+        let yrow = &mut y_local[base..base + lanes];
         yrow.iter_mut().for_each(|e| *e = 0.0);
         for &u in graph.in_neighbors(v) {
-            let w = inv[u as usize];
+            let w = inv_out_deg[u as usize];
             if w == 0.0 {
                 continue;
             }
@@ -73,9 +159,10 @@ pub fn propagate_block(t: &Transition<'_>, coeff: f64, x: &ScoreBlock, y: &mut S
 }
 
 /// Batched CPI over a window (one lane per seed); mirrors [`crate::cpi`]
-/// but shares every edge traversal across the batch.
-pub fn cpi_batch(
-    t: &Transition<'_>,
+/// but shares every edge traversal across the batch. Runs on any
+/// [`Propagator`] backend.
+pub fn cpi_batch<P: Propagator + ?Sized>(
+    t: &P,
     seeds: &[NodeId],
     cfg: &crate::CpiConfig,
     start: usize,
@@ -93,25 +180,34 @@ pub fn cpi_batch(
     let mut next = ScoreBlock::zeros(n, lanes);
     let mut acc = ScoreBlock::zeros(n, lanes);
 
-    if start == 0 {
-        for (a, b) in acc.data.iter_mut().zip(&x.data) {
+    // One fused pass per iteration accumulates the window sum *and* the
+    // stopping residual — the blocks are the working set, so every
+    // avoided re-stream matters at serving batch widths.
+    // All lanes share ‖x(i)‖₁ = c(1−c)^i, so one residual drives them all.
+    let accumulate = |acc: &mut ScoreBlock, x: &ScoreBlock| -> f64 {
+        let mut norm = 0.0;
+        for (a, &b) in acc.data.iter_mut().zip(&x.data) {
             *a += b;
+            norm += b.abs();
         }
-    }
+        norm / x.lanes as f64
+    };
+    let mut residual = if start == 0 {
+        accumulate(&mut acc, &x)
+    } else {
+        x.data.iter().map(|v| v.abs()).sum::<f64>() / lanes as f64
+    };
     let hard_end = end.unwrap_or(usize::MAX);
     let mut i = 0usize;
-    // All lanes share ‖x(i)‖₁ = c(1−c)^i, so one residual drives them all.
-    let mut residual: f64 = x.data.iter().map(|v| v.abs()).sum::<f64>() / lanes as f64;
     while residual >= cfg.eps && i < hard_end && i < cfg.max_iters {
         i += 1;
-        propagate_block(t, 1.0 - cfg.c, &x, &mut next);
+        t.propagate_block_into(1.0 - cfg.c, &x, &mut next);
         std::mem::swap(&mut x.data, &mut next.data);
-        if i >= start {
-            for (a, b) in acc.data.iter_mut().zip(&x.data) {
-                *a += b;
-            }
-        }
-        residual = x.data.iter().map(|v| v.abs()).sum::<f64>() / lanes as f64;
+        residual = if i >= start {
+            accumulate(&mut acc, &x)
+        } else {
+            x.data.iter().map(|v| v.abs()).sum::<f64>() / lanes as f64
+        };
     }
     acc
 }
@@ -121,28 +217,37 @@ impl TpaIndex {
     /// Bitwise identical to calling [`TpaIndex::query`] per seed, with one
     /// edge pass per CPI iteration instead of `seeds.len()`.
     pub fn query_batch(&self, t: &Transition<'_>, seeds: &[NodeId]) -> Vec<Vec<f64>> {
+        self.query_batch_on(t, seeds)
+    }
+
+    /// [`TpaIndex::query_batch`] over any propagation backend (parallel,
+    /// out-of-core, …) via its fused block kernel.
+    pub fn query_batch_on<P: Propagator + ?Sized>(&self, t: &P, seeds: &[NodeId]) -> Vec<Vec<f64>> {
         assert_eq!(t.n(), self.stranger().len(), "index/graph mismatch");
         let params = *self.params();
         let family = cpi_batch(t, seeds, &params.cpi_config(), 0, Some(params.s - 1));
         let scale = params.neighbor_scale();
-        (0..seeds.len())
-            .map(|j| {
-                let mut lane = family.lane(j);
-                for (r, &st) in lane.iter_mut().zip(self.stranger()) {
-                    *r += scale * *r + st;
-                }
-                lane
-            })
-            .collect()
+        // Single row-major pass: unpack each family row and fold in the
+        // neighbor rescale + stranger term lane by lane.
+        let lanes = seeds.len();
+        let n = family.n();
+        let mut out: Vec<Vec<f64>> = (0..lanes).map(|_| vec![0.0; n]).collect();
+        for (v, (row, &st)) in family.data.chunks_exact(lanes).zip(self.stranger()).enumerate() {
+            for (o, &f) in out.iter_mut().zip(row) {
+                // Same association as the scalar path's `r += scale·r + s`
+                // (bitwise-identical results require identical rounding).
+                o[v] = f + (scale * f + st);
+            }
+        }
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{cpi, CpiConfig, SeedSet, TpaParams};
+    use crate::{cpi, CpiConfig, ParallelTransition, SeedSet, TpaParams};
     use tpa_graph::gen::{lfr_lite, LfrConfig};
-    use tpa_graph::CsrGraph;
 
     fn test_graph() -> CsrGraph {
         use rand::{rngs::StdRng, SeedableRng};
@@ -161,6 +266,40 @@ mod tests {
             let single = cpi(&t, &SeedSet::single(s), &cfg, 0, Some(6)).scores;
             assert_eq!(block.lane(j), single, "lane {j}");
         }
+    }
+
+    #[test]
+    fn batch_cpi_identical_across_backends() {
+        let g = test_graph();
+        let cfg = CpiConfig::default();
+        let seeds = [1u32, 42, 160, 299];
+        let seq = cpi_batch(&Transition::new(&g), &seeds, &cfg, 0, Some(8));
+        for threads in [2usize, 5] {
+            let par = cpi_batch(&ParallelTransition::new(&g, threads), &seeds, &cfg, 0, Some(8));
+            assert_eq!(seq.data(), par.data(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn default_block_kernel_matches_fused() {
+        // The lane-at-a-time default (used by backends without a fused
+        // kernel) must be bit-identical to the fused in-memory kernel.
+        struct Plain<'g>(Transition<'g>);
+        impl Propagator for Plain<'_> {
+            fn n(&self) -> usize {
+                self.0.n()
+            }
+            fn propagate_into(&self, coeff: f64, x: &[f64], y: &mut [f64]) {
+                self.0.propagate_into(coeff, x, y);
+            }
+            // No propagate_block_into override: exercises the default.
+        }
+        let g = test_graph();
+        let cfg = CpiConfig::default();
+        let seeds = [7u32, 99, 288];
+        let fused = cpi_batch(&Transition::new(&g), &seeds, &cfg, 0, Some(5));
+        let plain = cpi_batch(&Plain(Transition::new(&g)), &seeds, &cfg, 0, Some(5));
+        assert_eq!(fused.data(), plain.data());
     }
 
     #[test]
@@ -186,11 +325,16 @@ mod tests {
     #[test]
     fn lane_extraction_roundtrip() {
         let mut b = ScoreBlock::zeros(4, 3);
-        b.data[1 * 3 + 2] = 5.0;
-        b.data[3 * 3 + 0] = 7.0;
+        b.data[3 + 2] = 5.0;
+        b.data[3 * 3] = 7.0;
         assert_eq!(b.lane(2), vec![0.0, 5.0, 0.0, 0.0]);
         assert_eq!(b.lane(0), vec![0.0, 0.0, 0.0, 7.0]);
         assert_eq!(b.lanes(), 3);
+        let mut out = vec![0.0; 4];
+        b.copy_lane_into(2, &mut out);
+        assert_eq!(out, vec![0.0, 5.0, 0.0, 0.0]);
+        b.set_lane(1, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(b.lane(1), vec![1.0, 2.0, 3.0, 4.0]);
     }
 
     #[test]

@@ -181,12 +181,7 @@ mod tests {
         let s = 4;
         let family = cpi(&t, &seeds, &cfg, 0, Some(s - 1));
         let rest = cpi(&t, &seeds, &cfg, s, None);
-        let merged: Vec<f64> = family
-            .scores
-            .iter()
-            .zip(&rest.scores)
-            .map(|(a, b)| a + b)
-            .collect();
+        let merged: Vec<f64> = family.scores.iter().zip(&rest.scores).map(|(a, b)| a + b).collect();
         assert!(l1_dist(&full.scores, &merged) < 1e-9);
     }
 
@@ -225,14 +220,7 @@ mod tests {
         let g = cycle_graph(4);
         let t = Transition::new(&g);
         let mut seen = Vec::new();
-        cpi_trace(
-            &t,
-            &SeedSet::single(0),
-            &CpiConfig::default(),
-            0,
-            Some(5),
-            |i, _| seen.push(i),
-        );
+        cpi_trace(&t, &SeedSet::single(0), &CpiConfig::default(), 0, Some(5), |i, _| seen.push(i));
         assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
     }
 

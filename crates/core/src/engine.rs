@@ -1,0 +1,484 @@
+//! The `QueryEngine` serving layer.
+//!
+//! TPA's online phase is fast, but serving it means composing pieces that
+//! used to be wired together ad hoc: the sequential [`Transition`], the
+//! multi-threaded [`ParallelTransition`], the out-of-core
+//! [`crate::offcore::DiskGraph`], single-seed vs. batched execution, and
+//! top-k extraction. [`QueryEngine`] owns one propagation backend and an
+//! optional [`TpaIndex`] and executes [`QueryPlan`]s — single-seed,
+//! multi-seed batched (lane tiles share one edge pass per CPI iteration
+//! through the backend's fused block kernel), indexed (TPA online
+//! phase) or exact (full CPI), with optional top-k via partial
+//! selection instead of a full sort.
+//!
+//! Every front end — the `tpa` CLI, the `RwrMethod` baselines, the bench
+//! harness, the examples — routes queries through this one type, so a
+//! backend or kernel improvement lands everywhere at once.
+
+use crate::batch::cpi_batch;
+use crate::offcore::DiskGraph;
+use crate::{
+    cpi, CpiConfig, ParallelTransition, Propagator, SeedSet, TpaIndex, TpaParams, Transition,
+};
+use std::sync::Arc;
+use tpa_graph::{CsrGraph, NodeId};
+
+/// A propagation backend the engine can own: sequential in-memory,
+/// multi-threaded in-memory, or streaming from disk.
+pub enum EngineBackend<'g> {
+    /// Single-threaded in-memory gather ([`Transition`]).
+    Sequential(Transition<'g>),
+    /// Multi-threaded in-memory gather ([`ParallelTransition`]).
+    Parallel(ParallelTransition<'g>),
+    /// Out-of-core edge streaming ([`DiskGraph`]), `O(n)` memory.
+    OutOfCore(DiskGraph),
+}
+
+impl EngineBackend<'_> {
+    /// Short human-readable backend name (for logs and bench tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineBackend::Sequential(_) => "sequential",
+            EngineBackend::Parallel(_) => "parallel",
+            EngineBackend::OutOfCore(_) => "out-of-core",
+        }
+    }
+}
+
+impl Propagator for EngineBackend<'_> {
+    fn n(&self) -> usize {
+        match self {
+            EngineBackend::Sequential(t) => Propagator::n(t),
+            EngineBackend::Parallel(t) => t.n(),
+            EngineBackend::OutOfCore(d) => Propagator::n(d),
+        }
+    }
+
+    fn propagate_into(&self, coeff: f64, x: &[f64], y: &mut [f64]) {
+        match self {
+            EngineBackend::Sequential(t) => Propagator::propagate_into(t, coeff, x, y),
+            EngineBackend::Parallel(t) => t.propagate_into(coeff, x, y),
+            EngineBackend::OutOfCore(d) => Propagator::propagate_into(d, coeff, x, y),
+        }
+    }
+
+    fn propagate_block_into(
+        &self,
+        coeff: f64,
+        x: &crate::batch::ScoreBlock,
+        y: &mut crate::batch::ScoreBlock,
+    ) {
+        match self {
+            EngineBackend::Sequential(t) => t.propagate_block_into(coeff, x, y),
+            EngineBackend::Parallel(t) => t.propagate_block_into(coeff, x, y),
+            EngineBackend::OutOfCore(d) => Propagator::propagate_block_into(d, coeff, x, y),
+        }
+    }
+}
+
+/// How a plan computes scores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Use the [`TpaIndex`] if the engine has one, exact CPI otherwise.
+    Auto,
+    /// Full-convergence CPI (ground truth), even when an index is loaded.
+    Exact,
+}
+
+/// A declarative query: which seeds, how to execute, what to return.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    seeds: Vec<NodeId>,
+    k: Option<usize>,
+    mode: ExecMode,
+}
+
+impl QueryPlan {
+    /// Plan for one seed.
+    pub fn single(seed: NodeId) -> Self {
+        Self::batch(vec![seed])
+    }
+
+    /// Plan for a batch of seeds (one lane per seed, shared edge passes).
+    pub fn batch(seeds: impl Into<Vec<NodeId>>) -> Self {
+        QueryPlan { seeds: seeds.into(), k: None, mode: ExecMode::Auto }
+    }
+
+    /// Return only the `k` best-scoring nodes per seed (partial
+    /// selection, no full sort).
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Force exact CPI even if the engine holds an index.
+    pub fn exact(mut self) -> Self {
+        self.mode = ExecMode::Exact;
+        self
+    }
+
+    /// The planned seeds.
+    pub fn seeds(&self) -> &[NodeId] {
+        &self.seeds
+    }
+
+    /// The planned execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+}
+
+/// What a plan produced: one entry per seed, in plan order.
+#[derive(Clone, Debug)]
+pub enum QueryResult {
+    /// Full score vectors (no `top_k` requested).
+    Scores(Vec<Vec<f64>>),
+    /// `(node, score)` rankings, best first (`top_k` requested).
+    Ranked(Vec<Vec<(NodeId, f64)>>),
+}
+
+impl QueryResult {
+    /// Unwraps full score vectors; panics if the plan asked for top-k.
+    pub fn into_scores(self) -> Vec<Vec<f64>> {
+        match self {
+            QueryResult::Scores(s) => s,
+            QueryResult::Ranked(_) => panic!("plan returned rankings, not score vectors"),
+        }
+    }
+
+    /// Unwraps rankings; panics if the plan asked for full scores.
+    pub fn into_ranked(self) -> Vec<Vec<(NodeId, f64)>> {
+        match self {
+            QueryResult::Ranked(r) => r,
+            QueryResult::Scores(_) => panic!("plan returned score vectors, not rankings"),
+        }
+    }
+}
+
+/// The serving layer: one backend + optional index, executing
+/// [`QueryPlan`]s. See the module docs.
+pub struct QueryEngine<'g> {
+    backend: EngineBackend<'g>,
+    index: Option<Arc<TpaIndex>>,
+    exact_cfg: CpiConfig,
+    lane_tile: usize,
+}
+
+/// Default lane-tile width for batched plans (see
+/// [`QueryEngine::with_lane_tile`]): wide enough to amortize the edge
+/// pass, narrow enough that the three working blocks
+/// (`x`/`next`/`acc` ≈ `3·n·tile·8` bytes) stay resident in a ~2 MB
+/// private L2 for the bench-scale graphs.
+pub const DEFAULT_LANE_TILE: usize = 8;
+
+impl<'g> QueryEngine<'g> {
+    /// Engine over the single-threaded in-memory backend.
+    pub fn sequential(graph: &'g CsrGraph) -> Self {
+        Self::from_backend(EngineBackend::Sequential(Transition::new(graph)))
+    }
+
+    /// Engine over the multi-threaded in-memory backend; `threads = 0`
+    /// means "use available parallelism".
+    pub fn parallel(graph: &'g CsrGraph, threads: usize) -> Self {
+        let t = if threads == 0 {
+            ParallelTransition::with_default_threads(graph)
+        } else {
+            ParallelTransition::new(graph, threads)
+        };
+        Self::from_backend(EngineBackend::Parallel(t))
+    }
+
+    /// Engine streaming a disk-resident graph (`O(n)` memory).
+    pub fn out_of_core(disk: DiskGraph) -> QueryEngine<'static> {
+        QueryEngine::from_backend(EngineBackend::OutOfCore(disk))
+    }
+
+    /// Engine over an explicit backend.
+    pub fn from_backend(backend: EngineBackend<'g>) -> Self {
+        QueryEngine {
+            backend,
+            index: None,
+            exact_cfg: CpiConfig::default(),
+            lane_tile: DEFAULT_LANE_TILE,
+        }
+    }
+
+    /// Sets the lane-tile width: batches wider than this execute as
+    /// consecutive tiles of at most `tile` lanes. Per-lane results are
+    /// unaffected (lanes are independent), but throughput is sensitive to
+    /// it — one tile's score blocks should fit in cache. `usize::MAX`
+    /// disables tiling.
+    pub fn with_lane_tile(mut self, tile: usize) -> Self {
+        assert!(tile >= 1, "lane tile must be at least 1");
+        self.lane_tile = tile;
+        self
+    }
+
+    /// Attaches a preprocessed index (shared, so many engines can serve
+    /// one index). Panics if the index was built for a different graph.
+    pub fn with_index(mut self, index: impl Into<Arc<TpaIndex>>) -> Self {
+        let index = index.into();
+        assert_eq!(
+            index.stranger().len(),
+            self.backend.n(),
+            "index was preprocessed for a different graph"
+        );
+        self.index = Some(index);
+        self
+    }
+
+    /// Runs TPA preprocessing on this engine's own backend and attaches
+    /// the resulting index.
+    pub fn preprocess(self, params: TpaParams) -> Self {
+        let index = TpaIndex::preprocess_on(&self.backend, params);
+        self.with_index(index)
+    }
+
+    /// Config used for exact (non-indexed) execution.
+    pub fn with_cpi_config(mut self, cfg: CpiConfig) -> Self {
+        cfg.validate();
+        self.exact_cfg = cfg;
+        self
+    }
+
+    /// The propagation backend.
+    pub fn backend(&self) -> &EngineBackend<'g> {
+        &self.backend
+    }
+
+    /// The attached index, if any.
+    pub fn index(&self) -> Option<&TpaIndex> {
+        self.index.as_deref()
+    }
+
+    /// Number of nodes served.
+    pub fn n(&self) -> usize {
+        self.backend.n()
+    }
+
+    /// Executes a plan. Single-seed plans take the scalar path; larger
+    /// batches run lane tiles through the backend's fused block kernel,
+    /// bit-identical to per-seed execution. An empty plan yields an
+    /// empty result (serving queues legitimately drain to zero).
+    pub fn execute(&self, plan: &QueryPlan) -> QueryResult {
+        if plan.seeds.is_empty() {
+            return match plan.k {
+                None => QueryResult::Scores(Vec::new()),
+                Some(_) => QueryResult::Ranked(Vec::new()),
+            };
+        }
+        let n = self.n();
+        for &s in &plan.seeds {
+            assert!((s as usize) < n, "seed {s} out of range (n = {n})");
+        }
+        let scores = match (plan.mode, &self.index) {
+            (ExecMode::Auto, Some(index)) => {
+                if let [seed] = plan.seeds[..] {
+                    vec![index.query_on(&self.backend, &SeedSet::single(seed))]
+                } else {
+                    self.tiled(&plan.seeds, |tile| index.query_batch_on(&self.backend, tile))
+                }
+            }
+            _ => self.exact_scores(&plan.seeds),
+        };
+        match plan.k {
+            None => QueryResult::Scores(scores),
+            Some(k) => QueryResult::Ranked(scores.iter().map(|s| top_k_scored(s, k)).collect()),
+        }
+    }
+
+    fn exact_scores(&self, seeds: &[NodeId]) -> Vec<Vec<f64>> {
+        if let [seed] = seeds[..] {
+            return vec![
+                cpi(&self.backend, &SeedSet::single(seed), &self.exact_cfg, 0, None).scores,
+            ];
+        }
+        self.tiled(seeds, |tile| {
+            cpi_batch(&self.backend, tile, &self.exact_cfg, 0, None).into_lanes()
+        })
+    }
+
+    /// Runs `serve` over consecutive lane tiles of the batch, keeping the
+    /// blocks cache-sized (see [`QueryEngine::with_lane_tile`]).
+    fn tiled(
+        &self,
+        seeds: &[NodeId],
+        mut serve: impl FnMut(&[NodeId]) -> Vec<Vec<f64>>,
+    ) -> Vec<Vec<f64>> {
+        let mut out = Vec::with_capacity(seeds.len());
+        for tile in seeds.chunks(self.lane_tile) {
+            out.extend(serve(tile));
+        }
+        out
+    }
+
+    /// Full scores for one seed (index path when available).
+    pub fn query(&self, seed: NodeId) -> Vec<f64> {
+        self.execute(&QueryPlan::single(seed)).into_scores().pop().unwrap()
+    }
+
+    /// Full scores for a batch of seeds: one fused edge pass per CPI
+    /// iteration per lane tile (so a batch of `B` seeds costs
+    /// `⌈B / lane_tile⌉` edge passes per iteration instead of `B`; see
+    /// [`QueryEngine::with_lane_tile`]).
+    pub fn query_batch(&self, seeds: &[NodeId]) -> Vec<Vec<f64>> {
+        self.execute(&QueryPlan::batch(seeds.to_vec())).into_scores()
+    }
+
+    /// Best `k` nodes for one seed, best first.
+    pub fn top_k(&self, seed: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        self.execute(&QueryPlan::single(seed).top_k(k)).into_ranked().pop().unwrap()
+    }
+
+    /// Best `k` nodes for each seed in a batch.
+    pub fn top_k_batch(&self, seeds: &[NodeId], k: usize) -> Vec<Vec<(NodeId, f64)>> {
+        self.execute(&QueryPlan::batch(seeds.to_vec()).top_k(k)).into_ranked()
+    }
+}
+
+/// The `k` best `(node, score)` pairs, best first, ties broken by lower
+/// node id. Partial selection (`select_nth_unstable_by`) followed by a
+/// sort of only the selected prefix: `O(n + k log k)` instead of the
+/// `O(n log n)` full sort.
+pub fn top_k_scored(scores: &[f64], k: usize) -> Vec<(NodeId, f64)> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    let cmp = |a: &u32, b: &u32| {
+        scores[*b as usize]
+            .partial_cmp(&scores[*a as usize])
+            .expect("RWR scores are never NaN")
+            .then(a.cmp(b))
+    };
+    idx.select_nth_unstable_by(k - 1, cmp);
+    idx.truncate(k);
+    idx.sort_unstable_by(cmp);
+    idx.into_iter().map(|v| (v, scores[v as usize])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_rwr;
+    use tpa_graph::gen::{lfr_lite, LfrConfig};
+
+    fn test_graph() -> CsrGraph {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(71);
+        lfr_lite(LfrConfig { n: 400, m: 3200, ..Default::default() }, &mut rng).graph
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tpa-engine-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn indexed_query_matches_direct_index_use() {
+        let g = test_graph();
+        let params = TpaParams::new(5, 10);
+        let engine = QueryEngine::sequential(&g).preprocess(params);
+        let index = TpaIndex::preprocess(&g, params);
+        let t = Transition::new(&g);
+        assert_eq!(engine.query(13), index.query(&t, 13));
+    }
+
+    #[test]
+    fn batch_bitwise_identical_to_singles_on_every_backend() {
+        let g = test_graph();
+        let params = TpaParams::new(5, 10);
+        let index = Arc::new(TpaIndex::preprocess(&g, params));
+        let seeds: Vec<NodeId> = (0..32).map(|i| (i * 13) % g.n() as NodeId).collect();
+        let path = tmp("backends");
+        let disk = DiskGraph::create(&g, &path).unwrap();
+
+        let engines = [
+            QueryEngine::sequential(&g).with_index(Arc::clone(&index)),
+            QueryEngine::parallel(&g, 4).with_index(Arc::clone(&index)),
+            QueryEngine::out_of_core(disk).with_index(Arc::clone(&index)),
+        ];
+        let reference = QueryEngine::sequential(&g).with_index(Arc::clone(&index));
+        let singles: Vec<Vec<f64>> = seeds.iter().map(|&s| reference.query(s)).collect();
+        for engine in &engines {
+            let batch = engine.query_batch(&seeds);
+            assert_eq!(batch, singles, "backend {}", engine.backend().name());
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn exact_mode_ignores_index() {
+        let g = test_graph();
+        let engine = QueryEngine::sequential(&g).preprocess(TpaParams::new(4, 9));
+        let exact = engine.execute(&QueryPlan::single(7).exact()).into_scores().pop().unwrap();
+        assert_eq!(exact, exact_rwr(&g, 7, &CpiConfig::default()));
+        // The indexed answer is an approximation — close, but distinct.
+        assert_ne!(exact, engine.query(7));
+    }
+
+    #[test]
+    fn engine_without_index_serves_exact_scores() {
+        let g = test_graph();
+        let engine = QueryEngine::sequential(&g);
+        assert_eq!(engine.query(3), exact_rwr(&g, 3, &CpiConfig::default()));
+    }
+
+    #[test]
+    fn top_k_matches_full_sort() {
+        let g = test_graph();
+        let engine = QueryEngine::sequential(&g).preprocess(TpaParams::new(5, 10));
+        let scores = engine.query(42);
+        let ranked = engine.top_k(42, 10);
+        // Reference: full sort.
+        let mut full: Vec<(NodeId, f64)> =
+            scores.iter().enumerate().map(|(i, &s)| (i as NodeId, s)).collect();
+        full.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        full.truncate(10);
+        assert_eq!(ranked, full);
+    }
+
+    #[test]
+    fn top_k_scored_handles_edge_cases() {
+        assert_eq!(top_k_scored(&[], 5), vec![]);
+        assert_eq!(top_k_scored(&[1.0, 2.0], 0), vec![]);
+        assert_eq!(top_k_scored(&[1.0, 2.0], 99), vec![(1, 2.0), (0, 1.0)]);
+        // Ties break toward the lower node id.
+        assert_eq!(top_k_scored(&[0.5, 0.5, 0.5], 2), vec![(0, 0.5), (1, 0.5)]);
+    }
+
+    #[test]
+    fn parallel_preprocess_matches_sequential() {
+        let g = test_graph();
+        let params = TpaParams::new(5, 10);
+        let seq = QueryEngine::sequential(&g).preprocess(params);
+        let par = QueryEngine::parallel(&g, 4).preprocess(params);
+        assert_eq!(seq.index().unwrap().stranger(), par.index().unwrap().stranger());
+        assert_eq!(seq.query(99), par.query(99));
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_result() {
+        // Serving queues drain to zero; an empty plan is not an error.
+        let g = test_graph();
+        let engine = QueryEngine::sequential(&g).preprocess(TpaParams::new(4, 9));
+        assert!(engine.query_batch(&[]).is_empty());
+        assert!(engine.top_k_batch(&[], 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_seed() {
+        let g = test_graph();
+        QueryEngine::sequential(&g).query(g.n() as NodeId);
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph")]
+    fn rejects_foreign_index() {
+        let g = test_graph();
+        let other = tpa_graph::gen::cycle_graph(7);
+        let index = TpaIndex::preprocess(&other, TpaParams::new(3, 6));
+        let _ = QueryEngine::sequential(&g).with_index(index);
+    }
+}

@@ -18,6 +18,10 @@
 //! * [`bounds`] — Lemmas 1–3 and Theorem 2 in closed form.
 //! * [`decompose`] — exact part-wise decomposition used by the accuracy
 //!   experiments (Table III, Fig. 9).
+//! * [`QueryEngine`] — the serving layer: executes single / batched /
+//!   top-k [`QueryPlan`]s over any [`Propagator`] backend (sequential,
+//!   [`ParallelTransition`], out-of-core [`offcore::DiskGraph`]), with
+//!   results bit-identical across backends.
 //!
 //! ## Quick start
 //!
@@ -40,6 +44,7 @@ pub mod batch;
 pub mod bounds;
 mod cpi;
 mod decompose;
+pub mod engine;
 pub mod offcore;
 mod pagerank;
 mod parallel;
@@ -51,9 +56,10 @@ mod weighted;
 
 pub use cpi::{cpi, cpi_trace, CpiConfig, CpiResult};
 pub use decompose::{decompose, Decomposition};
+pub use engine::{top_k_scored, EngineBackend, ExecMode, QueryEngine, QueryPlan, QueryResult};
 pub use pagerank::{exact_rwr, pagerank, pagerank_window, personalized_pagerank};
+pub use parallel::ParallelTransition;
 pub use seeds::SeedSet;
 pub use tpa::{PreprocessStats, TpaIndex, TpaParams, TpaParts};
-pub use parallel::ParallelTransition;
 pub use transition::{Propagator, Transition};
 pub use weighted::WeightedTransition;

@@ -10,6 +10,7 @@
 //! [`crate::TpaIndex::preprocess_on`]) runs unchanged on top of it through the
 //! [`Propagator`] trait.
 
+use crate::batch::ScoreBlock;
 use crate::Propagator;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -98,6 +99,51 @@ impl DiskGraph {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
         y.iter_mut().for_each(|v| *v = 0.0);
+        self.stream_edges(|u, v| y[v] += x[u] * self.inv_out_deg[u])?;
+        for v in y.iter_mut() {
+            *v *= coeff;
+        }
+        Ok(())
+    }
+
+    /// One streaming *batched* propagation pass: a single sequential sweep
+    /// over the edge file updates every lane of the block, amortizing the
+    /// disk pass over the whole batch. Accumulation order per lane matches
+    /// the in-memory kernels (edges are stored destination-major in
+    /// in-neighbor order), so results are bit-identical.
+    pub fn try_propagate_block_into(
+        &self,
+        coeff: f64,
+        x: &ScoreBlock,
+        y: &mut ScoreBlock,
+    ) -> io::Result<()> {
+        assert_eq!(x.n(), self.n, "input block height mismatch");
+        assert_eq!(y.n(), self.n, "output block height mismatch");
+        assert_eq!(x.lanes(), y.lanes(), "lane count mismatch");
+        let lanes = x.lanes();
+        let xd = x.data();
+        let yd = y.data_mut();
+        yd.iter_mut().for_each(|v| *v = 0.0);
+        self.stream_edges(|u, v| {
+            let w = self.inv_out_deg[u];
+            if w == 0.0 {
+                return;
+            }
+            let xrow = &xd[u * lanes..(u + 1) * lanes];
+            let yrow = &mut yd[v * lanes..(v + 1) * lanes];
+            for (yj, xj) in yrow.iter_mut().zip(xrow) {
+                *yj += xj * w;
+            }
+        })?;
+        for v in yd.iter_mut() {
+            *v *= coeff;
+        }
+        Ok(())
+    }
+
+    /// Streams every `(source, destination)` edge record to `visit` in
+    /// on-disk (destination-major) order.
+    fn stream_edges(&self, mut visit: impl FnMut(usize, usize)) -> io::Result<()> {
         let mut r = BufReader::with_capacity(1 << 20, File::open(&self.path)?);
         // Skip header + degree array.
         let header = 8 + 8 + 8 + 4 * self.n as u64;
@@ -112,12 +158,9 @@ impl DiskGraph {
             for rec in buf[..bytes].chunks_exact(8) {
                 let u = u32::from_le_bytes(rec[0..4].try_into().unwrap()) as usize;
                 let v = u32::from_le_bytes(rec[4..8].try_into().unwrap()) as usize;
-                y[v] += x[u] * self.inv_out_deg[u];
+                visit(u, v);
             }
             remaining -= take;
-        }
-        for v in y.iter_mut() {
-            *v *= coeff;
         }
         Ok(())
     }
@@ -133,6 +176,13 @@ impl Propagator for DiskGraph {
     /// [`DiskGraph::try_propagate_into`] to handle errors explicitly.
     fn propagate_into(&self, coeff: f64, x: &[f64], y: &mut [f64]) {
         self.try_propagate_into(coeff, x, y).expect("disk graph I/O failed mid-propagation");
+    }
+
+    /// Streaming block propagation: one disk pass serves every lane. Same
+    /// panic policy as [`Propagator::propagate_into`]; use
+    /// [`DiskGraph::try_propagate_block_into`] to handle I/O errors.
+    fn propagate_block_into(&self, coeff: f64, x: &ScoreBlock, y: &mut ScoreBlock) {
+        self.try_propagate_block_into(coeff, x, y).expect("disk graph I/O failed mid-propagation");
     }
 }
 

@@ -6,6 +6,7 @@
 //! reduction reordering). Thread ranges are balanced by in-edge count, not
 //! node count, because power-law graphs concentrate edges on few nodes.
 
+use crate::batch::ScoreBlock;
 use crate::Propagator;
 use tpa_graph::{CsrGraph, NodeId};
 
@@ -18,40 +19,44 @@ pub struct ParallelTransition<'g> {
 }
 
 impl<'g> ParallelTransition<'g> {
-    /// Binds the operator with `threads` workers (clamped to ≥1).
+    /// Binds the operator with `threads` workers. The worker count is
+    /// clamped to `[1, n]` — a range per worker is only useful while
+    /// there are nodes to hand out — and every range is non-empty by
+    /// construction: edge-balanced splits are nudged so each worker owns
+    /// at least one node, and an edgeless graph falls back to plain
+    /// node-count balancing.
     pub fn new(graph: &'g CsrGraph, threads: usize) -> Self {
-        let threads = threads.max(1);
         let n = graph.n();
-        let m = graph.m().max(1);
-        let mut ranges = Vec::with_capacity(threads);
-        let per_worker = m.div_ceil(threads);
+        let m = graph.m();
+        let threads = threads.clamp(1, n.max(1));
         let in_offsets = graph.in_offsets();
-        let mut start = 0u32;
+        let mut ranges = Vec::with_capacity(threads);
+        let mut start = 0usize;
         for w in 0..threads {
-            let target_edges = ((w + 1) * per_worker).min(m);
-            // First node whose in-offset reaches the target edge count.
-            let mut end = start as usize;
-            while end < n && in_offsets[end + 1] <= target_edges {
-                end += 1;
-            }
-            if w == threads - 1 {
-                end = n;
-            }
-            let end = (end as u32).max(start);
-            ranges.push((start, end));
+            let end = if w + 1 == threads {
+                n
+            } else if m == 0 {
+                // No edges to balance: split nodes evenly.
+                n * (w + 1) / threads
+            } else {
+                // First node boundary at or past this worker's edge share,
+                // clamped so this range and every later one stay non-empty.
+                let target = (m * (w + 1)).div_ceil(threads);
+                let mut end = start;
+                while end < n && in_offsets[end + 1] <= target {
+                    end += 1;
+                }
+                end.max(start + 1).min(n - (threads - w - 1))
+            };
+            ranges.push((start as u32, end as u32));
             start = end;
-        }
-        // Make sure the last range covers everything.
-        if let Some(last) = ranges.last_mut() {
-            last.1 = n as u32;
         }
         Self { graph, inv_out_deg: graph.inv_out_degrees(), ranges }
     }
 
     /// Default worker count: available parallelism.
     pub fn with_default_threads(graph: &'g CsrGraph) -> Self {
-        let threads =
-            std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+        let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
         Self::new(graph, threads)
     }
 
@@ -92,6 +97,38 @@ impl Propagator for ParallelTransition<'_> {
                 let inv = &self.inv_out_deg;
                 scope.spawn(move || {
                     gather_range_into(graph, inv, coeff, x, slice, start, end);
+                });
+            }
+        });
+    }
+
+    /// Fused parallel block kernel: each worker owns a contiguous band of
+    /// destination *rows* (`lanes` floats per node), so the split is the
+    /// same disjoint-write scheme as the scalar path — bit-identical to
+    /// the sequential block kernel, no atomics.
+    fn propagate_block_into(&self, coeff: f64, x: &ScoreBlock, y: &mut ScoreBlock) {
+        let n = self.graph.n();
+        assert_eq!(x.n(), n, "input block height mismatch");
+        assert_eq!(y.n(), n, "output block height mismatch");
+        assert_eq!(x.lanes(), y.lanes(), "lane count mismatch");
+        let lanes = x.lanes();
+        if self.ranges.len() == 1 {
+            crate::batch::block_gather(self.graph, &self.inv_out_deg, coeff, x, y);
+            return;
+        }
+        let mut slices: Vec<&mut [f64]> = Vec::with_capacity(self.ranges.len());
+        let mut rest = y.data_mut();
+        for &(start, end) in &self.ranges {
+            let (head, tail) = rest.split_at_mut((end - start) as usize * lanes);
+            slices.push(head);
+            rest = tail;
+        }
+        std::thread::scope(|scope| {
+            for (slice, &(start, end)) in slices.into_iter().zip(&self.ranges) {
+                let graph = self.graph;
+                let inv = &self.inv_out_deg;
+                scope.spawn(move || {
+                    crate::batch::block_gather_range(graph, inv, coeff, x, slice, start, end);
                 });
             }
         });

@@ -58,10 +58,8 @@ pub fn tune_t(
     // p_cum_to[t] for each candidate: Σ_{i<t} x'(i). Recover from the
     // decomposition pieces by re-running cheaply per candidate instead:
     // use windowed runs (PageRank is cheap relative to per-seed work).
-    let p_stranger_per_candidate: Vec<Vec<f64>> = candidates
-        .iter()
-        .map(|&t| crate::pagerank_window(graph, cfg, t, None).scores)
-        .collect();
+    let p_stranger_per_candidate: Vec<Vec<f64>> =
+        candidates.iter().map(|&t| crate::pagerank_window(graph, cfg, t, None).scores).collect();
     drop(pr);
 
     let mut na = vec![0.0f64; candidates.len()];
@@ -94,8 +92,8 @@ pub fn tune_t(
         }
 
         for (ci, &t) in candidates.iter().enumerate() {
-            let scale = (decay.powi(s as i32) - decay.powi(t as i32))
-                / (1.0 - decay.powi(s as i32));
+            let scale =
+                (decay.powi(s as i32) - decay.powi(t as i32)) / (1.0 - decay.powi(s as i32));
             let p_stranger = &p_stranger_per_candidate[ci];
             let mut na_err = 0.0;
             let mut sa_err = 0.0;
@@ -126,10 +124,8 @@ pub fn tune_t(
             total_error: total[ci] / k,
         })
         .collect();
-    let best = *entries
-        .iter()
-        .min_by(|a, b| a.total_error.partial_cmp(&b.total_error).unwrap())
-        .unwrap();
+    let best =
+        *entries.iter().min_by(|a, b| a.total_error.partial_cmp(&b.total_error).unwrap()).unwrap();
     TSweep { candidates: entries, best }
 }
 
@@ -137,8 +133,7 @@ pub fn tune_t(
 /// Theorem 2, `T` from a default candidate sweep over a small seed sample.
 pub fn auto_params(graph: &CsrGraph, target_error: f64, cfg: &CpiConfig) -> TpaParams {
     let s = crate::bounds::min_s_for_error(cfg.c, target_error);
-    let candidates: Vec<usize> =
-        [s + 1, s + 2, s + 3, s + 5, s + 8, s + 12, s + 16].to_vec();
+    let candidates: Vec<usize> = [s + 1, s + 2, s + 3, s + 5, s + 8, s + 12, s + 16].to_vec();
     let n = graph.n() as NodeId;
     let sample: Vec<NodeId> = (0..5).map(|i| (i * 7919) % n).collect();
     let sweep = tune_t(graph, s, &candidates, &sample, cfg);
@@ -192,8 +187,7 @@ mod tests {
         let dec = decompose(&tr, &SeedSet::single(9), &cfg, s, t);
         let scale = TpaParams::new(s, t).neighbor_scale();
         let approx: Vec<f64> = dec.family.iter().map(|&f| scale * f).collect();
-        let na_direct: f64 =
-            dec.neighbor.iter().zip(&approx).map(|(a, b)| (a - b).abs()).sum();
+        let na_direct: f64 = dec.neighbor.iter().zip(&approx).map(|(a, b)| (a - b).abs()).sum();
         assert!((sweep.candidates[0].neighbor_error - na_direct).abs() < 1e-9);
     }
 
@@ -208,12 +202,7 @@ mod tests {
         let index = crate::TpaIndex::preprocess(&g, params);
         let t = Transition::new(&g);
         let exact = crate::exact_rwr(&g, 42, &cfg);
-        let err: f64 = index
-            .query(&t, 42)
-            .iter()
-            .zip(&exact)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let err: f64 = index.query(&t, 42).iter().zip(&exact).map(|(a, b)| (a - b).abs()).sum();
         assert!(err <= 0.5 + 1e-9, "err {err}");
     }
 

@@ -103,7 +103,11 @@ impl TpaIndex {
 
     /// Online phase over any propagation backend (e.g. the out-of-core
     /// [`crate::offcore::DiskGraph`]).
-    pub fn query_on<P: crate::Propagator + ?Sized>(&self, backend: &P, seeds: &SeedSet) -> Vec<f64> {
+    pub fn query_on<P: crate::Propagator + ?Sized>(
+        &self,
+        backend: &P,
+        seeds: &SeedSet,
+    ) -> Vec<f64> {
         let parts = self.query_parts_on(backend, seeds);
         let mut r = parts.family;
         let scale = self.params.neighbor_scale();
@@ -131,14 +135,8 @@ impl TpaIndex {
             self.stranger.len(),
             "index was preprocessed for a different graph"
         );
-        let family = cpi(
-            backend,
-            seeds,
-            &self.params.cpi_config(),
-            0,
-            Some(self.params.s - 1),
-        )
-        .scores;
+        let family =
+            cpi(backend, seeds, &self.params.cpi_config(), 0, Some(self.params.s - 1)).scores;
         TpaParts { family }
     }
 
@@ -169,6 +167,11 @@ impl TpaIndex {
         self.stranger.len() * std::mem::size_of::<f64>()
     }
 
+    /// Values (`f64`s) per I/O chunk when (de)serializing the stranger
+    /// vector: 8192 × 8 B = 64 KiB buffers, so a billion-node index is a
+    /// few hundred thousand syscalls instead of one per value.
+    const IO_CHUNK: usize = 8192;
+
     /// Serializes the index (magic, params, stats, stranger vector; all
     /// little-endian). Preprocess once, ship the index, query anywhere.
     pub fn save(&self, mut w: impl std::io::Write) -> std::io::Result<()> {
@@ -180,8 +183,15 @@ impl TpaIndex {
         w.write_all(&(self.stats.iterations as u64).to_le_bytes())?;
         w.write_all(&self.stats.final_residual.to_le_bytes())?;
         w.write_all(&(self.stranger.len() as u64).to_le_bytes())?;
-        for &v in &self.stranger {
-            w.write_all(&v.to_le_bytes())?;
+        // Chunked conversion so each write hands the sink a large slice
+        // instead of 8 bytes at a time.
+        let mut buf = Vec::with_capacity(Self::IO_CHUNK * 8);
+        for chunk in self.stranger.chunks(Self::IO_CHUNK) {
+            buf.clear();
+            for &v in chunk {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            w.write_all(&buf)?;
         }
         w.flush()
     }
@@ -219,14 +229,19 @@ impl TpaIndex {
             return Err(Error::new(ErrorKind::InvalidData, "implausible index length"));
         }
         let mut stranger = Vec::with_capacity(n);
-        let mut buf = [0u8; 8];
-        for _ in 0..n {
-            r.read_exact(&mut buf)?;
-            let v = f64::from_le_bytes(buf);
-            if !v.is_finite() || v < 0.0 {
-                return Err(Error::new(ErrorKind::InvalidData, "corrupt stranger entry"));
+        let mut buf = vec![0u8; Self::IO_CHUNK * 8];
+        let mut remaining = n;
+        while remaining > 0 {
+            let take = remaining.min(Self::IO_CHUNK);
+            r.read_exact(&mut buf[..take * 8])?;
+            for rec in buf[..take * 8].chunks_exact(8) {
+                let v = f64::from_le_bytes(rec.try_into().unwrap());
+                if !v.is_finite() || v < 0.0 {
+                    return Err(Error::new(ErrorKind::InvalidData, "corrupt stranger entry"));
+                }
+                stranger.push(v);
             }
-            stranger.push(v);
+            remaining -= take;
         }
         let params = TpaParams { c, eps, s, t };
         params.validate();

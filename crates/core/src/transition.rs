@@ -1,16 +1,39 @@
 //! The RWR transition operator `Ãᵀ` bound to a graph.
 
+use crate::batch::ScoreBlock;
 use tpa_graph::{CsrGraph, NodeId};
 
 /// A propagation backend: anything that can compute the CPI step
 /// `y ← coeff·Ãᵀ·x`. The in-memory [`Transition`] is the default; the
-/// out-of-core [`crate::offcore::DiskGraph`] streams edges from disk
-/// (the paper's "disk-based RWR" future work).
+/// multi-threaded [`crate::ParallelTransition`] splits destinations over
+/// workers; the out-of-core [`crate::offcore::DiskGraph`] streams edges
+/// from disk (the paper's "disk-based RWR" future work).
 pub trait Propagator {
     /// Number of nodes.
     fn n(&self) -> usize;
+
     /// `y ← coeff · Ãᵀ·x`; `x` and `y` have length `n`.
     fn propagate_into(&self, coeff: f64, x: &[f64], y: &mut [f64]);
+
+    /// Batched step `Y ← coeff·Ãᵀ·X` over every lane of a
+    /// [`ScoreBlock`]. The default runs the scalar kernel lane by lane;
+    /// backends override it with fused kernels that share one edge pass
+    /// across all lanes. Overrides must stay **bit-identical** to the
+    /// default: per destination and lane, contributions are accumulated
+    /// in in-neighbor order.
+    fn propagate_block_into(&self, coeff: f64, x: &ScoreBlock, y: &mut ScoreBlock) {
+        let n = self.n();
+        assert_eq!(x.n(), n, "input block height mismatch");
+        assert_eq!(y.n(), n, "output block height mismatch");
+        assert_eq!(x.lanes(), y.lanes(), "lane count mismatch");
+        let mut xl = vec![0.0f64; n];
+        let mut yl = vec![0.0f64; n];
+        for j in 0..x.lanes() {
+            x.copy_lane_into(j, &mut xl);
+            self.propagate_into(coeff, &xl, &mut yl);
+            y.set_lane(j, &yl);
+        }
+    }
 }
 
 /// Row-normalized transposed adjacency operator `Ãᵀ` with the per-source
@@ -70,6 +93,9 @@ impl Propagator for Transition<'_> {
     }
     fn propagate_into(&self, coeff: f64, x: &[f64], y: &mut [f64]) {
         Transition::propagate_into(self, coeff, x, y)
+    }
+    fn propagate_block_into(&self, coeff: f64, x: &ScoreBlock, y: &mut ScoreBlock) {
+        crate::batch::block_gather(self.graph, &self.inv_out_deg, coeff, x, y);
     }
 }
 

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
-use tpa_core::{bounds, cpi, decompose, exact_rwr, CpiConfig, SeedSet, TpaIndex, TpaParams, Transition};
+use tpa_core::{
+    bounds, cpi, decompose, exact_rwr, CpiConfig, SeedSet, TpaIndex, TpaParams, Transition,
+};
 use tpa_graph::gen::erdos_renyi_gnm;
 use tpa_graph::{CsrGraph, NodeId};
 

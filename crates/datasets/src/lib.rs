@@ -236,9 +236,7 @@ pub fn load_with_disk_cache(spec: &DatasetSpec, dir: &Path) -> std::io::Result<D
     let path = dir.join(format!("{}.tpagraph", spec.key));
     if path.exists() {
         match tpa_graph::io::read_snapshot_file(&path) {
-            Ok(g) => {
-                return Ok(Dataset { spec: *spec, graph: Arc::new(g), communities: None })
-            }
+            Ok(g) => return Ok(Dataset { spec: *spec, graph: Arc::new(g), communities: None }),
             Err(_) => {
                 // Stale/corrupt cache: fall through and regenerate.
                 let _ = std::fs::remove_file(&path);

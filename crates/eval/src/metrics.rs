@@ -28,32 +28,17 @@ pub fn max_error(a: &[f64], b: &[f64]) -> f64 {
 /// assert_eq!(ranked, vec![1, 2]);
 /// ```
 pub fn top_k(scores: &[f64], k: usize) -> Vec<u32> {
-    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
-    let k = k.min(scores.len());
-    idx.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| {
-        scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .unwrap()
-            .then(a.cmp(&b))
-    });
-    idx.truncate(k);
-    idx.sort_by(|&a, &b| {
-        scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .unwrap()
-            .then(a.cmp(&b))
-    });
-    idx
+    // One ranking implementation workspace-wide: delegate to the engine's
+    // partial selection so eval-side recall and engine-served rankings
+    // can never drift apart.
+    tpa_core::top_k_scored(scores, k).into_iter().map(|(v, _)| v).collect()
 }
 
 /// Recall of the approximate top-k against the exact top-k:
 /// `|approx ∩ exact| / k` — the y-axis of Fig. 7.
 pub fn recall_at_k(exact_scores: &[f64], approx_scores: &[f64], k: usize) -> f64 {
     let exact: std::collections::HashSet<u32> = top_k(exact_scores, k).into_iter().collect();
-    let hit = top_k(approx_scores, k)
-        .into_iter()
-        .filter(|v| exact.contains(v))
-        .count();
+    let hit = top_k(approx_scores, k).into_iter().filter(|v| exact.contains(v)).count();
     hit as f64 / k.min(exact_scores.len()) as f64
 }
 

@@ -64,11 +64,8 @@ impl Table {
             let _ = writeln!(out, "== {} ==", self.title);
         }
         let fmt_row = |cells: &[String], width: &[usize]| -> String {
-            let parts: Vec<String> = cells
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:<w$}", c, w = width[i]))
-                .collect();
+            let parts: Vec<String> =
+                cells.iter().enumerate().map(|(i, c)| format!("{:<w$}", c, w = width[i])).collect();
             parts.join(" | ")
         };
         let _ = writeln!(out, "{}", fmt_row(&self.headers, &width));
@@ -90,11 +87,8 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
-        );
+        let _ =
+            writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }

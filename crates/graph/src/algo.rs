@@ -101,8 +101,7 @@ pub fn strongly_connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
                 }
                 call.pop();
                 if let Some(&mut (parent, _)) = call.last_mut() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
             }
         }
@@ -400,10 +399,8 @@ mod tests {
 
     #[test]
     fn k_core_monotone_under_edge_addition() {
-        let sparse = GraphBuilder::new(4)
-            .extend_edges([(0, 1), (1, 2), (2, 3)])
-            .symmetrize()
-            .build();
+        let sparse =
+            GraphBuilder::new(4).extend_edges([(0, 1), (1, 2), (2, 3)]).symmetrize().build();
         let dense = complete_graph(4);
         let cs = k_core(&sparse);
         let cd = k_core(&dense);

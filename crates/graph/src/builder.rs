@@ -119,8 +119,8 @@ impl GraphBuilder {
             for &(u, _) in &edges {
                 has_out[u as usize] = true;
             }
-            for u in 0..n {
-                if !has_out[u] {
+            for (u, &has) in has_out.iter().enumerate() {
+                if !has {
                     edges.push((u as NodeId, u as NodeId));
                 }
             }
@@ -175,9 +175,7 @@ mod tests {
 
     #[test]
     fn dedup_removes_parallel_edges() {
-        let g = GraphBuilder::new(2)
-            .extend_edges([(0, 1), (0, 1), (0, 1), (1, 0)])
-            .build();
+        let g = GraphBuilder::new(2).extend_edges([(0, 1), (0, 1), (0, 1), (1, 0)]).build();
         assert_eq!(g.m(), 2);
         assert_eq!(g.out_neighbors(0), &[1]);
     }
@@ -226,10 +224,7 @@ mod tests {
 
     #[test]
     fn symmetrize_doubles_edges() {
-        let g = GraphBuilder::new(3)
-            .extend_edges([(0, 1), (1, 2)])
-            .symmetrize()
-            .build();
+        let g = GraphBuilder::new(3).extend_edges([(0, 1), (1, 2)]).symmetrize().build();
         assert!(g.has_edge(1, 0));
         assert!(g.has_edge(2, 1));
         assert_eq!(g.m(), 4);
@@ -253,10 +248,7 @@ mod tests {
     fn self_loop_patch_after_self_loop_filter() {
         // Node 1's only edge is a self-loop which gets filtered; the
         // dangling policy must then re-add one.
-        let g = GraphBuilder::new(2)
-            .drop_self_loops()
-            .extend_edges([(0, 1), (1, 1)])
-            .build();
+        let g = GraphBuilder::new(2).drop_self_loops().extend_edges([(0, 1), (1, 1)]).build();
         assert!(g.has_edge(1, 1));
         assert_eq!(g.dangling_nodes(), Vec::<NodeId>::new());
     }

@@ -170,11 +170,7 @@ impl CsrGraph {
     pub fn validate(&self) -> Result<(), String> {
         let n = self.n();
         if self.in_offsets.len() != n + 1 {
-            return Err(format!(
-                "in_offsets length {} != n+1 = {}",
-                self.in_offsets.len(),
-                n + 1
-            ));
+            return Err(format!("in_offsets length {} != n+1 = {}", self.in_offsets.len(), n + 1));
         }
         for (name, offsets, data) in [
             ("out", &self.out_offsets, &self.out_targets),
@@ -298,9 +294,7 @@ mod tests {
 
     #[test]
     fn single_node_no_edges() {
-        let g = crate::GraphBuilder::new(1)
-            .dangling_policy(crate::DanglingPolicy::Keep)
-            .build();
+        let g = crate::GraphBuilder::new(1).dangling_policy(crate::DanglingPolicy::Keep).build();
         assert_eq!(g.n(), 1);
         assert_eq!(g.out_degree(0), 0);
         assert_eq!(g.dangling_nodes(), vec![0]);

@@ -54,7 +54,7 @@ pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m_per_node: usize, rng: &mut R
 /// `k/2` neighbors on each side, with every edge rewired to a random
 /// target with probability `beta`. Bidirectional edges.
 pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> CsrGraph {
-    assert!(k >= 2 && k % 2 == 0, "k must be even and >= 2");
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
     assert!(n > k, "need n > k");
     assert!((0.0..=1.0).contains(&beta));
     let mut builder = GraphBuilder::with_capacity(n, n * k);

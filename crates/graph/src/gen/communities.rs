@@ -225,10 +225,7 @@ pub fn lfr_lite<R: Rng + ?Sized>(cfg: LfrConfig, rng: &mut R) -> LfrGraph {
         if seen.insert(key) {
             builder.add_edge(u, v);
             stall = 0;
-            if cfg.reciprocity > 0.0
-                && seen.len() < cfg.m
-                && rng.gen::<f64>() < cfg.reciprocity
-            {
+            if cfg.reciprocity > 0.0 && seen.len() < cfg.m && rng.gen::<f64>() < cfg.reciprocity {
                 let rkey = (v as u64) << 32 | u as u64;
                 if seen.insert(rkey) {
                     builder.add_edge(v, u);
@@ -292,10 +289,7 @@ mod tests {
         let out = lfr_lite(LfrConfig { n: 500, m: 3000, ..Default::default() }, &mut rng);
         assert_eq!(out.communities.len(), 500);
         assert!(out.num_communities >= 3);
-        assert!(out
-            .communities
-            .iter()
-            .all(|&c| (c as usize) < out.num_communities));
+        assert!(out.communities.iter().all(|&c| (c as usize) < out.num_communities));
         assert!(out.graph.validate().is_ok());
     }
 
@@ -366,10 +360,7 @@ mod tests {
         let cfg = LfrConfig { n: 400, m: 3000, reciprocity: 0.0, ..Default::default() };
         let out = lfr_lite(cfg, &mut rng);
         let g = &out.graph;
-        let mutual = g
-            .edges()
-            .filter(|&(u, v)| u != v && g.has_edge(v, u))
-            .count();
+        let mutual = g.edges().filter(|&(u, v)| u != v && g.has_edge(v, u)).count();
         assert!((mutual as f64) < 0.2 * g.m() as f64, "mutual {mutual} of {}", g.m());
     }
 

@@ -76,7 +76,12 @@ pub fn rmat<R: Rng + ?Sized>(n: usize, m: usize, cfg: RmatConfig, rng: &mut R) -
 }
 
 /// One recursive quadrant descent, returning a (row, col) cell.
-fn place_edge<R: Rng + ?Sized>(k: u32, side: usize, cfg: RmatConfig, rng: &mut R) -> (usize, usize) {
+fn place_edge<R: Rng + ?Sized>(
+    k: u32,
+    side: usize,
+    cfg: RmatConfig,
+    rng: &mut R,
+) -> (usize, usize) {
     let mut u = 0usize;
     let mut v = 0usize;
     let mut half = side >> 1;
@@ -159,6 +164,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid R-MAT")]
     fn rejects_bad_probabilities() {
-        rmat(16, 10, RmatConfig { a: 0.9, b: 0.3, c: 0.3, noise: 0.0 }, &mut StdRng::seed_from_u64(0));
+        rmat(
+            16,
+            10,
+            RmatConfig { a: 0.9, b: 0.3, c: 0.3, noise: 0.0 },
+            &mut StdRng::seed_from_u64(0),
+        );
     }
 }

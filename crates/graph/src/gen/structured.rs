@@ -31,11 +31,9 @@ pub fn complete_graph(n: usize) -> CsrGraph {
     assert!(n >= 2);
     GraphBuilder::new(n)
         .dangling_policy(DanglingPolicy::Keep)
-        .extend_edges(
-            (0..n).flat_map(move |u| {
-                (0..n).filter(move |&v| v != u).map(move |v| (u as NodeId, v as NodeId))
-            }),
-        )
+        .extend_edges((0..n).flat_map(move |u| {
+            (0..n).filter(move |&v| v != u).map(move |v| (u as NodeId, v as NodeId))
+        }))
         .build()
 }
 

@@ -69,7 +69,10 @@ pub fn read_edge_list<R: BufRead>(reader: R, n_hint: Option<usize>) -> Result<Cs
 }
 
 /// Reads an edge list from a file path.
-pub fn read_edge_list_file(path: impl AsRef<Path>, n_hint: Option<usize>) -> Result<CsrGraph, IoError> {
+pub fn read_edge_list_file(
+    path: impl AsRef<Path>,
+    n_hint: Option<usize>,
+) -> Result<CsrGraph, IoError> {
     read_edge_list(BufReader::new(File::open(path)?), n_hint)
 }
 
@@ -150,9 +153,8 @@ pub fn read_snapshot<R: Read>(mut reader: R) -> Result<CsrGraph, IoError> {
             need
         )));
     }
-    let read_offsets = |buf: &mut &[u8]| -> Vec<usize> {
-        (0..=n).map(|_| buf.get_u64_le() as usize).collect()
-    };
+    let read_offsets =
+        |buf: &mut &[u8]| -> Vec<usize> { (0..=n).map(|_| buf.get_u64_le() as usize).collect() };
     let out_offsets = read_offsets(&mut buf);
     let out_targets: Vec<NodeId> = (0..m).map(|_| buf.get_u32_le()).collect();
     let in_offsets = read_offsets(&mut buf);
@@ -192,11 +194,11 @@ pub fn read_weighted_edge_list<R: BufRead>(
         let v = parse_id(it.next())?;
         let w = match it.next() {
             None => 1.0,
-            Some(raw) => raw
-                .parse::<f64>()
-                .map_err(|e| IoError::Parse(lineno + 1, e.to_string()))?,
+            Some(raw) => {
+                raw.parse::<f64>().map_err(|e| IoError::Parse(lineno + 1, e.to_string()))?
+            }
         };
-        if !(w > 0.0) || !w.is_finite() {
+        if w <= 0.0 || !w.is_finite() {
             return Err(IoError::Parse(lineno + 1, format!("invalid weight {w}")));
         }
         max_id = max_id.max(u as usize).max(v as usize);
@@ -232,10 +234,8 @@ pub fn read_edge_list_keep_dangling<R: BufRead>(
     // Rebuild without the self-loop patches: keep only edges whose source
     // had an original out-edge. Simplest correct approach: re-parse is not
     // possible here, so instead strip self-loops on nodes of out-degree 1.
-    let edges: Vec<(NodeId, NodeId)> = g
-        .edges()
-        .filter(|&(u, v)| !(u == v && g.out_degree(u) == 1))
-        .collect();
+    let edges: Vec<(NodeId, NodeId)> =
+        g.edges().filter(|&(u, v)| !(u == v && g.out_degree(u) == 1)).collect();
     Ok(GraphBuilder::with_capacity(g.n(), edges.len())
         .dangling_policy(DanglingPolicy::Keep)
         .extend_edges(edges)

@@ -72,10 +72,7 @@ impl WeightedCsrGraph {
     /// Per-node `1 / Σ w(u,·)` for the propagation kernel (0.0 if
     /// dangling).
     pub fn inv_out_weight_sums(&self) -> Vec<f64> {
-        self.out_weight_sums
-            .iter()
-            .map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 })
-            .collect()
+        self.out_weight_sums.iter().map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 }).collect()
     }
 
     /// Heap footprint in bytes.
@@ -91,8 +88,7 @@ impl WeightedCsrGraph {
         if self.out_weights.len() != self.m() || self.in_weights.len() != self.m() {
             return Err("weight arrays have wrong length".into());
         }
-        if self.out_weights.iter().chain(&self.in_weights).any(|&w| !(w > 0.0) || !w.is_finite())
-        {
+        if self.out_weights.iter().chain(&self.in_weights).any(|&w| w <= 0.0 || !w.is_finite()) {
             return Err("weights must be positive and finite".into());
         }
         // Forward and transpose orientations must carry identical weights.
@@ -174,8 +170,8 @@ impl WeightedGraphBuilder {
         for &(u, _, _) in &edges {
             has_out[u as usize] = true;
         }
-        for u in 0..n {
-            if !has_out[u] {
+        for (u, &has) in has_out.iter().enumerate() {
+            if !has {
                 edges.push((u as NodeId, u as NodeId, 1.0));
             }
         }

@@ -16,8 +16,7 @@ impl fmt::Debug for DenseMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "DenseMatrix {}x{}", self.rows, self.cols)?;
         for r in 0..self.rows.min(8) {
-            let row: Vec<String> =
-                self.row(r).iter().take(8).map(|v| format!("{v:9.4}")).collect();
+            let row: Vec<String> = self.row(r).iter().take(8).map(|v| format!("{v:9.4}")).collect();
             writeln!(f, "  [{}{}]", row.join(", "), if self.cols > 8 { ", …" } else { "" })?;
         }
         if self.rows > 8 {
@@ -169,12 +168,7 @@ impl DenseMatrix {
     /// `self + alpha·other` elementwise.
     pub fn add_scaled(&self, alpha: f64, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a + alpha * b)
-            .collect();
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + alpha * b).collect();
         Self { rows: self.rows, cols: self.cols, data }
     }
 

@@ -148,11 +148,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = DenseMatrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.2],
-            &[0.5, 0.2, 1.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 1.0]]);
         let e = sym_eigen(&a);
         let gram = e.vectors.transpose().matmul(&e.vectors);
         let err = gram.add_scaled(-1.0, &DenseMatrix::identity(3)).max_abs();
@@ -161,11 +157,7 @@ mod tests {
 
     #[test]
     fn values_sorted_descending() {
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.0, 5.0, 0.0],
-            &[0.0, 0.0, 3.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 5.0, 0.0], &[0.0, 0.0, 3.0]]);
         let e = sym_eigen(&a);
         assert!(e.values.windows(2).all(|w| w[0] >= w[1]));
     }

@@ -15,14 +15,17 @@
 //!   density experiments).
 
 #![warn(missing_docs)]
+// Dense/sparse kernels index rows and columns directly; iterator chains
+// obscure the math without changing the codegen.
+#![allow(clippy::needless_range_loop)]
 
 mod dense;
 mod eigen;
 mod lu;
 mod pattern;
 pub mod qr;
-mod sparse;
 pub mod solvers;
+mod sparse;
 mod svd;
 pub mod vecops;
 

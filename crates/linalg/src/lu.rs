@@ -153,11 +153,7 @@ mod tests {
 
     #[test]
     fn inverse_times_matrix_is_identity() {
-        let a = DenseMatrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 4.0, -2.0],
-            &[1.0, -2.0, 4.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]);
         let inv = Lu::factor(&a).unwrap().inverse();
         let prod = a.matmul(&inv);
         let err = prod.add_scaled(-1.0, &DenseMatrix::identity(3)).max_abs();

@@ -176,11 +176,7 @@ mod tests {
 
     #[test]
     fn bicgstab_solves_nonsymmetric_system() {
-        let a = SparseMatrix::from_triplets(
-            2,
-            2,
-            [(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0)],
-        );
+        let a = SparseMatrix::from_triplets(2, 2, [(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0)]);
         let b = vec![5.0, 6.0];
         let res = bicgstab(&a, &b, 1e-12, 100);
         assert!(res.converged);
@@ -195,14 +191,7 @@ mod tests {
         let m = SparseMatrix::from_triplets(
             3,
             3,
-            [
-                (0, 1, half),
-                (0, 2, half),
-                (1, 0, half),
-                (1, 2, half),
-                (2, 0, half),
-                (2, 1, half),
-            ],
+            [(0, 1, half), (0, 2, half), (1, 0, half), (1, 2, half), (2, 0, half), (2, 1, half)],
         );
         let b = vec![0.15, 0.0, 0.0];
         let rich = richardson(&m, &b, 1e-13, 10_000);

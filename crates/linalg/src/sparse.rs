@@ -248,12 +248,7 @@ impl SparseMatrix {
     /// Extracts the submatrix with the given rows (in order) and a column
     /// remap: `col_map[c] = Some(new_index)` keeps column `c`.
     /// This is the partitioning primitive for BEAR/BePI block elimination.
-    pub fn extract(
-        &self,
-        rows: &[u32],
-        col_map: &[Option<u32>],
-        new_ncols: usize,
-    ) -> SparseMatrix {
+    pub fn extract(&self, rows: &[u32], col_map: &[Option<u32>], new_ncols: usize) -> SparseMatrix {
         assert_eq!(col_map.len(), self.ncols);
         let mut offsets = vec![0usize; rows.len() + 1];
         let mut cols: Vec<u32> = Vec::new();
@@ -366,11 +361,8 @@ mod tests {
     #[test]
     fn matmul_against_dense() {
         let a = sample(); // 2x3
-        let b = SparseMatrix::from_triplets(
-            3,
-            2,
-            [(0, 0, 1.0), (1, 0, 2.0), (1, 1, 1.0), (2, 1, 3.0)],
-        );
+        let b =
+            SparseMatrix::from_triplets(3, 2, [(0, 0, 1.0), (1, 0, 2.0), (1, 1, 1.0), (2, 1, 3.0)]);
         let c = a.matmul(&b);
         let dense = a.to_dense().matmul(&b.to_dense());
         assert_eq!(c.to_dense(), dense);
@@ -380,17 +372,10 @@ mod tests {
     fn matmul_handles_explicit_zeros_and_cancellation() {
         // Regression: explicit 0.0 entries and exact cancellation must not
         // produce duplicate column entries in the product.
-        let a = SparseMatrix::from_triplets(
-            1,
-            2,
-            [(0, 0, 1.0), (0, 1, -1.0)],
-        );
+        let a = SparseMatrix::from_triplets(1, 2, [(0, 0, 1.0), (0, 1, -1.0)]);
         // b has rows [1, 0-explicit; 1, 2] so column 0 of a·b cancels.
-        let b = SparseMatrix::from_triplets(
-            2,
-            2,
-            [(0, 0, 1.0), (0, 1, 0.0), (1, 0, 1.0), (1, 1, 2.0)],
-        );
+        let b =
+            SparseMatrix::from_triplets(2, 2, [(0, 0, 1.0), (0, 1, 0.0), (1, 0, 1.0), (1, 1, 2.0)]);
         let p = a.matmul(&b);
         let (cols, _) = p.row(0);
         let mut sorted = cols.to_vec();
@@ -429,11 +414,8 @@ mod tests {
     #[test]
     fn extract_submatrix() {
         // 3x3 with a full diagonal plus (0,2).
-        let m = SparseMatrix::from_triplets(
-            3,
-            3,
-            [(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0), (0, 2, 4.0)],
-        );
+        let m =
+            SparseMatrix::from_triplets(3, 3, [(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0), (0, 2, 4.0)]);
         // Take rows [2, 0], keep columns {0→1, 2→0}.
         let col_map = vec![Some(1), None, Some(0)];
         let s = m.extract(&[2, 0], &col_map, 2);

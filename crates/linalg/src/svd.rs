@@ -193,15 +193,9 @@ mod tests {
     fn recovers_low_rank_matrix_exactly() {
         let a = rank2_matrix(30);
         let mut rng = StdRng::seed_from_u64(5);
-        let svd = randomized_svd(
-            &a,
-            SvdConfig { rank: 4, oversample: 6, power_iters: 2 },
-            &mut rng,
-        );
-        let err = svd
-            .reconstruct()
-            .add_scaled(-1.0, &a.to_dense())
-            .frobenius_norm();
+        let svd =
+            randomized_svd(&a, SvdConfig { rank: 4, oversample: 6, power_iters: 2 }, &mut rng);
+        let err = svd.reconstruct().add_scaled(-1.0, &a.to_dense()).frobenius_norm();
         assert!(err < 1e-8, "reconstruction error {err}");
     }
 
@@ -218,11 +212,8 @@ mod tests {
     fn u_columns_orthonormal() {
         let a = rank2_matrix(20);
         let mut rng = StdRng::seed_from_u64(7);
-        let svd = randomized_svd(
-            &a,
-            SvdConfig { rank: 5, oversample: 5, power_iters: 1 },
-            &mut rng,
-        );
+        let svd =
+            randomized_svd(&a, SvdConfig { rank: 5, oversample: 5, power_iters: 1 }, &mut rng);
         let gram = svd.u.transpose().matmul(&svd.u);
         let err = gram.add_scaled(-1.0, &DenseMatrix::identity(5)).max_abs();
         assert!(err < 1e-8, "orthonormality error {err}");
@@ -232,17 +223,11 @@ mod tests {
     fn truncation_error_bounded_by_spectrum() {
         // Diagonal matrix with known singular values 10, 9, ..., 1.
         let n = 10;
-        let a = SparseMatrix::from_triplets(
-            n,
-            n,
-            (0..n).map(|i| (i as u32, i as u32, (n - i) as f64)),
-        );
+        let a =
+            SparseMatrix::from_triplets(n, n, (0..n).map(|i| (i as u32, i as u32, (n - i) as f64)));
         let mut rng = StdRng::seed_from_u64(8);
-        let svd = randomized_svd(
-            &a,
-            SvdConfig { rank: 3, oversample: 7, power_iters: 3 },
-            &mut rng,
-        );
+        let svd =
+            randomized_svd(&a, SvdConfig { rank: 3, oversample: 7, power_iters: 3 }, &mut rng);
         for (i, &sv) in svd.s.iter().enumerate() {
             let want = (n - i) as f64;
             assert!((sv - want).abs() < 1e-6, "σ{i} = {sv}, want {want}");
@@ -253,11 +238,8 @@ mod tests {
     fn memory_accounting() {
         let a = rank2_matrix(15);
         let mut rng = StdRng::seed_from_u64(9);
-        let svd = randomized_svd(
-            &a,
-            SvdConfig { rank: 3, oversample: 2, power_iters: 0 },
-            &mut rng,
-        );
+        let svd =
+            randomized_svd(&a, SvdConfig { rank: 3, oversample: 2, power_iters: 0 }, &mut rng);
         // U: 15x3, Vᵀ: 3x15, s: 3 values.
         assert_eq!(svd.memory_bytes(), (45 + 45 + 3) * 8);
     }

@@ -1,0 +1,60 @@
+//! Offline stand-in for `parking_lot`: a [`Mutex`] with `const fn new`
+//! and a panic-free `lock()` (poisoning is swallowed, matching
+//! parking_lot semantics), backed by `std::sync::Mutex`.
+
+#![warn(missing_docs)]
+
+/// RAII lock guard; derefs to the protected value.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// Mutual exclusion primitive with parking_lot's API shape.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex (usable in `static` initializers).
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, ignoring poisoning (parking_lot has none).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_guards_value() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn usable_in_static() {
+        static CELL: Mutex<Option<u32>> = Mutex::new(None);
+        *CELL.lock() = Some(5);
+        assert_eq!(*CELL.lock(), Some(5));
+    }
+}

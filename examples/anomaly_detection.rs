@@ -43,19 +43,14 @@ fn main() {
         b.add_edge(v, rng.gen_range(0..n0) as NodeId);
     }
     let graph = b.build();
-    println!(
-        "graph: {} nodes ({PLANTED} planted anomalies), {} edges",
-        graph.n(),
-        graph.m()
-    );
+    println!("graph: {} nodes ({PLANTED} planted anomalies), {} edges", graph.n(), graph.m());
 
     let index = TpaIndex::preprocess(&graph, TpaParams::new(spec.s, spec.t));
     let transition = Transition::new(&graph);
 
     // Candidates: the anomalies plus normal nodes with comparable in-degree.
-    let mut candidates: Vec<NodeId> = (0..n0 as NodeId)
-        .filter(|&v| graph.in_degree(v) >= 5)
-        .collect();
+    let mut candidates: Vec<NodeId> =
+        (0..n0 as NodeId).filter(|&v| graph.in_degree(v) >= 5).collect();
     // Deterministic subsample of normals to keep the demo fast.
     candidates.sort_by_key(|&v| v.wrapping_mul(2_654_435_761) % 9973);
     candidates.truncate(120);
@@ -75,10 +70,7 @@ fn main() {
         println!("  node {v:<6} coherence {s:.3e}{marker}");
     }
 
-    let caught = ranked[..PLANTED + 3]
-        .iter()
-        .filter(|(v, _)| anomalies.contains(v))
-        .count();
+    let caught = ranked[..PLANTED + 3].iter().filter(|(v, _)| anomalies.contains(v)).count();
     println!("\nplanted anomalies among the {} least coherent: {caught}/{PLANTED}", PLANTED + 3);
     assert!(caught >= PLANTED / 2, "at least half of the planted anomalies should be caught");
 }
@@ -99,11 +91,7 @@ fn neighborhood_coherence(
     let mut total = 0.0;
     for &u in probes {
         let scores = index.query(transition, u);
-        let mass: f64 = neigh
-            .iter()
-            .filter(|&&w| w != u)
-            .map(|&w| scores[w as usize])
-            .sum();
+        let mass: f64 = neigh.iter().filter(|&&w| w != u).map(|&w| scores[w as usize]).sum();
         total += mass / (neigh.len() - 1) as f64;
     }
     total / probes.len() as f64

@@ -27,9 +27,8 @@ fn main() {
     for &seed in &[3u32, 500, 1500, 2500, 3500] {
         let seed = seed % graph.n() as u32;
         let target = communities[seed as usize];
-        let members: Vec<NodeId> = (0..graph.n() as NodeId)
-            .filter(|&v| communities[v as usize] == target)
-            .collect();
+        let members: Vec<NodeId> =
+            (0..graph.n() as NodeId).filter(|&v| communities[v as usize] == target).collect();
 
         let scores = index.query(&transition, seed);
         // Degree-normalized sweep order (standard local-clustering trick:

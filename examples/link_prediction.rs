@@ -30,9 +30,8 @@ fn main() {
             train.push((u, v));
         }
     }
-    let train_graph = GraphBuilder::with_capacity(full.n(), train.len())
-        .extend_edges(train)
-        .build();
+    let train_graph =
+        GraphBuilder::with_capacity(full.n(), train.len()).extend_edges(train).build();
     println!("held out {} edges for evaluation", held_out.len());
 
     let index = TpaIndex::preprocess(&train_graph, TpaParams::new(spec.s, spec.t));

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example parameter_tuning`
 
 use tpa::params::{auto_params, tune_t};
-use tpa::{bounds, exact_rwr, CpiConfig, TpaIndex, TpaParams, Transition};
+use tpa::{bounds, exact_rwr, CpiConfig, TpaIndex, Transition};
 
 fn main() {
     let spec = tpa_datasets::spec("pokec-s").unwrap().scaled_down(4);

@@ -2,14 +2,16 @@
 //! motivating application, §IV-B.3 — "the top-500 ranked users in RWR will
 //! be recommended").
 //!
-//! Builds the Twitter analog dataset, computes RWR from a user with TPA,
-//! and recommends the top non-followed accounts. Also reports how well the
-//! fast approximation agrees with the exact top-k (recall@k).
+//! Builds the Twitter analog dataset and serves recommendations through
+//! the [`tpa::QueryEngine`] layer: preprocess once, then answer
+//! single-user plans, exact ground-truth plans, and whole batches of
+//! users (lane tiles sharing edge passes per CPI iteration) from the
+//! same engine.
 //!
 //! Run with: `cargo run --release --example who_to_follow`
 
-use tpa::{exact_rwr, CpiConfig, TpaIndex, TpaParams, Transition};
-use tpa_eval::metrics::{recall_at_k, top_k};
+use tpa::{QueryEngine, QueryPlan, TpaParams};
+use tpa_eval::metrics::recall_at_k;
 use tpa_graph::NodeId;
 
 fn main() {
@@ -19,53 +21,43 @@ fn main() {
     let graph = &data.graph;
     println!("social graph: {} users, {} follow edges", graph.n(), graph.m());
 
-    // Preprocess once; serve every user's recommendations from one index.
-    let index = TpaIndex::preprocess(graph, TpaParams::new(spec.s, spec.t));
-    let transition = Transition::new(graph);
+    // One engine serves every user: parallel backend (all cores), TPA
+    // index preprocessed on it once.
+    let engine = QueryEngine::parallel(graph, 0).preprocess(TpaParams::new(spec.s, spec.t));
 
     // Pick an active user (highest out-degree = follows the most accounts).
-    let user = (0..graph.n() as NodeId)
-        .max_by_key(|&v| graph.out_degree(v))
-        .unwrap();
+    let user = (0..graph.n() as NodeId).max_by_key(|&v| graph.out_degree(v)).unwrap();
     let follows: std::collections::HashSet<NodeId> =
         graph.out_neighbors(user).iter().copied().collect();
     println!("user {user} follows {} accounts", follows.len());
 
-    let scores = index.query(&transition, user);
-
-    // Recommend the top-scoring accounts the user does not already follow.
+    // Top-500 plan (partial selection inside the engine), then filter to
+    // accounts the user does not already follow.
+    let ranked = engine.top_k(user, 500);
     println!("\nWho to follow (top 10 recommendations):");
-    let mut shown = 0;
-    for v in top_k(&scores, 500) {
-        if v != user && !follows.contains(&v) {
-            println!(
-                "  @node{:<6} score {:.6} ({} followers)",
-                v,
-                scores[v as usize],
-                graph.in_degree(v)
-            );
-            shown += 1;
-            if shown == 10 {
-                break;
-            }
-        }
+    for &(v, score) in ranked.iter().filter(|&&(v, _)| v != user && !follows.contains(&v)).take(10)
+    {
+        println!("  @node{:<6} score {:.6} ({} followers)", v, score, graph.in_degree(v));
     }
 
-    // Quality check against the exact ranking (the paper's Fig. 7 metric).
-    let exact = exact_rwr(graph, user, &CpiConfig::default());
+    // Quality check against the exact ranking (the paper's Fig. 7 metric):
+    // the same engine serves ground truth via an exact plan.
+    let scores = engine.query(user);
+    let exact = engine.execute(&QueryPlan::single(user).exact()).into_scores().pop().unwrap();
     for k in [100, 500] {
         println!("recall@{k}: {:.4}", recall_at_k(&exact, &scores, k));
     }
 
-    // Serving-path bonus: answer a whole batch of users in one edge sweep
-    // per CPI iteration (bitwise identical to per-user queries).
+    // Serving path: answer a whole batch of users through the fused
+    // block kernel, lane tiles sharing each edge sweep (bitwise
+    // identical to per-user queries).
     let batch_users: Vec<NodeId> = (0..16).map(|i| (i * 97) % graph.n() as NodeId).collect();
-    let (batch, dt) = tpa_eval::time(|| index.query_batch(&transition, &batch_users));
+    let (batch, dt) = tpa_eval::time(|| engine.query_batch(&batch_users));
     println!(
         "\nbatched {} users in {} ({} per user)",
         batch.len(),
         tpa_eval::format_secs(dt.as_secs_f64()),
         tpa_eval::format_secs(dt.as_secs_f64() / batch.len() as f64),
     );
-    assert_eq!(batch[0], index.query(&transition, batch_users[0]));
+    assert_eq!(batch[0], engine.query(batch_users[0]));
 }

@@ -2,9 +2,7 @@
 //! batched, weighted and out-of-core must all agree at dataset scale.
 
 use tpa::offcore::DiskGraph;
-use tpa::{
-    cpi, CpiConfig, ParallelTransition, SeedSet, TpaIndex, TpaParams, Transition,
-};
+use tpa::{cpi, CpiConfig, ParallelTransition, SeedSet, TpaIndex, TpaParams, Transition};
 use tpa_eval::metrics;
 use tpa_graph::unit_weights;
 

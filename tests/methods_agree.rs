@@ -27,8 +27,8 @@ fn exact_methods_agree_to_tolerance() {
     let truth = exact(&d, 5);
 
     let power = PowerIteration::new(Arc::clone(&g), CpiConfig::default());
-    let bepi = BePi::preprocess(Arc::clone(&g), BePiConfig::default(), MemoryBudget::unlimited())
-        .unwrap();
+    let bepi =
+        BePi::preprocess(Arc::clone(&g), BePiConfig::default(), MemoryBudget::unlimited()).unwrap();
     let bear_exact = BearApprox::preprocess(
         g,
         BearConfig { drop_tolerance: Some(0.0), ..Default::default() },
@@ -72,10 +72,8 @@ fn approximate_methods_within_their_regimes() {
         MemoryBudget::unlimited(),
     )
     .unwrap();
-    let mc = MonteCarlo::new(
-        Arc::clone(&g),
-        MonteCarloConfig { walks: 200_000, ..Default::default() },
-    );
+    let mc =
+        MonteCarlo::new(Arc::clone(&g), MonteCarloConfig { walks: 200_000, ..Default::default() });
     let push = ForwardPush::new(g, 0.15, 1e-7);
 
     let cases: Vec<(&dyn RwrMethod, f64)> = vec![
@@ -111,8 +109,7 @@ fn all_methods_recover_the_top_10() {
     let fora = Fora::new(Arc::clone(&g), ForaConfig::default());
     let brppr = Brppr::new(Arc::clone(&g), BrpprConfig::default());
     let bepi =
-        BePi::preprocess(Arc::clone(&g), BePiConfig::default(), MemoryBudget::unlimited())
-            .unwrap();
+        BePi::preprocess(Arc::clone(&g), BePiConfig::default(), MemoryBudget::unlimited()).unwrap();
 
     for m in [&tpa as &dyn RwrMethod, &fora, &brppr, &bepi] {
         let recall = metrics::recall_at_k(&truth, &m.query(21), 10);
