@@ -1,0 +1,231 @@
+//! Dynamic-graph serving bench: incremental maintenance vs
+//! rebuild-and-requery.
+//!
+//! Scenario: a graph with ≥100k nodes serves a working set of cached RWR
+//! score vectors while a 1% edge-update batch (half inserts, half
+//! deletes) lands. Two ways to get the scores current again:
+//!
+//! * **incremental** — apply the batch to the delta overlay
+//!   (`DynamicTransition::apply`) and fold the OSP offset into each
+//!   cached vector (`ScoreCache::refresh`), exact mode and approximate
+//!   mode (`tolerance = 1e-6`);
+//! * **rebuild** — materialize a fresh CSR from the merged view and
+//!   recompute every cached seed from scratch.
+//!
+//! Also measured: raw update throughput through the overlay (edges/sec,
+//! batches of 1 000) and the L1 agreement of both incremental modes with
+//! the from-scratch answer.
+//!
+//! Output: ASCII table, `results/dynamic_updates.csv`, and
+//! `BENCH_dynamic.json` (trajectory record for later PRs).
+//!
+//! Env knobs: `TPA_QUICK=1` shrinks the graph 5×; `TPA_DYN_N` overrides
+//! the node count; `TPA_DYN_PROFILE=1` prints per-kernel timings
+//! (clean vs dirty block pass, apply+snapshot) and exits.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use tpa_bench::harness::results_dir;
+use tpa_core::batch::cpi_batch;
+use tpa_core::{CpiConfig, DynamicTransition, MaintenanceMode, ScoreCache, Transition};
+use tpa_eval::Table;
+use tpa_graph::gen::{rmat, RmatConfig};
+use tpa_graph::{DynamicGraph, EdgeUpdate, NodeId};
+
+const SEEDS: usize = 8;
+const UPDATE_FRACTION: f64 = 0.01;
+const APPROX_TOLERANCE: f64 = 1e-6;
+
+fn main() {
+    let n: usize = std::env::var("TPA_DYN_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if tpa_bench::harness::quick() { 20_000 } else { 100_000 });
+    let m = 10 * n;
+    let mut rng = StdRng::seed_from_u64(0xd15c);
+    let base = rmat(n, m, RmatConfig::default(), &mut rng);
+    let m = base.m(); // includes dangling self-loop patches
+    eprintln!("[dynamic_updates] R-MAT graph: n={n} m={m}");
+
+    let batch = make_update_batch(&base, (m as f64 * UPDATE_FRACTION) as usize, &mut rng);
+    eprintln!(
+        "[dynamic_updates] update batch: {} updates (~{UPDATE_FRACTION:.0e} of m)",
+        batch.len()
+    );
+
+    let cfg = CpiConfig::default();
+    let seeds: Vec<NodeId> = (0..SEEDS).map(|i| ((i * 2654435761) % n) as NodeId).collect();
+
+    // --- Raw update throughput through the overlay (no score upkeep). ---
+    let mut tput_graph = DynamicGraph::new(base.clone());
+    let (applied, dt) = tpa_eval::time(|| {
+        let mut applied = 0usize;
+        for chunk in batch.chunks(1000) {
+            let stats = tput_graph.apply(chunk);
+            applied += stats.inserted + stats.deleted;
+        }
+        applied
+    });
+    let throughput = batch.len() as f64 / dt.as_secs_f64();
+    eprintln!(
+        "[dynamic_updates] overlay throughput: {throughput:.0} updates/sec ({applied} applied)"
+    );
+
+    if std::env::var("TPA_DYN_PROFILE").is_ok() {
+        use tpa_core::batch::ScoreBlock;
+        use tpa_core::Propagator;
+        let lanes = SEEDS;
+        let xb = ScoreBlock::zeros(n, lanes);
+        let mut yb = ScoreBlock::zeros(n, lanes);
+        let clean_t = Transition::new(&base);
+        let (_, dt) = tpa_eval::time(|| {
+            for _ in 0..10 {
+                clean_t.propagate_block_into(0.85, &xb, &mut yb);
+            }
+        });
+        eprintln!("[profile] clean CSR block iter: {:.1} ms", dt.as_secs_f64() * 100.0);
+        let mut dyn_t = DynamicTransition::new(DynamicGraph::new(base.clone()));
+        dyn_t.apply(&batch);
+        let (_, dt) = tpa_eval::time(|| {
+            for _ in 0..10 {
+                dyn_t.propagate_block_into(0.85, &xb, &mut yb);
+            }
+        });
+        eprintln!("[profile] dirty overlay block iter: {:.1} ms", dt.as_secs_f64() * 100.0);
+        let (_, dt) = tpa_eval::time(|| {
+            let mut g2 = DynamicGraph::new(base.clone());
+            g2.apply(&batch);
+            std::hint::black_box(g2.snapshot());
+        });
+        eprintln!("[profile] apply+snapshot: {:.1} ms", dt.as_secs_f64() * 1000.0);
+        return;
+    }
+
+    // --- Incremental maintenance, exact and approximate. ---
+    let mut results = Vec::new();
+    for (label, mode) in [
+        ("incremental-exact", MaintenanceMode::Exact),
+        ("incremental-approx", MaintenanceMode::Approximate { tolerance: APPROX_TOLERANCE }),
+    ] {
+        // A 1% batch followed by ~10² dense propagation passes is exactly
+        // the regime the compaction threshold exists for: fold the
+        // overlay (≈ 8 passes worth of work) before propagating.
+        let overlay = DynamicGraph::new(base.clone()).with_compact_threshold(Some(0.005));
+        let mut t = DynamicTransition::new(overlay);
+        let mut cache = ScoreCache::new(cfg, mode);
+        cache.warm(&t, &seeds);
+        let (iters, secs) = {
+            let ((delta, stats), dt) = tpa_eval::time(|| {
+                let delta = t.apply(&batch);
+                let stats = cache.refresh(&t, &delta);
+                (delta, stats)
+            });
+            let _ = delta;
+            (stats.iterations, dt.as_secs_f64())
+        };
+        results.push((label, secs, iters, t, cache));
+    }
+
+    // --- Rebuild-and-requery baseline (same final graph state; the
+    // requery uses the same fused block kernel the refresh does, so the
+    // comparison isolates incremental-vs-from-scratch, not batching). ---
+    let (rebuild_scores, rebuild_secs) = {
+        let mut g = DynamicGraph::new(base.clone());
+        g.apply(&batch);
+        let (scores, dt) = tpa_eval::time(|| {
+            let snapshot = g.snapshot();
+            let t = Transition::new(&snapshot);
+            cpi_batch(&t, &seeds, &cfg, 0, None).into_lanes()
+        });
+        (scores, dt.as_secs_f64())
+    };
+
+    // --- Accuracy + report. ---
+    let mut table = Table::new(
+        format!(
+            "Dynamic updates on R-MAT n={n} m={m} ({} updates, {SEEDS} cached seeds)",
+            batch.len()
+        ),
+        &["path", "seconds", "speedup_vs_rebuild", "offset_iters", "max_L1_vs_rebuild"],
+    );
+    table.row(&[
+        "rebuild+requery".into(),
+        format!("{rebuild_secs:.4}"),
+        "1.00x".into(),
+        "-".into(),
+        "0".into(),
+    ]);
+    let mut json_rows = Vec::new();
+    for (label, secs, iters, _t, cache) in &results {
+        let max_l1 = seeds
+            .iter()
+            .enumerate()
+            .map(|(j, &s)| {
+                cache
+                    .scores(s)
+                    .unwrap()
+                    .iter()
+                    .zip(&rebuild_scores[j])
+                    .map(|(a, b)| (a - b).abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0f64, f64::max);
+        let speedup = rebuild_secs / secs;
+        table.row(&[
+            label.to_string(),
+            format!("{secs:.4}"),
+            format!("{speedup:.2}x"),
+            iters.to_string(),
+            format!("{max_l1:.2e}"),
+        ]);
+        json_rows.push((label.to_string(), *secs, speedup, max_l1));
+    }
+    print!("{}", table.render());
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    table.write_csv(dir.join("dynamic_updates.csv")).unwrap();
+
+    // Trajectory record for later PRs.
+    let json = format!(
+        "{{\n  \"bench\": \"dynamic_updates\",\n  \"graph\": {{\"generator\": \"rmat\", \"n\": {n}, \"m\": {m}}},\n  \"update_batch\": {},\n  \"cached_seeds\": {SEEDS},\n  \"update_throughput_per_sec\": {throughput:.0},\n  \"rebuild_requery_secs\": {rebuild_secs:.6},\n{}\n}}\n",
+        batch.len(),
+        json_rows
+            .iter()
+            .map(|(label, secs, speedup, max_l1)| format!(
+                "  \"{label}\": {{\"secs\": {secs:.6}, \"speedup_vs_rebuild\": {speedup:.3}, \"max_l1_vs_rebuild\": {max_l1:.3e}}}"
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    std::fs::write("BENCH_dynamic.json", &json).unwrap();
+    eprintln!("[dynamic_updates] wrote BENCH_dynamic.json");
+
+    let exact_speedup = json_rows
+        .iter()
+        .find(|(l, ..)| l == "incremental-exact")
+        .map(|(_, _, s, _)| *s)
+        .unwrap_or(0.0);
+    eprintln!(
+        "[dynamic_updates] exact incremental speedup: {exact_speedup:.2}x {}",
+        if exact_speedup > 1.0 { "(PASS, > 1x)" } else { "(FAIL, <= 1x)" }
+    );
+}
+
+/// Builds the update batch: half deletes sampled evenly from existing
+/// edges, half inserts of fresh random pairs (collisions with existing
+/// edges become no-ops, matching a real stream).
+fn make_update_batch(g: &tpa_graph::CsrGraph, k: usize, rng: &mut StdRng) -> Vec<EdgeUpdate> {
+    let n = g.n();
+    let mut batch = Vec::with_capacity(k);
+    let deletes = k / 2;
+    let stride = (g.m() / deletes.max(1)).max(1);
+    for (u, v) in g.edges().step_by(stride).take(deletes) {
+        batch.push(EdgeUpdate::Delete(u, v));
+    }
+    while batch.len() < k {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        batch.push(EdgeUpdate::Insert(u, v));
+    }
+    batch
+}

@@ -78,7 +78,6 @@ impl Args {
     }
 
     /// Boolean switch (present ⇒ true).
-    #[allow(dead_code)] // parser API; no current subcommand takes a switch
     pub fn switch(&self, key: &str) -> bool {
         self.options.get(key).map(|v| v == "true").unwrap_or(false)
     }

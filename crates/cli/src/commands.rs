@@ -5,8 +5,11 @@
 use crate::args::Args;
 use std::io::Write;
 use std::path::Path;
-use tpa_core::{QueryEngine, QueryPlan, TpaIndex, TpaParams};
-use tpa_graph::{algo, io as gio, CsrGraph, NodeId};
+use tpa_core::{
+    top_k_scored, CpiConfig, IndexStalenessPolicy, MaintenanceMode, QueryEngine, QueryPlan,
+    ScoreCache, TpaIndex, TpaParams,
+};
+use tpa_graph::{algo, io as gio, CsrGraph, DynamicGraph, EdgeUpdate, NodeId};
 
 /// Runs a subcommand; prints results to `out` and errors to stderr.
 pub fn run(args: &Args, out: &mut dyn Write) -> i32 {
@@ -21,6 +24,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> i32 {
         "query" => cmd_query(args, out),
         "batch" => cmd_batch(args, out),
         "exact" => cmd_exact(args, out),
+        "update" => cmd_update(args, out),
         "convert" => cmd_convert(args, out),
         other => Err(format!("unknown subcommand {other:?}; try `tpa help`")),
     };
@@ -58,6 +62,17 @@ COMMANDS:
              without --index the batch is answered exactly
   exact      --graph <file> --seed <node> [--topk K] [--threads N]
              exact RWR via power iteration (ground truth)
+  update     --graph <file> --stream <file> [--index <index.tpa>]
+             [--topk K] [--maintain] [--auto-refresh]
+             [--compact-threshold F] [--stale-threshold F]
+             replay an edge-update stream with interleaved queries on a
+             dynamic (delta-overlay) graph. Stream lines:
+               + u v     insert edge        - u v     delete edge
+               ? seed    answer a top-k query at this point
+               compact   fold the overlay into a fresh snapshot
+             --maintain serves repeat queries from incrementally
+             maintained cached scores (OSP offset propagation) instead of
+             re-running the full online phase
 
 --threads 0 uses all available cores; the default (1) is sequential.
 --top is accepted as an alias of --topk.
@@ -274,6 +289,215 @@ fn cmd_batch(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+/// One event of an update stream (see [`parse_stream_file`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum StreamEvent {
+    Update(EdgeUpdate),
+    Query(NodeId),
+    Compact,
+}
+
+/// Parses an update-stream file. Line grammar (whitespace-separated,
+/// `#` starts a comment):
+/// `+ u v` insert, `- u v` delete, `? seed` query, `compact` compaction.
+fn parse_stream_file(path: &str) -> Result<Vec<StreamEvent>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |what: &str| format!("{path}:{}: {what}: {line:?}", lineno + 1);
+        let mut toks = line.split_whitespace();
+        let op = toks.next().unwrap();
+        let node = |toks: &mut dyn Iterator<Item = &str>, what: &str| -> Result<NodeId, String> {
+            toks.next().ok_or_else(|| bad(what))?.parse().map_err(|_| bad(what))
+        };
+        let event = match op {
+            "+" => StreamEvent::Update(EdgeUpdate::Insert(
+                node(&mut toks, "bad insert")?,
+                node(&mut toks, "bad insert")?,
+            )),
+            "-" => StreamEvent::Update(EdgeUpdate::Delete(
+                node(&mut toks, "bad delete")?,
+                node(&mut toks, "bad delete")?,
+            )),
+            "?" => StreamEvent::Query(node(&mut toks, "bad query")?),
+            "compact" => StreamEvent::Compact,
+            _ => return Err(bad("unknown stream op")),
+        };
+        if toks.next().is_some() {
+            return Err(bad("trailing tokens"));
+        }
+        events.push(event);
+    }
+    if events.is_empty() {
+        return Err(format!("{path}: empty update stream"));
+    }
+    Ok(events)
+}
+
+/// `update`: replay an edge-update stream with interleaved queries on a
+/// dynamic delta-overlay engine. Consecutive edge updates are applied as
+/// one batch at each query/compact boundary.
+fn cmd_update(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let g = load_graph(args.required("graph").map_err(|e| e.to_string())?)?;
+    let events = parse_stream_file(args.required("stream").map_err(|e| e.to_string())?)?;
+    let top = topk_flag(args)?;
+    let maintain = args.switch("maintain");
+    let compact_threshold =
+        args.get_or::<f64>("compact-threshold", 0.02).map_err(|e| e.to_string())?;
+    let stale_threshold = args.get_or::<f64>("stale-threshold", 0.05).map_err(|e| e.to_string())?;
+    // NaN must fail too, so test "positive" directly rather than `<= 0`.
+    if compact_threshold.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(format!("--compact-threshold must be positive, got {compact_threshold}"));
+    }
+    if stale_threshold.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(format!("--stale-threshold must be positive, got {stale_threshold}"));
+    }
+    let n = g.n();
+    for ev in &events {
+        let in_range = |v: NodeId| (v as usize) < n;
+        let ok = match *ev {
+            StreamEvent::Update(up) => in_range(up.source()) && in_range(up.target()),
+            StreamEvent::Query(s) => in_range(s),
+            StreamEvent::Compact => true,
+        };
+        if !ok {
+            return Err(format!("stream event {ev:?} out of range (n = {n})"));
+        }
+    }
+
+    let dynamic = DynamicGraph::new(g).with_compact_threshold(Some(compact_threshold));
+    let mut engine = QueryEngine::dynamic(dynamic).with_staleness_policy(IndexStalenessPolicy {
+        threshold: stale_threshold,
+        auto_refresh: args.switch("auto-refresh"),
+    });
+    if let Some(path) = args.get("index") {
+        let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let index = TpaIndex::load(std::io::BufReader::new(f)).map_err(|e| e.to_string())?;
+        if index.stranger().len() != n {
+            return Err(format!(
+                "index is for a graph with {} nodes, this graph has {n}",
+                index.stranger().len()
+            ));
+        }
+        engine = engine.with_index(index);
+    }
+    let mut cache = maintain.then(|| ScoreCache::new(CpiConfig::default(), MaintenanceMode::Exact));
+
+    let mut pending: Vec<EdgeUpdate> = Vec::new();
+    let mut stats = ReplayStats::default();
+
+    for ev in &events {
+        match *ev {
+            StreamEvent::Update(up) => pending.push(up),
+            StreamEvent::Compact => {
+                flush_updates(&mut engine, &mut cache, &mut pending, &mut stats)?;
+                engine.compact_dynamic()?;
+                stats.compactions += 1;
+            }
+            StreamEvent::Query(seed) => {
+                flush_updates(&mut engine, &mut cache, &mut pending, &mut stats)?;
+                stats.queries += 1;
+                let ranked = match &mut cache {
+                    Some(cache) => {
+                        let t = engine.dynamic_transition().expect("dynamic backend");
+                        if !cache.contains(seed) {
+                            let (_, dt) = tpa_eval::time(|| cache.warm(t, &[seed]));
+                            stats.update_time += dt;
+                        }
+                        let (ranked, dt) =
+                            tpa_eval::time(|| top_k_scored(&cache.scores(seed).unwrap(), top));
+                        stats.query_time += dt;
+                        ranked
+                    }
+                    None => {
+                        let (ranked, dt) = tpa_eval::time(|| engine.top_k(seed, top));
+                        stats.query_time += dt;
+                        ranked
+                    }
+                };
+                let _ = writeln!(out, "query seed {seed} (top {top}):");
+                print_ranking(out, &ranked);
+            }
+        }
+    }
+    flush_updates(&mut engine, &mut cache, &mut pending, &mut stats)?;
+
+    let t = engine.dynamic_transition().expect("dynamic backend");
+    let _ = writeln!(
+        out,
+        "\nreplayed {} events: {} edges changed ({} no-ops) in {} batches, {} queries",
+        events.len(),
+        stats.applied,
+        stats.noops,
+        stats.batches,
+        stats.queries
+    );
+    let _ = writeln!(
+        out,
+        "graph now {} nodes / {} edges ({} patch entries pending), {} compactions, \
+         {} index refreshes{}",
+        t.n(),
+        t.graph().m(),
+        t.graph().delta_edges(),
+        stats.compactions,
+        stats.refreshes,
+        if engine.index_stale() { " — index STALE (refresh advised)" } else { "" }
+    );
+    let _ = writeln!(
+        out,
+        "update time {} · query time {}{}",
+        tpa_eval::format_secs(stats.update_time.as_secs_f64()),
+        tpa_eval::format_secs(stats.query_time.as_secs_f64()),
+        if maintain { " (served from maintained cache)" } else { "" }
+    );
+    Ok(())
+}
+
+/// Counters accumulated while replaying an update stream.
+#[derive(Default)]
+struct ReplayStats {
+    applied: usize,
+    noops: usize,
+    batches: usize,
+    compactions: usize,
+    refreshes: usize,
+    queries: usize,
+    update_time: std::time::Duration,
+    query_time: std::time::Duration,
+}
+
+/// Applies the pending update batch to the engine (and the maintained
+/// cache, when present), folding the outcome into `stats`.
+fn flush_updates(
+    engine: &mut QueryEngine<'_>,
+    cache: &mut Option<ScoreCache>,
+    pending: &mut Vec<EdgeUpdate>,
+    stats: &mut ReplayStats,
+) -> Result<(), String> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let (report, dt) = tpa_eval::time(|| engine.apply_updates(pending));
+    let report = report?;
+    stats.update_time += dt;
+    stats.batches += 1;
+    stats.applied += report.delta.stats.inserted + report.delta.stats.deleted;
+    stats.noops += report.delta.stats.noops;
+    stats.compactions += report.delta.stats.compacted as usize;
+    stats.refreshes += report.index_refreshed as usize;
+    if let Some(cache) = cache {
+        let t = engine.dynamic_transition().expect("dynamic backend");
+        let (_, dt) = tpa_eval::time(|| cache.refresh(t, &report.delta));
+        stats.update_time += dt;
+    }
+    pending.clear();
+    Ok(())
+}
+
 fn print_ranking(out: &mut dyn Write, ranked: &[(NodeId, f64)]) {
     let _ = writeln!(out, "rank  node        score");
     for (rank, &(v, score)) in ranked.iter().enumerate() {
@@ -465,6 +689,117 @@ mod tests {
             run_cmd(&format!("exact --graph {} --seed 3 --topk 4 --threads 2", graph.display()));
         assert_eq!(code, 0, "{text}");
         assert_eq!(text.lines().count(), 6, "{text}");
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn update_replays_stream_with_interleaved_queries() {
+        let d = tmpdir("update");
+        let graph = d.join("g.bin");
+        let index = d.join("g.tpa");
+        let stream = d.join("stream.txt");
+        run_cmd(&format!("generate --dataset slashdot-s --scale 20 --out {}", graph.display()));
+        run_cmd(&format!(
+            "preprocess --graph {} --s 5 --t 10 --out {}",
+            graph.display(),
+            index.display()
+        ));
+        std::fs::write(
+            &stream,
+            "? 3            # query before any change\n\
+             + 3 40\n+ 40 3\n- 3 40   # a batch of three updates\n\
+             ? 3            # re-query on the evolved graph\n\
+             compact\n\
+             + 7 3\n\
+             ? 7\n",
+        )
+        .unwrap();
+
+        let (code, text) = run_cmd(&format!(
+            "update --graph {} --index {} --stream {} --topk 3",
+            graph.display(),
+            index.display(),
+            stream.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("query seed 3"), "{text}");
+        assert!(text.contains("query seed 7"), "{text}");
+        assert!(text.contains("3 queries"), "{text}");
+        assert!(text.contains("1 compactions") || text.contains("2 compactions"), "{text}");
+
+        // Maintained mode serves the same stream from cached scores.
+        let (code, text) = run_cmd(&format!(
+            "update --graph {} --stream {} --topk 3 --maintain",
+            graph.display(),
+            stream.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("served from maintained cache"), "{text}");
+
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn update_maintained_ranking_matches_engine_ranking() {
+        // The maintained cache and the plain engine must agree on the
+        // final ranking (same graph state, exact scores either way).
+        let d = tmpdir("update-agree");
+        let graph = d.join("g.bin");
+        let stream = d.join("stream.txt");
+        run_cmd(&format!("generate --dataset slashdot-s --scale 40 --out {}", graph.display()));
+        std::fs::write(&stream, "+ 1 5\n+ 5 9\n- 1 5\n? 2\n").unwrap();
+        let args = |extra: &str| {
+            format!(
+                "update --graph {} --stream {} --topk 4{extra}",
+                graph.display(),
+                stream.display()
+            )
+        };
+        let (code_a, text_a) = run_cmd(&args(""));
+        let (code_b, text_b) = run_cmd(&args(" --maintain"));
+        assert_eq!(code_a, 0, "{text_a}");
+        assert_eq!(code_b, 0, "{text_b}");
+        let ranking = |t: &str| -> Vec<String> {
+            t.lines()
+                .skip_while(|l| !l.starts_with("rank"))
+                .take_while(|l| !l.is_empty())
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(ranking(&text_a), ranking(&text_b));
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn update_rejects_bad_streams() {
+        let d = tmpdir("update-bad");
+        let graph = d.join("g.bin");
+        let stream = d.join("stream.txt");
+        run_cmd(&format!("generate --dataset slashdot-s --scale 40 --out {}", graph.display()));
+        for bad in ["+ 1\n", "? frog\n", "jump 1 2\n", "+ 1 2 3\n", "# only comments\n"] {
+            std::fs::write(&stream, bad).unwrap();
+            let (code, _) = run_cmd(&format!(
+                "update --graph {} --stream {}",
+                graph.display(),
+                stream.display()
+            ));
+            assert_eq!(code, 1, "stream {bad:?} should be rejected");
+        }
+        // Out-of-range node in an otherwise well-formed stream.
+        std::fs::write(&stream, "+ 0 999999\n").unwrap();
+        let (code, _) =
+            run_cmd(&format!("update --graph {} --stream {}", graph.display(), stream.display()));
+        assert_eq!(code, 1);
+        // Non-positive thresholds are clean CLI errors, not panics.
+        std::fs::write(&stream, "? 1\n").unwrap();
+        for flag in ["--compact-threshold 0", "--compact-threshold -1", "--stale-threshold 0"] {
+            let (code, _) = run_cmd(&format!(
+                "update --graph {} --stream {} {flag}",
+                graph.display(),
+                stream.display()
+            ));
+            assert_eq!(code, 1, "{flag} should be rejected cleanly");
+        }
         let _ = std::fs::remove_dir_all(d);
     }
 

@@ -16,15 +16,17 @@
 //! backend or kernel improvement lands everywhere at once.
 
 use crate::batch::cpi_batch;
+use crate::dynamic::{DynamicTransition, UpdateDelta};
 use crate::offcore::DiskGraph;
 use crate::{
     cpi, CpiConfig, ParallelTransition, Propagator, SeedSet, TpaIndex, TpaParams, Transition,
 };
 use std::sync::Arc;
-use tpa_graph::{CsrGraph, NodeId};
+use tpa_graph::{CsrGraph, DynamicGraph, EdgeUpdate, NodeId};
 
 /// A propagation backend the engine can own: sequential in-memory,
-/// multi-threaded in-memory, or streaming from disk.
+/// multi-threaded in-memory, streaming from disk, or a mutable
+/// delta-overlay graph.
 pub enum EngineBackend<'g> {
     /// Single-threaded in-memory gather ([`Transition`]).
     Sequential(Transition<'g>),
@@ -32,6 +34,11 @@ pub enum EngineBackend<'g> {
     Parallel(ParallelTransition<'g>),
     /// Out-of-core edge streaming ([`DiskGraph`]), `O(n)` memory.
     OutOfCore(DiskGraph),
+    /// Mutable delta-overlay graph ([`DynamicTransition`]); accepts
+    /// update batches via [`QueryEngine::apply_updates`]. Boxed: the
+    /// overlay owns its graph and patch maps, far larger than the other
+    /// variants' thin handles.
+    Dynamic(Box<DynamicTransition>),
 }
 
 impl EngineBackend<'_> {
@@ -41,6 +48,7 @@ impl EngineBackend<'_> {
             EngineBackend::Sequential(_) => "sequential",
             EngineBackend::Parallel(_) => "parallel",
             EngineBackend::OutOfCore(_) => "out-of-core",
+            EngineBackend::Dynamic(_) => "dynamic",
         }
     }
 }
@@ -51,6 +59,7 @@ impl Propagator for EngineBackend<'_> {
             EngineBackend::Sequential(t) => Propagator::n(t),
             EngineBackend::Parallel(t) => t.n(),
             EngineBackend::OutOfCore(d) => Propagator::n(d),
+            EngineBackend::Dynamic(t) => Propagator::n(t.as_ref()),
         }
     }
 
@@ -59,6 +68,7 @@ impl Propagator for EngineBackend<'_> {
             EngineBackend::Sequential(t) => Propagator::propagate_into(t, coeff, x, y),
             EngineBackend::Parallel(t) => t.propagate_into(coeff, x, y),
             EngineBackend::OutOfCore(d) => Propagator::propagate_into(d, coeff, x, y),
+            EngineBackend::Dynamic(t) => Propagator::propagate_into(t.as_ref(), coeff, x, y),
         }
     }
 
@@ -72,8 +82,49 @@ impl Propagator for EngineBackend<'_> {
             EngineBackend::Sequential(t) => t.propagate_block_into(coeff, x, y),
             EngineBackend::Parallel(t) => t.propagate_block_into(coeff, x, y),
             EngineBackend::OutOfCore(d) => Propagator::propagate_block_into(d, coeff, x, y),
+            EngineBackend::Dynamic(t) => Propagator::propagate_block_into(t.as_ref(), coeff, x, y),
         }
     }
+}
+
+/// When is an attached [`TpaIndex`] too stale to keep serving?
+///
+/// The engine accumulates the relative operator drift
+/// `Σ ‖ΔÃ[:,u]‖₁ / n` across update batches (a proxy for the L1 error
+/// the drift induces in the index's stranger vector — amplified by at
+/// most `(1−c)/c` through the CPI tail). Past `threshold` the index is
+/// *stale*: with `auto_refresh` the engine re-preprocesses on the spot
+/// (inside [`QueryEngine::apply_updates`]); otherwise it keeps serving
+/// and flags the caller, who decides when to run
+/// [`QueryEngine::refresh_index`].
+#[derive(Clone, Copy, Debug)]
+pub struct IndexStalenessPolicy {
+    /// Accumulated relative drift that marks the index stale.
+    pub threshold: f64,
+    /// Re-preprocess inside `apply_updates` when stale (vs. only flag).
+    pub auto_refresh: bool,
+}
+
+impl Default for IndexStalenessPolicy {
+    /// Flag-only, at 5% accumulated relative operator drift.
+    fn default() -> Self {
+        Self { threshold: 0.05, auto_refresh: false }
+    }
+}
+
+/// What one [`QueryEngine::apply_updates`] call did.
+#[derive(Clone, Debug)]
+pub struct UpdateReport {
+    /// The captured delta (feed to [`crate::ScoreCache::refresh`]).
+    pub delta: UpdateDelta,
+    /// Accumulated relative operator drift since the index was last
+    /// (re)built. 0.0 when no index is attached.
+    pub accumulated_drift: f64,
+    /// True if the attached index is past the staleness threshold (and
+    /// was not auto-refreshed).
+    pub index_stale: bool,
+    /// True if this call re-preprocessed the attached index.
+    pub index_refreshed: bool,
 }
 
 /// How a plan computes scores.
@@ -162,6 +213,8 @@ pub struct QueryEngine<'g> {
     index: Option<Arc<TpaIndex>>,
     exact_cfg: CpiConfig,
     lane_tile: usize,
+    staleness: IndexStalenessPolicy,
+    accumulated_drift: f64,
 }
 
 /// Default lane-tile width for batched plans (see
@@ -193,6 +246,13 @@ impl<'g> QueryEngine<'g> {
         QueryEngine::from_backend(EngineBackend::OutOfCore(disk))
     }
 
+    /// Engine over a mutable delta-overlay graph: every plan kind runs
+    /// unchanged while [`QueryEngine::apply_updates`] evolves the graph
+    /// in place.
+    pub fn dynamic(graph: DynamicGraph) -> QueryEngine<'static> {
+        QueryEngine::from_backend(EngineBackend::Dynamic(Box::new(DynamicTransition::new(graph))))
+    }
+
     /// Engine over an explicit backend.
     pub fn from_backend(backend: EngineBackend<'g>) -> Self {
         QueryEngine {
@@ -200,6 +260,8 @@ impl<'g> QueryEngine<'g> {
             index: None,
             exact_cfg: CpiConfig::default(),
             lane_tile: DEFAULT_LANE_TILE,
+            staleness: IndexStalenessPolicy::default(),
+            accumulated_drift: 0.0,
         }
     }
 
@@ -241,9 +303,96 @@ impl<'g> QueryEngine<'g> {
         self
     }
 
+    /// Sets the index staleness policy for dynamic serving (see
+    /// [`IndexStalenessPolicy`]).
+    pub fn with_staleness_policy(mut self, policy: IndexStalenessPolicy) -> Self {
+        assert!(policy.threshold > 0.0, "staleness threshold must be positive");
+        self.staleness = policy;
+        self
+    }
+
     /// The propagation backend.
     pub fn backend(&self) -> &EngineBackend<'g> {
         &self.backend
+    }
+
+    /// The dynamic transition, when this engine serves an evolving graph.
+    pub fn dynamic_transition(&self) -> Option<&DynamicTransition> {
+        match &self.backend {
+            EngineBackend::Dynamic(t) => Some(t.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Applies an edge-update batch to the dynamic backend, tracks index
+    /// staleness (accumulated relative operator drift), and — under an
+    /// auto-refresh policy — re-preprocesses a stale index on the spot.
+    /// Errs on every non-[`EngineBackend::Dynamic`] backend.
+    pub fn apply_updates(&mut self, updates: &[EdgeUpdate]) -> Result<UpdateReport, String> {
+        let delta = match &mut self.backend {
+            EngineBackend::Dynamic(t) => t.apply(updates),
+            other => {
+                return Err(format!(
+                    "backend {} is immutable; edge updates need an EngineBackend::Dynamic",
+                    other.name()
+                ))
+            }
+        };
+        let mut report = UpdateReport {
+            delta,
+            accumulated_drift: 0.0,
+            index_stale: false,
+            index_refreshed: false,
+        };
+        if self.index.is_some() {
+            self.accumulated_drift +=
+                report.delta.column_delta_mass / self.backend.n().max(1) as f64;
+            if self.accumulated_drift > self.staleness.threshold {
+                if self.staleness.auto_refresh {
+                    self.refresh_index();
+                    report.index_refreshed = true;
+                } else {
+                    report.index_stale = true;
+                }
+            }
+            report.accumulated_drift = self.accumulated_drift;
+        }
+        Ok(report)
+    }
+
+    /// Explicitly compacts the dynamic backend's overlay into a fresh
+    /// base snapshot (scores unchanged). Errs on static backends.
+    pub fn compact_dynamic(&mut self) -> Result<(), String> {
+        match &mut self.backend {
+            EngineBackend::Dynamic(t) => {
+                t.compact();
+                Ok(())
+            }
+            other => Err(format!("backend {} is immutable; nothing to compact", other.name())),
+        }
+    }
+
+    /// Re-runs TPA preprocessing on the current backend state with the
+    /// attached index's parameters, replacing the index and resetting the
+    /// drift accumulator. No-op without an index.
+    pub fn refresh_index(&mut self) {
+        if let Some(old) = &self.index {
+            let params = *old.params();
+            self.index = Some(Arc::new(TpaIndex::preprocess_on(&self.backend, params)));
+            self.accumulated_drift = 0.0;
+        }
+    }
+
+    /// Accumulated relative operator drift since the attached index was
+    /// last (re)built.
+    pub fn accumulated_drift(&self) -> f64 {
+        self.accumulated_drift
+    }
+
+    /// True when the attached index has drifted past the staleness
+    /// threshold without being refreshed.
+    pub fn index_stale(&self) -> bool {
+        self.index.is_some() && self.accumulated_drift > self.staleness.threshold
     }
 
     /// The attached index, if any.
@@ -464,6 +613,99 @@ mod tests {
         let engine = QueryEngine::sequential(&g).preprocess(TpaParams::new(4, 9));
         assert!(engine.query_batch(&[]).is_empty());
         assert!(engine.top_k_batch(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn dynamic_backend_serves_all_plan_kinds() {
+        use tpa_graph::{DynamicGraph, EdgeUpdate};
+        let g = test_graph();
+        let params = TpaParams::new(5, 10);
+        let reference = QueryEngine::sequential(&g).preprocess(params);
+        let mut engine = QueryEngine::dynamic(DynamicGraph::new(g.clone())).preprocess(params);
+
+        // Before any update, every plan kind matches the static engine
+        // bitwise (same index parameters, same kernel order).
+        assert_eq!(engine.query(13), reference.query(13));
+        assert_eq!(engine.query_batch(&[1, 5, 9]), reference.query_batch(&[1, 5, 9]));
+        assert_eq!(engine.top_k(13, 5), reference.top_k(13, 5));
+        let exact = engine.execute(&QueryPlan::single(7).exact()).into_scores().pop().unwrap();
+        assert_eq!(exact, exact_rwr(&g, 7, &CpiConfig::default()));
+
+        // After updates the engine answers on the evolved graph.
+        let report = engine
+            .apply_updates(&[EdgeUpdate::Insert(13, 200), EdgeUpdate::Insert(200, 13)])
+            .unwrap();
+        assert_eq!(report.delta.stats.inserted, 2);
+        let evolved = engine.execute(&QueryPlan::single(13).exact()).into_scores().pop().unwrap();
+        assert_ne!(evolved, exact_rwr(&g, 13, &CpiConfig::default()));
+        assert!(engine.dynamic_transition().unwrap().graph().has_edge(13, 200));
+    }
+
+    #[test]
+    fn static_backends_reject_updates() {
+        use tpa_graph::EdgeUpdate;
+        let g = test_graph();
+        let mut engine = QueryEngine::sequential(&g);
+        let err = engine.apply_updates(&[EdgeUpdate::Insert(0, 1)]).unwrap_err();
+        assert!(err.contains("immutable"), "{err}");
+    }
+
+    #[test]
+    fn staleness_policy_flags_then_auto_refreshes() {
+        use tpa_graph::{DynamicGraph, EdgeUpdate};
+        let g = test_graph();
+        let params = TpaParams::new(4, 9);
+        let tight = IndexStalenessPolicy { threshold: 1e-12, auto_refresh: false };
+        let mut engine = QueryEngine::dynamic(DynamicGraph::new(g.clone()))
+            .preprocess(params)
+            .with_staleness_policy(tight);
+        let report = engine.apply_updates(&[EdgeUpdate::Insert(0, 399)]).unwrap();
+        assert!(report.index_stale && !report.index_refreshed);
+        assert!(engine.index_stale());
+        let drift = engine.accumulated_drift();
+        assert!(drift > 0.0);
+
+        // Manual refresh rebuilds the index on the evolved graph.
+        engine.refresh_index();
+        assert!(!engine.index_stale());
+        assert_eq!(engine.accumulated_drift(), 0.0);
+
+        // Auto-refresh does the same inside apply_updates.
+        let mut auto = QueryEngine::dynamic(DynamicGraph::new(g))
+            .preprocess(params)
+            .with_staleness_policy(IndexStalenessPolicy { threshold: 1e-12, auto_refresh: true });
+        let report = auto.apply_updates(&[EdgeUpdate::Insert(0, 399)]).unwrap();
+        assert!(report.index_refreshed && !report.index_stale);
+        assert_eq!(auto.accumulated_drift(), 0.0);
+        // The refreshed index serves the evolved graph exactly like a
+        // fresh preprocess over the same state.
+        let snap = auto.dynamic_transition().unwrap().graph().snapshot();
+        let fresh = QueryEngine::sequential(&snap).preprocess(params);
+        assert_eq!(auto.query(42), fresh.query(42));
+    }
+
+    #[test]
+    fn tie_break_is_deterministic_across_backends() {
+        // A graph with massive symmetry produces many exactly-equal
+        // scores; the ranking must still be identical across backends and
+        // runs (ascending node id within a tie).
+        let g = tpa_graph::gen::cycle_graph(64);
+        let plans = QueryPlan::single(0).top_k(10).exact();
+        let seq = QueryEngine::sequential(&g).execute(&plans).into_ranked();
+        let par = QueryEngine::parallel(&g, 4).execute(&plans).into_ranked();
+        let dynamic = QueryEngine::dynamic(tpa_graph::DynamicGraph::new(g.clone()))
+            .execute(&plans)
+            .into_ranked();
+        assert_eq!(seq, par);
+        assert_eq!(seq, dynamic);
+        let again = QueryEngine::sequential(&g).execute(&plans).into_ranked();
+        assert_eq!(seq, again);
+        // Within every run of equal scores, node ids ascend.
+        for w in seq[0].windows(2) {
+            if w[0].1 == w[1].1 {
+                assert!(w[0].0 < w[1].0, "tie not broken by ascending id: {w:?}");
+            }
+        }
     }
 
     #[test]

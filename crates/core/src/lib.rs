@@ -20,8 +20,13 @@
 //!   experiments (Table III, Fig. 9).
 //! * [`QueryEngine`] — the serving layer: executes single / batched /
 //!   top-k [`QueryPlan`]s over any [`Propagator`] backend (sequential,
-//!   [`ParallelTransition`], out-of-core [`offcore::DiskGraph`]), with
-//!   results bit-identical across backends.
+//!   [`ParallelTransition`], out-of-core [`offcore::DiskGraph`], dynamic
+//!   delta-overlay [`DynamicTransition`]), with results bit-identical
+//!   across backends.
+//! * [`dynamic`] — the streaming workload: [`DynamicTransition`] over a
+//!   mutable overlay graph, OSP-style incremental maintenance of cached
+//!   scores ([`ScoreCache`]), and index staleness tracking
+//!   ([`IndexStalenessPolicy`]).
 //!
 //! ## Quick start
 //!
@@ -44,6 +49,7 @@ pub mod batch;
 pub mod bounds;
 mod cpi;
 mod decompose;
+pub mod dynamic;
 pub mod engine;
 pub mod offcore;
 mod pagerank;
@@ -56,7 +62,14 @@ mod weighted;
 
 pub use cpi::{cpi, cpi_trace, CpiConfig, CpiResult};
 pub use decompose::{decompose, Decomposition};
-pub use engine::{top_k_scored, EngineBackend, ExecMode, QueryEngine, QueryPlan, QueryResult};
+pub use dynamic::{
+    propagate_offset, DynamicTransition, MaintenanceMode, RefreshStats, ScoreCache, SourceDelta,
+    UpdateDelta,
+};
+pub use engine::{
+    top_k_scored, EngineBackend, ExecMode, IndexStalenessPolicy, QueryEngine, QueryPlan,
+    QueryResult, UpdateReport,
+};
 pub use pagerank::{exact_rwr, pagerank, pagerank_window, personalized_pagerank};
 pub use parallel::ParallelTransition;
 pub use seeds::SeedSet;

@@ -130,10 +130,16 @@ impl TpaIndex {
         backend: &P,
         seeds: &SeedSet,
     ) -> TpaParts {
+        // Guard before any kernel touches the vectors: a mismatched index
+        // would otherwise fail as an opaque out-of-bounds access (or,
+        // worse, silently truncate) deep inside a propagation kernel.
         assert_eq!(
             backend.n(),
             self.stranger.len(),
-            "index was preprocessed for a different graph"
+            "dimension mismatch: backend has {} nodes but the index stranger vector has {} \
+             entries — the index was preprocessed for a different graph",
+            backend.n(),
+            self.stranger.len()
         );
         let family =
             cpi(backend, seeds, &self.params.cpi_config(), 0, Some(self.params.s - 1)).scores;

@@ -7,6 +7,9 @@
 //!   of the paper's Theorem 4).
 //! * [`GraphBuilder`] — edge-list staging with dedup / self-loop /
 //!   dangling-node policies.
+//! * [`DynamicGraph`] — delta-overlay mutability: insert/delete patches
+//!   over a CSR snapshot with a merged neighbor view and threshold-
+//!   triggered compaction (the substrate of the dynamic-RWR subsystem).
 //! * [`gen`] — deterministic generators: Erdős–Rényi, Chung–Lu, R-MAT,
 //!   SBM, LFR-lite (power-law degrees + planted communities), plus
 //!   null-model rewiring controls for Fig. 6.
@@ -31,10 +34,12 @@ pub type NodeId = u32;
 pub mod algo;
 mod builder;
 mod csr;
+pub mod dynamic;
 pub mod gen;
 pub mod io;
 pub mod weighted;
 
 pub use builder::{DanglingPolicy, GraphBuilder};
 pub use csr::CsrGraph;
+pub use dynamic::{ApplyStats, DynamicGraph, EdgeUpdate, MergedNeighbors};
 pub use weighted::{unit_weights, WeightedCsrGraph, WeightedGraphBuilder};

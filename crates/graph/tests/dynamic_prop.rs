@@ -1,0 +1,101 @@
+//! Property tests for the delta-overlay [`DynamicGraph`]: an arbitrary
+//! interleaving of inserts, deletes, and compactions must leave the merged
+//! view identical — structurally, per-neighbor, per-degree — to a CSR
+//! rebuilt from scratch out of the surviving edge set.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use tpa_graph::{DanglingPolicy, DynamicGraph, EdgeUpdate, GraphBuilder, NodeId};
+
+/// One step of an update script: an edge mutation or an explicit compact.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    Update(EdgeUpdate),
+    Compact,
+}
+
+/// Strategy: a node count, a base edge list, and an update script mixing
+/// inserts, deletes, and compactions.
+fn script() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>, Vec<Step>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n as NodeId, 0..n as NodeId);
+        let step = (0u8..8, 0..n as NodeId, 0..n as NodeId).prop_map(|(k, u, v)| match k {
+            0..=3 => Step::Update(EdgeUpdate::Insert(u, v)),
+            4..=6 => Step::Update(EdgeUpdate::Delete(u, v)),
+            _ => Step::Compact,
+        });
+        (Just(n), proptest::collection::vec(edge, 0..120), proptest::collection::vec(step, 0..150))
+    })
+}
+
+/// Reference model: the surviving edge set as a plain BTreeSet.
+fn run_model(
+    n: usize,
+    base: &[(NodeId, NodeId)],
+    steps: &[Step],
+) -> (DynamicGraph, BTreeSet<(NodeId, NodeId)>) {
+    let g = GraphBuilder::with_capacity(n, base.len())
+        .dangling_policy(DanglingPolicy::Keep)
+        .extend_edges(base.iter().copied())
+        .build();
+    let mut model: BTreeSet<(NodeId, NodeId)> = base.iter().copied().collect();
+    let mut dynamic = DynamicGraph::new(g);
+    for step in steps {
+        match *step {
+            Step::Update(up) => {
+                let changed = dynamic.apply_one(up);
+                let model_changed = match up {
+                    EdgeUpdate::Insert(u, v) => model.insert((u, v)),
+                    EdgeUpdate::Delete(u, v) => model.remove(&(u, v)),
+                };
+                assert_eq!(changed, model_changed, "apply_one disagreed with model on {up:?}");
+            }
+            Step::Compact => dynamic.compact(),
+        }
+    }
+    (dynamic, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The merged view after any script equals a CSR built from scratch
+    /// out of the surviving edges: same snapshot, same neighbor sequences,
+    /// same degrees, same edge count.
+    #[test]
+    fn merged_view_equals_rebuild((n, base, steps) in script()) {
+        let (dynamic, model) = run_model(n, &base, &steps);
+        let rebuilt = GraphBuilder::with_capacity(n, model.len())
+            .dangling_policy(DanglingPolicy::Keep)
+            .extend_edges(model.iter().copied())
+            .build();
+
+        prop_assert_eq!(dynamic.m(), model.len());
+        prop_assert_eq!(dynamic.snapshot(), rebuilt.clone());
+        for u in 0..n as NodeId {
+            let merged_out: Vec<NodeId> = dynamic.out_neighbors(u).collect();
+            prop_assert_eq!(merged_out, rebuilt.out_neighbors(u).to_vec(), "out {}", u);
+            let merged_in: Vec<NodeId> = dynamic.in_neighbors(u).collect();
+            prop_assert_eq!(merged_in, rebuilt.in_neighbors(u).to_vec(), "in {}", u);
+            prop_assert_eq!(dynamic.out_degree(u), rebuilt.out_degree(u));
+            prop_assert_eq!(dynamic.in_degree(u), rebuilt.in_degree(u));
+        }
+        for &(u, v) in &model {
+            prop_assert!(dynamic.has_edge(u, v));
+        }
+    }
+
+    /// Compaction is transparent: compacting at the end changes nothing
+    /// about the merged view, and the fresh base validates.
+    #[test]
+    fn compaction_is_transparent((n, base, steps) in script()) {
+        let (mut dynamic, _) = run_model(n, &base, &steps);
+        let before = dynamic.snapshot();
+        let m = dynamic.m();
+        dynamic.compact();
+        prop_assert!(!dynamic.is_dirty());
+        prop_assert_eq!(dynamic.m(), m);
+        prop_assert_eq!(dynamic.base().clone(), before);
+        prop_assert!(dynamic.base().validate().is_ok());
+    }
+}
