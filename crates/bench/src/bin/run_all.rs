@@ -25,7 +25,8 @@ fn main() {
     let dir = me.parent().expect("binary dir");
     let mut failures = Vec::new();
 
-    let all: Vec<&str> = EXPERIMENTS.iter().copied().chain(std::iter::once("fig10_bepi")).collect();
+    let all: Vec<&str> =
+        EXPERIMENTS.iter().copied().chain(["fig10_bepi", "spmv_kernels"]).collect();
     for name in all {
         let path = dir.join(name);
         eprintln!("\n===== running {name} =====");

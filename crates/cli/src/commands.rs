@@ -9,7 +9,9 @@ use tpa_core::{
     top_k_scored, CpiConfig, IndexStalenessPolicy, MaintenanceMode, QueryEngine, QueryPlan,
     ScoreCache, TpaIndex, TpaParams,
 };
-use tpa_graph::{algo, io as gio, CsrGraph, DynamicGraph, EdgeUpdate, NodeId};
+use tpa_graph::{
+    algo, io as gio, reorder, CsrGraph, DynamicGraph, EdgeUpdate, NodeId, ReorderStrategy,
+};
 
 /// Runs a subcommand; prints results to `out` and errors to stderr.
 pub fn run(args: &Args, out: &mut dyn Write) -> i32 {
@@ -51,19 +53,27 @@ COMMANDS:
   stats      --graph <file> [--cc-sample N]
              print node/edge counts, degrees, components, reciprocity
   preprocess --graph <file> --s <S> --t <T> --out <index.tpa>
-             run TPA's preprocessing phase and save the index
+             [--reorder none|degree|rcm|hub]
+             run TPA's preprocessing phase and save the index; --reorder
+             relabels the graph for cache locality first and stores the
+             permutation inside the index (queries restore it)
   query      --graph <file> --index <index.tpa> --seed <node>
              [--topk K] [--threads N]
-             approximate RWR scores for a seed (fast online phase)
+             approximate RWR scores for a seed (fast online phase); if
+             the index was preprocessed with --reorder, the same
+             relabeling is applied transparently
   batch      --graph <file> --seeds <file> [--index <index.tpa>]
-             [--topk K] [--threads N]
+             [--topk K] [--threads N] [--reorder none|degree|rcm|hub]
              serve every seed in the file in one batched engine pass
              (seeds are whitespace/newline separated; # comments ok);
-             without --index the batch is answered exactly
+             without --index the batch is answered exactly; --reorder
+             only applies to the exact (index-less) path — an index
+             brings its own ordering
   exact      --graph <file> --seed <node> [--topk K] [--threads N]
+             [--reorder none|degree|rcm|hub]
              exact RWR via power iteration (ground truth)
   update     --graph <file> --stream <file> [--index <index.tpa>]
-             [--topk K] [--maintain] [--auto-refresh]
+             [--topk K] [--threads N] [--maintain] [--auto-refresh]
              [--compact-threshold F] [--stale-threshold F]
              replay an edge-update stream with interleaved queries on a
              dynamic (delta-overlay) graph. Stream lines:
@@ -159,20 +169,41 @@ fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--reorder {none,degree,rcm,hub}` (absent ⇒ `None`).
+fn reorder_flag(args: &Args) -> Result<Option<ReorderStrategy>, String> {
+    match args.get("reorder") {
+        None | Some("none") => Ok(None),
+        Some(name) => ReorderStrategy::parse(name)
+            .map(Some)
+            .ok_or_else(|| format!("unknown --reorder {name}; use none|degree|rcm|hub")),
+    }
+}
+
 fn cmd_preprocess(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let g = load_graph(args.required("graph").map_err(|e| e.to_string())?)?;
     let s = args.get_or::<usize>("s", 5).map_err(|e| e.to_string())?;
     let t = args.get_or::<usize>("t", 10).map_err(|e| e.to_string())?;
     let path = args.required("out").map_err(|e| e.to_string())?;
+    let strategy = reorder_flag(args)?;
     let params = TpaParams::new(s, t);
-    let (index, dt) = tpa_eval::time(|| TpaIndex::preprocess(&g, params));
+    let (index, dt) = tpa_eval::time(|| match strategy {
+        None => TpaIndex::preprocess(&g, params),
+        Some(strategy) => {
+            let perm = reorder(&g, strategy);
+            TpaIndex::preprocess(&g.permuted(&perm), params).with_permutation(perm)
+        }
+    });
     let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
     index.save(std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
     let _ = writeln!(
         out,
-        "preprocessed in {} — index {} → {}",
+        "preprocessed in {} — index {}{} → {}",
         tpa_eval::format_secs(dt.as_secs_f64()),
         tpa_eval::format_bytes(index.index_bytes()),
+        match strategy {
+            Some(s) => format!(" (reordered: {})", s.name()),
+            None => String::new(),
+        },
         path
     );
     Ok(())
@@ -232,7 +263,10 @@ fn cmd_exact(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let seed = args.get_or::<u32>("seed", 0).map_err(|e| e.to_string())?;
     let top = topk_flag(args)?;
     check_seed(seed, &g)?;
-    let engine = build_engine(&g, args)?;
+    let mut engine = build_engine(&g, args)?;
+    if let Some(strategy) = reorder_flag(args)? {
+        engine = engine.with_reordering(strategy);
+    }
     let (result, dt) =
         tpa_eval::time(|| engine.execute(&QueryPlan::single(seed).top_k(top).exact()));
     let _ = writeln!(out, "query took {}", tpa_eval::format_secs(dt.as_secs_f64()));
@@ -269,8 +303,20 @@ fn cmd_batch(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let mut engine = build_engine(&g, args)?;
     let mut plan = QueryPlan::batch(seeds.clone()).top_k(top);
     match args.get("index") {
-        Some(path) => engine = engine.with_index(load_index(path, &g)?),
-        None => plan = plan.exact(),
+        Some(path) => {
+            if reorder_flag(args)?.is_some() {
+                return Err("--reorder conflicts with --index: the index stores the ordering it \
+                            was preprocessed with"
+                    .into());
+            }
+            engine = engine.with_index(load_index(path, &g)?);
+        }
+        None => {
+            if let Some(strategy) = reorder_flag(args)? {
+                engine = engine.with_reordering(strategy);
+            }
+            plan = plan.exact();
+        }
     }
     let (result, dt) = tpa_eval::time(|| engine.execute(&plan));
     let rankings = result.into_ranked();
@@ -370,7 +416,13 @@ fn cmd_update(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     }
 
     let dynamic = DynamicGraph::new(g).with_compact_threshold(Some(compact_threshold));
-    let mut engine = QueryEngine::dynamic(dynamic).with_staleness_policy(IndexStalenessPolicy {
+    let threads = args.get_or::<usize>("threads", 1).map_err(|e| e.to_string())?;
+    let engine = if threads == 1 {
+        QueryEngine::dynamic(dynamic)
+    } else {
+        QueryEngine::dynamic_parallel(dynamic, threads)
+    };
+    let mut engine = engine.with_staleness_policy(IndexStalenessPolicy {
         threshold: stale_threshold,
         auto_refresh: args.switch("auto-refresh"),
     });
@@ -800,6 +852,116 @@ mod tests {
             ));
             assert_eq!(code, 1, "{flag} should be rejected cleanly");
         }
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn reordered_index_roundtrips_through_query() {
+        let d = tmpdir("reorder");
+        let graph = d.join("g.bin");
+        run_cmd(&format!("generate --dataset slashdot-s --scale 20 --out {}", graph.display()));
+        let plain_idx = d.join("plain.tpa");
+        run_cmd(&format!(
+            "preprocess --graph {} --s 5 --t 10 --out {}",
+            graph.display(),
+            plain_idx.display()
+        ));
+        let (code, plain) = run_cmd(&format!(
+            "query --graph {} --index {} --seed 3 --topk 5",
+            graph.display(),
+            plain_idx.display()
+        ));
+        assert_eq!(code, 0, "{plain}");
+        for strategy in ["degree", "rcm", "hub"] {
+            let idx = d.join(format!("{strategy}.tpa"));
+            let (code, text) = run_cmd(&format!(
+                "preprocess --graph {} --s 5 --t 10 --out {} --reorder {strategy}",
+                graph.display(),
+                idx.display()
+            ));
+            assert_eq!(code, 0, "{text}");
+            assert!(text.contains(&format!("reordered: {strategy}")), "{text}");
+            let (code, text) = run_cmd(&format!(
+                "query --graph {} --index {} --seed 3 --topk 5",
+                graph.display(),
+                idx.display()
+            ));
+            assert_eq!(code, 0, "{text}");
+            // Same ranked ids as the un-reordered index (scores differ
+            // only in floating-point association).
+            let ids = |t: &str| -> Vec<String> {
+                t.lines()
+                    .skip_while(|l| !l.starts_with("rank"))
+                    .skip(1)
+                    .map(|l| l.split_whitespace().nth(1).unwrap_or("").to_string())
+                    .collect()
+            };
+            assert_eq!(ids(&plain), ids(&text), "strategy {strategy}");
+        }
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn exact_accepts_reorder_and_batch_rejects_it_with_index() {
+        let d = tmpdir("reorder-exact");
+        let graph = d.join("g.bin");
+        let index = d.join("g.tpa");
+        let seeds = d.join("seeds.txt");
+        run_cmd(&format!("generate --dataset slashdot-s --scale 40 --out {}", graph.display()));
+        run_cmd(&format!(
+            "preprocess --graph {} --s 5 --t 10 --out {}",
+            graph.display(),
+            index.display()
+        ));
+        std::fs::write(&seeds, "0 3 7\n").unwrap();
+
+        let (code, text) =
+            run_cmd(&format!("exact --graph {} --seed 3 --reorder degree", graph.display()));
+        assert_eq!(code, 0, "{text}");
+        let (code, _) =
+            run_cmd(&format!("exact --graph {} --seed 3 --reorder frog", graph.display()));
+        assert_eq!(code, 1);
+
+        let (code, text) = run_cmd(&format!(
+            "batch --graph {} --seeds {} --reorder rcm",
+            graph.display(),
+            seeds.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        let (code, _) = run_cmd(&format!(
+            "batch --graph {} --seeds {} --index {} --reorder rcm",
+            graph.display(),
+            seeds.display(),
+            index.display()
+        ));
+        assert_eq!(code, 1, "reorder+index must be rejected");
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn update_accepts_threads_flag() {
+        let d = tmpdir("update-threads");
+        let graph = d.join("g.bin");
+        let stream = d.join("stream.txt");
+        run_cmd(&format!("generate --dataset slashdot-s --scale 40 --out {}", graph.display()));
+        std::fs::write(&stream, "? 1\n+ 1 5\n? 1\n").unwrap();
+        let single =
+            run_cmd(&format!("update --graph {} --stream {}", graph.display(), stream.display()));
+        let multi = run_cmd(&format!(
+            "update --graph {} --stream {} --threads 4",
+            graph.display(),
+            stream.display()
+        ));
+        assert_eq!(single.0, 0, "{}", single.1);
+        assert_eq!(multi.0, 0, "{}", multi.1);
+        // Bit-identical serving: identical rankings line for line.
+        let rankings = |t: &str| -> Vec<String> {
+            t.lines()
+                .filter(|l| l.starts_with(|c: char| c.is_ascii_digit()))
+                .map(Into::into)
+                .collect()
+        };
+        assert_eq!(rankings(&single.1), rankings(&multi.1));
         let _ = std::fs::remove_dir_all(d);
     }
 

@@ -14,7 +14,7 @@
 //! fused kernel.
 
 use crate::{Propagator, TpaIndex, Transition};
-use tpa_graph::{CsrGraph, NodeId};
+use tpa_graph::NodeId;
 
 /// A block of `B` interleaved score vectors (`lane j` of node `v` lives at
 /// `v·B + j`).
@@ -89,8 +89,9 @@ impl ScoreBlock {
         &mut self.data
     }
 
+    /// Row of node `v` (all lanes), used by the fused gather kernels.
     #[inline]
-    fn row(&self, v: usize) -> &[f64] {
+    pub(crate) fn row(&self, v: usize) -> &[f64] {
         &self.data[v * self.lanes..(v + 1) * self.lanes]
     }
 }
@@ -104,58 +105,6 @@ pub fn propagate_block<P: Propagator + ?Sized>(
     y: &mut ScoreBlock,
 ) {
     t.propagate_block_into(coeff, x, y);
-}
-
-/// The fused in-memory block kernel: gather over in-edges, all lanes of a
-/// destination updated contiguously from each source row. Used by
-/// [`Transition`] (full range) and [`crate::ParallelTransition`]
-/// (per-worker destination ranges).
-pub(crate) fn block_gather(
-    graph: &CsrGraph,
-    inv_out_deg: &[f64],
-    coeff: f64,
-    x: &ScoreBlock,
-    y: &mut ScoreBlock,
-) {
-    let n = graph.n();
-    assert_eq!(x.n, n);
-    assert_eq!(y.n, n);
-    assert_eq!(x.lanes, y.lanes);
-    block_gather_range(graph, inv_out_deg, coeff, x, &mut y.data, 0, n as NodeId);
-}
-
-/// Gather into the destination rows `[start, end)`, writing into
-/// `y_local`, a row-aligned slice (lane width taken from `x`) whose first
-/// row is node `start`.
-pub(crate) fn block_gather_range(
-    graph: &CsrGraph,
-    inv_out_deg: &[f64],
-    coeff: f64,
-    x: &ScoreBlock,
-    y_local: &mut [f64],
-    start: NodeId,
-    end: NodeId,
-) {
-    let lanes = x.lanes;
-    debug_assert_eq!(y_local.len(), (end - start) as usize * lanes);
-    for v in start..end {
-        let base = (v - start) as usize * lanes;
-        let yrow = &mut y_local[base..base + lanes];
-        yrow.iter_mut().for_each(|e| *e = 0.0);
-        for &u in graph.in_neighbors(v) {
-            let w = inv_out_deg[u as usize];
-            if w == 0.0 {
-                continue;
-            }
-            let xrow = x.row(u as usize);
-            for (yj, xj) in yrow.iter_mut().zip(xrow) {
-                *yj += xj * w;
-            }
-        }
-        for e in yrow.iter_mut() {
-            *e *= coeff;
-        }
-    }
 }
 
 /// Batched CPI over a window (one lane per seed); mirrors [`crate::cpi`]
@@ -255,6 +204,7 @@ mod tests {
     use super::*;
     use crate::{cpi, CpiConfig, ParallelTransition, SeedSet, TpaParams};
     use tpa_graph::gen::{lfr_lite, LfrConfig};
+    use tpa_graph::CsrGraph;
 
     fn test_graph() -> CsrGraph {
         use rand::{rngs::StdRng, SeedableRng};

@@ -33,9 +33,10 @@
 //!    `tolerance` leaves a tail of at most `tolerance·(1−c)/c` more.
 
 use crate::batch::cpi_batch;
+use crate::tiling::{self, InAdjacency, TilePolicy};
 use crate::{CpiConfig, Propagator};
-use std::collections::HashSet;
-use tpa_graph::{DynamicGraph, EdgeUpdate, NodeId};
+use std::collections::{HashMap, HashSet};
+use tpa_graph::{CsrGraph, DynamicGraph, EdgeUpdate, NodeId};
 
 pub use tpa_graph::ApplyStats;
 
@@ -55,6 +56,37 @@ pub struct DynamicTransition {
     /// patches cancel out (harmless: the merged view equals the base
     /// there, and the merge yields the identical sequence).
     in_dirty: Vec<bool>,
+    /// Materialized merged in-rows of dirty destinations, refreshed on
+    /// [`DynamicTransition::apply`]. Propagation runs ~100 edge sweeps
+    /// per converged query, so paying one merge per *update* instead of
+    /// one per *sweep* is a large win — and it gives every destination a
+    /// plain slice, which is what lets the overlay share the strip-mined
+    /// kernels (and the identical gather order) of the static backends.
+    dirty_rows: HashMap<NodeId, Vec<NodeId>>,
+    /// Destination ranges, one per worker (mirrors
+    /// [`crate::ParallelTransition`]; length 1 = sequential).
+    ranges: Vec<(u32, u32)>,
+    tile: TilePolicy,
+}
+
+/// The overlay's row view for the shared gather kernels: dirty
+/// destinations read their materialized merged row, everyone else reads
+/// the base CSC slice.
+struct OverlayRows<'a> {
+    base: &'a CsrGraph,
+    in_dirty: &'a [bool],
+    dirty_rows: &'a HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl InAdjacency for OverlayRows<'_> {
+    #[inline]
+    fn in_row(&self, v: NodeId) -> &[NodeId] {
+        if self.in_dirty[v as usize] {
+            self.dirty_rows.get(&v).map(|r| r.as_slice()).unwrap_or_default()
+        } else {
+            self.base.in_neighbors(v)
+        }
+    }
 }
 
 /// The out-adjacency column of one node *before* an update batch touched
@@ -85,7 +117,9 @@ pub struct UpdateDelta {
 
 impl DynamicTransition {
     /// Binds the operator to a dynamic graph, computing `1/outdeg` from
-    /// the merged view.
+    /// the merged view. Single-threaded; see
+    /// [`DynamicTransition::with_threads`] for destination-range
+    /// parallelism.
     pub fn new(graph: DynamicGraph) -> Self {
         let inv_out_deg = (0..graph.n() as NodeId)
             .map(|u| {
@@ -97,8 +131,59 @@ impl DynamicTransition {
                 }
             })
             .collect();
-        let in_dirty = (0..graph.n() as NodeId).map(|v| graph.has_in_patch(v)).collect();
-        Self { graph, inv_out_deg, in_dirty }
+        let in_dirty: Vec<bool> = (0..graph.n() as NodeId).map(|v| graph.has_in_patch(v)).collect();
+        let mut dirty_rows = HashMap::new();
+        for v in 0..graph.n() as NodeId {
+            if in_dirty[v as usize] {
+                dirty_rows.insert(v, graph.in_neighbors(v).collect());
+            }
+        }
+        let ranges = vec![(0, graph.n() as u32)];
+        Self { graph, inv_out_deg, in_dirty, dirty_rows, ranges, tile: TilePolicy::Auto }
+    }
+
+    /// Propagates with `threads` destination-range workers, mirroring
+    /// [`crate::ParallelTransition`]: each worker owns a contiguous band
+    /// of destinations balanced by base in-edge count, writes are
+    /// disjoint, and results stay bit-identical to the single-threaded
+    /// overlay (and to a rebuilt CSR). `0` means "use available
+    /// parallelism".
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        self.ranges = tiling::balance_ranges(self.graph.base().in_offsets(), threads);
+        self
+    }
+
+    /// Overrides the cache-blocking policy (default: the
+    /// [`TilePolicy::Auto`] cost model). Any policy stays bit-identical.
+    pub fn with_tile_policy(mut self, tile: TilePolicy) -> Self {
+        self.tile = tile;
+        self
+    }
+
+    /// Number of destination-range workers.
+    pub fn threads(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The kernels' row view over the current overlay state.
+    fn rows(&self) -> OverlayRows<'_> {
+        OverlayRows {
+            base: self.graph.base(),
+            in_dirty: &self.in_dirty,
+            dirty_rows: &self.dirty_rows,
+        }
+    }
+
+    /// Re-balances worker ranges against the current base snapshot
+    /// (called after compaction replaces the base).
+    fn rebalance(&mut self) {
+        let threads = self.ranges.len();
+        self.ranges = tiling::balance_ranges(self.graph.base().in_offsets(), threads);
     }
 
     /// The underlying dynamic graph.
@@ -151,9 +236,15 @@ impl DynamicTransition {
         }
         if stats.compacted {
             self.in_dirty.iter_mut().for_each(|d| *d = false);
+            self.dirty_rows.clear();
+            self.rebalance();
         } else {
-            for up in updates {
-                self.in_dirty[up.target() as usize] = true;
+            // Re-merge each touched in-row once per distinct target —
+            // update batches hammer the same hubs on power-law graphs.
+            let touched: HashSet<NodeId> = updates.iter().map(|up| up.target()).collect();
+            for v in touched {
+                self.in_dirty[v as usize] = true;
+                self.dirty_rows.insert(v, self.graph.in_neighbors(v).collect());
             }
         }
         UpdateDelta { stats, sources, column_delta_mass }
@@ -165,6 +256,8 @@ impl DynamicTransition {
     pub fn compact(&mut self) {
         self.graph.compact();
         self.in_dirty.iter_mut().for_each(|d| *d = false);
+        self.dirty_rows.clear();
+        self.rebalance();
     }
 
     /// The OSP offset seed `b = (1−c)·(Ã'ᵀ − Ãᵀ)·r` for one cached score
@@ -221,34 +314,34 @@ impl Propagator for DynamicTransition {
         self.graph.n()
     }
 
+    /// Scalar gather over the overlay: unpatched destinations (the
+    /// overwhelming majority) read the base CSR slice, dirty ones their
+    /// materialized merged row — identical accumulation order either
+    /// way, so results match a rebuilt CSR bit for bit. Runs the same
+    /// flat-or-strip-mined kernels as the static backends, split over
+    /// destination-range workers when [`DynamicTransition::with_threads`]
+    /// asked for them.
     fn propagate_into(&self, coeff: f64, x: &[f64], y: &mut [f64]) {
         let n = self.n();
         assert_eq!(x.len(), n, "input vector length mismatch");
         assert_eq!(y.len(), n, "output vector length mismatch");
-        // Unpatched destinations (the overwhelming majority) gather
-        // straight off the base CSR slice; only dirty ones pay the merge.
-        // Identical accumulation order either way, so results match a
-        // rebuilt CSR bit for bit.
-        let base = self.graph.base();
-        for v in 0..n as NodeId {
-            let mut acc = 0.0;
-            if self.in_dirty[v as usize] {
-                for u in self.graph.in_neighbors(v) {
-                    acc += x[u as usize] * self.inv_out_deg[u as usize];
-                }
-            } else {
-                for &u in base.in_neighbors(v) {
-                    acc += x[u as usize] * self.inv_out_deg[u as usize];
-                }
-            }
-            y[v as usize] = coeff * acc;
+        let rows = self.rows();
+        let strip = tiling::resolve_strip(self.tile, n, self.graph.m(), 1);
+        if self.ranges.len() == 1 {
+            tiling::gather_range(&rows, &self.inv_out_deg, coeff, x, y, 0..n as NodeId, strip);
+            return;
         }
+        let inv = &self.inv_out_deg;
+        tiling::par_ranges(&self.ranges, 1, y, |slice, start, end| {
+            tiling::gather_range(&rows, inv, coeff, x, slice, start..end, strip)
+        });
     }
 
-    /// Fused block kernel over the merged view: one merged-adjacency pass
-    /// per iteration updates every lane (same accumulation order as the
+    /// Fused block kernel over the overlay: one adjacency pass per
+    /// iteration updates every lane (same accumulation order as the
     /// scalar path, so results stay bit-identical to lane-by-lane
-    /// execution and to a rebuilt CSR).
+    /// execution and to a rebuilt CSR), parallel over destination bands
+    /// like [`crate::ParallelTransition`].
     fn propagate_block_into(
         &self,
         coeff: f64,
@@ -260,36 +353,24 @@ impl Propagator for DynamicTransition {
         assert_eq!(y.n(), n, "output block height mismatch");
         assert_eq!(x.lanes(), y.lanes(), "lane count mismatch");
         let lanes = x.lanes();
-        let xdata = x.data();
-        let ydata = y.data_mut();
-        let graph = self.graph.base();
-        let gather_row = |yrow: &mut [f64], u: NodeId| {
-            let w = self.inv_out_deg[u as usize];
-            if w == 0.0 {
-                return;
-            }
-            let xrow = &xdata[u as usize * lanes..(u as usize + 1) * lanes];
-            for (yj, xj) in yrow.iter_mut().zip(xrow) {
-                *yj += xj * w;
-            }
-        };
-        for v in 0..n as NodeId {
-            let base = v as usize * lanes;
-            let yrow = &mut ydata[base..base + lanes];
-            yrow.iter_mut().for_each(|e| *e = 0.0);
-            if self.in_dirty[v as usize] {
-                for u in self.graph.in_neighbors(v) {
-                    gather_row(yrow, u);
-                }
-            } else {
-                for &u in graph.in_neighbors(v) {
-                    gather_row(yrow, u);
-                }
-            }
-            for e in yrow.iter_mut() {
-                *e *= coeff;
-            }
+        let rows = self.rows();
+        let strip = tiling::resolve_strip(self.tile, n, self.graph.m(), lanes);
+        if self.ranges.len() == 1 {
+            tiling::block_gather_range(
+                &rows,
+                &self.inv_out_deg,
+                coeff,
+                x,
+                y.data_mut(),
+                0..n as NodeId,
+                strip,
+            );
+            return;
         }
+        let inv = &self.inv_out_deg;
+        tiling::par_ranges(&self.ranges, lanes, y.data_mut(), |slice, start, end| {
+            tiling::block_gather_range(&rows, inv, coeff, x, slice, start..end, strip)
+        });
     }
 }
 
@@ -584,6 +665,76 @@ mod tests {
         let cfg = CpiConfig::default();
         let overlay = cpi(&dyn_t, &SeedSet::single(7), &cfg, 0, None).scores;
         assert_eq!(overlay, rebuild_scores(dyn_t.graph(), 7, &cfg));
+    }
+
+    #[test]
+    fn parallel_dynamic_matches_sequential_bitwise() {
+        let g = test_graph();
+        let mut seq = DynamicTransition::new(DynamicGraph::new(g.clone()));
+        seq.apply(&[Insert(0, 50), Delete(0, 1), Insert(7, 120)]);
+        let x: Vec<f64> = (0..g.n()).map(|i| (i % 11) as f64 / 11.0).collect();
+        let mut y_seq = vec![0.0; g.n()];
+        seq.propagate_into(0.85, &x, &mut y_seq);
+        let mut xb = crate::batch::ScoreBlock::zeros(g.n(), 3);
+        for (i, e) in xb.data_mut().iter_mut().enumerate() {
+            *e = ((i * 7) % 13) as f64 / 13.0;
+        }
+        let mut yb_seq = crate::batch::ScoreBlock::zeros(g.n(), 3);
+        seq.propagate_block_into(0.85, &xb, &mut yb_seq);
+        for threads in [2usize, 3, 8] {
+            let mut par =
+                DynamicTransition::new(DynamicGraph::new(g.clone())).with_threads(threads);
+            par.apply(&[Insert(0, 50), Delete(0, 1), Insert(7, 120)]);
+            assert_eq!(par.threads(), threads);
+            let mut y_par = vec![0.0; g.n()];
+            par.propagate_into(0.85, &x, &mut y_par);
+            assert_eq!(y_seq, y_par, "threads = {threads}");
+            let mut yb_par = crate::batch::ScoreBlock::zeros(g.n(), 3);
+            par.propagate_block_into(0.85, &xb, &mut yb_par);
+            assert_eq!(yb_seq.data(), yb_par.data(), "block, threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_dynamic_survives_compaction() {
+        // Compaction swaps the base snapshot out from under the worker
+        // ranges; they must re-balance and keep covering every node.
+        let g = test_graph();
+        let mut t = DynamicTransition::new(DynamicGraph::new(g).with_compact_threshold(Some(1e-9)))
+            .with_threads(4);
+        let delta = t.apply(&[Insert(0, 50), Insert(50, 0)]);
+        assert!(delta.stats.compacted);
+        let x = vec![1.0 / 200.0; 200];
+        let mut y = vec![0.0; 200];
+        t.propagate_into(1.0, &x, &mut y);
+        let reference = cpi(
+            &Transition::new(&t.graph().snapshot()),
+            &SeedSet::single(3),
+            &CpiConfig::default(),
+            0,
+            None,
+        )
+        .scores;
+        let through_overlay = cpi(&t, &SeedSet::single(3), &CpiConfig::default(), 0, None).scores;
+        assert_eq!(reference, through_overlay);
+    }
+
+    #[test]
+    fn strip_policy_is_bitwise_invisible_on_the_overlay() {
+        let g = test_graph();
+        let mut flat = DynamicTransition::new(DynamicGraph::new(g.clone()))
+            .with_tile_policy(crate::TilePolicy::Flat);
+        let mut strip = DynamicTransition::new(DynamicGraph::new(g.clone()))
+            .with_tile_policy(crate::TilePolicy::Strip(17));
+        let ups = [Insert(3, 90), Delete(3, 4), Insert(90, 3)];
+        flat.apply(&ups);
+        strip.apply(&ups);
+        let x: Vec<f64> = (0..g.n()).map(|i| (i % 5) as f64 / 5.0).collect();
+        let mut y_flat = vec![0.0; g.n()];
+        let mut y_strip = vec![0.0; g.n()];
+        flat.propagate_into(0.85, &x, &mut y_flat);
+        strip.propagate_into(0.85, &x, &mut y_strip);
+        assert_eq!(y_flat, y_strip);
     }
 
     #[test]

@@ -19,10 +19,13 @@ use crate::batch::cpi_batch;
 use crate::dynamic::{DynamicTransition, UpdateDelta};
 use crate::offcore::DiskGraph;
 use crate::{
-    cpi, CpiConfig, ParallelTransition, Propagator, SeedSet, TpaIndex, TpaParams, Transition,
+    cpi, CpiConfig, ParallelTransition, Propagator, SeedSet, TilePolicy, TpaIndex, TpaParams,
+    Transition,
 };
 use std::sync::Arc;
-use tpa_graph::{CsrGraph, DynamicGraph, EdgeUpdate, NodeId};
+use tpa_graph::{
+    reorder, CsrGraph, DynamicGraph, EdgeUpdate, NodeId, Permutation, ReorderStrategy,
+};
 
 /// A propagation backend the engine can own: sequential in-memory,
 /// multi-threaded in-memory, streaming from disk, or a mutable
@@ -215,6 +218,10 @@ pub struct QueryEngine<'g> {
     lane_tile: usize,
     staleness: IndexStalenessPolicy,
     accumulated_drift: f64,
+    /// Set by [`QueryEngine::with_reordering`]: the backend serves the
+    /// relabeled graph, seeds are mapped on the way in and scores/top-k
+    /// unmapped on the way out, so callers never see the new ids.
+    perm: Option<Arc<Permutation>>,
 }
 
 /// Default lane-tile width for batched plans (see
@@ -253,6 +260,15 @@ impl<'g> QueryEngine<'g> {
         QueryEngine::from_backend(EngineBackend::Dynamic(Box::new(DynamicTransition::new(graph))))
     }
 
+    /// Engine over a mutable delta-overlay graph with destination-range
+    /// worker threads (`0` = available parallelism): both scaling axes —
+    /// streaming updates and multi-core propagation — composed.
+    pub fn dynamic_parallel(graph: DynamicGraph, threads: usize) -> QueryEngine<'static> {
+        QueryEngine::from_backend(EngineBackend::Dynamic(Box::new(
+            DynamicTransition::new(graph).with_threads(threads),
+        )))
+    }
+
     /// Engine over an explicit backend.
     pub fn from_backend(backend: EngineBackend<'g>) -> Self {
         QueryEngine {
@@ -262,7 +278,105 @@ impl<'g> QueryEngine<'g> {
             lane_tile: DEFAULT_LANE_TILE,
             staleness: IndexStalenessPolicy::default(),
             accumulated_drift: 0.0,
+            perm: None,
         }
+    }
+
+    /// Relabels the served graph for cache locality with `strategy` (see
+    /// [`tpa_graph::reorder`]): the permuted graph is built once here,
+    /// and from then on reordering is transparent — seeds map in, scores
+    /// and rankings map back out, updates to a dynamic backend are
+    /// relabeled on entry, and [`QueryEngine::preprocess`] stamps the
+    /// permutation into the index so saved indexes round-trip.
+    ///
+    /// Must be applied before an index is attached. Panics on
+    /// [`EngineBackend::OutOfCore`] — permute the graph *before*
+    /// [`crate::offcore::DiskGraph::create`] instead (the edge file is
+    /// laid out once and cannot be relabeled in place).
+    ///
+    /// The rebuilt backend keeps [`crate::TilePolicy::Auto`]: reordering
+    /// alone delivers the bulk of the win (~2× propagation on shuffled
+    /// R-MAT at n=1M — see `spmv_kernels`), and the cost model adds
+    /// strip-mining only once the score block outgrows what a last-level
+    /// cache plausibly holds. Use [`QueryEngine::with_tile_policy`] to
+    /// force a choice either way.
+    pub fn with_reordering(self, strategy: ReorderStrategy) -> Self {
+        // The dynamic arm materializes the merged snapshot once and
+        // reuses it for the permuted rebuild below.
+        let (perm, snapshot) = match &self.backend {
+            EngineBackend::Sequential(t) => (reorder(t.graph(), strategy), None),
+            EngineBackend::Parallel(t) => (reorder(t.graph(), strategy), None),
+            EngineBackend::Dynamic(t) => {
+                let snap = t.graph().snapshot();
+                (reorder(&snap, strategy), Some(snap))
+            }
+            EngineBackend::OutOfCore(_) => {
+                panic!("out-of-core backends cannot be reordered in place; permute the graph before DiskGraph::create")
+            }
+        };
+        self.apply_permutation(perm, snapshot)
+    }
+
+    /// Overrides the cache-blocking policy of the in-memory backends
+    /// (sequential, parallel, dynamic); see [`crate::TilePolicy`]. Any
+    /// policy is bit-identical — only throughput changes. No effect on
+    /// the streaming out-of-core backend.
+    pub fn with_tile_policy(mut self, tile: TilePolicy) -> Self {
+        self.backend = match self.backend {
+            EngineBackend::Sequential(t) => EngineBackend::Sequential(t.with_tile_policy(tile)),
+            EngineBackend::Parallel(t) => EngineBackend::Parallel(t.with_tile_policy(tile)),
+            EngineBackend::Dynamic(t) => EngineBackend::Dynamic(Box::new(t.with_tile_policy(tile))),
+            other @ EngineBackend::OutOfCore(_) => other,
+        };
+        self
+    }
+
+    /// [`QueryEngine::with_reordering`] with an explicit permutation
+    /// (e.g. one recovered from a saved [`TpaIndex`]). Panics if an
+    /// index is already attached, if the engine is already reordered, or
+    /// if the permutation's size does not match the graph.
+    pub fn with_permutation(self, perm: Permutation) -> Self {
+        self.apply_permutation(perm, None)
+    }
+
+    /// Rebuilds the backend on the permuted graph; `dyn_snapshot` lets
+    /// [`QueryEngine::with_reordering`] hand over the merged snapshot it
+    /// already materialized for a dynamic backend.
+    fn apply_permutation(mut self, perm: Permutation, dyn_snapshot: Option<CsrGraph>) -> Self {
+        assert!(self.index.is_none(), "apply reordering before attaching an index");
+        assert!(self.perm.is_none(), "engine is already reordered");
+        assert_eq!(perm.len(), self.backend.n(), "permutation size does not match the graph");
+        self.backend = match self.backend {
+            EngineBackend::Sequential(t) => {
+                let g = Arc::new(t.graph().permuted(&perm));
+                EngineBackend::Sequential(Transition::shared(g))
+            }
+            EngineBackend::Parallel(t) => {
+                let threads = t.threads();
+                let g = Arc::new(t.graph().permuted(&perm));
+                EngineBackend::Parallel(ParallelTransition::shared(g, threads))
+            }
+            EngineBackend::Dynamic(t) => {
+                let threads = t.threads();
+                let threshold = t.graph().compact_threshold();
+                let snap = dyn_snapshot.unwrap_or_else(|| t.graph().snapshot());
+                let g = snap.permuted(&perm);
+                EngineBackend::Dynamic(Box::new(
+                    DynamicTransition::new(DynamicGraph::new(g).with_compact_threshold(threshold))
+                        .with_threads(threads),
+                ))
+            }
+            EngineBackend::OutOfCore(_) => {
+                panic!("out-of-core backends cannot be reordered in place; permute the graph before DiskGraph::create")
+            }
+        };
+        self.perm = Some(Arc::new(perm));
+        self
+    }
+
+    /// The relabeling this engine serves under, if reordered.
+    pub fn permutation(&self) -> Option<&Permutation> {
+        self.perm.as_deref()
     }
 
     /// Sets the lane-tile width: batches wider than this execute as
@@ -278,6 +392,14 @@ impl<'g> QueryEngine<'g> {
 
     /// Attaches a preprocessed index (shared, so many engines can serve
     /// one index). Panics if the index was built for a different graph.
+    ///
+    /// Reordering handshake: an index preprocessed on a relabeled graph
+    /// carries its [`Permutation`]. Attaching one to an un-reordered
+    /// engine applies that permutation first (so a loaded index
+    /// transparently restores the ordering it was built under); an
+    /// engine already reordered must match the index's permutation
+    /// exactly, and an index *without* a permutation cannot serve a
+    /// reordered engine.
     pub fn with_index(mut self, index: impl Into<Arc<TpaIndex>>) -> Self {
         let index = index.into();
         assert_eq!(
@@ -285,14 +407,29 @@ impl<'g> QueryEngine<'g> {
             self.backend.n(),
             "index was preprocessed for a different graph"
         );
+        match (index.permutation(), &self.perm) {
+            (Some(ip), None) => self = self.with_permutation(ip.clone()),
+            (Some(ip), Some(ep)) => {
+                assert!(ip == ep.as_ref(), "index and engine were reordered differently")
+            }
+            (None, Some(_)) => panic!(
+                "engine is reordered but the index has no permutation; preprocess through the \
+                 reordered engine"
+            ),
+            (None, None) => {}
+        }
         self.index = Some(index);
         self
     }
 
     /// Runs TPA preprocessing on this engine's own backend and attaches
-    /// the resulting index.
+    /// the resulting index (stamped with the engine's reordering, if
+    /// any, so saving it round-trips).
     pub fn preprocess(self, params: TpaParams) -> Self {
-        let index = TpaIndex::preprocess_on(&self.backend, params);
+        let mut index = TpaIndex::preprocess_on(&self.backend, params);
+        if let Some(p) = &self.perm {
+            index = index.with_permutation(p.as_ref().clone());
+        }
         self.with_index(index)
     }
 
@@ -329,6 +466,23 @@ impl<'g> QueryEngine<'g> {
     /// auto-refresh policy — re-preprocesses a stale index on the spot.
     /// Errs on every non-[`EngineBackend::Dynamic`] backend.
     pub fn apply_updates(&mut self, updates: &[EdgeUpdate]) -> Result<UpdateReport, String> {
+        // Callers speak old ids; a reordered backend stores new ones.
+        // The returned delta is in backend (new-id) space — consistent
+        // with `dynamic_transition()`, which serves that same space.
+        let mapped: Vec<EdgeUpdate>;
+        let updates = match &self.perm {
+            None => updates,
+            Some(p) => {
+                mapped = updates
+                    .iter()
+                    .map(|up| match *up {
+                        EdgeUpdate::Insert(u, v) => EdgeUpdate::Insert(p.new_of(u), p.new_of(v)),
+                        EdgeUpdate::Delete(u, v) => EdgeUpdate::Delete(p.new_of(u), p.new_of(v)),
+                    })
+                    .collect();
+                &mapped
+            }
+        };
         let delta = match &mut self.backend {
             EngineBackend::Dynamic(t) => t.apply(updates),
             other => {
@@ -378,7 +532,11 @@ impl<'g> QueryEngine<'g> {
     pub fn refresh_index(&mut self) {
         if let Some(old) = &self.index {
             let params = *old.params();
-            self.index = Some(Arc::new(TpaIndex::preprocess_on(&self.backend, params)));
+            let mut index = TpaIndex::preprocess_on(&self.backend, params);
+            if let Some(p) = &self.perm {
+                index = index.with_permutation(p.as_ref().clone());
+            }
+            self.index = Some(Arc::new(index));
             self.accumulated_drift = 0.0;
         }
     }
@@ -420,16 +578,32 @@ impl<'g> QueryEngine<'g> {
         for &s in &plan.seeds {
             assert!((s as usize) < n, "seed {s} out of range (n = {n})");
         }
-        let scores = match (plan.mode, &self.index) {
+        // Reordered engines run in new-id space: map seeds in here, map
+        // scores back out below (before top-k, so ranking ties keep
+        // breaking on the caller-visible old ids).
+        let mapped: Vec<NodeId>;
+        let seeds: &[NodeId] = match &self.perm {
+            None => &plan.seeds,
+            Some(p) => {
+                mapped = plan.seeds.iter().map(|&s| p.new_of(s)).collect();
+                &mapped
+            }
+        };
+        let mut scores = match (plan.mode, &self.index) {
             (ExecMode::Auto, Some(index)) => {
-                if let [seed] = plan.seeds[..] {
+                if let [seed] = seeds[..] {
                     vec![index.query_on(&self.backend, &SeedSet::single(seed))]
                 } else {
-                    self.tiled(&plan.seeds, |tile| index.query_batch_on(&self.backend, tile))
+                    self.tiled(seeds, |tile| index.query_batch_on(&self.backend, tile))
                 }
             }
-            _ => self.exact_scores(&plan.seeds),
+            _ => self.exact_scores(seeds),
         };
+        if let Some(p) = &self.perm {
+            for s in scores.iter_mut() {
+                *s = p.unpermute_values(s);
+            }
+        }
         match plan.k {
             None => QueryResult::Scores(scores),
             Some(k) => QueryResult::Ranked(scores.iter().map(|s| top_k_scored(s, k)).collect()),
@@ -706,6 +880,106 @@ mod tests {
                 assert!(w[0].0 < w[1].0, "tie not broken by ascending id: {w:?}");
             }
         }
+    }
+
+    #[test]
+    fn reordered_engine_is_transparent_to_callers() {
+        use tpa_graph::ReorderStrategy;
+        let g = test_graph();
+        let plain = QueryEngine::sequential(&g);
+        for strategy in
+            [ReorderStrategy::DegreeDescending, ReorderStrategy::Rcm, ReorderStrategy::HubCluster]
+        {
+            let reordered = QueryEngine::sequential(&g).with_reordering(strategy);
+            assert_eq!(reordered.permutation().unwrap().len(), g.n());
+            let a = plain.query(13);
+            let b = reordered.query(13);
+            // Same CPI on an isomorphic graph: equal up to FP association
+            // (the gather visits neighbors in relabeled order).
+            let l1: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+            assert!(l1 < 1e-8, "{}: unmapped scores drifted {l1}", strategy.name());
+            // Top-k ranks in caller (old-id) space.
+            let ranked = reordered.top_k(13, 5);
+            for (v, _) in &ranked {
+                assert!((*v as usize) < g.n());
+            }
+        }
+    }
+
+    #[test]
+    fn reordered_backends_agree_bitwise() {
+        use tpa_graph::ReorderStrategy;
+        let g = test_graph();
+        let seeds: Vec<NodeId> = vec![2, 77, 201];
+        let seq = QueryEngine::sequential(&g).with_reordering(ReorderStrategy::DegreeDescending);
+        let par = QueryEngine::parallel(&g, 4).with_reordering(ReorderStrategy::DegreeDescending);
+        let dynamic = QueryEngine::dynamic(DynamicGraph::new(g.clone()))
+            .with_reordering(ReorderStrategy::DegreeDescending);
+        let reference = seq.query_batch(&seeds);
+        assert_eq!(par.query_batch(&seeds), reference);
+        assert_eq!(dynamic.query_batch(&seeds), reference);
+    }
+
+    #[test]
+    fn preprocess_stamps_permutation_and_index_roundtrips() {
+        use tpa_graph::ReorderStrategy;
+        let g = test_graph();
+        let params = TpaParams::new(5, 10);
+        let engine =
+            QueryEngine::sequential(&g).with_reordering(ReorderStrategy::Rcm).preprocess(params);
+        let index = engine.index().unwrap();
+        assert_eq!(index.permutation(), engine.permutation());
+
+        // Save, load, attach to a *fresh* engine: the stored permutation
+        // restores the ordering transparently and answers are identical.
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let loaded = TpaIndex::load(std::io::Cursor::new(&buf)).unwrap();
+        let served = QueryEngine::sequential(&g).with_index(loaded);
+        assert!(served.permutation().is_some());
+        assert_eq!(served.query(42), engine.query(42));
+        assert_eq!(served.top_k(42, 7), engine.top_k(42, 7));
+    }
+
+    #[test]
+    fn reordered_dynamic_engine_accepts_old_id_updates() {
+        use tpa_graph::ReorderStrategy;
+        let g = test_graph();
+        let mut plain = QueryEngine::dynamic(DynamicGraph::new(g.clone()));
+        let mut reordered = QueryEngine::dynamic(DynamicGraph::new(g.clone()))
+            .with_reordering(ReorderStrategy::HubCluster);
+        let ups =
+            [EdgeUpdate::Insert(13, 200), EdgeUpdate::Delete(13, 200), EdgeUpdate::Insert(7, 40)];
+        let a = plain.apply_updates(&ups).unwrap();
+        let b = reordered.apply_updates(&ups).unwrap();
+        assert_eq!(a.delta.stats, b.delta.stats);
+        let x = plain.query(7);
+        let y = reordered.query(7);
+        let l1: f64 = x.iter().zip(&y).map(|(p, q)| (p - q).abs()).sum();
+        assert!(l1 < 1e-8, "post-update scores drifted {l1}");
+    }
+
+    #[test]
+    fn tile_policy_is_bitwise_invisible_through_the_engine() {
+        let g = test_graph();
+        let flat = QueryEngine::sequential(&g).with_tile_policy(crate::TilePolicy::Flat);
+        let strip = QueryEngine::sequential(&g).with_tile_policy(crate::TilePolicy::Strip(29));
+        assert_eq!(flat.query(7), strip.query(7));
+        assert_eq!(flat.query_batch(&[1, 2, 3]), strip.query_batch(&[1, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "reordered differently")]
+    fn mismatched_permutations_are_rejected() {
+        use tpa_graph::ReorderStrategy;
+        let g = test_graph();
+        let index = QueryEngine::sequential(&g)
+            .with_reordering(ReorderStrategy::DegreeDescending)
+            .preprocess(TpaParams::new(4, 9))
+            .index()
+            .unwrap()
+            .clone();
+        let _ = QueryEngine::sequential(&g).with_reordering(ReorderStrategy::Rcm).with_index(index);
     }
 
     #[test]

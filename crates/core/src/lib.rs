@@ -56,6 +56,7 @@ mod pagerank;
 mod parallel;
 pub mod params;
 mod seeds;
+pub mod tiling;
 mod tpa;
 mod transition;
 mod weighted;
@@ -73,6 +74,7 @@ pub use engine::{
 pub use pagerank::{exact_rwr, pagerank, pagerank_window, personalized_pagerank};
 pub use parallel::ParallelTransition;
 pub use seeds::SeedSet;
+pub use tiling::TilePolicy;
 pub use tpa::{PreprocessStats, TpaIndex, TpaParams, TpaParts};
 pub use transition::{Propagator, Transition};
 pub use weighted::WeightedTransition;

@@ -5,53 +5,46 @@
 //! result is bit-identical to the sequential kernel (no atomics, no
 //! reduction reordering). Thread ranges are balanced by in-edge count, not
 //! node count, because power-law graphs concentrate edges on few nodes.
+//! Within its range each worker runs the same flat-or-strip-mined kernels
+//! as the sequential backend (see [`crate::tiling`]), so cache blocking
+//! and parallelism compose.
 
 use crate::batch::ScoreBlock;
+use crate::tiling::{self, TilePolicy};
+use crate::transition::GraphHandle;
 use crate::Propagator;
+use std::sync::Arc;
 use tpa_graph::{CsrGraph, NodeId};
 
 /// Parallel version of [`crate::Transition`].
 pub struct ParallelTransition<'g> {
-    graph: &'g CsrGraph,
+    graph: GraphHandle<'g>,
     inv_out_deg: Vec<f64>,
     /// Destination ranges, one per worker, balanced by in-edge count.
     ranges: Vec<(u32, u32)>,
+    tile: TilePolicy,
 }
 
 impl<'g> ParallelTransition<'g> {
     /// Binds the operator with `threads` workers. The worker count is
     /// clamped to `[1, n]` — a range per worker is only useful while
     /// there are nodes to hand out — and every range is non-empty by
-    /// construction: edge-balanced splits are nudged so each worker owns
-    /// at least one node, and an edgeless graph falls back to plain
-    /// node-count balancing.
+    /// construction (see [`crate::tiling`]'s range balancing).
     pub fn new(graph: &'g CsrGraph, threads: usize) -> Self {
-        let n = graph.n();
-        let m = graph.m();
-        let threads = threads.clamp(1, n.max(1));
-        let in_offsets = graph.in_offsets();
-        let mut ranges = Vec::with_capacity(threads);
-        let mut start = 0usize;
-        for w in 0..threads {
-            let end = if w + 1 == threads {
-                n
-            } else if m == 0 {
-                // No edges to balance: split nodes evenly.
-                n * (w + 1) / threads
-            } else {
-                // First node boundary at or past this worker's edge share,
-                // clamped so this range and every later one stay non-empty.
-                let target = (m * (w + 1)).div_ceil(threads);
-                let mut end = start;
-                while end < n && in_offsets[end + 1] <= target {
-                    end += 1;
-                }
-                end.max(start + 1).min(n - (threads - w - 1))
-            };
-            ranges.push((start as u32, end as u32));
-            start = end;
-        }
-        Self { graph, inv_out_deg: graph.inv_out_degrees(), ranges }
+        Self::from_handle(GraphHandle::Borrowed(graph), threads)
+    }
+
+    /// Binds the operator to a shared-ownership graph (used by reordered
+    /// engines, which own the permuted graph they serve).
+    pub fn shared(graph: Arc<CsrGraph>, threads: usize) -> ParallelTransition<'static> {
+        ParallelTransition::from_handle(GraphHandle::Shared(graph), threads)
+    }
+
+    fn from_handle(graph: GraphHandle<'_>, threads: usize) -> ParallelTransition<'_> {
+        let g = graph.get();
+        let ranges = tiling::balance_ranges(g.in_offsets(), threads);
+        let inv_out_deg = g.inv_out_degrees();
+        ParallelTransition { graph, inv_out_deg, ranges, tile: TilePolicy::Auto }
     }
 
     /// Default worker count: available parallelism.
@@ -60,45 +53,49 @@ impl<'g> ParallelTransition<'g> {
         Self::new(graph, threads)
     }
 
+    /// Overrides the cache-blocking policy (default: the
+    /// [`TilePolicy::Auto`] cost model). Any policy stays bit-identical.
+    pub fn with_tile_policy(mut self, tile: TilePolicy) -> Self {
+        self.tile = tile;
+        self
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        self.graph.get()
+    }
+
     /// Number of worker ranges.
     pub fn threads(&self) -> usize {
         self.ranges.len()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn ranges(&self) -> &[(u32, u32)] {
+        &self.ranges
     }
 }
 
 impl Propagator for ParallelTransition<'_> {
     fn n(&self) -> usize {
-        self.graph.n()
+        self.graph.get().n()
     }
 
     fn propagate_into(&self, coeff: f64, x: &[f64], y: &mut [f64]) {
-        let n = self.graph.n();
+        let g = self.graph.get();
+        let n = g.n();
         assert_eq!(x.len(), n);
         assert_eq!(y.len(), n);
+        let strip = tiling::resolve_strip(self.tile, n, g.m(), 1);
         if self.ranges.len() == 1 {
             // Sequential fast path.
-            gather_range(self.graph, &self.inv_out_deg, coeff, x, y, 0, n as u32);
+            tiling::gather_range(g, &self.inv_out_deg, coeff, x, y, 0..n as NodeId, strip);
             return;
         }
-        // Split y into per-worker disjoint slices matching `ranges`.
-        let mut slices: Vec<&mut [f64]> = Vec::with_capacity(self.ranges.len());
-        let mut rest = y;
-        let mut cursor = 0u32;
-        for &(start, end) in &self.ranges {
-            debug_assert_eq!(start, cursor);
-            let (head, tail) = rest.split_at_mut((end - start) as usize);
-            slices.push(head);
-            rest = tail;
-            cursor = end;
-        }
-        std::thread::scope(|scope| {
-            for (slice, &(start, end)) in slices.into_iter().zip(&self.ranges) {
-                let graph = self.graph;
-                let inv = &self.inv_out_deg;
-                scope.spawn(move || {
-                    gather_range_into(graph, inv, coeff, x, slice, start, end);
-                });
-            }
+        let inv = &self.inv_out_deg;
+        tiling::par_ranges(&self.ranges, 1, y, |slice, start, end| {
+            tiling::gather_range(g, inv, coeff, x, slice, start..end, strip)
         });
     }
 
@@ -107,69 +104,29 @@ impl Propagator for ParallelTransition<'_> {
     /// same disjoint-write scheme as the scalar path — bit-identical to
     /// the sequential block kernel, no atomics.
     fn propagate_block_into(&self, coeff: f64, x: &ScoreBlock, y: &mut ScoreBlock) {
-        let n = self.graph.n();
+        let g = self.graph.get();
+        let n = g.n();
         assert_eq!(x.n(), n, "input block height mismatch");
         assert_eq!(y.n(), n, "output block height mismatch");
         assert_eq!(x.lanes(), y.lanes(), "lane count mismatch");
         let lanes = x.lanes();
+        let strip = tiling::resolve_strip(self.tile, n, g.m(), lanes);
         if self.ranges.len() == 1 {
-            crate::batch::block_gather(self.graph, &self.inv_out_deg, coeff, x, y);
+            tiling::block_gather_range(
+                g,
+                &self.inv_out_deg,
+                coeff,
+                x,
+                y.data_mut(),
+                0..n as NodeId,
+                strip,
+            );
             return;
         }
-        let mut slices: Vec<&mut [f64]> = Vec::with_capacity(self.ranges.len());
-        let mut rest = y.data_mut();
-        for &(start, end) in &self.ranges {
-            let (head, tail) = rest.split_at_mut((end - start) as usize * lanes);
-            slices.push(head);
-            rest = tail;
-        }
-        std::thread::scope(|scope| {
-            for (slice, &(start, end)) in slices.into_iter().zip(&self.ranges) {
-                let graph = self.graph;
-                let inv = &self.inv_out_deg;
-                scope.spawn(move || {
-                    crate::batch::block_gather_range(graph, inv, coeff, x, slice, start, end);
-                });
-            }
+        let inv = &self.inv_out_deg;
+        tiling::par_ranges(&self.ranges, lanes, y.data_mut(), |slice, start, end| {
+            tiling::block_gather_range(g, inv, coeff, x, slice, start..end, strip)
         });
-    }
-}
-
-/// Gather into `y[start..end]` where `y` is the full-length buffer.
-fn gather_range(
-    graph: &CsrGraph,
-    inv: &[f64],
-    coeff: f64,
-    x: &[f64],
-    y: &mut [f64],
-    start: u32,
-    end: u32,
-) {
-    for v in start..end {
-        let mut acc = 0.0;
-        for &u in graph.in_neighbors(v) {
-            acc += x[u as usize] * inv[u as usize];
-        }
-        y[v as usize] = coeff * acc;
-    }
-}
-
-/// Gather into a slice that *starts* at node `start` (offset-local writes).
-fn gather_range_into(
-    graph: &CsrGraph,
-    inv: &[f64],
-    coeff: f64,
-    x: &[f64],
-    y_local: &mut [f64],
-    start: u32,
-    end: u32,
-) {
-    for v in start..end {
-        let mut acc = 0.0;
-        for &u in graph.in_neighbors(v as NodeId) {
-            acc += x[u as usize] * inv[u as usize];
-        }
-        y_local[(v - start) as usize] = coeff * acc;
     }
 }
 
@@ -201,6 +158,19 @@ mod tests {
     }
 
     #[test]
+    fn strip_mining_is_bitwise_invisible_across_threads() {
+        let g = test_graph();
+        let flat = ParallelTransition::new(&g, 3).with_tile_policy(TilePolicy::Flat);
+        let strip = ParallelTransition::new(&g, 3).with_tile_policy(TilePolicy::Strip(37));
+        let x: Vec<f64> = (0..g.n()).map(|i| (i % 7) as f64 / 7.0).collect();
+        let mut y_flat = vec![0.0; g.n()];
+        let mut y_strip = vec![0.0; g.n()];
+        flat.propagate_into(0.85, &x, &mut y_flat);
+        strip.propagate_into(0.85, &x, &mut y_strip);
+        assert_eq!(y_flat, y_strip);
+    }
+
+    #[test]
     fn cpi_identical_through_parallel_backend() {
         let g = test_graph();
         let seq = Transition::new(&g);
@@ -217,7 +187,7 @@ mod tests {
         for threads in [1usize, 2, 5, 16, 1000] {
             let par = ParallelTransition::new(&g, threads);
             let mut covered = 0u32;
-            for &(start, end) in &par.ranges {
+            for &(start, end) in par.ranges() {
                 assert_eq!(start, covered);
                 covered = end;
             }

@@ -1,0 +1,478 @@
+//! Cache-blocked ("destination-tiled") gather kernels and the cost model
+//! that decides when to use them.
+//!
+//! The CPI step `y ← coeff·Ãᵀ·x` gathers `x[u]` in in-neighbor order.
+//! Once `x` outgrows the private L2 cache, those reads are the bound on
+//! throughput: on a power-law graph with arbitrary labels nearly every
+//! gather misses. The strip-mined kernels here sweep the CSR in
+//! **source strips** — column blocks of `Ãᵀ` sized so one strip of `x`
+//! stays L2-resident — and visit every destination row once per strip,
+//! consuming only the row's neighbors that fall inside the strip (a
+//! per-row cursor makes that resumption `O(1)` amortized). Each strip of
+//! `x` is then reused across *all* destination rows before the next
+//! strip is touched.
+//!
+//! **Bit-identity.** Per destination the additions still happen in
+//! ascending in-neighbor order, folded left into one accumulator that
+//! persists across strips, with the `coeff` multiply applied once at the
+//! end — the exact floating-point chain of the flat kernel. Strip width
+//! therefore cannot change results, and every backend stays bitwise
+//! equal to every other no matter what each one picks.
+//!
+//! The cost model ([`resolve_strip`]) strips only when it can pay off:
+//! the active slice of `x` (all lanes) must overflow what a last-level
+//! cache can plausibly hold and the graph must have enough average
+//! degree that each strip's resident entries are actually reused.
+//! Everything else takes the flat kernel, whose inner loop is an
+//! iterator fold over the row slice (no per-edge bounds check on the
+//! row; degree-zero rows short-circuit). Structure alone cannot see the
+//! *ordering*, which decides whether rows' neighbors concentrate into
+//! few strips (strips shine) or spray across all of them (scheduling
+//! overhead bites) — so `Auto` is deliberately conservative, and
+//! [`crate::QueryEngine::with_tile_policy`] /
+//! [`crate::Transition::with_tile_policy`] exist to force strips for
+//! workloads known to be in their regime (score blocks beyond the LLC
+//! on a strip-friendly ordering like hub-clustering; the `spmv_kernels`
+//! bench measures the matrix).
+
+use crate::batch::ScoreBlock;
+use std::ops::Range;
+use tpa_graph::{CsrGraph, NodeId};
+
+/// How a propagation backend blocks its gather loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TilePolicy {
+    /// Let the cost model pick per call (the default).
+    #[default]
+    Auto,
+    /// Always the flat (un-tiled) kernel.
+    Flat,
+    /// Always strip-mine with the given `x`-strip width in *entries*
+    /// (clamped to ≥ 1). One strip's working set is
+    /// `width × lanes × 8` bytes.
+    Strip(usize),
+}
+
+/// Per-strip footprint the model aims `x` slices at: half of a typical
+/// 2 MiB private L2, leaving the other half for the streaming
+/// row/cursor/output traffic.
+pub const STRIP_TARGET_BYTES: usize = 1 << 20;
+
+/// What the auto model assumes a last-level cache absorbs. Below this
+/// the flat gather's working set effectively stays cached and blocking
+/// only adds scheduling overhead (measured: tiling a 8 MB score vector
+/// on a big-L3 part *lost* 40%); above it the strips are the only thing
+/// keeping gathers out of DRAM.
+pub const LLC_ASSUME_BYTES: usize = 32 << 20;
+
+/// Auto model only strips graphs with at least this average degree —
+/// below it each resident `x` entry is reused too rarely to repay the
+/// extra sweep bookkeeping.
+const MIN_AVG_DEGREE: usize = 8;
+
+/// Resolves a policy for one propagation call: `None` = flat kernel,
+/// `Some(width)` = strip-mined with that `x`-strip width.
+pub fn resolve_strip(policy: TilePolicy, n: usize, m: usize, lanes: usize) -> Option<usize> {
+    match policy {
+        TilePolicy::Flat => None,
+        TilePolicy::Strip(w) => Some(w.max(1)),
+        TilePolicy::Auto => {
+            let row_bytes = 8 * lanes.max(1);
+            // The score block plausibly stays LLC-resident: blocking can
+            // only add cost.
+            if n.saturating_mul(row_bytes) <= LLC_ASSUME_BYTES {
+                return None;
+            }
+            if m < MIN_AVG_DEGREE * n {
+                return None;
+            }
+            Some((STRIP_TARGET_BYTES / row_bytes).max(1024))
+        }
+    }
+}
+
+/// A destination-row source for the gather kernels: node `v`'s
+/// in-neighbors as one ascending slice. Implemented by [`CsrGraph`]
+/// (plain CSC rows) and by the dynamic backend's merged-row view, so all
+/// backends share the same monomorphized kernels.
+pub(crate) trait InAdjacency {
+    /// In-neighbor row of destination `v`, ascending.
+    fn in_row(&self, v: NodeId) -> &[NodeId];
+}
+
+impl InAdjacency for CsrGraph {
+    #[inline]
+    fn in_row(&self, v: NodeId) -> &[NodeId] {
+        self.in_neighbors(v)
+    }
+}
+
+/// Left fold of one (partial) row into a running accumulator. Both the
+/// flat and the strip kernels build each destination's sum through this
+/// same chain, which is what keeps them bit-identical.
+#[inline]
+fn row_gather_from(acc: f64, row: &[NodeId], x: &[f64], inv: &[f64]) -> f64 {
+    row.iter().fold(acc, |a, &u| a + x[u as usize] * inv[u as usize])
+}
+
+/// Flat scalar gather for destinations `range`, writing into `y_local`
+/// (`y_local[0]` is node `range.start`).
+pub(crate) fn gather_flat<A: InAdjacency + ?Sized>(
+    adj: &A,
+    inv: &[f64],
+    coeff: f64,
+    x: &[f64],
+    y_local: &mut [f64],
+    range: Range<NodeId>,
+) {
+    debug_assert_eq!(y_local.len(), range.len());
+    for (y, v) in y_local.iter_mut().zip(range) {
+        let row = adj.in_row(v);
+        // Degree-zero rows skip the fold (and the coeff multiply:
+        // `coeff · 0.0 = 0.0` for the positive coefficients CPI uses).
+        *y = if row.is_empty() { 0.0 } else { coeff * row_gather_from(0.0, row, x, inv) };
+    }
+}
+
+/// The strip scheduler: rows queued at the strip holding their next
+/// unconsumed neighbor, so a sweep visits each destination only in
+/// strips where it actually gathers something. Total row-visits are
+/// bounded by `min(m, rows × strips)` — without the schedule every strip
+/// would pay an `O(rows)` scan, which drowns the locality win on
+/// medium-degree graphs.
+struct StripSchedule {
+    width: usize,
+    /// `buckets[s]` = local row indexes whose next neighbor is in strip
+    /// `s`.
+    buckets: Vec<Vec<u32>>,
+}
+
+impl StripSchedule {
+    fn new(n: usize, width: usize) -> Self {
+        let strips = n.div_ceil(width).max(1);
+        Self { width, buckets: vec![Vec::new(); strips] }
+    }
+
+    #[inline]
+    fn enqueue(&mut self, next_neighbor: NodeId, i: u32) {
+        self.buckets[next_neighbor as usize / self.width].push(i);
+    }
+}
+
+/// Strip-mined scalar gather for destinations `range`: sweeps `x` in
+/// strips of `width` entries; per destination the accumulation chain is
+/// identical to [`gather_flat`] (see the module docs).
+pub(crate) fn gather_strip<A: InAdjacency + ?Sized>(
+    adj: &A,
+    inv: &[f64],
+    coeff: f64,
+    x: &[f64],
+    y_local: &mut [f64],
+    range: Range<NodeId>,
+    width: usize,
+) {
+    let rows = range.len();
+    debug_assert_eq!(y_local.len(), rows);
+    y_local.fill(0.0);
+    let mut cursor = vec![0u32; rows];
+    let mut sched = StripSchedule::new(x.len(), width);
+    for (i, v) in range.clone().enumerate() {
+        if let Some(&first) = adj.in_row(v).first() {
+            sched.enqueue(first, i as u32);
+        }
+    }
+    for s in 0..sched.buckets.len() {
+        let hi = ((s + 1) * width).min(x.len()) as NodeId;
+        let queued = std::mem::take(&mut sched.buckets[s]);
+        for i in queued {
+            let v = range.start + i;
+            let row = adj.in_row(v);
+            let mut c = cursor[i as usize] as usize;
+            // Continue this destination's fold where the previous strip
+            // left it — the chain stays identical to the flat kernel's —
+            // consuming neighbors in one linear scan until the strip
+            // boundary.
+            let mut acc = y_local[i as usize];
+            for &u in &row[c..] {
+                if u >= hi {
+                    break;
+                }
+                acc += x[u as usize] * inv[u as usize];
+                c += 1;
+            }
+            y_local[i as usize] = acc;
+            cursor[i as usize] = c as u32;
+            if let Some(&next) = row.get(c) {
+                sched.enqueue(next, i);
+            }
+        }
+    }
+    for y in y_local.iter_mut() {
+        *y *= coeff;
+    }
+}
+
+/// One source's contribution to a block row: `yrow += w · xrow`.
+#[inline]
+fn block_row_add(yrow: &mut [f64], xrow: &[f64], w: f64) {
+    for (yj, xj) in yrow.iter_mut().zip(xrow) {
+        *yj += xj * w;
+    }
+}
+
+/// Flat fused block gather for destinations `range` into the row-aligned
+/// slice `y_local` (lane width from `x`; `y_local`'s first row is node
+/// `range.start`).
+pub(crate) fn block_gather_flat<A: InAdjacency + ?Sized>(
+    adj: &A,
+    inv: &[f64],
+    coeff: f64,
+    x: &ScoreBlock,
+    y_local: &mut [f64],
+    range: Range<NodeId>,
+) {
+    let lanes = x.lanes();
+    debug_assert_eq!(y_local.len(), range.len() * lanes);
+    for (yrow, v) in y_local.chunks_exact_mut(lanes).zip(range) {
+        yrow.fill(0.0);
+        for &u in adj.in_row(v) {
+            let w = inv[u as usize];
+            if w == 0.0 {
+                continue;
+            }
+            block_row_add(yrow, x.row(u as usize), w);
+        }
+        for e in yrow.iter_mut() {
+            *e *= coeff;
+        }
+    }
+}
+
+/// Strip-mined fused block gather: like [`gather_strip`] but every
+/// resident `x` *row* (all lanes of one source) is reused across the
+/// strip. Bit-identical to [`block_gather_flat`].
+pub(crate) fn block_gather_strip<A: InAdjacency + ?Sized>(
+    adj: &A,
+    inv: &[f64],
+    coeff: f64,
+    x: &ScoreBlock,
+    y_local: &mut [f64],
+    range: Range<NodeId>,
+    width: usize,
+) {
+    let lanes = x.lanes();
+    let rows = range.len();
+    debug_assert_eq!(y_local.len(), rows * lanes);
+    y_local.fill(0.0);
+    let mut cursor = vec![0u32; rows];
+    let mut sched = StripSchedule::new(x.n(), width);
+    for (i, v) in range.clone().enumerate() {
+        if let Some(&first) = adj.in_row(v).first() {
+            sched.enqueue(first, i as u32);
+        }
+    }
+    for s in 0..sched.buckets.len() {
+        let hi = ((s + 1) * width).min(x.n()) as NodeId;
+        let queued = std::mem::take(&mut sched.buckets[s]);
+        for i in queued {
+            let v = range.start + i;
+            let row = adj.in_row(v);
+            let mut c = cursor[i as usize] as usize;
+            let yrow = &mut y_local[i as usize * lanes..(i as usize + 1) * lanes];
+            for &u in &row[c..] {
+                if u >= hi {
+                    break;
+                }
+                c += 1;
+                let w = inv[u as usize];
+                if w == 0.0 {
+                    continue;
+                }
+                block_row_add(yrow, x.row(u as usize), w);
+            }
+            cursor[i as usize] = c as u32;
+            if let Some(&next) = row.get(c) {
+                sched.enqueue(next, i);
+            }
+        }
+    }
+    for e in y_local.iter_mut() {
+        *e *= coeff;
+    }
+}
+
+/// Scalar gather for destinations `range`, flat or strip-mined per the
+/// resolved policy.
+pub(crate) fn gather_range<A: InAdjacency + ?Sized>(
+    adj: &A,
+    inv: &[f64],
+    coeff: f64,
+    x: &[f64],
+    y_local: &mut [f64],
+    range: Range<NodeId>,
+    strip: Option<usize>,
+) {
+    match strip {
+        None => gather_flat(adj, inv, coeff, x, y_local, range),
+        Some(width) => gather_strip(adj, inv, coeff, x, y_local, range, width),
+    }
+}
+
+/// Fused block gather for destinations `range`, flat or strip-mined per
+/// the resolved policy.
+pub(crate) fn block_gather_range<A: InAdjacency + ?Sized>(
+    adj: &A,
+    inv: &[f64],
+    coeff: f64,
+    x: &ScoreBlock,
+    y_local: &mut [f64],
+    range: Range<NodeId>,
+    strip: Option<usize>,
+) {
+    match strip {
+        None => block_gather_flat(adj, inv, coeff, x, y_local, range),
+        Some(width) => block_gather_strip(adj, inv, coeff, x, y_local, range, width),
+    }
+}
+
+/// Fan-out shared by the parallel and dynamic backends: splits `y` into
+/// per-range row-aligned slices (`row_width` = 1 for scalar, `lanes`
+/// for blocks) and runs `work(slice, start, end)` on each range in its
+/// own scoped worker. Disjoint writes, shared reads — bit-identical to
+/// running the ranges sequentially.
+pub(crate) fn par_ranges<F>(ranges: &[(u32, u32)], row_width: usize, y: &mut [f64], work: F)
+where
+    F: Fn(&mut [f64], u32, u32) + Sync,
+{
+    let mut slices: Vec<&mut [f64]> = Vec::with_capacity(ranges.len());
+    let mut rest = y;
+    for &(start, end) in ranges {
+        let (head, tail) = rest.split_at_mut((end - start) as usize * row_width);
+        slices.push(head);
+        rest = tail;
+    }
+    std::thread::scope(|scope| {
+        for (slice, &(start, end)) in slices.into_iter().zip(ranges) {
+            let work = &work;
+            scope.spawn(move || work(slice, start, end));
+        }
+    });
+}
+
+/// Destination ranges for `threads` workers over `n` nodes, balanced by
+/// in-edge count via the CSC offset array (power-law graphs concentrate
+/// edges on few destinations, so node-count splits starve most workers).
+/// Every range is non-empty; an edgeless graph falls back to node-count
+/// balancing. Shared by the parallel and dynamic backends.
+pub(crate) fn balance_ranges(in_offsets: &[usize], threads: usize) -> Vec<(u32, u32)> {
+    let n = in_offsets.len() - 1;
+    let m = in_offsets[n];
+    let threads = threads.clamp(1, n.max(1));
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    for w in 0..threads {
+        let end = if w + 1 == threads {
+            n
+        } else if m == 0 {
+            // No edges to balance: split nodes evenly.
+            n * (w + 1) / threads
+        } else {
+            // First node boundary at or past this worker's edge share,
+            // clamped so this range and every later one stay non-empty.
+            let target = (m * (w + 1)).div_ceil(threads);
+            let mut end = start;
+            while end < n && in_offsets[end + 1] <= target {
+                end += 1;
+            }
+            end.max(start + 1).min(n - (threads - w - 1))
+        };
+        ranges.push((start as u32, end as u32));
+        start = end;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_graph::gen::{lfr_lite, LfrConfig};
+
+    fn test_graph() -> CsrGraph {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(19);
+        lfr_lite(LfrConfig { n: 300, m: 3600, ..Default::default() }, &mut rng).graph
+    }
+
+    #[test]
+    fn auto_model_flat_for_small_or_sparse() {
+        // Small n: x fits cache.
+        assert_eq!(resolve_strip(TilePolicy::Auto, 10_000, 200_000, 1), None);
+        // Large but too sparse.
+        assert_eq!(resolve_strip(TilePolicy::Auto, 8_000_000, 16_000_000, 1), None);
+        // LLC-resident at n=1M scalar: flat.
+        assert_eq!(resolve_strip(TilePolicy::Auto, 1_000_000, 10_000_000, 1), None);
+        // Huge and dense enough: strips.
+        let w = resolve_strip(TilePolicy::Auto, 8_000_000, 80_000_000, 1).unwrap();
+        assert_eq!(w, STRIP_TARGET_BYTES / 8);
+        // Wider lanes shrink the strip to keep the footprint constant
+        // (and cross the LLC bound sooner).
+        let w8 = resolve_strip(TilePolicy::Auto, 1_000_000, 10_000_000, 8).unwrap();
+        assert_eq!(w8, STRIP_TARGET_BYTES / 64);
+    }
+
+    #[test]
+    fn forced_policies_override_the_model() {
+        assert_eq!(resolve_strip(TilePolicy::Flat, 1 << 30, 1 << 34, 1), None);
+        assert_eq!(resolve_strip(TilePolicy::Strip(777), 4, 4, 1), Some(777));
+        assert_eq!(resolve_strip(TilePolicy::Strip(0), 4, 4, 1), Some(1));
+    }
+
+    #[test]
+    fn strip_kernel_bitwise_equals_flat_for_any_width() {
+        let g = test_graph();
+        let inv = g.inv_out_degrees();
+        let n = g.n();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 / 101.0 - 0.3).collect();
+        let mut flat = vec![0.0; n];
+        gather_flat(&g, &inv, 0.85, &x, &mut flat, 0..n as NodeId);
+        for width in [1usize, 7, 64, 255, n, 10 * n] {
+            let mut tiled = vec![0.0; n];
+            gather_strip(&g, &inv, 0.85, &x, &mut tiled, 0..n as NodeId, width);
+            assert_eq!(tiled, flat, "width = {width}");
+        }
+    }
+
+    #[test]
+    fn block_strip_kernel_bitwise_equals_flat() {
+        let g = test_graph();
+        let inv = g.inv_out_degrees();
+        let n = g.n();
+        let lanes = 5;
+        let mut x = ScoreBlock::zeros(n, lanes);
+        for (i, e) in x.data_mut().iter_mut().enumerate() {
+            *e = ((i * 13) % 97) as f64 / 97.0;
+        }
+        let mut flat = ScoreBlock::zeros(n, lanes);
+        block_gather_flat(&g, &inv, 0.85, &x, flat.data_mut(), 0..n as NodeId);
+        for width in [3usize, 50, 299, n] {
+            let mut tiled = ScoreBlock::zeros(n, lanes);
+            block_gather_strip(&g, &inv, 0.85, &x, tiled.data_mut(), 0..n as NodeId, width);
+            assert_eq!(tiled.data(), flat.data(), "width = {width}");
+        }
+    }
+
+    #[test]
+    fn ranges_balance_and_cover() {
+        let g = test_graph();
+        for threads in [1usize, 2, 5, 16, 1000] {
+            let ranges = balance_ranges(g.in_offsets(), threads);
+            let mut covered = 0u32;
+            for &(start, end) in &ranges {
+                assert_eq!(start, covered);
+                assert!(end > start);
+                covered = end;
+            }
+            assert_eq!(covered as usize, g.n());
+        }
+    }
+}

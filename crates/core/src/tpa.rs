@@ -1,7 +1,7 @@
 //! TPA: the two-phase approximation itself (paper §III, Algorithms 2 & 3).
 
 use crate::{cpi, CpiConfig, SeedSet, Transition};
-use tpa_graph::{CsrGraph, NodeId};
+use tpa_graph::{CsrGraph, NodeId, Permutation};
 
 /// TPA parameters: restart probability, tolerance, and the two split
 /// points of the CPI iteration series.
@@ -64,6 +64,12 @@ pub struct TpaIndex {
     params: TpaParams,
     stranger: Vec<f64>,
     stats: PreprocessStats,
+    /// Set when the index was preprocessed on a reordered (relabeled)
+    /// graph: the stranger vector is in *new*-id order and queries must
+    /// run on the equally-permuted graph. [`crate::QueryEngine`] applies
+    /// the permutation transparently; [`TpaIndex::save`] persists it so
+    /// saved indexes round-trip.
+    perm: Option<Permutation>,
 }
 
 impl TpaIndex {
@@ -86,7 +92,27 @@ impl TpaIndex {
                 iterations: run.last_iteration,
                 final_residual: run.final_residual,
             },
+            perm: None,
         }
+    }
+
+    /// Records the node relabeling the index was preprocessed under (see
+    /// the `perm` field docs). Panics on a size mismatch.
+    pub fn with_permutation(mut self, perm: Permutation) -> Self {
+        assert_eq!(
+            perm.len(),
+            self.stranger.len(),
+            "permutation relabels {} nodes but the index covers {}",
+            perm.len(),
+            self.stranger.len()
+        );
+        self.perm = Some(perm);
+        self
+    }
+
+    /// The relabeling the index was preprocessed under, if any.
+    pub fn permutation(&self) -> Option<&Permutation> {
+        self.perm.as_ref()
     }
 
     /// **Algorithm 3** (online phase): computes the family part exactly
@@ -178,10 +204,11 @@ impl TpaIndex {
     /// few hundred thousand syscalls instead of one per value.
     const IO_CHUNK: usize = 8192;
 
-    /// Serializes the index (magic, params, stats, stranger vector; all
+    /// Serializes the index (magic, params, stats, stranger vector, and
+    /// — since format 2 — the optional reordering permutation; all
     /// little-endian). Preprocess once, ship the index, query anywhere.
     pub fn save(&self, mut w: impl std::io::Write) -> std::io::Result<()> {
-        w.write_all(b"TPAINDX1")?;
+        w.write_all(b"TPAINDX2")?;
         w.write_all(&self.params.c.to_le_bytes())?;
         w.write_all(&self.params.eps.to_le_bytes())?;
         w.write_all(&(self.params.s as u64).to_le_bytes())?;
@@ -199,17 +226,30 @@ impl TpaIndex {
             }
             w.write_all(&buf)?;
         }
+        // Permutation trailer: length 0 = no reordering.
+        let table = self.perm.as_ref().map(|p| p.new_to_old()).unwrap_or(&[]);
+        w.write_all(&(table.len() as u64).to_le_bytes())?;
+        for chunk in table.chunks(Self::IO_CHUNK) {
+            buf.clear();
+            for &v in chunk {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            w.write_all(&buf)?;
+        }
         w.flush()
     }
 
-    /// Deserializes an index produced by [`TpaIndex::save`].
+    /// Deserializes an index produced by [`TpaIndex::save`]. Format 1
+    /// files (pre-reordering) load with no permutation.
     pub fn load(mut r: impl std::io::Read) -> std::io::Result<Self> {
         use std::io::{Error, ErrorKind};
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
-        if &magic != b"TPAINDX1" {
-            return Err(Error::new(ErrorKind::InvalidData, "bad TPA index magic"));
-        }
+        let version = match &magic {
+            b"TPAINDX1" => 1,
+            b"TPAINDX2" => 2,
+            _ => return Err(Error::new(ErrorKind::InvalidData, "bad TPA index magic")),
+        };
         let mut f = [0u8; 8];
         let mut read_f64 = |r: &mut dyn std::io::Read| -> std::io::Result<f64> {
             r.read_exact(&mut f)?;
@@ -249,9 +289,35 @@ impl TpaIndex {
             }
             remaining -= take;
         }
+        let perm = if version >= 2 {
+            r.read_exact(&mut u2)?;
+            let plen = u64::from_le_bytes(u2) as usize;
+            if plen != 0 && plen != n {
+                return Err(Error::new(ErrorKind::InvalidData, "permutation length mismatch"));
+            }
+            if plen == 0 {
+                None
+            } else {
+                let mut table = Vec::with_capacity(plen);
+                let mut remaining = plen;
+                while remaining > 0 {
+                    let take = remaining.min(Self::IO_CHUNK * 2);
+                    r.read_exact(&mut buf[..take * 4])?;
+                    for rec in buf[..take * 4].chunks_exact(4) {
+                        table.push(u32::from_le_bytes(rec.try_into().unwrap()));
+                    }
+                    remaining -= take;
+                }
+                let p = tpa_graph::Permutation::try_from_new_to_old(table)
+                    .map_err(|e| Error::new(ErrorKind::InvalidData, e))?;
+                Some(p)
+            }
+        } else {
+            None
+        };
         let params = TpaParams { c, eps, s, t };
         params.validate();
-        Ok(Self { params, stranger, stats: PreprocessStats { iterations, final_residual } })
+        Ok(Self { params, stranger, stats: PreprocessStats { iterations, final_residual }, perm })
     }
 }
 

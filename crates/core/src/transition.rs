@@ -1,6 +1,8 @@
 //! The RWR transition operator `Ãᵀ` bound to a graph.
 
 use crate::batch::ScoreBlock;
+use crate::tiling::{self, TilePolicy};
+use std::sync::Arc;
 use tpa_graph::{CsrGraph, NodeId};
 
 /// A propagation backend: anything that can compute the CPI step
@@ -36,48 +38,85 @@ pub trait Propagator {
     }
 }
 
+/// Borrowed or shared ownership of a [`CsrGraph`]. Backends were born
+/// borrowing (`&'g CsrGraph`); the reordering layer additionally needs
+/// engines that *own* the permuted graph they just built, so backends
+/// accept either. One indirection resolved per propagation call — never
+/// inside a kernel loop.
+pub(crate) enum GraphHandle<'g> {
+    /// Caller-owned graph, borrowed for the backend's lifetime.
+    Borrowed(&'g CsrGraph),
+    /// Backend-(co)owned graph (e.g. built by `with_reordering`).
+    Shared(Arc<CsrGraph>),
+}
+
+impl GraphHandle<'_> {
+    #[inline]
+    pub(crate) fn get(&self) -> &CsrGraph {
+        match self {
+            GraphHandle::Borrowed(g) => g,
+            GraphHandle::Shared(g) => g,
+        }
+    }
+}
+
 /// Row-normalized transposed adjacency operator `Ãᵀ` with the per-source
 /// `1/outdeg` weights precomputed.
 ///
 /// The propagation `y ← (1−c)·Ãᵀ·x` is implemented as a *gather* over
 /// in-edges: each node pulls `x[u]/outdeg(u)` from its in-neighbors `u`.
-/// Writes are sequential (good for cache), reads are the random part.
+/// Writes are sequential (good for cache), reads are the random part —
+/// which is why the kernel routes through the cache-blocking layer in
+/// [`crate::tiling`]: once `x` outgrows L2 (and the graph is dense
+/// enough for strip reuse) the gather is strip-mined, bit-identically.
 pub struct Transition<'g> {
-    graph: &'g CsrGraph,
+    graph: GraphHandle<'g>,
     inv_out_deg: Vec<f64>,
+    tile: TilePolicy,
 }
 
 impl<'g> Transition<'g> {
     /// Binds the operator to a graph, precomputing `1/outdeg`.
     pub fn new(graph: &'g CsrGraph) -> Self {
-        Self { graph, inv_out_deg: graph.inv_out_degrees() }
+        let inv_out_deg = graph.inv_out_degrees();
+        Self { graph: GraphHandle::Borrowed(graph), inv_out_deg, tile: TilePolicy::Auto }
+    }
+
+    /// Binds the operator to a shared-ownership graph (used by reordered
+    /// engines, which own the permuted graph they serve).
+    pub fn shared(graph: Arc<CsrGraph>) -> Transition<'static> {
+        let inv_out_deg = graph.inv_out_degrees();
+        Transition { graph: GraphHandle::Shared(graph), inv_out_deg, tile: TilePolicy::Auto }
+    }
+
+    /// Overrides the cache-blocking policy (default: the
+    /// [`TilePolicy::Auto`] cost model).
+    pub fn with_tile_policy(mut self, tile: TilePolicy) -> Self {
+        self.tile = tile;
+        self
     }
 
     /// The underlying graph.
     #[inline]
-    pub fn graph(&self) -> &'g CsrGraph {
-        self.graph
+    pub fn graph(&self) -> &CsrGraph {
+        self.graph.get()
     }
 
     /// Number of nodes.
     #[inline]
     pub fn n(&self) -> usize {
-        self.graph.n()
+        self.graph.get().n()
     }
 
     /// `y ← coeff · Ãᵀ·x`. `x` and `y` must both have length `n` and be
     /// distinct buffers.
     pub fn propagate_into(&self, coeff: f64, x: &[f64], y: &mut [f64]) {
-        let n = self.n();
+        let g = self.graph.get();
+        let n = g.n();
         assert_eq!(x.len(), n, "input vector length mismatch");
         assert_eq!(y.len(), n, "output vector length mismatch");
-        for v in 0..n as NodeId {
-            let mut acc = 0.0;
-            for &u in self.graph.in_neighbors(v) {
-                acc += x[u as usize] * self.inv_out_deg[u as usize];
-            }
-            y[v as usize] = coeff * acc;
-        }
+        let strip = tiling::resolve_strip(self.tile, n, g.m(), 1);
+        tiling::gather_range(g, &self.inv_out_deg, coeff, x, y, 0..n as NodeId, strip);
     }
 
     /// Precomputed `1/outdeg` weights (0.0 for dangling nodes).
@@ -95,7 +134,21 @@ impl Propagator for Transition<'_> {
         Transition::propagate_into(self, coeff, x, y)
     }
     fn propagate_block_into(&self, coeff: f64, x: &ScoreBlock, y: &mut ScoreBlock) {
-        crate::batch::block_gather(self.graph, &self.inv_out_deg, coeff, x, y);
+        let g = self.graph.get();
+        let n = g.n();
+        assert_eq!(x.n(), n, "input block height mismatch");
+        assert_eq!(y.n(), n, "output block height mismatch");
+        assert_eq!(x.lanes(), y.lanes(), "lane count mismatch");
+        let strip = tiling::resolve_strip(self.tile, n, g.m(), x.lanes());
+        tiling::block_gather_range(
+            g,
+            &self.inv_out_deg,
+            coeff,
+            x,
+            y.data_mut(),
+            0..n as NodeId,
+            strip,
+        );
     }
 }
 
@@ -150,5 +203,32 @@ mod tests {
         t.propagate_into(1.0, &x, &mut y);
         // Node 1 is dangling: its 0.5 disappears.
         assert_eq!(y, vec![0.0, 0.5]);
+    }
+
+    #[test]
+    fn shared_ownership_matches_borrowed() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let borrowed = Transition::new(&g);
+        let shared = Transition::shared(Arc::new(g.clone()));
+        let x: Vec<f64> = (0..4).map(|i| i as f64 / 4.0).collect();
+        let mut y1 = vec![0.0; 4];
+        let mut y2 = vec![0.0; 4];
+        borrowed.propagate_into(0.85, &x, &mut y1);
+        shared.propagate_into(0.85, &x, &mut y2);
+        assert_eq!(y1, y2);
+        assert_eq!(shared.graph(), &g);
+    }
+
+    #[test]
+    fn forced_strip_policy_matches_flat_bitwise() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 3), (2, 0)]);
+        let flat = Transition::new(&g).with_tile_policy(TilePolicy::Flat);
+        let strip = Transition::new(&g).with_tile_policy(TilePolicy::Strip(2));
+        let x: Vec<f64> = (0..5).map(|i| (i as f64 + 1.0) / 7.0).collect();
+        let mut y1 = vec![0.0; 5];
+        let mut y2 = vec![0.0; 5];
+        flat.propagate_into(0.85, &x, &mut y1);
+        strip.propagate_into(0.85, &x, &mut y2);
+        assert_eq!(y1, y2);
     }
 }

@@ -164,6 +164,37 @@ impl CsrGraph {
         }
     }
 
+    /// Relabels the graph with `perm`: new node `v'` is old node
+    /// `perm.old_of(v')`, and every adjacency list is re-sorted so the
+    /// result is a fully valid CSR/CSC pair — kernels cannot tell a
+    /// permuted graph from a freshly built one. `O(n + m log d)`.
+    ///
+    /// The relabeled graph is isomorphic to `self`, so RWR scores on it
+    /// equal the original scores up to the same relabeling (and up to
+    /// floating-point association: gathers visit in-neighbors in the
+    /// *new* ascending order).
+    pub fn permuted(&self, perm: &crate::reorder::Permutation) -> CsrGraph {
+        let n = self.n();
+        assert_eq!(perm.len(), n, "permutation is for {} nodes, graph has {n}", perm.len());
+        let relabel = |old_offsets: &[usize], old_data: &[NodeId]| {
+            let mut offsets = Vec::with_capacity(n + 1);
+            offsets.push(0usize);
+            let mut data = Vec::with_capacity(self.m());
+            for new_u in 0..n as NodeId {
+                let old_u = perm.old_of(new_u) as usize;
+                let row = &old_data[old_offsets[old_u]..old_offsets[old_u + 1]];
+                let start = data.len();
+                data.extend(row.iter().map(|&v| perm.new_of(v)));
+                data[start..].sort_unstable();
+                offsets.push(data.len());
+            }
+            (offsets, data)
+        };
+        let (out_offsets, out_targets) = relabel(&self.out_offsets, &self.out_targets);
+        let (in_offsets, in_sources) = relabel(&self.in_offsets, &self.in_sources);
+        CsrGraph::from_raw_parts(out_offsets, out_targets, in_offsets, in_sources)
+    }
+
     /// Checks every structural invariant: offset monotonicity, bounds of
     /// neighbor ids, per-node sortedness, and the CSR/CSC mirror property
     /// (each orientation must contain exactly the same multiset of edges).

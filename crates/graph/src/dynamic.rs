@@ -134,6 +134,12 @@ impl DynamicGraph {
         self
     }
 
+    /// The automatic compaction threshold currently in force (`None` =
+    /// disabled); see [`DynamicGraph::with_compact_threshold`].
+    pub fn compact_threshold(&self) -> Option<f64> {
+        self.compact_threshold
+    }
+
     /// Number of nodes (fixed at construction).
     #[inline]
     pub fn n(&self) -> usize {

@@ -14,6 +14,9 @@
 //!   SBM, LFR-lite (power-law degrees + planted communities), plus
 //!   null-model rewiring controls for Fig. 6.
 //! * [`io`] — SNAP/KONECT edge-list parsing and a binary snapshot codec.
+//! * [`reorder`] — cache-locality relabeling: [`Permutation`] plus
+//!   degree-descending / RCM / hub-cluster orderings consumed by the
+//!   propagation engine ([`CsrGraph::permuted`] applies one).
 //!
 //! ```
 //! use tpa_graph::{CsrGraph, GraphBuilder};
@@ -37,9 +40,11 @@ mod csr;
 pub mod dynamic;
 pub mod gen;
 pub mod io;
+pub mod reorder;
 pub mod weighted;
 
 pub use builder::{DanglingPolicy, GraphBuilder};
 pub use csr::CsrGraph;
 pub use dynamic::{ApplyStats, DynamicGraph, EdgeUpdate, MergedNeighbors};
+pub use reorder::{reorder, Permutation, ReorderStrategy};
 pub use weighted::{unit_weights, WeightedCsrGraph, WeightedGraphBuilder};

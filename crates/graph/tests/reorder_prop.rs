@@ -1,0 +1,91 @@
+//! Property tests for the reordering layer: `Permutation` algebra and
+//! `CsrGraph::permuted` graph isomorphism, over arbitrary graphs and all
+//! strategies.
+
+use proptest::prelude::*;
+use tpa_graph::{
+    reorder, CsrGraph, DanglingPolicy, GraphBuilder, NodeId, Permutation, ReorderStrategy,
+};
+
+/// Strategy: a node count and an arbitrary in-range edge list.
+fn graph_inputs() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2usize..50).prop_flat_map(|n| {
+        let edge = (0..n as NodeId, 0..n as NodeId);
+        (Just(n), proptest::collection::vec(edge, 0..160))
+    })
+}
+
+fn build(n: usize, edges: Vec<(NodeId, NodeId)>) -> CsrGraph {
+    GraphBuilder::with_capacity(n, edges.len())
+        .dangling_policy(DanglingPolicy::Keep)
+        .extend_edges(edges)
+        .build()
+}
+
+const STRATEGIES: [ReorderStrategy; 3] =
+    [ReorderStrategy::DegreeDescending, ReorderStrategy::Rcm, ReorderStrategy::HubCluster];
+
+proptest! {
+    /// `apply ∘ invert = id`, in both directions and on value vectors.
+    #[test]
+    fn permutation_roundtrip((n, edges) in graph_inputs(), pick in 0usize..3) {
+        let g = build(n, edges);
+        let p = reorder(&g, STRATEGIES[pick]);
+        let inv = p.invert();
+        for v in 0..n as NodeId {
+            prop_assert_eq!(inv.new_of(p.new_of(v)), v);
+            prop_assert_eq!(p.new_of(inv.new_of(v)), v);
+            prop_assert_eq!(p.old_of(p.new_of(v)), v);
+        }
+        let values: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        prop_assert_eq!(p.unpermute_values(&p.permute_values(&values)), values.clone());
+        prop_assert_eq!(inv.permute_values(&values), p.unpermute_values(&values));
+    }
+
+    /// Every strategy yields a bijection on every graph.
+    #[test]
+    fn strategies_are_bijections((n, edges) in graph_inputs()) {
+        let g = build(n, edges);
+        for s in STRATEGIES {
+            let p = reorder(&g, s);
+            prop_assert_eq!(p.len(), n, "{}", s.name());
+            let mut seen = vec![false; n];
+            for new in 0..n as NodeId {
+                let old = p.old_of(new) as usize;
+                prop_assert!(!seen[old], "{}: old id {} repeated", s.name(), old);
+                seen[old] = true;
+            }
+        }
+    }
+
+    /// The permuted graph is a valid CSR and exactly isomorphic: edge
+    /// `(u, v)` exists iff `(new(u), new(v))` exists, and degrees map.
+    #[test]
+    fn permuted_graph_is_isomorphic((n, edges) in graph_inputs(), pick in 0usize..3) {
+        let g = build(n, edges.clone());
+        let p = reorder(&g, STRATEGIES[pick]);
+        let pg = g.permuted(&p);
+        prop_assert!(pg.validate().is_ok());
+        prop_assert_eq!(pg.n(), g.n());
+        prop_assert_eq!(pg.m(), g.m());
+        let mut mapped: Vec<(NodeId, NodeId)> =
+            g.edges().map(|(u, v)| (p.new_of(u), p.new_of(v))).collect();
+        mapped.sort_unstable();
+        let mut relabeled: Vec<(NodeId, NodeId)> = pg.edges().collect();
+        relabeled.sort_unstable();
+        prop_assert_eq!(mapped, relabeled);
+        for v in 0..n as NodeId {
+            prop_assert_eq!(pg.out_degree(p.new_of(v)), g.out_degree(v));
+            prop_assert_eq!(pg.in_degree(p.new_of(v)), g.in_degree(v));
+        }
+    }
+
+    /// Permuting with the identity is a no-op.
+    #[test]
+    fn identity_permutation_is_noop((n, edges) in graph_inputs()) {
+        let g = build(n, edges);
+        let id = Permutation::identity(n);
+        prop_assert!(id.is_identity());
+        prop_assert_eq!(g.permuted(&id), g);
+    }
+}
