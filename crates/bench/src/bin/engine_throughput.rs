@@ -32,10 +32,21 @@ fn main() {
     let index = Arc::new(TpaIndex::preprocess(g, params));
     let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
 
-    let baseline = QueryEngine::sequential(g).with_index(Arc::clone(&index));
+    // The baseline pins FrontierPolicy::Dense: this bench isolates the
+    // *batching* lever (shared edge passes), and frontier-auto singles
+    // would fold the sparse-frontier win into the denominator — see
+    // `query_latency` for that axis. Batched lanes are dense either way.
+    let dense = tpa_core::FrontierPolicy::Dense;
+    let baseline = QueryEngine::sequential(g).with_index(Arc::clone(&index)).with_frontier(dense);
     let engines = [
-        ("sequential", QueryEngine::sequential(g).with_index(Arc::clone(&index))),
-        ("parallel", QueryEngine::parallel(g, threads).with_index(Arc::clone(&index))),
+        (
+            "sequential",
+            QueryEngine::sequential(g).with_index(Arc::clone(&index)).with_frontier(dense),
+        ),
+        (
+            "parallel",
+            QueryEngine::parallel(g, threads).with_index(Arc::clone(&index)).with_frontier(dense),
+        ),
     ];
 
     let n = g.n();

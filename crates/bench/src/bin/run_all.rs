@@ -25,8 +25,11 @@ fn main() {
     let dir = me.parent().expect("binary dir");
     let mut failures = Vec::new();
 
-    let all: Vec<&str> =
-        EXPERIMENTS.iter().copied().chain(["fig10_bepi", "spmv_kernels"]).collect();
+    let all: Vec<&str> = EXPERIMENTS
+        .iter()
+        .copied()
+        .chain(["fig10_bepi", "spmv_kernels", "query_latency"])
+        .collect();
     for name in all {
         let path = dir.join(name);
         eprintln!("\n===== running {name} =====");

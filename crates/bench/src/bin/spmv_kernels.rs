@@ -92,9 +92,7 @@ fn main() {
                 reorder_secs: 0.0,
             },
         ];
-        for strategy in
-            [ReorderStrategy::DegreeDescending, ReorderStrategy::Rcm, ReorderStrategy::HubCluster]
-        {
+        for strategy in ReorderStrategy::ALL {
             let (permuted, dt) = tpa_eval::time(|| {
                 let perm = reorder(&g, strategy);
                 g.permuted(&perm)

@@ -6,8 +6,8 @@ use crate::args::Args;
 use std::io::Write;
 use std::path::Path;
 use tpa_core::{
-    top_k_scored, CpiConfig, IndexStalenessPolicy, MaintenanceMode, QueryEngine, QueryPlan,
-    ScoreCache, TpaIndex, TpaParams,
+    top_k_scored, CpiConfig, FrontierPolicy, IndexStalenessPolicy, MaintenanceMode, QueryEngine,
+    QueryPlan, ScoreCache, TpaIndex, TpaParams,
 };
 use tpa_graph::{
     algo, io as gio, reorder, CsrGraph, DynamicGraph, EdgeUpdate, NodeId, ReorderStrategy,
@@ -53,24 +53,27 @@ COMMANDS:
   stats      --graph <file> [--cc-sample N]
              print node/edge counts, degrees, components, reciprocity
   preprocess --graph <file> --s <S> --t <T> --out <index.tpa>
-             [--reorder none|degree|rcm|hub]
+             [--reorder none|degree|rcm|hub|slashburn]
              run TPA's preprocessing phase and save the index; --reorder
              relabels the graph for cache locality first and stores the
              permutation inside the index (queries restore it)
   query      --graph <file> --index <index.tpa> --seed <node>
-             [--topk K] [--threads N]
+             [--topk K] [--threads N] [--frontier auto|dense|sparse]
              approximate RWR scores for a seed (fast online phase); if
              the index was preprocessed with --reorder, the same
              relabeling is applied transparently
   batch      --graph <file> --seeds <file> [--index <index.tpa>]
-             [--topk K] [--threads N] [--reorder none|degree|rcm|hub]
+             [--topk K] [--threads N]
+             [--reorder none|degree|rcm|hub|slashburn]
+             [--frontier auto|dense|sparse]
              serve every seed in the file in one batched engine pass
              (seeds are whitespace/newline separated; # comments ok);
              without --index the batch is answered exactly; --reorder
              only applies to the exact (index-less) path — an index
              brings its own ordering
   exact      --graph <file> --seed <node> [--topk K] [--threads N]
-             [--reorder none|degree|rcm|hub]
+             [--reorder none|degree|rcm|hub|slashburn]
+             [--frontier auto|dense|sparse]
              exact RWR via power iteration (ground truth)
   update     --graph <file> --stream <file> [--index <index.tpa>]
              [--topk K] [--threads N] [--maintain] [--auto-refresh]
@@ -86,6 +89,10 @@ COMMANDS:
 
 --threads 0 uses all available cores; the default (1) is sequential.
 --top is accepted as an alias of --topk.
+--frontier picks the propagation direction for single-seed plans:
+auto (default) runs the sparse-frontier kernel while the seed's
+neighborhood is small and switches to the dense kernels once it
+saturates; results are bitwise identical under every setting.
 
 Dataset keys: slashdot-s google-s pokec-s livejournal-s wikilink-s
               twitter-s friendster-s"
@@ -169,13 +176,22 @@ fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses `--reorder {none,degree,rcm,hub}` (absent ⇒ `None`).
+/// Parses `--reorder {none,degree,rcm,hub,slashburn}` (absent ⇒ `None`).
 fn reorder_flag(args: &Args) -> Result<Option<ReorderStrategy>, String> {
     match args.get("reorder") {
         None | Some("none") => Ok(None),
         Some(name) => ReorderStrategy::parse(name)
             .map(Some)
-            .ok_or_else(|| format!("unknown --reorder {name}; use none|degree|rcm|hub")),
+            .ok_or_else(|| format!("unknown --reorder {name}; use none|degree|rcm|hub|slashburn")),
+    }
+}
+
+/// Parses `--frontier {auto,dense,sparse}` (absent ⇒ `Auto`).
+fn frontier_flag(args: &Args) -> Result<FrontierPolicy, String> {
+    match args.get("frontier") {
+        None => Ok(FrontierPolicy::Auto),
+        Some(name) => FrontierPolicy::parse(name)
+            .ok_or_else(|| format!("unknown --frontier {name}; use auto|dense|sparse")),
     }
 }
 
@@ -221,7 +237,9 @@ fn topk_flag(args: &Args) -> Result<usize, String> {
 /// sequential backend, 0 all cores, N>1 that many workers.
 fn build_engine<'g>(g: &'g CsrGraph, args: &Args) -> Result<QueryEngine<'g>, String> {
     let threads = args.get_or::<usize>("threads", 1).map_err(|e| e.to_string())?;
-    Ok(if threads == 1 { QueryEngine::sequential(g) } else { QueryEngine::parallel(g, threads) })
+    let engine =
+        if threads == 1 { QueryEngine::sequential(g) } else { QueryEngine::parallel(g, threads) };
+    Ok(engine.with_frontier(frontier_flag(args)?))
 }
 
 fn load_index(path: &str, g: &CsrGraph) -> Result<TpaIndex, String> {
@@ -872,7 +890,7 @@ mod tests {
             plain_idx.display()
         ));
         assert_eq!(code, 0, "{plain}");
-        for strategy in ["degree", "rcm", "hub"] {
+        for strategy in ["degree", "rcm", "hub", "slashburn"] {
             let idx = d.join(format!("{strategy}.tpa"));
             let (code, text) = run_cmd(&format!(
                 "preprocess --graph {} --s 5 --t 10 --out {} --reorder {strategy}",
@@ -962,6 +980,58 @@ mod tests {
                 .collect()
         };
         assert_eq!(rankings(&single.1), rankings(&multi.1));
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn frontier_flag_roundtrips_and_is_bitwise_invisible() {
+        let d = tmpdir("frontier");
+        let graph = d.join("g.bin");
+        let index = d.join("g.tpa");
+        let seeds = d.join("seeds.txt");
+        run_cmd(&format!("generate --dataset slashdot-s --scale 20 --out {}", graph.display()));
+        run_cmd(&format!(
+            "preprocess --graph {} --s 5 --t 10 --out {}",
+            graph.display(),
+            index.display()
+        ));
+        std::fs::write(&seeds, "0 3 7\n").unwrap();
+
+        // Rankings (node + score text) must be identical under every
+        // policy, on the indexed, exact, and batch paths.
+        let ranking = |t: &str| -> Vec<String> {
+            t.lines()
+                .filter(|l| l.starts_with(|c: char| c.is_ascii_digit()))
+                .map(Into::into)
+                .collect()
+        };
+        let mut per_policy = Vec::new();
+        for policy in ["auto", "dense", "sparse"] {
+            let (code, q) = run_cmd(&format!(
+                "query --graph {} --index {} --seed 3 --topk 5 --frontier {policy}",
+                graph.display(),
+                index.display()
+            ));
+            assert_eq!(code, 0, "{q}");
+            let (code, e) = run_cmd(&format!(
+                "exact --graph {} --seed 3 --topk 5 --frontier {policy}",
+                graph.display()
+            ));
+            assert_eq!(code, 0, "{e}");
+            let (code, b) = run_cmd(&format!(
+                "batch --graph {} --seeds {} --topk 3 --frontier {policy}",
+                graph.display(),
+                seeds.display()
+            ));
+            assert_eq!(code, 0, "{b}");
+            per_policy.push((ranking(&q), ranking(&e), ranking(&b)));
+        }
+        assert_eq!(per_policy[0], per_policy[1], "auto vs dense");
+        assert_eq!(per_policy[0], per_policy[2], "auto vs sparse");
+
+        let (code, _) =
+            run_cmd(&format!("exact --graph {} --seed 3 --frontier frog", graph.display()));
+        assert_eq!(code, 1, "bad --frontier must be rejected");
         let _ = std::fs::remove_dir_all(d);
     }
 

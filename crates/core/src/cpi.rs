@@ -5,7 +5,9 @@
 //! `r = Σᵢ x(i)`. The `start`/`end` iteration window is what TPA uses to
 //! split the sum into family / neighbor / stranger parts.
 
+use crate::frontier::{FrontierPolicy, FrontierScratch, SPARSE_CUMULATIVE_BUDGET};
 use crate::{Propagator, SeedSet};
+use tpa_graph::NodeId;
 
 /// Shared CPI parameters.
 #[derive(Clone, Copy, Debug)]
@@ -65,6 +67,12 @@ pub struct CpiResult {
 ///
 /// Iteration 0 is the seed vector `x(0) = c·q` itself; it is accumulated
 /// when `start == 0`, matching the series `r = Σ_{i≥0} x(i)`.
+///
+/// Propagation is scheduled by [`FrontierPolicy::Auto`]: iterations whose
+/// interim vector is supported on a small frontier run the backend's
+/// sparse kernel, and the run latches onto the dense kernels once the
+/// frontier saturates. Any policy is bitwise invisible — use
+/// [`cpi_policy`] to force one.
 pub fn cpi<P: Propagator + ?Sized>(
     transition: &P,
     seeds: &SeedSet,
@@ -73,6 +81,21 @@ pub fn cpi<P: Propagator + ?Sized>(
     end: Option<usize>,
 ) -> CpiResult {
     cpi_trace(transition, seeds, cfg, start, end, |_, _| {})
+}
+
+/// [`cpi`] with an explicit [`FrontierPolicy`] (forced dense, forced
+/// sparse, or the default direction-optimizing `Auto`). All policies
+/// produce bitwise-identical results on every backend; only the memory
+/// traffic differs.
+pub fn cpi_policy<P: Propagator + ?Sized>(
+    transition: &P,
+    seeds: &SeedSet,
+    cfg: &CpiConfig,
+    start: usize,
+    end: Option<usize>,
+    policy: FrontierPolicy,
+) -> CpiResult {
+    cpi_trace_policy(transition, seeds, cfg, start, end, policy, |_, _| {})
 }
 
 /// [`cpi`] with a per-iteration callback receiving `(i, x(i))` for every
@@ -84,6 +107,37 @@ pub fn cpi_trace<P: Propagator + ?Sized>(
     cfg: &CpiConfig,
     start: usize,
     end: Option<usize>,
+    on_iteration: impl FnMut(usize, &[f64]),
+) -> CpiResult {
+    cpi_trace_policy(transition, seeds, cfg, start, end, FrontierPolicy::Auto, on_iteration)
+}
+
+/// [`cpi_trace`] with an explicit [`FrontierPolicy`]. The direction
+/// decision is made here, per iteration, from the backend's
+/// [`Propagator::frontier_work`] probe:
+///
+/// * `Dense` — every iteration runs `propagate_into_norm` (the
+///   pre-frontier behavior, with the residual folded inside the kernel).
+/// * `Sparse` — every iteration runs `propagate_frontier`, however large
+///   the frontier grows.
+/// * `Auto` — sparse while (a) the backend has a sparse path, (b) the
+///   seed support is known (not [`SeedSet::Uniform`]), (c) the
+///   frontier's out-edge count stays under `m / DENSE_SWITCH_DIVISOR`,
+///   and (d) cumulative sparse edge work stays under
+///   `SPARSE_CUMULATIVE_BUDGET · m`; then latches dense for the rest of
+///   the run (propagation frontiers only grow).
+///
+/// While sparse, the per-iteration `O(n)` costs disappear too: the
+/// residual comes out of the kernel's reachable-set fold, and the window
+/// accumulation adds only the frontier's entries (both bitwise equal to
+/// their dense counterparts — the skipped terms are exact zeros).
+pub fn cpi_trace_policy<P: Propagator + ?Sized>(
+    transition: &P,
+    seeds: &SeedSet,
+    cfg: &CpiConfig,
+    start: usize,
+    end: Option<usize>,
+    policy: FrontierPolicy,
     mut on_iteration: impl FnMut(usize, &[f64]),
 ) -> CpiResult {
     cfg.validate();
@@ -96,25 +150,90 @@ pub fn cpi_trace<P: Propagator + ?Sized>(
     let mut next = vec![0.0f64; n];
     let mut scores = vec![0.0f64; n];
 
+    // Sparse-mode state: the support of `x` (`active`), the stale
+    // support still written in the `next` buffer, and the kernel
+    // workspace. `Auto` without a known seed support (or a backend
+    // without a sparse path) starts — and therefore stays — dense.
+    let mut sparse = match policy {
+        FrontierPolicy::Dense => false,
+        FrontierPolicy::Sparse => true,
+        FrontierPolicy::Auto => {
+            seeds.support().is_some() && transition.frontier_work(&[]).is_some()
+        }
+    };
+    let mut active: Vec<NodeId> = Vec::new();
+    let mut stale: Vec<NodeId> = Vec::new();
+    let mut scratch = None;
+    let mut cumulative_work = 0usize;
+    if sparse {
+        active = seeds.support().unwrap_or_else(|| (0..n as NodeId).collect());
+        scratch = Some(FrontierScratch::new(n));
+    }
+
     on_iteration(0, &x);
     if start == 0 {
-        add_assign(&mut scores, &x);
+        if sparse {
+            add_assign_support(&mut scores, &x, &active);
+        } else {
+            add_assign(&mut scores, &x);
+        }
     }
 
     let mut i = 0usize;
-    let mut residual = l1(&x);
+    let mut residual = if sparse { l1_support(&x, &active) } else { l1(&x) };
     let mut converged = residual < cfg.eps;
     let hard_end = end.unwrap_or(usize::MAX);
 
     while !converged && i < hard_end && i < cfg.max_iters {
         i += 1;
-        transition.propagate_into(1.0 - cfg.c, &x, &mut next);
-        std::mem::swap(&mut x, &mut next);
-        on_iteration(i, &x);
-        if i >= start {
-            add_assign(&mut scores, &x);
+        if sparse && policy == FrontierPolicy::Auto {
+            // Per-iteration direction decision (one-way: sparse → dense).
+            let keep = match transition.frontier_work(&active) {
+                Some(w) => {
+                    w.prefers_sparse()
+                        && (cumulative_work as f64)
+                            < SPARSE_CUMULATIVE_BUDGET * w.total_edges as f64
+                }
+                None => false,
+            };
+            if !keep {
+                sparse = false;
+            }
         }
-        residual = l1(&x);
+        if sparse {
+            let scratch = scratch.as_mut().expect("sparse mode allocates its scratch");
+            // `next` still holds x(i−2): zero its stale support so the
+            // kernel's untouched entries are exact zeros.
+            for &v in &stale {
+                next[v as usize] = 0.0;
+            }
+            let step = transition.propagate_frontier(1.0 - cfg.c, &x, &mut next, &active, scratch);
+            cumulative_work += step.edge_work;
+            residual = step.residual;
+            std::mem::swap(&mut x, &mut next);
+            // Rotate the support lists alongside the buffers: the old
+            // `active` is now the stale support of `next`.
+            std::mem::swap(&mut active, &mut stale);
+            std::mem::swap(&mut active, scratch.next_active_mut());
+            if step.went_dense && policy == FrontierPolicy::Auto {
+                sparse = false;
+            }
+            on_iteration(i, &x);
+            if i >= start {
+                if sparse {
+                    add_assign_support(&mut scores, &x, &active);
+                } else {
+                    add_assign(&mut scores, &x);
+                }
+            }
+        } else {
+            residual = transition.propagate_into_norm(1.0 - cfg.c, &x, &mut next);
+            std::mem::swap(&mut x, &mut next);
+            on_iteration(i, &x);
+            if i >= start {
+                add_assign(&mut scores, &x);
+            }
+        }
         if residual < cfg.eps {
             converged = true;
         }
@@ -130,9 +249,26 @@ fn add_assign(acc: &mut [f64], x: &[f64]) {
     }
 }
 
+/// Support-only accumulation: `x` is zero off `active`, and adding an
+/// exact `0.0` to a score is the identity, so this matches
+/// [`add_assign`] bit for bit while touching `O(|active|)` entries.
+#[inline]
+fn add_assign_support(acc: &mut [f64], x: &[f64], active: &[NodeId]) {
+    for &v in active {
+        acc[v as usize] += x[v as usize];
+    }
+}
+
 #[inline]
 fn l1(x: &[f64]) -> f64 {
     x.iter().map(|v| v.abs()).sum()
+}
+
+/// Support-only L1: ascending `active` covers every nonzero of `x`, so
+/// the fold skips only exact-zero terms — bitwise equal to [`l1`].
+#[inline]
+fn l1_support(x: &[f64], active: &[NodeId]) -> f64 {
+    active.iter().fold(0.0f64, |acc, &v| acc + x[v as usize].abs())
 }
 
 #[cfg(test)]

@@ -33,7 +33,9 @@
 //!    `tolerance` leaves a tail of at most `tolerance·(1−c)/c` more.
 
 use crate::batch::cpi_batch;
+use crate::frontier::{self, FrontierScratch, FrontierStep, FrontierWork};
 use crate::tiling::{self, InAdjacency, TilePolicy};
+use crate::transition::dense_frontier_fallback;
 use crate::{CpiConfig, Propagator};
 use std::collections::{HashMap, HashSet};
 use tpa_graph::{CsrGraph, DynamicGraph, EdgeUpdate, NodeId};
@@ -67,6 +69,9 @@ pub struct DynamicTransition {
     /// [`crate::ParallelTransition`]; length 1 = sequential).
     ranges: Vec<(u32, u32)>,
     tile: TilePolicy,
+    /// Memoized sampled `Auto` tile decisions, cleared whenever the
+    /// overlay mutates (apply / compact).
+    strips: tiling::StripCache,
 }
 
 /// The overlay's row view for the shared gather kernels: dirty
@@ -139,7 +144,15 @@ impl DynamicTransition {
             }
         }
         let ranges = vec![(0, graph.n() as u32)];
-        Self { graph, inv_out_deg, in_dirty, dirty_rows, ranges, tile: TilePolicy::Auto }
+        Self {
+            graph,
+            inv_out_deg,
+            in_dirty,
+            dirty_rows,
+            ranges,
+            tile: TilePolicy::Auto,
+            strips: tiling::StripCache::new(),
+        }
     }
 
     /// Propagates with `threads` destination-range workers, mirroring
@@ -168,6 +181,11 @@ impl DynamicTransition {
     /// Number of destination-range workers.
     pub fn threads(&self) -> usize {
         self.ranges.len()
+    }
+
+    /// The memoized tile decision for the current overlay state.
+    fn resolve_strip(&self, rows: &OverlayRows<'_>, lanes: usize) -> Option<usize> {
+        self.strips.resolve(self.tile, rows, self.n(), self.graph.m(), lanes)
     }
 
     /// The kernels' row view over the current overlay state.
@@ -234,6 +252,7 @@ impl DynamicTransition {
             column_delta_mass +=
                 column_delta(&sd.old_out, sd.old_inv, self.graph.out_neighbors(u), new_inv);
         }
+        self.strips.clear();
         if stats.compacted {
             self.in_dirty.iter_mut().for_each(|d| *d = false);
             self.dirty_rows.clear();
@@ -255,6 +274,7 @@ impl DynamicTransition {
     /// the neighbor-scan cost drops back to plain CSR slices.
     pub fn compact(&mut self) {
         self.graph.compact();
+        self.strips.clear();
         self.in_dirty.iter_mut().for_each(|d| *d = false);
         self.dirty_rows.clear();
         self.rebalance();
@@ -326,15 +346,82 @@ impl Propagator for DynamicTransition {
         assert_eq!(x.len(), n, "input vector length mismatch");
         assert_eq!(y.len(), n, "output vector length mismatch");
         let rows = self.rows();
-        let strip = tiling::resolve_strip(self.tile, n, self.graph.m(), 1);
+        let strip = self.resolve_strip(&rows, 1);
         if self.ranges.len() == 1 {
             tiling::gather_range(&rows, &self.inv_out_deg, coeff, x, y, 0..n as NodeId, strip);
             return;
         }
         let inv = &self.inv_out_deg;
         tiling::par_ranges(&self.ranges, 1, y, |slice, start, end| {
-            tiling::gather_range(&rows, inv, coeff, x, slice, start..end, strip)
+            tiling::gather_range(&rows, inv, coeff, x, slice, start..end, strip);
         });
+    }
+
+    /// Fused-residual variant: the single-range overlay folds `Σ|y|`
+    /// inside the kernel's destination loop for free; the multi-range
+    /// path propagates and then pays one index-order scan (per-worker
+    /// partials would change the fold's association — see
+    /// [`crate::ParallelTransition`]).
+    fn propagate_into_norm(&self, coeff: f64, x: &[f64], y: &mut [f64]) -> f64 {
+        if self.ranges.len() == 1 {
+            let n = self.n();
+            assert_eq!(x.len(), n, "input vector length mismatch");
+            assert_eq!(y.len(), n, "output vector length mismatch");
+            let rows = self.rows();
+            let strip = self.resolve_strip(&rows, 1);
+            return tiling::gather_range(
+                &rows,
+                &self.inv_out_deg,
+                coeff,
+                x,
+                y,
+                0..n as NodeId,
+                strip,
+            );
+        }
+        self.propagate_into(coeff, x, y);
+        y.iter().fold(0.0f64, |acc, v| acc + v.abs())
+    }
+
+    fn frontier_work(&self, active: &[NodeId]) -> Option<FrontierWork> {
+        Some(FrontierWork {
+            frontier_edges: frontier::frontier_out_edges(&self.graph, active),
+            total_edges: self.graph.m(),
+        })
+    }
+
+    /// Sparse-frontier step over the overlay: discovery walks the merged
+    /// out-view, the masked gather reads the same merged in-rows as the
+    /// dense overlay kernels (dirty destinations hit their materialized
+    /// row, everyone else the base CSC slice), split over the worker
+    /// ranges when present — bit-identical to a rebuilt CSR.
+    fn propagate_frontier(
+        &self,
+        coeff: f64,
+        x: &[f64],
+        y: &mut [f64],
+        active: &[NodeId],
+        scratch: &mut FrontierScratch,
+    ) -> FrontierStep {
+        let n = self.n();
+        assert_eq!(x.len(), n, "input vector length mismatch");
+        assert_eq!(y.len(), n, "output vector length mismatch");
+        let rows = self.rows();
+        match frontier::sparse_step_ranged(
+            &self.graph,
+            &rows,
+            &self.inv_out_deg,
+            coeff,
+            x,
+            y,
+            active,
+            self.graph.m(),
+            &self.ranges,
+            scratch,
+        ) {
+            Some(step) => step,
+            None => dense_frontier_fallback(self, coeff, x, y, scratch),
+        }
     }
 
     /// Fused block kernel over the overlay: one adjacency pass per
@@ -354,7 +441,7 @@ impl Propagator for DynamicTransition {
         assert_eq!(x.lanes(), y.lanes(), "lane count mismatch");
         let lanes = x.lanes();
         let rows = self.rows();
-        let strip = tiling::resolve_strip(self.tile, n, self.graph.m(), lanes);
+        let strip = self.resolve_strip(&rows, lanes);
         if self.ranges.len() == 1 {
             tiling::block_gather_range(
                 &rows,

@@ -17,10 +17,11 @@
 
 use crate::batch::cpi_batch;
 use crate::dynamic::{DynamicTransition, UpdateDelta};
+use crate::frontier::{FrontierScratch, FrontierStep, FrontierWork};
 use crate::offcore::DiskGraph;
 use crate::{
-    cpi, CpiConfig, ParallelTransition, Propagator, SeedSet, TilePolicy, TpaIndex, TpaParams,
-    Transition,
+    cpi_policy, CpiConfig, FrontierPolicy, ParallelTransition, Propagator, SeedSet, TilePolicy,
+    TpaIndex, TpaParams, Transition,
 };
 use std::sync::Arc;
 use tpa_graph::{
@@ -88,6 +89,49 @@ impl Propagator for EngineBackend<'_> {
             EngineBackend::Dynamic(t) => Propagator::propagate_block_into(t.as_ref(), coeff, x, y),
         }
     }
+
+    // The frontier entry points forward to the wrapped backend so its
+    // native kernels (not the trait defaults) serve engine plans.
+
+    fn propagate_into_norm(&self, coeff: f64, x: &[f64], y: &mut [f64]) -> f64 {
+        match self {
+            EngineBackend::Sequential(t) => Propagator::propagate_into_norm(t, coeff, x, y),
+            EngineBackend::Parallel(t) => t.propagate_into_norm(coeff, x, y),
+            EngineBackend::OutOfCore(d) => Propagator::propagate_into_norm(d, coeff, x, y),
+            EngineBackend::Dynamic(t) => Propagator::propagate_into_norm(t.as_ref(), coeff, x, y),
+        }
+    }
+
+    fn frontier_work(&self, active: &[NodeId]) -> Option<FrontierWork> {
+        match self {
+            EngineBackend::Sequential(t) => Propagator::frontier_work(t, active),
+            EngineBackend::Parallel(t) => t.frontier_work(active),
+            EngineBackend::OutOfCore(d) => Propagator::frontier_work(d, active),
+            EngineBackend::Dynamic(t) => Propagator::frontier_work(t.as_ref(), active),
+        }
+    }
+
+    fn propagate_frontier(
+        &self,
+        coeff: f64,
+        x: &[f64],
+        y: &mut [f64],
+        active: &[NodeId],
+        scratch: &mut FrontierScratch,
+    ) -> FrontierStep {
+        match self {
+            EngineBackend::Sequential(t) => {
+                Propagator::propagate_frontier(t, coeff, x, y, active, scratch)
+            }
+            EngineBackend::Parallel(t) => t.propagate_frontier(coeff, x, y, active, scratch),
+            EngineBackend::OutOfCore(d) => {
+                Propagator::propagate_frontier(d, coeff, x, y, active, scratch)
+            }
+            EngineBackend::Dynamic(t) => {
+                Propagator::propagate_frontier(t.as_ref(), coeff, x, y, active, scratch)
+            }
+        }
+    }
 }
 
 /// When is an attached [`TpaIndex`] too stale to keep serving?
@@ -145,6 +189,7 @@ pub struct QueryPlan {
     seeds: Vec<NodeId>,
     k: Option<usize>,
     mode: ExecMode,
+    frontier: Option<FrontierPolicy>,
 }
 
 impl QueryPlan {
@@ -155,7 +200,7 @@ impl QueryPlan {
 
     /// Plan for a batch of seeds (one lane per seed, shared edge passes).
     pub fn batch(seeds: impl Into<Vec<NodeId>>) -> Self {
-        QueryPlan { seeds: seeds.into(), k: None, mode: ExecMode::Auto }
+        QueryPlan { seeds: seeds.into(), k: None, mode: ExecMode::Auto, frontier: None }
     }
 
     /// Return only the `k` best-scoring nodes per seed (partial
@@ -171,6 +216,15 @@ impl QueryPlan {
         self
     }
 
+    /// Overrides the engine's [`FrontierPolicy`] for this plan (see
+    /// [`QueryEngine::with_frontier`]). Applies to the scalar
+    /// (single-seed) path; batched lanes always run the dense fused
+    /// block kernels. Bitwise invisible either way.
+    pub fn with_frontier(mut self, policy: FrontierPolicy) -> Self {
+        self.frontier = Some(policy);
+        self
+    }
+
     /// The planned seeds.
     pub fn seeds(&self) -> &[NodeId] {
         &self.seeds
@@ -179,6 +233,11 @@ impl QueryPlan {
     /// The planned execution mode.
     pub fn mode(&self) -> ExecMode {
         self.mode
+    }
+
+    /// The plan-level frontier override, if any.
+    pub fn frontier(&self) -> Option<FrontierPolicy> {
+        self.frontier
     }
 }
 
@@ -216,6 +275,7 @@ pub struct QueryEngine<'g> {
     index: Option<Arc<TpaIndex>>,
     exact_cfg: CpiConfig,
     lane_tile: usize,
+    frontier: FrontierPolicy,
     staleness: IndexStalenessPolicy,
     accumulated_drift: f64,
     /// Set by [`QueryEngine::with_reordering`]: the backend serves the
@@ -276,10 +336,28 @@ impl<'g> QueryEngine<'g> {
             index: None,
             exact_cfg: CpiConfig::default(),
             lane_tile: DEFAULT_LANE_TILE,
+            frontier: FrontierPolicy::Auto,
             staleness: IndexStalenessPolicy::default(),
             accumulated_drift: 0.0,
             perm: None,
         }
+    }
+
+    /// Sets the [`FrontierPolicy`] for scalar (single-seed) plans — the
+    /// default is [`FrontierPolicy::Auto`], which runs the sparse
+    /// frontier kernel while a seed's neighborhood is small and latches
+    /// onto the dense kernels once it saturates. Any policy is bitwise
+    /// invisible; only latency changes. Batched lanes always use the
+    /// dense fused block kernels (frontier-aware batching is future
+    /// work). A plan-level [`QueryPlan::with_frontier`] overrides this.
+    pub fn with_frontier(mut self, policy: FrontierPolicy) -> Self {
+        self.frontier = policy;
+        self
+    }
+
+    /// The engine-level frontier policy.
+    pub fn frontier(&self) -> FrontierPolicy {
+        self.frontier
     }
 
     /// Relabels the served graph for cache locality with `strategy` (see
@@ -589,15 +667,16 @@ impl<'g> QueryEngine<'g> {
                 &mapped
             }
         };
+        let policy = plan.frontier.unwrap_or(self.frontier);
         let mut scores = match (plan.mode, &self.index) {
             (ExecMode::Auto, Some(index)) => {
                 if let [seed] = seeds[..] {
-                    vec![index.query_on(&self.backend, &SeedSet::single(seed))]
+                    vec![index.query_policy_on(&self.backend, &SeedSet::single(seed), policy)]
                 } else {
                     self.tiled(seeds, |tile| index.query_batch_on(&self.backend, tile))
                 }
             }
-            _ => self.exact_scores(seeds),
+            _ => self.exact_scores(seeds, policy),
         };
         if let Some(p) = &self.perm {
             for s in scores.iter_mut() {
@@ -610,10 +689,11 @@ impl<'g> QueryEngine<'g> {
         }
     }
 
-    fn exact_scores(&self, seeds: &[NodeId]) -> Vec<Vec<f64>> {
+    fn exact_scores(&self, seeds: &[NodeId], policy: FrontierPolicy) -> Vec<Vec<f64>> {
         if let [seed] = seeds[..] {
             return vec![
-                cpi(&self.backend, &SeedSet::single(seed), &self.exact_cfg, 0, None).scores,
+                cpi_policy(&self.backend, &SeedSet::single(seed), &self.exact_cfg, 0, None, policy)
+                    .scores,
             ];
         }
         self.tiled(seeds, |tile| {
@@ -887,9 +967,7 @@ mod tests {
         use tpa_graph::ReorderStrategy;
         let g = test_graph();
         let plain = QueryEngine::sequential(&g);
-        for strategy in
-            [ReorderStrategy::DegreeDescending, ReorderStrategy::Rcm, ReorderStrategy::HubCluster]
-        {
+        for strategy in ReorderStrategy::ALL {
             let reordered = QueryEngine::sequential(&g).with_reordering(strategy);
             assert_eq!(reordered.permutation().unwrap().len(), g.n());
             let a = plain.query(13);
@@ -957,6 +1035,51 @@ mod tests {
         let y = reordered.query(7);
         let l1: f64 = x.iter().zip(&y).map(|(p, q)| (p - q).abs()).sum();
         assert!(l1 < 1e-8, "post-update scores drifted {l1}");
+    }
+
+    #[test]
+    fn frontier_policy_is_bitwise_invisible_through_the_engine() {
+        let g = test_graph();
+        let params = TpaParams::new(5, 10);
+        let index = Arc::new(TpaIndex::preprocess(&g, params));
+        let dense = QueryEngine::sequential(&g)
+            .with_index(Arc::clone(&index))
+            .with_frontier(FrontierPolicy::Dense);
+        let sparse = QueryEngine::sequential(&g)
+            .with_index(Arc::clone(&index))
+            .with_frontier(FrontierPolicy::Sparse);
+        let auto = QueryEngine::sequential(&g).with_index(Arc::clone(&index));
+        assert_eq!(auto.frontier(), FrontierPolicy::Auto);
+        // Indexed, exact, and top-k paths all agree to the bit.
+        assert_eq!(dense.query(13), sparse.query(13));
+        assert_eq!(dense.query(13), auto.query(13));
+        assert_eq!(dense.top_k(13, 7), auto.top_k(13, 7));
+        let exact_of = |e: &QueryEngine<'_>| {
+            e.execute(&QueryPlan::single(7).exact()).into_scores().pop().unwrap()
+        };
+        assert_eq!(exact_of(&dense), exact_of(&sparse));
+        assert_eq!(exact_of(&dense), exact_of(&auto));
+        // A plan-level override beats the engine default.
+        let plan = QueryPlan::single(13).with_frontier(FrontierPolicy::Sparse);
+        assert_eq!(plan.frontier(), Some(FrontierPolicy::Sparse));
+        assert_eq!(
+            dense.execute(&plan).into_scores(),
+            auto.execute(&QueryPlan::single(13)).into_scores()
+        );
+    }
+
+    #[test]
+    fn frontier_policy_agrees_across_backends() {
+        let g = test_graph();
+        let reference = QueryEngine::sequential(&g).with_frontier(FrontierPolicy::Dense).query(42);
+        for policy in [FrontierPolicy::Auto, FrontierPolicy::Sparse] {
+            let seq = QueryEngine::sequential(&g).with_frontier(policy);
+            let par = QueryEngine::parallel(&g, 4).with_frontier(policy);
+            let dynamic = QueryEngine::dynamic(DynamicGraph::new(g.clone())).with_frontier(policy);
+            assert_eq!(seq.query(42), reference, "seq {}", policy.name());
+            assert_eq!(par.query(42), reference, "par {}", policy.name());
+            assert_eq!(dynamic.query(42), reference, "dyn {}", policy.name());
+        }
     }
 
     #[test]

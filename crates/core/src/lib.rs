@@ -27,6 +27,10 @@
 //!   mutable overlay graph, OSP-style incremental maintenance of cached
 //!   scores ([`ScoreCache`]), and index staleness tracking
 //!   ([`IndexStalenessPolicy`]).
+//! * [`frontier`] — direction-optimizing sparse propagation:
+//!   [`FrontierPolicy`] schedules each CPI iteration onto a masked
+//!   sparse-frontier kernel or the dense kernels (Beamer-style
+//!   switching), bitwise identically, for single-seed query latency.
 //!
 //! ## Quick start
 //!
@@ -51,6 +55,7 @@ mod cpi;
 mod decompose;
 pub mod dynamic;
 pub mod engine;
+pub mod frontier;
 pub mod offcore;
 mod pagerank;
 mod parallel;
@@ -61,7 +66,7 @@ mod tpa;
 mod transition;
 mod weighted;
 
-pub use cpi::{cpi, cpi_trace, CpiConfig, CpiResult};
+pub use cpi::{cpi, cpi_policy, cpi_trace, cpi_trace_policy, CpiConfig, CpiResult};
 pub use decompose::{decompose, Decomposition};
 pub use dynamic::{
     propagate_offset, DynamicTransition, MaintenanceMode, RefreshStats, ScoreCache, SourceDelta,
@@ -71,6 +76,7 @@ pub use engine::{
     top_k_scored, EngineBackend, ExecMode, IndexStalenessPolicy, QueryEngine, QueryPlan,
     QueryResult, UpdateReport,
 };
+pub use frontier::{FrontierPolicy, FrontierScratch, FrontierStep, FrontierWork};
 pub use pagerank::{exact_rwr, pagerank, pagerank_window, personalized_pagerank};
 pub use parallel::ParallelTransition;
 pub use seeds::SeedSet;

@@ -10,8 +10,9 @@
 //! and parallelism compose.
 
 use crate::batch::ScoreBlock;
+use crate::frontier::{self, FrontierScratch, FrontierStep, FrontierWork};
 use crate::tiling::{self, TilePolicy};
-use crate::transition::GraphHandle;
+use crate::transition::{dense_frontier_fallback, GraphHandle};
 use crate::Propagator;
 use std::sync::Arc;
 use tpa_graph::{CsrGraph, NodeId};
@@ -23,6 +24,9 @@ pub struct ParallelTransition<'g> {
     /// Destination ranges, one per worker, balanced by in-edge count.
     ranges: Vec<(u32, u32)>,
     tile: TilePolicy,
+    /// Memoized sampled `Auto` tile decisions (the graph is immutable
+    /// for this backend's lifetime).
+    strips: tiling::StripCache,
 }
 
 impl<'g> ParallelTransition<'g> {
@@ -44,7 +48,13 @@ impl<'g> ParallelTransition<'g> {
         let g = graph.get();
         let ranges = tiling::balance_ranges(g.in_offsets(), threads);
         let inv_out_deg = g.inv_out_degrees();
-        ParallelTransition { graph, inv_out_deg, ranges, tile: TilePolicy::Auto }
+        ParallelTransition {
+            graph,
+            inv_out_deg,
+            ranges,
+            tile: TilePolicy::Auto,
+            strips: tiling::StripCache::new(),
+        }
     }
 
     /// Default worker count: available parallelism.
@@ -87,7 +97,7 @@ impl Propagator for ParallelTransition<'_> {
         let n = g.n();
         assert_eq!(x.len(), n);
         assert_eq!(y.len(), n);
-        let strip = tiling::resolve_strip(self.tile, n, g.m(), 1);
+        let strip = self.strips.resolve(self.tile, g, n, g.m(), 1);
         if self.ranges.len() == 1 {
             // Sequential fast path.
             tiling::gather_range(g, &self.inv_out_deg, coeff, x, y, 0..n as NodeId, strip);
@@ -95,8 +105,56 @@ impl Propagator for ParallelTransition<'_> {
         }
         let inv = &self.inv_out_deg;
         tiling::par_ranges(&self.ranges, 1, y, |slice, start, end| {
-            tiling::gather_range(g, inv, coeff, x, slice, start..end, strip)
+            tiling::gather_range(g, inv, coeff, x, slice, start..end, strip);
         });
+    }
+
+    // `propagate_into_norm` stays on the trait default (propagate, then
+    // one index-order scan of the just-written — cache-warm — output):
+    // summing per-worker partial norms would change the fold's
+    // association, and the residual must be bitwise identical across
+    // backends so every backend makes the same convergence decision.
+
+    fn frontier_work(&self, active: &[NodeId]) -> Option<FrontierWork> {
+        let g = self.graph.get();
+        Some(FrontierWork {
+            frontier_edges: frontier::frontier_out_edges(g, active),
+            total_edges: g.m(),
+        })
+    }
+
+    /// Sparse-frontier step with the reachable set split over the same
+    /// destination ranges as the dense kernels: each worker gathers the
+    /// reachable nodes inside its band (disjoint writes), and the
+    /// residual/next-frontier fold runs ascending on the calling thread
+    /// — bit-identical to the sequential backend's step.
+    fn propagate_frontier(
+        &self,
+        coeff: f64,
+        x: &[f64],
+        y: &mut [f64],
+        active: &[NodeId],
+        scratch: &mut FrontierScratch,
+    ) -> FrontierStep {
+        let g = self.graph.get();
+        let n = g.n();
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        match frontier::sparse_step_ranged(
+            g,
+            g,
+            &self.inv_out_deg,
+            coeff,
+            x,
+            y,
+            active,
+            g.m(),
+            &self.ranges,
+            scratch,
+        ) {
+            Some(step) => step,
+            None => dense_frontier_fallback(self, coeff, x, y, scratch),
+        }
     }
 
     /// Fused parallel block kernel: each worker owns a contiguous band of
@@ -110,7 +168,7 @@ impl Propagator for ParallelTransition<'_> {
         assert_eq!(y.n(), n, "output block height mismatch");
         assert_eq!(x.lanes(), y.lanes(), "lane count mismatch");
         let lanes = x.lanes();
-        let strip = tiling::resolve_strip(self.tile, n, g.m(), lanes);
+        let strip = self.strips.resolve(self.tile, g, n, g.m(), lanes);
         if self.ranges.len() == 1 {
             tiling::block_gather_range(
                 g,
@@ -192,6 +250,47 @@ mod tests {
                 covered = end;
             }
             assert_eq!(covered as usize, g.n());
+        }
+    }
+
+    #[test]
+    fn large_reachable_sets_split_across_workers_bitwise() {
+        // A 3000-way fan-out from one seed pushes the reachable set past
+        // the parallel sparse path's spawn threshold, exercising the
+        // range-partitioned gather (small property graphs never do).
+        use crate::frontier::FrontierScratch;
+        let n = 9001usize;
+        // Fan-out 0 → 1..=3000 (the reachable set, in-degree 1 each),
+        // plus dense unreachable filler among 3001..9000 so the
+        // reachable in-edge count (3000) stays under the m/8 gather
+        // guard.
+        // The builder's default SelfLoop dangling policy gives every fan
+        // target a second in-edge, so the reachable in-edge count is
+        // 2 × 3000; nine filler edges per chain node keep that under the
+        // m/8 gather budget.
+        let mut edges: Vec<(u32, u32)> = (1..=3000u32).map(|v| (0, v)).collect();
+        for v in 3001..9000u32 {
+            for k in 1..=9u32 {
+                edges.push((v, 3001 + (v - 3001 + k * 997) % 6000));
+            }
+        }
+        let g = CsrGraph::from_edges(n, &edges);
+        let x = {
+            let mut x = vec![0.0; n];
+            x[0] = 1.0;
+            x
+        };
+        let seq = Transition::new(&g);
+        let mut dense = vec![0.0; n];
+        seq.propagate_into(0.85, &x, &mut dense);
+        for threads in [2usize, 4] {
+            let par = ParallelTransition::new(&g, threads);
+            let mut y = vec![0.0; n];
+            let mut scratch = FrontierScratch::new(n);
+            let step = par.propagate_frontier(0.85, &x, &mut y, &[0], &mut scratch);
+            assert!(!step.went_dense, "fan-out frontier must stay sparse");
+            assert_eq!(y, dense, "threads = {threads}");
+            assert_eq!(scratch.next_active().len(), 3000);
         }
     }
 

@@ -26,6 +26,23 @@ impl SeedSet {
         SeedSet::Set(seeds)
     }
 
+    /// The ascending, deduplicated support of the seed vector — the
+    /// initial active frontier for sparse propagation
+    /// (see [`crate::FrontierPolicy`]). `None` for [`SeedSet::Uniform`],
+    /// whose support is all of `0..n` (sparse propagation cannot help).
+    pub fn support(&self) -> Option<Vec<NodeId>> {
+        match self {
+            SeedSet::Single(s) => Some(vec![*s]),
+            SeedSet::Set(seeds) => {
+                let mut v = seeds.clone();
+                v.sort_unstable();
+                v.dedup();
+                Some(v)
+            }
+            SeedSet::Uniform => None,
+        }
+    }
+
     /// Writes `x ← c·q` into a zeroed-or-not buffer of length `n`.
     pub fn fill_seed_vector(&self, c: f64, x: &mut [f64]) {
         let n = x.len();

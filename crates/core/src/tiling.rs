@@ -72,6 +72,11 @@ const MIN_AVG_DEGREE: usize = 8;
 
 /// Resolves a policy for one propagation call: `None` = flat kernel,
 /// `Some(width)` = strip-mined with that `x`-strip width.
+///
+/// This is the *structural* model (node/edge counts only). The backends
+/// route through [`resolve_strip_sampled`], which replaces the blind
+/// average-degree gate with a sampled strips-per-row statistic of the
+/// actual adjacency — the ordering-aware version.
 pub fn resolve_strip(policy: TilePolicy, n: usize, m: usize, lanes: usize) -> Option<usize> {
     match policy {
         TilePolicy::Flat => None,
@@ -88,6 +93,118 @@ pub fn resolve_strip(policy: TilePolicy, n: usize, m: usize, lanes: usize) -> Op
             }
             Some((STRIP_TARGET_BYTES / row_bytes).max(1024))
         }
+    }
+}
+
+/// Rows probed by the sampled `Auto` statistic (stride-spaced, so the
+/// probe sees every region of the id space, hubs and tails alike).
+const REUSE_SAMPLE_ROWS: usize = 64;
+/// In-neighbors inspected per sampled row — caps the probe cost when a
+/// sample lands on a hub with a six-figure in-degree.
+const REUSE_ROW_CAP: usize = 1024;
+/// Minimum sampled in-neighbors-per-strip-visit for strips to pay:
+/// below two consumed entries per visit the scheduler bookkeeping eats
+/// the locality win.
+const MIN_STRIP_REUSE: f64 = 2.0;
+
+/// Average in-neighbors a destination row consumes per strip visit at
+/// the given strip `width`, estimated from [`REUSE_SAMPLE_ROWS`]
+/// stride-sampled rows. The statistic the structural model cannot see:
+/// a banded ordering (RCM) concentrates each row into one or two strips
+/// (high reuse), while arbitrary labels spray a row across all of them
+/// (reuse ≈ 1, strips pure overhead). Deterministic — no RNG.
+pub(crate) fn sampled_strip_reuse<A: InAdjacency + ?Sized>(adj: &A, n: usize, width: usize) -> f64 {
+    let stride = (n / REUSE_SAMPLE_ROWS).max(1);
+    let mut edges = 0usize;
+    let mut visits = 0usize;
+    let mut v = 0usize;
+    while v < n {
+        let row = adj.in_row(v as NodeId);
+        let row = &row[..row.len().min(REUSE_ROW_CAP)];
+        if !row.is_empty() {
+            edges += row.len();
+            // Rows are ascending, so distinct strips = bucket changes + 1.
+            let mut last = row[0] as usize / width;
+            visits += 1;
+            for &u in &row[1..] {
+                let s = u as usize / width;
+                if s != last {
+                    visits += 1;
+                    last = s;
+                }
+            }
+        }
+        v += stride;
+    }
+    if visits == 0 {
+        0.0
+    } else {
+        edges as f64 / visits as f64
+    }
+}
+
+/// Ordering-aware [`resolve_strip`]: the `Auto` arm keeps the LLC gate
+/// but decides *strips vs flat* from [`sampled_strip_reuse`] on the live
+/// adjacency instead of a structural average-degree guess, so the model
+/// picks strips exactly when the node ordering concentrates rows into
+/// few strips (closing the ROADMAP "ordering-aware auto-tiling" gap).
+pub(crate) fn resolve_strip_sampled<A: InAdjacency + ?Sized>(
+    policy: TilePolicy,
+    adj: &A,
+    n: usize,
+    m: usize,
+    lanes: usize,
+) -> Option<usize> {
+    match policy {
+        TilePolicy::Flat => None,
+        TilePolicy::Strip(w) => Some(w.max(1)),
+        TilePolicy::Auto => {
+            let row_bytes = 8 * lanes.max(1);
+            if n.saturating_mul(row_bytes) <= LLC_ASSUME_BYTES || m == 0 {
+                return None;
+            }
+            let width = (STRIP_TARGET_BYTES / row_bytes).max(1024);
+            (sampled_strip_reuse(adj, n, width) >= MIN_STRIP_REUSE).then_some(width)
+        }
+    }
+}
+
+/// Per-backend memo of the sampled `Auto` decisions: the inputs
+/// (adjacency, n, m) are fixed for a backend's lifetime — or until a
+/// dynamic overlay mutates, which calls [`StripCache::clear`] — so the
+/// 64-row probe runs once per lane width instead of once per
+/// propagation call. Forced policies bypass the cache entirely.
+pub(crate) struct StripCache(std::sync::Mutex<Vec<(usize, Option<usize>)>>);
+
+impl StripCache {
+    pub(crate) fn new() -> Self {
+        Self(std::sync::Mutex::new(Vec::new()))
+    }
+
+    /// [`resolve_strip_sampled`], memoized by lane width.
+    pub(crate) fn resolve<A: InAdjacency + ?Sized>(
+        &self,
+        policy: TilePolicy,
+        adj: &A,
+        n: usize,
+        m: usize,
+        lanes: usize,
+    ) -> Option<usize> {
+        if policy != TilePolicy::Auto {
+            return resolve_strip_sampled(policy, adj, n, m, lanes);
+        }
+        let mut memo = self.0.lock().expect("strip cache lock");
+        if let Some(&(_, strip)) = memo.iter().find(|&&(l, _)| l == lanes) {
+            return strip;
+        }
+        let strip = resolve_strip_sampled(policy, adj, n, m, lanes);
+        memo.push((lanes, strip));
+        strip
+    }
+
+    /// Drops every memoized decision (the adjacency changed).
+    pub(crate) fn clear(&self) {
+        self.0.lock().expect("strip cache lock").clear();
     }
 }
 
@@ -116,7 +233,9 @@ fn row_gather_from(acc: f64, row: &[NodeId], x: &[f64], inv: &[f64]) -> f64 {
 }
 
 /// Flat scalar gather for destinations `range`, writing into `y_local`
-/// (`y_local[0]` is node `range.start`).
+/// (`y_local[0]` is node `range.start`). Returns the range's `Σ|y|`
+/// folded in destination order — the convergence residual, for free
+/// (see [`crate::Propagator::propagate_into_norm`]).
 pub(crate) fn gather_flat<A: InAdjacency + ?Sized>(
     adj: &A,
     inv: &[f64],
@@ -124,14 +243,17 @@ pub(crate) fn gather_flat<A: InAdjacency + ?Sized>(
     x: &[f64],
     y_local: &mut [f64],
     range: Range<NodeId>,
-) {
+) -> f64 {
     debug_assert_eq!(y_local.len(), range.len());
+    let mut norm = 0.0f64;
     for (y, v) in y_local.iter_mut().zip(range) {
         let row = adj.in_row(v);
         // Degree-zero rows skip the fold (and the coeff multiply:
         // `coeff · 0.0 = 0.0` for the positive coefficients CPI uses).
         *y = if row.is_empty() { 0.0 } else { coeff * row_gather_from(0.0, row, x, inv) };
+        norm += y.abs();
     }
+    norm
 }
 
 /// The strip scheduler: rows queued at the strip holding their next
@@ -161,7 +283,9 @@ impl StripSchedule {
 
 /// Strip-mined scalar gather for destinations `range`: sweeps `x` in
 /// strips of `width` entries; per destination the accumulation chain is
-/// identical to [`gather_flat`] (see the module docs).
+/// identical to [`gather_flat`] (see the module docs). Returns the
+/// range's `Σ|y|` folded in destination order, fused into the final
+/// coefficient pass.
 pub(crate) fn gather_strip<A: InAdjacency + ?Sized>(
     adj: &A,
     inv: &[f64],
@@ -170,7 +294,7 @@ pub(crate) fn gather_strip<A: InAdjacency + ?Sized>(
     y_local: &mut [f64],
     range: Range<NodeId>,
     width: usize,
-) {
+) -> f64 {
     let rows = range.len();
     debug_assert_eq!(y_local.len(), rows);
     y_local.fill(0.0);
@@ -207,9 +331,12 @@ pub(crate) fn gather_strip<A: InAdjacency + ?Sized>(
             }
         }
     }
+    let mut norm = 0.0f64;
     for y in y_local.iter_mut() {
         *y *= coeff;
+        norm += y.abs();
     }
+    norm
 }
 
 /// One source's contribution to a block row: `yrow += w · xrow`.
@@ -302,7 +429,9 @@ pub(crate) fn block_gather_strip<A: InAdjacency + ?Sized>(
 }
 
 /// Scalar gather for destinations `range`, flat or strip-mined per the
-/// resolved policy.
+/// resolved policy. Returns the range's destination-order `Σ|y|` fold
+/// (bitwise identical between the two kernels: both fold `|y_v|` in
+/// ascending destination order after the coefficient multiply).
 pub(crate) fn gather_range<A: InAdjacency + ?Sized>(
     adj: &A,
     inv: &[f64],
@@ -311,7 +440,7 @@ pub(crate) fn gather_range<A: InAdjacency + ?Sized>(
     y_local: &mut [f64],
     range: Range<NodeId>,
     strip: Option<usize>,
-) {
+) -> f64 {
     match strip {
         None => gather_flat(adj, inv, coeff, x, y_local, range),
         Some(width) => gather_strip(adj, inv, coeff, x, y_local, range, width),
@@ -459,6 +588,54 @@ mod tests {
             block_gather_strip(&g, &inv, 0.85, &x, tiled.data_mut(), 0..n as NodeId, width);
             assert_eq!(tiled.data(), flat.data(), "width = {width}");
         }
+    }
+
+    #[test]
+    fn kernels_return_the_index_order_residual() {
+        let g = test_graph();
+        let inv = g.inv_out_degrees();
+        let n = g.n();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7) % 29) as f64 / 29.0 - 0.4).collect();
+        let mut y = vec![0.0; n];
+        let flat_norm = gather_flat(&g, &inv, 0.85, &x, &mut y, 0..n as NodeId);
+        let scan: f64 = y.iter().map(|v| v.abs()).sum();
+        assert_eq!(flat_norm.to_bits(), scan.to_bits());
+        let mut y2 = vec![0.0; n];
+        let strip_norm = gather_strip(&g, &inv, 0.85, &x, &mut y2, 0..n as NodeId, 64);
+        assert_eq!(strip_norm.to_bits(), flat_norm.to_bits());
+    }
+
+    #[test]
+    fn sampled_reuse_separates_concentrated_from_scattered_rows() {
+        // Concentrated: every in-row lives inside one strip (low ids).
+        let n = 2048;
+        let mut edges = Vec::new();
+        for v in 64..n as NodeId {
+            for u in 0..8 {
+                edges.push((u, v));
+            }
+        }
+        let banded = CsrGraph::from_edges(n, &edges);
+        assert!(sampled_strip_reuse(&banded, n, 512) > 4.0);
+        // Scattered: each row's neighbors land in distinct strips.
+        let mut edges = Vec::new();
+        for v in 0..n as NodeId {
+            for k in 0..8u32 {
+                edges.push(((k * 256) % n as NodeId, v));
+            }
+        }
+        let scattered = CsrGraph::from_edges(n, &edges);
+        assert!(sampled_strip_reuse(&scattered, n, 64) < 1.5);
+    }
+
+    #[test]
+    fn sampled_auto_model_gates_like_the_structural_one() {
+        let g = test_graph();
+        // Forced policies pass straight through.
+        assert_eq!(resolve_strip_sampled(TilePolicy::Flat, &g, 1 << 30, 1 << 34, 1), None);
+        assert_eq!(resolve_strip_sampled(TilePolicy::Strip(99), &g, g.n(), g.m(), 1), Some(99));
+        // LLC-resident score vectors stay flat without sampling.
+        assert_eq!(resolve_strip_sampled(TilePolicy::Auto, &g, g.n(), g.m(), 1), None);
     }
 
     #[test]

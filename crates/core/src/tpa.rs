@@ -1,6 +1,6 @@
 //! TPA: the two-phase approximation itself (paper §III, Algorithms 2 & 3).
 
-use crate::{cpi, CpiConfig, SeedSet, Transition};
+use crate::{cpi, cpi_policy, CpiConfig, FrontierPolicy, SeedSet, Transition};
 use tpa_graph::{CsrGraph, NodeId, Permutation};
 
 /// TPA parameters: restart probability, tolerance, and the two split
@@ -128,13 +128,27 @@ impl TpaIndex {
     }
 
     /// Online phase over any propagation backend (e.g. the out-of-core
-    /// [`crate::offcore::DiskGraph`]).
+    /// [`crate::offcore::DiskGraph`]). The family sweep runs under
+    /// [`FrontierPolicy::Auto`] — sparse while the seed's neighborhood
+    /// is small, bitwise identical to dense; use
+    /// [`TpaIndex::query_policy_on`] to force a direction.
     pub fn query_on<P: crate::Propagator + ?Sized>(
         &self,
         backend: &P,
         seeds: &SeedSet,
     ) -> Vec<f64> {
-        let parts = self.query_parts_on(backend, seeds);
+        self.query_policy_on(backend, seeds, FrontierPolicy::Auto)
+    }
+
+    /// [`TpaIndex::query_on`] with an explicit [`FrontierPolicy`] for
+    /// the family sweep (any policy is bitwise invisible).
+    pub fn query_policy_on<P: crate::Propagator + ?Sized>(
+        &self,
+        backend: &P,
+        seeds: &SeedSet,
+        policy: FrontierPolicy,
+    ) -> Vec<f64> {
+        let parts = self.query_parts_policy_on(backend, seeds, policy);
         let mut r = parts.family;
         let scale = self.params.neighbor_scale();
         for (ri, &si) in r.iter_mut().zip(&self.stranger) {
@@ -156,6 +170,17 @@ impl TpaIndex {
         backend: &P,
         seeds: &SeedSet,
     ) -> TpaParts {
+        self.query_parts_policy_on(backend, seeds, FrontierPolicy::Auto)
+    }
+
+    /// [`TpaIndex::query_parts_on`] with an explicit [`FrontierPolicy`]
+    /// for the family sweep.
+    pub fn query_parts_policy_on<P: crate::Propagator + ?Sized>(
+        &self,
+        backend: &P,
+        seeds: &SeedSet,
+        policy: FrontierPolicy,
+    ) -> TpaParts {
         // Guard before any kernel touches the vectors: a mismatched index
         // would otherwise fail as an opaque out-of-bounds access (or,
         // worse, silently truncate) deep inside a propagation kernel.
@@ -167,8 +192,15 @@ impl TpaIndex {
             backend.n(),
             self.stranger.len()
         );
-        let family =
-            cpi(backend, seeds, &self.params.cpi_config(), 0, Some(self.params.s - 1)).scores;
+        let family = cpi_policy(
+            backend,
+            seeds,
+            &self.params.cpi_config(),
+            0,
+            Some(self.params.s - 1),
+            policy,
+        )
+        .scores;
         TpaParts { family }
     }
 

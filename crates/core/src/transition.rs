@@ -1,6 +1,7 @@
 //! The RWR transition operator `Ãᵀ` bound to a graph.
 
 use crate::batch::ScoreBlock;
+use crate::frontier::{self, FrontierScratch, FrontierStep, FrontierWork};
 use crate::tiling::{self, TilePolicy};
 use std::sync::Arc;
 use tpa_graph::{CsrGraph, NodeId};
@@ -35,6 +36,53 @@ pub trait Propagator {
             self.propagate_into(coeff, &xl, &mut yl);
             y.set_lane(j, &yl);
         }
+    }
+
+    /// [`Propagator::propagate_into`] that also returns `‖y‖₁` folded in
+    /// ascending destination order — bitwise equal to a separate
+    /// index-order scan of `y`, so CPI's convergence check costs nothing
+    /// extra. The default propagates and then scans; the sequential
+    /// in-memory backends fuse the fold into the kernel's destination
+    /// loop.
+    fn propagate_into_norm(&self, coeff: f64, x: &[f64], y: &mut [f64]) -> f64 {
+        self.propagate_into(coeff, x, y);
+        y.iter().fold(0.0f64, |acc, v| acc + v.abs())
+    }
+
+    /// Cost probe for a sparse-frontier step over `active` (the
+    /// ascending support of the current interim vector): `None` means
+    /// the backend has no sparse path and
+    /// [`crate::FrontierPolicy::Auto`] should run dense. Backends with a
+    /// native [`Propagator::propagate_frontier`] return the frontier's
+    /// out-edge count and `m`.
+    fn frontier_work(&self, active: &[NodeId]) -> Option<FrontierWork> {
+        let _ = active;
+        None
+    }
+
+    /// Sparse-frontier step `y ← coeff·Ãᵀ·x` touching only rows
+    /// reachable from `active`. Contract: `active` is ascending and
+    /// covers the support of `x`, and every entry of `y` is `0.0` on
+    /// entry (the caller zeroes the stale support; see [`crate::cpi`]).
+    /// On return `scratch.next_active()` holds the ascending support of
+    /// `y`, and the step's residual is `‖y‖₁`.
+    ///
+    /// Results must be **bit-identical** to [`Propagator::propagate_into`]:
+    /// native implementations gather each reachable destination's full
+    /// in-row and skip only sources whose `x` entry is exactly `0.0`
+    /// (an elided `+ 0.0`), so the floating-point chain matches the
+    /// dense kernels term for term. The default runs the dense kernel
+    /// and scans for the support — correct everywhere, sparse nowhere.
+    fn propagate_frontier(
+        &self,
+        coeff: f64,
+        x: &[f64],
+        y: &mut [f64],
+        active: &[NodeId],
+        scratch: &mut FrontierScratch,
+    ) -> FrontierStep {
+        let _ = active;
+        dense_frontier_fallback(self, coeff, x, y, scratch)
     }
 }
 
@@ -73,20 +121,33 @@ pub struct Transition<'g> {
     graph: GraphHandle<'g>,
     inv_out_deg: Vec<f64>,
     tile: TilePolicy,
+    /// Memoized sampled `Auto` tile decisions (the graph is immutable
+    /// for this backend's lifetime).
+    strips: tiling::StripCache,
 }
 
 impl<'g> Transition<'g> {
     /// Binds the operator to a graph, precomputing `1/outdeg`.
     pub fn new(graph: &'g CsrGraph) -> Self {
         let inv_out_deg = graph.inv_out_degrees();
-        Self { graph: GraphHandle::Borrowed(graph), inv_out_deg, tile: TilePolicy::Auto }
+        Self {
+            graph: GraphHandle::Borrowed(graph),
+            inv_out_deg,
+            tile: TilePolicy::Auto,
+            strips: tiling::StripCache::new(),
+        }
     }
 
     /// Binds the operator to a shared-ownership graph (used by reordered
     /// engines, which own the permuted graph they serve).
     pub fn shared(graph: Arc<CsrGraph>) -> Transition<'static> {
         let inv_out_deg = graph.inv_out_degrees();
-        Transition { graph: GraphHandle::Shared(graph), inv_out_deg, tile: TilePolicy::Auto }
+        Transition {
+            graph: GraphHandle::Shared(graph),
+            inv_out_deg,
+            tile: TilePolicy::Auto,
+            strips: tiling::StripCache::new(),
+        }
     }
 
     /// Overrides the cache-blocking policy (default: the
@@ -111,12 +172,18 @@ impl<'g> Transition<'g> {
     /// `y ← coeff · Ãᵀ·x`. `x` and `y` must both have length `n` and be
     /// distinct buffers.
     pub fn propagate_into(&self, coeff: f64, x: &[f64], y: &mut [f64]) {
+        self.propagate_norm(coeff, x, y);
+    }
+
+    /// The kernel behind both [`Transition::propagate_into`] and the
+    /// fused-residual [`Propagator::propagate_into_norm`].
+    fn propagate_norm(&self, coeff: f64, x: &[f64], y: &mut [f64]) -> f64 {
         let g = self.graph.get();
         let n = g.n();
         assert_eq!(x.len(), n, "input vector length mismatch");
         assert_eq!(y.len(), n, "output vector length mismatch");
-        let strip = tiling::resolve_strip(self.tile, n, g.m(), 1);
-        tiling::gather_range(g, &self.inv_out_deg, coeff, x, y, 0..n as NodeId, strip);
+        let strip = self.strips.resolve(self.tile, g, n, g.m(), 1);
+        tiling::gather_range(g, &self.inv_out_deg, coeff, x, y, 0..n as NodeId, strip)
     }
 
     /// Precomputed `1/outdeg` weights (0.0 for dangling nodes).
@@ -139,7 +206,7 @@ impl Propagator for Transition<'_> {
         assert_eq!(x.n(), n, "input block height mismatch");
         assert_eq!(y.n(), n, "output block height mismatch");
         assert_eq!(x.lanes(), y.lanes(), "lane count mismatch");
-        let strip = tiling::resolve_strip(self.tile, n, g.m(), x.lanes());
+        let strip = self.strips.resolve(self.tile, g, n, g.m(), x.lanes());
         tiling::block_gather_range(
             g,
             &self.inv_out_deg,
@@ -150,6 +217,57 @@ impl Propagator for Transition<'_> {
             strip,
         );
     }
+    fn propagate_into_norm(&self, coeff: f64, x: &[f64], y: &mut [f64]) -> f64 {
+        self.propagate_norm(coeff, x, y)
+    }
+    fn frontier_work(&self, active: &[NodeId]) -> Option<FrontierWork> {
+        let g = self.graph.get();
+        Some(FrontierWork {
+            frontier_edges: frontier::frontier_out_edges(g, active),
+            total_edges: g.m(),
+        })
+    }
+    fn propagate_frontier(
+        &self,
+        coeff: f64,
+        x: &[f64],
+        y: &mut [f64],
+        active: &[NodeId],
+        scratch: &mut FrontierScratch,
+    ) -> FrontierStep {
+        let g = self.graph.get();
+        let n = g.n();
+        assert_eq!(x.len(), n, "input vector length mismatch");
+        assert_eq!(y.len(), n, "output vector length mismatch");
+        match frontier::sparse_step(g, g, &self.inv_out_deg, coeff, x, y, active, g.m(), scratch) {
+            Some(step) => step,
+            // Gather-cost guard fired: one dense step (the frontier has
+            // effectively saturated; Auto latches dense on the flag).
+            None => dense_frontier_fallback(self, coeff, x, y, scratch),
+        }
+    }
+}
+
+/// Shared dense fallback for native `propagate_frontier` impls whose
+/// gather-cost guard fired: runs the backend's dense-with-norm kernel
+/// and scans for the support, flagging `went_dense` so
+/// [`crate::FrontierPolicy::Auto`] latches.
+pub(crate) fn dense_frontier_fallback<P: Propagator + ?Sized>(
+    p: &P,
+    coeff: f64,
+    x: &[f64],
+    y: &mut [f64],
+    scratch: &mut FrontierScratch,
+) -> FrontierStep {
+    let residual = p.propagate_into_norm(coeff, x, y);
+    let next = scratch.next_active_mut();
+    next.clear();
+    for (v, &yv) in y.iter().enumerate() {
+        if yv != 0.0 {
+            next.push(v as NodeId);
+        }
+    }
+    FrontierStep { residual, edge_work: 0, went_dense: true }
 }
 
 #[cfg(test)]

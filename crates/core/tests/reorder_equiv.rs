@@ -24,8 +24,7 @@ fn random_graph(n: usize, seed: u64) -> CsrGraph {
     erdos_renyi_gnm(n, m, &mut rng)
 }
 
-const STRATEGIES: [ReorderStrategy; 3] =
-    [ReorderStrategy::DegreeDescending, ReorderStrategy::Rcm, ReorderStrategy::HubCluster];
+const STRATEGIES: [ReorderStrategy; 4] = ReorderStrategy::ALL;
 
 fn l1(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
@@ -46,7 +45,7 @@ proptest! {
         n in 8usize..60,
         gseed in 0u64..500,
         seed_frac in 0.0f64..1.0,
-        pick in 0usize..3,
+        pick in 0usize..4,
     ) {
         let g = random_graph(n, gseed);
         let seed = ((n as f64 * seed_frac) as usize).min(n - 1) as NodeId;
@@ -77,7 +76,7 @@ proptest! {
     fn reordered_indexed_query_unmaps_to_plain_answer(
         n in 20usize..60,
         gseed in 0u64..300,
-        pick in 0usize..3,
+        pick in 0usize..4,
     ) {
         let g = random_graph(n, gseed);
         let params = TpaParams::new(4, 9);
@@ -98,7 +97,7 @@ proptest! {
         n in 8usize..60,
         gseed in 0u64..500,
         threads in 2usize..6,
-        pick in 0usize..3,
+        pick in 0usize..4,
     ) {
         let g = random_graph(n, gseed);
         let strategy = STRATEGIES[pick];
@@ -158,7 +157,7 @@ proptest! {
         gseed in 0u64..300,
         u in 0u32..12,
         v in 0u32..12,
-        pick in 0usize..3,
+        pick in 0usize..4,
     ) {
         use tpa_graph::EdgeUpdate;
         let g = random_graph(n, gseed);

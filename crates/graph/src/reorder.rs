@@ -133,6 +133,11 @@ pub enum ReorderStrategy {
     Rcm,
     /// Top hubs first, then hub-seeded multi-source BFS clusters.
     HubCluster,
+    /// SlashBurn (Kang & Faloutsos, ICDM'11) hub-spoke order: rounds of
+    /// hub removal shatter the graph; hubs pack the front in removal
+    /// order (the hottest `x` entries), each spoke component lies
+    /// contiguous at the tail.
+    SlashBurn,
 }
 
 impl ReorderStrategy {
@@ -142,6 +147,7 @@ impl ReorderStrategy {
             ReorderStrategy::DegreeDescending => "degree",
             ReorderStrategy::Rcm => "rcm",
             ReorderStrategy::HubCluster => "hub",
+            ReorderStrategy::SlashBurn => "slashburn",
         }
     }
 
@@ -151,9 +157,19 @@ impl ReorderStrategy {
             "degree" => Some(ReorderStrategy::DegreeDescending),
             "rcm" => Some(ReorderStrategy::Rcm),
             "hub" => Some(ReorderStrategy::HubCluster),
+            "slashburn" => Some(ReorderStrategy::SlashBurn),
             _ => None,
         }
     }
+
+    /// Every strategy, in [`ReorderStrategy::name`] order (CLI help,
+    /// benches, exhaustive tests).
+    pub const ALL: [ReorderStrategy; 4] = [
+        ReorderStrategy::DegreeDescending,
+        ReorderStrategy::Rcm,
+        ReorderStrategy::HubCluster,
+        ReorderStrategy::SlashBurn,
+    ];
 }
 
 /// Computes the relabeling for `strategy` on `g`. Deterministic: equal
@@ -163,6 +179,7 @@ pub fn reorder(g: &CsrGraph, strategy: ReorderStrategy) -> Permutation {
         ReorderStrategy::DegreeDescending => degree_descending_order(g),
         ReorderStrategy::Rcm => rcm_order(g),
         ReorderStrategy::HubCluster => hub_cluster_order(g),
+        ReorderStrategy::SlashBurn => slashburn_order(g),
     };
     debug_assert_eq!(order.len(), g.n());
     Permutation::from_new_to_old(order)
@@ -265,6 +282,95 @@ fn hub_cluster_order(g: &CsrGraph) -> Vec<NodeId> {
     order
 }
 
+/// Fraction of the currently-alive nodes promoted to hubs per SlashBurn
+/// round (the paper's `k`; 2% keeps the hub set compact while still
+/// shattering power-law graphs in a few rounds).
+const SLASHBURN_HUB_FRACTION: f64 = 0.02;
+/// Components at most this large become spoke blocks; larger ones stay
+/// alive for further hub removal.
+const SLASHBURN_MAX_BLOCK: usize = 256;
+/// Round cap; whatever giant component survives it joins the hub prefix
+/// (keeps the ordering total unconditionally).
+const SLASHBURN_MAX_ROUNDS: usize = 60;
+
+/// SlashBurn hub-spoke ordering: repeatedly promote the top-degree alive
+/// nodes to hubs, peel off the small connected components (spokes) the
+/// removal disconnects, and repeat on the remaining giant component.
+/// Hubs take the lowest new ids in removal order — they appear in nearly
+/// every destination's in-row, so their `x` entries pack into the first
+/// cache lines — and each spoke component is laid out contiguously at
+/// the tail, where its intra-component locality survives relabeling.
+/// Degrees are ranked on the full undirected graph (not the shrinking
+/// alive subgraph): one ranking per round, same simplification as the
+/// block-elimination baseline this mirrors.
+fn slashburn_order(g: &CsrGraph) -> Vec<NodeId> {
+    let n = g.n();
+    let mut alive = vec![true; n];
+    let mut alive_count = n;
+    let mut hubs: Vec<NodeId> = Vec::new();
+    let mut spokes: Vec<NodeId> = Vec::new();
+    let mut visited = vec![false; n];
+    let mut nbrs = Vec::new();
+
+    for _round in 0..SLASHBURN_MAX_ROUNDS {
+        if alive_count == 0 {
+            break;
+        }
+        // 1. Promote the k highest-degree alive nodes to hubs.
+        let k = ((alive_count as f64 * SLASHBURN_HUB_FRACTION).ceil() as usize).max(1);
+        let mut candidates: Vec<NodeId> = (0..n as NodeId).filter(|&v| alive[v as usize]).collect();
+        candidates.sort_unstable_by_key(|&v| (std::cmp::Reverse(undirected_degree(g, v)), v));
+        for &h in candidates.iter().take(k) {
+            alive[h as usize] = false;
+            hubs.push(h);
+        }
+        alive_count -= k.min(alive_count);
+
+        // 2. Small connected components of what remains become spokes;
+        //    a surviving giant stays alive for the next round.
+        let mut giant_exists = false;
+        visited.iter_mut().for_each(|v| *v = false);
+        for start in 0..n as NodeId {
+            if !alive[start as usize] || visited[start as usize] {
+                continue;
+            }
+            let mut comp = vec![start];
+            let mut queue = VecDeque::from([start]);
+            visited[start as usize] = true;
+            while let Some(v) = queue.pop_front() {
+                undirected_neighbors(g, v, &mut nbrs);
+                for &w in &nbrs {
+                    if alive[w as usize] && !visited[w as usize] {
+                        visited[w as usize] = true;
+                        comp.push(w);
+                        queue.push_back(w);
+                    }
+                }
+            }
+            if comp.len() <= SLASHBURN_MAX_BLOCK {
+                for &v in &comp {
+                    alive[v as usize] = false;
+                }
+                alive_count -= comp.len();
+                spokes.extend_from_slice(&comp);
+            } else {
+                giant_exists = true;
+            }
+        }
+        if !giant_exists {
+            break;
+        }
+    }
+    // Round cap hit: the surviving giant joins the hub prefix.
+    for v in 0..n as NodeId {
+        if alive[v as usize] {
+            hubs.push(v);
+        }
+    }
+    hubs.extend_from_slice(&spokes);
+    hubs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,11 +427,7 @@ mod tests {
     #[test]
     fn all_strategies_yield_valid_permutations() {
         for g in [sample_graph(), cycle_graph(12), star_graph(7)] {
-            for s in [
-                ReorderStrategy::DegreeDescending,
-                ReorderStrategy::Rcm,
-                ReorderStrategy::HubCluster,
-            ] {
+            for s in ReorderStrategy::ALL {
                 let p = reorder(&g, s);
                 assert_eq!(p.len(), g.n(), "{}", s.name());
                 // Bijection: every old id appears exactly once.
@@ -341,20 +443,37 @@ mod tests {
 
     #[test]
     fn strategy_names_roundtrip() {
-        for s in
-            [ReorderStrategy::DegreeDescending, ReorderStrategy::Rcm, ReorderStrategy::HubCluster]
-        {
+        for s in ReorderStrategy::ALL {
             assert_eq!(ReorderStrategy::parse(s.name()), Some(s));
         }
         assert_eq!(ReorderStrategy::parse("frog"), None);
     }
 
     #[test]
+    fn slashburn_puts_the_star_hub_first_and_leaves_last() {
+        let g = star_graph(50);
+        let p = reorder(&g, ReorderStrategy::SlashBurn);
+        // The center is the first hub; removing it shatters the star into
+        // singleton spokes, which all land behind it.
+        assert_eq!(p.old_of(0), 0);
+        let tail: Vec<NodeId> = (1..50).map(|new| p.old_of(new)).collect();
+        let mut sorted = tail.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slashburn_is_deterministic() {
+        let g = sample_graph();
+        let a = reorder(&g, ReorderStrategy::SlashBurn);
+        let b = reorder(&g, ReorderStrategy::SlashBurn);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn empty_graph_reorders() {
         let g = CsrGraph::from_edges(0, &[]);
-        for s in
-            [ReorderStrategy::DegreeDescending, ReorderStrategy::Rcm, ReorderStrategy::HubCluster]
-        {
+        for s in ReorderStrategy::ALL {
             assert!(reorder(&g, s).is_empty());
         }
     }
