@@ -28,7 +28,7 @@ fn main() {
     let all: Vec<&str> = EXPERIMENTS
         .iter()
         .copied()
-        .chain(["fig10_bepi", "spmv_kernels", "query_latency"])
+        .chain(["fig10_bepi", "spmv_kernels", "query_latency", "service_throughput"])
         .collect();
     for name in all {
         let path = dir.join(name);

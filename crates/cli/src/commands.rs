@@ -7,7 +7,7 @@ use std::io::Write;
 use std::path::Path;
 use tpa_core::{
     top_k_scored, CpiConfig, FrontierPolicy, IndexStalenessPolicy, MaintenanceMode, QueryEngine,
-    QueryPlan, ScoreCache, TpaIndex, TpaParams,
+    QueryRequest, QueryResponse, ScoreCache, ServiceBuilder, TpaIndex, TpaParams,
 };
 use tpa_graph::{
     algo, io as gio, reorder, CsrGraph, DynamicGraph, EdgeUpdate, NodeId, ReorderStrategy,
@@ -233,13 +233,28 @@ fn topk_flag(args: &Args) -> Result<usize, String> {
     }
 }
 
-/// Builds the engine for the `--threads` flag: 1 (default) is the
-/// sequential backend, 0 all cores, N>1 that many workers.
-fn build_engine<'g>(g: &'g CsrGraph, args: &Args) -> Result<QueryEngine<'g>, String> {
+/// Starts a [`ServiceBuilder`] from the shared serving flags:
+/// `--threads` (1 = sequential default, 0 = all cores, N workers) and
+/// `--frontier`.
+fn service_builder(g: CsrGraph, args: &Args) -> Result<ServiceBuilder, String> {
     let threads = args.get_or::<usize>("threads", 1).map_err(|e| e.to_string())?;
-    let engine =
-        if threads == 1 { QueryEngine::sequential(g) } else { QueryEngine::parallel(g, threads) };
-    Ok(engine.with_frontier(frontier_flag(args)?))
+    Ok(ServiceBuilder::in_memory(g).threads(threads).frontier(frontier_flag(args)?))
+}
+
+/// One timing/metadata line for a served response.
+fn print_response_meta(out: &mut dyn Write, resp: &QueryResponse, secs: f64) {
+    let iters = match resp.iterations {
+        Some(i) => format!(", {i} CPI iterations"),
+        None => String::new(),
+    };
+    let _ = writeln!(
+        out,
+        "query took {} (backend {}, epoch {}, {}{iters})",
+        tpa_eval::format_secs(secs),
+        resp.backend,
+        resp.epoch,
+        if resp.indexed { "indexed" } else { "exact" },
+    );
 }
 
 fn load_index(path: &str, g: &CsrGraph) -> Result<TpaIndex, String> {
@@ -255,24 +270,17 @@ fn load_index(path: &str, g: &CsrGraph) -> Result<TpaIndex, String> {
     Ok(index)
 }
 
-fn check_seed(seed: NodeId, g: &CsrGraph) -> Result<(), String> {
-    if seed as usize >= g.n() {
-        return Err(format!("seed {seed} out of range (n = {})", g.n()));
-    }
-    Ok(())
-}
-
 fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let g = load_graph(args.required("graph").map_err(|e| e.to_string())?)?;
     let index_path = args.required("index").map_err(|e| e.to_string())?;
     let seed = args.get_or::<u32>("seed", 0).map_err(|e| e.to_string())?;
     let top = topk_flag(args)?;
-    check_seed(seed, &g)?;
     let index = load_index(index_path, &g)?;
-    let engine = build_engine(&g, args)?.with_index(index);
-    let (ranked, dt) = tpa_eval::time(|| engine.top_k(seed, top));
-    let _ = writeln!(out, "query took {}", tpa_eval::format_secs(dt.as_secs_f64()));
-    print_ranking(out, &ranked);
+    let service = service_builder(g, args)?.index(index).build().map_err(|e| e.to_string())?;
+    let (resp, dt) = tpa_eval::time(|| service.submit(&QueryRequest::single(seed).top_k(top)));
+    let resp = resp.map_err(|e| e.to_string())?;
+    print_response_meta(out, &resp, dt.as_secs_f64());
+    print_ranking(out, &resp.result.into_ranked().pop().unwrap());
     Ok(())
 }
 
@@ -280,15 +288,16 @@ fn cmd_exact(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let g = load_graph(args.required("graph").map_err(|e| e.to_string())?)?;
     let seed = args.get_or::<u32>("seed", 0).map_err(|e| e.to_string())?;
     let top = topk_flag(args)?;
-    check_seed(seed, &g)?;
-    let mut engine = build_engine(&g, args)?;
+    let mut builder = service_builder(g, args)?;
     if let Some(strategy) = reorder_flag(args)? {
-        engine = engine.with_reordering(strategy);
+        builder = builder.reordering(strategy);
     }
-    let (result, dt) =
-        tpa_eval::time(|| engine.execute(&QueryPlan::single(seed).top_k(top).exact()));
-    let _ = writeln!(out, "query took {}", tpa_eval::format_secs(dt.as_secs_f64()));
-    print_ranking(out, &result.into_ranked().pop().unwrap());
+    let service = builder.build().map_err(|e| e.to_string())?;
+    let (resp, dt) =
+        tpa_eval::time(|| service.submit(&QueryRequest::single(seed).top_k(top).exact()));
+    let resp = resp.map_err(|e| e.to_string())?;
+    print_response_meta(out, &resp, dt.as_secs_f64());
+    print_ranking(out, &resp.result.into_ranked().pop().unwrap());
     Ok(())
 }
 
@@ -315,36 +324,42 @@ fn cmd_batch(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let g = load_graph(args.required("graph").map_err(|e| e.to_string())?)?;
     let seeds = parse_seed_file(args.required("seeds").map_err(|e| e.to_string())?)?;
     let top = topk_flag(args)?;
-    for &s in &seeds {
-        check_seed(s, &g)?;
-    }
-    let mut engine = build_engine(&g, args)?;
-    let mut plan = QueryPlan::batch(seeds.clone()).top_k(top);
-    match args.get("index") {
+    let mut request = QueryRequest::batch(seeds.clone()).top_k(top);
+    let index = match args.get("index") {
         Some(path) => {
             if reorder_flag(args)?.is_some() {
                 return Err("--reorder conflicts with --index: the index stores the ordering it \
                             was preprocessed with"
                     .into());
             }
-            engine = engine.with_index(load_index(path, &g)?);
+            Some(load_index(path, &g)?)
         }
         None => {
+            request = request.exact();
+            None
+        }
+    };
+    let mut builder = service_builder(g, args)?;
+    match index {
+        Some(index) => builder = builder.index(index),
+        None => {
             if let Some(strategy) = reorder_flag(args)? {
-                engine = engine.with_reordering(strategy);
+                builder = builder.reordering(strategy);
             }
-            plan = plan.exact();
         }
     }
-    let (result, dt) = tpa_eval::time(|| engine.execute(&plan));
-    let rankings = result.into_ranked();
+    let service = builder.build().map_err(|e| e.to_string())?;
+    let (resp, dt) = tpa_eval::time(|| service.submit(&request));
+    let resp = resp.map_err(|e| e.to_string())?;
+    let rankings = resp.result.into_ranked();
     let _ = writeln!(
         out,
-        "batched {} seeds in {} ({} per seed, backend {})",
+        "batched {} seeds in {} ({} per seed, backend {}, epoch {})",
         seeds.len(),
         tpa_eval::format_secs(dt.as_secs_f64()),
         tpa_eval::format_secs(dt.as_secs_f64() / seeds.len() as f64),
-        engine.backend().name(),
+        resp.backend,
+        resp.epoch,
     );
     for (seed, ranked) in seeds.iter().zip(rankings) {
         let _ = writeln!(out, "\nseed {seed}:");
@@ -465,7 +480,7 @@ fn cmd_update(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             StreamEvent::Update(up) => pending.push(up),
             StreamEvent::Compact => {
                 flush_updates(&mut engine, &mut cache, &mut pending, &mut stats)?;
-                engine.compact_dynamic()?;
+                engine.compact_dynamic().map_err(|e| e.to_string())?;
                 stats.compactions += 1;
             }
             StreamEvent::Query(seed) => {
@@ -552,7 +567,7 @@ fn flush_updates(
         return Ok(());
     }
     let (report, dt) = tpa_eval::time(|| engine.apply_updates(pending));
-    let report = report?;
+    let report = report.map_err(|e| e.to_string())?;
     stats.update_time += dt;
     stats.batches += 1;
     stats.applied += report.delta.stats.inserted + report.delta.stats.deleted;

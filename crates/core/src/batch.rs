@@ -172,14 +172,9 @@ impl TpaIndex {
     /// [`TpaIndex::query_batch`] over any propagation backend (parallel,
     /// out-of-core, …) via its fused block kernel.
     pub fn query_batch_on<P: Propagator + ?Sized>(&self, t: &P, seeds: &[NodeId]) -> Vec<Vec<f64>> {
-        assert_eq!(
-            t.n(),
-            self.stranger().len(),
-            "dimension mismatch: backend has {} nodes but the index stranger vector has {} \
-             entries — the index was preprocessed for a different graph",
-            t.n(),
-            self.stranger().len()
-        );
+        // Same admission guard as the scalar paths, rendered through
+        // [`crate::TpaError`] so the message is uniform everywhere.
+        self.check_backend(t).unwrap_or_else(|e| panic!("{e}"));
         let params = *self.params();
         let family = cpi_batch(t, seeds, &params.cpi_config(), 0, Some(params.s - 1));
         let scale = params.neighbor_scale();

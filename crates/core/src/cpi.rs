@@ -35,9 +35,26 @@ impl CpiConfig {
 
     /// Validates parameter ranges.
     pub fn validate(&self) {
-        assert!(self.c > 0.0 && self.c < 1.0, "restart probability must be in (0,1)");
-        assert!(self.eps > 0.0, "tolerance must be positive");
-        assert!(self.max_iters >= 1);
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible version of [`CpiConfig::validate`] for admission paths
+    /// that must report a [`crate::TpaError`] instead of panicking.
+    pub fn check(&self) -> Result<(), crate::TpaError> {
+        let bad = |msg: String| Err(crate::TpaError::InvalidConfig(msg));
+        if !(self.c > 0.0 && self.c < 1.0) {
+            return bad(format!("restart probability must be in (0,1), got {}", self.c));
+        }
+        // NaN must fail too, so test "positive" directly.
+        if self.eps.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return bad(format!("tolerance must be positive, got {}", self.eps));
+        }
+        if self.max_iters < 1 {
+            return bad("max_iters must be at least 1".into());
+        }
+        Ok(())
     }
 
     /// Number of iterations CPI needs to converge:

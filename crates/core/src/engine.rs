@@ -1,32 +1,48 @@
-//! The `QueryEngine` serving layer.
+//! The single-owner `QueryEngine` serving shim.
 //!
-//! TPA's online phase is fast, but serving it means composing pieces that
-//! used to be wired together ad hoc: the sequential [`Transition`], the
-//! multi-threaded [`ParallelTransition`], the out-of-core
-//! [`crate::offcore::DiskGraph`], single-seed vs. batched execution, and
-//! top-k extraction. [`QueryEngine`] owns one propagation backend and an
-//! optional [`TpaIndex`] and executes [`QueryPlan`]s — single-seed,
-//! multi-seed batched (lane tiles share one edge pass per CPI iteration
-//! through the backend's fused block kernel), indexed (TPA online
-//! phase) or exact (full CPI), with optional top-k via partial
-//! selection instead of a full sort.
+//! [`QueryEngine`] predates the concurrent serving layer: it owns one
+//! propagation backend and an optional [`TpaIndex`] and executes typed
+//! requests — single-seed, multi-seed batched (lane tiles share one edge
+//! pass per CPI iteration through the backend's fused block kernel),
+//! indexed (TPA online phase) or exact (full CPI), with optional top-k
+//! via partial selection.
 //!
-//! Every front end — the `tpa` CLI, the `RwrMethod` baselines, the bench
-//! harness, the examples — routes queries through this one type, so a
-//! backend or kernel improvement lands everywhere at once.
+//! Since the [`crate::RwrService`] redesign it is a **thin shim over a
+//! single-owner [`Snapshot`]**: every query delegates to
+//! [`Snapshot::run`], so the engine and the concurrent service answer
+//! bit-identically by construction, and improvements to the snapshot
+//! execution path land in both. Keep using `QueryEngine` for
+//! single-threaded tools (CLI subcommands, benches, replay loops) and
+//! borrow-friendly call sites; reach for
+//! [`crate::ServiceBuilder`] / [`crate::RwrService`] when queries and
+//! updates run on different threads.
+//!
+//! Failures surface as [`TpaError`] from [`QueryEngine::execute`] /
+//! [`QueryEngine::submit`] / [`QueryEngine::apply_updates`]; the
+//! infallible conveniences ([`QueryEngine::query`], …) panic with the
+//! same rendered message.
 
-use crate::batch::cpi_batch;
 use crate::dynamic::{DynamicTransition, UpdateDelta};
 use crate::frontier::{FrontierScratch, FrontierStep, FrontierWork};
 use crate::offcore::DiskGraph;
+use crate::service::{map_updates, QueryResponse, Snapshot};
 use crate::{
-    cpi_policy, CpiConfig, FrontierPolicy, ParallelTransition, Propagator, SeedSet, TilePolicy,
+    CpiConfig, FrontierPolicy, ParallelTransition, Propagator, QueryRequest, TilePolicy, TpaError,
     TpaIndex, TpaParams, Transition,
 };
 use std::sync::Arc;
 use tpa_graph::{
     reorder, CsrGraph, DynamicGraph, EdgeUpdate, NodeId, Permutation, ReorderStrategy,
 };
+
+/// Compatibility alias from the pre-service API: a `QueryPlan` *is* a
+/// [`QueryRequest`] (same constructors, same builder methods), so
+/// existing call sites compile unchanged.
+pub type QueryPlan = QueryRequest;
+
+// These types lived in this module before the service redesign;
+// re-export them so `tpa_core::engine::…` paths keep compiling.
+pub use crate::service::{ExecMode, QueryResult};
 
 /// A propagation backend the engine can own: sequential in-memory,
 /// multi-threaded in-memory, streaming from disk, or a mutable
@@ -174,114 +190,12 @@ pub struct UpdateReport {
     pub index_refreshed: bool,
 }
 
-/// How a plan computes scores.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ExecMode {
-    /// Use the [`TpaIndex`] if the engine has one, exact CPI otherwise.
-    Auto,
-    /// Full-convergence CPI (ground truth), even when an index is loaded.
-    Exact,
-}
-
-/// A declarative query: which seeds, how to execute, what to return.
-#[derive(Clone, Debug)]
-pub struct QueryPlan {
-    seeds: Vec<NodeId>,
-    k: Option<usize>,
-    mode: ExecMode,
-    frontier: Option<FrontierPolicy>,
-}
-
-impl QueryPlan {
-    /// Plan for one seed.
-    pub fn single(seed: NodeId) -> Self {
-        Self::batch(vec![seed])
-    }
-
-    /// Plan for a batch of seeds (one lane per seed, shared edge passes).
-    pub fn batch(seeds: impl Into<Vec<NodeId>>) -> Self {
-        QueryPlan { seeds: seeds.into(), k: None, mode: ExecMode::Auto, frontier: None }
-    }
-
-    /// Return only the `k` best-scoring nodes per seed (partial
-    /// selection, no full sort).
-    pub fn top_k(mut self, k: usize) -> Self {
-        self.k = Some(k);
-        self
-    }
-
-    /// Force exact CPI even if the engine holds an index.
-    pub fn exact(mut self) -> Self {
-        self.mode = ExecMode::Exact;
-        self
-    }
-
-    /// Overrides the engine's [`FrontierPolicy`] for this plan (see
-    /// [`QueryEngine::with_frontier`]). Applies to the scalar
-    /// (single-seed) path; batched lanes always run the dense fused
-    /// block kernels. Bitwise invisible either way.
-    pub fn with_frontier(mut self, policy: FrontierPolicy) -> Self {
-        self.frontier = Some(policy);
-        self
-    }
-
-    /// The planned seeds.
-    pub fn seeds(&self) -> &[NodeId] {
-        &self.seeds
-    }
-
-    /// The planned execution mode.
-    pub fn mode(&self) -> ExecMode {
-        self.mode
-    }
-
-    /// The plan-level frontier override, if any.
-    pub fn frontier(&self) -> Option<FrontierPolicy> {
-        self.frontier
-    }
-}
-
-/// What a plan produced: one entry per seed, in plan order.
-#[derive(Clone, Debug)]
-pub enum QueryResult {
-    /// Full score vectors (no `top_k` requested).
-    Scores(Vec<Vec<f64>>),
-    /// `(node, score)` rankings, best first (`top_k` requested).
-    Ranked(Vec<Vec<(NodeId, f64)>>),
-}
-
-impl QueryResult {
-    /// Unwraps full score vectors; panics if the plan asked for top-k.
-    pub fn into_scores(self) -> Vec<Vec<f64>> {
-        match self {
-            QueryResult::Scores(s) => s,
-            QueryResult::Ranked(_) => panic!("plan returned rankings, not score vectors"),
-        }
-    }
-
-    /// Unwraps rankings; panics if the plan asked for full scores.
-    pub fn into_ranked(self) -> Vec<Vec<(NodeId, f64)>> {
-        match self {
-            QueryResult::Ranked(r) => r,
-            QueryResult::Scores(_) => panic!("plan returned score vectors, not rankings"),
-        }
-    }
-}
-
-/// The serving layer: one backend + optional index, executing
-/// [`QueryPlan`]s. See the module docs.
+/// The single-owner serving shim: one [`Snapshot`] plus writer-side
+/// staleness accounting. See the module docs.
 pub struct QueryEngine<'g> {
-    backend: EngineBackend<'g>,
-    index: Option<Arc<TpaIndex>>,
-    exact_cfg: CpiConfig,
-    lane_tile: usize,
-    frontier: FrontierPolicy,
+    snap: Snapshot<'g>,
     staleness: IndexStalenessPolicy,
     accumulated_drift: f64,
-    /// Set by [`QueryEngine::with_reordering`]: the backend serves the
-    /// relabeled graph, seeds are mapped on the way in and scores/top-k
-    /// unmapped on the way out, so callers never see the new ids.
-    perm: Option<Arc<Permutation>>,
 }
 
 /// Default lane-tile width for batched plans (see
@@ -332,15 +246,18 @@ impl<'g> QueryEngine<'g> {
     /// Engine over an explicit backend.
     pub fn from_backend(backend: EngineBackend<'g>) -> Self {
         QueryEngine {
-            backend,
-            index: None,
-            exact_cfg: CpiConfig::default(),
-            lane_tile: DEFAULT_LANE_TILE,
-            frontier: FrontierPolicy::Auto,
+            snap: Snapshot::new(backend),
             staleness: IndexStalenessPolicy::default(),
             accumulated_drift: 0.0,
-            perm: None,
         }
+    }
+
+    /// The engine's internal snapshot: the immutable view every query
+    /// runs against. Single-seed/batched/top-k execution is literally
+    /// [`Snapshot::run`], so engine answers are bit-identical to a
+    /// [`crate::RwrService`] serving the same frozen graph.
+    pub fn snapshot(&self) -> &Snapshot<'g> {
+        &self.snap
     }
 
     /// Sets the [`FrontierPolicy`] for scalar (single-seed) plans — the
@@ -349,15 +266,15 @@ impl<'g> QueryEngine<'g> {
     /// onto the dense kernels once it saturates. Any policy is bitwise
     /// invisible; only latency changes. Batched lanes always use the
     /// dense fused block kernels (frontier-aware batching is future
-    /// work). A plan-level [`QueryPlan::with_frontier`] overrides this.
+    /// work). A plan-level [`QueryRequest::with_frontier`] overrides this.
     pub fn with_frontier(mut self, policy: FrontierPolicy) -> Self {
-        self.frontier = policy;
+        self.snap.frontier = policy;
         self
     }
 
     /// The engine-level frontier policy.
     pub fn frontier(&self) -> FrontierPolicy {
-        self.frontier
+        self.snap.frontier
     }
 
     /// Relabels the served graph for cache locality with `strategy` (see
@@ -381,7 +298,7 @@ impl<'g> QueryEngine<'g> {
     pub fn with_reordering(self, strategy: ReorderStrategy) -> Self {
         // The dynamic arm materializes the merged snapshot once and
         // reuses it for the permuted rebuild below.
-        let (perm, snapshot) = match &self.backend {
+        let (perm, snapshot) = match &self.snap.backend {
             EngineBackend::Sequential(t) => (reorder(t.graph(), strategy), None),
             EngineBackend::Parallel(t) => (reorder(t.graph(), strategy), None),
             EngineBackend::Dynamic(t) => {
@@ -400,7 +317,7 @@ impl<'g> QueryEngine<'g> {
     /// policy is bit-identical — only throughput changes. No effect on
     /// the streaming out-of-core backend.
     pub fn with_tile_policy(mut self, tile: TilePolicy) -> Self {
-        self.backend = match self.backend {
+        self.snap.backend = match self.snap.backend {
             EngineBackend::Sequential(t) => EngineBackend::Sequential(t.with_tile_policy(tile)),
             EngineBackend::Parallel(t) => EngineBackend::Parallel(t.with_tile_policy(tile)),
             EngineBackend::Dynamic(t) => EngineBackend::Dynamic(Box::new(t.with_tile_policy(tile))),
@@ -421,10 +338,10 @@ impl<'g> QueryEngine<'g> {
     /// [`QueryEngine::with_reordering`] hand over the merged snapshot it
     /// already materialized for a dynamic backend.
     fn apply_permutation(mut self, perm: Permutation, dyn_snapshot: Option<CsrGraph>) -> Self {
-        assert!(self.index.is_none(), "apply reordering before attaching an index");
-        assert!(self.perm.is_none(), "engine is already reordered");
-        assert_eq!(perm.len(), self.backend.n(), "permutation size does not match the graph");
-        self.backend = match self.backend {
+        assert!(self.snap.index.is_none(), "apply reordering before attaching an index");
+        assert!(self.snap.perm.is_none(), "engine is already reordered");
+        assert_eq!(perm.len(), self.snap.backend.n(), "permutation size does not match the graph");
+        self.snap.backend = match self.snap.backend {
             EngineBackend::Sequential(t) => {
                 let g = Arc::new(t.graph().permuted(&perm));
                 EngineBackend::Sequential(Transition::shared(g))
@@ -448,13 +365,13 @@ impl<'g> QueryEngine<'g> {
                 panic!("out-of-core backends cannot be reordered in place; permute the graph before DiskGraph::create")
             }
         };
-        self.perm = Some(Arc::new(perm));
+        self.snap.perm = Some(Arc::new(perm));
         self
     }
 
     /// The relabeling this engine serves under, if reordered.
     pub fn permutation(&self) -> Option<&Permutation> {
-        self.perm.as_deref()
+        self.snap.perm.as_deref()
     }
 
     /// Sets the lane-tile width: batches wider than this execute as
@@ -464,7 +381,7 @@ impl<'g> QueryEngine<'g> {
     /// disables tiling.
     pub fn with_lane_tile(mut self, tile: usize) -> Self {
         assert!(tile >= 1, "lane tile must be at least 1");
-        self.lane_tile = tile;
+        self.snap.lane_tile = tile;
         self
     }
 
@@ -480,12 +397,10 @@ impl<'g> QueryEngine<'g> {
     /// reordered engine.
     pub fn with_index(mut self, index: impl Into<Arc<TpaIndex>>) -> Self {
         let index = index.into();
-        assert_eq!(
-            index.stranger().len(),
-            self.backend.n(),
-            "index was preprocessed for a different graph"
-        );
-        match (index.permutation(), &self.perm) {
+        index.check_backend(&self.snap.backend).unwrap_or_else(|e| {
+            panic!("{e}");
+        });
+        match (index.permutation(), &self.snap.perm) {
             (Some(ip), None) => self = self.with_permutation(ip.clone()),
             (Some(ip), Some(ep)) => {
                 assert!(ip == ep.as_ref(), "index and engine were reordered differently")
@@ -496,7 +411,7 @@ impl<'g> QueryEngine<'g> {
             ),
             (None, None) => {}
         }
-        self.index = Some(index);
+        self.snap.index = Some(index);
         self
     }
 
@@ -504,8 +419,8 @@ impl<'g> QueryEngine<'g> {
     /// the resulting index (stamped with the engine's reordering, if
     /// any, so saving it round-trips).
     pub fn preprocess(self, params: TpaParams) -> Self {
-        let mut index = TpaIndex::preprocess_on(&self.backend, params);
-        if let Some(p) = &self.perm {
+        let mut index = TpaIndex::preprocess_on(&self.snap.backend, params);
+        if let Some(p) = &self.snap.perm {
             index = index.with_permutation(p.as_ref().clone());
         }
         self.with_index(index)
@@ -514,7 +429,7 @@ impl<'g> QueryEngine<'g> {
     /// Config used for exact (non-indexed) execution.
     pub fn with_cpi_config(mut self, cfg: CpiConfig) -> Self {
         cfg.validate();
-        self.exact_cfg = cfg;
+        self.snap.exact_cfg = cfg;
         self
     }
 
@@ -528,12 +443,12 @@ impl<'g> QueryEngine<'g> {
 
     /// The propagation backend.
     pub fn backend(&self) -> &EngineBackend<'g> {
-        &self.backend
+        &self.snap.backend
     }
 
     /// The dynamic transition, when this engine serves an evolving graph.
     pub fn dynamic_transition(&self) -> Option<&DynamicTransition> {
-        match &self.backend {
+        match &self.snap.backend {
             EngineBackend::Dynamic(t) => Some(t.as_ref()),
             _ => None,
         }
@@ -542,32 +457,22 @@ impl<'g> QueryEngine<'g> {
     /// Applies an edge-update batch to the dynamic backend, tracks index
     /// staleness (accumulated relative operator drift), and — under an
     /// auto-refresh policy — re-preprocesses a stale index on the spot.
-    /// Errs on every non-[`EngineBackend::Dynamic`] backend.
-    pub fn apply_updates(&mut self, updates: &[EdgeUpdate]) -> Result<UpdateReport, String> {
+    /// Also advances the engine's epoch, mirroring a service publish.
+    /// Returns [`TpaError::BackendMismatch`] on every
+    /// non-[`EngineBackend::Dynamic`] backend.
+    pub fn apply_updates(&mut self, updates: &[EdgeUpdate]) -> Result<UpdateReport, TpaError> {
         // Callers speak old ids; a reordered backend stores new ones.
         // The returned delta is in backend (new-id) space — consistent
         // with `dynamic_transition()`, which serves that same space.
-        let mapped: Vec<EdgeUpdate>;
-        let updates = match &self.perm {
-            None => updates,
-            Some(p) => {
-                mapped = updates
-                    .iter()
-                    .map(|up| match *up {
-                        EdgeUpdate::Insert(u, v) => EdgeUpdate::Insert(p.new_of(u), p.new_of(v)),
-                        EdgeUpdate::Delete(u, v) => EdgeUpdate::Delete(p.new_of(u), p.new_of(v)),
-                    })
-                    .collect();
-                &mapped
-            }
-        };
-        let delta = match &mut self.backend {
+        let mapped = map_updates(&self.snap.perm, updates);
+        let updates = mapped.as_deref().unwrap_or(updates);
+        let delta = match &mut self.snap.backend {
             EngineBackend::Dynamic(t) => t.apply(updates),
             other => {
-                return Err(format!(
-                    "backend {} is immutable; edge updates need an EngineBackend::Dynamic",
-                    other.name()
-                ))
+                return Err(TpaError::BackendMismatch {
+                    operation: "edge updates",
+                    backend: other.name(),
+                })
             }
         };
         let mut report = UpdateReport {
@@ -576,9 +481,9 @@ impl<'g> QueryEngine<'g> {
             index_stale: false,
             index_refreshed: false,
         };
-        if self.index.is_some() {
+        if self.snap.index.is_some() {
             self.accumulated_drift +=
-                report.delta.column_delta_mass / self.backend.n().max(1) as f64;
+                report.delta.column_delta_mass / self.snap.backend.n().max(1) as f64;
             if self.accumulated_drift > self.staleness.threshold {
                 if self.staleness.auto_refresh {
                     self.refresh_index();
@@ -589,18 +494,23 @@ impl<'g> QueryEngine<'g> {
             }
             report.accumulated_drift = self.accumulated_drift;
         }
+        self.snap.epoch += 1;
         Ok(report)
     }
 
     /// Explicitly compacts the dynamic backend's overlay into a fresh
-    /// base snapshot (scores unchanged). Errs on static backends.
-    pub fn compact_dynamic(&mut self) -> Result<(), String> {
-        match &mut self.backend {
+    /// base snapshot (scores unchanged). Returns
+    /// [`TpaError::BackendMismatch`] on static backends.
+    pub fn compact_dynamic(&mut self) -> Result<(), TpaError> {
+        match &mut self.snap.backend {
             EngineBackend::Dynamic(t) => {
                 t.compact();
                 Ok(())
             }
-            other => Err(format!("backend {} is immutable; nothing to compact", other.name())),
+            other => Err(TpaError::BackendMismatch {
+                operation: "overlay compaction",
+                backend: other.name(),
+            }),
         }
     }
 
@@ -608,13 +518,13 @@ impl<'g> QueryEngine<'g> {
     /// attached index's parameters, replacing the index and resetting the
     /// drift accumulator. No-op without an index.
     pub fn refresh_index(&mut self) {
-        if let Some(old) = &self.index {
+        if let Some(old) = &self.snap.index {
             let params = *old.params();
-            let mut index = TpaIndex::preprocess_on(&self.backend, params);
-            if let Some(p) = &self.perm {
+            let mut index = TpaIndex::preprocess_on(&self.snap.backend, params);
+            if let Some(p) = &self.snap.perm {
                 index = index.with_permutation(p.as_ref().clone());
             }
-            self.index = Some(Arc::new(index));
+            self.snap.index = Some(Arc::new(index));
             self.accumulated_drift = 0.0;
         }
     }
@@ -628,114 +538,67 @@ impl<'g> QueryEngine<'g> {
     /// True when the attached index has drifted past the staleness
     /// threshold without being refreshed.
     pub fn index_stale(&self) -> bool {
-        self.index.is_some() && self.accumulated_drift > self.staleness.threshold
+        self.snap.index.is_some() && self.accumulated_drift > self.staleness.threshold
     }
 
     /// The attached index, if any.
     pub fn index(&self) -> Option<&TpaIndex> {
-        self.index.as_deref()
+        self.snap.index.as_deref()
     }
 
     /// Number of nodes served.
     pub fn n(&self) -> usize {
-        self.backend.n()
+        self.snap.backend.n()
     }
 
-    /// Executes a plan. Single-seed plans take the scalar path; larger
-    /// batches run lane tiles through the backend's fused block kernel,
-    /// bit-identical to per-seed execution. An empty plan yields an
-    /// empty result (serving queues legitimately drain to zero).
-    pub fn execute(&self, plan: &QueryPlan) -> QueryResult {
-        if plan.seeds.is_empty() {
-            return match plan.k {
-                None => QueryResult::Scores(Vec::new()),
-                Some(_) => QueryResult::Ranked(Vec::new()),
-            };
-        }
-        let n = self.n();
-        for &s in &plan.seeds {
-            assert!((s as usize) < n, "seed {s} out of range (n = {n})");
-        }
-        // Reordered engines run in new-id space: map seeds in here, map
-        // scores back out below (before top-k, so ranking ties keep
-        // breaking on the caller-visible old ids).
-        let mapped: Vec<NodeId>;
-        let seeds: &[NodeId] = match &self.perm {
-            None => &plan.seeds,
-            Some(p) => {
-                mapped = plan.seeds.iter().map(|&s| p.new_of(s)).collect();
-                &mapped
-            }
-        };
-        let policy = plan.frontier.unwrap_or(self.frontier);
-        let mut scores = match (plan.mode, &self.index) {
-            (ExecMode::Auto, Some(index)) => {
-                if let [seed] = seeds[..] {
-                    vec![index.query_policy_on(&self.backend, &SeedSet::single(seed), policy)]
-                } else {
-                    self.tiled(seeds, |tile| index.query_batch_on(&self.backend, tile))
-                }
-            }
-            _ => self.exact_scores(seeds, policy),
-        };
-        if let Some(p) = &self.perm {
-            for s in scores.iter_mut() {
-                *s = p.unpermute_values(s);
-            }
-        }
-        match plan.k {
-            None => QueryResult::Scores(scores),
-            Some(k) => QueryResult::Ranked(scores.iter().map(|s| top_k_scored(s, k)).collect()),
-        }
+    /// Executes a plan, returning the scores/rankings. Single-seed plans
+    /// take the scalar path; larger batches run lane tiles through the
+    /// backend's fused block kernel, bit-identical to per-seed
+    /// execution. An empty plan yields an empty result (serving queues
+    /// legitimately drain to zero); an out-of-range seed is rejected at
+    /// admission with [`TpaError::SeedOutOfRange`].
+    pub fn execute(&self, plan: &QueryPlan) -> Result<QueryResult, TpaError> {
+        Ok(self.snap.run(plan)?.result)
     }
 
-    fn exact_scores(&self, seeds: &[NodeId], policy: FrontierPolicy) -> Vec<Vec<f64>> {
-        if let [seed] = seeds[..] {
-            return vec![
-                cpi_policy(&self.backend, &SeedSet::single(seed), &self.exact_cfg, 0, None, policy)
-                    .scores,
-            ];
-        }
-        self.tiled(seeds, |tile| {
-            cpi_batch(&self.backend, tile, &self.exact_cfg, 0, None).into_lanes()
-        })
+    /// [`QueryEngine::execute`] returning the full [`QueryResponse`]
+    /// (scores plus backend/epoch/iteration metadata) — the same shape
+    /// [`crate::RwrService::submit`] returns.
+    pub fn submit(&self, req: &QueryRequest) -> Result<QueryResponse, TpaError> {
+        self.snap.run(req)
     }
 
-    /// Runs `serve` over consecutive lane tiles of the batch, keeping the
-    /// blocks cache-sized (see [`QueryEngine::with_lane_tile`]).
-    fn tiled(
-        &self,
-        seeds: &[NodeId],
-        mut serve: impl FnMut(&[NodeId]) -> Vec<Vec<f64>>,
-    ) -> Vec<Vec<f64>> {
-        let mut out = Vec::with_capacity(seeds.len());
-        for tile in seeds.chunks(self.lane_tile) {
-            out.extend(serve(tile));
-        }
-        out
-    }
-
-    /// Full scores for one seed (index path when available).
+    /// Full scores for one seed (index path when available). Panics on
+    /// an invalid request; use [`QueryEngine::execute`] to handle
+    /// [`TpaError`]s instead.
     pub fn query(&self, seed: NodeId) -> Vec<f64> {
-        self.execute(&QueryPlan::single(seed)).into_scores().pop().unwrap()
+        self.expect(&QueryRequest::single(seed)).into_scores().pop().unwrap()
     }
 
     /// Full scores for a batch of seeds: one fused edge pass per CPI
     /// iteration per lane tile (so a batch of `B` seeds costs
     /// `⌈B / lane_tile⌉` edge passes per iteration instead of `B`; see
-    /// [`QueryEngine::with_lane_tile`]).
+    /// [`QueryEngine::with_lane_tile`]). Panics on an invalid request.
     pub fn query_batch(&self, seeds: &[NodeId]) -> Vec<Vec<f64>> {
-        self.execute(&QueryPlan::batch(seeds.to_vec())).into_scores()
+        self.expect(&QueryRequest::batch(seeds.to_vec())).into_scores()
     }
 
-    /// Best `k` nodes for one seed, best first.
+    /// Best `k` nodes for one seed, best first. Panics on an invalid
+    /// request.
     pub fn top_k(&self, seed: NodeId, k: usize) -> Vec<(NodeId, f64)> {
-        self.execute(&QueryPlan::single(seed).top_k(k)).into_ranked().pop().unwrap()
+        self.expect(&QueryRequest::single(seed).top_k(k)).into_ranked().pop().unwrap()
     }
 
-    /// Best `k` nodes for each seed in a batch.
+    /// Best `k` nodes for each seed in a batch. Panics on an invalid
+    /// request.
     pub fn top_k_batch(&self, seeds: &[NodeId], k: usize) -> Vec<Vec<(NodeId, f64)>> {
-        self.execute(&QueryPlan::batch(seeds.to_vec()).top_k(k)).into_ranked()
+        self.expect(&QueryRequest::batch(seeds.to_vec()).top_k(k)).into_ranked()
+    }
+
+    /// Shared panic path of the infallible conveniences: renders the
+    /// [`TpaError`] so every entry point fails with the same message.
+    fn expect(&self, req: &QueryRequest) -> QueryResult {
+        self.execute(req).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -814,7 +677,8 @@ mod tests {
     fn exact_mode_ignores_index() {
         let g = test_graph();
         let engine = QueryEngine::sequential(&g).preprocess(TpaParams::new(4, 9));
-        let exact = engine.execute(&QueryPlan::single(7).exact()).into_scores().pop().unwrap();
+        let exact =
+            engine.execute(&QueryPlan::single(7).exact()).unwrap().into_scores().pop().unwrap();
         assert_eq!(exact, exact_rwr(&g, 7, &CpiConfig::default()));
         // The indexed answer is an approximation — close, but distinct.
         assert_ne!(exact, engine.query(7));
@@ -825,6 +689,22 @@ mod tests {
         let g = test_graph();
         let engine = QueryEngine::sequential(&g);
         assert_eq!(engine.query(3), exact_rwr(&g, 3, &CpiConfig::default()));
+    }
+
+    #[test]
+    fn submit_reports_metadata() {
+        let g = test_graph();
+        let engine = QueryEngine::sequential(&g).preprocess(TpaParams::new(5, 10));
+        let resp = engine.submit(&QueryRequest::single(7)).unwrap();
+        assert_eq!(resp.backend, "sequential");
+        assert_eq!(resp.epoch, 0);
+        assert!(resp.indexed);
+        // The indexed family sweep runs S − 1 propagations.
+        assert_eq!(resp.iterations, Some(4));
+        assert!(resp.residual.unwrap() > 0.0);
+        let exact = engine.submit(&QueryRequest::single(7).exact()).unwrap();
+        assert!(!exact.indexed);
+        assert!(exact.iterations.unwrap() > 4);
     }
 
     #[test]
@@ -882,15 +762,20 @@ mod tests {
         assert_eq!(engine.query(13), reference.query(13));
         assert_eq!(engine.query_batch(&[1, 5, 9]), reference.query_batch(&[1, 5, 9]));
         assert_eq!(engine.top_k(13, 5), reference.top_k(13, 5));
-        let exact = engine.execute(&QueryPlan::single(7).exact()).into_scores().pop().unwrap();
+        let exact =
+            engine.execute(&QueryPlan::single(7).exact()).unwrap().into_scores().pop().unwrap();
         assert_eq!(exact, exact_rwr(&g, 7, &CpiConfig::default()));
 
-        // After updates the engine answers on the evolved graph.
+        // After updates the engine answers on the evolved graph, and the
+        // engine's epoch advances like a service publish.
+        assert_eq!(engine.snapshot().epoch(), 0);
         let report = engine
             .apply_updates(&[EdgeUpdate::Insert(13, 200), EdgeUpdate::Insert(200, 13)])
             .unwrap();
         assert_eq!(report.delta.stats.inserted, 2);
-        let evolved = engine.execute(&QueryPlan::single(13).exact()).into_scores().pop().unwrap();
+        assert_eq!(engine.snapshot().epoch(), 1);
+        let evolved =
+            engine.execute(&QueryPlan::single(13).exact()).unwrap().into_scores().pop().unwrap();
         assert_ne!(evolved, exact_rwr(&g, 13, &CpiConfig::default()));
         assert!(engine.dynamic_transition().unwrap().graph().has_edge(13, 200));
     }
@@ -901,7 +786,15 @@ mod tests {
         let g = test_graph();
         let mut engine = QueryEngine::sequential(&g);
         let err = engine.apply_updates(&[EdgeUpdate::Insert(0, 1)]).unwrap_err();
-        assert!(err.contains("immutable"), "{err}");
+        assert!(
+            matches!(
+                err,
+                TpaError::BackendMismatch { operation: "edge updates", backend: "sequential" }
+            ),
+            "{err}"
+        );
+        let err = engine.compact_dynamic().unwrap_err();
+        assert!(matches!(err, TpaError::BackendMismatch { .. }), "{err}");
     }
 
     #[test]
@@ -945,14 +838,15 @@ mod tests {
         // runs (ascending node id within a tie).
         let g = tpa_graph::gen::cycle_graph(64);
         let plans = QueryPlan::single(0).top_k(10).exact();
-        let seq = QueryEngine::sequential(&g).execute(&plans).into_ranked();
-        let par = QueryEngine::parallel(&g, 4).execute(&plans).into_ranked();
+        let seq = QueryEngine::sequential(&g).execute(&plans).unwrap().into_ranked();
+        let par = QueryEngine::parallel(&g, 4).execute(&plans).unwrap().into_ranked();
         let dynamic = QueryEngine::dynamic(tpa_graph::DynamicGraph::new(g.clone()))
             .execute(&plans)
+            .unwrap()
             .into_ranked();
         assert_eq!(seq, par);
         assert_eq!(seq, dynamic);
-        let again = QueryEngine::sequential(&g).execute(&plans).into_ranked();
+        let again = QueryEngine::sequential(&g).execute(&plans).unwrap().into_ranked();
         assert_eq!(seq, again);
         // Within every run of equal scores, node ids ascend.
         for w in seq[0].windows(2) {
@@ -1055,7 +949,7 @@ mod tests {
         assert_eq!(dense.query(13), auto.query(13));
         assert_eq!(dense.top_k(13, 7), auto.top_k(13, 7));
         let exact_of = |e: &QueryEngine<'_>| {
-            e.execute(&QueryPlan::single(7).exact()).into_scores().pop().unwrap()
+            e.execute(&QueryPlan::single(7).exact()).unwrap().into_scores().pop().unwrap()
         };
         assert_eq!(exact_of(&dense), exact_of(&sparse));
         assert_eq!(exact_of(&dense), exact_of(&auto));
@@ -1063,8 +957,8 @@ mod tests {
         let plan = QueryPlan::single(13).with_frontier(FrontierPolicy::Sparse);
         assert_eq!(plan.frontier(), Some(FrontierPolicy::Sparse));
         assert_eq!(
-            dense.execute(&plan).into_scores(),
-            auto.execute(&QueryPlan::single(13)).into_scores()
+            dense.execute(&plan).unwrap().into_scores(),
+            auto.execute(&QueryPlan::single(13)).unwrap().into_scores()
         );
     }
 
@@ -1106,8 +1000,22 @@ mod tests {
     }
 
     #[test]
+    fn execute_rejects_out_of_range_seed() {
+        let g = test_graph();
+        let engine = QueryEngine::sequential(&g);
+        let err = engine.execute(&QueryPlan::single(g.n() as NodeId)).unwrap_err();
+        assert!(
+            matches!(err, TpaError::SeedOutOfRange { seed, n } if seed as usize == g.n() && n == g.n()),
+            "{err}"
+        );
+        // A bad seed anywhere in a batch is caught at admission too.
+        let err = engine.execute(&QueryPlan::batch(vec![0, 1, 9999])).unwrap_err();
+        assert!(matches!(err, TpaError::SeedOutOfRange { seed: 9999, .. }), "{err}");
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
-    fn rejects_out_of_range_seed() {
+    fn infallible_query_panics_on_out_of_range_seed() {
         let g = test_graph();
         QueryEngine::sequential(&g).query(g.n() as NodeId);
     }

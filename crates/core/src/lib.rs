@@ -18,11 +18,18 @@
 //! * [`bounds`] — Lemmas 1–3 and Theorem 2 in closed form.
 //! * [`decompose`] — exact part-wise decomposition used by the accuracy
 //!   experiments (Table III, Fig. 9).
-//! * [`QueryEngine`] — the serving layer: executes single / batched /
-//!   top-k [`QueryPlan`]s over any [`Propagator`] backend (sequential,
-//!   [`ParallelTransition`], out-of-core [`offcore::DiskGraph`], dynamic
-//!   delta-overlay [`DynamicTransition`]), with results bit-identical
-//!   across backends.
+//! * [`RwrService`] / [`ServiceBuilder`] — the concurrent serving
+//!   layer: an immutable [`Snapshot`] (backend + index + configuration)
+//!   published behind an epoch-swapped `Arc`, any number of `&self`
+//!   reader threads racing a single writer that applies
+//!   [`tpa_graph::EdgeUpdate`] batches; typed [`QueryRequest`] /
+//!   [`QueryResponse`] and a real [`TpaError`].
+//! * [`QueryEngine`] — the single-owner shim over a [`Snapshot`]:
+//!   executes single / batched / top-k requests over any
+//!   [`Propagator`] backend (sequential, [`ParallelTransition`],
+//!   out-of-core [`offcore::DiskGraph`], dynamic delta-overlay
+//!   [`DynamicTransition`]), with results bit-identical across backends
+//!   and bit-identical to the concurrent service.
 //! * [`dynamic`] — the streaming workload: [`DynamicTransition`] over a
 //!   mutable overlay graph, OSP-style incremental maintenance of cached
 //!   scores ([`ScoreCache`]), and index staleness tracking
@@ -55,12 +62,14 @@ mod cpi;
 mod decompose;
 pub mod dynamic;
 pub mod engine;
+mod error;
 pub mod frontier;
 pub mod offcore;
 mod pagerank;
 mod parallel;
 pub mod params;
 mod seeds;
+pub mod service;
 pub mod tiling;
 mod tpa;
 mod transition;
@@ -73,13 +82,17 @@ pub use dynamic::{
     UpdateDelta,
 };
 pub use engine::{
-    top_k_scored, EngineBackend, ExecMode, IndexStalenessPolicy, QueryEngine, QueryPlan,
-    QueryResult, UpdateReport,
+    top_k_scored, EngineBackend, IndexStalenessPolicy, QueryEngine, QueryPlan, UpdateReport,
 };
+pub use error::TpaError;
 pub use frontier::{FrontierPolicy, FrontierScratch, FrontierStep, FrontierWork};
 pub use pagerank::{exact_rwr, pagerank, pagerank_window, personalized_pagerank};
 pub use parallel::ParallelTransition;
 pub use seeds::SeedSet;
+pub use service::{
+    ExecMode, QueryRequest, QueryResponse, QueryResult, RwrService, ServiceBuilder, Snapshot,
+    UpdateOutcome,
+};
 pub use tiling::TilePolicy;
 pub use tpa::{PreprocessStats, TpaIndex, TpaParams, TpaParts};
 pub use transition::{Propagator, Transition};

@@ -1,0 +1,1220 @@
+//! The concurrent serving layer: [`RwrService`] over epoch-swapped
+//! [`Snapshot`]s.
+//!
+//! [`crate::QueryEngine`] is a *single-owner* server: it borrows its
+//! graph, needs `&mut self` to apply updates, and therefore forces any
+//! concurrent deployment to wrap it in external locking that serializes
+//! every reader behind the writer. TPA's whole point is cheap online
+//! queries over a preprocessed index (Yoon et al., ICDE 2018), and the
+//! dynamic-RWR line (Yoon et al., *"Fast and Accurate Random Walk with
+//! Restart on Dynamic Graphs with Guarantees"*) assumes queries and
+//! updates interleave continuously — so the serving surface has to let
+//! them.
+//!
+//! The design here is the classic epoch swap:
+//!
+//! * A [`Snapshot`] is an **immutable** bundle of everything a query
+//!   needs — propagation backend, optional [`TpaIndex`], reordering
+//!   permutation, CPI / frontier / lane-tile configuration — stamped
+//!   with an epoch number. All of its query methods take `&self`, and
+//!   `Snapshot<'static>` (the owned form the service publishes) is
+//!   `Send + Sync`.
+//! * [`RwrService`] keeps the current snapshot behind an
+//!   `RwLock<Arc<Snapshot>>`. A reader's only synchronized step is
+//!   cloning that `Arc` (a refcount bump under a read lock held for
+//!   nanoseconds); the query itself runs lock-free on the pinned
+//!   snapshot, so any number of threads query concurrently and are
+//!   never serialized behind the writer.
+//! * A single writer (serialized by an internal mutex) owns the mutable
+//!   delta-overlay graph. [`RwrService::apply_updates`] applies an
+//!   [`EdgeUpdate`] batch to the overlay, rebuilds an immutable backend
+//!   from the merged view, and atomically publishes the next epoch by
+//!   swapping the `Arc`. In-flight queries keep reading the epoch they
+//!   pinned; the next `submit` sees the new one. Every epoch is
+//!   **bitwise consistent**: a query on epoch `e` returns exactly what
+//!   a single-threaded [`crate::QueryEngine`] would return on the
+//!   equivalent frozen graph — never a blend of two epochs.
+//!
+//! Requests and responses are typed ([`QueryRequest`] /
+//! [`QueryResponse`]), failures are a real error type
+//! ([`crate::TpaError`]), and construction goes through one
+//! [`ServiceBuilder`] instead of the engine's scattered `with_*` calls.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tpa_core::{QueryRequest, ServiceBuilder, TpaParams};
+//! use tpa_graph::gen::star_graph;
+//! use tpa_graph::{DynamicGraph, EdgeUpdate};
+//!
+//! let service = Arc::new(
+//!     ServiceBuilder::dynamic(DynamicGraph::new(star_graph(100)))
+//!         .preprocess(TpaParams::new(5, 10))
+//!         .build()
+//!         .unwrap(),
+//! );
+//! // Readers (any number of threads): pin a snapshot implicitly.
+//! let resp = service.submit(&QueryRequest::single(42).top_k(5)).unwrap();
+//! assert_eq!(resp.epoch, 0);
+//! // The writer publishes the next epoch; readers are never blocked.
+//! let outcome = service.apply_updates(&[EdgeUpdate::Insert(42, 7)]).unwrap();
+//! assert_eq!(outcome.epoch, 1);
+//! ```
+
+use crate::batch::cpi_batch;
+use crate::dynamic::DynamicTransition;
+use crate::engine::{top_k_scored, EngineBackend, IndexStalenessPolicy, UpdateReport};
+use crate::error::check_seeds;
+use crate::offcore::DiskGraph;
+use crate::{
+    cpi_policy, CpiConfig, FrontierPolicy, ParallelTransition, Propagator, SeedSet, TilePolicy,
+    TpaError, TpaIndex, TpaParams, Transition,
+};
+use std::sync::{Arc, Mutex, RwLock};
+use tpa_graph::{
+    reorder, CsrGraph, DynamicGraph, EdgeUpdate, NodeId, Permutation, ReorderStrategy,
+};
+
+/// How a request computes scores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Use the [`TpaIndex`] if the snapshot has one, exact CPI otherwise.
+    Auto,
+    /// Full-convergence CPI (ground truth), even when an index is loaded.
+    Exact,
+}
+
+/// A typed query: which seeds, how to execute, what to return.
+///
+/// Built fluently: [`QueryRequest::single`] / [`QueryRequest::batch`],
+/// then [`top_k`](QueryRequest::top_k), [`exact`](QueryRequest::exact),
+/// [`with_frontier`](QueryRequest::with_frontier) and
+/// [`with_epsilon`](QueryRequest::with_epsilon) overrides. Submitted to
+/// [`RwrService::submit`], [`Snapshot::run`], or (as the compatibility
+/// alias `QueryPlan`) [`crate::QueryEngine::execute`].
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    seeds: Vec<NodeId>,
+    k: Option<usize>,
+    mode: ExecMode,
+    frontier: Option<FrontierPolicy>,
+    eps: Option<f64>,
+}
+
+impl QueryRequest {
+    /// Request for one seed.
+    pub fn single(seed: NodeId) -> Self {
+        Self::batch(vec![seed])
+    }
+
+    /// Request for a batch of seeds (one lane per seed, shared edge
+    /// passes). An empty batch is legal and yields an empty response
+    /// (serving queues legitimately drain to zero).
+    pub fn batch(seeds: impl Into<Vec<NodeId>>) -> Self {
+        QueryRequest {
+            seeds: seeds.into(),
+            k: None,
+            mode: ExecMode::Auto,
+            frontier: None,
+            eps: None,
+        }
+    }
+
+    /// Return only the `k` best-scoring nodes per seed (partial
+    /// selection, no full sort).
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Force exact CPI even if the snapshot holds an index.
+    pub fn exact(mut self) -> Self {
+        self.mode = ExecMode::Exact;
+        self
+    }
+
+    /// Overrides the snapshot's [`FrontierPolicy`] for this request.
+    /// Applies to the scalar (single-seed) path; batched lanes always
+    /// run the dense fused block kernels. Bitwise invisible either way.
+    pub fn with_frontier(mut self, policy: FrontierPolicy) -> Self {
+        self.frontier = Some(policy);
+        self
+    }
+
+    /// Per-request convergence tolerance for **exact** execution (a
+    /// latency/accuracy knob individual callers can turn without
+    /// touching the shared configuration). Indexed execution ignores it:
+    /// the family sweep is window-capped at `S − 1` iterations, whose
+    /// residual `c(1−c)^i` never falls below any practical ε first.
+    /// Must be positive, checked at admission.
+    pub fn with_epsilon(mut self, eps: f64) -> Self {
+        self.eps = Some(eps);
+        self
+    }
+
+    /// The requested seeds.
+    pub fn seeds(&self) -> &[NodeId] {
+        &self.seeds
+    }
+
+    /// The requested execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The per-request frontier override, if any.
+    pub fn frontier(&self) -> Option<FrontierPolicy> {
+        self.frontier
+    }
+
+    /// The requested top-k cut, if any.
+    pub fn k(&self) -> Option<usize> {
+        self.k
+    }
+
+    /// The per-request exact-mode tolerance override, if any.
+    pub fn epsilon(&self) -> Option<f64> {
+        self.eps
+    }
+}
+
+/// What a request produced: one entry per seed, in request order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryResult {
+    /// Full score vectors (no `top_k` requested).
+    Scores(Vec<Vec<f64>>),
+    /// `(node, score)` rankings, best first (`top_k` requested).
+    Ranked(Vec<Vec<(NodeId, f64)>>),
+}
+
+impl QueryResult {
+    /// Unwraps full score vectors; panics if the request asked for top-k.
+    pub fn into_scores(self) -> Vec<Vec<f64>> {
+        match self {
+            QueryResult::Scores(s) => s,
+            QueryResult::Ranked(_) => panic!("request returned rankings, not score vectors"),
+        }
+    }
+
+    /// Unwraps rankings; panics if the request asked for full scores.
+    pub fn into_ranked(self) -> Vec<Vec<(NodeId, f64)>> {
+        match self {
+            QueryResult::Ranked(r) => r,
+            QueryResult::Scores(_) => panic!("request returned score vectors, not rankings"),
+        }
+    }
+}
+
+/// Scores/rankings plus serving metadata: which backend answered, at
+/// which snapshot epoch, and — on scalar paths — how much CPI work the
+/// answer took.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// The scores or rankings, one entry per requested seed.
+    pub result: QueryResult,
+    /// Name of the propagation backend that served the request (see
+    /// [`EngineBackend::name`]).
+    pub backend: &'static str,
+    /// Epoch of the snapshot that served the request. Two responses
+    /// with the same epoch were computed on the identical frozen graph.
+    pub epoch: u64,
+    /// True when the answer came through the TPA index (approximate
+    /// online phase); false for exact CPI.
+    pub indexed: bool,
+    /// CPI iterations run, for single-seed requests (batched lanes
+    /// share iterations across seeds and report `None`).
+    pub iterations: Option<usize>,
+    /// `‖x(i)‖₁` when the sweep stopped, for single-seed requests.
+    pub residual: Option<f64>,
+}
+
+/// An immutable, consistently-queryable view of the served graph: the
+/// propagation backend, the optional [`TpaIndex`], the reordering
+/// permutation, and the execution configuration, stamped with an epoch.
+///
+/// All query entry points take `&self`; `Snapshot<'static>` (the owned
+/// form [`RwrService`] publishes) is `Send + Sync`, so any number of
+/// threads can run [`Snapshot::run`] concurrently on one snapshot.
+/// [`crate::QueryEngine`] is a thin shim over a single-owner `Snapshot`.
+pub struct Snapshot<'g> {
+    pub(crate) backend: EngineBackend<'g>,
+    pub(crate) index: Option<Arc<TpaIndex>>,
+    pub(crate) exact_cfg: CpiConfig,
+    pub(crate) lane_tile: usize,
+    pub(crate) frontier: FrontierPolicy,
+    /// Set when the snapshot serves a relabeled graph: seeds are mapped
+    /// on the way in and scores/rankings unmapped on the way out, so
+    /// callers never see the new ids.
+    pub(crate) perm: Option<Arc<Permutation>>,
+    pub(crate) epoch: u64,
+}
+
+impl<'g> Snapshot<'g> {
+    /// Snapshot over an explicit backend with default configuration and
+    /// epoch 0.
+    pub(crate) fn new(backend: EngineBackend<'g>) -> Self {
+        Snapshot {
+            backend,
+            index: None,
+            exact_cfg: CpiConfig::default(),
+            lane_tile: crate::engine::DEFAULT_LANE_TILE,
+            frontier: FrontierPolicy::Auto,
+            perm: None,
+            epoch: 0,
+        }
+    }
+
+    /// Number of nodes served.
+    pub fn n(&self) -> usize {
+        self.backend.n()
+    }
+
+    /// The epoch this snapshot was published at (0 for the initial
+    /// build and for single-owner engines).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The propagation backend.
+    pub fn backend(&self) -> &EngineBackend<'g> {
+        &self.backend
+    }
+
+    /// The attached index, if any.
+    pub fn index(&self) -> Option<&TpaIndex> {
+        self.index.as_deref()
+    }
+
+    /// The relabeling this snapshot serves under, if reordered.
+    pub fn permutation(&self) -> Option<&Permutation> {
+        self.perm.as_deref()
+    }
+
+    /// The snapshot-level frontier policy (a request can override it).
+    pub fn frontier(&self) -> FrontierPolicy {
+        self.frontier
+    }
+
+    /// Executes a request against this (frozen) snapshot. Single-seed
+    /// requests take the scalar path; larger batches run lane tiles
+    /// through the backend's fused block kernel, bit-identical to
+    /// per-seed execution.
+    ///
+    /// Admission errors — out-of-range seeds
+    /// ([`TpaError::SeedOutOfRange`]), a non-positive per-request
+    /// epsilon ([`TpaError::InvalidConfig`]) — are returned before any
+    /// kernel runs; an empty batch yields an empty response.
+    pub fn run(&self, req: &QueryRequest) -> Result<QueryResponse, TpaError> {
+        let n = self.backend.n();
+        check_seeds(&req.seeds, n)?;
+        // A per-request epsilon forms the exact-mode config here, so the
+        // shared CpiConfig validation covers it (NaN and ≤ 0 both fail).
+        let exact_cfg = match req.eps {
+            Some(eps) => {
+                let cfg = CpiConfig { eps, ..self.exact_cfg };
+                cfg.check()?;
+                cfg
+            }
+            None => self.exact_cfg,
+        };
+        let mut resp = QueryResponse {
+            result: QueryResult::Scores(Vec::new()),
+            backend: self.backend.name(),
+            epoch: self.epoch,
+            indexed: false,
+            iterations: None,
+            residual: None,
+        };
+        if req.seeds.is_empty() {
+            if req.k.is_some() {
+                resp.result = QueryResult::Ranked(Vec::new());
+            }
+            return Ok(resp);
+        }
+        // Reordered snapshots run in new-id space: map seeds in here,
+        // map scores back out below (before top-k, so ranking ties keep
+        // breaking on the caller-visible old ids).
+        let mapped: Vec<NodeId>;
+        let seeds: &[NodeId] = match &self.perm {
+            None => &req.seeds,
+            Some(p) => {
+                mapped = req.seeds.iter().map(|&s| p.new_of(s)).collect();
+                &mapped
+            }
+        };
+        let policy = req.frontier.unwrap_or(self.frontier);
+        let mut scores = match (req.mode, &self.index) {
+            (ExecMode::Auto, Some(index)) => {
+                resp.indexed = true;
+                if let [seed] = seeds[..] {
+                    let (scores, iters, residual) =
+                        index.query_traced_policy_on(&self.backend, &SeedSet::single(seed), policy);
+                    resp.iterations = Some(iters);
+                    resp.residual = Some(residual);
+                    vec![scores]
+                } else {
+                    self.tiled(seeds, |tile| index.query_batch_on(&self.backend, tile))
+                }
+            }
+            _ => {
+                if let [seed] = seeds[..] {
+                    let run = cpi_policy(
+                        &self.backend,
+                        &SeedSet::single(seed),
+                        &exact_cfg,
+                        0,
+                        None,
+                        policy,
+                    );
+                    resp.iterations = Some(run.last_iteration);
+                    resp.residual = Some(run.final_residual);
+                    vec![run.scores]
+                } else {
+                    self.tiled(seeds, |tile| {
+                        cpi_batch(&self.backend, tile, &exact_cfg, 0, None).into_lanes()
+                    })
+                }
+            }
+        };
+        if let Some(p) = &self.perm {
+            for s in scores.iter_mut() {
+                *s = p.unpermute_values(s);
+            }
+        }
+        resp.result = match req.k {
+            None => QueryResult::Scores(scores),
+            Some(k) => QueryResult::Ranked(scores.iter().map(|s| top_k_scored(s, k)).collect()),
+        };
+        Ok(resp)
+    }
+
+    /// Runs `serve` over consecutive lane tiles of the batch, keeping
+    /// the score blocks cache-sized.
+    fn tiled(
+        &self,
+        seeds: &[NodeId],
+        mut serve: impl FnMut(&[NodeId]) -> Vec<Vec<f64>>,
+    ) -> Vec<Vec<f64>> {
+        let mut out = Vec::with_capacity(seeds.len());
+        for tile in seeds.chunks(self.lane_tile) {
+            out.extend(serve(tile));
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Snapshot<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("backend", &self.backend.name())
+            .field("n", &self.backend.n())
+            .field("epoch", &self.epoch)
+            .field("indexed", &self.index.is_some())
+            .field("reordered", &self.perm.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Relabels caller-space updates into backend (new-id) space. Shared by
+/// the service writer and the engine shim.
+pub(crate) fn map_updates(
+    perm: &Option<Arc<Permutation>>,
+    updates: &[EdgeUpdate],
+) -> Option<Vec<EdgeUpdate>> {
+    perm.as_ref().map(|p| {
+        updates
+            .iter()
+            .map(|up| match *up {
+                EdgeUpdate::Insert(u, v) => EdgeUpdate::Insert(p.new_of(u), p.new_of(v)),
+                EdgeUpdate::Delete(u, v) => EdgeUpdate::Delete(p.new_of(u), p.new_of(v)),
+            })
+            .collect()
+    })
+}
+
+/// What one [`RwrService::apply_updates`] call did, and which epoch it
+/// published.
+#[derive(Clone, Debug)]
+pub struct UpdateOutcome {
+    /// The structural delta and index-staleness accounting (same shape
+    /// the single-owner engine reports).
+    pub report: UpdateReport,
+    /// The epoch the batch was published at; responses carrying this
+    /// epoch (or later) see the updated graph.
+    pub epoch: u64,
+}
+
+/// Writer-side state: the mutable delta overlay plus everything needed
+/// to build the next snapshot. Serialized by [`RwrService`]'s mutex —
+/// one writer at a time, readers unaffected.
+struct WriterState {
+    /// `Some` when the service was built over a [`DynamicGraph`];
+    /// `None` for immutable (in-memory / out-of-core) services, which
+    /// refuse updates with [`TpaError::BackendMismatch`].
+    overlay: Option<DynamicTransition>,
+    /// True when published snapshot backends are the sequential
+    /// transition (builder `threads == 1`); otherwise the parallel
+    /// backend with `threads` workers serves every epoch.
+    sequential: bool,
+    /// Worker threads for published snapshot backends.
+    threads: usize,
+    tile: TilePolicy,
+    staleness: IndexStalenessPolicy,
+    accumulated_drift: f64,
+}
+
+/// A concurrent, owned RWR serving handle: `Send + Sync`, shared across
+/// threads as `Arc<RwrService>`. Readers call [`RwrService::submit`]
+/// with `&self` and are never serialized behind the writer; a single
+/// writer evolves the graph through [`RwrService::apply_updates`],
+/// which publishes a new [`Snapshot`] epoch atomically. See the module
+/// docs for the epoch-swap design.
+pub struct RwrService {
+    /// The published snapshot. Readers hold the read lock only long
+    /// enough to clone the `Arc`; the writer holds the write lock only
+    /// long enough to swap it.
+    current: RwLock<Arc<Snapshot<'static>>>,
+    writer: Mutex<WriterState>,
+}
+
+impl std::fmt::Debug for RwrService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwrService").field("snapshot", &self.snapshot()).finish_non_exhaustive()
+    }
+}
+
+impl RwrService {
+    /// Pins the current snapshot: an `Arc` the caller can query any
+    /// number of times, all on the same frozen epoch, regardless of
+    /// concurrent publishes.
+    pub fn snapshot(&self) -> Arc<Snapshot<'static>> {
+        // Lock poisoning only happens if a publisher panicked; the Arc
+        // itself is always a fully-published snapshot, so recover.
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Executes a request on the current snapshot. Equivalent to
+    /// `self.snapshot().run(req)` — pin the snapshot explicitly instead
+    /// when several requests must observe the same epoch.
+    pub fn submit(&self, req: &QueryRequest) -> Result<QueryResponse, TpaError> {
+        self.snapshot().run(req)
+    }
+
+    /// Full scores for one seed (index path when available).
+    pub fn query(&self, seed: NodeId) -> Result<Vec<f64>, TpaError> {
+        let resp = self.submit(&QueryRequest::single(seed))?;
+        Ok(resp.result.into_scores().pop().expect("single request yields one vector"))
+    }
+
+    /// Best `k` nodes for one seed, best first.
+    pub fn top_k(&self, seed: NodeId, k: usize) -> Result<Vec<(NodeId, f64)>, TpaError> {
+        let resp = self.submit(&QueryRequest::single(seed).top_k(k))?;
+        Ok(resp.result.into_ranked().pop().expect("single request yields one ranking"))
+    }
+
+    /// Number of nodes served.
+    pub fn n(&self) -> usize {
+        self.snapshot().n()
+    }
+
+    /// The currently-published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// Accumulated relative operator drift since the index was last
+    /// (re)built (see [`IndexStalenessPolicy`]).
+    pub fn accumulated_drift(&self) -> f64 {
+        self.writer_state().accumulated_drift
+    }
+
+    /// True when the served index has drifted past the staleness
+    /// threshold without being refreshed.
+    pub fn index_stale(&self) -> bool {
+        let snap = self.snapshot();
+        let w = self.writer_state();
+        snap.index.is_some() && w.accumulated_drift > w.staleness.threshold
+    }
+
+    fn writer_state(&self) -> std::sync::MutexGuard<'_, WriterState> {
+        self.writer.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Applies an edge-update batch to the dynamic overlay and
+    /// atomically publishes the next snapshot epoch. Queries already in
+    /// flight finish on the epoch they pinned; later submissions see
+    /// the new graph. Tracks index staleness exactly like
+    /// [`crate::QueryEngine::apply_updates`] (auto-refresh
+    /// re-preprocesses before publishing).
+    ///
+    /// Returns [`TpaError::BackendMismatch`] when the service was built
+    /// over an immutable (non-dynamic) graph. Concurrent writers are
+    /// serialized on an internal mutex — batches never interleave.
+    pub fn apply_updates(&self, updates: &[EdgeUpdate]) -> Result<UpdateOutcome, TpaError> {
+        let mut w = self.writer_state();
+        let prev = self.snapshot();
+        let (sequential, threads, tile) = (w.sequential, w.threads, w.tile);
+        let overlay = w.overlay.as_mut().ok_or(TpaError::BackendMismatch {
+            operation: "edge updates",
+            backend: prev.backend.name(),
+        })?;
+        // Callers speak old ids; a reordered service stores new ones.
+        let mapped = map_updates(&prev.perm, updates);
+        let delta = overlay.apply(mapped.as_deref().unwrap_or(updates));
+        let n = overlay.n();
+        let mut report = UpdateReport {
+            delta,
+            accumulated_drift: 0.0,
+            index_stale: false,
+            index_refreshed: false,
+        };
+        let backend = publish_backend(overlay, sequential, threads, tile);
+        let mut index = prev.index.clone();
+        if let Some(old) = &index {
+            w.accumulated_drift += report.delta.column_delta_mass / n.max(1) as f64;
+            if w.accumulated_drift > w.staleness.threshold {
+                if w.staleness.auto_refresh {
+                    let mut fresh = TpaIndex::preprocess_on(&backend, *old.params());
+                    if let Some(p) = &prev.perm {
+                        fresh = fresh.with_permutation(p.as_ref().clone());
+                    }
+                    index = Some(Arc::new(fresh));
+                    w.accumulated_drift = 0.0;
+                    report.index_refreshed = true;
+                } else {
+                    report.index_stale = true;
+                }
+            }
+            report.accumulated_drift = w.accumulated_drift;
+        }
+        // The writer mutex serializes publishes, so the pinned snapshot's
+        // epoch is the latest one and the successor is race-free.
+        let epoch = prev.epoch + 1;
+        self.publish(&prev, backend, index, epoch);
+        Ok(UpdateOutcome { report, epoch })
+    }
+
+    /// Folds the writer-side overlay into a fresh base snapshot. The
+    /// merged view — and therefore every published score — is
+    /// unchanged, so no new epoch is published; only the writer's
+    /// per-update merge costs drop back to clean-CSR levels.
+    pub fn compact(&self) -> Result<(), TpaError> {
+        let mut w = self.writer_state();
+        let backend_name = self.snapshot().backend.name();
+        let overlay = w.overlay.as_mut().ok_or(TpaError::BackendMismatch {
+            operation: "overlay compaction",
+            backend: backend_name,
+        })?;
+        overlay.compact();
+        Ok(())
+    }
+
+    /// Re-runs TPA preprocessing on the current graph state, publishing
+    /// a new epoch with the refreshed index and resetting the drift
+    /// accumulator. No-op (returning the current epoch) when no index
+    /// is attached; [`TpaError::BackendMismatch`] on immutable services
+    /// (their index can never drift).
+    pub fn refresh_index(&self) -> Result<u64, TpaError> {
+        let mut w = self.writer_state();
+        let prev = self.snapshot();
+        let (sequential, threads, tile) = (w.sequential, w.threads, w.tile);
+        let overlay = w.overlay.as_mut().ok_or(TpaError::BackendMismatch {
+            operation: "index refresh",
+            backend: prev.backend.name(),
+        })?;
+        let Some(old) = &prev.index else {
+            return Ok(prev.epoch);
+        };
+        let backend = publish_backend(overlay, sequential, threads, tile);
+        let mut fresh = TpaIndex::preprocess_on(&backend, *old.params());
+        if let Some(p) = &prev.perm {
+            fresh = fresh.with_permutation(p.as_ref().clone());
+        }
+        w.accumulated_drift = 0.0;
+        let epoch = prev.epoch + 1;
+        self.publish(&prev, backend, Some(Arc::new(fresh)), epoch);
+        Ok(epoch)
+    }
+
+    /// Swaps in the next snapshot, inheriting the previous epoch's
+    /// execution configuration.
+    fn publish(
+        &self,
+        prev: &Snapshot<'static>,
+        backend: EngineBackend<'static>,
+        index: Option<Arc<TpaIndex>>,
+        epoch: u64,
+    ) {
+        let snap = Snapshot {
+            backend,
+            index,
+            exact_cfg: prev.exact_cfg,
+            lane_tile: prev.lane_tile,
+            frontier: prev.frontier,
+            perm: prev.perm.clone(),
+            epoch,
+        };
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(snap);
+    }
+}
+
+/// Builds the immutable backend a published snapshot serves: the
+/// overlay's merged view, rebuilt as a plain CSR (bit-identical to the
+/// overlay — property-tested in `dynamic_equiv.rs`) behind a sequential
+/// or destination-range-parallel transition.
+fn publish_backend(
+    overlay: &DynamicTransition,
+    sequential: bool,
+    threads: usize,
+    tile: TilePolicy,
+) -> EngineBackend<'static> {
+    let csr = Arc::new(overlay.graph().snapshot());
+    if sequential {
+        EngineBackend::Sequential(Transition::shared(csr).with_tile_policy(tile))
+    } else {
+        EngineBackend::Parallel(ParallelTransition::shared(csr, threads).with_tile_policy(tile))
+    }
+}
+
+/// The graph a [`ServiceBuilder`] starts from.
+enum GraphSource {
+    /// Immutable in-memory CSR (updates refused).
+    InMemory(CsrGraph),
+    /// Mutable delta-overlay graph (updates publish new epochs).
+    Dynamic(DynamicGraph),
+    /// Immutable disk-resident graph, `O(n)` memory (updates refused).
+    Disk(DiskGraph),
+}
+
+/// How the builder obtains the [`TpaIndex`].
+enum IndexSpec {
+    /// Serve exact CPI only.
+    None,
+    /// Run TPA preprocessing on the built backend.
+    Preprocess(TpaParams),
+    /// Attach an existing (e.g. loaded) index.
+    Attach(TpaIndex),
+}
+
+/// One place for every serving knob that used to be a scattered
+/// `QueryEngine::with_*` call: graph source, worker threads, tile and
+/// frontier policies, lane tile, CPI config, reordering, index, and
+/// staleness policy. `build()` validates the combination and returns a
+/// ready [`RwrService`] — or a [`TpaError`] explaining what's wrong,
+/// instead of a panic halfway through construction.
+pub struct ServiceBuilder {
+    source: GraphSource,
+    threads: usize,
+    tile: TilePolicy,
+    frontier: FrontierPolicy,
+    lane_tile: usize,
+    exact_cfg: CpiConfig,
+    reorder: Option<ReorderStrategy>,
+    index: IndexSpec,
+    staleness: IndexStalenessPolicy,
+}
+
+impl ServiceBuilder {
+    fn from_source(source: GraphSource) -> Self {
+        ServiceBuilder {
+            source,
+            threads: 1,
+            tile: TilePolicy::Auto,
+            frontier: FrontierPolicy::Auto,
+            lane_tile: crate::engine::DEFAULT_LANE_TILE,
+            exact_cfg: CpiConfig::default(),
+            reorder: None,
+            index: IndexSpec::None,
+            staleness: IndexStalenessPolicy::default(),
+        }
+    }
+
+    /// Service over an immutable in-memory graph (updates refused with
+    /// [`TpaError::BackendMismatch`]).
+    pub fn in_memory(graph: CsrGraph) -> Self {
+        Self::from_source(GraphSource::InMemory(graph))
+    }
+
+    /// Service over a mutable delta-overlay graph:
+    /// [`RwrService::apply_updates`] evolves it and publishes epochs.
+    pub fn dynamic(graph: DynamicGraph) -> Self {
+        Self::from_source(GraphSource::Dynamic(graph))
+    }
+
+    /// Service streaming a disk-resident graph (`O(n)` memory; updates
+    /// and reordering refused).
+    pub fn out_of_core(disk: DiskGraph) -> Self {
+        Self::from_source(GraphSource::Disk(disk))
+    }
+
+    /// Worker threads for the propagation backend: `1` (default) is
+    /// sequential, `0` means "use available parallelism", `N > 1` that
+    /// many destination-range workers. Ignored by the out-of-core
+    /// backend (a single sequential disk stream).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Cache-blocking policy for the in-memory kernels (bitwise
+    /// invisible; see [`TilePolicy`]).
+    pub fn tile_policy(mut self, tile: TilePolicy) -> Self {
+        self.tile = tile;
+        self
+    }
+
+    /// Default [`FrontierPolicy`] for scalar requests (a request-level
+    /// [`QueryRequest::with_frontier`] overrides it).
+    pub fn frontier(mut self, policy: FrontierPolicy) -> Self {
+        self.frontier = policy;
+        self
+    }
+
+    /// Lane-tile width for batched requests (see
+    /// [`crate::QueryEngine::with_lane_tile`]). Must be at least 1.
+    pub fn lane_tile(mut self, tile: usize) -> Self {
+        self.lane_tile = tile;
+        self
+    }
+
+    /// Config used for exact (non-indexed) execution.
+    pub fn cpi_config(mut self, cfg: CpiConfig) -> Self {
+        self.exact_cfg = cfg;
+        self
+    }
+
+    /// Relabels the served graph for cache locality (see
+    /// [`tpa_graph::reorder`]); transparent to callers — seeds map in,
+    /// scores and update endpoints map through. Refused for out-of-core
+    /// sources and when the attached index already stores an ordering.
+    pub fn reordering(mut self, strategy: ReorderStrategy) -> Self {
+        self.reorder = Some(strategy);
+        self
+    }
+
+    /// Runs TPA preprocessing on the built backend and serves through
+    /// the resulting index.
+    pub fn preprocess(mut self, params: TpaParams) -> Self {
+        self.index = IndexSpec::Preprocess(params);
+        self
+    }
+
+    /// Attaches an existing index (e.g. loaded with
+    /// [`TpaIndex::load`]). An index preprocessed on a reordered graph
+    /// carries its permutation; the built service adopts it.
+    pub fn index(mut self, index: TpaIndex) -> Self {
+        self.index = IndexSpec::Attach(index);
+        self
+    }
+
+    /// Staleness policy for the index under update streams (see
+    /// [`IndexStalenessPolicy`]).
+    pub fn staleness(mut self, policy: IndexStalenessPolicy) -> Self {
+        self.staleness = policy;
+        self
+    }
+
+    /// Validates the configuration and constructs the service.
+    pub fn build(self) -> Result<RwrService, TpaError> {
+        self.exact_cfg.check()?;
+        if self.lane_tile < 1 {
+            return Err(TpaError::InvalidConfig("lane tile must be at least 1".into()));
+        }
+        if let IndexSpec::Preprocess(params) = &self.index {
+            params.check()?;
+        }
+        if self.staleness.threshold.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(TpaError::InvalidConfig(format!(
+                "staleness threshold must be positive, got {}",
+                self.staleness.threshold
+            )));
+        }
+        let sequential = self.threads == 1;
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1),
+            t => t,
+        };
+
+        // Out-of-core: no relabeling (the edge file is laid out once),
+        // single sequential stream.
+        if let GraphSource::Disk(disk) = self.source {
+            if self.reorder.is_some() {
+                return Err(TpaError::BackendMismatch {
+                    operation: "reordering",
+                    backend: "out-of-core",
+                });
+            }
+            let backend = EngineBackend::OutOfCore(disk);
+            let index = match self.index {
+                IndexSpec::None => None,
+                IndexSpec::Preprocess(params) => {
+                    Some(Arc::new(TpaIndex::preprocess_on(&backend, params)))
+                }
+                IndexSpec::Attach(idx) => {
+                    idx.check_backend(&backend)?;
+                    if idx.permutation().is_some() {
+                        return Err(TpaError::BackendMismatch {
+                            operation: "a reordered index",
+                            backend: "out-of-core",
+                        });
+                    }
+                    Some(Arc::new(idx))
+                }
+            };
+            return Ok(Self::assemble(
+                backend,
+                index,
+                None,
+                None,
+                sequential,
+                threads,
+                self.tile,
+                self.frontier,
+                self.lane_tile,
+                self.exact_cfg,
+                self.staleness,
+            ));
+        }
+
+        // Resolve the permutation before any backend exists: either the
+        // builder's reordering strategy, or the ordering stored in an
+        // attached index.
+        let stored_perm = match &self.index {
+            IndexSpec::Attach(idx) => idx.permutation().cloned(),
+            _ => None,
+        };
+        if self.reorder.is_some() && stored_perm.is_some() {
+            return Err(TpaError::InvalidConfig(
+                "the attached index already stores an ordering; drop .reordering(..) and let the \
+                 index restore it"
+                    .into(),
+            ));
+        }
+        if self.reorder.is_some() && matches!(self.index, IndexSpec::Attach(_)) {
+            return Err(TpaError::InvalidConfig(
+                "cannot reorder under an index preprocessed without one; preprocess through a \
+                 reordered builder instead"
+                    .into(),
+            ));
+        }
+
+        match self.source {
+            GraphSource::InMemory(g) => {
+                if let IndexSpec::Attach(idx) = &self.index {
+                    idx.check_backend_n(g.n())?;
+                }
+                let perm = match (&self.reorder, stored_perm) {
+                    (Some(strategy), _) => Some(Arc::new(reorder(&g, *strategy))),
+                    (None, Some(p)) => Some(Arc::new(p)),
+                    (None, None) => None,
+                };
+                if let Some(p) = &perm {
+                    if p.len() != g.n() {
+                        return Err(TpaError::InvalidConfig(format!(
+                            "permutation relabels {} nodes but the graph has {}",
+                            p.len(),
+                            g.n()
+                        )));
+                    }
+                }
+                let served = match &perm {
+                    Some(p) => Arc::new(g.permuted(p)),
+                    None => Arc::new(g),
+                };
+                let backend = if sequential {
+                    EngineBackend::Sequential(
+                        Transition::shared(served).with_tile_policy(self.tile),
+                    )
+                } else {
+                    EngineBackend::Parallel(
+                        ParallelTransition::shared(served, threads).with_tile_policy(self.tile),
+                    )
+                };
+                let index = resolve_index(self.index, &backend, &perm)?;
+                Ok(Self::assemble(
+                    backend,
+                    index,
+                    perm,
+                    None,
+                    sequential,
+                    threads,
+                    self.tile,
+                    self.frontier,
+                    self.lane_tile,
+                    self.exact_cfg,
+                    self.staleness,
+                ))
+            }
+            GraphSource::Dynamic(dg) => {
+                if let IndexSpec::Attach(idx) = &self.index {
+                    idx.check_backend_n(dg.n())?;
+                }
+                let threshold = dg.compact_threshold();
+                let (dg, perm) = match (&self.reorder, stored_perm) {
+                    (Some(strategy), _) => {
+                        let snap = dg.snapshot();
+                        let p = reorder(&snap, *strategy);
+                        let relabeled =
+                            DynamicGraph::new(snap.permuted(&p)).with_compact_threshold(threshold);
+                        (relabeled, Some(Arc::new(p)))
+                    }
+                    (None, Some(p)) => {
+                        let snap = dg.snapshot();
+                        if p.len() != snap.n() {
+                            return Err(TpaError::InvalidConfig(format!(
+                                "permutation relabels {} nodes but the graph has {}",
+                                p.len(),
+                                snap.n()
+                            )));
+                        }
+                        let relabeled =
+                            DynamicGraph::new(snap.permuted(&p)).with_compact_threshold(threshold);
+                        (relabeled, Some(Arc::new(p)))
+                    }
+                    (None, None) => (dg, None),
+                };
+                let overlay =
+                    DynamicTransition::new(dg).with_threads(threads).with_tile_policy(self.tile);
+                let backend = publish_backend(&overlay, sequential, threads, self.tile);
+                let index = resolve_index(self.index, &backend, &perm)?;
+                Ok(Self::assemble(
+                    backend,
+                    index,
+                    perm,
+                    Some(overlay),
+                    sequential,
+                    threads,
+                    self.tile,
+                    self.frontier,
+                    self.lane_tile,
+                    self.exact_cfg,
+                    self.staleness,
+                ))
+            }
+            GraphSource::Disk(_) => unreachable!("handled above"),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        backend: EngineBackend<'static>,
+        index: Option<Arc<TpaIndex>>,
+        perm: Option<Arc<Permutation>>,
+        overlay: Option<DynamicTransition>,
+        sequential: bool,
+        threads: usize,
+        tile: TilePolicy,
+        frontier: FrontierPolicy,
+        lane_tile: usize,
+        exact_cfg: CpiConfig,
+        staleness: IndexStalenessPolicy,
+    ) -> RwrService {
+        let snap = Snapshot { backend, index, exact_cfg, lane_tile, frontier, perm, epoch: 0 };
+        RwrService {
+            current: RwLock::new(Arc::new(snap)),
+            writer: Mutex::new(WriterState {
+                overlay,
+                sequential,
+                threads,
+                tile,
+                staleness,
+                accumulated_drift: 0.0,
+            }),
+        }
+    }
+}
+
+/// Finishes the builder's index spec against the built backend:
+/// preprocess on it, or attach after a dimension check.
+fn resolve_index(
+    spec: IndexSpec,
+    backend: &EngineBackend<'static>,
+    perm: &Option<Arc<Permutation>>,
+) -> Result<Option<Arc<TpaIndex>>, TpaError> {
+    match spec {
+        IndexSpec::None => Ok(None),
+        IndexSpec::Preprocess(params) => {
+            let mut idx = TpaIndex::preprocess_on(backend, params);
+            if let Some(p) = perm {
+                idx = idx.with_permutation(p.as_ref().clone());
+            }
+            Ok(Some(Arc::new(idx)))
+        }
+        IndexSpec::Attach(idx) => {
+            idx.check_backend(backend)?;
+            Ok(Some(Arc::new(idx)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_graph::gen::{lfr_lite, LfrConfig};
+
+    fn test_graph() -> CsrGraph {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(71);
+        lfr_lite(LfrConfig { n: 300, m: 2400, ..Default::default() }, &mut rng).graph
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RwrService>();
+        assert_send_sync::<Arc<Snapshot<'static>>>();
+        assert_send_sync::<QueryRequest>();
+        assert_send_sync::<QueryResponse>();
+    }
+
+    #[test]
+    fn static_service_answers_like_the_engine() {
+        let g = test_graph();
+        let params = TpaParams::new(5, 10);
+        let engine = crate::QueryEngine::sequential(&g).preprocess(params);
+        let service = ServiceBuilder::in_memory(g.clone()).preprocess(params).build().unwrap();
+        let resp = service.submit(&QueryRequest::single(13)).unwrap();
+        assert_eq!(resp.backend, "sequential");
+        assert_eq!(resp.epoch, 0);
+        assert!(resp.indexed);
+        assert!(resp.iterations.is_some());
+        assert_eq!(resp.result.into_scores().pop().unwrap(), engine.query(13));
+        // Batch and top-k paths too.
+        assert_eq!(
+            service
+                .submit(&QueryRequest::batch(vec![1, 5, 9]).top_k(4))
+                .unwrap()
+                .result
+                .into_ranked(),
+            engine.top_k_batch(&[1, 5, 9], 4)
+        );
+    }
+
+    #[test]
+    fn dynamic_service_publishes_epochs() {
+        let g = test_graph();
+        let service = ServiceBuilder::dynamic(DynamicGraph::new(g.clone()))
+            .preprocess(TpaParams::new(4, 9))
+            .build()
+            .unwrap();
+        let before = service.query(13).unwrap();
+        assert_eq!(service.epoch(), 0);
+        let outcome = service
+            .apply_updates(&[EdgeUpdate::Insert(13, 200), EdgeUpdate::Insert(200, 13)])
+            .unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(outcome.report.delta.stats.inserted, 2);
+        assert_eq!(service.epoch(), 1);
+        let after = service.query(13).unwrap();
+        assert_ne!(before, after, "the published epoch must see the new edges");
+        // A pinned snapshot keeps answering on its own epoch.
+        let pinned = service.snapshot();
+        service.apply_updates(&[EdgeUpdate::Delete(13, 200)]).unwrap();
+        assert_eq!(pinned.epoch(), 1);
+        assert_eq!(pinned.run(&QueryRequest::single(13)).unwrap().result.into_scores()[0], after);
+        assert_eq!(service.epoch(), 2);
+    }
+
+    #[test]
+    fn static_service_refuses_updates() {
+        let g = test_graph();
+        let service = ServiceBuilder::in_memory(g).build().unwrap();
+        let err = service.apply_updates(&[EdgeUpdate::Insert(0, 1)]).unwrap_err();
+        assert!(
+            matches!(err, TpaError::BackendMismatch { operation: "edge updates", .. }),
+            "{err}"
+        );
+        assert!(service.compact().is_err());
+        assert!(service.refresh_index().is_err());
+    }
+
+    #[test]
+    fn per_request_overrides() {
+        let g = test_graph();
+        let service = ServiceBuilder::in_memory(g.clone()).build().unwrap();
+        // Frontier overrides are bitwise invisible.
+        let dense =
+            service.submit(&QueryRequest::single(7).with_frontier(FrontierPolicy::Dense)).unwrap();
+        let sparse =
+            service.submit(&QueryRequest::single(7).with_frontier(FrontierPolicy::Sparse)).unwrap();
+        assert_eq!(dense.result, sparse.result);
+        // A looser per-request epsilon stops earlier.
+        let tight = service.submit(&QueryRequest::single(7)).unwrap();
+        let loose = service.submit(&QueryRequest::single(7).with_epsilon(1e-3)).unwrap();
+        assert!(loose.iterations.unwrap() < tight.iterations.unwrap());
+        // Non-positive epsilon is an admission error.
+        let err = service.submit(&QueryRequest::single(7).with_epsilon(0.0)).unwrap_err();
+        assert!(matches!(err, TpaError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn reordered_service_is_transparent() {
+        let g = test_graph();
+        let plain = ServiceBuilder::in_memory(g.clone()).build().unwrap();
+        let reordered = ServiceBuilder::in_memory(g.clone())
+            .reordering(ReorderStrategy::DegreeDescending)
+            .build()
+            .unwrap();
+        let a = plain.query(13).unwrap();
+        let b = reordered.query(13).unwrap();
+        let l1: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(l1 < 1e-8, "unmapped scores drifted {l1}");
+        // Dynamic + reordered: old-id updates are accepted and answers
+        // keep tracking an un-reordered service.
+        let plain_dyn = ServiceBuilder::dynamic(DynamicGraph::new(g.clone())).build().unwrap();
+        let reordered_dyn = ServiceBuilder::dynamic(DynamicGraph::new(g))
+            .reordering(ReorderStrategy::HubCluster)
+            .build()
+            .unwrap();
+        let ups = [EdgeUpdate::Insert(7, 40), EdgeUpdate::Delete(7, 40), EdgeUpdate::Insert(3, 9)];
+        let x = plain_dyn.apply_updates(&ups).unwrap();
+        let y = reordered_dyn.apply_updates(&ups).unwrap();
+        assert_eq!(x.report.delta.stats, y.report.delta.stats);
+        let a = plain_dyn.query(7).unwrap();
+        let b = reordered_dyn.query(7).unwrap();
+        let l1: f64 = a.iter().zip(&b).map(|(p, q)| (p - q).abs()).sum();
+        assert!(l1 < 1e-8, "post-update scores drifted {l1}");
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        let g = test_graph();
+        let err = ServiceBuilder::in_memory(g.clone()).lane_tile(0).build().unwrap_err();
+        assert!(matches!(err, TpaError::InvalidConfig(_)), "{err}");
+        let err = ServiceBuilder::in_memory(g.clone())
+            .cpi_config(CpiConfig { eps: -1.0, ..CpiConfig::default() })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TpaError::InvalidConfig(_)), "{err}");
+        let err = ServiceBuilder::in_memory(g.clone())
+            .preprocess(TpaParams::new(5, 5))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TpaError::InvalidConfig(_)), "{err}");
+        // Foreign index: dimension mismatch surfaces as an Err, not a panic.
+        let other = tpa_graph::gen::cycle_graph(7);
+        let index = TpaIndex::preprocess(&other, TpaParams::new(3, 6));
+        let err = ServiceBuilder::in_memory(g).index(index).build().unwrap_err();
+        assert!(matches!(err, TpaError::DimensionMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn index_roundtrips_through_the_builder() {
+        let g = test_graph();
+        let params = TpaParams::new(5, 10);
+        // Preprocess through a reordered builder, save, rebuild a fresh
+        // service from the loaded index: the stored permutation restores
+        // the ordering and answers are identical.
+        let first = ServiceBuilder::in_memory(g.clone())
+            .reordering(ReorderStrategy::Rcm)
+            .preprocess(params)
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        first.snapshot().index().unwrap().save(&mut buf).unwrap();
+        let loaded = TpaIndex::load(std::io::Cursor::new(&buf)).unwrap();
+        let second = ServiceBuilder::in_memory(g).index(loaded).build().unwrap();
+        assert!(second.snapshot().permutation().is_some());
+        assert_eq!(first.query(42).unwrap(), second.query(42).unwrap());
+        assert_eq!(first.top_k(42, 7).unwrap(), second.top_k(42, 7).unwrap());
+    }
+}

@@ -1,6 +1,6 @@
 //! TPA: the two-phase approximation itself (paper §III, Algorithms 2 & 3).
 
-use crate::{cpi, cpi_policy, CpiConfig, FrontierPolicy, SeedSet, Transition};
+use crate::{cpi, cpi_policy, CpiConfig, FrontierPolicy, SeedSet, TpaError, Transition};
 use tpa_graph::{CsrGraph, NodeId, Permutation};
 
 /// TPA parameters: restart probability, tolerance, and the two split
@@ -28,10 +28,29 @@ impl TpaParams {
 
     /// Panics if the parameters are out of range.
     pub fn validate(&self) {
-        assert!(self.c > 0.0 && self.c < 1.0, "c must be in (0,1)");
-        assert!(self.eps > 0.0, "eps must be positive");
-        assert!(self.s >= 1, "S must be at least 1");
-        assert!(self.t > self.s, "T ({}) must exceed S ({})", self.t, self.s);
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible version of [`TpaParams::validate`], for admission paths
+    /// ([`crate::ServiceBuilder`]) that must report rather than panic.
+    pub fn check(&self) -> Result<(), TpaError> {
+        let bad = |msg: String| Err(TpaError::InvalidConfig(msg));
+        if !(self.c > 0.0 && self.c < 1.0) {
+            return bad(format!("c must be in (0,1), got {}", self.c));
+        }
+        // NaN must fail too, so test "positive" directly.
+        if self.eps.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return bad(format!("eps must be positive, got {}", self.eps));
+        }
+        if self.s < 1 {
+            return bad("S must be at least 1".into());
+        }
+        if self.t <= self.s {
+            return bad(format!("T ({}) must exceed S ({})", self.t, self.s));
+        }
+        Ok(())
     }
 
     /// The neighbor rescaling factor
@@ -148,14 +167,59 @@ impl TpaIndex {
         seeds: &SeedSet,
         policy: FrontierPolicy,
     ) -> Vec<f64> {
-        let parts = self.query_parts_policy_on(backend, seeds, policy);
-        let mut r = parts.family;
+        self.query_traced_policy_on(backend, seeds, policy).0
+    }
+
+    /// [`TpaIndex::query_policy_on`] that also reports the family
+    /// sweep's CPI accounting `(iterations, final residual)` — the
+    /// metadata a [`crate::QueryResponse`] carries. The scores are
+    /// bitwise identical to the untraced entry point (it delegates
+    /// here).
+    pub fn query_traced_policy_on<P: crate::Propagator + ?Sized>(
+        &self,
+        backend: &P,
+        seeds: &SeedSet,
+        policy: FrontierPolicy,
+    ) -> (Vec<f64>, usize, f64) {
+        self.check_backend(backend).unwrap_or_else(|e| panic!("{e}"));
+        let run = cpi_policy(
+            backend,
+            seeds,
+            &self.params.cpi_config(),
+            0,
+            Some(self.params.s - 1),
+            policy,
+        );
+        (self.finish_family(run.scores), run.last_iteration, run.final_residual)
+    }
+
+    /// Folds the neighbor rescale and the precomputed stranger part into
+    /// an exactly-computed family vector:
+    /// `r = family + scale·family + stranger` per node, in that
+    /// association (every query path shares this loop so results stay
+    /// bitwise identical across entry points).
+    pub fn finish_family(&self, mut family: Vec<f64>) -> Vec<f64> {
         let scale = self.params.neighbor_scale();
-        for (ri, &si) in r.iter_mut().zip(&self.stranger) {
-            // r = family + scale·family + stranger
+        for (ri, &si) in family.iter_mut().zip(&self.stranger) {
             *ri += scale * *ri + si;
         }
-        r
+        family
+    }
+
+    /// Verifies this index was preprocessed for a graph of `backend`'s
+    /// size. The query paths call this at admission and panic with its
+    /// message (legacy contract); fallible callers
+    /// ([`crate::ServiceBuilder`]) surface the [`TpaError`] instead.
+    pub fn check_backend<P: crate::Propagator + ?Sized>(
+        &self,
+        backend: &P,
+    ) -> Result<(), TpaError> {
+        self.check_backend_n(backend.n())
+    }
+
+    /// [`TpaIndex::check_backend`] against a raw node count.
+    pub fn check_backend_n(&self, n: usize) -> Result<(), TpaError> {
+        crate::error::check_dimension(n, self.stranger.len())
     }
 
     /// Online phase exposing the individual parts (used by the error
@@ -184,14 +248,7 @@ impl TpaIndex {
         // Guard before any kernel touches the vectors: a mismatched index
         // would otherwise fail as an opaque out-of-bounds access (or,
         // worse, silently truncate) deep inside a propagation kernel.
-        assert_eq!(
-            backend.n(),
-            self.stranger.len(),
-            "dimension mismatch: backend has {} nodes but the index stranger vector has {} \
-             entries — the index was preprocessed for a different graph",
-            backend.n(),
-            self.stranger.len()
-        );
+        self.check_backend(backend).unwrap_or_else(|e| panic!("{e}"));
         let family = cpi_policy(
             backend,
             seeds,

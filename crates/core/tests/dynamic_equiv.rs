@@ -94,6 +94,7 @@ proptest! {
         let engine = QueryEngine::dynamic(dynamic);
         let via_engine = engine
             .execute(&QueryPlan::single(seed).exact())
+            .expect("in-range seed")
             .into_scores()
             .pop()
             .unwrap();

@@ -1,0 +1,217 @@
+//! Error-path and concurrency tests for the `RwrService` serving layer.
+//!
+//! The stress test is the load-bearing one: N reader threads race a
+//! writer that publishes epochs, and every response must be **bitwise
+//! identical** to a single-threaded `QueryEngine` frozen at that
+//! response's epoch — readers may see an older epoch or a newer one,
+//! but never a blend of two. CI additionally runs this file under
+//! `--release` (more interleavings per second, and the kernels the
+//! threads race through are the optimized ones).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tpa_core::{
+    IndexStalenessPolicy, QueryEngine, QueryRequest, QueryResult, ServiceBuilder, TpaError,
+    TpaIndex, TpaParams,
+};
+use tpa_graph::gen::{lfr_lite, LfrConfig};
+use tpa_graph::{CsrGraph, DynamicGraph, EdgeUpdate, NodeId};
+
+fn test_graph(seed: u64, n: usize, m: usize) -> CsrGraph {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    lfr_lite(LfrConfig { n, m, ..Default::default() }, &mut rng).graph
+}
+
+#[test]
+fn empty_batch_yields_empty_response() {
+    let g = test_graph(3, 200, 1600);
+    let service = ServiceBuilder::in_memory(g).preprocess(TpaParams::new(4, 9)).build().unwrap();
+    let resp = service.submit(&QueryRequest::batch(Vec::<NodeId>::new())).unwrap();
+    assert!(matches!(resp.result, QueryResult::Scores(ref s) if s.is_empty()), "{resp:?}");
+    assert_eq!(resp.iterations, None);
+    let resp = service.submit(&QueryRequest::batch(Vec::<NodeId>::new()).top_k(5)).unwrap();
+    assert!(matches!(resp.result, QueryResult::Ranked(ref r) if r.is_empty()), "{resp:?}");
+}
+
+#[test]
+fn invalid_seed_is_an_admission_error() {
+    let g = test_graph(5, 200, 1600);
+    let n = g.n();
+    let service = ServiceBuilder::in_memory(g).build().unwrap();
+    let err = service.submit(&QueryRequest::single(n as NodeId)).unwrap_err();
+    assert!(
+        matches!(err, TpaError::SeedOutOfRange { seed, n: got } if seed as usize == n && got == n),
+        "{err}"
+    );
+    // Mid-batch bad seeds are caught before any kernel runs too.
+    let err = service.submit(&QueryRequest::batch(vec![0, 1, 1_000_000])).unwrap_err();
+    assert!(matches!(err, TpaError::SeedOutOfRange { seed: 1_000_000, .. }), "{err}");
+    // The error is a real std::error::Error with a stable message.
+    let rendered = err.to_string();
+    assert!(rendered.contains("out of range"), "{rendered}");
+    let _: &dyn std::error::Error = &err;
+}
+
+#[test]
+fn mismatched_index_dimension_is_an_error_not_a_panic() {
+    let g = test_graph(7, 200, 1600);
+    let other = test_graph(8, 150, 1200);
+    let index = TpaIndex::preprocess(&other, TpaParams::new(4, 9));
+    let err = ServiceBuilder::in_memory(g).index(index).build().unwrap_err();
+    match err {
+        TpaError::DimensionMismatch { backend, index } => {
+            assert_eq!(backend, 200);
+            assert_eq!(index, 150);
+        }
+        other => panic!("expected DimensionMismatch, got {other}"),
+    }
+}
+
+#[test]
+fn updates_on_immutable_services_are_backend_mismatches() {
+    let g = test_graph(9, 200, 1600);
+    let service = ServiceBuilder::in_memory(g).build().unwrap();
+    for err in [
+        service.apply_updates(&[EdgeUpdate::Insert(0, 1)]).unwrap_err(),
+        service.compact().unwrap_err(),
+        service.refresh_index().unwrap_err(),
+    ] {
+        assert!(matches!(err, TpaError::BackendMismatch { backend: "sequential", .. }), "{err}");
+    }
+}
+
+/// Deterministic update batch for a stress round; includes no-ops and a
+/// delete so the overlay exercises all paths.
+fn stress_batch(round: usize, n: usize) -> Vec<EdgeUpdate> {
+    let pick = |k: usize| ((round * 613 + k * 211 + 17) % n) as NodeId;
+    vec![
+        EdgeUpdate::Insert(pick(1), pick(2)),
+        EdgeUpdate::Insert(pick(3), pick(4)),
+        EdgeUpdate::Insert(pick(5), pick(6)),
+        EdgeUpdate::Delete(pick(3), pick(4)),
+    ]
+}
+
+/// Queries racing a publishing writer always see a bitwise-consistent
+/// epoch: scores match a frozen pre- or post-update engine, never a
+/// blend.
+#[test]
+fn racing_readers_see_bitwise_consistent_epochs() {
+    const READERS: usize = 3;
+    const BATCHES: usize = 8;
+    let g = test_graph(11, 300, 2400);
+    let n = g.n();
+    let params = TpaParams::new(4, 9);
+    let service = Arc::new(
+        ServiceBuilder::dynamic(DynamicGraph::new(g.clone()))
+            .preprocess(params)
+            // Keep one index across all epochs so frozen references are
+            // reconstructable from (index, graph-at-epoch) alone.
+            .staleness(IndexStalenessPolicy { threshold: f64::INFINITY, auto_refresh: false })
+            .build()
+            .unwrap(),
+    );
+    let index = Arc::new(service.snapshot().index().unwrap().clone());
+
+    // Readers sample (epoch, seed, scores) while the writer publishes.
+    let done = Arc::new(AtomicBool::new(false));
+    let mut observations: Vec<(u64, NodeId, Vec<f64>)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for r in 0..READERS {
+            let service = Arc::clone(&service);
+            let done = Arc::clone(&done);
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                let mut q = 0usize;
+                // Keep polling until the writer finishes, then once more
+                // so the final epoch is observed too.
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    let seed = ((r * 997 + q * 31) % n) as NodeId;
+                    let resp = service.submit(&QueryRequest::single(seed)).unwrap();
+                    local.push((resp.epoch, seed, resp.result.into_scores().pop().unwrap()));
+                    q += 1;
+                    if finished {
+                        break;
+                    }
+                }
+                local
+            }));
+        }
+        for round in 0..BATCHES {
+            let outcome = service.apply_updates(&stress_batch(round, n)).unwrap();
+            assert_eq!(outcome.epoch, round as u64 + 1);
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::Release);
+        for h in handles {
+            observations.extend(h.join().expect("reader thread"));
+        }
+    });
+    assert!(!observations.is_empty());
+
+    // Frozen per-epoch references: replay the same batches on a mirror.
+    let mut replay = DynamicGraph::new(g);
+    let mut frozen = vec![replay.snapshot()];
+    for round in 0..BATCHES {
+        replay.apply(&stress_batch(round, n));
+        frozen.push(replay.snapshot());
+    }
+    for (epoch, seed, scores) in &observations {
+        let engine =
+            QueryEngine::sequential(&frozen[*epoch as usize]).with_index(Arc::clone(&index));
+        assert_eq!(
+            scores,
+            &engine.query(*seed),
+            "epoch {epoch} seed {seed}: concurrent response is not the frozen engine's answer"
+        );
+    }
+}
+
+/// A snapshot pinned before a publish keeps serving its own epoch, and
+/// several requests against it are mutually consistent.
+#[test]
+fn pinned_snapshots_are_immutable_views() {
+    let g = test_graph(13, 250, 2000);
+    let service = ServiceBuilder::dynamic(DynamicGraph::new(g))
+        .preprocess(TpaParams::new(4, 9))
+        .build()
+        .unwrap();
+    let pinned = service.snapshot();
+    let before = pinned.run(&QueryRequest::single(7)).unwrap().result.into_scores();
+    service.apply_updates(&[EdgeUpdate::Insert(7, 100), EdgeUpdate::Insert(100, 7)]).unwrap();
+    // The pinned view is frozen; the service has moved on.
+    let again = pinned.run(&QueryRequest::single(7)).unwrap();
+    assert_eq!(again.epoch, 0);
+    assert_eq!(again.result.into_scores(), before);
+    let fresh = service.submit(&QueryRequest::single(7)).unwrap();
+    assert_eq!(fresh.epoch, 1);
+    assert_ne!(fresh.result.into_scores(), before);
+}
+
+/// Auto-refresh under a racing reader load: published epochs always pair
+/// the index with the graph it was preprocessed on.
+#[test]
+fn auto_refreshed_index_publishes_atomically() {
+    let g = test_graph(17, 250, 2000);
+    let params = TpaParams::new(4, 9);
+    let service = Arc::new(
+        ServiceBuilder::dynamic(DynamicGraph::new(g.clone()))
+            .preprocess(params)
+            .staleness(IndexStalenessPolicy { threshold: 1e-12, auto_refresh: true })
+            .build()
+            .unwrap(),
+    );
+    let outcome = service.apply_updates(&[EdgeUpdate::Insert(0, 249)]).unwrap();
+    assert!(outcome.report.index_refreshed);
+    assert_eq!(service.accumulated_drift(), 0.0);
+    // The published epoch answers exactly like a fresh single-threaded
+    // preprocess over the same evolved graph.
+    let mut replay = DynamicGraph::new(g);
+    replay.apply(&[EdgeUpdate::Insert(0, 249)]);
+    let snap = replay.snapshot();
+    let fresh = QueryEngine::sequential(&snap).preprocess(params);
+    assert_eq!(service.query(42).unwrap(), fresh.query(42));
+}

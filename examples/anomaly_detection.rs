@@ -12,7 +12,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tpa::{TpaIndex, TpaParams, Transition};
+use tpa::{QueryRequest, RwrService, ServiceBuilder, TpaParams};
 use tpa_graph::{CsrGraph, GraphBuilder, NodeId};
 
 const PLANTED: usize = 10;
@@ -45,8 +45,11 @@ fn main() {
     let graph = b.build();
     println!("graph: {} nodes ({PLANTED} planted anomalies), {} edges", graph.n(), graph.m());
 
-    let index = TpaIndex::preprocess(&graph, TpaParams::new(spec.s, spec.t));
-    let transition = Transition::new(&graph);
+    // The many probe queries below all go through one indexed service.
+    let service = ServiceBuilder::in_memory(graph.clone())
+        .preprocess(TpaParams::new(spec.s, spec.t))
+        .build()
+        .expect("valid serving configuration");
 
     // Candidates: the anomalies plus normal nodes with comparable in-degree.
     let mut candidates: Vec<NodeId> =
@@ -56,10 +59,8 @@ fn main() {
     candidates.truncate(120);
     candidates.extend_from_slice(&anomalies);
 
-    let coherence: Vec<(NodeId, f64)> = candidates
-        .iter()
-        .map(|&v| (v, neighborhood_coherence(&graph, &index, &transition, v)))
-        .collect();
+    let coherence: Vec<(NodeId, f64)> =
+        candidates.iter().map(|&v| (v, neighborhood_coherence(&graph, &service, v))).collect();
 
     // Rank ascending: the least coherent neighborhoods are the anomalies.
     let mut ranked = coherence.clone();
@@ -76,21 +77,21 @@ fn main() {
 }
 
 /// Mean RWR relevance from a sample of `v`'s in-neighbors to the rest of
-/// the in-neighborhood.
-fn neighborhood_coherence(
-    graph: &CsrGraph,
-    index: &TpaIndex,
-    transition: &Transition<'_>,
-    v: NodeId,
-) -> f64 {
+/// the in-neighborhood. The probe seeds go to the service as one batched
+/// request (one fused family sweep instead of three).
+fn neighborhood_coherence(graph: &CsrGraph, service: &RwrService, v: NodeId) -> f64 {
     let neigh = graph.in_neighbors(v);
     if neigh.len() < 2 {
         return f64::INFINITY; // trivially coherent; never flagged
     }
     let probes = &neigh[..neigh.len().min(3)];
+    let lanes = service
+        .submit(&QueryRequest::batch(probes.to_vec()))
+        .expect("probe seeds are in range")
+        .result
+        .into_scores();
     let mut total = 0.0;
-    for &u in probes {
-        let scores = index.query(transition, u);
+    for (&u, scores) in probes.iter().zip(&lanes) {
         let mass: f64 = neigh.iter().filter(|&&w| w != u).map(|&w| scores[w as usize]).sum();
         total += mass / (neigh.len() - 1) as f64;
     }

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example community_search`
 
-use tpa::{TpaIndex, TpaParams, Transition};
+use tpa::{QueryRequest, ServiceBuilder, TpaParams};
 use tpa_graph::NodeId;
 
 fn main() {
@@ -19,18 +19,23 @@ fn main() {
     let communities = data.communities.as_ref().expect("LFR datasets carry labels");
     println!("graph: {} nodes, {} edges", graph.n(), graph.m());
 
-    let index = TpaIndex::preprocess(graph, TpaParams::new(spec.s, spec.t));
-    let transition = Transition::new(graph);
+    // One service answers every expansion seed; the batched request
+    // shares one family sweep across all five communities.
+    let service = ServiceBuilder::in_memory((**graph).clone())
+        .preprocess(TpaParams::new(spec.s, spec.t))
+        .build()
+        .expect("valid serving configuration");
+    let seeds: Vec<NodeId> =
+        [3u32, 500, 1500, 2500, 3500].iter().map(|&s| s % graph.n() as u32).collect();
+    let all_scores =
+        service.submit(&QueryRequest::batch(seeds.clone())).unwrap().result.into_scores();
 
     // Evaluate seed-expansion precision over several seeds.
     let mut precisions = Vec::new();
-    for &seed in &[3u32, 500, 1500, 2500, 3500] {
-        let seed = seed % graph.n() as u32;
+    for (&seed, scores) in seeds.iter().zip(&all_scores) {
         let target = communities[seed as usize];
         let members: Vec<NodeId> =
             (0..graph.n() as NodeId).filter(|&v| communities[v as usize] == target).collect();
-
-        let scores = index.query(&transition, seed);
         // Degree-normalized sweep order (standard local-clustering trick:
         // high score relative to degree ⇒ inside the cluster).
         let mut order: Vec<NodeId> = (0..graph.n() as NodeId).collect();

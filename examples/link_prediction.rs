@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tpa::{TpaIndex, TpaParams, Transition};
+use tpa::{ServiceBuilder, TpaParams};
 use tpa_graph::{GraphBuilder, NodeId};
 
 fn main() {
@@ -34,15 +34,19 @@ fn main() {
         GraphBuilder::with_capacity(full.n(), train.len()).extend_edges(train).build();
     println!("held out {} edges for evaluation", held_out.len());
 
-    let index = TpaIndex::preprocess(&train_graph, TpaParams::new(spec.s, spec.t));
-    let transition = Transition::new(&train_graph);
+    // Serve every candidate-scoring request from one indexed service
+    // over the training graph.
+    let service = ServiceBuilder::in_memory(train_graph.clone())
+        .preprocess(TpaParams::new(spec.s, spec.t))
+        .build()
+        .expect("valid serving configuration");
 
     // AUC: P(score(true edge) > score(random non-edge)) over sampled pairs.
     let mut wins = 0.0f64;
     let mut total = 0.0f64;
     let sample: Vec<(NodeId, NodeId)> = held_out.into_iter().take(200).collect();
     for &(u, v_true) in &sample {
-        let scores = index.query(&transition, u);
+        let scores = service.query(u).unwrap();
         // Draw a non-neighbor as the negative example.
         let v_false = loop {
             let w = rng.gen_range(0..train_graph.n()) as NodeId;

@@ -1,6 +1,7 @@
 //! Disk-resident RWR — the paper's stated future work ("extending TPA into
 //! a disk-based RWR method to handle huge, disk-resident graphs"),
-//! implemented via the `Propagator` abstraction.
+//! implemented via the `Propagator` abstraction and served through the
+//! same [`tpa::RwrService`] API as the in-memory backends.
 //!
 //! The edge list lives on disk in destination-sorted order; every CPI
 //! iteration is one sequential scan. In-memory state is `O(n)` (degree
@@ -10,7 +11,7 @@
 //! Run with: `cargo run --release --example out_of_core`
 
 use tpa::offcore::DiskGraph;
-use tpa::{exact_rwr, CpiConfig, SeedSet, TpaIndex, TpaParams};
+use tpa::{exact_rwr, CpiConfig, QueryRequest, ServiceBuilder, TpaParams};
 use tpa_eval::format_bytes;
 
 fn main() {
@@ -29,18 +30,41 @@ fn main() {
         format_bytes(std::fs::metadata(&path).map(|m| m.len() as usize).unwrap_or(0)),
     );
 
-    // TPA preprocessing + online queries run unchanged on the disk backend.
+    // TPA preprocessing + online requests run unchanged on the disk
+    // backend: the builder streams the preprocessing CPI from disk, and
+    // every submitted request streams its family sweep the same way.
     let params = TpaParams::new(spec.s, spec.t);
-    let index = TpaIndex::preprocess_on(&disk, params);
+    let service = ServiceBuilder::out_of_core(disk)
+        .preprocess(params)
+        .build()
+        .expect("valid serving configuration");
     let seed = 17;
-    let scores = index.query_on(&disk, &SeedSet::single(seed));
+    let resp = service.submit(&QueryRequest::single(seed)).unwrap();
+    assert_eq!(resp.backend, "out-of-core");
+    let scores = resp.result.into_scores().pop().unwrap();
 
-    // Same answer as the fully in-memory pipeline.
+    // Cross-validate against the fully *in-memory* pipeline: the exact
+    // reference deliberately never touches the disk backend, so a
+    // streaming bug cannot cancel out of the comparison.
     let exact = exact_rwr(graph, seed, &CpiConfig::default());
     let err: f64 = scores.iter().zip(&exact).map(|(a, b)| (a - b).abs()).sum();
     let bound = tpa::bounds::total_bound(params.c, params.s);
-    println!("query seed {seed}: L1 error {err:.4} (bound {bound:.4})");
+    println!(
+        "request seed {seed} (backend {}): L1 error {err:.4} (bound {bound:.4})",
+        resp.backend
+    );
     assert!(err <= bound);
+    // The served exact request streams from disk yet matches the
+    // in-memory ground truth to numerical noise.
+    let served_exact = service
+        .submit(&QueryRequest::single(seed).exact())
+        .unwrap()
+        .result
+        .into_scores()
+        .pop()
+        .unwrap();
+    let disk_err: f64 = served_exact.iter().zip(&exact).map(|(a, b)| (a - b).abs()).sum();
+    assert!(disk_err < 1e-10, "disk exact diverged from in-memory exact: {disk_err}");
 
     let top = tpa_eval::metrics::top_k(&scores, 5);
     println!("top-5: {:?}", top);

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example parameter_tuning`
 
 use tpa::params::{auto_params, tune_t};
-use tpa::{bounds, exact_rwr, CpiConfig, TpaIndex, Transition};
+use tpa::{bounds, CpiConfig, QueryRequest, ServiceBuilder};
 
 fn main() {
     let spec = tpa_datasets::spec("pokec-s").unwrap().scaled_down(4);
@@ -38,16 +38,22 @@ fn main() {
     let params = auto_params(graph, target, &cfg);
     println!("\nauto_params → S = {}, T = {}", params.s, params.t);
 
-    // 4. Verify on a held-out seed.
-    let index = TpaIndex::preprocess(graph, params);
-    let t = Transition::new(graph);
+    // 4. Verify on a held-out seed: stand up a service with the tuned
+    //    parameters and compare its indexed answer to its exact answer.
+    let service = ServiceBuilder::in_memory((**graph).clone())
+        .preprocess(params)
+        .build()
+        .expect("valid serving configuration");
     let holdout = 4099 % graph.n() as u32;
-    let err: f64 = index
-        .query(&t, holdout)
-        .iter()
-        .zip(&exact_rwr(graph, holdout, &cfg))
-        .map(|(a, b)| (a - b).abs())
-        .sum();
+    let approx = service.query(holdout).unwrap();
+    let exact = service
+        .submit(&QueryRequest::single(holdout).exact())
+        .unwrap()
+        .result
+        .into_scores()
+        .pop()
+        .unwrap();
+    let err: f64 = approx.iter().zip(&exact).map(|(a, b)| (a - b).abs()).sum();
     println!("held-out seed {holdout}: L1 error {err:.4} (target {target})");
     assert!(err <= target);
 }

@@ -1,10 +1,11 @@
-//! Quickstart: build a graph, preprocess a TPA index once, answer RWR
-//! queries for many seeds fast, and verify the Theorem-2 error bound.
+//! Quickstart: build a graph, stand up an [`tpa::RwrService`] with a
+//! preprocessed TPA index, answer RWR requests fast, and verify the
+//! Theorem-2 error bound.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use tpa::bounds;
-use tpa::{exact_rwr, CpiConfig, TpaIndex, TpaParams, Transition};
+use tpa::{QueryRequest, ServiceBuilder, TpaParams};
 use tpa_graph::gen::{lfr_lite, LfrConfig};
 
 fn main() {
@@ -19,10 +20,15 @@ fn main() {
     let graph = lfr.graph;
     println!("graph: {} nodes, {} edges", graph.n(), graph.m());
 
-    // 2. One-time preprocessing (Algorithm 2): the seed-independent
-    //    "stranger" part, estimated from PageRank's tail iterations.
+    // 2. One builder call configures everything: the backend, and the
+    //    one-time preprocessing (Algorithm 2 — the seed-independent
+    //    "stranger" part, estimated from PageRank's tail iterations).
     let params = TpaParams::new(5, 10); // S = 5, T = 10 (paper defaults)
-    let index = TpaIndex::preprocess(&graph, params);
+    let service = ServiceBuilder::in_memory(graph.clone())
+        .preprocess(params)
+        .build()
+        .expect("valid serving configuration");
+    let index = service.snapshot().index().unwrap().clone();
     println!(
         "index: {} bytes ({} per node), preprocessing ran {} CPI iterations",
         index.index_bytes(),
@@ -30,20 +36,33 @@ fn main() {
         index.stats().iterations,
     );
 
-    // 3. Fast online queries (Algorithm 3): only S CPI iterations each.
-    let transition = Transition::new(&graph);
+    // 3. Fast online requests (Algorithm 3): only S CPI iterations each,
+    //    as the response metadata shows.
     let seed = 7;
-    let scores = index.query(&transition, seed);
+    let resp = service.submit(&QueryRequest::single(seed).top_k(10)).unwrap();
+    println!(
+        "answered by backend {} at epoch {} in {} CPI iterations",
+        resp.backend,
+        resp.epoch,
+        resp.iterations.unwrap()
+    );
 
     // 4. Top-10 most relevant nodes w.r.t. the seed.
-    let top = tpa_eval::metrics::top_k(&scores, 10);
+    let scores = service.query(seed).unwrap();
     println!("top-10 nodes for seed {seed}:");
-    for (rank, &v) in top.iter().enumerate() {
-        println!("  #{:<2} node {:<6} score {:.6}", rank + 1, v, scores[v as usize]);
+    for (rank, &(v, score)) in resp.result.into_ranked()[0].iter().enumerate() {
+        println!("  #{:<2} node {:<6} score {:.6}", rank + 1, v, score);
     }
 
     // 5. The approximation honors the paper's Theorem 2: L1 error ≤ 2(1−c)^S.
-    let exact = exact_rwr(&graph, seed, &CpiConfig::default());
+    //    Ground truth comes from the same service via an exact request.
+    let exact = service
+        .submit(&QueryRequest::single(seed).exact())
+        .unwrap()
+        .result
+        .into_scores()
+        .pop()
+        .unwrap();
     let err: f64 = scores.iter().zip(&exact).map(|(a, b)| (a - b).abs()).sum();
     let bound = bounds::total_bound(params.c, params.s);
     println!("L1 error {err:.4} ≤ theoretical bound {bound:.4}: {}", err <= bound);

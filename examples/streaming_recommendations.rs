@@ -3,19 +3,26 @@
 //!
 //! The social graph mutates continuously — new follows arrive, old ones
 //! are retracted. This example serves recommendations through the
-//! dynamic (delta-overlay) engine backend while the graph evolves:
+//! concurrent [`tpa::RwrService`] while the graph evolves:
 //!
-//! 1. The same `QueryEngine` answers indexed top-k plans before and
-//!    after every update batch — no rebuild, no re-preprocess.
-//! 2. A [`tpa::ScoreCache`] maintains one power user's *exact* scores
-//!    across batches by OSP offset propagation, and we compare its cost
-//!    and accuracy against recomputing from scratch each time.
-//! 3. The engine tracks accumulated operator drift and re-preprocesses
+//! 1. The same service answers indexed top-k requests before and after
+//!    every update batch — each [`tpa::RwrService::apply_updates`] call
+//!    atomically publishes a new snapshot **epoch**, so readers are
+//!    never blocked and never see a half-applied batch.
+//! 2. A [`tpa::ScoreCache`] over a mirror [`tpa::DynamicTransition`]
+//!    maintains one power user's *exact* scores across batches by OSP
+//!    offset propagation (the maintenance layer *below* the service),
+//!    and we compare its cost and accuracy against recomputing from
+//!    scratch each time.
+//! 3. The service tracks accumulated operator drift and re-preprocesses
 //!    the TPA index only when it goes stale.
 //!
 //! Run with: `cargo run --release --example streaming_recommendations`
 
-use tpa::{CpiConfig, IndexStalenessPolicy, MaintenanceMode, QueryEngine, ScoreCache, TpaParams};
+use tpa::{
+    CpiConfig, DynamicTransition, IndexStalenessPolicy, MaintenanceMode, QueryRequest, ScoreCache,
+    ServiceBuilder, TpaParams,
+};
 use tpa_graph::{DynamicGraph, EdgeUpdate, NodeId};
 
 fn main() {
@@ -26,39 +33,55 @@ fn main() {
     let n = graph.n();
     println!("social graph: {} users, {} follow edges", n, graph.m());
 
-    // Dynamic engine: overlay backend + TPA index + staleness tracking.
-    let mut engine = QueryEngine::dynamic(DynamicGraph::new(graph))
+    // Dynamic service: overlay writer + TPA index + staleness tracking,
+    // all configured in one builder.
+    let service = ServiceBuilder::dynamic(DynamicGraph::new(graph.clone()))
         .preprocess(TpaParams::new(spec.s, spec.t))
-        .with_staleness_policy(IndexStalenessPolicy { threshold: 0.02, auto_refresh: true });
+        .staleness(IndexStalenessPolicy { threshold: 0.02, auto_refresh: true })
+        .build()
+        .expect("valid serving configuration");
 
     // The user we keep serving while the graph churns.
     let user: NodeId = 42 % n as NodeId;
-    let before = engine.top_k(user, 5);
-    println!("\ninitial recommendations for user {user}:");
+    let before = service.top_k(user, 5).unwrap();
+    println!("\ninitial recommendations for user {user} (epoch {}):", service.epoch());
     for &(v, s) in &before {
         println!("  @node{v:<8} score {s:.6}");
     }
 
-    // Maintain the user's *exact* scores incrementally.
+    // Maintain the user's *exact* scores incrementally on a mirror
+    // overlay (the service keeps its own writer-side overlay private;
+    // the mirror sees the identical update stream, so its operator —
+    // and therefore the OSP offsets — match the served graph exactly).
     let cfg = CpiConfig::default();
+    let mut mirror = DynamicTransition::new(DynamicGraph::new(graph));
     let mut cache = ScoreCache::new(cfg, MaintenanceMode::Exact);
-    cache.warm(engine.dynamic_transition().unwrap(), &[user]);
+    cache.warm(&mirror, &[user]);
 
     // Synthetic follow stream: each round users follow "friends of
     // friends" and drop a stale follow — deterministic, no RNG needed.
+    // The incremental-vs-rebuild comparison is about the *maintenance*
+    // layer (overlay patch + OSP offset propagation), so only the
+    // mirror's costs count toward it; the service's epoch publish (an
+    // O(n+m) snapshot rebuild, sometimes plus an index re-preprocess) is
+    // timed and reported separately.
     let mut incremental_total = 0.0f64;
     let mut rebuild_total = 0.0f64;
+    let mut publish_total = 0.0f64;
     for round in 0u32..5 {
-        let batch = follow_batch(engine.dynamic_transition().unwrap(), round, n);
-        let (report, dt_apply) = tpa_eval::time(|| engine.apply_updates(&batch).unwrap());
-        let t = engine.dynamic_transition().unwrap();
-        let (stats, dt_refresh) = tpa_eval::time(|| cache.refresh(t, &report.delta));
-        incremental_total += dt_apply.as_secs_f64() + dt_refresh.as_secs_f64();
+        let batch = follow_batch(&mirror, round, n);
+        let (outcome, dt_publish) = tpa_eval::time(|| service.apply_updates(&batch).unwrap());
+        publish_total += dt_publish.as_secs_f64();
+        let (stats, dt_refresh) = tpa_eval::time(|| {
+            let delta = mirror.apply(&batch);
+            cache.refresh(&mirror, &delta)
+        });
+        incremental_total += dt_refresh.as_secs_f64();
 
         // The cost of the naive alternative: rebuild the CSR from the
         // merged view and recompute the user's scores from scratch.
         let (fresh, dt_rebuild) = tpa_eval::time(|| {
-            let snapshot = t.graph().snapshot();
+            let snapshot = mirror.graph().snapshot();
             tpa::exact_rwr(&snapshot, user, &cfg)
         });
         rebuild_total += dt_rebuild.as_secs_f64();
@@ -66,39 +89,57 @@ fn main() {
         let drift: f64 =
             cache.scores(user).unwrap().iter().zip(&fresh).map(|(a, b)| (a - b).abs()).sum();
         println!(
-            "\nround {round}: {}+{} edges changed, offset iters {}, \
-             incremental {} vs rebuild+requery {} (exact-mode L1 drift {drift:.2e}){}",
-            report.delta.stats.inserted,
-            report.delta.stats.deleted,
+            "\nepoch {}: {}+{} edges changed, offset iters {}, \
+             incremental {} vs rebuild+requery {} (epoch publish {}, exact-mode L1 drift \
+             {drift:.2e}){}",
+            outcome.epoch,
+            outcome.report.delta.stats.inserted,
+            outcome.report.delta.stats.deleted,
             stats.iterations,
-            tpa_eval::format_secs(dt_apply.as_secs_f64() + dt_refresh.as_secs_f64()),
+            tpa_eval::format_secs(dt_refresh.as_secs_f64()),
             tpa_eval::format_secs(dt_rebuild.as_secs_f64()),
-            if report.index_refreshed { " — index auto-refreshed" } else { "" }
+            tpa_eval::format_secs(dt_publish.as_secs_f64()),
+            if outcome.report.index_refreshed { " — index auto-refreshed" } else { "" }
         );
     }
 
-    // Recommendations after the churn, served by the same engine.
-    let after = engine.top_k(user, 5);
-    println!("\nrecommendations for user {user} after the stream:");
+    // Recommendations after the churn, served by the same service (now
+    // several epochs ahead of where it started).
+    let after = service.top_k(user, 5).unwrap();
+    println!("\nrecommendations for user {user} after the stream (epoch {}):", service.epoch());
     for &(v, s) in &after {
         println!("  @node{v:<8} score {s:.6}");
     }
+    // The served exact scores and the maintained cache agree.
+    let served_exact = service
+        .submit(&QueryRequest::single(user).exact())
+        .unwrap()
+        .result
+        .into_scores()
+        .pop()
+        .unwrap();
+    let cache_drift: f64 =
+        cache.scores(user).unwrap().iter().zip(&served_exact).map(|(a, b)| (a - b).abs()).sum();
     println!(
-        "\ntotals: incremental maintenance {} vs rebuild-and-requery {} ({:.1}x)",
+        "\ntotals: incremental maintenance {} vs rebuild-and-requery {} ({:.1}x); service \
+         epoch publishes {}",
         tpa_eval::format_secs(incremental_total),
         tpa_eval::format_secs(rebuild_total),
-        rebuild_total / incremental_total.max(1e-12)
+        rebuild_total / incremental_total.max(1e-12),
+        tpa_eval::format_secs(publish_total),
     );
     println!(
-        "accumulated index drift {:.4} (stale: {})",
-        engine.accumulated_drift(),
-        engine.index_stale()
+        "maintained cache vs served exact scores: L1 {cache_drift:.2e} · accumulated index \
+         drift {:.4} (stale: {})",
+        service.accumulated_drift(),
+        service.index_stale()
     );
+    assert!(cache_drift < 1e-6, "maintained cache must track the served graph");
 }
 
 /// Deterministic per-round batch: a handful of new follows between
 /// second-hop neighbors of a rotating pivot, plus one unfollow.
-fn follow_batch(t: &tpa::DynamicTransition, round: u32, n: usize) -> Vec<EdgeUpdate> {
+fn follow_batch(t: &DynamicTransition, round: u32, n: usize) -> Vec<EdgeUpdate> {
     let g = t.graph();
     let mut batch = Vec::new();
     let pivot = ((round as usize * 7919 + 13) % n) as NodeId;

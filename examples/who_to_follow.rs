@@ -3,14 +3,14 @@
 //! be recommended").
 //!
 //! Builds the Twitter analog dataset and serves recommendations through
-//! the [`tpa::QueryEngine`] layer: preprocess once, then answer
-//! single-user plans, exact ground-truth plans, and whole batches of
-//! users (lane tiles sharing edge passes per CPI iteration) from the
-//! same engine.
+//! the [`tpa::RwrService`] layer: preprocess once inside
+//! [`tpa::ServiceBuilder`], then answer single-user requests, exact
+//! ground-truth requests, and whole batches of users (lane tiles sharing
+//! edge passes per CPI iteration) from the same shared service.
 //!
 //! Run with: `cargo run --release --example who_to_follow`
 
-use tpa::{QueryEngine, QueryPlan, TpaParams};
+use tpa::{QueryRequest, ServiceBuilder, TpaParams};
 use tpa_eval::metrics::recall_at_k;
 use tpa_graph::NodeId;
 
@@ -18,12 +18,17 @@ fn main() {
     // A scaled-down Twitter-like graph (heavy-tailed follows + communities).
     let spec = tpa_datasets::spec("twitter-s").unwrap().scaled_down(4);
     let data = tpa_datasets::generate(&spec);
-    let graph = &data.graph;
+    let graph = (*data.graph).clone();
     println!("social graph: {} users, {} follow edges", graph.n(), graph.m());
 
-    // One engine serves every user: parallel backend (all cores), TPA
-    // index preprocessed on it once.
-    let engine = QueryEngine::parallel(graph, 0).preprocess(TpaParams::new(spec.s, spec.t));
+    // One service serves every user: parallel backend (all cores), TPA
+    // index preprocessed on it once. `RwrService` is `Send + Sync` —
+    // wrap it in an `Arc` and every request-handler thread can `submit`.
+    let service = ServiceBuilder::in_memory(graph.clone())
+        .threads(0)
+        .preprocess(TpaParams::new(spec.s, spec.t))
+        .build()
+        .expect("valid serving configuration");
 
     // Pick an active user (highest out-degree = follows the most accounts).
     let user = (0..graph.n() as NodeId).max_by_key(|&v| graph.out_degree(v)).unwrap();
@@ -31,9 +36,16 @@ fn main() {
         graph.out_neighbors(user).iter().copied().collect();
     println!("user {user} follows {} accounts", follows.len());
 
-    // Top-500 plan (partial selection inside the engine), then filter to
-    // accounts the user does not already follow.
-    let ranked = engine.top_k(user, 500);
+    // Top-500 request (partial selection inside the snapshot), then
+    // filter to accounts the user does not already follow.
+    let resp = service.submit(&QueryRequest::single(user).top_k(500)).unwrap();
+    println!(
+        "served by backend {} at epoch {} ({} CPI iterations)",
+        resp.backend,
+        resp.epoch,
+        resp.iterations.unwrap()
+    );
+    let ranked = resp.result.into_ranked().pop().unwrap();
     println!("\nWho to follow (top 10 recommendations):");
     for &(v, score) in ranked.iter().filter(|&&(v, _)| v != user && !follows.contains(&v)).take(10)
     {
@@ -41,23 +53,31 @@ fn main() {
     }
 
     // Quality check against the exact ranking (the paper's Fig. 7 metric):
-    // the same engine serves ground truth via an exact plan.
-    let scores = engine.query(user);
-    let exact = engine.execute(&QueryPlan::single(user).exact()).into_scores().pop().unwrap();
+    // the same service serves ground truth via an exact request.
+    let scores = service.query(user).unwrap();
+    let exact = service
+        .submit(&QueryRequest::single(user).exact())
+        .unwrap()
+        .result
+        .into_scores()
+        .pop()
+        .unwrap();
     for k in [100, 500] {
         println!("recall@{k}: {:.4}", recall_at_k(&exact, &scores, k));
     }
 
     // Serving path: answer a whole batch of users through the fused
     // block kernel, lane tiles sharing each edge sweep (bitwise
-    // identical to per-user queries).
+    // identical to per-user requests).
     let batch_users: Vec<NodeId> = (0..16).map(|i| (i * 97) % graph.n() as NodeId).collect();
-    let (batch, dt) = tpa_eval::time(|| engine.query_batch(&batch_users));
+    let (resp, dt) =
+        tpa_eval::time(|| service.submit(&QueryRequest::batch(batch_users.clone())).unwrap());
+    let batch = resp.result.into_scores();
     println!(
         "\nbatched {} users in {} ({} per user)",
         batch.len(),
         tpa_eval::format_secs(dt.as_secs_f64()),
         tpa_eval::format_secs(dt.as_secs_f64() / batch.len() as f64),
     );
-    assert_eq!(batch[0], engine.query(batch_users[0]));
+    assert_eq!(batch[0], service.query(batch_users[0]).unwrap());
 }
