@@ -13,8 +13,15 @@
 //!   recompute every cached seed from scratch.
 //!
 //! Also measured: raw update throughput through the overlay (edges/sec,
-//! batches of 1 000) and the L1 agreement of both incremental modes with
-//! the from-scratch answer.
+//! batches of 1 000), the L1 agreement of both incremental modes with
+//! the from-scratch answer, and **publish latency** — the cost of
+//! freezing the overlay into an immutable epoch snapshot after a small
+//! batch, copy-on-write (`DynamicTransition::publish_patched`, the
+//! `O(batch)` path the service uses) vs a full CSR rebuild
+//! (`DynamicGraph::snapshot`, `O(n + m)`). The p99 CoW publish must
+//! beat the median rebuild by a wide margin or the publish path has
+//! regressed to scaling with the graph; the process exits nonzero below
+//! 5× so the CI smoke run catches it.
 //!
 //! Output: ASCII table, `results/dynamic_updates.csv`, and
 //! `BENCH_dynamic.json` (trajectory record for later PRs).
@@ -100,6 +107,43 @@ fn main() {
         return;
     }
 
+    // --- Publish latency: CoW patch snapshots vs full-rebuild
+    // publishes. Small batches land on the overlay and each one is
+    // frozen into an epoch; rebuilds are sampled sparsely (they cost
+    // O(n + m) each). ---
+    let publish_rounds = if tpa_bench::harness::quick() { 24 } else { 48 };
+    let mut pub_t =
+        DynamicTransition::new(DynamicGraph::new(base.clone()).with_compact_threshold(None));
+    let mut cow_secs = Vec::with_capacity(publish_rounds);
+    let mut rebuild_samples = Vec::new();
+    let publish_started = std::time::Instant::now();
+    for round in 0..publish_rounds {
+        let small = make_update_batch(&base, 16, &mut rng);
+        pub_t.apply(&small);
+        let (snap, dt) = tpa_eval::time(|| pub_t.publish_patched());
+        std::hint::black_box(snap.delta_edges());
+        cow_secs.push(dt.as_secs_f64());
+        if round % 8 == 0 {
+            let (full, dt) = tpa_eval::time(|| pub_t.graph().snapshot());
+            std::hint::black_box(full.m());
+            rebuild_samples.push(dt.as_secs_f64());
+        }
+    }
+    let epochs_per_sec = publish_rounds as f64 / publish_started.elapsed().as_secs_f64();
+    cow_secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    rebuild_samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let cow_p50 = percentile(&cow_secs, 0.50);
+    let cow_p99 = percentile(&cow_secs, 0.99);
+    let rebuild_p50 = percentile(&rebuild_samples, 0.50);
+    let publish_speedup = rebuild_p50 / cow_p99.max(1e-12);
+    eprintln!(
+        "[dynamic_updates] publish: {epochs_per_sec:.0} epochs/sec, CoW p50 {} p99 {}, \
+         rebuild p50 {} ({publish_speedup:.0}x at p99)",
+        tpa_eval::format_secs(cow_p50),
+        tpa_eval::format_secs(cow_p99),
+        tpa_eval::format_secs(rebuild_p50),
+    );
+
     // --- Incremental maintenance, exact and approximate. ---
     let mut results = Vec::new();
     for (label, mode) in [
@@ -154,6 +198,20 @@ fn main() {
         "-".into(),
         "0".into(),
     ]);
+    table.row(&[
+        "publish-cow-p99".into(),
+        format!("{cow_p99:.6}"),
+        format!("{publish_speedup:.2}x"),
+        "-".into(),
+        "-".into(),
+    ]);
+    table.row(&[
+        "publish-rebuild-p50".into(),
+        format!("{rebuild_p50:.6}"),
+        "1.00x".into(),
+        "-".into(),
+        "-".into(),
+    ]);
     let mut json_rows = Vec::new();
     for (label, secs, iters, _t, cache) in &results {
         let max_l1 = seeds
@@ -187,7 +245,7 @@ fn main() {
 
     // Trajectory record for later PRs.
     let json = format!(
-        "{{\n  \"bench\": \"dynamic_updates\",\n  \"graph\": {{\"generator\": \"rmat\", \"n\": {n}, \"m\": {m}}},\n  \"update_batch\": {},\n  \"cached_seeds\": {SEEDS},\n  \"update_throughput_per_sec\": {throughput:.0},\n  \"rebuild_requery_secs\": {rebuild_secs:.6},\n{}\n}}\n",
+        "{{\n  \"bench\": \"dynamic_updates\",\n  \"graph\": {{\"generator\": \"rmat\", \"n\": {n}, \"m\": {m}}},\n  \"update_batch\": {},\n  \"cached_seeds\": {SEEDS},\n  \"update_throughput_per_sec\": {throughput:.0},\n  \"publish\": {{\"epochs_per_sec\": {epochs_per_sec:.1}, \"cow_p50_secs\": {cow_p50:.8}, \"cow_p99_secs\": {cow_p99:.8}, \"rebuild_p50_secs\": {rebuild_p50:.8}, \"p99_speedup_vs_rebuild\": {publish_speedup:.2}}},\n  \"rebuild_requery_secs\": {rebuild_secs:.6},\n{}\n}}\n",
         batch.len(),
         json_rows
             .iter()
@@ -209,6 +267,22 @@ fn main() {
         "[dynamic_updates] exact incremental speedup: {exact_speedup:.2}x {}",
         if exact_speedup > 1.0 { "(PASS, > 1x)" } else { "(FAIL, <= 1x)" }
     );
+    eprintln!(
+        "[dynamic_updates] publish p99 speedup vs rebuild: {publish_speedup:.1}x {}",
+        if publish_speedup >= 10.0 { "(PASS, >= 10x)" } else { "(FAIL, < 10x)" }
+    );
+    // Hard floor for the CI smoke run: a CoW publish within 5x of a
+    // full rebuild means the publish path scales with the graph again.
+    if publish_speedup < 5.0 {
+        eprintln!("[dynamic_updates] ERROR: publish path is no longer O(batch)");
+        std::process::exit(1);
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
 }
 
 /// Builds the update batch: half deletes sampled evenly from existing

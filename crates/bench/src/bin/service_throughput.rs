@@ -11,6 +11,11 @@
 //!    writer. (On a single-core host parallel scaling is physically
 //!    impossible; the numbers are still recorded, and the verdict comes
 //!    from the stall probe below.)
+//!
+//! 1b. **Publish latency** — writer-side `apply_updates` timings
+//!    (p50/p99 plus epochs/sec). Every batch publishes a copy-on-write
+//!    patch snapshot in `O(batch)`; the p99 stays flat in `n` because no
+//!    publish ever rebuilds the CSR.
 //! 2. **Stall probe** — the architectural difference the redesign
 //!    exists for. The writer applies a batch and then runs a full index
 //!    refresh (a re-preprocess, the most expensive publish). Readers on
@@ -108,6 +113,28 @@ fn main() {
     }
     let scaling = scaling_top / scaling_base.max(1e-12);
 
+    // --- Measurement 1b: writer-side publish latency. Each
+    // `apply_updates` call publishes a copy-on-write epoch snapshot —
+    // O(batch) assembly, never a CSR rebuild — so the p99 should sit at
+    // microsecond-to-millisecond scale regardless of n.
+    let publish_rounds = if quick { 40 } else { 80 };
+    let mut publish_lat = Vec::with_capacity(publish_rounds);
+    let publish_started = std::time::Instant::now();
+    for round in 0..publish_rounds {
+        let (out, dt) = tpa_eval::time(|| service.apply_updates(&update_batch(round + 1000, n)));
+        std::hint::black_box(out.unwrap().epoch);
+        publish_lat.push(dt.as_secs_f64());
+    }
+    let epochs_per_sec = publish_rounds as f64 / publish_started.elapsed().as_secs_f64();
+    publish_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let publish_p50 = percentile(&publish_lat, 0.50);
+    let publish_p99 = percentile(&publish_lat, 0.99);
+    eprintln!(
+        "[service_throughput] publish: {epochs_per_sec:.0} epochs/sec, p50 {} p99 {}",
+        tpa_eval::format_secs(publish_p50),
+        tpa_eval::format_secs(publish_p99),
+    );
+
     // --- Measurement 2: the stall probe (service vs Mutex<QueryEngine>).
     let refresh_rounds = if quick { 2 } else { 3 };
     let service_stall = service_stall_probe(&service, n, refresh_rounds);
@@ -152,6 +179,8 @@ fn main() {
         "{{\n  \"bench\": \"service_throughput\",\n  \"s\": {},\n  \"t\": {},\n  \"cores\": \
          {cores},\n  \"graph\": {{\"generator\": \"rmat\", \"n\": {n}, \"m\": {m}}},\n  \
          \"reader_qps\": {{\n{}\n  }},\n  \"reader_scaling_with_writer\": {scaling:.3},\n  \
+         \"publish\": {{\"epochs_per_sec\": {epochs_per_sec:.1}, \"p50_secs\": \
+         {publish_p50:.8}, \"p99_secs\": {publish_p99:.8}}},\n  \
          \"stall_probe\": {{\"refresh_secs\": {:.6}, \"service_max_request_secs\": {:.6}, \
          \"mutex_engine_max_request_secs\": {:.6}, \"stall_ratio\": {stall_ratio:.3}}}\n}}\n",
         PARAMS.s,
@@ -297,6 +326,12 @@ fn mutex_engine_stall_probe(g: &CsrGraph, n: usize, rounds: usize) -> StallProbe
         max_request = reader.join().expect("reader thread");
     });
     StallProbe { max_request, refresh_secs: 0.0 }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
 }
 
 /// Deterministic small update batch for round `round`.

@@ -77,7 +77,7 @@ COMMANDS:
              exact RWR via power iteration (ground truth)
   update     --graph <file> --stream <file> [--index <index.tpa>]
              [--topk K] [--threads N] [--maintain] [--auto-refresh]
-             [--compact-threshold F] [--stale-threshold F]
+             [--patch-index] [--compact-threshold F] [--stale-threshold F]
              replay an edge-update stream with interleaved queries on a
              dynamic (delta-overlay) graph. Stream lines:
                + u v     insert edge        - u v     delete edge
@@ -85,7 +85,10 @@ COMMANDS:
                compact   fold the overlay into a fresh snapshot
              --maintain serves repeat queries from incrementally
              maintained cached scores (OSP offset propagation) instead of
-             re-running the full online phase
+             re-running the full online phase; --patch-index repairs a
+             stale index by propagating the accumulated operator delta
+             through its stranger vector (O(affected) offset propagation)
+             instead of the full re-preprocess --auto-refresh runs
 
 --threads 0 uses all available cores; the default (1) is sequential.
 --top is accepted as an alias of --topk.
@@ -425,6 +428,15 @@ fn cmd_update(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let events = parse_stream_file(args.required("stream").map_err(|e| e.to_string())?)?;
     let top = topk_flag(args)?;
     let maintain = args.switch("maintain");
+    let patch_index = args.switch("patch-index");
+    if patch_index && args.switch("auto-refresh") {
+        return Err("--patch-index conflicts with --auto-refresh: pick one repair strategy \
+                    (incremental patch vs full re-preprocess)"
+            .into());
+    }
+    if patch_index && args.get("index").is_none() {
+        return Err("--patch-index requires --index".into());
+    }
     let compact_threshold =
         args.get_or::<f64>("compact-threshold", 0.02).map_err(|e| e.to_string())?;
     let stale_threshold = args.get_or::<f64>("stale-threshold", 0.05).map_err(|e| e.to_string())?;
@@ -455,10 +467,12 @@ fn cmd_update(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     } else {
         QueryEngine::dynamic_parallel(dynamic, threads)
     };
-    let mut engine = engine.with_staleness_policy(IndexStalenessPolicy {
-        threshold: stale_threshold,
-        auto_refresh: args.switch("auto-refresh"),
-    });
+    let mut engine = engine
+        .with_staleness_policy(IndexStalenessPolicy {
+            threshold: stale_threshold,
+            auto_refresh: args.switch("auto-refresh"),
+        })
+        .map_err(|e| e.to_string())?;
     if let Some(path) = args.get("index") {
         let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
         let index = TpaIndex::load(std::io::BufReader::new(f)).map_err(|e| e.to_string())?;
@@ -479,12 +493,12 @@ fn cmd_update(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         match *ev {
             StreamEvent::Update(up) => pending.push(up),
             StreamEvent::Compact => {
-                flush_updates(&mut engine, &mut cache, &mut pending, &mut stats)?;
+                flush_updates(&mut engine, &mut cache, &mut pending, patch_index, &mut stats)?;
                 engine.compact_dynamic().map_err(|e| e.to_string())?;
                 stats.compactions += 1;
             }
             StreamEvent::Query(seed) => {
-                flush_updates(&mut engine, &mut cache, &mut pending, &mut stats)?;
+                flush_updates(&mut engine, &mut cache, &mut pending, patch_index, &mut stats)?;
                 stats.queries += 1;
                 let ranked = match &mut cache {
                     Some(cache) => {
@@ -509,7 +523,7 @@ fn cmd_update(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             }
         }
     }
-    flush_updates(&mut engine, &mut cache, &mut pending, &mut stats)?;
+    flush_updates(&mut engine, &mut cache, &mut pending, patch_index, &mut stats)?;
 
     let t = engine.dynamic_transition().expect("dynamic backend");
     let _ = writeln!(
@@ -532,6 +546,10 @@ fn cmd_update(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         stats.refreshes,
         if engine.index_stale() { " — index STALE (refresh advised)" } else { "" }
     );
+    if patch_index {
+        let _ =
+            writeln!(out, "index stranger-patched {} times (offset propagation)", stats.patches);
+    }
     let _ = writeln!(
         out,
         "update time {} · query time {}{}",
@@ -550,17 +568,22 @@ struct ReplayStats {
     batches: usize,
     compactions: usize,
     refreshes: usize,
+    patches: usize,
     queries: usize,
     update_time: std::time::Duration,
     query_time: std::time::Duration,
 }
 
 /// Applies the pending update batch to the engine (and the maintained
-/// cache, when present), folding the outcome into `stats`.
+/// cache, when present), folding the outcome into `stats`. With
+/// `patch_index`, a batch that tips the index past its staleness
+/// threshold triggers an incremental stranger patch instead of leaving
+/// the index flagged stale.
 fn flush_updates(
     engine: &mut QueryEngine<'_>,
     cache: &mut Option<ScoreCache>,
     pending: &mut Vec<EdgeUpdate>,
+    patch_index: bool,
     stats: &mut ReplayStats,
 ) -> Result<(), String> {
     if pending.is_empty() {
@@ -574,6 +597,11 @@ fn flush_updates(
     stats.noops += report.delta.stats.noops;
     stats.compactions += report.delta.stats.compacted as usize;
     stats.refreshes += report.index_refreshed as usize;
+    if patch_index && report.index_stale {
+        let (patched, dt) = tpa_eval::time(|| engine.patch_index());
+        stats.update_time += dt;
+        stats.patches += patched.map_err(|e| e.to_string())? as usize;
+    }
     if let Some(cache) = cache {
         let t = engine.dynamic_transition().expect("dynamic backend");
         let (_, dt) = tpa_eval::time(|| cache.refresh(t, &report.delta));
@@ -852,6 +880,48 @@ mod tests {
                 .collect()
         };
         assert_eq!(ranking(&text_a), ranking(&text_b));
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn update_patch_index_repairs_staleness_in_place() {
+        let d = tmpdir("update-patch");
+        let graph = d.join("g.bin");
+        let index = d.join("g.tpa");
+        let stream = d.join("stream.txt");
+        run_cmd(&format!("generate --dataset slashdot-s --scale 20 --out {}", graph.display()));
+        run_cmd(&format!(
+            "preprocess --graph {} --s 5 --t 10 --out {}",
+            graph.display(),
+            index.display()
+        ));
+        std::fs::write(&stream, "+ 3 40\n+ 40 3\n? 3\n- 3 40\n? 40\n").unwrap();
+
+        // A microscopic staleness threshold forces a patch per batch.
+        let (code, text) = run_cmd(&format!(
+            "update --graph {} --index {} --stream {} --patch-index --stale-threshold 1e-12",
+            graph.display(),
+            index.display(),
+            stream.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("index stranger-patched 2 times"), "{text}");
+        assert!(!text.contains("index STALE"), "{text}");
+
+        // Contradictory or incomplete flag combinations are clean errors.
+        let (code, _) = run_cmd(&format!(
+            "update --graph {} --index {} --stream {} --patch-index --auto-refresh",
+            graph.display(),
+            index.display(),
+            stream.display()
+        ));
+        assert_eq!(code, 1, "--patch-index + --auto-refresh must be rejected");
+        let (code, _) = run_cmd(&format!(
+            "update --graph {} --stream {} --patch-index",
+            graph.display(),
+            stream.display()
+        ));
+        assert_eq!(code, 1, "--patch-index without --index must be rejected");
         let _ = std::fs::remove_dir_all(d);
     }
 

@@ -276,16 +276,32 @@ fn add_assign_support(acc: &mut [f64], x: &[f64], active: &[NodeId]) {
     }
 }
 
+/// The canonical residual chain (blocked two-level fold; see
+/// [`crate::tiling`]) — what every dense `propagate_into_norm` returns.
 #[inline]
 fn l1(x: &[f64]) -> f64 {
-    x.iter().map(|v| v.abs()).sum()
+    crate::tiling::blocked_norm(x)
 }
 
-/// Support-only L1: ascending `active` covers every nonzero of `x`, so
-/// the fold skips only exact-zero terms — bitwise equal to [`l1`].
+/// Support-only L1: ascending `active` covers every nonzero of `x`, and
+/// the fold groups entries by their `NORM_BLOCK` so the chain matches
+/// [`l1`] bit for bit — blocks without support contribute an exact
+/// `+0.0` partial (elided), and within a block the skipped terms are
+/// exact zeros.
 #[inline]
-fn l1_support(x: &[f64], active: &[NodeId]) -> f64 {
-    active.iter().fold(0.0f64, |acc, &v| acc + x[v as usize].abs())
+pub(crate) fn l1_support(x: &[f64], active: &[NodeId]) -> f64 {
+    let mut acc = 0.0f64;
+    let mut i = 0usize;
+    while i < active.len() {
+        let block = active[i] as usize / crate::tiling::NORM_BLOCK;
+        let mut part = 0.0f64;
+        while i < active.len() && active[i] as usize / crate::tiling::NORM_BLOCK == block {
+            part += x[active[i] as usize].abs();
+            i += 1;
+        }
+        acc += part;
+    }
+    acc
 }
 
 #[cfg(test)]

@@ -33,11 +33,14 @@
 //!    `tolerance` leaves a tail of at most `tolerance·(1−c)/c` more.
 
 use crate::batch::cpi_batch;
-use crate::frontier::{self, FrontierScratch, FrontierStep, FrontierWork};
+use crate::frontier::{
+    self, FrontierPolicy, FrontierScratch, FrontierStep, FrontierWork, SPARSE_CUMULATIVE_BUDGET,
+};
 use crate::tiling::{self, InAdjacency, TilePolicy};
 use crate::transition::dense_frontier_fallback;
 use crate::{CpiConfig, Propagator};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use tpa_graph::{CsrGraph, DynamicGraph, EdgeUpdate, NodeId};
 
 pub use tpa_graph::ApplyStats;
@@ -64,7 +67,15 @@ pub struct DynamicTransition {
     /// one per *sweep* is a large win — and it gives every destination a
     /// plain slice, which is what lets the overlay share the strip-mined
     /// kernels (and the identical gather order) of the static backends.
-    dirty_rows: HashMap<NodeId, Vec<NodeId>>,
+    /// Rows are `Arc`'d so a copy-on-write publish
+    /// ([`DynamicTransition::publish_patched`]) shares them instead of
+    /// deep-copying the accumulated overlay on every epoch.
+    dirty_rows: HashMap<NodeId, Arc<Vec<NodeId>>>,
+    /// Materialized merged out-rows of sources whose column changed —
+    /// the out-side mirror of `dirty_rows`, maintained for the patched
+    /// snapshot's frontier discovery (the published view cannot carry
+    /// the mutable [`DynamicGraph`], so it reads these shared rows).
+    out_rows: HashMap<NodeId, Arc<Vec<NodeId>>>,
     /// Destination ranges, one per worker (mirrors
     /// [`crate::ParallelTransition`]; length 1 = sequential).
     ranges: Vec<(u32, u32)>,
@@ -76,11 +87,12 @@ pub struct DynamicTransition {
 
 /// The overlay's row view for the shared gather kernels: dirty
 /// destinations read their materialized merged row, everyone else reads
-/// the base CSC slice.
-struct OverlayRows<'a> {
-    base: &'a CsrGraph,
-    in_dirty: &'a [bool],
-    dirty_rows: &'a HashMap<NodeId, Vec<NodeId>>,
+/// the base CSC slice. Shared with [`crate::patch::PatchedTransition`],
+/// whose published state has exactly this shape.
+pub(crate) struct OverlayRows<'a> {
+    pub(crate) base: &'a CsrGraph,
+    pub(crate) in_dirty: &'a [bool],
+    pub(crate) dirty_rows: &'a HashMap<NodeId, Arc<Vec<NodeId>>>,
 }
 
 impl InAdjacency for OverlayRows<'_> {
@@ -138,9 +150,13 @@ impl DynamicTransition {
             .collect();
         let in_dirty: Vec<bool> = (0..graph.n() as NodeId).map(|v| graph.has_in_patch(v)).collect();
         let mut dirty_rows = HashMap::new();
+        let mut out_rows = HashMap::new();
         for v in 0..graph.n() as NodeId {
             if in_dirty[v as usize] {
-                dirty_rows.insert(v, graph.in_neighbors(v).collect());
+                dirty_rows.insert(v, Arc::new(graph.in_neighbors(v).collect()));
+            }
+            if graph.has_out_patch(v) {
+                out_rows.insert(v, Arc::new(graph.out_neighbors(v).collect()));
             }
         }
         let ranges = vec![(0, graph.n() as u32)];
@@ -149,6 +165,7 @@ impl DynamicTransition {
             inv_out_deg,
             in_dirty,
             dirty_rows,
+            out_rows,
             ranges,
             tile: TilePolicy::Auto,
             strips: tiling::StripCache::new(),
@@ -256,6 +273,7 @@ impl DynamicTransition {
         if stats.compacted {
             self.in_dirty.iter_mut().for_each(|d| *d = false);
             self.dirty_rows.clear();
+            self.out_rows.clear();
             self.rebalance();
         } else {
             // Re-merge each touched in-row once per distinct target —
@@ -263,7 +281,13 @@ impl DynamicTransition {
             let touched: HashSet<NodeId> = updates.iter().map(|up| up.target()).collect();
             for v in touched {
                 self.in_dirty[v as usize] = true;
-                self.dirty_rows.insert(v, self.graph.in_neighbors(v).collect());
+                self.dirty_rows.insert(v, Arc::new(self.graph.in_neighbors(v).collect()));
+            }
+            // And each changed source's merged out-row (the patched
+            // snapshot's frontier-discovery view).
+            for sd in &sources {
+                self.out_rows
+                    .insert(sd.node, Arc::new(self.graph.out_neighbors(sd.node).collect()));
             }
         }
         UpdateDelta { stats, sources, column_delta_mass }
@@ -277,16 +301,66 @@ impl DynamicTransition {
         self.strips.clear();
         self.in_dirty.iter_mut().for_each(|d| *d = false);
         self.dirty_rows.clear();
+        self.out_rows.clear();
         self.rebalance();
+    }
+
+    /// Swaps the overlay onto a freshly compacted `base` and replays
+    /// `log` — the updates applied to this overlay *after* the base was
+    /// snapshotted — on top of it. Set semantics make the replay exact:
+    /// the merged view (and therefore every published score, bit for
+    /// bit) is unchanged; only the patch maps shrink to the replayed
+    /// tail. This is the install half of background compaction: the
+    /// `O(n + m)` snapshot ran off-thread, and this call costs
+    /// `O(n + |log|)` with no edge traversal.
+    pub fn rebase(&mut self, base: Arc<CsrGraph>, log: &[EdgeUpdate]) {
+        let threads = self.ranges.len();
+        let threshold = self.graph.compact_threshold();
+        let mut dg = DynamicGraph::shared(base).with_compact_threshold(threshold);
+        dg.apply(log);
+        let tile = self.tile;
+        *self = DynamicTransition::new(dg).with_tile_policy(tile).with_threads(threads);
+    }
+
+    /// Publishes an immutable copy-on-write view of the current merged
+    /// state: the base CSR, the materialized dirty rows, and the worker
+    /// ranges are shared (`Arc` bumps and `O(dirty)` map clones); only
+    /// the two flat per-node arrays (`1/outdeg`, dirty flags) are
+    /// copied. No edge is touched — publishing scales with the overlay
+    /// delta, not with `m`. The view gathers through the identical
+    /// kernels and rows, so its scores are bitwise equal to this
+    /// overlay's (and, by the `dynamic_equiv` property tests, to a full
+    /// rebuild).
+    pub fn publish_patched(&self) -> crate::patch::PatchedTransition {
+        crate::patch::PatchedTransition::assemble(
+            Arc::clone(self.graph.base_arc()),
+            Arc::new(self.inv_out_deg.clone()),
+            Arc::new(self.in_dirty.clone()),
+            self.dirty_rows.clone(),
+            self.out_rows.clone(),
+            self.graph.m(),
+            self.graph.delta_edges(),
+            self.ranges.clone(),
+            self.tile,
+        )
     }
 
     /// The OSP offset seed `b = (1−c)·(Ã'ᵀ − Ãᵀ)·r` for one cached score
     /// vector `r` (scores measured *before* the batch). Only the changed
     /// columns contribute: `b[v] = (1−c)·Σ_u r[u]·(w'(u→v) − w(u→v))`.
     pub fn offset_seed(&self, delta: &UpdateDelta, c: f64, old_scores: &[f64]) -> Vec<f64> {
+        self.offset_seed_for(&delta.sources, c, old_scores)
+    }
+
+    /// [`DynamicTransition::offset_seed`] against an explicit set of old
+    /// columns — the same columns may telescope across many batches (the
+    /// first pre-batch state per source), which is how the index's
+    /// stranger vector is patched long after the individual deltas were
+    /// folded in.
+    pub fn offset_seed_for(&self, sources: &[SourceDelta], c: f64, old_scores: &[f64]) -> Vec<f64> {
         assert_eq!(old_scores.len(), self.n(), "cached scores are for a different graph");
         let mut b = vec![0.0f64; self.n()];
-        for sd in &delta.sources {
+        for sd in sources {
             let w = (1.0 - c) * old_scores[sd.node as usize];
             if w == 0.0 {
                 continue;
@@ -359,16 +433,16 @@ impl Propagator for DynamicTransition {
 
     /// Fused-residual variant: the single-range overlay folds `Σ|y|`
     /// inside the kernel's destination loop for free; the multi-range
-    /// path propagates and then pays one index-order scan (per-worker
-    /// partials would change the fold's association — see
-    /// [`crate::ParallelTransition`]).
+    /// path folds per-worker per-block partials into the same
+    /// blocked-canonical chain (see [`crate::ParallelTransition`]), so
+    /// the residual stays bitwise identical across backends.
     fn propagate_into_norm(&self, coeff: f64, x: &[f64], y: &mut [f64]) -> f64 {
+        let n = self.n();
+        assert_eq!(x.len(), n, "input vector length mismatch");
+        assert_eq!(y.len(), n, "output vector length mismatch");
+        let rows = self.rows();
+        let strip = self.resolve_strip(&rows, 1);
         if self.ranges.len() == 1 {
-            let n = self.n();
-            assert_eq!(x.len(), n, "input vector length mismatch");
-            assert_eq!(y.len(), n, "output vector length mismatch");
-            let rows = self.rows();
-            let strip = self.resolve_strip(&rows, 1);
             return tiling::gather_range(
                 &rows,
                 &self.inv_out_deg,
@@ -379,8 +453,14 @@ impl Propagator for DynamicTransition {
                 strip,
             );
         }
+        let inv = &self.inv_out_deg;
+        if tiling::ranges_block_aligned(&self.ranges) {
+            return tiling::par_ranges_norm(&self.ranges, y, |slice, start, end| {
+                tiling::gather_range(&rows, inv, coeff, x, slice, start..end, strip);
+            });
+        }
         self.propagate_into(coeff, x, y);
-        y.iter().fold(0.0f64, |acc, v| acc + v.abs())
+        tiling::blocked_norm(y)
     }
 
     fn frontier_work(&self, active: &[NodeId]) -> Option<FrontierWork> {
@@ -489,17 +569,43 @@ pub struct RefreshStats {
 }
 
 /// Propagates an offset seed through the current operator, folding the
-/// correction `Δ = Σ_i ((1−c)Ãᵀ)^i·b` into `scores` in place.
+/// correction `Δ = Σ_i ((1−c)Ãᵀ)^i·b` into `scores` in place. Runs the
+/// dense kernels every iteration; see [`propagate_offset_policy`] for
+/// the direction-optimizing variant (bitwise identical, less memory
+/// traffic while the correction's support is small).
 pub fn propagate_offset<P: Propagator + ?Sized>(
     t: &P,
-    mut offset: Vec<f64>,
+    offset: Vec<f64>,
     cfg: &CpiConfig,
     mode: MaintenanceMode,
     scores: &mut [f64],
 ) -> RefreshStats {
+    propagate_offset_policy(t, offset, cfg, mode, FrontierPolicy::Dense, scores)
+}
+
+/// [`propagate_offset`] with an explicit [`FrontierPolicy`]. The offset
+/// seed is sparse by construction — supported only on the changed
+/// sources' out-neighborhoods — which is exactly the shape the
+/// sparse-frontier kernel was built for, so `Auto` routes the first
+/// Neumann iterations through [`Propagator::propagate_frontier`] and
+/// latches onto the dense kernels once the correction's support
+/// saturates (the same one-way switch [`crate::cpi`] uses). Every
+/// policy produces bitwise-identical scores and makes the same stopping
+/// decisions: sparse steps skip only exact-zero terms, and every
+/// residual — fused dense, per-worker partials, or reachable-set fold —
+/// uses the blocked-canonical association.
+pub fn propagate_offset_policy<P: Propagator + ?Sized>(
+    t: &P,
+    mut offset: Vec<f64>,
+    cfg: &CpiConfig,
+    mode: MaintenanceMode,
+    policy: FrontierPolicy,
+    scores: &mut [f64],
+) -> RefreshStats {
     cfg.validate();
-    assert_eq!(offset.len(), t.n(), "offset length mismatch");
-    assert_eq!(scores.len(), t.n(), "scores length mismatch");
+    let n = t.n();
+    assert_eq!(offset.len(), n, "offset length mismatch");
+    assert_eq!(scores.len(), n, "scores length mismatch");
     let mut stats = RefreshStats {
         offset_mass: offset.iter().map(|v| v.abs()).sum(),
         ..RefreshStats::default()
@@ -511,7 +617,7 @@ pub fn propagate_offset<P: Propagator + ?Sized>(
             assert!(tolerance > 0.0, "tolerance must be positive");
             // Sparsify the seed: entries below a uniform share of the
             // tolerance can never matter more than `tolerance/c` in sum.
-            let cut = tolerance / t.n().max(1) as f64;
+            let cut = tolerance / n.max(1) as f64;
             for v in offset.iter_mut() {
                 if v.abs() < cut {
                     stats.dropped_mass += v.abs();
@@ -523,23 +629,89 @@ pub fn propagate_offset<P: Propagator + ?Sized>(
     };
 
     // Neumann series: scores += b + (1−c)Ãᵀb + ((1−c)Ãᵀ)²b + …
+    // Sparse-mode state mirrors `cpi_trace_policy`: the support of `x`
+    // (`active`), the stale support still written in `next`, and the
+    // kernel workspace.
     let mut x = offset;
-    let mut residual: f64 = x.iter().map(|v| v.abs()).sum();
+    let mut sparse = match policy {
+        FrontierPolicy::Dense => false,
+        FrontierPolicy::Sparse => true,
+        FrontierPolicy::Auto => t.frontier_work(&[]).is_some(),
+    };
+    let mut active: Vec<NodeId> = Vec::new();
+    let mut stale: Vec<NodeId> = Vec::new();
+    let mut scratch = None;
+    let mut cumulative_work = 0usize;
+    if sparse {
+        active = (0..n as NodeId).filter(|&v| x[v as usize] != 0.0).collect();
+        scratch = Some(FrontierScratch::new(n));
+    }
+
+    let mut residual =
+        if sparse { crate::cpi::l1_support(&x, &active) } else { tiling::blocked_norm(&x) };
     if residual == 0.0 {
         return stats;
     }
-    for (s, &b) in scores.iter_mut().zip(&x) {
-        *s += b;
+    if sparse {
+        for &v in &active {
+            scores[v as usize] += x[v as usize];
+        }
+    } else {
+        for (s, &b) in scores.iter_mut().zip(&x) {
+            *s += b;
+        }
     }
-    let mut next = vec![0.0f64; x.len()];
+    let mut next = vec![0.0f64; n];
     while residual >= stop_eps && stats.iterations < cfg.max_iters {
         stats.iterations += 1;
-        t.propagate_into(1.0 - cfg.c, &x, &mut next);
-        std::mem::swap(&mut x, &mut next);
-        residual = 0.0;
-        for (s, &v) in scores.iter_mut().zip(&x) {
-            *s += v;
-            residual += v.abs();
+        if sparse && policy == FrontierPolicy::Auto {
+            // Per-iteration direction decision (one-way: sparse → dense).
+            let keep = match t.frontier_work(&active) {
+                Some(w) => {
+                    w.prefers_sparse()
+                        && (cumulative_work as f64)
+                            < SPARSE_CUMULATIVE_BUDGET * w.total_edges as f64
+                }
+                None => false,
+            };
+            if !keep {
+                sparse = false;
+            }
+        }
+        if sparse {
+            let scratch = scratch.as_mut().expect("sparse mode allocates its scratch");
+            // `next` still holds the interim vector from two steps ago:
+            // zero its stale support so the kernel's untouched entries
+            // are exact zeros.
+            for &v in &stale {
+                next[v as usize] = 0.0;
+            }
+            let step = t.propagate_frontier(1.0 - cfg.c, &x, &mut next, &active, scratch);
+            cumulative_work += step.edge_work;
+            residual = step.residual;
+            std::mem::swap(&mut x, &mut next);
+            std::mem::swap(&mut active, &mut stale);
+            std::mem::swap(&mut active, scratch.next_active_mut());
+            if step.went_dense && policy == FrontierPolicy::Auto {
+                sparse = false;
+            }
+            if sparse {
+                // Support-only fold: `x` is zero off `active`, and
+                // adding an exact `0.0` is the identity.
+                for &v in &active {
+                    scores[v as usize] += x[v as usize];
+                }
+            } else {
+                for (s, &v) in scores.iter_mut().zip(&x) {
+                    *s += v;
+                }
+            }
+        } else {
+            residual = t.propagate_into_norm(1.0 - cfg.c, &x, &mut next);
+            std::mem::swap(&mut x, &mut next);
+            for (s, &v) in scores.iter_mut().zip(&x) {
+                *s += v;
+            }
         }
     }
     stats
@@ -919,6 +1091,52 @@ mod tests {
 
         let fresh = rebuild_scores(t.graph(), 3, &cfg);
         assert!(l1(&manual, &fresh) < 1e-7, "standalone offset propagation drifted");
+    }
+
+    #[test]
+    fn offset_policy_is_bitwise_invisible() {
+        // Dense, Sparse, and Auto must produce bit-identical refreshed
+        // scores and make the same stopping decisions: the offset seed is
+        // sparse, so Auto should route the early Neumann iterations
+        // through the frontier kernel. Multi-block graph so the
+        // block-grouped support folds cross NORM_BLOCK boundaries.
+        let g = {
+            use rand::{rngs::StdRng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(61);
+            let cfg =
+                LfrConfig { n: 2 * tiling::NORM_BLOCK + 511, m: 60_000, ..Default::default() };
+            lfr_lite(cfg, &mut rng).graph
+        };
+        let cfg = CpiConfig::default();
+        let mut t = DynamicTransition::new(DynamicGraph::new(g).with_compact_threshold(None));
+        let base = cpi(&t, &SeedSet::single(17), &cfg, 0, None).scores;
+        let delta = t.apply(&[Insert(17, 4100), Insert(4100, 17), Delete(17, 4099)]);
+        let b = t.offset_seed(&delta, cfg.c, &base);
+
+        for mode in [MaintenanceMode::Exact, MaintenanceMode::Approximate { tolerance: 1e-4 }] {
+            let run = |policy: FrontierPolicy| {
+                let mut scores = base.clone();
+                let stats = propagate_offset_policy(&t, b.clone(), &cfg, mode, policy, &mut scores);
+                (scores, stats)
+            };
+            let (dense, dense_stats) = run(FrontierPolicy::Dense);
+            for policy in [FrontierPolicy::Sparse, FrontierPolicy::Auto] {
+                let (scores, stats) = run(policy);
+                assert_eq!(stats.iterations, dense_stats.iterations, "{policy:?} ({mode:?})");
+                assert_eq!(stats.dropped_mass.to_bits(), dense_stats.dropped_mass.to_bits());
+                for (v, (a, d)) in scores.iter().zip(&dense).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        d.to_bits(),
+                        "{policy:?} ({mode:?}) diverged from Dense at node {v}"
+                    );
+                }
+            }
+            // The legacy entry point is the Dense policy.
+            let mut legacy = base.clone();
+            propagate_offset(&t, b.clone(), &cfg, mode, &mut legacy);
+            assert!(legacy.iter().zip(&dense).all(|(a, d)| a.to_bits() == d.to_bits()));
+        }
     }
 
     #[test]

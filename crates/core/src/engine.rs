@@ -22,14 +22,16 @@
 //! infallible conveniences ([`QueryEngine::query`], …) panic with the
 //! same rendered message.
 
-use crate::dynamic::{DynamicTransition, UpdateDelta};
+use crate::dynamic::{DynamicTransition, MaintenanceMode, SourceDelta, UpdateDelta};
 use crate::frontier::{FrontierScratch, FrontierStep, FrontierWork};
 use crate::offcore::DiskGraph;
+use crate::patch::PatchedTransition;
 use crate::service::{map_updates, QueryResponse, Snapshot};
 use crate::{
     CpiConfig, FrontierPolicy, ParallelTransition, Propagator, QueryRequest, TilePolicy, TpaError,
     TpaIndex, TpaParams, Transition,
 };
+use std::collections::HashMap;
 use std::sync::Arc;
 use tpa_graph::{
     reorder, CsrGraph, DynamicGraph, EdgeUpdate, NodeId, Permutation, ReorderStrategy,
@@ -59,6 +61,12 @@ pub enum EngineBackend<'g> {
     /// overlay owns its graph and patch maps, far larger than the other
     /// variants' thin handles.
     Dynamic(Box<DynamicTransition>),
+    /// Immutable copy-on-write patch snapshot ([`PatchedTransition`]):
+    /// a base CSR shared by `Arc` plus the merged overlay delta, frozen
+    /// at one epoch. This is what [`crate::RwrService`] publishes for
+    /// dynamic sources — assembling one costs `O(batch)`, not the
+    /// `O(n + m)` of a full CSR rebuild.
+    Patched(PatchedTransition),
 }
 
 impl EngineBackend<'_> {
@@ -69,6 +77,7 @@ impl EngineBackend<'_> {
             EngineBackend::Parallel(_) => "parallel",
             EngineBackend::OutOfCore(_) => "out-of-core",
             EngineBackend::Dynamic(_) => "dynamic",
+            EngineBackend::Patched(_) => "patched",
         }
     }
 }
@@ -80,6 +89,7 @@ impl Propagator for EngineBackend<'_> {
             EngineBackend::Parallel(t) => t.n(),
             EngineBackend::OutOfCore(d) => Propagator::n(d),
             EngineBackend::Dynamic(t) => Propagator::n(t.as_ref()),
+            EngineBackend::Patched(t) => Propagator::n(t),
         }
     }
 
@@ -89,6 +99,7 @@ impl Propagator for EngineBackend<'_> {
             EngineBackend::Parallel(t) => t.propagate_into(coeff, x, y),
             EngineBackend::OutOfCore(d) => Propagator::propagate_into(d, coeff, x, y),
             EngineBackend::Dynamic(t) => Propagator::propagate_into(t.as_ref(), coeff, x, y),
+            EngineBackend::Patched(t) => Propagator::propagate_into(t, coeff, x, y),
         }
     }
 
@@ -103,6 +114,7 @@ impl Propagator for EngineBackend<'_> {
             EngineBackend::Parallel(t) => t.propagate_block_into(coeff, x, y),
             EngineBackend::OutOfCore(d) => Propagator::propagate_block_into(d, coeff, x, y),
             EngineBackend::Dynamic(t) => Propagator::propagate_block_into(t.as_ref(), coeff, x, y),
+            EngineBackend::Patched(t) => Propagator::propagate_block_into(t, coeff, x, y),
         }
     }
 
@@ -115,6 +127,7 @@ impl Propagator for EngineBackend<'_> {
             EngineBackend::Parallel(t) => t.propagate_into_norm(coeff, x, y),
             EngineBackend::OutOfCore(d) => Propagator::propagate_into_norm(d, coeff, x, y),
             EngineBackend::Dynamic(t) => Propagator::propagate_into_norm(t.as_ref(), coeff, x, y),
+            EngineBackend::Patched(t) => Propagator::propagate_into_norm(t, coeff, x, y),
         }
     }
 
@@ -124,6 +137,7 @@ impl Propagator for EngineBackend<'_> {
             EngineBackend::Parallel(t) => t.frontier_work(active),
             EngineBackend::OutOfCore(d) => Propagator::frontier_work(d, active),
             EngineBackend::Dynamic(t) => Propagator::frontier_work(t.as_ref(), active),
+            EngineBackend::Patched(t) => Propagator::frontier_work(t, active),
         }
     }
 
@@ -145,6 +159,9 @@ impl Propagator for EngineBackend<'_> {
             }
             EngineBackend::Dynamic(t) => {
                 Propagator::propagate_frontier(t.as_ref(), coeff, x, y, active, scratch)
+            }
+            EngineBackend::Patched(t) => {
+                Propagator::propagate_frontier(t, coeff, x, y, active, scratch)
             }
         }
     }
@@ -175,6 +192,21 @@ impl Default for IndexStalenessPolicy {
     }
 }
 
+impl IndexStalenessPolicy {
+    /// Validates the policy for admission paths: the threshold must be a
+    /// positive (possibly infinite, never NaN) drift bound.
+    pub fn check(&self) -> Result<(), TpaError> {
+        // NaN must fail too, so test "positive" directly.
+        if self.threshold.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(TpaError::InvalidConfig(format!(
+                "staleness threshold must be positive, got {}",
+                self.threshold
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// What one [`QueryEngine::apply_updates`] call did.
 #[derive(Clone, Debug)]
 pub struct UpdateReport {
@@ -196,6 +228,10 @@ pub struct QueryEngine<'g> {
     snap: Snapshot<'g>,
     staleness: IndexStalenessPolicy,
     accumulated_drift: f64,
+    /// First-occurrence column deltas since the index was last
+    /// (re)built or patched — the telescoped `Ã_old → Ã_now` change per
+    /// source node, fuel for [`QueryEngine::patch_index`].
+    index_deltas: HashMap<NodeId, SourceDelta>,
 }
 
 /// Default lane-tile width for batched plans (see
@@ -249,6 +285,7 @@ impl<'g> QueryEngine<'g> {
             snap: Snapshot::new(backend),
             staleness: IndexStalenessPolicy::default(),
             accumulated_drift: 0.0,
+            index_deltas: HashMap::new(),
         }
     }
 
@@ -308,6 +345,9 @@ impl<'g> QueryEngine<'g> {
             EngineBackend::OutOfCore(_) => {
                 panic!("out-of-core backends cannot be reordered in place; permute the graph before DiskGraph::create")
             }
+            EngineBackend::Patched(_) => {
+                panic!("patched snapshots are immutable published views; reorder the dynamic source they were published from")
+            }
         };
         self.apply_permutation(perm, snapshot)
     }
@@ -321,6 +361,7 @@ impl<'g> QueryEngine<'g> {
             EngineBackend::Sequential(t) => EngineBackend::Sequential(t.with_tile_policy(tile)),
             EngineBackend::Parallel(t) => EngineBackend::Parallel(t.with_tile_policy(tile)),
             EngineBackend::Dynamic(t) => EngineBackend::Dynamic(Box::new(t.with_tile_policy(tile))),
+            EngineBackend::Patched(t) => EngineBackend::Patched(t.with_tile_policy(tile)),
             other @ EngineBackend::OutOfCore(_) => other,
         };
         self
@@ -363,6 +404,9 @@ impl<'g> QueryEngine<'g> {
             }
             EngineBackend::OutOfCore(_) => {
                 panic!("out-of-core backends cannot be reordered in place; permute the graph before DiskGraph::create")
+            }
+            EngineBackend::Patched(_) => {
+                panic!("patched snapshots are immutable published views; reorder the dynamic source they were published from")
             }
         };
         self.snap.perm = Some(Arc::new(perm));
@@ -434,11 +478,14 @@ impl<'g> QueryEngine<'g> {
     }
 
     /// Sets the index staleness policy for dynamic serving (see
-    /// [`IndexStalenessPolicy`]).
-    pub fn with_staleness_policy(mut self, policy: IndexStalenessPolicy) -> Self {
-        assert!(policy.threshold > 0.0, "staleness threshold must be positive");
+    /// [`IndexStalenessPolicy`]). Returns
+    /// [`TpaError::InvalidConfig`] — instead of panicking — when the
+    /// policy's threshold is not positive, matching the rest of the
+    /// engine/service construction paths.
+    pub fn with_staleness_policy(mut self, policy: IndexStalenessPolicy) -> Result<Self, TpaError> {
+        policy.check()?;
         self.staleness = policy;
-        self
+        Ok(self)
     }
 
     /// The propagation backend.
@@ -482,6 +529,11 @@ impl<'g> QueryEngine<'g> {
             index_refreshed: false,
         };
         if self.snap.index.is_some() {
+            // Telescoping: keep the *earliest* captured column per source
+            // node, so old→now composes across batches.
+            for sd in &report.delta.sources {
+                self.index_deltas.entry(sd.node).or_insert_with(|| sd.clone());
+            }
             self.accumulated_drift +=
                 report.delta.column_delta_mass / self.snap.backend.n().max(1) as f64;
             if self.accumulated_drift > self.staleness.threshold {
@@ -526,7 +578,47 @@ impl<'g> QueryEngine<'g> {
             }
             self.snap.index = Some(Arc::new(index));
             self.accumulated_drift = 0.0;
+            self.index_deltas.clear();
         }
+    }
+
+    /// Patches the attached index's stranger vector by propagating the
+    /// operator delta accumulated since the last (re)build or patch —
+    /// `O(affected)` offset propagation via
+    /// [`TpaIndex::patch_stranger_on`] instead of the full `T`-iteration
+    /// re-preprocess of [`QueryEngine::refresh_index`]. Resets the drift
+    /// accumulator and the captured deltas. The patched stranger tracks a
+    /// re-preprocess within CPI tolerance plus the `O((1−c)^T)` window
+    /// tail (not bitwise); re-anchor with a periodic full refresh.
+    ///
+    /// Returns `Ok(false)` without an index or with nothing accumulated;
+    /// [`TpaError::BackendMismatch`] on non-dynamic backends.
+    pub fn patch_index(&mut self) -> Result<bool, TpaError> {
+        let overlay = match &self.snap.backend {
+            EngineBackend::Dynamic(t) => t.as_ref(),
+            other => {
+                return Err(TpaError::BackendMismatch {
+                    operation: "index patching",
+                    backend: other.name(),
+                })
+            }
+        };
+        let Some(old) = &self.snap.index else { return Ok(false) };
+        if self.index_deltas.is_empty() {
+            return Ok(false);
+        }
+        let deltas: Vec<SourceDelta> = self.index_deltas.values().cloned().collect();
+        let offset = overlay.offset_seed_for(&deltas, old.params().c, old.stranger());
+        let (patched, _stats) = old.patch_stranger_on(
+            &self.snap.backend,
+            offset,
+            MaintenanceMode::Exact,
+            self.snap.frontier,
+        );
+        self.snap.index = Some(Arc::new(patched));
+        self.accumulated_drift = 0.0;
+        self.index_deltas.clear();
+        Ok(true)
     }
 
     /// Accumulated relative operator drift since the attached index was
@@ -805,7 +897,8 @@ mod tests {
         let tight = IndexStalenessPolicy { threshold: 1e-12, auto_refresh: false };
         let mut engine = QueryEngine::dynamic(DynamicGraph::new(g.clone()))
             .preprocess(params)
-            .with_staleness_policy(tight);
+            .with_staleness_policy(tight)
+            .unwrap();
         let report = engine.apply_updates(&[EdgeUpdate::Insert(0, 399)]).unwrap();
         assert!(report.index_stale && !report.index_refreshed);
         assert!(engine.index_stale());
@@ -820,7 +913,8 @@ mod tests {
         // Auto-refresh does the same inside apply_updates.
         let mut auto = QueryEngine::dynamic(DynamicGraph::new(g))
             .preprocess(params)
-            .with_staleness_policy(IndexStalenessPolicy { threshold: 1e-12, auto_refresh: true });
+            .with_staleness_policy(IndexStalenessPolicy { threshold: 1e-12, auto_refresh: true })
+            .unwrap();
         let report = auto.apply_updates(&[EdgeUpdate::Insert(0, 399)]).unwrap();
         assert!(report.index_refreshed && !report.index_stale);
         assert_eq!(auto.accumulated_drift(), 0.0);
@@ -829,6 +923,78 @@ mod tests {
         let snap = auto.dynamic_transition().unwrap().graph().snapshot();
         let fresh = QueryEngine::sequential(&snap).preprocess(params);
         assert_eq!(auto.query(42), fresh.query(42));
+    }
+
+    #[test]
+    fn patch_index_repairs_a_stale_index_incrementally() {
+        let g = test_graph();
+        let params = TpaParams::new(5, 10);
+        let tight = IndexStalenessPolicy { threshold: 1e-12, auto_refresh: false };
+        let mut engine = QueryEngine::dynamic(DynamicGraph::new(g.clone()))
+            .preprocess(params)
+            .with_staleness_policy(tight)
+            .unwrap();
+        // Nothing accumulated yet: patching is a no-op.
+        assert!(!engine.patch_index().unwrap());
+
+        let ups = [
+            EdgeUpdate::Insert(0, 399),
+            EdgeUpdate::Insert(399, 17),
+            EdgeUpdate::Delete(0, 399),
+            EdgeUpdate::Insert(42, 7),
+        ];
+        let report = engine.apply_updates(&ups).unwrap();
+        assert!(report.index_stale);
+        let stale: Vec<f64> = engine.index().unwrap().stranger().to_vec();
+
+        assert!(engine.patch_index().unwrap());
+        assert!(!engine.index_stale());
+        assert_eq!(engine.accumulated_drift(), 0.0);
+        // Consecutive patch with nothing new accumulated: no-op.
+        assert!(!engine.patch_index().unwrap());
+
+        // The patched stranger tracks a from-scratch re-preprocess far
+        // more closely than the stale vector it replaced (it is not
+        // bitwise: the O((1−c)^T) window-shift tail is dropped).
+        let snap = engine.dynamic_transition().unwrap().graph().snapshot();
+        let fresh = TpaIndex::preprocess(&snap, params);
+        let l1 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
+        let patched_err = l1(engine.index().unwrap().stranger(), fresh.stranger());
+        let stale_err = l1(&stale, fresh.stranger());
+        assert!(
+            patched_err < 1e-3 && patched_err < stale_err,
+            "patched drifted {patched_err} (stale was {stale_err})"
+        );
+
+        // Static backends reject patching with a typed error.
+        let mut st = QueryEngine::sequential(&g).preprocess(params);
+        let err = st.patch_index().unwrap_err();
+        assert!(
+            matches!(err, TpaError::BackendMismatch { operation: "index patching", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn invalid_staleness_policy_is_an_error_not_a_panic() {
+        let g = test_graph();
+        for threshold in [0.0, -1.0, f64::NAN] {
+            let err = match QueryEngine::sequential(&g)
+                .with_staleness_policy(IndexStalenessPolicy { threshold, auto_refresh: false })
+            {
+                Ok(_) => panic!("threshold {threshold} must be rejected"),
+                Err(e) => e,
+            };
+            assert!(matches!(err, TpaError::InvalidConfig(_)), "{err}");
+            assert!(err.to_string().contains("staleness threshold"), "{err}");
+        }
+        // Infinite thresholds are a legitimate "never stale" policy.
+        let ok = QueryEngine::sequential(&g).with_staleness_policy(IndexStalenessPolicy {
+            threshold: f64::INFINITY,
+            auto_refresh: false,
+        });
+        assert!(ok.is_ok());
     }
 
     #[test]

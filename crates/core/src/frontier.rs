@@ -118,8 +118,9 @@ impl FrontierWork {
 /// What one [`crate::Propagator::propagate_frontier`] call did.
 #[derive(Clone, Copy, Debug)]
 pub struct FrontierStep {
-    /// `‖y‖₁`, folded in ascending destination order — bitwise equal to
-    /// a full index-order scan of `y` (skipped entries are exact zeros).
+    /// `‖y‖₁` in the blocked-canonical association — bitwise equal to a
+    /// dense `propagate_into_norm` of the same step (skipped entries are
+    /// exact zeros).
     pub residual: f64,
     /// Edges actually scanned (discovery + gather); 0 when the step ran
     /// the dense kernel.
@@ -267,9 +268,13 @@ pub(crate) fn gather_reachable_into<A: InAdjacency + ?Sized>(
 }
 
 /// Post-gather fold over the ascending reachable set: accumulates
-/// `‖y‖₁` and collects the next frontier (`y != 0.0`). Ascending order +
-/// exact-zero skips make the residual bitwise equal to a full
-/// index-order scan.
+/// `‖y‖₁` and collects the next frontier (`y != 0.0`). Entries are
+/// grouped by their `NORM_BLOCK`, matching the blocked-canonical
+/// association of the dense kernels' fused residual (see
+/// [`crate::tiling`]): blocks without reachable entries contribute an
+/// exact `+0.0` partial (elided), and within a block the skipped terms
+/// are exact zeros — so the residual is bitwise equal to a dense
+/// `propagate_into_norm` of the same step.
 pub(crate) fn fold_reachable(
     y: &[f64],
     reachable: &[NodeId],
@@ -277,12 +282,20 @@ pub(crate) fn fold_reachable(
 ) -> f64 {
     next_active.clear();
     let mut residual = 0.0f64;
-    for &v in reachable {
-        let yv = y[v as usize];
-        if yv != 0.0 {
-            residual += yv.abs();
-            next_active.push(v);
+    let mut i = 0usize;
+    while i < reachable.len() {
+        let block = reachable[i] as usize / crate::tiling::NORM_BLOCK;
+        let mut part = 0.0f64;
+        while i < reachable.len() && reachable[i] as usize / crate::tiling::NORM_BLOCK == block {
+            let v = reachable[i];
+            let yv = y[v as usize];
+            if yv != 0.0 {
+                part += yv.abs();
+                next_active.push(v);
+            }
+            i += 1;
         }
+        residual += part;
     }
     residual
 }

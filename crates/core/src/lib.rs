@@ -68,6 +68,7 @@ pub mod offcore;
 mod pagerank;
 mod parallel;
 pub mod params;
+mod patch;
 mod seeds;
 pub mod service;
 pub mod tiling;
@@ -78,8 +79,8 @@ mod weighted;
 pub use cpi::{cpi, cpi_policy, cpi_trace, cpi_trace_policy, CpiConfig, CpiResult};
 pub use decompose::{decompose, Decomposition};
 pub use dynamic::{
-    propagate_offset, DynamicTransition, MaintenanceMode, RefreshStats, ScoreCache, SourceDelta,
-    UpdateDelta,
+    propagate_offset, propagate_offset_policy, DynamicTransition, MaintenanceMode, RefreshStats,
+    ScoreCache, SourceDelta, UpdateDelta,
 };
 pub use engine::{
     top_k_scored, EngineBackend, IndexStalenessPolicy, QueryEngine, QueryPlan, UpdateReport,
@@ -88,10 +89,11 @@ pub use error::TpaError;
 pub use frontier::{FrontierPolicy, FrontierScratch, FrontierStep, FrontierWork};
 pub use pagerank::{exact_rwr, pagerank, pagerank_window, personalized_pagerank};
 pub use parallel::ParallelTransition;
+pub use patch::PatchedTransition;
 pub use seeds::SeedSet;
 pub use service::{
     ExecMode, QueryRequest, QueryResponse, QueryResult, RwrService, ServiceBuilder, Snapshot,
-    UpdateOutcome,
+    SnapshotCache, UpdateOutcome,
 };
 pub use tiling::TilePolicy;
 pub use tpa::{PreprocessStats, TpaIndex, TpaParams, TpaParts};

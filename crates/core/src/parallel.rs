@@ -109,11 +109,33 @@ impl Propagator for ParallelTransition<'_> {
         });
     }
 
-    // `propagate_into_norm` stays on the trait default (propagate, then
-    // one index-order scan of the just-written — cache-warm — output):
-    // summing per-worker partial norms would change the fold's
-    // association, and the residual must be bitwise identical across
-    // backends so every backend makes the same convergence decision.
+    /// Fused-residual step with the `O(n)` fold parallelized: each
+    /// worker propagates its block-aligned band and folds its own
+    /// per-`NORM_BLOCK` partials over the just-written (cache-warm)
+    /// slice; the calling thread folds the partials ascending. That
+    /// two-level chain is the blocked-canonical association every
+    /// backend's residual uses, so the result is bitwise identical to
+    /// the sequential backends and every backend makes the same
+    /// convergence decision. Graphs too small for block-aligned ranges
+    /// propagate and pay one sequential blocked scan instead.
+    fn propagate_into_norm(&self, coeff: f64, x: &[f64], y: &mut [f64]) -> f64 {
+        let g = self.graph.get();
+        let n = g.n();
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        let strip = self.strips.resolve(self.tile, g, n, g.m(), 1);
+        if self.ranges.len() == 1 {
+            return tiling::gather_range(g, &self.inv_out_deg, coeff, x, y, 0..n as NodeId, strip);
+        }
+        let inv = &self.inv_out_deg;
+        if tiling::ranges_block_aligned(&self.ranges) {
+            return tiling::par_ranges_norm(&self.ranges, y, |slice, start, end| {
+                tiling::gather_range(g, inv, coeff, x, slice, start..end, strip);
+            });
+        }
+        self.propagate_into(coeff, x, y);
+        tiling::blocked_norm(y)
+    }
 
     fn frontier_work(&self, active: &[NodeId]) -> Option<FrontierWork> {
         let g = self.graph.get();
@@ -291,6 +313,34 @@ mod tests {
             assert!(!step.went_dense, "fan-out frontier must stay sparse");
             assert_eq!(y, dense, "threads = {threads}");
             assert_eq!(scratch.next_active().len(), 3000);
+        }
+    }
+
+    #[test]
+    fn parallel_residual_fold_matches_sequential_bitwise() {
+        // n spans several NORM_BLOCKs, so the parallel backend really
+        // folds per-worker partials — and must still return the exact
+        // bits of the sequential fused fold (and of a full CPI run's
+        // convergence decisions).
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(97);
+        let g = lfr_lite(LfrConfig { n: 10_000, m: 60_000, ..Default::default() }, &mut rng).graph;
+        let seq = Transition::new(&g);
+        let x: Vec<f64> = (0..g.n()).map(|i| (i % 17) as f64 / 17.0).collect();
+        let mut y_seq = vec![0.0; g.n()];
+        let norm_seq = seq.propagate_into_norm(0.85, &x, &mut y_seq);
+        for threads in [2usize, 3] {
+            let par = ParallelTransition::new(&g, threads);
+            assert!(par.ranges().len() > 1, "threads = {threads}");
+            let mut y_par = vec![0.0; g.n()];
+            let norm_par = par.propagate_into_norm(0.85, &x, &mut y_par);
+            assert_eq!(y_seq, y_par, "threads = {threads}");
+            assert_eq!(norm_seq.to_bits(), norm_par.to_bits(), "threads = {threads}");
+            let a = cpi(&seq, &SeedSet::single(5), &CpiConfig::default(), 0, None);
+            let b = cpi(&par, &SeedSet::single(5), &CpiConfig::default(), 0, None);
+            assert_eq!(a.scores, b.scores);
+            assert_eq!(a.last_iteration, b.last_iteration);
+            assert_eq!(a.final_residual.to_bits(), b.final_residual.to_bits());
         }
     }
 

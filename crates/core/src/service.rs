@@ -27,13 +27,29 @@
 //!   never serialized behind the writer.
 //! * A single writer (serialized by an internal mutex) owns the mutable
 //!   delta-overlay graph. [`RwrService::apply_updates`] applies an
-//!   [`EdgeUpdate`] batch to the overlay, rebuilds an immutable backend
-//!   from the merged view, and atomically publishes the next epoch by
-//!   swapping the `Arc`. In-flight queries keep reading the epoch they
-//!   pinned; the next `submit` sees the new one. Every epoch is
-//!   **bitwise consistent**: a query on epoch `e` returns exactly what
-//!   a single-threaded [`crate::QueryEngine`] would return on the
-//!   equivalent frozen graph — never a blend of two epochs.
+//!   [`EdgeUpdate`] batch to the overlay and atomically publishes the
+//!   next epoch by swapping the `Arc`. In-flight queries keep reading
+//!   the epoch they pinned; the next `submit` sees the new one. Every
+//!   epoch is **bitwise consistent**: a query on epoch `e` returns
+//!   exactly what a single-threaded [`crate::QueryEngine`] would return
+//!   on the equivalent frozen graph — never a blend of two epochs.
+//! * Publishing is **copy-on-write**, not a rebuild: the new epoch's
+//!   backend is a [`crate::PatchedTransition`] — the immutable base CSR
+//!   shared via `Arc` plus the merged-overlay delta (per-row `Arc`s
+//!   shared across epochs) — so a publish costs `O(batch)` map clones
+//!   plus two flat per-node `memcpy`s, never an `O(n + m)` CSR rebuild
+//!   or edge traversal. Folding the delta back into a fresh base is
+//!   demoted to a *background* thread: past the compaction trigger the
+//!   writer clones the overlay graph (cheap — the base is shared),
+//!   rebuilds off-thread, and splices the fresh base back in under the
+//!   writer lock without ever blocking a publish or changing a single
+//!   published bit (the merged view is identical by construction).
+//! * Hot seeds can be pinned in a service-side score cache
+//!   ([`ServiceBuilder::score_cache`]): each publish refreshes the
+//!   cached lanes by OSP offset propagation routed through the
+//!   sparse-frontier kernel — cost scales with the update's reach —
+//!   and cache hits answer single-seed requests with no kernel run at
+//!   all ([`QueryResponse::cached`]).
 //!
 //! Requests and responses are typed ([`QueryRequest`] /
 //! [`QueryResponse`]), failures are a real error type
@@ -61,7 +77,7 @@
 //! ```
 
 use crate::batch::cpi_batch;
-use crate::dynamic::DynamicTransition;
+use crate::dynamic::{propagate_offset_policy, DynamicTransition, MaintenanceMode, SourceDelta};
 use crate::engine::{top_k_scored, EngineBackend, IndexStalenessPolicy, UpdateReport};
 use crate::error::check_seeds;
 use crate::offcore::DiskGraph;
@@ -69,6 +85,7 @@ use crate::{
     cpi_policy, CpiConfig, FrontierPolicy, ParallelTransition, Propagator, SeedSet, TilePolicy,
     TpaError, TpaIndex, TpaParams, Transition,
 };
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 use tpa_graph::{
     reorder, CsrGraph, DynamicGraph, EdgeUpdate, NodeId, Permutation, ReorderStrategy,
@@ -225,6 +242,57 @@ pub struct QueryResponse {
     pub iterations: Option<usize>,
     /// `‖x(i)‖₁` when the sweep stopped, for single-seed requests.
     pub residual: Option<f64>,
+    /// True when the answer came straight from the snapshot's score
+    /// cache — no kernel ran. Cached lanes are maintained across epochs
+    /// by offset propagation, so they track a cold exact query within
+    /// the cache's [`MaintenanceMode`] tolerance (not bitwise).
+    pub cached: bool,
+}
+
+/// Hot-seed score lanes folded into a published [`Snapshot`]: the
+/// service-side successor of the single-owner [`crate::ScoreCache`].
+///
+/// Lanes hold exact-CPI score vectors in backend (relabeled) space, one
+/// per pinned seed. At every [`RwrService::apply_updates`] publish the
+/// writer refreshes each lane by OSP offset propagation — the offset
+/// seed is built from the batch's old columns
+/// ([`crate::DynamicTransition::offset_seed_for`]) and swept through
+/// [`propagate_offset_policy`] under [`FrontierPolicy::Auto`], so the
+/// refresh cost scales with the update's reach, not with `n + m`. A
+/// cache hit ([`Snapshot::run`] on a single pinned seed at an
+/// exact-serving path) returns the lane with no kernel run.
+pub struct SnapshotCache {
+    /// Pinned seeds, in backend (relabeled) space.
+    seeds: Vec<NodeId>,
+    /// One score lane per seed, same order. `Arc` per lane: an
+    /// update-free publish shares lanes instead of copying them.
+    lanes: Vec<Arc<Vec<f64>>>,
+    /// How lanes are maintained across epochs (exact offset
+    /// convergence, or tolerance-bounded with mass dropping).
+    mode: MaintenanceMode,
+}
+
+impl SnapshotCache {
+    /// The lane for `seed` (backend space), if pinned.
+    fn lookup(&self, seed: NodeId) -> Option<&Arc<Vec<f64>>> {
+        let i = self.seeds.iter().position(|&s| s == seed)?;
+        Some(&self.lanes[i])
+    }
+
+    /// Number of pinned seeds.
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// True when no seeds are pinned.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// The maintenance mode lanes are refreshed under.
+    pub fn mode(&self) -> MaintenanceMode {
+        self.mode
+    }
 }
 
 /// An immutable, consistently-queryable view of the served graph: the
@@ -245,6 +313,9 @@ pub struct Snapshot<'g> {
     /// on the way in and scores/rankings unmapped on the way out, so
     /// callers never see the new ids.
     pub(crate) perm: Option<Arc<Permutation>>,
+    /// Hot-seed score lanes, refreshed at each publish (see
+    /// [`SnapshotCache`]). `None` unless the builder pinned seeds.
+    pub(crate) cache: Option<Arc<SnapshotCache>>,
     pub(crate) epoch: u64,
 }
 
@@ -259,6 +330,7 @@ impl<'g> Snapshot<'g> {
             lane_tile: crate::engine::DEFAULT_LANE_TILE,
             frontier: FrontierPolicy::Auto,
             perm: None,
+            cache: None,
             epoch: 0,
         }
     }
@@ -294,6 +366,25 @@ impl<'g> Snapshot<'g> {
         self.frontier
     }
 
+    /// The hot-seed score cache carried by this snapshot, if any.
+    pub fn score_cache(&self) -> Option<&SnapshotCache> {
+        self.cache.as_deref()
+    }
+
+    /// The cached lane answering `req`, if the request is a single
+    /// pinned seed on an exact-serving path (no per-request epsilon; an
+    /// indexed snapshot only caches explicit [`ExecMode::Exact`]
+    /// requests — the index path computes different, TPA-approximate
+    /// scores).
+    fn cached_lane(&self, req: &QueryRequest, seeds: &[NodeId]) -> Option<Vec<f64>> {
+        let cache = self.cache.as_ref()?;
+        if req.eps.is_some() || (req.mode == ExecMode::Auto && self.index.is_some()) {
+            return None;
+        }
+        let [seed] = seeds[..] else { return None };
+        Some(cache.lookup(seed)?.as_ref().clone())
+    }
+
     /// Executes a request against this (frozen) snapshot. Single-seed
     /// requests take the scalar path; larger batches run lane tiles
     /// through the backend's fused block kernel, bit-identical to
@@ -323,6 +414,7 @@ impl<'g> Snapshot<'g> {
             indexed: false,
             iterations: None,
             residual: None,
+            cached: false,
         };
         if req.seeds.is_empty() {
             if req.k.is_some() {
@@ -342,36 +434,44 @@ impl<'g> Snapshot<'g> {
             }
         };
         let policy = req.frontier.unwrap_or(self.frontier);
-        let mut scores = match (req.mode, &self.index) {
-            (ExecMode::Auto, Some(index)) => {
-                resp.indexed = true;
-                if let [seed] = seeds[..] {
-                    let (scores, iters, residual) =
-                        index.query_traced_policy_on(&self.backend, &SeedSet::single(seed), policy);
-                    resp.iterations = Some(iters);
-                    resp.residual = Some(residual);
-                    vec![scores]
-                } else {
-                    self.tiled(seeds, |tile| index.query_batch_on(&self.backend, tile))
+        let mut scores = if let Some(lane) = self.cached_lane(req, seeds) {
+            resp.cached = true;
+            vec![lane]
+        } else {
+            match (req.mode, &self.index) {
+                (ExecMode::Auto, Some(index)) => {
+                    resp.indexed = true;
+                    if let [seed] = seeds[..] {
+                        let (scores, iters, residual) = index.query_traced_policy_on(
+                            &self.backend,
+                            &SeedSet::single(seed),
+                            policy,
+                        );
+                        resp.iterations = Some(iters);
+                        resp.residual = Some(residual);
+                        vec![scores]
+                    } else {
+                        self.tiled(seeds, |tile| index.query_batch_on(&self.backend, tile))
+                    }
                 }
-            }
-            _ => {
-                if let [seed] = seeds[..] {
-                    let run = cpi_policy(
-                        &self.backend,
-                        &SeedSet::single(seed),
-                        &exact_cfg,
-                        0,
-                        None,
-                        policy,
-                    );
-                    resp.iterations = Some(run.last_iteration);
-                    resp.residual = Some(run.final_residual);
-                    vec![run.scores]
-                } else {
-                    self.tiled(seeds, |tile| {
-                        cpi_batch(&self.backend, tile, &exact_cfg, 0, None).into_lanes()
-                    })
+                _ => {
+                    if let [seed] = seeds[..] {
+                        let run = cpi_policy(
+                            &self.backend,
+                            &SeedSet::single(seed),
+                            &exact_cfg,
+                            0,
+                            None,
+                            policy,
+                        );
+                        resp.iterations = Some(run.last_iteration);
+                        resp.residual = Some(run.final_residual);
+                        vec![run.scores]
+                    } else {
+                        self.tiled(seeds, |tile| {
+                            cpi_batch(&self.backend, tile, &exact_cfg, 0, None).into_lanes()
+                        })
+                    }
                 }
             }
         };
@@ -443,6 +543,18 @@ pub struct UpdateOutcome {
     pub epoch: u64,
 }
 
+/// A background base rebuild in flight: a spawned thread folding a
+/// clone of the overlay graph into a fresh CSR, plus the (backend-space)
+/// updates the writer has applied since the clone was taken. When the
+/// thread finishes, the writer splices the fresh base in with
+/// [`DynamicTransition::rebase`] — replaying `log` onto it reproduces
+/// the current merged view exactly (edge updates are set-semantic), so
+/// nothing reader-visible changes.
+struct CompactionJob {
+    handle: std::thread::JoinHandle<CsrGraph>,
+    log: Vec<EdgeUpdate>,
+}
+
 /// Writer-side state: the mutable delta overlay plus everything needed
 /// to build the next snapshot. Serialized by [`RwrService`]'s mutex —
 /// one writer at a time, readers unaffected.
@@ -450,16 +562,70 @@ struct WriterState {
     /// `Some` when the service was built over a [`DynamicGraph`];
     /// `None` for immutable (in-memory / out-of-core) services, which
     /// refuse updates with [`TpaError::BackendMismatch`].
+    /// The overlay's own auto-compaction is disabled (threshold `None`):
+    /// the service compacts in the background instead, so the write
+    /// path never pays an inline `O(n + m)` fold.
     overlay: Option<DynamicTransition>,
-    /// True when published snapshot backends are the sequential
-    /// transition (builder `threads == 1`); otherwise the parallel
-    /// backend with `threads` workers serves every epoch.
-    sequential: bool,
-    /// Worker threads for published snapshot backends.
-    threads: usize,
-    tile: TilePolicy,
+    /// Relative overlay-size trigger for *background* compaction (the
+    /// source graph's [`tpa_graph::DynamicGraph::compact_threshold`]):
+    /// once `delta_edges > trigger · base.m()`, the writer spawns a
+    /// rebuild thread. `None` disables background compaction.
+    compact_trigger: Option<f64>,
+    /// The in-flight background rebuild, if any.
+    compaction: Option<CompactionJob>,
     staleness: IndexStalenessPolicy,
     accumulated_drift: f64,
+    /// First-occurrence old out-columns of every source changed since
+    /// the index was last (re)built or patched — the telescoped operator
+    /// delta [`RwrService::patch_index`] builds its offset seed from.
+    /// Only fed while an index is attached; cleared on refresh/patch.
+    index_deltas: HashMap<NodeId, SourceDelta>,
+}
+
+impl WriterState {
+    /// Splices a *finished* background rebuild into the overlay
+    /// (non-blocking: a still-running job is left alone). Reader-visible
+    /// scores are unchanged — the rebased overlay has the identical
+    /// merged view, only its base/patch split differs.
+    fn install_finished_compaction(&mut self) {
+        if self.compaction.as_ref().is_some_and(|job| job.handle.is_finished()) {
+            self.install_compaction();
+        }
+    }
+
+    /// Joins the pending rebuild (blocking) and splices it in. Returns
+    /// false when there was no job or the rebuild thread panicked (the
+    /// overlay is untouched either way; a panicked job is dropped and a
+    /// later batch re-triggers).
+    fn install_compaction(&mut self) -> bool {
+        let Some(job) = self.compaction.take() else {
+            return false;
+        };
+        let (Ok(base), Some(overlay)) = (job.handle.join(), self.overlay.as_mut()) else {
+            return false;
+        };
+        overlay.rebase(Arc::new(base), &job.log);
+        true
+    }
+
+    /// Spawns a background rebuild when the overlay has outgrown its
+    /// trigger and none is already running. The spawned thread folds a
+    /// clone of the graph (cheap: the base CSR is shared by `Arc`) into
+    /// a fresh CSR; publishes continue meanwhile.
+    fn maybe_spawn_compaction(&mut self) {
+        if self.compaction.is_some() {
+            return;
+        }
+        let (Some(trigger), Some(overlay)) = (self.compact_trigger, self.overlay.as_ref()) else {
+            return;
+        };
+        let g = overlay.graph();
+        if (g.delta_edges() as f64) > trigger * g.base_arc().m() as f64 {
+            let clone = g.clone();
+            let handle = std::thread::spawn(move || clone.snapshot());
+            self.compaction = Some(CompactionJob { handle, log: Vec::new() });
+        }
+    }
 }
 
 /// A concurrent, owned RWR serving handle: `Send + Sync`, shared across
@@ -546,20 +712,43 @@ impl RwrService {
     /// [`crate::QueryEngine::apply_updates`] (auto-refresh
     /// re-preprocesses before publishing).
     ///
+    /// The publish is copy-on-write: the new epoch's backend is a
+    /// [`crate::PatchedTransition`] sharing the base CSR and the
+    /// merged-overlay rows with the writer, so the cost is `O(batch)`
+    /// map clones plus two flat per-node copies — no CSR rebuild, no
+    /// edge traversal, flat in `m`. Once the overlay outgrows its
+    /// compaction trigger a *background* thread folds it into a fresh
+    /// base, spliced in here (non-blocking) when ready; published
+    /// scores are bitwise unaffected.
+    ///
     /// Returns [`TpaError::BackendMismatch`] when the service was built
     /// over an immutable (non-dynamic) graph. Concurrent writers are
     /// serialized on an internal mutex — batches never interleave.
     pub fn apply_updates(&self, updates: &[EdgeUpdate]) -> Result<UpdateOutcome, TpaError> {
         let mut w = self.writer_state();
         let prev = self.snapshot();
-        let (sequential, threads, tile) = (w.sequential, w.threads, w.tile);
-        let overlay = w.overlay.as_mut().ok_or(TpaError::BackendMismatch {
+        w.install_finished_compaction();
+        let WriterState { overlay, compaction, index_deltas, .. } = &mut *w;
+        let overlay = overlay.as_mut().ok_or(TpaError::BackendMismatch {
             operation: "edge updates",
             backend: prev.backend.name(),
         })?;
         // Callers speak old ids; a reordered service stores new ones.
         let mapped = map_updates(&prev.perm, updates);
-        let delta = overlay.apply(mapped.as_deref().unwrap_or(updates));
+        let updates = mapped.as_deref().unwrap_or(updates);
+        let delta = overlay.apply(updates);
+        // A rebuild in flight misses this batch; log it for the replay.
+        if let Some(job) = compaction.as_mut() {
+            job.log.extend_from_slice(updates);
+        }
+        if prev.index.is_some() {
+            // First occurrence wins: each node's entry keeps the column
+            // as it was when the index was last (re)built, so the
+            // accumulated deltas telescope across batches.
+            for sd in &delta.sources {
+                index_deltas.entry(sd.node).or_insert_with(|| sd.clone());
+            }
+        }
         let n = overlay.n();
         let mut report = UpdateReport {
             delta,
@@ -567,7 +756,14 @@ impl RwrService {
             index_stale: false,
             index_refreshed: false,
         };
-        let backend = publish_backend(overlay, sequential, threads, tile);
+        let backend = EngineBackend::Patched(overlay.publish_patched());
+        let cache = refresh_cache(
+            prev.cache.as_ref(),
+            overlay,
+            &backend,
+            &report.delta.sources,
+            &prev.exact_cfg,
+        );
         let mut index = prev.index.clone();
         if let Some(old) = &index {
             w.accumulated_drift += report.delta.column_delta_mass / n.max(1) as f64;
@@ -579,6 +775,7 @@ impl RwrService {
                     }
                     index = Some(Arc::new(fresh));
                     w.accumulated_drift = 0.0;
+                    w.index_deltas.clear();
                     report.index_refreshed = true;
                 } else {
                     report.index_stale = true;
@@ -586,10 +783,11 @@ impl RwrService {
             }
             report.accumulated_drift = w.accumulated_drift;
         }
+        w.maybe_spawn_compaction();
         // The writer mutex serializes publishes, so the pinned snapshot's
         // epoch is the latest one and the successor is race-free.
         let epoch = prev.epoch + 1;
-        self.publish(&prev, backend, index, epoch);
+        self.publish(&prev, backend, index, cache, epoch);
         Ok(UpdateOutcome { report, epoch })
     }
 
@@ -616,23 +814,78 @@ impl RwrService {
     pub fn refresh_index(&self) -> Result<u64, TpaError> {
         let mut w = self.writer_state();
         let prev = self.snapshot();
-        let (sequential, threads, tile) = (w.sequential, w.threads, w.tile);
-        let overlay = w.overlay.as_mut().ok_or(TpaError::BackendMismatch {
+        let overlay = w.overlay.as_ref().ok_or(TpaError::BackendMismatch {
             operation: "index refresh",
             backend: prev.backend.name(),
         })?;
         let Some(old) = &prev.index else {
             return Ok(prev.epoch);
         };
-        let backend = publish_backend(overlay, sequential, threads, tile);
+        let backend = EngineBackend::Patched(overlay.publish_patched());
         let mut fresh = TpaIndex::preprocess_on(&backend, *old.params());
         if let Some(p) = &prev.perm {
             fresh = fresh.with_permutation(p.as_ref().clone());
         }
         w.accumulated_drift = 0.0;
+        w.index_deltas.clear();
         let epoch = prev.epoch + 1;
-        self.publish(&prev, backend, Some(Arc::new(fresh)), epoch);
+        // The graph did not change, so the cache lanes are carried over.
+        self.publish(&prev, backend, Some(Arc::new(fresh)), prev.cache.clone(), epoch);
         Ok(epoch)
+    }
+
+    /// Patches the served index's stranger tail for the operator drift
+    /// accumulated since it was last (re)built, publishing a new epoch —
+    /// the cheap alternative to [`RwrService::refresh_index`]. The
+    /// offset seed is built from the telescoped first-occurrence old
+    /// columns and propagated through the updated operator by the
+    /// frontier-routed offset kernel, so the cost scales with the
+    /// drift's reach instead of a full `O(n + m)` re-preprocess; the
+    /// patched stranger tracks a re-preprocessed one within the CPI
+    /// tolerance plus the already-truncated `O((1−c)^T)` window-shift
+    /// tail (see [`TpaIndex::patch_stranger_on`]). Resets the drift
+    /// accumulator.
+    ///
+    /// No-op (returning the current epoch) when no index is attached or
+    /// nothing changed since the last (re)build/patch;
+    /// [`TpaError::BackendMismatch`] on immutable services.
+    pub fn patch_index(&self) -> Result<u64, TpaError> {
+        let mut w = self.writer_state();
+        let prev = self.snapshot();
+        let overlay = w.overlay.as_ref().ok_or(TpaError::BackendMismatch {
+            operation: "index patching",
+            backend: prev.backend.name(),
+        })?;
+        let Some(old) = &prev.index else {
+            return Ok(prev.epoch);
+        };
+        if w.index_deltas.is_empty() {
+            return Ok(prev.epoch);
+        }
+        let deltas: Vec<SourceDelta> = w.index_deltas.values().cloned().collect();
+        let offset = overlay.offset_seed_for(&deltas, old.params().c, old.stranger());
+        let backend = EngineBackend::Patched(overlay.publish_patched());
+        let (fresh, _stats) =
+            old.patch_stranger_on(&backend, offset, MaintenanceMode::Exact, prev.frontier);
+        w.index_deltas.clear();
+        w.accumulated_drift = 0.0;
+        let epoch = prev.epoch + 1;
+        self.publish(&prev, backend, Some(Arc::new(fresh)), prev.cache.clone(), epoch);
+        Ok(epoch)
+    }
+
+    /// Joins any in-flight background compaction and splices the fresh
+    /// base into the overlay (blocking). Returns true when a rebuild
+    /// was installed. Published scores never change — this only resets
+    /// the overlay's base/patch split — so no epoch is published; it
+    /// exists for deterministic shutdown and tests.
+    pub fn flush_compaction(&self) -> bool {
+        self.writer_state().install_compaction()
+    }
+
+    /// True while a background base rebuild is in flight.
+    pub fn compaction_pending(&self) -> bool {
+        self.writer_state().compaction.is_some()
     }
 
     /// Swaps in the next snapshot, inheriting the previous epoch's
@@ -642,6 +895,7 @@ impl RwrService {
         prev: &Snapshot<'static>,
         backend: EngineBackend<'static>,
         index: Option<Arc<TpaIndex>>,
+        cache: Option<Arc<SnapshotCache>>,
         epoch: u64,
     ) {
         let snap = Snapshot {
@@ -651,28 +905,48 @@ impl RwrService {
             lane_tile: prev.lane_tile,
             frontier: prev.frontier,
             perm: prev.perm.clone(),
+            cache,
             epoch,
         };
         *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(snap);
     }
 }
 
-/// Builds the immutable backend a published snapshot serves: the
-/// overlay's merged view, rebuilt as a plain CSR (bit-identical to the
-/// overlay — property-tested in `dynamic_equiv.rs`) behind a sequential
-/// or destination-range-parallel transition.
-fn publish_backend(
+/// Refreshes the hot-seed lanes for the epoch being published: each
+/// lane is corrected by OSP offset propagation — seed from the batch's
+/// old columns, swept through the *updated* operator under
+/// [`FrontierPolicy::Auto`] so the work scales with the update's reach.
+/// A batch that changed no columns shares the previous cache wholesale
+/// (pure `Arc` bump).
+fn refresh_cache(
+    prev: Option<&Arc<SnapshotCache>>,
     overlay: &DynamicTransition,
-    sequential: bool,
-    threads: usize,
-    tile: TilePolicy,
-) -> EngineBackend<'static> {
-    let csr = Arc::new(overlay.graph().snapshot());
-    if sequential {
-        EngineBackend::Sequential(Transition::shared(csr).with_tile_policy(tile))
-    } else {
-        EngineBackend::Parallel(ParallelTransition::shared(csr, threads).with_tile_policy(tile))
+    backend: &EngineBackend<'static>,
+    sources: &[SourceDelta],
+    cfg: &CpiConfig,
+) -> Option<Arc<SnapshotCache>> {
+    let cache = prev?;
+    if sources.is_empty() {
+        return Some(Arc::clone(cache));
     }
+    let lanes = cache
+        .lanes
+        .iter()
+        .map(|lane| {
+            let mut scores = lane.as_ref().clone();
+            let offset = overlay.offset_seed_for(sources, cfg.c, &scores);
+            propagate_offset_policy(
+                backend,
+                offset,
+                cfg,
+                cache.mode,
+                FrontierPolicy::Auto,
+                &mut scores,
+            );
+            Arc::new(scores)
+        })
+        .collect();
+    Some(Arc::new(SnapshotCache { seeds: cache.seeds.clone(), lanes, mode: cache.mode }))
 }
 
 /// The graph a [`ServiceBuilder`] starts from.
@@ -711,6 +985,7 @@ pub struct ServiceBuilder {
     reorder: Option<ReorderStrategy>,
     index: IndexSpec,
     staleness: IndexStalenessPolicy,
+    cache: Option<(Vec<NodeId>, MaintenanceMode)>,
 }
 
 impl ServiceBuilder {
@@ -725,6 +1000,7 @@ impl ServiceBuilder {
             reorder: None,
             index: IndexSpec::None,
             staleness: IndexStalenessPolicy::default(),
+            cache: None,
         }
     }
 
@@ -813,6 +1089,17 @@ impl ServiceBuilder {
         self
     }
 
+    /// Pins hot seeds (caller id space) in a service-side score cache:
+    /// their exact-CPI lanes are computed once at build, refreshed at
+    /// every publish by frontier-routed offset propagation under
+    /// `mode`, and served straight from the snapshot on a cache hit
+    /// (see [`SnapshotCache`] and [`QueryResponse::cached`]). On
+    /// immutable sources the lanes simply never need refreshing.
+    pub fn score_cache(mut self, seeds: impl Into<Vec<NodeId>>, mode: MaintenanceMode) -> Self {
+        self.cache = Some((seeds.into(), mode));
+        self
+    }
+
     /// Validates the configuration and constructs the service.
     pub fn build(self) -> Result<RwrService, TpaError> {
         self.exact_cfg.check()?;
@@ -822,12 +1109,7 @@ impl ServiceBuilder {
         if let IndexSpec::Preprocess(params) = &self.index {
             params.check()?;
         }
-        if self.staleness.threshold.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-            return Err(TpaError::InvalidConfig(format!(
-                "staleness threshold must be positive, got {}",
-                self.staleness.threshold
-            )));
-        }
+        self.staleness.check()?;
         let sequential = self.threads == 1;
         let threads = match self.threads {
             0 => std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1),
@@ -860,14 +1142,14 @@ impl ServiceBuilder {
                     Some(Arc::new(idx))
                 }
             };
+            let cache = build_cache(self.cache, &backend, &None, &self.exact_cfg, self.frontier)?;
             return Ok(Self::assemble(
                 backend,
                 index,
+                cache,
                 None,
                 None,
-                sequential,
-                threads,
-                self.tile,
+                None,
                 self.frontier,
                 self.lane_tile,
                 self.exact_cfg,
@@ -930,14 +1212,15 @@ impl ServiceBuilder {
                     )
                 };
                 let index = resolve_index(self.index, &backend, &perm)?;
+                let cache =
+                    build_cache(self.cache, &backend, &perm, &self.exact_cfg, self.frontier)?;
                 Ok(Self::assemble(
                     backend,
                     index,
+                    cache,
                     perm,
                     None,
-                    sequential,
-                    threads,
-                    self.tile,
+                    None,
                     self.frontier,
                     self.lane_tile,
                     self.exact_cfg,
@@ -972,18 +1255,25 @@ impl ServiceBuilder {
                     }
                     (None, None) => (dg, None),
                 };
-                let overlay =
-                    DynamicTransition::new(dg).with_threads(threads).with_tile_policy(self.tile);
-                let backend = publish_backend(&overlay, sequential, threads, self.tile);
+                // The overlay never self-compacts inline: the graph's
+                // threshold becomes the *background* compaction trigger,
+                // keeping every inline `O(n + m)` fold off the write path.
+                let overlay = DynamicTransition::new(dg.with_compact_threshold(None))
+                    .with_threads(threads)
+                    .with_tile_policy(self.tile);
+                // Epoch 0 publishes copy-on-write too — no CSR rebuild
+                // anywhere on the dynamic serving path.
+                let backend = EngineBackend::Patched(overlay.publish_patched());
                 let index = resolve_index(self.index, &backend, &perm)?;
+                let cache =
+                    build_cache(self.cache, &backend, &perm, &self.exact_cfg, self.frontier)?;
                 Ok(Self::assemble(
                     backend,
                     index,
+                    cache,
                     perm,
                     Some(overlay),
-                    sequential,
-                    threads,
-                    self.tile,
+                    threshold,
                     self.frontier,
                     self.lane_tile,
                     self.exact_cfg,
@@ -998,29 +1288,62 @@ impl ServiceBuilder {
     fn assemble(
         backend: EngineBackend<'static>,
         index: Option<Arc<TpaIndex>>,
+        cache: Option<Arc<SnapshotCache>>,
         perm: Option<Arc<Permutation>>,
         overlay: Option<DynamicTransition>,
-        sequential: bool,
-        threads: usize,
-        tile: TilePolicy,
+        compact_trigger: Option<f64>,
         frontier: FrontierPolicy,
         lane_tile: usize,
         exact_cfg: CpiConfig,
         staleness: IndexStalenessPolicy,
     ) -> RwrService {
-        let snap = Snapshot { backend, index, exact_cfg, lane_tile, frontier, perm, epoch: 0 };
+        let snap =
+            Snapshot { backend, index, exact_cfg, lane_tile, frontier, perm, cache, epoch: 0 };
         RwrService {
             current: RwLock::new(Arc::new(snap)),
             writer: Mutex::new(WriterState {
                 overlay,
-                sequential,
-                threads,
-                tile,
+                compact_trigger,
+                compaction: None,
                 staleness,
                 accumulated_drift: 0.0,
+                index_deltas: HashMap::new(),
             }),
         }
     }
+}
+
+/// Builds the initial [`SnapshotCache`] from the builder's pinned
+/// seeds: validates them, maps into backend space under `perm`, and
+/// computes each lane by cold exact CPI on the built backend.
+fn build_cache(
+    spec: Option<(Vec<NodeId>, MaintenanceMode)>,
+    backend: &EngineBackend<'static>,
+    perm: &Option<Arc<Permutation>>,
+    cfg: &CpiConfig,
+    policy: FrontierPolicy,
+) -> Result<Option<Arc<SnapshotCache>>, TpaError> {
+    let Some((seeds, mode)) = spec else {
+        return Ok(None);
+    };
+    if let MaintenanceMode::Approximate { tolerance } = mode {
+        // NaN must fail too, so test "positive" directly.
+        if tolerance.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(TpaError::InvalidConfig(format!(
+                "cache maintenance tolerance must be positive, got {tolerance}"
+            )));
+        }
+    }
+    check_seeds(&seeds, backend.n())?;
+    let seeds: Vec<NodeId> = match perm {
+        Some(p) => seeds.iter().map(|&s| p.new_of(s)).collect(),
+        None => seeds,
+    };
+    let lanes = seeds
+        .iter()
+        .map(|&s| Arc::new(cpi_policy(backend, &SeedSet::single(s), cfg, 0, None, policy).scores))
+        .collect();
+    Ok(Some(Arc::new(SnapshotCache { seeds, lanes, mode })))
 }
 
 /// Finishes the builder's index spec against the built backend:

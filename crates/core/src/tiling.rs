@@ -39,6 +39,52 @@ use crate::batch::ScoreBlock;
 use std::ops::Range;
 use tpa_graph::{CsrGraph, NodeId};
 
+/// Block size of the canonical residual fold. Every `‖y‖₁` the engine
+/// computes — fused into a dense kernel, scanned after a parallel
+/// propagation, or folded over a sparse frontier's reachable set — uses
+/// the same two-level association: the absolute values of each aligned
+/// `NORM_BLOCK`-sized block are folded left in index order into a
+/// per-block partial, and the partials are folded left in ascending
+/// block order. Worker ranges that end on block boundaries can therefore
+/// fold their partials locally and let the caller combine them — the
+/// `O(n)` residual scan parallelizes — while staying **bitwise
+/// identical** to the sequential backends (and, for `n ≤ NORM_BLOCK`,
+/// to a plain index-order scan: `0.0 + partial` is exact).
+pub(crate) const NORM_BLOCK: usize = 4096;
+
+/// The canonical residual: two-level blocked fold of `Σ|y|` (see
+/// [`NORM_BLOCK`]). Every backend's `propagate_into_norm` and every
+/// sparse-path residual must match this chain bit for bit.
+pub(crate) fn blocked_norm(y: &[f64]) -> f64 {
+    y.chunks(NORM_BLOCK)
+        .fold(0.0f64, |acc, chunk| acc + chunk.iter().fold(0.0f64, |a, v| a + v.abs()))
+}
+
+/// Fills `parts` with the per-block partials of a block-aligned local
+/// slice (`parts[k]` = the `k`-th `NORM_BLOCK` chunk's index-order
+/// `Σ|·|` fold). The inner level of the canonical association.
+pub(crate) fn norm_parts(slice: &[f64], parts: &mut [f64]) {
+    debug_assert_eq!(parts.len(), slice.len().div_ceil(NORM_BLOCK));
+    for (part, chunk) in parts.iter_mut().zip(slice.chunks(NORM_BLOCK)) {
+        *part = chunk.iter().fold(0.0f64, |a, v| a + v.abs());
+    }
+}
+
+/// Ascending fold of per-block partials — the outer level of the
+/// canonical association.
+pub(crate) fn fold_norm_parts(parts: &[f64]) -> f64 {
+    parts.iter().fold(0.0f64, |a, &p| a + p)
+}
+
+/// True when every interior range boundary is a [`NORM_BLOCK`] multiple
+/// — the precondition for composing per-worker residual partials into
+/// the canonical fold. [`balance_ranges`] guarantees this whenever the
+/// graph has at least one block per worker.
+pub(crate) fn ranges_block_aligned(ranges: &[(u32, u32)]) -> bool {
+    let interior = ranges.len().saturating_sub(1);
+    ranges.iter().take(interior).all(|&(_, end)| (end as usize).is_multiple_of(NORM_BLOCK))
+}
+
 /// How a propagation backend blocks its gather loop.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum TilePolicy {
@@ -233,9 +279,11 @@ fn row_gather_from(acc: f64, row: &[NodeId], x: &[f64], inv: &[f64]) -> f64 {
 }
 
 /// Flat scalar gather for destinations `range`, writing into `y_local`
-/// (`y_local[0]` is node `range.start`). Returns the range's `Σ|y|`
-/// folded in destination order — the convergence residual, for free
-/// (see [`crate::Propagator::propagate_into_norm`]).
+/// (`y_local[0]` is node `range.start`). Returns the range's `Σ|y|` in
+/// the blocked-canonical association (per-[`NORM_BLOCK`] partials folded
+/// ascending, blocks aligned to *global* node ids) — the convergence
+/// residual, for free (see
+/// [`crate::Propagator::propagate_into_norm`]).
 pub(crate) fn gather_flat<A: InAdjacency + ?Sized>(
     adj: &A,
     inv: &[f64],
@@ -246,12 +294,23 @@ pub(crate) fn gather_flat<A: InAdjacency + ?Sized>(
 ) -> f64 {
     debug_assert_eq!(y_local.len(), range.len());
     let mut norm = 0.0f64;
+    let mut part = 0.0f64;
+    let mut until = NORM_BLOCK - (range.start as usize % NORM_BLOCK);
     for (y, v) in y_local.iter_mut().zip(range) {
         let row = adj.in_row(v);
         // Degree-zero rows skip the fold (and the coeff multiply:
         // `coeff · 0.0 = 0.0` for the positive coefficients CPI uses).
         *y = if row.is_empty() { 0.0 } else { coeff * row_gather_from(0.0, row, x, inv) };
-        norm += y.abs();
+        part += y.abs();
+        until -= 1;
+        if until == 0 {
+            norm += part;
+            part = 0.0;
+            until = NORM_BLOCK;
+        }
+    }
+    if until != NORM_BLOCK {
+        norm += part;
     }
     norm
 }
@@ -284,8 +343,8 @@ impl StripSchedule {
 /// Strip-mined scalar gather for destinations `range`: sweeps `x` in
 /// strips of `width` entries; per destination the accumulation chain is
 /// identical to [`gather_flat`] (see the module docs). Returns the
-/// range's `Σ|y|` folded in destination order, fused into the final
-/// coefficient pass.
+/// range's `Σ|y|` in the blocked-canonical association, fused into the
+/// final coefficient pass.
 pub(crate) fn gather_strip<A: InAdjacency + ?Sized>(
     adj: &A,
     inv: &[f64],
@@ -332,9 +391,20 @@ pub(crate) fn gather_strip<A: InAdjacency + ?Sized>(
         }
     }
     let mut norm = 0.0f64;
+    let mut part = 0.0f64;
+    let mut until = NORM_BLOCK - (range.start as usize % NORM_BLOCK);
     for y in y_local.iter_mut() {
         *y *= coeff;
-        norm += y.abs();
+        part += y.abs();
+        until -= 1;
+        if until == 0 {
+            norm += part;
+            part = 0.0;
+            until = NORM_BLOCK;
+        }
+    }
+    if until != NORM_BLOCK {
+        norm += part;
     }
     norm
 }
@@ -429,9 +499,10 @@ pub(crate) fn block_gather_strip<A: InAdjacency + ?Sized>(
 }
 
 /// Scalar gather for destinations `range`, flat or strip-mined per the
-/// resolved policy. Returns the range's destination-order `Σ|y|` fold
+/// resolved policy. Returns the range's blocked-canonical `Σ|y|` fold
 /// (bitwise identical between the two kernels: both fold `|y_v|` in
-/// ascending destination order after the coefficient multiply).
+/// ascending destination order within each block after the coefficient
+/// multiply).
 pub(crate) fn gather_range<A: InAdjacency + ?Sized>(
     adj: &A,
     inv: &[f64],
@@ -488,15 +559,89 @@ where
     });
 }
 
+/// [`par_ranges`] with the residual fold parallelized: each worker
+/// propagates its band via `work`, then folds its own per-[`NORM_BLOCK`]
+/// partials over the just-written (cache-warm) slice; the calling thread
+/// folds all partials in ascending block order. The two-level chain is
+/// exactly [`blocked_norm`] of the full output, so the returned residual
+/// is bitwise identical to the sequential backends'. Requires
+/// block-aligned ranges (see [`ranges_block_aligned`]).
+pub(crate) fn par_ranges_norm<F>(ranges: &[(u32, u32)], y: &mut [f64], work: F) -> f64
+where
+    F: Fn(&mut [f64], u32, u32) + Sync,
+{
+    debug_assert!(ranges_block_aligned(ranges));
+    let blocks_of = |(start, end): (u32, u32)| {
+        (end as usize).div_ceil(NORM_BLOCK) - start as usize / NORM_BLOCK
+    };
+    let total_blocks: usize = ranges.iter().map(|&r| blocks_of(r)).sum();
+    let mut parts = vec![0.0f64; total_blocks];
+    let mut y_slices: Vec<&mut [f64]> = Vec::with_capacity(ranges.len());
+    let mut part_slices: Vec<&mut [f64]> = Vec::with_capacity(ranges.len());
+    let (mut y_rest, mut p_rest) = (y, parts.as_mut_slice());
+    for &(start, end) in ranges {
+        let (head, tail) = y_rest.split_at_mut((end - start) as usize);
+        y_slices.push(head);
+        y_rest = tail;
+        let (head, tail) = p_rest.split_at_mut(blocks_of((start, end)));
+        part_slices.push(head);
+        p_rest = tail;
+    }
+    std::thread::scope(|scope| {
+        for ((slice, parts), &(start, end)) in
+            y_slices.into_iter().zip(part_slices).zip(ranges.iter())
+        {
+            let work = &work;
+            scope.spawn(move || {
+                work(slice, start, end);
+                norm_parts(slice, parts);
+            });
+        }
+    });
+    fold_norm_parts(&parts)
+}
+
 /// Destination ranges for `threads` workers over `n` nodes, balanced by
 /// in-edge count via the CSC offset array (power-law graphs concentrate
 /// edges on few destinations, so node-count splits starve most workers).
 /// Every range is non-empty; an edgeless graph falls back to node-count
 /// balancing. Shared by the parallel and dynamic backends.
+///
+/// Whenever the graph has at least one [`NORM_BLOCK`] per worker, range
+/// boundaries are snapped to block multiples so the fused residual fold
+/// can compose per-worker partials (see [`par_ranges_norm`]); smaller
+/// graphs keep the node-granular split — their sequential residual scan
+/// is cheap anyway.
 pub(crate) fn balance_ranges(in_offsets: &[usize], threads: usize) -> Vec<(u32, u32)> {
     let n = in_offsets.len() - 1;
     let m = in_offsets[n];
     let threads = threads.clamp(1, n.max(1));
+    let blocks = n.div_ceil(NORM_BLOCK).max(1);
+    if blocks >= threads {
+        let block_end = |b: usize| (b * NORM_BLOCK).min(n);
+        let mut ranges = Vec::with_capacity(threads);
+        let mut start_b = 0usize;
+        for w in 0..threads {
+            let end_b = if w + 1 == threads {
+                blocks
+            } else if m == 0 {
+                blocks * (w + 1) / threads
+            } else {
+                // First block boundary at or past this worker's edge
+                // share, clamped so this range and every later one keep
+                // at least one block.
+                let target = (m * (w + 1)).div_ceil(threads);
+                let mut e = start_b;
+                while e < blocks && in_offsets[block_end(e + 1)] <= target {
+                    e += 1;
+                }
+                e.max(start_b + 1).min(blocks - (threads - w - 1))
+            };
+            ranges.push((block_end(start_b) as u32, block_end(end_b) as u32));
+            start_b = end_b;
+        }
+        return ranges;
+    }
     let mut ranges = Vec::with_capacity(threads);
     let mut start = 0usize;
     for w in 0..threads {
@@ -651,5 +796,57 @@ mod tests {
             }
             assert_eq!(covered as usize, g.n());
         }
+    }
+
+    /// A graph spanning several norm blocks (n > 2·NORM_BLOCK).
+    fn multi_block_graph() -> CsrGraph {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(29);
+        lfr_lite(LfrConfig { n: 3 * NORM_BLOCK + 777, m: 80_000, ..Default::default() }, &mut rng)
+            .graph
+    }
+
+    #[test]
+    fn large_ranges_snap_to_norm_blocks() {
+        let g = multi_block_graph();
+        for threads in [2usize, 3] {
+            let ranges = balance_ranges(g.in_offsets(), threads);
+            assert_eq!(ranges.len(), threads);
+            assert!(ranges_block_aligned(&ranges), "{ranges:?}");
+            let mut covered = 0u32;
+            for &(start, end) in &ranges {
+                assert_eq!(start, covered);
+                assert!(end > start);
+                covered = end;
+            }
+            assert_eq!(covered as usize, g.n());
+        }
+        // More workers than blocks: node-granular fallback, unaligned.
+        let ranges = balance_ranges(g.in_offsets(), 64);
+        assert_eq!(ranges.len(), 64);
+    }
+
+    #[test]
+    fn fused_residual_is_the_blocked_canonical_fold() {
+        let g = multi_block_graph();
+        let inv = g.inv_out_degrees();
+        let n = g.n();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 31) % 83) as f64 / 83.0 - 0.2).collect();
+        let mut y = vec![0.0; n];
+        let flat_norm = gather_flat(&g, &inv, 0.85, &x, &mut y, 0..n as NodeId);
+        assert_eq!(flat_norm.to_bits(), blocked_norm(&y).to_bits());
+        let mut y2 = vec![0.0; n];
+        let strip_norm = gather_strip(&g, &inv, 0.85, &x, &mut y2, 0..n as NodeId, 512);
+        assert_eq!(strip_norm.to_bits(), flat_norm.to_bits());
+        // Per-worker partials over block-aligned ranges compose into the
+        // same canonical fold.
+        let ranges = balance_ranges(g.in_offsets(), 3);
+        assert!(ranges_block_aligned(&ranges));
+        let mut y3 = vec![0.0; n];
+        let par_norm = par_ranges_norm(&ranges, &mut y3, |slice, start, end| {
+            gather_flat(&g, &inv, 0.85, &x, slice, start..end);
+        });
+        assert_eq!(y3, y);
+        assert_eq!(par_norm.to_bits(), flat_norm.to_bits());
     }
 }

@@ -1,5 +1,6 @@
 //! TPA: the two-phase approximation itself (paper §III, Algorithms 2 & 3).
 
+use crate::dynamic::{propagate_offset_policy, MaintenanceMode, RefreshStats};
 use crate::{cpi, cpi_policy, CpiConfig, FrontierPolicy, SeedSet, TpaError, Transition};
 use tpa_graph::{CsrGraph, NodeId, Permutation};
 
@@ -270,6 +271,52 @@ impl TpaIndex {
     /// The precomputed stranger vector `r̃_stranger`.
     pub fn stranger(&self) -> &[f64] {
         &self.stranger
+    }
+
+    /// Patches the stranger tail for a batch of edge updates by offset
+    /// propagation instead of full re-preprocessing.
+    ///
+    /// The stranger vector is a CPI tail from the uniform seed, so it
+    /// satisfies the fixed point `p_T = x(T) + (1−c)Ãᵀp_T`. When the
+    /// operator drifts to `Ã'`, the correction solves the same
+    /// recurrence from the offset seed `b = (1−c)(Ã' − Ã)ᵀp_T` — built
+    /// by [`crate::DynamicTransition::offset_seed_for`] from the
+    /// accumulated first-occurrence old columns — and is propagated here
+    /// through the *updated* operator via
+    /// [`propagate_offset_policy`], frontier-routed
+    /// ([`FrontierPolicy::Auto`] keeps the sweep on the sparse kernel
+    /// while the correction's support is small). Cost scales with the
+    /// drift's reach, not `O(n + m)` CPI from scratch.
+    ///
+    /// Approximation: the shift of the window term `x'(T) − x(T)` is
+    /// dropped (it is the same `O((1−c)^T)`-mass tail the stranger
+    /// approximation already truncates), so the patched vector tracks a
+    /// re-preprocessed one within the mode's tolerance plus that tail —
+    /// bounded, but not bitwise. Run a full
+    /// [`TpaIndex::preprocess_on`] to re-anchor when exactness matters.
+    ///
+    /// Returns the patched index (parameters and permutation carried
+    /// over) and the propagation accounting.
+    pub fn patch_stranger_on<P: crate::Propagator + ?Sized>(
+        &self,
+        backend: &P,
+        offset: Vec<f64>,
+        mode: MaintenanceMode,
+        policy: FrontierPolicy,
+    ) -> (TpaIndex, RefreshStats) {
+        self.check_backend(backend).unwrap_or_else(|e| panic!("{e}"));
+        let mut stranger = self.stranger.clone();
+        let stats = propagate_offset_policy(
+            backend,
+            offset,
+            &self.params.cpi_config(),
+            mode,
+            policy,
+            &mut stranger,
+        );
+        let patched =
+            TpaIndex { params: self.params, stranger, stats: self.stats, perm: self.perm.clone() };
+        (patched, stats)
     }
 
     /// Parameters the index was built with.

@@ -38,15 +38,17 @@ pub trait Propagator {
         }
     }
 
-    /// [`Propagator::propagate_into`] that also returns `‖y‖₁` folded in
-    /// ascending destination order — bitwise equal to a separate
-    /// index-order scan of `y`, so CPI's convergence check costs nothing
-    /// extra. The default propagates and then scans; the sequential
-    /// in-memory backends fuse the fold into the kernel's destination
-    /// loop.
+    /// [`Propagator::propagate_into`] that also returns `‖y‖₁` in the
+    /// blocked-canonical association (per-`NORM_BLOCK` partials folded in
+    /// ascending block order; see [`crate::tiling`]), so CPI's
+    /// convergence check costs nothing extra and every backend — fused,
+    /// parallel-partial, or sparse — produces the identical residual
+    /// bits. The default propagates and then scans; the in-memory
+    /// backends fuse the fold into the kernel's destination loop, and
+    /// the multi-range backends fold per-worker partials.
     fn propagate_into_norm(&self, coeff: f64, x: &[f64], y: &mut [f64]) -> f64 {
         self.propagate_into(coeff, x, y);
-        y.iter().fold(0.0f64, |acc, v| acc + v.abs())
+        tiling::blocked_norm(y)
     }
 
     /// Cost probe for a sparse-frontier step over `active` (the

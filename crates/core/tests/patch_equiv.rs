@@ -1,0 +1,304 @@
+//! Property tests for the copy-on-write publish path: a service that
+//! publishes `O(batch)` patch snapshots must be observationally — in
+//! fact bitwise — identical to rebuilding the graph from scratch at
+//! every epoch, regardless of how updates are batched, where
+//! compactions (inline or background) land, how many worker threads
+//! propagate, and whether the service is reordered. The background base
+//! swap must be invisible to readers holding old snapshots *and* to all
+//! future epochs.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use tpa_core::{
+    cpi, CpiConfig, EngineBackend, IndexStalenessPolicy, MaintenanceMode, QueryRequest, SeedSet,
+    ServiceBuilder, TpaError, TpaIndex, TpaParams, Transition,
+};
+use tpa_graph::gen::erdos_renyi_gnm;
+use tpa_graph::{
+    CsrGraph, DanglingPolicy, DynamicGraph, EdgeUpdate, GraphBuilder, NodeId, ReorderStrategy,
+};
+
+fn random_graph(n: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = (4 * n).min(n * (n - 1) / 2);
+    erdos_renyi_gnm(n, m, &mut rng)
+}
+
+/// Derives an update script from fraction triples: (kind, u, v).
+fn script(n: usize, raw: &[(u8, f64, f64)]) -> Vec<EdgeUpdate> {
+    let node = |f: f64| ((n as f64 * f) as usize).min(n - 1) as NodeId;
+    raw.iter()
+        .map(|&(k, fu, fv)| {
+            if k % 2 == 0 {
+                EdgeUpdate::Insert(node(fu), node(fv))
+            } else {
+                EdgeUpdate::Delete(node(fu), node(fv))
+            }
+        })
+        .collect()
+}
+
+/// The merged view rebuilt from scratch with overlay semantics
+/// (no dangling patching).
+fn rebuild(g: &DynamicGraph) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(g.n(), g.m()).dangling_policy(DanglingPolicy::Keep);
+    for u in 0..g.n() as NodeId {
+        for v in g.out_neighbors(u) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every CoW-published epoch answers bitwise identically to a CPI
+    /// run over a CSR rebuilt from scratch at that same state — the
+    /// patch snapshot is a view, not an approximation.
+    #[test]
+    fn cow_published_epochs_bitwise_equal_rebuild(
+        n in 8usize..60,
+        gseed in 0u64..300,
+        raw in proptest::collection::vec((0u8..4, 0.0f64..1.0, 0.0f64..1.0), 1..30),
+        split in 0usize..30,
+        compact_after in 0usize..3,
+        threads in 1usize..5,
+        seed_frac in 0.0f64..1.0,
+    ) {
+        let base = random_graph(n, gseed);
+        let updates = script(n, &raw);
+        let split = split.min(updates.len());
+        let seed = ((n as f64 * seed_frac) as usize).min(n - 1) as NodeId;
+        let cfg = CpiConfig::default();
+
+        let service = ServiceBuilder::dynamic(
+            DynamicGraph::new(base.clone()).with_compact_threshold(None),
+        )
+        .threads(threads)
+        .build()
+        .expect("dynamic service");
+        prop_assert_eq!(service.snapshot().backend().name(), "patched");
+        let mut mirror = DynamicGraph::new(base).with_compact_threshold(None);
+
+        let chunks = [&updates[..split], &updates[split..]];
+        for (i, chunk) in chunks.iter().enumerate() {
+            if !chunk.is_empty() {
+                service.apply_updates(chunk).expect("apply");
+                for &up in chunk.iter() {
+                    mirror.apply_one(up);
+                }
+            }
+            if compact_after == i + 1 {
+                service.compact().expect("compact");
+            }
+            let fresh = cpi(
+                &Transition::new(&rebuild(&mirror)),
+                &SeedSet::single(seed), &cfg, 0, None,
+            ).scores;
+            let via_service = service.query(seed).expect("in-range seed");
+            prop_assert_eq!(&via_service, &fresh, "epoch {}", service.epoch());
+        }
+    }
+
+    /// Update batching, inline compaction placement, worker-thread
+    /// count, and graph reordering are all bitwise invisible: two
+    /// services replaying the same script under different combinations
+    /// publish identical answers.
+    #[test]
+    fn batching_compaction_threads_and_reordering_are_bitwise_invisible(
+        n in 8usize..50,
+        gseed in 0u64..300,
+        raw in proptest::collection::vec((0u8..4, 0.0f64..1.0, 0.0f64..1.0), 1..24),
+        split_a in 0usize..24,
+        split_b in 0usize..24,
+        threads_b in 2usize..5,
+        strategy_idx in 0usize..=ReorderStrategy::ALL.len(),
+        seed_frac in 0.0f64..1.0,
+    ) {
+        let base = random_graph(n, gseed);
+        let updates = script(n, &raw);
+        let seed = ((n as f64 * seed_frac) as usize).min(n - 1) as NodeId;
+        let build = |threads: usize| {
+            let mut b = ServiceBuilder::dynamic(
+                DynamicGraph::new(base.clone()).with_compact_threshold(None),
+            )
+            .threads(threads);
+            if strategy_idx > 0 {
+                b = b.reordering(ReorderStrategy::ALL[strategy_idx - 1]);
+            }
+            b.build().expect("dynamic service")
+        };
+
+        // A: sequential, one split, never compacts.
+        let a = build(1);
+        let sa = split_a.min(updates.len());
+        for chunk in [&updates[..sa], &updates[sa..]] {
+            if !chunk.is_empty() {
+                a.apply_updates(chunk).expect("apply");
+            }
+        }
+        // B: parallel, different split, inline compaction between.
+        let b = build(threads_b);
+        let sb = split_b.min(updates.len());
+        if sb > 0 {
+            b.apply_updates(&updates[..sb]).expect("apply");
+        }
+        b.compact().expect("compact");
+        if sb < updates.len() {
+            b.apply_updates(&updates[sb..]).expect("apply");
+        }
+
+        prop_assert_eq!(a.query(seed).expect("query"), b.query(seed).expect("query"));
+        prop_assert_eq!(a.top_k(seed, 10).expect("rank"), b.top_k(seed, 10).expect("rank"));
+    }
+}
+
+#[test]
+fn background_base_swap_is_invisible_to_readers() {
+    let g = random_graph(200, 7);
+    // A microscopic trigger: any effective batch spawns the rebuild.
+    let with_bg =
+        ServiceBuilder::dynamic(DynamicGraph::new(g.clone()).with_compact_threshold(Some(1e-9)))
+            .build()
+            .unwrap();
+    let plain =
+        ServiceBuilder::dynamic(DynamicGraph::new(g).with_compact_threshold(None)).build().unwrap();
+
+    let batch1 =
+        [EdgeUpdate::Insert(3, 150), EdgeUpdate::Insert(150, 3), EdgeUpdate::Delete(3, 150)];
+    let batch2 = [EdgeUpdate::Insert(7, 42), EdgeUpdate::Delete(150, 3)];
+
+    with_bg.apply_updates(&batch1).unwrap();
+    plain.apply_updates(&batch1).unwrap();
+    assert!(with_bg.compaction_pending(), "tiny trigger must spawn a background rebuild");
+
+    // A reader holds the pre-swap snapshot across the splice.
+    let held = with_bg.snapshot();
+    let before = held.run(&QueryRequest::single(3)).unwrap().result.into_scores();
+    assert!(with_bg.flush_compaction(), "the rebuild must install");
+    let after = held.run(&QueryRequest::single(3)).unwrap().result.into_scores();
+    assert_eq!(before, after, "held snapshot changed across the base swap");
+
+    // Epochs published after the swap are bitwise identical to a
+    // service that never compacted.
+    with_bg.apply_updates(&batch2).unwrap();
+    plain.apply_updates(&batch2).unwrap();
+    assert_eq!(with_bg.query(3).unwrap(), plain.query(3).unwrap());
+    assert_eq!(with_bg.query(150).unwrap(), plain.query(150).unwrap());
+
+    // The swapped-in base absorbed batch1: the newest patch snapshot
+    // carries only batch2's delta.
+    match with_bg.snapshot().backend() {
+        EngineBackend::Patched(t) => {
+            assert!(t.delta_edges() <= batch2.len(), "delta {} not reset", t.delta_edges())
+        }
+        other => panic!("dynamic service must publish patched snapshots, got {}", other.name()),
+    }
+}
+
+#[test]
+fn score_cache_serves_hot_seeds_across_epochs() {
+    let g = random_graph(300, 11);
+    let service =
+        ServiceBuilder::dynamic(DynamicGraph::new(g.clone()).with_compact_threshold(None))
+            .score_cache([5, 17], MaintenanceMode::Exact)
+            .build()
+            .unwrap();
+    let cold =
+        ServiceBuilder::dynamic(DynamicGraph::new(g).with_compact_threshold(None)).build().unwrap();
+    assert_eq!(service.snapshot().score_cache().unwrap().len(), 2);
+
+    // Epoch 0: a hot seed hits, and the lane is bitwise the cold answer
+    // (both sides ran the same exact CPI).
+    let hot = service.submit(&QueryRequest::single(5)).unwrap();
+    assert!(hot.cached);
+    assert!(hot.iterations.is_none(), "a cache hit runs no CPI");
+    let fresh = cold.submit(&QueryRequest::single(5)).unwrap();
+    assert!(!fresh.cached);
+    assert_eq!(hot.result.into_scores(), fresh.result.into_scores());
+
+    // Misses: uncached seed, eps override, multi-seed batch.
+    assert!(!service.submit(&QueryRequest::single(9)).unwrap().cached);
+    assert!(!service.submit(&QueryRequest::single(5).with_epsilon(1e-6)).unwrap().cached);
+    assert!(!service.submit(&QueryRequest::batch(vec![5, 17])).unwrap().cached);
+
+    // Across epochs: the frontier-routed offset refresh keeps lanes
+    // tracking a cold recomputation (exact maintenance ⇒ CPI-tolerance
+    // agreement, not bitwise).
+    let ups = [
+        EdgeUpdate::Insert(5, 200),
+        EdgeUpdate::Insert(200, 5),
+        EdgeUpdate::Delete(5, 200),
+        EdgeUpdate::Insert(17, 3),
+    ];
+    service.apply_updates(&ups).unwrap();
+    cold.apply_updates(&ups).unwrap();
+    for seed in [5, 17] {
+        let hot = service.submit(&QueryRequest::single(seed)).unwrap();
+        assert!(hot.cached, "seed {seed} must stay hot across the epoch");
+        let a = hot.result.into_scores().pop().unwrap();
+        let b = cold.query(seed).unwrap();
+        let l1: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(l1 < 1e-7, "seed {seed} lane drifted {l1} from cold recomputation");
+    }
+}
+
+#[test]
+fn score_cache_builder_rejects_bad_configs() {
+    let g = random_graph(50, 3);
+    let err = ServiceBuilder::dynamic(DynamicGraph::new(g.clone()))
+        .score_cache([0], MaintenanceMode::Approximate { tolerance: 0.0 })
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, TpaError::InvalidConfig(_)), "{err}");
+    let err = ServiceBuilder::dynamic(DynamicGraph::new(g))
+        .score_cache([9999], MaintenanceMode::Exact)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, TpaError::SeedOutOfRange { seed: 9999, .. }), "{err}");
+}
+
+#[test]
+fn service_patch_index_publishes_a_repaired_epoch() {
+    let g = random_graph(300, 5);
+    let params = TpaParams::new(5, 10);
+    let service =
+        ServiceBuilder::dynamic(DynamicGraph::new(g.clone()).with_compact_threshold(None))
+            .preprocess(params)
+            .staleness(IndexStalenessPolicy { threshold: 1e-12, auto_refresh: false })
+            .build()
+            .unwrap();
+
+    // Nothing accumulated yet: a no-op that republishes nothing.
+    assert_eq!(service.patch_index().unwrap(), service.epoch());
+
+    let ups = [EdgeUpdate::Insert(0, 299), EdgeUpdate::Insert(299, 42), EdgeUpdate::Delete(0, 299)];
+    let out = service.apply_updates(&ups).unwrap();
+    assert!(out.report.index_stale);
+    let stale: Vec<f64> = service.snapshot().index().unwrap().stranger().to_vec();
+
+    let epoch = service.patch_index().unwrap();
+    assert_eq!(epoch, out.epoch + 1, "a patch publishes a fresh epoch");
+    assert!(!service.index_stale());
+
+    // The patched stranger tracks a from-scratch re-preprocess far more
+    // closely than the stale vector it replaced.
+    let mut mirror = DynamicGraph::new(g).with_compact_threshold(None);
+    for &up in &ups {
+        mirror.apply_one(up);
+    }
+    let fresh = TpaIndex::preprocess(&rebuild(&mirror), params);
+    let l1 = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
+    let patched_err = l1(service.snapshot().index().unwrap().stranger(), fresh.stranger());
+    let stale_err = l1(&stale, fresh.stranger());
+    assert!(
+        patched_err < 1e-2 && patched_err < 0.5 * stale_err,
+        "patched drifted {patched_err} (stale was {stale_err})"
+    );
+
+    // Static services reject patching with a typed error.
+    let st = ServiceBuilder::in_memory(random_graph(50, 1)).preprocess(params).build().unwrap();
+    let err = st.patch_index().unwrap_err();
+    assert!(matches!(err, TpaError::BackendMismatch { operation: "index patching", .. }), "{err}");
+}

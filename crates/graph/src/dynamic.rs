@@ -21,6 +21,7 @@
 
 use crate::{CsrGraph, DanglingPolicy, GraphBuilder, NodeId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One edge mutation in an update stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,7 +83,10 @@ impl Patch {
 /// overlay patches in both orientations. See the module docs.
 #[derive(Clone, Debug)]
 pub struct DynamicGraph {
-    base: CsrGraph,
+    /// Shared immutable base: cloning the overlay (e.g. to hand a
+    /// background compactor its own copy) costs `O(patches)`, not
+    /// `O(n + m)`, and copy-on-write snapshots can alias the base.
+    base: Arc<CsrGraph>,
     /// Out-adjacency patches, keyed by source.
     out_patch: HashMap<NodeId, Patch>,
     /// In-adjacency patches, keyed by target (mirror of `out_patch`).
@@ -112,6 +116,13 @@ impl DynamicGraph {
     /// Wraps a base snapshot with empty patches and the
     /// [`DEFAULT_COMPACT_THRESHOLD`].
     pub fn new(base: CsrGraph) -> Self {
+        Self::shared(Arc::new(base))
+    }
+
+    /// [`DynamicGraph::new`] over an already-shared base — the overlay
+    /// aliases it instead of owning a private copy, so rebasing a live
+    /// service onto a background-compacted snapshot is `O(patches)`.
+    pub fn shared(base: Arc<CsrGraph>) -> Self {
         let m = base.m();
         Self {
             base,
@@ -154,6 +165,12 @@ impl DynamicGraph {
 
     /// The immutable base snapshot the patches overlay.
     pub fn base(&self) -> &CsrGraph {
+        &self.base
+    }
+
+    /// The shared handle to the base snapshot (clone to alias it, e.g.
+    /// into a copy-on-write snapshot that must outlive this overlay).
+    pub fn base_arc(&self) -> &Arc<CsrGraph> {
         &self.base
     }
 
@@ -298,7 +315,7 @@ impl DynamicGraph {
             self.in_patch.clear();
             return;
         }
-        self.base = self.snapshot();
+        self.base = Arc::new(self.snapshot());
         self.out_patch.clear();
         self.in_patch.clear();
         self.delta_edges = 0;
