@@ -32,11 +32,13 @@
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use tpa_bench::harness::results_dir;
+use tpa_bench::report::{ns_to_secs, BenchReport};
 use tpa_core::batch::cpi_batch;
 use tpa_core::{CpiConfig, DynamicTransition, MaintenanceMode, ScoreCache, Transition};
 use tpa_eval::Table;
 use tpa_graph::gen::{rmat, RmatConfig};
 use tpa_graph::{DynamicGraph, EdgeUpdate, NodeId};
+use tpa_obs::Histogram;
 
 const SEEDS: usize = 8;
 const UPDATE_FRACTION: f64 = 0.01;
@@ -114,27 +116,25 @@ fn main() {
     let publish_rounds = if tpa_bench::harness::quick() { 24 } else { 48 };
     let mut pub_t =
         DynamicTransition::new(DynamicGraph::new(base.clone()).with_compact_threshold(None));
-    let mut cow_secs = Vec::with_capacity(publish_rounds);
-    let mut rebuild_samples = Vec::new();
+    let cow_hist = Histogram::new();
+    let rebuild_hist = Histogram::new();
     let publish_started = std::time::Instant::now();
     for round in 0..publish_rounds {
         let small = make_update_batch(&base, 16, &mut rng);
         pub_t.apply(&small);
         let (snap, dt) = tpa_eval::time(|| pub_t.publish_patched());
         std::hint::black_box(snap.delta_edges());
-        cow_secs.push(dt.as_secs_f64());
+        cow_hist.record_duration(dt);
         if round % 8 == 0 {
             let (full, dt) = tpa_eval::time(|| pub_t.graph().snapshot());
             std::hint::black_box(full.m());
-            rebuild_samples.push(dt.as_secs_f64());
+            rebuild_hist.record_duration(dt);
         }
     }
     let epochs_per_sec = publish_rounds as f64 / publish_started.elapsed().as_secs_f64();
-    cow_secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    rebuild_samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let cow_p50 = percentile(&cow_secs, 0.50);
-    let cow_p99 = percentile(&cow_secs, 0.99);
-    let rebuild_p50 = percentile(&rebuild_samples, 0.50);
+    let cow_p50 = ns_to_secs(cow_hist.quantile(0.50));
+    let cow_p99 = ns_to_secs(cow_hist.quantile(0.99));
+    let rebuild_p50 = ns_to_secs(rebuild_hist.quantile(0.50));
     let publish_speedup = rebuild_p50 / cow_p99.max(1e-12);
     eprintln!(
         "[dynamic_updates] publish: {epochs_per_sec:.0} epochs/sec, CoW p50 {} p99 {}, \
@@ -244,19 +244,30 @@ fn main() {
     table.write_csv(dir.join("dynamic_updates.csv")).unwrap();
 
     // Trajectory record for later PRs.
-    let json = format!(
-        "{{\n  \"bench\": \"dynamic_updates\",\n  \"graph\": {{\"generator\": \"rmat\", \"n\": {n}, \"m\": {m}}},\n  \"update_batch\": {},\n  \"cached_seeds\": {SEEDS},\n  \"update_throughput_per_sec\": {throughput:.0},\n  \"publish\": {{\"epochs_per_sec\": {epochs_per_sec:.1}, \"cow_p50_secs\": {cow_p50:.8}, \"cow_p99_secs\": {cow_p99:.8}, \"rebuild_p50_secs\": {rebuild_p50:.8}, \"p99_speedup_vs_rebuild\": {publish_speedup:.2}}},\n  \"rebuild_requery_secs\": {rebuild_secs:.6},\n{}\n}}\n",
-        batch.len(),
-        json_rows
-            .iter()
-            .map(|(label, secs, speedup, max_l1)| format!(
-                "  \"{label}\": {{\"secs\": {secs:.6}, \"speedup_vs_rebuild\": {speedup:.3}, \"max_l1_vs_rebuild\": {max_l1:.3e}}}"
-            ))
-            .collect::<Vec<_>>()
-            .join(",\n")
-    );
-    std::fs::write("BENCH_dynamic.json", &json).unwrap();
-    eprintln!("[dynamic_updates] wrote BENCH_dynamic.json");
+    let mut report = BenchReport::new("dynamic_updates")
+        .field("graph", format!("{{\"generator\": \"rmat\", \"n\": {n}, \"m\": {m}}}"))
+        .field("update_batch", batch.len().to_string())
+        .field("cached_seeds", SEEDS.to_string())
+        .field("update_throughput_per_sec", format!("{throughput:.0}"))
+        .field(
+            "publish",
+            format!(
+                "{{\"epochs_per_sec\": {epochs_per_sec:.1}, \"cow_p50_secs\": {cow_p50:.8}, \
+                 \"cow_p99_secs\": {cow_p99:.8}, \"rebuild_p50_secs\": {rebuild_p50:.8}, \
+                 \"p99_speedup_vs_rebuild\": {publish_speedup:.2}}}"
+            ),
+        )
+        .field("rebuild_requery_secs", format!("{rebuild_secs:.6}"));
+    for (label, secs, speedup, max_l1) in &json_rows {
+        report = report.field(
+            label,
+            format!(
+                "{{\"secs\": {secs:.6}, \"speedup_vs_rebuild\": {speedup:.3}, \
+                 \"max_l1_vs_rebuild\": {max_l1:.3e}}}"
+            ),
+        );
+    }
+    report.write("BENCH_dynamic.json");
 
     let exact_speedup = json_rows
         .iter()
@@ -277,12 +288,6 @@ fn main() {
         eprintln!("[dynamic_updates] ERROR: publish path is no longer O(batch)");
         std::process::exit(1);
     }
-}
-
-/// Nearest-rank percentile over an ascending-sorted sample.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
 }
 
 /// Builds the update batch: half deletes sampled evenly from existing

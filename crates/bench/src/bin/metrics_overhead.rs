@@ -1,0 +1,253 @@
+//! Observability overhead microbench: the disabled path must be free.
+//!
+//! The metrics layer promises near-zero cost when nothing is attached:
+//! kernel profiling hooks compile down to one relaxed atomic load per
+//! run when disabled, and a service built without a registry carries
+//! only `Option` branches on the query path. This bench puts numbers
+//! (and a CI bar) on that promise. Three measurements:
+//!
+//! 1. **Instrument hot path** — `Histogram::record` and `Counter::inc`
+//!    ns/op, single-threaded, min over repetitions. These are the
+//!    primitives every recorded event costs; the bar is that a
+//!    histogram record stays under 1 µs (in practice: tens of ns).
+//! 2. **Profiling hooks, off vs on** — mean indexed-query latency on a
+//!    metrics-free service with kernel profiling globally disabled
+//!    (`t_off`, what a user who never attaches a registry pays) vs
+//!    globally enabled (`t_prof`). The two sides run interleaved in
+//!    small chunks within each pass, so scheduler preemptions and
+//!    frequency drift land on both sides of the comparison; the
+//!    overhead is the median of per-pass ratios, so one disturbed pass
+//!    cannot flip the verdict. **Bar: `t_prof` within 2% of `t_off`** —
+//!    this is the ISSUE's "metrics-disabled reader QPS regresses < 2%"
+//!    criterion in microbench form.
+//! 3. **Full registry attached** — the same workload against a service
+//!    built with `ServiceBuilder::metrics` (`t_full`), informational:
+//!    the price of spans + per-request histograms when you *do* want
+//!    telemetry.
+//!
+//! Output: ASCII table, `results/metrics_overhead.csv`, and
+//! `BENCH_metrics_overhead.json`. Env knobs: `TPA_QUICK=1` shrinks the
+//! graph and repetition counts. Exits nonzero if a bar fails (quick
+//! mode included — the workload is small enough to hold everywhere).
+
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+use tpa_bench::harness::results_dir;
+use tpa_bench::report::BenchReport;
+use tpa_core::{set_profiling_enabled, QueryRequest, RwrService, ServiceBuilder, TpaParams};
+use tpa_eval::Table;
+use tpa_graph::gen::{rmat, RmatConfig};
+use tpa_obs::{Histogram, MetricsRegistry};
+
+const PARAMS: TpaParams = TpaParams { c: 0.15, eps: 1e-9, s: 5, t: 10 };
+
+fn main() {
+    let quick = tpa_bench::harness::quick();
+    let (n, m_target) = if quick { (5_000, 50_000) } else { (20_000, 200_000) };
+    let queries = if quick { 400 } else { 800 };
+    let reps = if quick { 9 } else { 11 };
+    let record_iters: u64 = if quick { 400_000 } else { 2_000_000 };
+
+    // --- Measurement 1: instrument hot path, ns/op. ---
+    let record_ns = {
+        let h = Histogram::new();
+        min_over(reps, || {
+            let started = std::time::Instant::now();
+            for i in 0..record_iters {
+                // Spread across buckets so the shard stripes see the
+                // same mix a latency histogram does.
+                h.record(std::hint::black_box((i * 2654435761) & 0xf_ffff));
+            }
+            started.elapsed().as_nanos() as f64 / record_iters as f64
+        })
+    };
+    let counter_ns = {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("bench_ops_total", "microbench counter");
+        min_over(reps, || {
+            let started = std::time::Instant::now();
+            for _ in 0..record_iters {
+                std::hint::black_box(&c).inc();
+            }
+            started.elapsed().as_nanos() as f64 / record_iters as f64
+        })
+    };
+    eprintln!(
+        "[metrics_overhead] instruments: Histogram::record {record_ns:.1} ns/op, \
+         Counter::inc {counter_ns:.1} ns/op"
+    );
+
+    // --- Build the workload. ---
+    let mut rng = StdRng::seed_from_u64(0x0b5e);
+    let g = rmat(n, m_target, RmatConfig::default(), &mut rng);
+    let m = g.m();
+    eprintln!("[metrics_overhead] R-MAT graph: n={n} m={m}, {queries} queries x {reps} reps");
+    let plain = ServiceBuilder::in_memory(g.clone())
+        .preprocess(PARAMS)
+        .build()
+        .expect("valid serving configuration");
+
+    // --- Measurement 2: profiling hooks off vs on, interleaved. ---
+    // `set_profiling_enabled` flips a process-global flag, so the off
+    // measurement must never overlap a metrics-attached service (whose
+    // construction enables it). Each closure re-asserts the flag so the
+    // chunk interleave can toggle freely.
+    let query_off = |i: usize| {
+        set_profiling_enabled(false);
+        submit_one(&plain, i, n);
+    };
+    let query_prof = |i: usize| {
+        set_profiling_enabled(true);
+        submit_one(&plain, i, n);
+    };
+    set_profiling_enabled(false);
+    for i in 0..queries {
+        submit_one(&plain, i, n); // warmup
+    }
+    let passes: Vec<(f64, f64)> =
+        (0..reps).map(|_| paired_mean_secs(queries, query_off, query_prof)).collect();
+    set_profiling_enabled(false);
+    let t_off = passes.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let t_prof = passes.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let prof_overhead = median_ratio(&passes);
+
+    // --- Measurement 3: full registry attached (enables profiling). ---
+    let registry = Arc::new(MetricsRegistry::new());
+    let full = ServiceBuilder::in_memory(g)
+        .preprocess(PARAMS)
+        .metrics(Arc::clone(&registry))
+        .build()
+        .expect("valid serving configuration");
+    let query_full = |i: usize| {
+        set_profiling_enabled(true);
+        submit_one(&full, i, n);
+    };
+    let full_passes: Vec<(f64, f64)> =
+        (0..reps).map(|_| paired_mean_secs(queries, query_off, query_full)).collect();
+    set_profiling_enabled(false);
+    let t_full = full_passes.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let full_overhead = median_ratio(&full_passes);
+    let recorded = full.metrics_snapshot().expect("registry attached").requests.total;
+
+    // --- Report. ---
+    let mut table = Table::new(
+        format!("Observability overhead on R-MAT n={n} m={m} (indexed single-seed queries)"),
+        &["path", "per_query", "overhead_vs_off"],
+    );
+    table.row(&["profiling-off".into(), tpa_eval::format_secs(t_off), "-".into()]);
+    table.row(&[
+        "profiling-on".into(),
+        tpa_eval::format_secs(t_prof),
+        format!("{:+.2}%", prof_overhead * 100.0),
+    ]);
+    table.row(&[
+        "metrics-attached".into(),
+        tpa_eval::format_secs(t_full),
+        format!("{:+.2}%", full_overhead * 100.0),
+    ]);
+    print!("{}", table.render());
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    table.write_csv(dir.join("metrics_overhead.csv")).unwrap();
+
+    BenchReport::new("metrics_overhead")
+        .field("graph", format!("{{\"generator\": \"rmat\", \"n\": {n}, \"m\": {m}}}"))
+        .field("queries_per_rep", queries.to_string())
+        .field("reps", reps.to_string())
+        .field(
+            "instruments",
+            format!(
+                "{{\"histogram_record_ns\": {record_ns:.2}, \"counter_inc_ns\": {counter_ns:.2}}}"
+            ),
+        )
+        .field(
+            "query_path",
+            format!(
+                "{{\"off_secs\": {t_off:.9}, \"profiling_secs\": {t_prof:.9}, \
+                 \"full_secs\": {t_full:.9}, \"profiling_overhead\": {prof_overhead:.4}, \
+                 \"full_overhead\": {full_overhead:.4}}}"
+            ),
+        )
+        .field("requests_recorded", recorded.to_string())
+        .write("BENCH_metrics_overhead.json");
+
+    // --- Bars. ---
+    let record_pass = record_ns < 1_000.0;
+    let prof_pass = prof_overhead < 0.02;
+    eprintln!(
+        "[metrics_overhead] Histogram::record {record_ns:.1} ns/op {}",
+        if record_pass { "(PASS, < 1000 ns)" } else { "(FAIL, >= 1000 ns)" }
+    );
+    eprintln!(
+        "[metrics_overhead] disabled-path overhead {:+.2}% {}",
+        prof_overhead * 100.0,
+        if prof_pass { "(PASS, < 2%)" } else { "(FAIL, >= 2%)" }
+    );
+    eprintln!(
+        "[metrics_overhead] metrics-attached overhead {:+.2}% over {recorded} recorded requests \
+         (informational)",
+        full_overhead * 100.0,
+    );
+    if !record_pass || !prof_pass {
+        std::process::exit(1);
+    }
+}
+
+/// One indexed single-seed request, seed derived from `i`.
+fn submit_one(service: &RwrService, i: usize, n: usize) {
+    let seed = ((i * 2654435761) % n) as tpa_graph::NodeId;
+    let resp = service.submit(&QueryRequest::single(seed).top_k(10)).expect("query");
+    std::hint::black_box(resp.epoch);
+}
+
+/// One paired pass: runs `a` and `b` for `queries` requests each,
+/// interleaved in small chunks (alternating which side leads each
+/// round), and returns their mean per-query seconds. Fine interleaving
+/// makes scheduler preemptions and frequency drift hit both sides of
+/// the comparison instead of biasing whichever ran second.
+fn paired_mean_secs(
+    queries: usize,
+    mut a: impl FnMut(usize),
+    mut b: impl FnMut(usize),
+) -> (f64, f64) {
+    const CHUNK: usize = 8;
+    let mut secs = [0.0f64; 2];
+    let mut done = [0usize; 2];
+    let mut round = 0;
+    while done[0] < queries || done[1] < queries {
+        for slot in 0..2 {
+            let side = (round + slot) % 2;
+            if done[side] >= queries {
+                continue;
+            }
+            let count = CHUNK.min(queries - done[side]);
+            let started = std::time::Instant::now();
+            for j in 0..count {
+                let i = done[side] + j;
+                if side == 0 {
+                    a(i);
+                } else {
+                    b(i);
+                }
+            }
+            secs[side] += started.elapsed().as_secs_f64();
+            done[side] += count;
+        }
+        round += 1;
+    }
+    (secs[0] / queries as f64, secs[1] / queries as f64)
+}
+
+/// Median of per-pass `(b - a) / a` ratios — one disturbed pass (GC of
+/// some neighbor container, a thermal dip) cannot flip the verdict.
+fn median_ratio(passes: &[(f64, f64)]) -> f64 {
+    let mut ratios: Vec<f64> = passes.iter().map(|(a, b)| (b - a) / a).collect();
+    ratios.sort_by(f64::total_cmp);
+    ratios[ratios.len() / 2]
+}
+
+/// Min over `reps` runs of `f` — the least-noise estimator for a
+/// deterministic workload.
+fn min_over(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}

@@ -28,7 +28,13 @@ fn main() {
     let all: Vec<&str> = EXPERIMENTS
         .iter()
         .copied()
-        .chain(["fig10_bepi", "spmv_kernels", "query_latency", "service_throughput"])
+        .chain([
+            "fig10_bepi",
+            "spmv_kernels",
+            "query_latency",
+            "service_throughput",
+            "metrics_overhead",
+        ])
         .collect();
     for name in all {
         let path = dir.join(name);

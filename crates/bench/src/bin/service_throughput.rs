@@ -31,18 +31,23 @@
 //!
 //! Output: ASCII table, `results/service_throughput.csv`, and
 //! `BENCH_service.json`. Env knobs: `TPA_QUICK=1` for a small smoke
-//! config, `TPA_SERVICE_N=<n>` to force one graph size.
+//! config, `TPA_SERVICE_N=<n>` to force one graph size,
+//! `TPA_METRICS_OUT=<file>` to attach a metrics registry to the
+//! service and write its Prometheus dump at exit (what the CI smoke
+//! step scrapes with `tpa stats --metrics`).
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use tpa_bench::harness::results_dir;
+use tpa_bench::report::{ns_to_secs, BenchReport};
 use tpa_core::{
     IndexStalenessPolicy, QueryEngine, QueryRequest, RwrService, ServiceBuilder, TpaParams,
 };
 use tpa_eval::Table;
 use tpa_graph::gen::{rmat, RmatConfig};
 use tpa_graph::{CsrGraph, DynamicGraph, EdgeUpdate, NodeId, Permutation};
+use tpa_obs::{Histogram, MetricsRegistry};
 
 const PARAMS: TpaParams = TpaParams { c: 0.15, eps: 1e-9, s: 5, t: 10 };
 const READER_COUNTS: [usize; 3] = [1, 2, 4];
@@ -68,14 +73,16 @@ fn main() {
     let m = g.m();
     eprintln!("[service_throughput] R-MAT graph (labels shuffled): n={n} m={m}, {cores} core(s)");
 
+    let metrics_out = std::env::var("TPA_METRICS_OUT").ok().filter(|p| !p.is_empty());
+    let registry = metrics_out.as_ref().map(|_| Arc::new(MetricsRegistry::new()));
     let (service, dt) = tpa_eval::time(|| {
-        Arc::new(
-            ServiceBuilder::dynamic(DynamicGraph::new(g.clone()))
-                .preprocess(PARAMS)
-                .staleness(IndexStalenessPolicy { threshold: f64::INFINITY, auto_refresh: false })
-                .build()
-                .expect("valid serving configuration"),
-        )
+        let mut builder = ServiceBuilder::dynamic(DynamicGraph::new(g.clone()))
+            .preprocess(PARAMS)
+            .staleness(IndexStalenessPolicy { threshold: f64::INFINITY, auto_refresh: false });
+        if let Some(reg) = &registry {
+            builder = builder.metrics(Arc::clone(reg));
+        }
+        Arc::new(builder.build().expect("valid serving configuration"))
     });
     eprintln!(
         "[service_throughput] built + preprocessed in {}",
@@ -118,17 +125,16 @@ fn main() {
     // O(batch) assembly, never a CSR rebuild — so the p99 should sit at
     // microsecond-to-millisecond scale regardless of n.
     let publish_rounds = if quick { 40 } else { 80 };
-    let mut publish_lat = Vec::with_capacity(publish_rounds);
+    let publish_hist = Histogram::new();
     let publish_started = std::time::Instant::now();
     for round in 0..publish_rounds {
         let (out, dt) = tpa_eval::time(|| service.apply_updates(&update_batch(round + 1000, n)));
         std::hint::black_box(out.unwrap().epoch);
-        publish_lat.push(dt.as_secs_f64());
+        publish_hist.record_duration(dt);
     }
     let epochs_per_sec = publish_rounds as f64 / publish_started.elapsed().as_secs_f64();
-    publish_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let publish_p50 = percentile(&publish_lat, 0.50);
-    let publish_p99 = percentile(&publish_lat, 0.99);
+    let publish_p50 = ns_to_secs(publish_hist.quantile(0.50));
+    let publish_p99 = ns_to_secs(publish_hist.quantile(0.99));
     eprintln!(
         "[service_throughput] publish: {epochs_per_sec:.0} epochs/sec, p50 {} p99 {}",
         tpa_eval::format_secs(publish_p50),
@@ -175,23 +181,33 @@ fn main() {
         )
     };
 
-    let json = format!(
-        "{{\n  \"bench\": \"service_throughput\",\n  \"s\": {},\n  \"t\": {},\n  \"cores\": \
-         {cores},\n  \"graph\": {{\"generator\": \"rmat\", \"n\": {n}, \"m\": {m}}},\n  \
-         \"reader_qps\": {{\n{}\n  }},\n  \"reader_scaling_with_writer\": {scaling:.3},\n  \
-         \"publish\": {{\"epochs_per_sec\": {epochs_per_sec:.1}, \"p50_secs\": \
-         {publish_p50:.8}, \"p99_secs\": {publish_p99:.8}}},\n  \
-         \"stall_probe\": {{\"refresh_secs\": {:.6}, \"service_max_request_secs\": {:.6}, \
-         \"mutex_engine_max_request_secs\": {:.6}, \"stall_ratio\": {stall_ratio:.3}}}\n}}\n",
-        PARAMS.s,
-        PARAMS.t,
-        qps_rows.join(",\n"),
-        service_stall.refresh_secs,
-        service_stall.max_request,
-        mutex_stall.max_request,
-    );
-    std::fs::write("BENCH_service.json", &json).unwrap();
-    eprintln!("[service_throughput] wrote BENCH_service.json");
+    BenchReport::new("service_throughput")
+        .field("s", PARAMS.s.to_string())
+        .field("t", PARAMS.t.to_string())
+        .field("cores", cores.to_string())
+        .field("graph", format!("{{\"generator\": \"rmat\", \"n\": {n}, \"m\": {m}}}"))
+        .field("reader_qps", format!("{{\n{}\n  }}", qps_rows.join(",\n")))
+        .field("reader_scaling_with_writer", format!("{scaling:.3}"))
+        .field(
+            "publish",
+            format!(
+                "{{\"epochs_per_sec\": {epochs_per_sec:.1}, \"p50_secs\": {publish_p50:.8}, \
+                 \"p99_secs\": {publish_p99:.8}}}"
+            ),
+        )
+        .field(
+            "stall_probe",
+            format!(
+                "{{\"refresh_secs\": {:.6}, \"service_max_request_secs\": {:.6}, \
+                 \"mutex_engine_max_request_secs\": {:.6}, \"stall_ratio\": {stall_ratio:.3}}}",
+                service_stall.refresh_secs, service_stall.max_request, mutex_stall.max_request,
+            ),
+        )
+        .write("BENCH_service.json");
+    if let (Some(path), Some(reg)) = (&metrics_out, &registry) {
+        std::fs::write(path, reg.render_prometheus()).unwrap();
+        eprintln!("[service_throughput] wrote metrics dump to {path}");
+    }
     eprintln!(
         "[service_throughput] reader scaling {scaling:.2}x, stall ratio {stall_ratio:.1}x {verdict}"
     );
@@ -326,12 +342,6 @@ fn mutex_engine_stall_probe(g: &CsrGraph, n: usize, rounds: usize) -> StallProbe
         max_request = reader.join().expect("reader thread");
     });
     StallProbe { max_request, refresh_secs: 0.0 }
-}
-
-/// Nearest-rank percentile over an ascending-sorted sample.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
 }
 
 /// Deterministic small update batch for round `round`.

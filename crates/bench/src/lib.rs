@@ -7,3 +7,4 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod report;

@@ -1,0 +1,133 @@
+//! Shared `BENCH_*.json` envelope.
+//!
+//! Every experiment binary drops a small JSON trajectory record next to
+//! the repo root so later PRs can diff performance across commits. This
+//! module owns the envelope those files share — a schema version, the
+//! bench name, the commit the numbers were measured at, and a host
+//! stamp — so the records are comparable without each binary
+//! hand-rolling (and drifting on) the metadata fields.
+//!
+//! Bodies stay bench-specific: callers append raw JSON values with
+//! [`BenchReport::field`] in the order they should appear.
+
+use std::path::Path;
+
+/// Version of the `BENCH_*.json` envelope. Bump when envelope keys
+/// change meaning; bench-specific body fields are not covered.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Builder for one `BENCH_<name>.json` record.
+///
+/// Keys are emitted in insertion order after the envelope
+/// (`schema_version`, `bench`, `commit`, `host`). Values are raw JSON —
+/// the caller formats numbers/objects; this type only assembles the
+/// document.
+pub struct BenchReport {
+    name: String,
+    fields: Vec<(String, String)>,
+}
+
+impl BenchReport {
+    /// Starts a record for the bench called `name`.
+    pub fn new(name: &str) -> Self {
+        BenchReport { name: name.to_string(), fields: Vec::new() }
+    }
+
+    /// Appends `key` with a raw JSON `value` (caller-formatted).
+    pub fn field(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Renders the full document.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"bench\": \"{}\",\n", self.name));
+        out.push_str(&format!("  \"commit\": \"{}\",\n", commit_hash()));
+        out.push_str(&format!("  \"host\": {},\n", host_stamp()));
+        let body: Vec<String> =
+            self.fields.iter().map(|(k, v)| format!("  \"{k}\": {v}")).collect();
+        out.push_str(&body.join(",\n"));
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Writes the record to `path` (conventionally `BENCH_<name>.json`
+    /// in the repo root) and logs the write to stderr.
+    pub fn write(&self, path: impl AsRef<Path>) {
+        let path = path.as_ref();
+        std::fs::write(path, self.render()).unwrap();
+        eprintln!("[{}] wrote {}", self.name, path.display());
+    }
+}
+
+/// The commit the numbers were measured at: `git rev-parse HEAD`, or
+/// `"unknown"` outside a git checkout.
+pub fn commit_hash() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Host stamp as a raw JSON object: hostname, logical cores, os/arch.
+pub fn host_stamp() -> String {
+    let hostname = std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.is_empty())
+        .or_else(|| {
+            std::process::Command::new("hostname")
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .and_then(|o| String::from_utf8(o.stdout).ok())
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let cores = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    format!(
+        "{{\"hostname\": \"{hostname}\", \"cores\": {cores}, \"os\": \"{}\", \"arch\": \"{}\"}}",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+    )
+}
+
+/// Nanoseconds (histogram quantiles) to seconds.
+pub fn ns_to_secs(ns: u64) -> f64 {
+    ns as f64 * 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_fields_present_and_ordered() {
+        let doc =
+            BenchReport::new("demo").field("alpha", "1").field("nested", "{\"x\": 2.5}").render();
+        let order = ["schema_version", "bench", "commit", "host", "alpha", "nested"];
+        let mut last = 0;
+        for key in order {
+            let pos = doc.find(&format!("\"{key}\"")).unwrap_or_else(|| panic!("missing {key}"));
+            assert!(pos > last || key == "schema_version", "{key} out of order");
+            last = pos;
+        }
+        assert!(doc.contains("\"bench\": \"demo\""));
+        assert!(doc.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+        assert!(doc.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn host_stamp_is_json_object() {
+        let stamp = host_stamp();
+        assert!(stamp.starts_with('{') && stamp.ends_with('}'));
+        assert!(stamp.contains("\"cores\""));
+    }
+}

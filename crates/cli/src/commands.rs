@@ -5,6 +5,7 @@
 use crate::args::Args;
 use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
 use tpa_core::{
     top_k_scored, CpiConfig, FrontierPolicy, IndexStalenessPolicy, MaintenanceMode, QueryEngine,
     QueryRequest, QueryResponse, ScoreCache, ServiceBuilder, TpaIndex, TpaParams,
@@ -12,6 +13,7 @@ use tpa_core::{
 use tpa_graph::{
     algo, io as gio, reorder, CsrGraph, DynamicGraph, EdgeUpdate, NodeId, ReorderStrategy,
 };
+use tpa_obs::{parse_prometheus, MetricsRegistry};
 
 /// Runs a subcommand; prints results to `out` and errors to stderr.
 pub fn run(args: &Args, out: &mut dyn Write) -> i32 {
@@ -52,6 +54,10 @@ COMMANDS:
              convert between edge-list and snapshot formats
   stats      --graph <file> [--cc-sample N]
              print node/edge counts, degrees, components, reciprocity
+  stats      --metrics <dump.prom> [--require fam1,fam2,...]
+             validate a saved Prometheus metrics dump (written by
+             --metrics-out below): parse it, print a per-family summary,
+             and fail unless every --require family is present
   preprocess --graph <file> --s <S> --t <T> --out <index.tpa>
              [--reorder none|degree|rcm|hub|slashburn]
              run TPA's preprocessing phase and save the index; --reorder
@@ -92,6 +98,12 @@ COMMANDS:
 
 --threads 0 uses all available cores; the default (1) is sequential.
 --top is accepted as an alias of --topk.
+--metrics-out FILE (query, batch, update) attaches a metrics registry to
+the serving layer and writes its rendered dump to FILE when the command
+finishes: Prometheus text format, or JSON when FILE ends in .json.
+--metrics-every N re-writes the dump mid-run — every N seeds on the
+batch path, every N update batches on the update path — so a long replay
+can be scraped while it runs (requires --metrics-out).
 --frontier picks the propagation direction for single-seed plans:
 auto (default) runs the sparse-frontier kernel while the seed's
 neighborhood is small and switches to the dense kernels once it
@@ -147,6 +159,9 @@ fn cmd_convert(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    if let Some(path) = args.get("metrics") {
+        return cmd_stats_metrics(path, args.get("require"), out);
+    }
     let g = load_graph(args.required("graph").map_err(|e| e.to_string())?)?;
     let cc_sample = args.get_or::<usize>("cc-sample", 500).map_err(|e| e.to_string())?;
     let (_, wcc) = algo::weakly_connected_components(&g);
@@ -177,6 +192,54 @@ fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         cc_sample.min(g.n())
     );
     Ok(())
+}
+
+/// `stats --metrics`: parse and validate a saved Prometheus dump. Doubles
+/// as the CI scraper — a dump that fails to parse, or is missing a
+/// `--require`d family, is a hard error.
+fn cmd_stats_metrics(path: &str, require: Option<&str>, out: &mut dyn Write) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let dump = parse_prometheus(&text).map_err(|e| format!("{path}: {e}"))?;
+    let _ =
+        writeln!(out, "{path}: {} families, {} samples", dump.families.len(), dump.total_samples());
+    for (name, fam) in &dump.families {
+        let _ = writeln!(out, "  {:<40} {:<8} {} samples", name, fam.kind, fam.samples);
+    }
+    if let Some(req) = require {
+        let missing: Vec<&str> = req
+            .split(',')
+            .map(str::trim)
+            .filter(|f| !f.is_empty() && !dump.has_family(f))
+            .collect();
+        if !missing.is_empty() {
+            return Err(format!("{path}: missing required families: {}", missing.join(", ")));
+        }
+        let _ = writeln!(out, "all required families present");
+    }
+    Ok(())
+}
+
+/// The registry behind `--metrics-out`, if requested.
+fn metrics_registry_flag(args: &Args) -> Option<(String, Arc<MetricsRegistry>)> {
+    args.get("metrics-out").map(|p| (p.to_string(), Arc::new(MetricsRegistry::new())))
+}
+
+/// `--metrics-every N` (0 / absent ⇒ only a final dump). Rejected
+/// without `--metrics-out` — there would be nowhere to write.
+fn metrics_every_flag(args: &Args) -> Result<usize, String> {
+    let every = args.get_or::<usize>("metrics-every", 0).map_err(|e| e.to_string())?;
+    if every > 0 && args.get("metrics-out").is_none() {
+        return Err("--metrics-every requires --metrics-out".into());
+    }
+    Ok(every)
+}
+
+/// Renders the registry to `path`: JSON when the extension is `.json`,
+/// Prometheus text format otherwise.
+fn write_metrics_dump(path: &str, registry: &MetricsRegistry) -> Result<(), String> {
+    let rendered =
+        if path.ends_with(".json") { registry.render_json() } else { registry.render_prometheus() };
+    std::fs::write(path, rendered).map_err(|e| format!("{path}: {e}"))
 }
 
 /// Parses `--reorder {none,degree,rcm,hub,slashburn}` (absent ⇒ `None`).
@@ -278,12 +341,26 @@ fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let index_path = args.required("index").map_err(|e| e.to_string())?;
     let seed = args.get_or::<u32>("seed", 0).map_err(|e| e.to_string())?;
     let top = topk_flag(args)?;
+    if args.get("metrics-every").is_some() {
+        return Err(
+            "--metrics-every only applies to batch/update; query is a single request".into()
+        );
+    }
+    let metrics = metrics_registry_flag(args);
     let index = load_index(index_path, &g)?;
-    let service = service_builder(g, args)?.index(index).build().map_err(|e| e.to_string())?;
+    let mut builder = service_builder(g, args)?.index(index);
+    if let Some((_, reg)) = &metrics {
+        builder = builder.metrics(Arc::clone(reg));
+    }
+    let service = builder.build().map_err(|e| e.to_string())?;
     let (resp, dt) = tpa_eval::time(|| service.submit(&QueryRequest::single(seed).top_k(top)));
     let resp = resp.map_err(|e| e.to_string())?;
     print_response_meta(out, &resp, dt.as_secs_f64());
     print_ranking(out, &resp.result.into_ranked().pop().unwrap());
+    if let Some((path, reg)) = &metrics {
+        write_metrics_dump(path, reg)?;
+        let _ = writeln!(out, "metrics written to {path}");
+    }
     Ok(())
 }
 
@@ -327,7 +404,6 @@ fn cmd_batch(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let g = load_graph(args.required("graph").map_err(|e| e.to_string())?)?;
     let seeds = parse_seed_file(args.required("seeds").map_err(|e| e.to_string())?)?;
     let top = topk_flag(args)?;
-    let mut request = QueryRequest::batch(seeds.clone()).top_k(top);
     let index = match args.get("index") {
         Some(path) => {
             if reorder_flag(args)?.is_some() {
@@ -337,11 +413,9 @@ fn cmd_batch(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             }
             Some(load_index(path, &g)?)
         }
-        None => {
-            request = request.exact();
-            None
-        }
+        None => None,
     };
+    let exact = index.is_none();
     let mut builder = service_builder(g, args)?;
     match index {
         Some(index) => builder = builder.index(index),
@@ -351,22 +425,49 @@ fn cmd_batch(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             }
         }
     }
+    let metrics = metrics_registry_flag(args);
+    let every = metrics_every_flag(args)?;
+    if let Some((_, reg)) = &metrics {
+        builder = builder.metrics(Arc::clone(reg));
+    }
     let service = builder.build().map_err(|e| e.to_string())?;
-    let (resp, dt) = tpa_eval::time(|| service.submit(&request));
-    let resp = resp.map_err(|e| e.to_string())?;
-    let rankings = resp.result.into_ranked();
+    // With --metrics-every the batch is submitted in chunks of that many
+    // seeds and the dump re-written between chunks, so a long batch can
+    // be scraped mid-run. One chunk == one submit == the whole batch
+    // otherwise; rankings are identical either way (lanes are
+    // independent).
+    let chunk = if every > 0 { every } else { seeds.len() };
+    let mut rankings = Vec::with_capacity(seeds.len());
+    let mut backend = "";
+    let mut epoch = 0;
+    let started = std::time::Instant::now();
+    for part in seeds.chunks(chunk) {
+        let mut request = QueryRequest::batch(part.to_vec()).top_k(top);
+        if exact {
+            request = request.exact();
+        }
+        let resp = service.submit(&request).map_err(|e| e.to_string())?;
+        backend = resp.backend;
+        epoch = resp.epoch;
+        rankings.extend(resp.result.into_ranked());
+        if let Some((path, reg)) = &metrics {
+            write_metrics_dump(path, reg)?;
+        }
+    }
+    let dt = started.elapsed();
     let _ = writeln!(
         out,
-        "batched {} seeds in {} ({} per seed, backend {}, epoch {})",
+        "batched {} seeds in {} ({} per seed, backend {backend}, epoch {epoch})",
         seeds.len(),
         tpa_eval::format_secs(dt.as_secs_f64()),
         tpa_eval::format_secs(dt.as_secs_f64() / seeds.len() as f64),
-        resp.backend,
-        resp.epoch,
     );
     for (seed, ranked) in seeds.iter().zip(rankings) {
         let _ = writeln!(out, "\nseed {seed}:");
         print_ranking(out, &ranked);
+    }
+    if let Some((path, _)) = &metrics {
+        let _ = writeln!(out, "\nmetrics written to {path}");
     }
     Ok(())
 }
@@ -473,6 +574,11 @@ fn cmd_update(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             auto_refresh: args.switch("auto-refresh"),
         })
         .map_err(|e| e.to_string())?;
+    let metrics = metrics_registry_flag(args);
+    let metrics_every = metrics_every_flag(args)?;
+    if let Some((_, reg)) = &metrics {
+        engine = engine.with_metrics(Arc::clone(reg));
+    }
     if let Some(path) = args.get("index") {
         let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
         let index = TpaIndex::load(std::io::BufReader::new(f)).map_err(|e| e.to_string())?;
@@ -489,16 +595,31 @@ fn cmd_update(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let mut pending: Vec<EdgeUpdate> = Vec::new();
     let mut stats = ReplayStats::default();
 
+    // Re-writes the `--metrics-out` dump every `--metrics-every` batches
+    // (so a long replay can be scraped mid-run) and once at the end.
+    let mut dumped_at = 0usize;
+    let mut dump_metrics = |stats: &ReplayStats, done: bool| -> Result<(), String> {
+        let Some((path, reg)) = &metrics else { return Ok(()) };
+        let due = metrics_every > 0 && stats.batches >= dumped_at + metrics_every;
+        if due || done {
+            dumped_at = stats.batches;
+            write_metrics_dump(path, reg)?;
+        }
+        Ok(())
+    };
+
     for ev in &events {
         match *ev {
             StreamEvent::Update(up) => pending.push(up),
             StreamEvent::Compact => {
                 flush_updates(&mut engine, &mut cache, &mut pending, patch_index, &mut stats)?;
+                dump_metrics(&stats, false)?;
                 engine.compact_dynamic().map_err(|e| e.to_string())?;
                 stats.compactions += 1;
             }
             StreamEvent::Query(seed) => {
                 flush_updates(&mut engine, &mut cache, &mut pending, patch_index, &mut stats)?;
+                dump_metrics(&stats, false)?;
                 stats.queries += 1;
                 let ranked = match &mut cache {
                     Some(cache) => {
@@ -524,6 +645,7 @@ fn cmd_update(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         }
     }
     flush_updates(&mut engine, &mut cache, &mut pending, patch_index, &mut stats)?;
+    dump_metrics(&stats, true)?;
 
     let t = engine.dynamic_transition().expect("dynamic backend");
     let _ = writeln!(
@@ -557,6 +679,9 @@ fn cmd_update(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         tpa_eval::format_secs(stats.query_time.as_secs_f64()),
         if maintain { " (served from maintained cache)" } else { "" }
     );
+    if let Some((path, _)) = &metrics {
+        let _ = writeln!(out, "metrics written to {path}");
+    }
     Ok(())
 }
 
@@ -1117,6 +1242,108 @@ mod tests {
         let (code, _) =
             run_cmd(&format!("exact --graph {} --seed 3 --frontier frog", graph.display()));
         assert_eq!(code, 1, "bad --frontier must be rejected");
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn metrics_out_writes_a_scrapeable_dump() {
+        let d = tmpdir("metrics");
+        let graph = d.join("g.bin");
+        let index = d.join("g.tpa");
+        let dump = d.join("metrics.prom");
+        run_cmd(&format!("generate --dataset slashdot-s --scale 20 --out {}", graph.display()));
+        run_cmd(&format!(
+            "preprocess --graph {} --s 5 --t 10 --out {}",
+            graph.display(),
+            index.display()
+        ));
+
+        let (code, text) = run_cmd(&format!(
+            "query --graph {} --index {} --seed 3 --metrics-out {}",
+            graph.display(),
+            index.display(),
+            dump.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("metrics written"), "{text}");
+        let rendered = std::fs::read_to_string(&dump).unwrap();
+        assert!(rendered.contains("tpa_requests_total"), "{rendered}");
+
+        // `stats --metrics` validates the dump and enforces --require.
+        let (code, text) = run_cmd(&format!(
+            "stats --metrics {} --require tpa_requests_total,tpa_request_latency_seconds",
+            dump.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("all required families present"), "{text}");
+        let (code, _) =
+            run_cmd(&format!("stats --metrics {} --require tpa_no_such_family", dump.display()));
+        assert_eq!(code, 1, "a missing required family must fail");
+
+        // A corrupt dump is a parse error, not a silent pass.
+        std::fs::write(&dump, "tpa_requests_total{unclosed 1\n").unwrap();
+        let (code, _) = run_cmd(&format!("stats --metrics {}", dump.display()));
+        assert_eq!(code, 1);
+
+        // JSON dumps keyed by extension.
+        let json = d.join("metrics.json");
+        let (code, text) = run_cmd(&format!(
+            "query --graph {} --index {} --seed 3 --metrics-out {}",
+            graph.display(),
+            index.display(),
+            json.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        let rendered = std::fs::read_to_string(&json).unwrap();
+        assert!(rendered.trim_start().starts_with('['), "{rendered}");
+        assert!(rendered.contains("tpa_requests_total"), "{rendered}");
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn metrics_every_chunks_batch_and_update() {
+        let d = tmpdir("metrics-every");
+        let graph = d.join("g.bin");
+        let seeds = d.join("seeds.txt");
+        let stream = d.join("stream.txt");
+        let dump = d.join("m.prom");
+        run_cmd(&format!("generate --dataset slashdot-s --scale 40 --out {}", graph.display()));
+        std::fs::write(&seeds, "0 1 2 3 4\n").unwrap();
+        std::fs::write(&stream, "+ 1 5\n? 1\n+ 5 9\n? 5\n").unwrap();
+
+        let (code, text) = run_cmd(&format!(
+            "batch --graph {} --seeds {} --topk 2 --metrics-out {} --metrics-every 2",
+            graph.display(),
+            seeds.display(),
+            dump.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("batched 5 seeds"), "{text}");
+        assert!(std::fs::read_to_string(&dump).unwrap().contains("tpa_requests_total"));
+
+        let (code, text) = run_cmd(&format!(
+            "update --graph {} --stream {} --metrics-out {} --metrics-every 1",
+            graph.display(),
+            stream.display(),
+            dump.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        let rendered = std::fs::read_to_string(&dump).unwrap();
+        assert!(rendered.contains("tpa_epoch_publishes_total"), "{rendered}");
+
+        // --metrics-every without --metrics-out, and on query, are errors.
+        let (code, _) = run_cmd(&format!(
+            "batch --graph {} --seeds {} --metrics-every 2",
+            graph.display(),
+            seeds.display()
+        ));
+        assert_eq!(code, 1);
+        let (code, _) = run_cmd(&format!(
+            "query --graph {} --index nope.tpa --seed 1 --metrics-out {} --metrics-every 2",
+            graph.display(),
+            dump.display()
+        ));
+        assert_eq!(code, 1);
         let _ = std::fs::remove_dir_all(d);
     }
 

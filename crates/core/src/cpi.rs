@@ -186,6 +186,16 @@ pub fn cpi_trace_policy<P: Propagator + ?Sized>(
         active = seeds.support().unwrap_or_else(|| (0..n as NodeId).collect());
         scratch = Some(FrontierScratch::new(n));
     }
+    // Profiling accumulates into locals (pure register traffic) and
+    // flushes once at the end; disabled, the only cost is one relaxed
+    // bool load here.
+    let prof = crate::profiling::profiling_enabled();
+    let mut tally = crate::profiling::RunTally::default();
+    let dense_edges: u64 = if prof {
+        transition.frontier_work(&[]).map(|w| w.total_edges as u64).unwrap_or(0)
+    } else {
+        0
+    };
 
     on_iteration(0, &x);
     if start == 0 {
@@ -215,9 +225,11 @@ pub fn cpi_trace_policy<P: Propagator + ?Sized>(
             };
             if !keep {
                 sparse = false;
+                tally.auto_dense_switches = 1;
             }
         }
         if sparse {
+            tally.sparse_iterations += 1;
             let scratch = scratch.as_mut().expect("sparse mode allocates its scratch");
             // `next` still holds x(i−2): zero its stale support so the
             // kernel's untouched entries are exact zeros.
@@ -226,14 +238,18 @@ pub fn cpi_trace_policy<P: Propagator + ?Sized>(
             }
             let step = transition.propagate_frontier(1.0 - cfg.c, &x, &mut next, &active, scratch);
             cumulative_work += step.edge_work;
+            tally.sparse_edge_work += step.edge_work as u64;
             residual = step.residual;
             std::mem::swap(&mut x, &mut next);
             // Rotate the support lists alongside the buffers: the old
             // `active` is now the stale support of `next`.
             std::mem::swap(&mut active, &mut stale);
             std::mem::swap(&mut active, scratch.next_active_mut());
-            if step.went_dense && policy == FrontierPolicy::Auto {
-                sparse = false;
+            if step.went_dense {
+                tally.gather_bails += 1;
+                if policy == FrontierPolicy::Auto {
+                    sparse = false;
+                }
             }
             on_iteration(i, &x);
             if i >= start {
@@ -244,6 +260,8 @@ pub fn cpi_trace_policy<P: Propagator + ?Sized>(
                 }
             }
         } else {
+            tally.dense_iterations += 1;
+            tally.dense_edge_work += dense_edges;
             residual = transition.propagate_into_norm(1.0 - cfg.c, &x, &mut next);
             std::mem::swap(&mut x, &mut next);
             on_iteration(i, &x);
@@ -256,6 +274,10 @@ pub fn cpi_trace_policy<P: Propagator + ?Sized>(
         }
     }
 
+    if prof {
+        tally.iterations = i as u64;
+        crate::profiling::record_cpi_run(tally);
+    }
     CpiResult { scores, last_iteration: i, final_residual: residual, converged }
 }
 

@@ -661,6 +661,13 @@ pub fn propagate_offset_policy<P: Propagator + ?Sized>(
             *s += b;
         }
     }
+    // Same flush-once profiling discipline as `cpi_trace_policy`: local
+    // tallies, one relaxed flush after the sweep, a single bool load
+    // when disabled.
+    let prof = crate::profiling::profiling_enabled();
+    let mut tally = crate::profiling::RunTally::default();
+    let dense_edges: u64 =
+        if prof { t.frontier_work(&[]).map(|w| w.total_edges as u64).unwrap_or(0) } else { 0 };
     let mut next = vec![0.0f64; n];
     while residual >= stop_eps && stats.iterations < cfg.max_iters {
         stats.iterations += 1;
@@ -676,9 +683,11 @@ pub fn propagate_offset_policy<P: Propagator + ?Sized>(
             };
             if !keep {
                 sparse = false;
+                tally.auto_dense_switches = 1;
             }
         }
         if sparse {
+            tally.sparse_iterations += 1;
             let scratch = scratch.as_mut().expect("sparse mode allocates its scratch");
             // `next` still holds the interim vector from two steps ago:
             // zero its stale support so the kernel's untouched entries
@@ -688,12 +697,16 @@ pub fn propagate_offset_policy<P: Propagator + ?Sized>(
             }
             let step = t.propagate_frontier(1.0 - cfg.c, &x, &mut next, &active, scratch);
             cumulative_work += step.edge_work;
+            tally.sparse_edge_work += step.edge_work as u64;
             residual = step.residual;
             std::mem::swap(&mut x, &mut next);
             std::mem::swap(&mut active, &mut stale);
             std::mem::swap(&mut active, scratch.next_active_mut());
-            if step.went_dense && policy == FrontierPolicy::Auto {
-                sparse = false;
+            if step.went_dense {
+                tally.gather_bails += 1;
+                if policy == FrontierPolicy::Auto {
+                    sparse = false;
+                }
             }
             if sparse {
                 // Support-only fold: `x` is zero off `active`, and
@@ -707,12 +720,18 @@ pub fn propagate_offset_policy<P: Propagator + ?Sized>(
                 }
             }
         } else {
+            tally.dense_iterations += 1;
+            tally.dense_edge_work += dense_edges;
             residual = t.propagate_into_norm(1.0 - cfg.c, &x, &mut next);
             std::mem::swap(&mut x, &mut next);
             for (s, &v) in scores.iter_mut().zip(&x) {
                 *s += v;
             }
         }
+    }
+    if prof {
+        tally.iterations = stats.iterations as u64;
+        crate::profiling::record_offset_run(tally);
     }
     stats
 }

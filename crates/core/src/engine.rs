@@ -429,6 +429,21 @@ impl<'g> QueryEngine<'g> {
         self
     }
 
+    /// Attaches a metrics registry: the engine registers the service
+    /// instruments there and records every executed request, exactly
+    /// like [`crate::ServiceBuilder::metrics`] does for the concurrent
+    /// service. Also enables the kernel profiling counters.
+    pub fn with_metrics(mut self, registry: std::sync::Arc<tpa_obs::MetricsRegistry>) -> Self {
+        self.snap.metrics = Some(crate::metrics::ServiceMetrics::new(registry));
+        self
+    }
+
+    /// Typed readout of the engine's instruments, or `None` when no
+    /// registry is attached.
+    pub fn metrics_snapshot(&self) -> Option<crate::metrics::MetricsSnapshot> {
+        self.snap.metrics.as_ref().map(|m| m.snapshot())
+    }
+
     /// Attaches a preprocessed index (shared, so many engines can serve
     /// one index). Panics if the index was built for a different graph.
     ///

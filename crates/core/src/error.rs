@@ -61,6 +61,20 @@ pub enum TpaError {
     Io(std::io::Error),
 }
 
+impl TpaError {
+    /// Stable snake_case variant name — the label value the metrics
+    /// layer counts errors under (`tpa_request_errors_total{variant=…}`).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            TpaError::SeedOutOfRange { .. } => "seed_out_of_range",
+            TpaError::DimensionMismatch { .. } => "dimension_mismatch",
+            TpaError::BackendMismatch { .. } => "backend_mismatch",
+            TpaError::InvalidConfig(_) => "invalid_config",
+            TpaError::Io(_) => "io",
+        }
+    }
+}
+
 impl std::fmt::Display for TpaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

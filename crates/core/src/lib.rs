@@ -34,6 +34,13 @@
 //!   mutable overlay graph, OSP-style incremental maintenance of cached
 //!   scores ([`ScoreCache`]), and index staleness tracking
 //!   ([`IndexStalenessPolicy`]).
+//! * [`metrics`] / [`profiling`] — service-wide observability:
+//!   [`ServiceMetrics`] records request latency, cache hits, errors,
+//!   and epoch/compaction lifecycle events into a shared
+//!   `tpa_obs::MetricsRegistry` (attached via
+//!   [`ServiceBuilder::metrics`]); [`kernel_profile`] exposes cheap
+//!   kernel-level counters (CPI iterations, frontier decisions,
+//!   sparse/dense work) behind a near-zero-cost disabled path.
 //! * [`frontier`] — direction-optimizing sparse propagation:
 //!   [`FrontierPolicy`] schedules each CPI iteration onto a masked
 //!   sparse-frontier kernel or the dense kernels (Beamer-style
@@ -64,11 +71,13 @@ pub mod dynamic;
 pub mod engine;
 mod error;
 pub mod frontier;
+pub mod metrics;
 pub mod offcore;
 mod pagerank;
 mod parallel;
 pub mod params;
 mod patch;
+pub mod profiling;
 mod seeds;
 pub mod service;
 pub mod tiling;
@@ -87,9 +96,14 @@ pub use engine::{
 };
 pub use error::TpaError;
 pub use frontier::{FrontierPolicy, FrontierScratch, FrontierStep, FrontierWork};
+pub use metrics::{
+    EpochEvent, LatencyStats, MetricsSnapshot, RequestMetrics, ServiceMetrics, ValueStats,
+    WriterMetrics,
+};
 pub use pagerank::{exact_rwr, pagerank, pagerank_window, personalized_pagerank};
 pub use parallel::ParallelTransition;
 pub use patch::PatchedTransition;
+pub use profiling::{kernel_profile, reset_profiling, set_profiling_enabled, KernelProfile};
 pub use seeds::SeedSet;
 pub use service::{
     ExecMode, QueryRequest, QueryResponse, QueryResult, RwrService, ServiceBuilder, Snapshot,

@@ -1,0 +1,519 @@
+//! Service-side metrics: what [`crate::RwrService`] records per request
+//! and per epoch, built on the lock-free [`tpa_obs`] primitives.
+//!
+//! A [`ServiceMetrics`] is created from a shared
+//! [`MetricsRegistry`] when the builder opts in
+//! ([`crate::ServiceBuilder::metrics`]) and is carried by both the
+//! service and every published [`crate::Snapshot`], so the request path
+//! records without ever touching the registry lock:
+//!
+//! * **Request side** — `tpa_requests_total`, per-(kind × backend)
+//!   latency summaries (`tpa_request_latency_seconds{kind,backend}`),
+//!   the admission → pin → run span histograms, cache hit/miss
+//!   counters, and per-[`crate::TpaError`]-variant error counters.
+//! * **Writer side** — epoch lifecycle: publish latency and batch size,
+//!   overlay size vs the compaction trigger, background-compaction
+//!   start / splice / duration / **failure** counters, plus a bounded
+//!   ring of structured [`EpochEvent`]s for tests and debugging.
+//! * **Kernel profile** — the process-wide counters from
+//!   [`crate::profiling`], enabled automatically while any
+//!   `ServiceMetrics` exists.
+//!
+//! Readout is [`ServiceMetrics::snapshot`] (typed structs —
+//! [`MetricsSnapshot`]), or the registry's Prometheus/JSON renderers.
+//! When no metrics are attached (the default) the request path pays one
+//! `Option` branch per span site and two `Instant` reads per request
+//! (which also feed [`crate::QueryResponse::elapsed`]).
+
+use crate::error::TpaError;
+use crate::profiling::{kernel_profile, KernelProfile};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tpa_obs::{Counter, Gauge, Histogram, MetricsRegistry, Unit};
+
+/// Request kinds the latency breakdown distinguishes. Top-k requests
+/// report as `top_k` whatever their batch width — the selection cost,
+/// not the lane count, is what sets them apart.
+pub const REQUEST_KINDS: [&str; 3] = ["single", "batch", "top_k"];
+
+/// Backend names the latency breakdown distinguishes (see
+/// [`crate::EngineBackend::name`]).
+pub const BACKEND_NAMES: [&str; 5] =
+    ["sequential", "parallel", "out-of-core", "dynamic", "patched"];
+
+/// Error variants counted under `tpa_request_errors_total{variant=…}`
+/// (see [`TpaError::variant_name`]).
+pub const ERROR_VARIANTS: [&str; 5] =
+    ["seed_out_of_range", "dimension_mismatch", "backend_mismatch", "invalid_config", "io"];
+
+const EVENT_CAP: usize = 256;
+
+pub(crate) fn kind_index(seeds: usize, top_k: bool) -> usize {
+    match (seeds, top_k) {
+        (_, true) => 2,
+        (1, false) => 0,
+        _ => 1,
+    }
+}
+
+fn backend_index(name: &str) -> usize {
+    BACKEND_NAMES.iter().position(|&b| b == name).unwrap_or(BACKEND_NAMES.len() - 1)
+}
+
+/// One structured entry in the writer's epoch lifecycle ring.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EpochEvent {
+    /// An [`crate::RwrService::apply_updates`] batch published a new
+    /// epoch.
+    Published {
+        /// The epoch published.
+        epoch: u64,
+        /// Updates in the batch.
+        updates: usize,
+        /// Wall-clock publish latency (apply → swap) in seconds.
+        secs: f64,
+        /// Overlay delta edges after the batch was applied.
+        overlay_edges: u64,
+    },
+    /// The writer spawned a background base rebuild.
+    CompactionStarted {
+        /// Overlay delta edges at spawn time.
+        overlay_edges: u64,
+    },
+    /// A finished rebuild was spliced into the overlay.
+    CompactionInstalled {
+        /// The rebuild thread's own fold duration in seconds.
+        secs: f64,
+    },
+    /// The rebuild thread panicked; the overlay is untouched and a
+    /// later batch may re-trigger.
+    CompactionFailed {
+        /// The panic payload, if it carried a message.
+        reason: String,
+    },
+    /// The index was re-preprocessed or stranger-patched at a new epoch.
+    IndexRebuilt {
+        /// The epoch published with the fresh index.
+        epoch: u64,
+        /// True for the cheap stranger patch, false for a full refresh.
+        patched: bool,
+    },
+}
+
+/// The instrument set one service records into. Cheap to clone by `Arc`;
+/// every handle is pre-registered so the hot path never touches the
+/// registry lock.
+pub struct ServiceMetrics {
+    registry: Arc<MetricsRegistry>,
+    started: Instant,
+
+    // Request side.
+    requests_total: Arc<Counter>,
+    latency: Vec<Arc<Histogram>>, // kind-major [kind][backend]
+    admission: Arc<Histogram>,
+    pin: Arc<Histogram>,
+    run: Arc<Histogram>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    errors_total: Arc<Counter>,
+    errors: Vec<Arc<Counter>>,
+
+    // Writer side.
+    publishes: Arc<Counter>,
+    publish_latency: Arc<Histogram>,
+    publish_batch: Arc<Histogram>,
+    overlay_edges: Arc<Gauge>,
+    compaction_trigger_edges: Arc<Gauge>,
+    epoch: Arc<Gauge>,
+    compactions_started: Arc<Counter>,
+    compactions_installed: Arc<Counter>,
+    compactions_failed: Arc<Counter>,
+    compaction_latency: Arc<Histogram>,
+
+    events: Mutex<VecDeque<EpochEvent>>,
+}
+
+impl ServiceMetrics {
+    /// Registers the full instrument set on `registry` (idempotent —
+    /// two services on one registry share series) and enables kernel
+    /// profiling process-wide.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Arc<Self> {
+        crate::profiling::set_profiling_enabled(true);
+        let r = &registry;
+        let mut latency = Vec::with_capacity(REQUEST_KINDS.len() * BACKEND_NAMES.len());
+        for kind in REQUEST_KINDS {
+            for backend in BACKEND_NAMES {
+                latency.push(r.histogram_with(
+                    "tpa_request_latency_seconds",
+                    &[("kind", kind), ("backend", backend)],
+                    "end-to-end request latency by request kind and serving backend",
+                    Unit::Nanoseconds,
+                ));
+            }
+        }
+        let errors = ERROR_VARIANTS
+            .iter()
+            .map(|&v| {
+                r.counter_with(
+                    "tpa_request_errors_total",
+                    &[("variant", v)],
+                    "admission/serving failures by TpaError variant",
+                )
+            })
+            .collect();
+        let m = ServiceMetrics {
+            started: Instant::now(),
+            requests_total: r
+                .counter("tpa_requests_total", "requests accepted (admitted) in total"),
+            latency,
+            admission: r.histogram(
+                "tpa_admission_seconds",
+                "request admission (seed/config validation) span",
+                Unit::Nanoseconds,
+            ),
+            pin: r.histogram(
+                "tpa_snapshot_pin_seconds",
+                "snapshot pin span (read-lock + Arc clone) in RwrService::submit",
+                Unit::Nanoseconds,
+            ),
+            run: r.histogram(
+                "tpa_run_seconds",
+                "kernel execution span (post-admission scores computation)",
+                Unit::Nanoseconds,
+            ),
+            cache_hits: r.counter(
+                "tpa_cache_hits_total",
+                "requests answered straight from the snapshot score cache",
+            ),
+            cache_misses: r.counter(
+                "tpa_cache_misses_total",
+                "requests that ran a kernel while the snapshot carried a score cache",
+            ),
+            errors_total: r.counter("tpa_request_errors_total", "admission/serving failures"),
+            errors,
+            publishes: r.counter("tpa_epoch_publishes_total", "snapshot epochs published"),
+            publish_latency: r.histogram(
+                "tpa_publish_latency_seconds",
+                "apply_updates wall-clock: overlay apply through snapshot swap",
+                Unit::Nanoseconds,
+            ),
+            publish_batch: r.histogram(
+                "tpa_publish_batch_updates",
+                "edge updates per published batch",
+                Unit::Count,
+            ),
+            overlay_edges: r.gauge(
+                "tpa_overlay_delta_edges",
+                "delta edges in the writer overlay after the last publish",
+            ),
+            compaction_trigger_edges: r.gauge(
+                "tpa_compaction_trigger_edges",
+                "overlay size at which background compaction triggers (0 = disabled)",
+            ),
+            epoch: r.gauge("tpa_epoch", "currently published snapshot epoch"),
+            compactions_started: r
+                .counter("tpa_compactions_started_total", "background base rebuilds spawned"),
+            compactions_installed: r
+                .counter("tpa_compactions_installed_total", "background base rebuilds spliced in"),
+            compactions_failed: r.counter(
+                "tpa_compactions_failed_total",
+                "background base rebuilds that panicked (overlay untouched)",
+            ),
+            compaction_latency: r.histogram(
+                "tpa_compaction_seconds",
+                "background rebuild thread duration (clone snapshot fold)",
+                Unit::Nanoseconds,
+            ),
+            events: Mutex::new(VecDeque::with_capacity(EVENT_CAP)),
+            registry,
+        };
+        Arc::new(m)
+    }
+
+    /// The registry this service records into (for exporters).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    fn push_event(&self, ev: EpochEvent) {
+        let mut events = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        if events.len() == EVENT_CAP {
+            events.pop_front();
+        }
+        events.push_back(ev);
+    }
+
+    // ----- request side -----
+
+    pub(crate) fn record_admission(&self, d: Duration) {
+        self.admission.record_duration(d);
+    }
+
+    pub(crate) fn record_pin(&self, d: Duration) {
+        self.pin.record_duration(d);
+    }
+
+    pub(crate) fn record_request(
+        &self,
+        kind: usize,
+        backend: &str,
+        cached: bool,
+        has_cache: bool,
+        elapsed: Duration,
+        run: Duration,
+    ) {
+        self.requests_total.inc();
+        self.latency[kind * BACKEND_NAMES.len() + backend_index(backend)].record_duration(elapsed);
+        self.run.record_duration(run);
+        if cached {
+            self.cache_hits.inc();
+        } else if has_cache {
+            self.cache_misses.inc();
+        }
+    }
+
+    pub(crate) fn record_error(&self, e: &TpaError) {
+        self.errors_total.inc();
+        let v = e.variant_name();
+        if let Some(i) = ERROR_VARIANTS.iter().position(|&name| name == v) {
+            self.errors[i].inc();
+        }
+    }
+
+    // ----- writer side -----
+
+    pub(crate) fn record_publish(
+        &self,
+        epoch: u64,
+        updates: usize,
+        elapsed: Duration,
+        overlay_edges: u64,
+        trigger_edges: Option<f64>,
+    ) {
+        self.publishes.inc();
+        self.publish_latency.record_duration(elapsed);
+        self.publish_batch.record(updates as u64);
+        self.overlay_edges.set(overlay_edges as f64);
+        self.compaction_trigger_edges.set(trigger_edges.unwrap_or(0.0));
+        self.epoch.set(epoch as f64);
+        self.push_event(EpochEvent::Published {
+            epoch,
+            updates,
+            secs: elapsed.as_secs_f64(),
+            overlay_edges,
+        });
+    }
+
+    pub(crate) fn record_epoch(&self, epoch: u64) {
+        self.epoch.set(epoch as f64);
+    }
+
+    pub(crate) fn record_index_rebuilt(&self, epoch: u64, patched: bool) {
+        self.push_event(EpochEvent::IndexRebuilt { epoch, patched });
+    }
+
+    pub(crate) fn record_compaction_started(&self, overlay_edges: u64) {
+        self.compactions_started.inc();
+        self.push_event(EpochEvent::CompactionStarted { overlay_edges });
+    }
+
+    pub(crate) fn record_compaction_installed(&self, d: Duration) {
+        self.compactions_installed.inc();
+        self.compaction_latency.record_duration(d);
+        self.push_event(EpochEvent::CompactionInstalled { secs: d.as_secs_f64() });
+    }
+
+    pub(crate) fn record_compaction_failed(&self, reason: &str) {
+        self.compactions_failed.inc();
+        self.push_event(EpochEvent::CompactionFailed { reason: reason.to_string() });
+    }
+
+    // ----- readout -----
+
+    /// Reads every instrument into one typed point-in-time snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
+        let mut latency = Vec::new();
+        for (ki, &kind) in REQUEST_KINDS.iter().enumerate() {
+            for (bi, &backend) in BACKEND_NAMES.iter().enumerate() {
+                let h = &self.latency[ki * BACKEND_NAMES.len() + bi];
+                if h.count() > 0 {
+                    latency.push((kind, backend, LatencyStats::from_hist(h)));
+                }
+            }
+        }
+        let errors = ERROR_VARIANTS
+            .iter()
+            .zip(&self.errors)
+            .map(|(&v, c)| (v, c.get()))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        MetricsSnapshot {
+            uptime_secs: uptime,
+            requests: RequestMetrics {
+                total: self.requests_total.get(),
+                cache_hits: self.cache_hits.get(),
+                cache_misses: self.cache_misses.get(),
+                errors_total: self.errors_total.get(),
+                errors,
+                latency,
+                admission: LatencyStats::from_hist(&self.admission),
+                pin: LatencyStats::from_hist(&self.pin),
+                run: LatencyStats::from_hist(&self.run),
+            },
+            writer: WriterMetrics {
+                publishes: self.publishes.get(),
+                epochs_per_sec: self.publishes.get() as f64 / uptime,
+                publish_latency: LatencyStats::from_hist(&self.publish_latency),
+                batch_updates: ValueStats::from_hist(&self.publish_batch),
+                overlay_edges: self.overlay_edges.get() as u64,
+                compaction_trigger_edges: self.compaction_trigger_edges.get() as u64,
+                epoch: self.epoch.get() as u64,
+                compactions_started: self.compactions_started.get(),
+                compactions_installed: self.compactions_installed.get(),
+                compactions_failed: self.compactions_failed.get(),
+                compaction_latency: LatencyStats::from_hist(&self.compaction_latency),
+                recent_events: {
+                    let events = self.events.lock().unwrap_or_else(|e| e.into_inner());
+                    events.iter().cloned().collect()
+                },
+            },
+            kernel: kernel_profile(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ServiceMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceMetrics")
+            .field("requests", &self.requests_total.get())
+            .field("publishes", &self.publishes.get())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Latency distribution readout in seconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean seconds.
+    pub mean_secs: f64,
+    /// Median (≤ 12.5% bucket error, upper estimate).
+    pub p50_secs: f64,
+    /// 90th percentile.
+    pub p90_secs: f64,
+    /// 99th percentile.
+    pub p99_secs: f64,
+    /// Largest sample.
+    pub max_secs: f64,
+}
+
+impl LatencyStats {
+    fn from_hist(h: &Histogram) -> Self {
+        let s = h.snapshot();
+        LatencyStats {
+            count: s.count,
+            mean_secs: s.mean() * 1e-9,
+            p50_secs: s.quantile(0.5) as f64 * 1e-9,
+            p90_secs: s.quantile(0.9) as f64 * 1e-9,
+            p99_secs: s.quantile(0.99) as f64 * 1e-9,
+            max_secs: s.max as f64 * 1e-9,
+        }
+    }
+}
+
+/// Dimensionless distribution readout (batch sizes).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ValueStats {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Median (≤ 12.5% bucket error, upper estimate).
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl ValueStats {
+    fn from_hist(h: &Histogram) -> Self {
+        let s = h.snapshot();
+        ValueStats {
+            count: s.count,
+            mean: s.mean(),
+            p50: s.quantile(0.5),
+            p99: s.quantile(0.99),
+            max: s.max,
+        }
+    }
+}
+
+/// Request-side readout.
+#[derive(Clone, Debug, Default)]
+pub struct RequestMetrics {
+    /// Requests admitted in total (success or kernel failure, not
+    /// admission rejections).
+    pub total: u64,
+    /// Requests answered straight from the snapshot score cache.
+    pub cache_hits: u64,
+    /// Requests that ran a kernel while a score cache was present.
+    pub cache_misses: u64,
+    /// Failures across all variants.
+    pub errors_total: u64,
+    /// Nonzero per-variant failure counts.
+    pub errors: Vec<(&'static str, u64)>,
+    /// Nonempty (kind, backend) latency cells.
+    pub latency: Vec<(&'static str, &'static str, LatencyStats)>,
+    /// Admission (validation) span.
+    pub admission: LatencyStats,
+    /// Snapshot-pin span in [`crate::RwrService::submit`].
+    pub pin: LatencyStats,
+    /// Kernel execution span.
+    pub run: LatencyStats,
+}
+
+/// Writer-side (epoch lifecycle) readout.
+#[derive(Clone, Debug, Default)]
+pub struct WriterMetrics {
+    /// Epochs published by `apply_updates`.
+    pub publishes: u64,
+    /// Publishes per second of service uptime.
+    pub epochs_per_sec: f64,
+    /// Publish (apply → swap) latency.
+    pub publish_latency: LatencyStats,
+    /// Updates per published batch.
+    pub batch_updates: ValueStats,
+    /// Overlay delta edges after the last publish.
+    pub overlay_edges: u64,
+    /// Overlay size that triggers background compaction (0 = disabled).
+    pub compaction_trigger_edges: u64,
+    /// Currently published epoch.
+    pub epoch: u64,
+    /// Background rebuilds spawned.
+    pub compactions_started: u64,
+    /// Background rebuilds spliced in.
+    pub compactions_installed: u64,
+    /// Background rebuilds that panicked.
+    pub compactions_failed: u64,
+    /// Rebuild-thread fold duration.
+    pub compaction_latency: LatencyStats,
+    /// The bounded lifecycle event ring, oldest first.
+    pub recent_events: Vec<EpochEvent>,
+}
+
+/// Everything [`ServiceMetrics::snapshot`] reads, as plain data.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Seconds since the metrics were attached.
+    pub uptime_secs: f64,
+    /// Request-side counters and spans.
+    pub requests: RequestMetrics,
+    /// Writer-side epoch lifecycle.
+    pub writer: WriterMetrics,
+    /// Process-wide kernel profiling counters.
+    pub kernel: KernelProfile,
+}

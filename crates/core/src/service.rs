@@ -80,16 +80,20 @@ use crate::batch::cpi_batch;
 use crate::dynamic::{propagate_offset_policy, DynamicTransition, MaintenanceMode, SourceDelta};
 use crate::engine::{top_k_scored, EngineBackend, IndexStalenessPolicy, UpdateReport};
 use crate::error::check_seeds;
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::offcore::DiskGraph;
 use crate::{
     cpi_policy, CpiConfig, FrontierPolicy, ParallelTransition, Propagator, SeedSet, TilePolicy,
     TpaError, TpaIndex, TpaParams, Transition,
 };
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 use tpa_graph::{
     reorder, CsrGraph, DynamicGraph, EdgeUpdate, NodeId, Permutation, ReorderStrategy,
 };
+use tpa_obs::MetricsRegistry;
 
 /// How a request computes scores.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -247,6 +251,10 @@ pub struct QueryResponse {
     /// by offset propagation, so they track a cold exact query within
     /// the cache's [`MaintenanceMode`] tolerance (not bitwise).
     pub cached: bool,
+    /// Wall-clock time [`Snapshot::run`] spent on this request —
+    /// admission through result assembly — measured inside the call so
+    /// callers get per-request timing without wrapping it themselves.
+    pub elapsed: Duration,
 }
 
 /// Hot-seed score lanes folded into a published [`Snapshot`]: the
@@ -316,6 +324,10 @@ pub struct Snapshot<'g> {
     /// Hot-seed score lanes, refreshed at each publish (see
     /// [`SnapshotCache`]). `None` unless the builder pinned seeds.
     pub(crate) cache: Option<Arc<SnapshotCache>>,
+    /// Request-path instruments, shared with the owning service (see
+    /// [`crate::ServiceMetrics`]). `None` (the default) keeps the query
+    /// path at two `Instant` reads and a handful of `Option` branches.
+    pub(crate) metrics: Option<Arc<ServiceMetrics>>,
     pub(crate) epoch: u64,
 }
 
@@ -331,6 +343,7 @@ impl<'g> Snapshot<'g> {
             frontier: FrontierPolicy::Auto,
             perm: None,
             cache: None,
+            metrics: None,
             epoch: 0,
         }
     }
@@ -394,7 +407,26 @@ impl<'g> Snapshot<'g> {
     /// ([`TpaError::SeedOutOfRange`]), a non-positive per-request
     /// epsilon ([`TpaError::InvalidConfig`]) — are returned before any
     /// kernel runs; an empty batch yields an empty response.
+    ///
+    /// When the snapshot carries metrics ([`ServiceBuilder::metrics`])
+    /// each call records the admission and kernel-run spans, the
+    /// per-(kind × backend) latency, cache hit/miss, and — on failure —
+    /// the error variant. [`QueryResponse::elapsed`] is measured here
+    /// regardless.
     pub fn run(&self, req: &QueryRequest) -> Result<QueryResponse, TpaError> {
+        let started = Instant::now();
+        match self.run_timed(req, started) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                if let Some(m) = &self.metrics {
+                    m.record_error(&e);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn run_timed(&self, req: &QueryRequest, started: Instant) -> Result<QueryResponse, TpaError> {
         let n = self.backend.n();
         check_seeds(&req.seeds, n)?;
         // A per-request epsilon forms the exact-mode config here, so the
@@ -407,6 +439,9 @@ impl<'g> Snapshot<'g> {
             }
             None => self.exact_cfg,
         };
+        if let Some(m) = &self.metrics {
+            m.record_admission(started.elapsed());
+        }
         let mut resp = QueryResponse {
             result: QueryResult::Scores(Vec::new()),
             backend: self.backend.name(),
@@ -415,12 +450,13 @@ impl<'g> Snapshot<'g> {
             iterations: None,
             residual: None,
             cached: false,
+            elapsed: Duration::ZERO,
         };
         if req.seeds.is_empty() {
             if req.k.is_some() {
                 resp.result = QueryResult::Ranked(Vec::new());
             }
-            return Ok(resp);
+            return Ok(self.finish(resp, req, started, Duration::ZERO));
         }
         // Reordered snapshots run in new-id space: map seeds in here,
         // map scores back out below (before top-k, so ranking ties keep
@@ -434,6 +470,7 @@ impl<'g> Snapshot<'g> {
             }
         };
         let policy = req.frontier.unwrap_or(self.frontier);
+        let run_started = Instant::now();
         let mut scores = if let Some(lane) = self.cached_lane(req, seeds) {
             resp.cached = true;
             vec![lane]
@@ -475,6 +512,7 @@ impl<'g> Snapshot<'g> {
                 }
             }
         };
+        let run_elapsed = run_started.elapsed();
         if let Some(p) = &self.perm {
             for s in scores.iter_mut() {
                 *s = p.unpermute_values(s);
@@ -484,7 +522,30 @@ impl<'g> Snapshot<'g> {
             None => QueryResult::Scores(scores),
             Some(k) => QueryResult::Ranked(scores.iter().map(|s| top_k_scored(s, k)).collect()),
         };
-        Ok(resp)
+        Ok(self.finish(resp, req, started, run_elapsed))
+    }
+
+    /// Stamps [`QueryResponse::elapsed`] and records the request into
+    /// the attached metrics, if any.
+    fn finish(
+        &self,
+        mut resp: QueryResponse,
+        req: &QueryRequest,
+        started: Instant,
+        run: Duration,
+    ) -> QueryResponse {
+        resp.elapsed = started.elapsed();
+        if let Some(m) = &self.metrics {
+            m.record_request(
+                crate::metrics::kind_index(req.seeds.len(), req.k.is_some()),
+                resp.backend,
+                resp.cached,
+                self.cache.is_some(),
+                resp.elapsed,
+                run,
+            );
+        }
+        resp
     }
 
     /// Runs `serve` over consecutive lane tiles of the batch, keeping
@@ -551,8 +612,26 @@ pub struct UpdateOutcome {
 /// the current merged view exactly (edge updates are set-semantic), so
 /// nothing reader-visible changes.
 struct CompactionJob {
-    handle: std::thread::JoinHandle<CsrGraph>,
+    /// The rebuild thread. Panics are caught inside the closure so the
+    /// join never sees an `Err`: the thread returns the fresh base and
+    /// its own fold duration, or the panic message.
+    handle: std::thread::JoinHandle<Result<(CsrGraph, Duration), String>>,
+    /// Set by the thread before returning `Err` — lets
+    /// [`RwrService::compaction_pending`] observe an aborted rebuild
+    /// without blocking on a join.
+    failed: Arc<AtomicBool>,
     log: Vec<EdgeUpdate>,
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 /// Writer-side state: the mutable delta overlay plus everything needed
@@ -580,6 +659,17 @@ struct WriterState {
     /// delta [`RwrService::patch_index`] builds its offset seed from.
     /// Only fed while an index is attached; cleared on refresh/patch.
     index_deltas: HashMap<NodeId, SourceDelta>,
+    /// Background rebuilds that panicked since the service was built.
+    /// The overlay is untouched by a failed rebuild — a later batch
+    /// re-triggers — but the failure no longer vanishes: it is counted
+    /// here, surfaced through [`RwrService::compaction_failures`], and
+    /// recorded as a `compaction_failed` metrics event.
+    compaction_failures: u64,
+    /// Panic message of the most recent failed rebuild.
+    last_compaction_failure: Option<String>,
+    /// Test hook: poisons the next spawned rebuild so the failure path
+    /// is exercisable (see [`RwrService::debug_fail_next_compaction`]).
+    fail_next_compaction: bool,
 }
 
 impl WriterState {
@@ -587,32 +677,59 @@ impl WriterState {
     /// (non-blocking: a still-running job is left alone). Reader-visible
     /// scores are unchanged — the rebased overlay has the identical
     /// merged view, only its base/patch split differs.
-    fn install_finished_compaction(&mut self) {
+    fn install_finished_compaction(&mut self, metrics: Option<&ServiceMetrics>) {
         if self.compaction.as_ref().is_some_and(|job| job.handle.is_finished()) {
-            self.install_compaction();
+            self.install_compaction(metrics);
         }
     }
 
     /// Joins the pending rebuild (blocking) and splices it in. Returns
     /// false when there was no job or the rebuild thread panicked (the
-    /// overlay is untouched either way; a panicked job is dropped and a
-    /// later batch re-triggers).
-    fn install_compaction(&mut self) -> bool {
+    /// overlay is untouched either way; a failed job is reaped —
+    /// counted and recorded — and a later batch re-triggers).
+    fn install_compaction(&mut self, metrics: Option<&ServiceMetrics>) -> bool {
         let Some(job) = self.compaction.take() else {
             return false;
         };
-        let (Ok(base), Some(overlay)) = (job.handle.join(), self.overlay.as_mut()) else {
-            return false;
-        };
-        overlay.rebase(Arc::new(base), &job.log);
-        true
+        match job.handle.join() {
+            Ok(Ok((base, took))) => {
+                let Some(overlay) = self.overlay.as_mut() else {
+                    return false;
+                };
+                overlay.rebase(Arc::new(base), &job.log);
+                if let Some(m) = metrics {
+                    m.record_compaction_installed(took);
+                }
+                true
+            }
+            Ok(Err(reason)) => {
+                self.note_compaction_failure(reason, metrics);
+                false
+            }
+            // `join` itself can only fail on a panic that escaped the
+            // catch (e.g. a panicking payload drop); treat it the same.
+            Err(payload) => {
+                let reason = panic_reason(payload.as_ref());
+                self.note_compaction_failure(reason, metrics);
+                false
+            }
+        }
+    }
+
+    fn note_compaction_failure(&mut self, reason: String, metrics: Option<&ServiceMetrics>) {
+        self.compaction_failures += 1;
+        if let Some(m) = metrics {
+            m.record_compaction_failed(&reason);
+        }
+        self.last_compaction_failure = Some(reason);
     }
 
     /// Spawns a background rebuild when the overlay has outgrown its
     /// trigger and none is already running. The spawned thread folds a
     /// clone of the graph (cheap: the base CSR is shared by `Arc`) into
-    /// a fresh CSR; publishes continue meanwhile.
-    fn maybe_spawn_compaction(&mut self) {
+    /// a fresh CSR; publishes continue meanwhile. Panics inside the
+    /// fold are caught and reported instead of silently dropped.
+    fn maybe_spawn_compaction(&mut self, metrics: Option<&ServiceMetrics>) {
         if self.compaction.is_some() {
             return;
         }
@@ -620,10 +737,30 @@ impl WriterState {
             return;
         };
         let g = overlay.graph();
-        if (g.delta_edges() as f64) > trigger * g.base_arc().m() as f64 {
+        let delta_edges = g.delta_edges() as u64;
+        if (delta_edges as f64) > trigger * g.base_arc().m() as f64 {
             let clone = g.clone();
-            let handle = std::thread::spawn(move || clone.snapshot());
-            self.compaction = Some(CompactionJob { handle, log: Vec::new() });
+            let poison = std::mem::take(&mut self.fail_next_compaction);
+            let failed = Arc::new(AtomicBool::new(false));
+            let flag = Arc::clone(&failed);
+            let handle = std::thread::spawn(move || {
+                let t = Instant::now();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    assert!(!poison, "injected compaction failure");
+                    clone.snapshot()
+                }));
+                match result {
+                    Ok(base) => Ok((base, t.elapsed())),
+                    Err(payload) => {
+                        flag.store(true, Ordering::Release);
+                        Err(panic_reason(payload.as_ref()))
+                    }
+                }
+            });
+            self.compaction = Some(CompactionJob { handle, failed, log: Vec::new() });
+            if let Some(m) = metrics {
+                m.record_compaction_started(delta_edges);
+            }
         }
     }
 }
@@ -640,6 +777,9 @@ pub struct RwrService {
     /// long enough to swap it.
     current: RwLock<Arc<Snapshot<'static>>>,
     writer: Mutex<WriterState>,
+    /// Shared with every published snapshot; `None` unless the builder
+    /// attached a registry ([`ServiceBuilder::metrics`]).
+    metrics: Option<Arc<ServiceMetrics>>,
 }
 
 impl std::fmt::Debug for RwrService {
@@ -662,7 +802,12 @@ impl RwrService {
     /// `self.snapshot().run(req)` — pin the snapshot explicitly instead
     /// when several requests must observe the same epoch.
     pub fn submit(&self, req: &QueryRequest) -> Result<QueryResponse, TpaError> {
-        self.snapshot().run(req)
+        let pin_started = Instant::now();
+        let snap = self.snapshot();
+        if let Some(m) = &snap.metrics {
+            m.record_pin(pin_started.elapsed());
+        }
+        snap.run(req)
     }
 
     /// Full scores for one seed (index path when available).
@@ -725,9 +870,10 @@ impl RwrService {
     /// over an immutable (non-dynamic) graph. Concurrent writers are
     /// serialized on an internal mutex — batches never interleave.
     pub fn apply_updates(&self, updates: &[EdgeUpdate]) -> Result<UpdateOutcome, TpaError> {
+        let publish_started = Instant::now();
         let mut w = self.writer_state();
         let prev = self.snapshot();
-        w.install_finished_compaction();
+        w.install_finished_compaction(self.metrics.as_deref());
         let WriterState { overlay, compaction, index_deltas, .. } = &mut *w;
         let overlay = overlay.as_mut().ok_or(TpaError::BackendMismatch {
             operation: "edge updates",
@@ -764,6 +910,8 @@ impl RwrService {
             &report.delta.sources,
             &prev.exact_cfg,
         );
+        let overlay_edges = overlay.graph().delta_edges() as u64;
+        let base_m = overlay.graph().base_arc().m();
         let mut index = prev.index.clone();
         if let Some(old) = &index {
             w.accumulated_drift += report.delta.column_delta_mass / n.max(1) as f64;
@@ -783,11 +931,21 @@ impl RwrService {
             }
             report.accumulated_drift = w.accumulated_drift;
         }
-        w.maybe_spawn_compaction();
+        w.maybe_spawn_compaction(self.metrics.as_deref());
         // The writer mutex serializes publishes, so the pinned snapshot's
         // epoch is the latest one and the successor is race-free.
         let epoch = prev.epoch + 1;
+        let trigger_edges = w.compact_trigger.map(|t| t * base_m as f64);
         self.publish(&prev, backend, index, cache, epoch);
+        if let Some(m) = &self.metrics {
+            m.record_publish(
+                epoch,
+                updates.len(),
+                publish_started.elapsed(),
+                overlay_edges,
+                trigger_edges,
+            );
+        }
         Ok(UpdateOutcome { report, epoch })
     }
 
@@ -831,6 +989,10 @@ impl RwrService {
         let epoch = prev.epoch + 1;
         // The graph did not change, so the cache lanes are carried over.
         self.publish(&prev, backend, Some(Arc::new(fresh)), prev.cache.clone(), epoch);
+        if let Some(m) = &self.metrics {
+            m.record_epoch(epoch);
+            m.record_index_rebuilt(epoch, false);
+        }
         Ok(epoch)
     }
 
@@ -871,6 +1033,10 @@ impl RwrService {
         w.accumulated_drift = 0.0;
         let epoch = prev.epoch + 1;
         self.publish(&prev, backend, Some(Arc::new(fresh)), prev.cache.clone(), epoch);
+        if let Some(m) = &self.metrics {
+            m.record_epoch(epoch);
+            m.record_index_rebuilt(epoch, true);
+        }
         Ok(epoch)
     }
 
@@ -880,12 +1046,53 @@ impl RwrService {
     /// the overlay's base/patch split — so no epoch is published; it
     /// exists for deterministic shutdown and tests.
     pub fn flush_compaction(&self) -> bool {
-        self.writer_state().install_compaction()
+        self.writer_state().install_compaction(self.metrics.as_deref())
     }
 
-    /// True while a background base rebuild is in flight.
+    /// True while a background base rebuild is in flight. A rebuild
+    /// whose thread already *failed* is reaped here — counted, recorded,
+    /// and reported as no-longer-pending — so a panicked compaction is
+    /// never mistaken for one that is still running.
     pub fn compaction_pending(&self) -> bool {
-        self.writer_state().compaction.is_some()
+        let mut w = self.writer_state();
+        if w.compaction.as_ref().is_some_and(|job| job.failed.load(Ordering::Acquire)) {
+            w.install_compaction(self.metrics.as_deref());
+        }
+        w.compaction.is_some()
+    }
+
+    /// Number of background base rebuilds that panicked since the
+    /// service was built. The overlay is never corrupted by a failed
+    /// rebuild (the fresh base is only spliced in on success), but the
+    /// failure is counted here instead of vanishing with the thread.
+    pub fn compaction_failures(&self) -> u64 {
+        self.writer_state().compaction_failures
+    }
+
+    /// Panic message of the most recent failed background rebuild.
+    pub fn last_compaction_failure(&self) -> Option<String> {
+        self.writer_state().last_compaction_failure.clone()
+    }
+
+    /// Test hook: makes the *next* spawned background rebuild panic, so
+    /// the failure-surfacing path is exercisable deterministically.
+    #[doc(hidden)]
+    pub fn debug_fail_next_compaction(&self) {
+        self.writer_state().fail_next_compaction = true;
+    }
+
+    /// Typed readout of every instrument the service records, or `None`
+    /// when the builder attached no registry (see
+    /// [`ServiceBuilder::metrics`]).
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.metrics.as_ref().map(|m| m.snapshot())
+    }
+
+    /// The metrics registry this service records into, if any — hand it
+    /// to [`tpa_obs::MetricsRegistry::render_prometheus`] /
+    /// [`tpa_obs::MetricsRegistry::render_json`] for export.
+    pub fn metrics_registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref().map(|m| m.registry())
     }
 
     /// Swaps in the next snapshot, inheriting the previous epoch's
@@ -906,6 +1113,7 @@ impl RwrService {
             frontier: prev.frontier,
             perm: prev.perm.clone(),
             cache,
+            metrics: self.metrics.clone(),
             epoch,
         };
         *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(snap);
@@ -986,6 +1194,7 @@ pub struct ServiceBuilder {
     index: IndexSpec,
     staleness: IndexStalenessPolicy,
     cache: Option<(Vec<NodeId>, MaintenanceMode)>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl ServiceBuilder {
@@ -1001,6 +1210,7 @@ impl ServiceBuilder {
             index: IndexSpec::None,
             staleness: IndexStalenessPolicy::default(),
             cache: None,
+            metrics: None,
         }
     }
 
@@ -1100,6 +1310,17 @@ impl ServiceBuilder {
         self
     }
 
+    /// Attaches a metrics registry: the built service registers its
+    /// instruments there and records every request, publish, and
+    /// compaction event (see [`crate::ServiceMetrics`] and the
+    /// `tpa-obs` crate). Also enables the kernel profiling counters
+    /// ([`crate::kernel_profile`]). Without this call the service
+    /// records nothing and the query path stays metrics-free.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Validates the configuration and constructs the service.
     pub fn build(self) -> Result<RwrService, TpaError> {
         self.exact_cfg.check()?;
@@ -1110,6 +1331,7 @@ impl ServiceBuilder {
             params.check()?;
         }
         self.staleness.check()?;
+        let metrics = self.metrics.as_ref().map(|r| ServiceMetrics::new(Arc::clone(r)));
         let sequential = self.threads == 1;
         let threads = match self.threads {
             0 => std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1),
@@ -1154,6 +1376,7 @@ impl ServiceBuilder {
                 self.lane_tile,
                 self.exact_cfg,
                 self.staleness,
+                metrics,
             ));
         }
 
@@ -1225,6 +1448,7 @@ impl ServiceBuilder {
                     self.lane_tile,
                     self.exact_cfg,
                     self.staleness,
+                    metrics,
                 ))
             }
             GraphSource::Dynamic(dg) => {
@@ -1278,6 +1502,7 @@ impl ServiceBuilder {
                     self.lane_tile,
                     self.exact_cfg,
                     self.staleness,
+                    metrics,
                 ))
             }
             GraphSource::Disk(_) => unreachable!("handled above"),
@@ -1296,9 +1521,22 @@ impl ServiceBuilder {
         lane_tile: usize,
         exact_cfg: CpiConfig,
         staleness: IndexStalenessPolicy,
+        metrics: Option<Arc<ServiceMetrics>>,
     ) -> RwrService {
-        let snap =
-            Snapshot { backend, index, exact_cfg, lane_tile, frontier, perm, cache, epoch: 0 };
+        if let Some(m) = &metrics {
+            m.record_epoch(0);
+        }
+        let snap = Snapshot {
+            backend,
+            index,
+            exact_cfg,
+            lane_tile,
+            frontier,
+            perm,
+            cache,
+            metrics: metrics.clone(),
+            epoch: 0,
+        };
         RwrService {
             current: RwLock::new(Arc::new(snap)),
             writer: Mutex::new(WriterState {
@@ -1308,7 +1546,11 @@ impl ServiceBuilder {
                 staleness,
                 accumulated_drift: 0.0,
                 index_deltas: HashMap::new(),
+                compaction_failures: 0,
+                last_compaction_failure: None,
+                fail_next_compaction: false,
             }),
+            metrics,
         }
     }
 }

@@ -244,6 +244,9 @@ impl StripCache {
             return strip;
         }
         let strip = resolve_strip_sampled(policy, adj, n, m, lanes);
+        if crate::profiling::profiling_enabled() {
+            crate::profiling::record_tile_resolution(strip.is_some());
+        }
         memo.push((lanes, strip));
         strip
     }

@@ -1,0 +1,220 @@
+//! Observability integration: the metrics a service reports must match
+//! ground truth exactly, under concurrency, across the whole epoch
+//! lifecycle, and on the failure paths.
+//!
+//! The acceptance bar from the observability PR: with metrics enabled,
+//! a racing-readers stress run must report request counts *exactly*
+//! equal to the test's own tally, cache hits consistent with
+//! [`QueryResponse::cached`], and at least one full epoch lifecycle
+//! (publish + compaction) event sequence.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tpa_core::{EpochEvent, MaintenanceMode, QueryRequest, ServiceBuilder, TpaError, TpaParams};
+use tpa_graph::gen::{lfr_lite, LfrConfig};
+use tpa_graph::{CsrGraph, DynamicGraph, EdgeUpdate, NodeId};
+use tpa_obs::MetricsRegistry;
+
+fn test_graph(seed: u64, n: usize, m: usize) -> CsrGraph {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    lfr_lite(LfrConfig { n, m, ..Default::default() }, &mut rng).graph
+}
+
+/// Small deterministic update batch, varied by `round`.
+fn update_batch(round: usize, n: usize) -> Vec<EdgeUpdate> {
+    let a = ((round * 37) % n) as NodeId;
+    let b = ((round * 61 + 13) % n) as NodeId;
+    if a == b {
+        vec![EdgeUpdate::Insert(a, (b + 1) % n as NodeId)]
+    } else {
+        vec![EdgeUpdate::Insert(a, b), EdgeUpdate::Insert(b, a), EdgeUpdate::Delete(a, b)]
+    }
+}
+
+/// Readers race a writer; afterwards the metrics snapshot must agree
+/// with the test's own tally to the last request, and the event ring
+/// must contain a full publish + compaction lifecycle.
+#[test]
+fn stress_metrics_tally_matches_ground_truth() {
+    const READERS: usize = 4;
+    const REQUESTS: usize = 60;
+    const ROUNDS: usize = 30;
+
+    let n = 300;
+    let g = test_graph(11, n, 2400);
+    let registry = Arc::new(MetricsRegistry::new());
+    // Microscopic compaction trigger: every effective batch spawns the
+    // background rebuild, so the run exercises the whole lifecycle.
+    let service = Arc::new(
+        ServiceBuilder::dynamic(DynamicGraph::new(g).with_compact_threshold(Some(1e-9)))
+            .preprocess(TpaParams::new(4, 9))
+            .score_cache(vec![0, 1], MaintenanceMode::Exact)
+            .metrics(Arc::clone(&registry))
+            .build()
+            .unwrap(),
+    );
+
+    let ok_tally = Arc::new(AtomicU64::new(0));
+    let err_tally = Arc::new(AtomicU64::new(0));
+    let cached_tally = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for r in 0..READERS {
+            let service = Arc::clone(&service);
+            let ok_tally = Arc::clone(&ok_tally);
+            let err_tally = Arc::clone(&err_tally);
+            let cached_tally = Arc::clone(&cached_tally);
+            s.spawn(move || {
+                for i in 0..REQUESTS {
+                    let req = match i % 4 {
+                        0 => QueryRequest::single(((r * 53 + i) % n) as NodeId),
+                        // Cached seeds: an indexed snapshot only serves
+                        // cache hits to explicit exact requests.
+                        1 => QueryRequest::single((i % 2) as NodeId).exact(),
+                        2 => QueryRequest::batch(vec![1 as NodeId, 2, 3]).top_k(5),
+                        // Admission rejection: seed out of range.
+                        _ => QueryRequest::single((n + i) as NodeId),
+                    };
+                    match service.submit(&req) {
+                        Ok(resp) => {
+                            ok_tally.fetch_add(1, Ordering::Relaxed);
+                            if resp.cached {
+                                cached_tally.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) => {
+                            assert!(matches!(e, TpaError::SeedOutOfRange { .. }), "{e}");
+                            err_tally.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        // The writer publishes epochs (and re-triggers compaction)
+        // while the readers run.
+        let service = Arc::clone(&service);
+        s.spawn(move || {
+            for round in 0..ROUNDS {
+                service.apply_updates(&update_batch(round, n)).unwrap();
+            }
+        });
+    });
+    // Settle the last background rebuild so the lifecycle is complete.
+    service.flush_compaction();
+
+    let snap = service.metrics_snapshot().expect("metrics attached");
+    let ok = ok_tally.load(Ordering::Relaxed);
+    let errs = err_tally.load(Ordering::Relaxed);
+    let cached = cached_tally.load(Ordering::Relaxed);
+    assert_eq!(ok + errs, (READERS * REQUESTS) as u64, "test tally is complete");
+    assert_eq!(snap.requests.total, ok, "admitted-request count drifted from ground truth");
+    assert_eq!(snap.requests.errors_total, errs, "error count drifted from ground truth");
+    assert_eq!(
+        snap.requests.errors,
+        vec![("seed_out_of_range", errs)],
+        "all failures were admission rejections"
+    );
+    assert_eq!(snap.requests.cache_hits, cached, "cache hits disagree with QueryResponse::cached");
+    assert_eq!(
+        snap.requests.cache_hits + snap.requests.cache_misses,
+        ok,
+        "every admitted request either hit or missed the score cache"
+    );
+    assert!(cached > 0, "the cached-seed requests must actually hit");
+
+    // Latency accounting: every admitted request left one sample in
+    // each span histogram and one in exactly one (kind, backend) cell.
+    assert_eq!(snap.requests.run.count, ok, "one kernel span per admitted request");
+    assert_eq!(snap.requests.pin.count, ok + errs, "one pin span per submit, rejected or not");
+    let cells: u64 = snap.requests.latency.iter().map(|(_, _, l)| l.count).sum();
+    assert_eq!(cells, ok, "per-kind/backend cells partition the requests");
+
+    // Writer lifecycle: every batch published, and the event ring holds
+    // a full publish → compaction-started → compaction-installed arc.
+    assert_eq!(snap.writer.publishes, ROUNDS as u64);
+    assert_eq!(snap.writer.batch_updates.count, ROUNDS as u64);
+    assert_eq!(snap.writer.publish_latency.count, ROUNDS as u64);
+    assert!(snap.writer.epoch >= ROUNDS as u64, "epoch advanced past every publish");
+    assert!(snap.writer.compactions_started >= 1, "tiny trigger must spawn compaction");
+    assert!(snap.writer.compactions_installed >= 1, "flushed compaction must install");
+    assert_eq!(snap.writer.compactions_failed, 0);
+    let ev = &snap.writer.recent_events;
+    assert!(ev.iter().any(|e| matches!(e, EpochEvent::Published { .. })));
+    assert!(ev.iter().any(|e| matches!(e, EpochEvent::CompactionStarted { .. })));
+    assert!(ev.iter().any(|e| matches!(e, EpochEvent::CompactionInstalled { .. })));
+    let started = ev.iter().position(|e| matches!(e, EpochEvent::CompactionStarted { .. }));
+    let installed = ev.iter().rposition(|e| matches!(e, EpochEvent::CompactionInstalled { .. }));
+    assert!(started.unwrap() < installed.unwrap(), "lifecycle events out of order");
+
+    // The exporter sees the same world: the dump parses and carries the
+    // families the CI smoke step requires.
+    let dump = tpa_obs::parse_prometheus(&registry.render_prometheus()).expect("dump parses");
+    for family in ["tpa_requests_total", "tpa_request_latency_seconds", "tpa_epoch_publishes_total"]
+    {
+        assert!(dump.has_family(family), "missing {family}");
+    }
+}
+
+/// A panicking background rebuild is surfaced, not swallowed: the
+/// failure is counted, the reason preserved, the pending flag cleared,
+/// and the service keeps serving and can compact again later.
+#[test]
+fn compaction_panic_is_surfaced_and_recoverable() {
+    let n = 200;
+    let g = test_graph(13, n, 1600);
+    let registry = Arc::new(MetricsRegistry::new());
+    let service = ServiceBuilder::dynamic(DynamicGraph::new(g).with_compact_threshold(Some(1e-9)))
+        .metrics(Arc::clone(&registry))
+        .build()
+        .unwrap();
+
+    service.debug_fail_next_compaction();
+    service.apply_updates(&[EdgeUpdate::Insert(1, 2), EdgeUpdate::Insert(2, 1)]).unwrap();
+    // Reap the failed job: pending must come back false, not wedge.
+    while service.compaction_pending() {
+        std::thread::yield_now();
+    }
+
+    assert_eq!(service.compaction_failures(), 1);
+    let reason = service.last_compaction_failure().expect("failure recorded");
+    assert!(reason.contains("injected"), "panic payload lost: {reason}");
+    let snap = service.metrics_snapshot().unwrap();
+    assert_eq!(snap.writer.compactions_failed, 1);
+    assert!(snap.writer.recent_events.iter().any(
+        |e| matches!(e, EpochEvent::CompactionFailed { reason } if reason.contains("injected"))
+    ));
+
+    // The overlay is untouched and the service still answers.
+    service.query(1).unwrap();
+    // A later batch re-triggers; this one must succeed and install.
+    service.apply_updates(&[EdgeUpdate::Insert(3, 4), EdgeUpdate::Insert(4, 3)]).unwrap();
+    assert!(service.flush_compaction(), "recovery compaction must install");
+    assert_eq!(service.compaction_failures(), 1, "no new failures");
+    let snap = service.metrics_snapshot().unwrap();
+    assert!(snap.writer.compactions_installed >= 1);
+}
+
+/// `elapsed` is measured inside `Snapshot::run` and is consistent with
+/// the recorded latency histograms.
+#[test]
+fn response_elapsed_is_populated() {
+    let g = test_graph(17, 200, 1600);
+    let registry = Arc::new(MetricsRegistry::new());
+    let service = ServiceBuilder::in_memory(g)
+        .preprocess(TpaParams::new(4, 9))
+        .metrics(Arc::clone(&registry))
+        .build()
+        .unwrap();
+    let resp = service.submit(&QueryRequest::single(5)).unwrap();
+    assert!(resp.elapsed.as_nanos() > 0, "elapsed must be measured");
+    let snap = service.metrics_snapshot().unwrap();
+    assert_eq!(snap.requests.total, 1);
+    assert!(
+        snap.requests.latency.iter().any(|(kind, _, l)| *kind == "single" && l.count == 1),
+        "single-request latency cell recorded: {:?}",
+        snap.requests.latency
+    );
+    // The histogram's upper-estimate p-max brackets the observed time.
+    let cell = &snap.requests.latency[0].2;
+    assert!(cell.max_secs >= resp.elapsed.as_secs_f64() * 0.5);
+}

@@ -1,0 +1,377 @@
+//! Text exposition (Prometheus + JSON) and the Prometheus validator.
+
+use crate::registry::{MetricsRegistry, SampleValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Quantiles exported for every histogram family: the value, its
+/// Prometheus `quantile` label, and its JSON key.
+const QUANTILES: [(f64, &str, &str); 3] =
+    [(0.5, "0.5", "p50"), (0.9, "0.9", "p90"), (0.99, "0.99", "p99")];
+
+impl MetricsRegistry {
+    /// Renders the registry in Prometheus text exposition format.
+    /// Histograms are exported as `summary` families (p50/p90/p99 +
+    /// `_sum`/`_count`) rather than 496 `le` buckets — the fixed-bucket
+    /// detail stays available through
+    /// [`MetricsRegistry::snapshot`] / [`crate::HistogramSnapshot`].
+    pub fn render_prometheus(&self) -> String {
+        let samples = self.snapshot();
+        let mut out = String::new();
+        let mut seen_header: Vec<String> = Vec::new();
+        for s in &samples {
+            if !seen_header.contains(&s.name) {
+                seen_header.push(s.name.clone());
+                let kind = match s.value {
+                    SampleValue::Counter(_) => "counter",
+                    SampleValue::Gauge(_) => "gauge",
+                    SampleValue::Histogram(..) => "summary",
+                };
+                let _ = writeln!(out, "# HELP {} {}", s.name, escape_help(&s.help));
+                let _ = writeln!(out, "# TYPE {} {}", s.name, kind);
+            }
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {}", s.name, label_set(&s.labels, None), v);
+                }
+                SampleValue::Gauge(v) => {
+                    let _ =
+                        writeln!(out, "{}{} {}", s.name, label_set(&s.labels, None), fmt_f64(*v));
+                }
+                SampleValue::Histogram(h, unit) => {
+                    let scale = unit.scale();
+                    for (q, qs, _) in QUANTILES {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            s.name,
+                            label_set(&s.labels, Some(qs)),
+                            fmt_f64(h.quantile(q) as f64 * scale)
+                        );
+                    }
+                    let labels = label_set(&s.labels, None);
+                    let _ =
+                        writeln!(out, "{}_sum{} {}", s.name, labels, fmt_f64(h.sum as f64 * scale));
+                    let _ = writeln!(out, "{}_count{} {}", s.name, labels, h.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as a JSON array, one object per series.
+    /// Histograms carry `count`, `sum`, `max`, `mean`, and the exported
+    /// quantiles, all pre-scaled to the series' base unit.
+    pub fn render_json(&self) -> String {
+        let samples = self.snapshot();
+        let mut out = String::from("[\n");
+        for (i, s) in samples.iter().enumerate() {
+            let sep = if i + 1 == samples.len() { "" } else { "," };
+            out.push_str("  {");
+            let _ = write!(out, "\"name\": {}, ", json_str(&s.name));
+            out.push_str("\"labels\": {");
+            for (j, (k, v)) in s.labels.iter().enumerate() {
+                let sep = if j + 1 == s.labels.len() { "" } else { ", " };
+                let _ = write!(out, "{}: {}{}", json_str(k), json_str(v), sep);
+            }
+            out.push_str("}, ");
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    let _ = write!(out, "\"type\": \"counter\", \"value\": {v}");
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = write!(out, "\"type\": \"gauge\", \"value\": {}", fmt_f64(*v));
+                }
+                SampleValue::Histogram(h, unit) => {
+                    let scale = unit.scale();
+                    let _ = write!(
+                        out,
+                        "\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"max\": {}, \
+                         \"mean\": {}",
+                        h.count,
+                        fmt_f64(h.sum as f64 * scale),
+                        fmt_f64(h.max as f64 * scale),
+                        fmt_f64(h.mean() * scale)
+                    );
+                    for (q, _, key) in QUANTILES {
+                        let _ =
+                            write!(out, ", \"{}\": {}", key, fmt_f64(h.quantile(q) as f64 * scale));
+                    }
+                }
+            }
+            let _ = writeln!(out, "}}{sep}");
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+fn label_set(labels: &[(String, String)], quantile: Option<&str>) -> String {
+    if labels.is_empty() && quantile.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some(q) = quantile {
+        parts.push(format!("quantile=\"{q}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float so Prometheus and JSON parsers both accept it
+/// (finite decimal, no trailing garbage; non-finite values become 0).
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".into();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:e}")
+    }
+}
+
+/// One metric family recovered from a Prometheus text dump.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PromFamily {
+    /// Declared type (`counter`, `gauge`, `summary`, …), empty when the
+    /// family appeared without a `# TYPE` line.
+    pub kind: String,
+    /// Number of sample lines in the family (including `_sum`/`_count`
+    /// satellites for summaries).
+    pub samples: usize,
+}
+
+/// A parsed Prometheus text dump: family name → [`PromFamily`].
+#[derive(Clone, Debug, Default)]
+pub struct PromDump {
+    /// Families keyed by base name (`_sum`/`_count` suffixes fold into
+    /// their summary family).
+    pub families: BTreeMap<String, PromFamily>,
+}
+
+impl PromDump {
+    /// True when the dump contains the family (by base name).
+    pub fn has_family(&self, name: &str) -> bool {
+        self.families.contains_key(name)
+    }
+
+    /// Total sample lines parsed.
+    pub fn total_samples(&self) -> usize {
+        self.families.values().map(|f| f.samples).sum()
+    }
+}
+
+/// Parses and validates a Prometheus text exposition. Returns the
+/// family table, or a message naming the first malformed line. Shared
+/// by `tpa stats` and the CI smoke step, so "the dump doesn't parse"
+/// fails the same way everywhere.
+pub fn parse_prometheus(text: &str) -> Result<PromDump, String> {
+    let mut dump = PromDump::default();
+    let mut declared: BTreeMap<String, String> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (Some(name), Some(kind)) = (it.next(), it.next()) else {
+                return Err(format!("line {lineno}: malformed TYPE line"));
+            };
+            declared.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name, rest) =
+            split_name(line).ok_or_else(|| format!("line {lineno}: no metric name in {line:?}"))?;
+        let rest = parse_labels(rest).map_err(|e| format!("line {lineno}: {e}"))?;
+        let value = rest.trim();
+        let value = value.split_whitespace().next().unwrap_or("");
+        if value.parse::<f64>().is_err() && !matches!(value, "NaN" | "+Inf" | "-Inf") {
+            return Err(format!("line {lineno}: unparsable value {value:?}"));
+        }
+        // Fold summary satellites into their base family.
+        let base = name
+            .strip_suffix("_sum")
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|b| declared.get(*b).is_some_and(|k| k == "summary" || k == "histogram"))
+            .unwrap_or(&name);
+        let kind = declared.get(base).cloned().unwrap_or_default();
+        let fam = dump.families.entry(base.to_string()).or_insert(PromFamily { kind, samples: 0 });
+        fam.samples += 1;
+    }
+    Ok(dump)
+}
+
+/// Splits a sample line at the end of the metric name.
+fn split_name(line: &str) -> Option<(String, &str)> {
+    let end = line
+        .char_indices()
+        .find(|&(i, c)| {
+            !(c.is_ascii_alphanumeric() || c == '_' || c == ':') || (i == 0 && c.is_ascii_digit())
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(line.len());
+    if end == 0 {
+        return None;
+    }
+    Some((line[..end].to_string(), &line[end..]))
+}
+
+/// Consumes an optional `{k="v",...}` label set, returning the remainder.
+fn parse_labels(rest: &str) -> Result<&str, String> {
+    let Some(body) = rest.strip_prefix('{') else {
+        return Ok(rest);
+    };
+    // Walk to the matching unescaped closing brace outside quotes.
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => {
+                let inner = &body[..i];
+                if !inner.is_empty() {
+                    for pair in split_label_pairs(inner) {
+                        let (k, v) = pair
+                            .split_once('=')
+                            .ok_or_else(|| format!("label pair {pair:?} has no '='"))?;
+                        if !crate::registry::valid_name(k.trim()) {
+                            return Err(format!("bad label name {k:?}"));
+                        }
+                        let v = v.trim();
+                        if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+                            return Err(format!("label value {v:?} is not quoted"));
+                        }
+                    }
+                }
+                return Ok(&body[i + 1..]);
+            }
+            _ => {}
+        }
+    }
+    Err("unterminated label set".into())
+}
+
+/// Splits `k="v",k2="v2"` on commas outside quotes.
+fn split_label_pairs(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Unit;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("tpa_requests_total", &[("kind", "single")], "requests served").add(7);
+        reg.gauge("tpa_overlay_edges", "overlay size").set(42.0);
+        let h = reg.histogram_with(
+            "tpa_request_latency_seconds",
+            &[("backend", "patched")],
+            "per-request latency",
+            Unit::Nanoseconds,
+        );
+        for v in [1_000u64, 2_000, 50_000] {
+            h.record(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn prometheus_round_trips_through_the_parser() {
+        let reg = sample_registry();
+        let text = reg.render_prometheus();
+        let dump = parse_prometheus(&text).expect("must parse");
+        assert!(dump.has_family("tpa_requests_total"));
+        assert!(dump.has_family("tpa_overlay_edges"));
+        assert!(dump.has_family("tpa_request_latency_seconds"));
+        assert_eq!(dump.families["tpa_requests_total"].kind, "counter");
+        assert_eq!(dump.families["tpa_request_latency_seconds"].kind, "summary");
+        // 3 quantiles + sum + count fold into one summary family.
+        assert_eq!(dump.families["tpa_request_latency_seconds"].samples, 5);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_prometheus("tpa_x{unclosed 1").is_err());
+        assert!(parse_prometheus("tpa_x notanumber").is_err());
+        assert!(parse_prometheus("tpa_x{k=unquoted} 1").is_err());
+        assert!(parse_prometheus("{} 1").is_err());
+        // Valid corner cases.
+        assert!(parse_prometheus("tpa_x 1\n\n# comment\ntpa_y{a=\"b,c\"} 2.5e-3\n").is_ok());
+        assert!(parse_prometheus("tpa_x NaN").is_ok());
+    }
+
+    #[test]
+    fn json_renders_all_series() {
+        let reg = sample_registry();
+        let json = reg.render_json();
+        assert!(json.contains("\"tpa_requests_total\""));
+        assert!(json.contains("\"type\": \"histogram\""));
+        for key in ["\"p50\":", "\"p90\":", "\"p99\":"] {
+            assert!(json.contains(key), "missing quantile key {key}");
+        }
+        // Crude structural sanity: brackets balance.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,40 @@
+//! # tpa-obs — lock-free observability primitives
+//!
+//! Self-contained (no external dependencies, same offline discipline as
+//! the vendored shims) metrics substrate for the TPA serving stack:
+//!
+//! * [`Counter`] — a monotonically increasing `AtomicU64`.
+//! * [`Gauge`] — a last-write-wins `f64` (stored as bits in an
+//!   `AtomicU64`).
+//! * [`Histogram`] — a fixed-bucket log-linear latency histogram with
+//!   per-thread shards: `record` is one relaxed `fetch_add` per field on
+//!   a thread-striped shard, and shards are merged only at readout.
+//!   Quantiles (p50/p90/p99) come back with at most one sub-bucket of
+//!   relative error (≤ 12.5%).
+//! * [`Span`] — an RAII timing guard: created from a histogram, records
+//!   its elapsed nanoseconds on drop (or explicitly via
+//!   [`Span::finish`]).
+//! * [`MetricsRegistry`] — names + labels + help for a set of
+//!   instruments, with merged snapshots ([`MetricsRegistry::snapshot`])
+//!   and two text expositions: Prometheus
+//!   ([`MetricsRegistry::render_prometheus`], histograms rendered as
+//!   `summary` families) and JSON
+//!   ([`MetricsRegistry::render_json`]).
+//! * [`parse_prometheus`] — a validator for the Prometheus exposition,
+//!   shared by the CLI `stats` command and the CI smoke step so a dump
+//!   that fails to parse (or is missing required families) fails loudly.
+//!
+//! The registry's interior lock is touched only at registration and
+//! readout: the hot path operates on `Arc`-shared instruments and is
+//! entirely lock-free (relaxed atomics), so any number of reader threads
+//! can record into one histogram while a scraper snapshots it.
+
+#![warn(missing_docs)]
+
+mod export;
+mod hist;
+mod registry;
+
+pub use export::{parse_prometheus, PromDump, PromFamily};
+pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, Span, BUCKETS};
+pub use registry::{Counter, Gauge, Instrument, MetricSample, MetricsRegistry, SampleValue, Unit};

@@ -1,0 +1,298 @@
+//! The instrument registry: names, labels, help text, and merged
+//! snapshots over a set of counters, gauges, and histograms.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A monotonically increasing counter. `inc`/`add` are single relaxed
+/// `fetch_add`s — safe to hammer from any number of threads.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `v`.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge (bits stored in an `AtomicU64`).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at 0.0.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// What a histogram's `u64` samples mean, driving exposition: nanosecond
+/// timings are rendered in seconds (Prometheus base unit), raw counts
+/// are rendered as-is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Unit {
+    /// Samples are nanoseconds; exported quantiles/sums are seconds.
+    Nanoseconds,
+    /// Samples are dimensionless counts; exported verbatim.
+    Count,
+}
+
+impl Unit {
+    /// Scale factor applied at exposition time.
+    pub fn scale(self) -> f64 {
+        match self {
+            Unit::Nanoseconds => 1e-9,
+            Unit::Count => 1.0,
+        }
+    }
+}
+
+/// A registered instrument handle (what [`MetricsRegistry`] hands back).
+#[derive(Clone, Debug)]
+pub enum Instrument {
+    /// A counter handle.
+    Counter(Arc<Counter>),
+    /// A gauge handle.
+    Gauge(Arc<Gauge>),
+    /// A histogram handle plus its sample unit.
+    Histogram(Arc<Histogram>, Unit),
+}
+
+struct Registered {
+    name: String,
+    labels: Vec<(String, String)>,
+    help: String,
+    instrument: Instrument,
+}
+
+/// The value part of one [`MetricSample`].
+#[derive(Clone, Debug)]
+pub enum SampleValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Merged histogram reading plus its unit.
+    Histogram(HistogramSnapshot, Unit),
+}
+
+/// One instrument's reading at snapshot time.
+#[derive(Clone, Debug)]
+pub struct MetricSample {
+    /// Metric family name (Prometheus-legal: `[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: String,
+    /// Label key/value pairs distinguishing series within the family.
+    pub labels: Vec<(String, String)>,
+    /// Help text (first registration wins).
+    pub help: String,
+    /// The reading.
+    pub value: SampleValue,
+}
+
+/// A named collection of instruments. Registration and snapshotting
+/// take an interior `RwLock`; everything between — the actual
+/// recording — happens on the returned `Arc` handles and is lock-free.
+///
+/// Registering the same `(name, labels)` twice returns the existing
+/// instrument, so independent components can share series without
+/// coordinating.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: RwLock<Vec<Registered>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lookup(&self, name: &str, labels: &[(String, String)]) -> Option<Instrument> {
+        let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
+        entries.iter().find(|r| r.name == name && r.labels == labels).map(|r| r.instrument.clone())
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        labels: Vec<(String, String)>,
+        help: &str,
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        if let Some(existing) = self.lookup(name, &labels) {
+            return existing;
+        }
+        let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
+        // Re-check under the write lock: a racing registration wins.
+        if let Some(r) = entries.iter().find(|r| r.name == name && r.labels == labels) {
+            return r.instrument.clone();
+        }
+        let instrument = make();
+        entries.push(Registered {
+            name: name.to_string(),
+            labels,
+            help: help.to_string(),
+            instrument: instrument.clone(),
+        });
+        instrument
+    }
+
+    /// Registers (or retrieves) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Registers (or retrieves) a labeled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        match self.register(name, own_labels(labels), help, || {
+            Instrument::Counter(Arc::new(Counter::new()))
+        }) {
+            Instrument::Counter(c) => c,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Registers (or retrieves) a labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        match self
+            .register(name, own_labels(labels), help, || Instrument::Gauge(Arc::new(Gauge::new())))
+        {
+            Instrument::Gauge(g) => g,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str, unit: Unit) -> Arc<Histogram> {
+        self.histogram_with(name, &[], help, unit)
+    }
+
+    /// Registers (or retrieves) a labeled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        unit: Unit,
+    ) -> Arc<Histogram> {
+        match self.register(name, own_labels(labels), help, || {
+            Instrument::Histogram(Arc::new(Histogram::new()), unit)
+        }) {
+            Instrument::Histogram(h, _) => h,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Reads every registered instrument into a merged point-in-time
+    /// sample list, in registration order.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
+        entries
+            .iter()
+            .map(|r| MetricSample {
+                name: r.name.clone(),
+                labels: r.labels.clone(),
+                help: r.help.clone(),
+                value: match &r.instrument {
+                    Instrument::Counter(c) => SampleValue::Counter(c.get()),
+                    Instrument::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Instrument::Histogram(h, unit) => SampleValue::Histogram(h.snapshot(), *unit),
+                },
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("MetricsRegistry").field("instruments", &entries.len()).finish()
+    }
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect()
+}
+
+pub(crate) fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_dedups_by_name_and_labels() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("tpa_requests_total", "requests");
+        let b = reg.counter("tpa_requests_total", "requests");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same series must share the counter");
+        let c = reg.counter_with("tpa_requests_total", &[("kind", "single")], "requests");
+        c.inc();
+        assert_eq!(a.get(), 3, "labeled series is distinct");
+        assert_eq!(reg.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn gauges_round_trip_floats() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("tpa_overlay_ratio", "overlay fill");
+        g.set(0.625);
+        assert_eq!(g.get(), 0.625);
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("tpa_requests_total"));
+        assert!(valid_name("_x:y9"));
+        assert!(!valid_name("9bad"));
+        assert!(!valid_name("has space"));
+        assert!(!valid_name(""));
+    }
+}

@@ -1,0 +1,123 @@
+//! Registry correctness under contention, plus the quantile error
+//! contract as a property.
+//!
+//! The whole point of the lock-free registry is that concurrent
+//! recording loses nothing: counters land every increment, histogram
+//! shards conserve every sample, and get-or-create registration is
+//! idempotent across racing threads. The hammer here checks the totals
+//! *exactly* — any relaxed-ordering mistake that drops or double-counts
+//! an event shows up as an off-by-N, not a flaky tolerance.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tpa_obs::{Histogram, MetricsRegistry, Unit};
+
+const THREADS: u64 = 8;
+const OPS: u64 = 20_000;
+
+/// `THREADS × OPS` increments and records from racing threads, with a
+/// reader thread snapshotting mid-flight. Totals must be exact at the
+/// end; mid-race snapshots must never overshoot.
+#[test]
+fn hammer_conserves_every_sample() {
+    let reg = Arc::new(MetricsRegistry::new());
+    let hist = reg.histogram("hammer_latency", "hammer samples", Unit::Nanoseconds);
+    let total = THREADS * OPS;
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Reader races the writers: a snapshot taken mid-run merges shards
+    // that are still advancing, so it may be slightly torn across
+    // fields — but it can never overshoot what has been recorded, and
+    // bucket counts can never exceed the eventual total.
+    let reader = {
+        let hist = Arc::clone(&hist);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut snapshots = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let snap = hist.snapshot();
+                assert!(snap.count <= total, "count overshot mid-race");
+                let bucket_sum: u64 = snap.buckets.iter().sum();
+                assert!(bucket_sum <= total, "bucket sum overshot mid-race");
+                assert!(snap.max < total, "max outside recorded domain");
+                snapshots += 1;
+            }
+            snapshots
+        })
+    };
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let reg = Arc::clone(&reg);
+            let hist = Arc::clone(&hist);
+            s.spawn(move || {
+                for i in 0..OPS {
+                    // Get-or-create on every iteration: racing
+                    // registration must keep resolving to the same
+                    // underlying counter.
+                    reg.counter("hammer_ops_total", "ops").inc();
+                    hist.record(t * OPS + i);
+                }
+            });
+        }
+    });
+    done.store(true, Ordering::Release);
+    assert!(reader.join().expect("reader thread") > 0);
+
+    // Quiesced: conservation is exact.
+    assert_eq!(reg.counter("hammer_ops_total", "ops").get(), total);
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, total, "histogram dropped or double-counted samples");
+    assert_eq!(snap.buckets.iter().sum::<u64>(), total, "bucket counts not conserved");
+    assert_eq!(snap.sum, total * (total - 1) / 2, "sample sum not conserved");
+    assert_eq!(snap.max, total - 1);
+}
+
+mod quantile_contract {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The reported quantile is an upper estimate within one
+        /// sub-bucket of the true nearest-rank sample: for any sample
+        /// set and any `q`, `truth ≤ estimate ≤ truth·(1 + 1/8) + 1`
+        /// (exact below 16 by construction).
+        #[test]
+        fn quantile_brackets_true_nearest_rank(
+            values in collection::vec(0u64..=1 << 48, 1..400),
+            q in 0.0f64..1.0,
+        ) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let n = sorted.len() as u64;
+            let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+            let truth = sorted[(rank - 1) as usize];
+            let est = h.quantile(q);
+            prop_assert!(est >= truth, "estimate {est} below true quantile {truth}");
+            prop_assert!(
+                est <= truth + truth / 8 + 1,
+                "estimate {est} beyond one sub-bucket of {truth}"
+            );
+        }
+
+        /// Moments survive any workload: count, sum, and max match the
+        /// recorded samples exactly.
+        #[test]
+        fn moments_are_exact(values in collection::vec(0u64..=1 << 40, 0..400)) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let snap = h.snapshot();
+            prop_assert_eq!(snap.count, values.len() as u64);
+            prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+            prop_assert_eq!(snap.max, values.iter().copied().max().unwrap_or(0));
+        }
+    }
+}
