@@ -32,6 +32,7 @@ fn main() {
             "fig10_bepi",
             "spmv_kernels",
             "query_latency",
+            "topk_latency",
             "service_throughput",
             "metrics_overhead",
         ])

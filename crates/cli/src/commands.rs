@@ -64,7 +64,8 @@ COMMANDS:
              relabels the graph for cache locality first and stores the
              permutation inside the index (queries restore it)
   query      --graph <file> --index <index.tpa> --seed <node>
-             [--topk K] [--threads N] [--frontier auto|dense|sparse]
+             [--topk K [--exact-bounds]] [--threads N]
+             [--frontier auto|dense|sparse]
              approximate RWR scores for a seed (fast online phase); if
              the index was preprocessed with --reorder, the same
              relabeling is applied transparently
@@ -77,8 +78,8 @@ COMMANDS:
              without --index the batch is answered exactly; --reorder
              only applies to the exact (index-less) path — an index
              brings its own ordering
-  exact      --graph <file> --seed <node> [--topk K] [--threads N]
-             [--reorder none|degree|rcm|hub|slashburn]
+  exact      --graph <file> --seed <node> [--topk K [--exact-bounds]]
+             [--threads N] [--reorder none|degree|rcm|hub|slashburn]
              [--frontier auto|dense|sparse]
              exact RWR via power iteration (ground truth)
   update     --graph <file> --stream <file> [--index <index.tpa>]
@@ -98,6 +99,12 @@ COMMANDS:
 
 --threads 0 uses all available cores; the default (1) is sequential.
 --top is accepted as an alias of --topk.
+--exact-bounds (query, exact) runs the top-k cut through the bounded
+sweep: per-node lower/upper bounds ride the iteration and stop it as
+soon as the k results and their order are provably final, printing the
+proof (early termination, iterations saved, nodes pruned). The answer
+is always the same set in the same order as the dense cut. Requires an
+explicit --topk.
 --metrics-out FILE (query, batch, update) attaches a metrics registry to
 the serving layer and writes its rendered dump to FILE when the command
 finishes: Prometheus text format, or JSON when FILE ends in .json.
@@ -299,6 +306,34 @@ fn topk_flag(args: &Args) -> Result<usize, String> {
     }
 }
 
+/// `--exact-bounds`: only meaningful with an explicit top-k cut, so the
+/// flag refuses to ride the implicit `--topk` default.
+fn exact_bounds_flag(args: &Args) -> Result<bool, String> {
+    if !args.switch("exact-bounds") {
+        return Ok(false);
+    }
+    if args.get("topk").is_none() && args.get("top").is_none() {
+        return Err("--exact-bounds requires an explicit --topk K".into());
+    }
+    Ok(true)
+}
+
+/// One line describing what the bounded top-k proof did.
+fn print_topk_guarantee(out: &mut dyn Write, g: &tpa_core::TopKGuarantee) {
+    let verdict = match (g.proven_exact, g.fallback_dense) {
+        (true, true) => "proven exact (dense fallback: backend can't carry bounds)".to_string(),
+        (false, _) => "NOT proven exact (iteration cap hit before separation)".to_string(),
+        (true, false) if g.early_terminated => format!(
+            "proven exact, terminated early ({} iterations saved, {} nodes pruned)",
+            g.iterations_saved, g.pruned_nodes
+        ),
+        (true, false) => {
+            format!("proven exact at natural end ({} nodes pruned)", g.pruned_nodes)
+        }
+    };
+    let _ = writeln!(out, "top-k guarantee: {verdict}");
+}
+
 /// Starts a [`ServiceBuilder`] from the shared serving flags:
 /// `--threads` (1 = sequential default, 0 = all cores, N workers) and
 /// `--frontier`.
@@ -353,9 +388,17 @@ fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         builder = builder.metrics(Arc::clone(reg));
     }
     let service = builder.build().map_err(|e| e.to_string())?;
-    let (resp, dt) = tpa_eval::time(|| service.submit(&QueryRequest::single(seed).top_k(top)));
+    let bounded = exact_bounds_flag(args)?;
+    let mut request = QueryRequest::single(seed).top_k(top);
+    if bounded {
+        request = request.with_exact_bounds();
+    }
+    let (resp, dt) = tpa_eval::time(|| service.submit(&request));
     let resp = resp.map_err(|e| e.to_string())?;
     print_response_meta(out, &resp, dt.as_secs_f64());
+    if let Some(g) = &resp.topk {
+        print_topk_guarantee(out, g);
+    }
     print_ranking(out, &resp.result.into_ranked().pop().unwrap());
     if let Some((path, reg)) = &metrics {
         write_metrics_dump(path, reg)?;
@@ -373,10 +416,16 @@ fn cmd_exact(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         builder = builder.reordering(strategy);
     }
     let service = builder.build().map_err(|e| e.to_string())?;
-    let (resp, dt) =
-        tpa_eval::time(|| service.submit(&QueryRequest::single(seed).top_k(top).exact()));
+    let mut request = QueryRequest::single(seed).top_k(top).exact();
+    if exact_bounds_flag(args)? {
+        request = request.with_exact_bounds();
+    }
+    let (resp, dt) = tpa_eval::time(|| service.submit(&request));
     let resp = resp.map_err(|e| e.to_string())?;
     print_response_meta(out, &resp, dt.as_secs_f64());
+    if let Some(g) = &resp.topk {
+        print_topk_guarantee(out, g);
+    }
     print_ranking(out, &resp.result.into_ranked().pop().unwrap());
     Ok(())
 }
@@ -927,6 +976,41 @@ mod tests {
             run_cmd(&format!("exact --graph {} --seed 3 --topk 4 --threads 2", graph.display()));
         assert_eq!(code, 0, "{text}");
         assert_eq!(text.lines().count(), 6, "{text}");
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn exact_bounds_flag_prints_guarantee_and_needs_topk() {
+        let d = tmpdir("bounds");
+        let graph = d.join("g.bin");
+        let index = d.join("g.tpa");
+        run_cmd(&format!("generate --dataset slashdot-s --scale 20 --out {}", graph.display()));
+        run_cmd(&format!(
+            "preprocess --graph {} --s 5 --t 10 --out {}",
+            graph.display(),
+            index.display()
+        ));
+        let (code, text) =
+            run_cmd(&format!("exact --graph {} --seed 3 --topk 4 --exact-bounds", graph.display()));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("top-k guarantee: proven exact"), "{text}");
+        let (code, text) = run_cmd(&format!(
+            "query --graph {} --index {} --seed 3 --topk 4 --exact-bounds",
+            graph.display(),
+            index.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("top-k guarantee: proven exact"), "{text}");
+        // Without the flag no guarantee line appears...
+        let (code, text) = run_cmd(&format!("exact --graph {} --seed 3 --topk 4", graph.display()));
+        assert_eq!(code, 0, "{text}");
+        assert!(!text.contains("top-k guarantee"), "{text}");
+        // ...and without an explicit --topk the switch is refused
+        // (the message goes to stderr; the buffer stays empty).
+        let (code, text) =
+            run_cmd(&format!("exact --graph {} --seed 3 --exact-bounds", graph.display()));
+        assert_eq!(code, 1, "{text}");
+        assert!(text.is_empty(), "{text}");
         let _ = std::fs::remove_dir_all(d);
     }
 

@@ -41,6 +41,27 @@ pub fn min_s_for_error(c: f64, target: f64) -> usize {
     (s as usize).max(1)
 }
 
+/// Mass a CPI run can still accumulate after an interim vector of L1
+/// norm `residual`: each further step is `(1−c)`-substochastic
+/// (`‖x(i+1)‖₁ ≤ (1−c)·‖x(i)‖₁`, with equality on dangling-free
+/// graphs), so the un-accumulated tail is bounded by the geometric sum
+/// `residual · Σ_{s≥1} (1−c)^s = residual·(1−c)/c`. This is the live
+/// counterpart of Lemma 2's closed-form tails — the bound the bounded
+/// top-k path uses to cap how far any node's score can still climb.
+pub fn remaining_mass_bound(c: f64, residual: f64) -> f64 {
+    residual * (1.0 - c) / c
+}
+
+/// [`remaining_mass_bound`] truncated to `iters` further iterations —
+/// the family-window case: with the sweep capped at `S − 1` propagations
+/// (TPA's family part), only `Σ_{s=1}^{iters} (1−c)^s =
+/// (1−c)(1 − (1−c)^iters)/c` of the geometric tail can still land.
+/// `iters = 0` (the window's last iteration) returns exactly `0.0`.
+pub fn windowed_mass_bound(c: f64, residual: f64, iters: usize) -> f64 {
+    let d = 1.0 - c;
+    residual * d * (1.0 - d.powi(iters as i32)) / c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

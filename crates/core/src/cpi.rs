@@ -155,7 +155,50 @@ pub fn cpi_trace_policy<P: Propagator + ?Sized>(
     start: usize,
     end: Option<usize>,
     policy: FrontierPolicy,
+    on_iteration: impl FnMut(usize, &[f64]),
+) -> CpiResult {
+    cpi_sweep_policy(transition, seeds, cfg, start, end, policy, on_iteration, |_| false)
+}
+
+/// Point-in-time view of a CPI sweep handed to an early-stop probe after
+/// each accumulated iteration (see [`cpi_sweep_policy`]).
+pub(crate) struct SweepProbe<'a> {
+    /// Iteration index of the interim vector just accumulated.
+    pub i: usize,
+    /// Accumulated window sum so far — every node's score lower bound.
+    pub scores: &'a [f64],
+    /// The interim vector `x(i)` itself (zero off `support` while the
+    /// sweep runs sparse).
+    pub iterate: &'a [f64],
+    /// `‖x(i)‖₁` of the interim vector (blocked-canonical fold).
+    pub residual: f64,
+    /// Ascending support of `x(i)` while the sweep runs sparse; `None`
+    /// once the run has gone dense (the support is no longer tracked).
+    /// Note this is the support of the *current* interim vector only,
+    /// not the union over the run — observers that need "every node
+    /// ever touched" must maintain their own union.
+    pub support: Option<&'a [NodeId]>,
+}
+
+/// [`cpi_trace_policy`] plus an early-stop probe: `stop` is called after
+/// every accumulated iteration (`i ≥ start`, including iteration 0) and
+/// returning `true` ends the sweep immediately. The bounded top-k path
+/// rides this hook to terminate once its bound proof fires; the public
+/// entry points delegate with a never-stop probe, so the shared loop
+/// stays the single source of truth for bitwise behavior.
+///
+/// An early-stopped run reports `converged: false` — the caller that
+/// requested the stop knows why the loop ended.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cpi_sweep_policy<P: Propagator + ?Sized>(
+    transition: &P,
+    seeds: &SeedSet,
+    cfg: &CpiConfig,
+    start: usize,
+    end: Option<usize>,
+    policy: FrontierPolicy,
     mut on_iteration: impl FnMut(usize, &[f64]),
+    mut stop: impl FnMut(SweepProbe<'_>) -> bool,
 ) -> CpiResult {
     cfg.validate();
     if let Some(e) = end {
@@ -210,8 +253,16 @@ pub fn cpi_trace_policy<P: Propagator + ?Sized>(
     let mut residual = if sparse { l1_support(&x, &active) } else { l1(&x) };
     let mut converged = residual < cfg.eps;
     let hard_end = end.unwrap_or(usize::MAX);
+    let mut stopped = start == 0
+        && stop(SweepProbe {
+            i: 0,
+            scores: &scores,
+            iterate: &x,
+            residual,
+            support: if sparse { Some(&active) } else { None },
+        });
 
-    while !converged && i < hard_end && i < cfg.max_iters {
+    while !converged && !stopped && i < hard_end && i < cfg.max_iters {
         i += 1;
         if sparse && policy == FrontierPolicy::Auto {
             // Per-iteration direction decision (one-way: sparse → dense).
@@ -258,6 +309,15 @@ pub fn cpi_trace_policy<P: Propagator + ?Sized>(
                 } else {
                     add_assign(&mut scores, &x);
                 }
+                // `active` is the exact support of x(i) even after a
+                // gather bail: the fallback scan rebuilt it densely.
+                stopped = stop(SweepProbe {
+                    i,
+                    scores: &scores,
+                    iterate: &x,
+                    residual,
+                    support: Some(&active),
+                });
             }
         } else {
             tally.dense_iterations += 1;
@@ -267,6 +327,8 @@ pub fn cpi_trace_policy<P: Propagator + ?Sized>(
             on_iteration(i, &x);
             if i >= start {
                 add_assign(&mut scores, &x);
+                stopped =
+                    stop(SweepProbe { i, scores: &scores, iterate: &x, residual, support: None });
             }
         }
         if residual < cfg.eps {

@@ -158,6 +158,51 @@ impl FrontierScratch {
     }
 }
 
+/// Monotone union of per-iteration supports. The sweep's `active` list
+/// is the support of the *current* interim vector only — on DAG-ish
+/// graphs the frontier moves on and earlier nodes drop out — so
+/// observers that need "every node with a nonzero accumulated score"
+/// (the bounded top-k checker) fold each iteration's support into this
+/// set. `O(n)` bytes, `O(|support|)` per merge, membership list kept
+/// unordered.
+pub(crate) struct SupportUnion {
+    mark: Vec<bool>,
+    nodes: Vec<NodeId>,
+}
+
+impl SupportUnion {
+    /// Empty union over an `n`-node graph.
+    pub fn new(n: usize) -> Self {
+        Self { mark: vec![false; n], nodes: Vec::new() }
+    }
+
+    /// Folds one iteration's support in.
+    pub fn merge(&mut self, support: &[NodeId]) {
+        for &v in support {
+            let m = &mut self.mark[v as usize];
+            if !*m {
+                *m = true;
+                self.nodes.push(v);
+            }
+        }
+    }
+
+    /// Every node seen in any merged support, in merge order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of distinct nodes seen so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether `v` has appeared in any merged support.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.mark[v as usize]
+    }
+}
+
 /// Out-adjacency access for frontier discovery, mirroring
 /// [`InAdjacency`] on the gather side: implemented by [`CsrGraph`]
 /// (plain CSR rows) and [`DynamicGraph`] (merged overlay view) so all

@@ -45,6 +45,11 @@
 //!   [`FrontierPolicy`] schedules each CPI iteration onto a masked
 //!   sparse-frontier kernel or the dense kernels (Beamer-style
 //!   switching), bitwise identically, for single-seed query latency.
+//! * **Bounded exact top-k** — K-dash-style early termination riding
+//!   the same sweep: per-node lower/upper score bounds prune contenders
+//!   and stop the iteration once the top-k set and order are provably
+//!   stable, with the proof reported as a [`TopKGuarantee`] on the
+//!   response ([`QueryRequest::with_exact_bounds`]).
 //!
 //! ## Quick start
 //!
@@ -81,6 +86,7 @@ pub mod profiling;
 mod seeds;
 pub mod service;
 pub mod tiling;
+mod topk;
 mod tpa;
 mod transition;
 mod weighted;
@@ -110,6 +116,7 @@ pub use service::{
     SnapshotCache, UpdateOutcome,
 };
 pub use tiling::TilePolicy;
+pub use topk::TopKGuarantee;
 pub use tpa::{PreprocessStats, TpaIndex, TpaParams, TpaParts};
 pub use transition::{Propagator, Transition};
 pub use weighted::WeightedTransition;

@@ -118,6 +118,9 @@ pub struct ServiceMetrics {
     cache_misses: Arc<Counter>,
     errors_total: Arc<Counter>,
     errors: Vec<Arc<Counter>>,
+    topk_pruned: Arc<Counter>,
+    topk_early: Arc<Counter>,
+    topk_fallback: Arc<Counter>,
 
     // Writer side.
     publishes: Arc<Counter>,
@@ -192,6 +195,18 @@ impl ServiceMetrics {
             ),
             errors_total: r.counter("tpa_request_errors_total", "admission/serving failures"),
             errors,
+            topk_pruned: r.counter(
+                "tpa_topk_pruned_nodes_total",
+                "nodes excluded by bounded top-k bound proofs without a finished score",
+            ),
+            topk_early: r.counter(
+                "tpa_topk_early_terminations_total",
+                "bounded top-k sweeps terminated early by the separation proof",
+            ),
+            topk_fallback: r.counter(
+                "tpa_topk_fallback_dense_total",
+                "exact-bounds top-k requests answered by the dense path instead",
+            ),
             publishes: r.counter("tpa_epoch_publishes_total", "snapshot epochs published"),
             publish_latency: r.histogram(
                 "tpa_publish_latency_seconds",
@@ -270,6 +285,16 @@ impl ServiceMetrics {
             self.cache_hits.inc();
         } else if has_cache {
             self.cache_misses.inc();
+        }
+    }
+
+    pub(crate) fn record_topk(&self, g: &crate::TopKGuarantee) {
+        self.topk_pruned.add(g.pruned_nodes as u64);
+        if g.early_terminated {
+            self.topk_early.inc();
+        }
+        if g.fallback_dense {
+            self.topk_fallback.inc();
         }
     }
 
@@ -357,6 +382,9 @@ impl ServiceMetrics {
                 cache_misses: self.cache_misses.get(),
                 errors_total: self.errors_total.get(),
                 errors,
+                topk_pruned_nodes: self.topk_pruned.get(),
+                topk_early_terminations: self.topk_early.get(),
+                topk_fallback_dense: self.topk_fallback.get(),
                 latency,
                 admission: LatencyStats::from_hist(&self.admission),
                 pin: LatencyStats::from_hist(&self.pin),
@@ -466,6 +494,13 @@ pub struct RequestMetrics {
     pub errors_total: u64,
     /// Nonzero per-variant failure counts.
     pub errors: Vec<(&'static str, u64)>,
+    /// Nodes excluded by bounded top-k proofs without a finished score.
+    pub topk_pruned_nodes: u64,
+    /// Bounded top-k sweeps terminated early by the separation proof.
+    pub topk_early_terminations: u64,
+    /// Exact-bounds top-k requests the service answered densely instead
+    /// (out-of-core backend — bounds can't ride its sweep).
+    pub topk_fallback_dense: u64,
     /// Nonempty (kind, backend) latency cells.
     pub latency: Vec<(&'static str, &'static str, LatencyStats)>,
     /// Admission (validation) span.

@@ -32,6 +32,10 @@ static OFFSET_RUNS: AtomicU64 = AtomicU64::new(0);
 static OFFSET_ITERATIONS: AtomicU64 = AtomicU64::new(0);
 static STRIP_RESOLUTIONS: AtomicU64 = AtomicU64::new(0);
 static FLAT_RESOLUTIONS: AtomicU64 = AtomicU64::new(0);
+static TOPK_RUNS: AtomicU64 = AtomicU64::new(0);
+static TOPK_BOUND_CHECKS: AtomicU64 = AtomicU64::new(0);
+static TOPK_EARLY_TERMINATIONS: AtomicU64 = AtomicU64::new(0);
+static TOPK_PRUNED_NODES: AtomicU64 = AtomicU64::new(0);
 
 /// True when kernel profiling is collecting (process-wide).
 #[inline(always)]
@@ -60,6 +64,10 @@ pub fn reset_profiling() {
         &OFFSET_ITERATIONS,
         &STRIP_RESOLUTIONS,
         &FLAT_RESOLUTIONS,
+        &TOPK_RUNS,
+        &TOPK_BOUND_CHECKS,
+        &TOPK_EARLY_TERMINATIONS,
+        &TOPK_PRUNED_NODES,
     ] {
         c.store(0, Ordering::Relaxed);
     }
@@ -102,6 +110,19 @@ fn flush_tally(t: &RunTally) {
     DENSE_EDGE_WORK.fetch_add(t.dense_edge_work, Ordering::Relaxed);
 }
 
+/// One bounded top-k sweep ([`crate::topk`]), flushed once per run like
+/// the CPI tallies: how many bound checks it ran, whether the proof
+/// terminated the sweep early, and how many nodes the last check
+/// pruned from contention.
+pub(crate) fn record_topk_run(bound_checks: u64, early_terminated: bool, pruned_nodes: u64) {
+    TOPK_RUNS.fetch_add(1, Ordering::Relaxed);
+    TOPK_BOUND_CHECKS.fetch_add(bound_checks, Ordering::Relaxed);
+    if early_terminated {
+        TOPK_EARLY_TERMINATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+    TOPK_PRUNED_NODES.fetch_add(pruned_nodes, Ordering::Relaxed);
+}
+
 /// One [`crate::TilePolicy::Auto`] resolution (fresh, not memoized).
 pub(crate) fn record_tile_resolution(strip: bool) {
     if strip {
@@ -142,6 +163,17 @@ pub struct KernelProfile {
     pub strip_resolutions: u64,
     /// [`crate::TilePolicy::Auto`] resolutions that picked the flat kernel.
     pub flat_resolutions: u64,
+    /// Bounded top-k sweeps run (exact-bounds requests that reached a
+    /// kernel; dense fallbacks never start a bounded sweep).
+    pub topk_runs: u64,
+    /// Per-iteration bound checks those sweeps performed.
+    pub topk_bound_checks: u64,
+    /// Bounded sweeps whose separation proof fired before the natural
+    /// end of the iteration (early terminations).
+    pub topk_early_terminations: u64,
+    /// Nodes excluded from contention by the last bound check of each
+    /// sweep, summed across sweeps.
+    pub topk_pruned_nodes: u64,
 }
 
 impl KernelProfile {
@@ -173,5 +205,9 @@ pub fn kernel_profile() -> KernelProfile {
         offset_iterations: OFFSET_ITERATIONS.load(Ordering::Relaxed),
         strip_resolutions: STRIP_RESOLUTIONS.load(Ordering::Relaxed),
         flat_resolutions: FLAT_RESOLUTIONS.load(Ordering::Relaxed),
+        topk_runs: TOPK_RUNS.load(Ordering::Relaxed),
+        topk_bound_checks: TOPK_BOUND_CHECKS.load(Ordering::Relaxed),
+        topk_early_terminations: TOPK_EARLY_TERMINATIONS.load(Ordering::Relaxed),
+        topk_pruned_nodes: TOPK_PRUNED_NODES.load(Ordering::Relaxed),
     }
 }

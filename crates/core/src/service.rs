@@ -119,6 +119,7 @@ pub struct QueryRequest {
     mode: ExecMode,
     frontier: Option<FrontierPolicy>,
     eps: Option<f64>,
+    exact_bounds: bool,
 }
 
 impl QueryRequest {
@@ -137,6 +138,7 @@ impl QueryRequest {
             mode: ExecMode::Auto,
             frontier: None,
             eps: None,
+            exact_bounds: false,
         }
     }
 
@@ -196,6 +198,27 @@ impl QueryRequest {
     pub fn epsilon(&self) -> Option<f64> {
         self.eps
     }
+
+    /// Serve the top-k request through the bounded exact path: per-node
+    /// lower/upper score bounds ride the CPI sweep and terminate it as
+    /// soon as the top-k set *and order* are provably stable, with the
+    /// proof reported as [`QueryResponse::topk`]. The returned set and
+    /// order always equal the dense path's exactly; early-terminated
+    /// exact-mode scores are the proof-time lower bounds (within the
+    /// residual tail of the converged values). Requires
+    /// [`top_k`](QueryRequest::top_k) — rejected at admission otherwise.
+    /// Bypasses the snapshot score cache (the bounded sweep is the
+    /// point); falls back to the dense path (counted in the guarantee
+    /// and the metrics) only on the out-of-core backend.
+    pub fn with_exact_bounds(mut self) -> Self {
+        self.exact_bounds = true;
+        self
+    }
+
+    /// True when the request asked for the bounded exact top-k path.
+    pub fn exact_bounds(&self) -> bool {
+        self.exact_bounds
+    }
 }
 
 /// What a request produced: one entry per seed, in request order.
@@ -251,6 +274,13 @@ pub struct QueryResponse {
     /// by offset propagation, so they track a cold exact query within
     /// the cache's [`MaintenanceMode`] tolerance (not bitwise).
     pub cached: bool,
+    /// The bounded top-k guarantee, present iff the request asked for
+    /// [`QueryRequest::with_exact_bounds`]: whether the answer is
+    /// provably the dense path's, whether the proof terminated the
+    /// sweep early, iterations saved, nodes pruned, and whether the
+    /// request fell back to the dense path. Batched requests aggregate
+    /// across lanes (sums for the counts, any-lane for the flags).
+    pub topk: Option<crate::TopKGuarantee>,
     /// Wall-clock time [`Snapshot::run`] spent on this request —
     /// admission through result assembly — measured inside the call so
     /// callers get per-request timing without wrapping it themselves.
@@ -329,6 +359,12 @@ pub struct Snapshot<'g> {
     /// path at two `Instant` reads and a handful of `Option` branches.
     pub(crate) metrics: Option<Arc<ServiceMetrics>>,
     pub(crate) epoch: u64,
+    /// Per-node remaining-mass caps for the bounded top-k checker
+    /// (`min((Ãᵀ𝟙)[v], 1)`, plus their max), computed lazily on the
+    /// first exact-bounds request so epoch publishes stay O(batch).
+    /// Each published snapshot gets a fresh cell — the caps describe
+    /// that epoch's operator.
+    pub(crate) topk_caps: std::sync::OnceLock<Arc<crate::topk::TopkCaps>>,
 }
 
 impl<'g> Snapshot<'g> {
@@ -345,6 +381,7 @@ impl<'g> Snapshot<'g> {
             cache: None,
             metrics: None,
             epoch: 0,
+            topk_caps: std::sync::OnceLock::new(),
         }
     }
 
@@ -429,6 +466,19 @@ impl<'g> Snapshot<'g> {
     fn run_timed(&self, req: &QueryRequest, started: Instant) -> Result<QueryResponse, TpaError> {
         let n = self.backend.n();
         check_seeds(&req.seeds, n)?;
+        if let Some(k) = req.k {
+            if k == 0 {
+                return Err(TpaError::InvalidConfig("top-k requests need k ≥ 1 (got 0)".into()));
+            }
+            if k > n {
+                return Err(TpaError::InvalidConfig(format!(
+                    "top-k cut k = {k} exceeds the graph's {n} nodes"
+                )));
+            }
+        }
+        if req.exact_bounds && req.k.is_none() {
+            return Err(TpaError::InvalidConfig("exact_bounds requires a top_k request".into()));
+        }
         // A per-request epsilon forms the exact-mode config here, so the
         // shared CpiConfig validation covers it (NaN and ≤ 0 both fail).
         let exact_cfg = match req.eps {
@@ -450,11 +500,15 @@ impl<'g> Snapshot<'g> {
             iterations: None,
             residual: None,
             cached: false,
+            topk: None,
             elapsed: Duration::ZERO,
         };
         if req.seeds.is_empty() {
             if req.k.is_some() {
                 resp.result = QueryResult::Ranked(Vec::new());
+            }
+            if req.exact_bounds {
+                resp.topk = Some(crate::TopKGuarantee { proven_exact: true, ..Default::default() });
             }
             return Ok(self.finish(resp, req, started, Duration::ZERO));
         }
@@ -470,6 +524,13 @@ impl<'g> Snapshot<'g> {
             }
         };
         let policy = req.frontier.unwrap_or(self.frontier);
+        // Bounded exact top-k: native on in-memory backends, bypassing
+        // the snapshot cache (the bounded sweep is the point of the
+        // request). Out-of-core lanes fall through to the dense path and
+        // get stamped as a fallback below.
+        if req.exact_bounds && !matches!(self.backend, EngineBackend::OutOfCore(_)) {
+            return self.run_bounded(req, seeds, policy, &exact_cfg, resp, started);
+        }
         let run_started = Instant::now();
         let mut scores = if let Some(lane) = self.cached_lane(req, seeds) {
             resp.cached = true;
@@ -522,7 +583,107 @@ impl<'g> Snapshot<'g> {
             None => QueryResult::Scores(scores),
             Some(k) => QueryResult::Ranked(scores.iter().map(|s| top_k_scored(s, k)).collect()),
         };
+        if req.exact_bounds {
+            // Only the out-of-core backend reaches here with
+            // exact_bounds set: the dense cut is exact, but no bounded
+            // sweep ran.
+            resp.topk = Some(crate::TopKGuarantee {
+                proven_exact: !resp.cached,
+                early_terminated: false,
+                iterations_saved: 0,
+                pruned_nodes: 0,
+                fallback_dense: true,
+            });
+        }
         Ok(self.finish(resp, req, started, run_elapsed))
+    }
+
+    /// The bounded exact top-k path: per-lane CPI sweeps carrying live
+    /// lower/upper score bounds, terminated as soon as the top-k set and
+    /// order are provably stable (see [`crate::topk`]). Lanes whose
+    /// proof fires before natural convergence return the proven
+    /// candidates directly; lanes that reach the natural end finish
+    /// densely — bitwise identical to the unbounded path.
+    fn run_bounded(
+        &self,
+        req: &QueryRequest,
+        seeds: &[NodeId],
+        policy: FrontierPolicy,
+        exact_cfg: &CpiConfig,
+        mut resp: QueryResponse,
+        started: Instant,
+    ) -> Result<QueryResponse, TpaError> {
+        use crate::topk::{bounded_top_k, BoundedSpec, IndexedFinish};
+        let k = req.k.expect("admission requires k for exact_bounds");
+        let run_started = Instant::now();
+        // Per-node tail-share caps, computed once per epoch on first
+        // use (a handful of dense propagations) and shared by every
+        // bounded request.
+        let caps = self
+            .topk_caps
+            .get_or_init(|| Arc::new(crate::topk::chained_caps(&self.backend)))
+            .clone();
+        let index = match req.mode {
+            ExecMode::Auto => self.index.as_deref(),
+            ExecMode::Exact => None,
+        };
+        let mut agg = crate::TopKGuarantee {
+            proven_exact: true,
+            early_terminated: false,
+            iterations_saved: 0,
+            pruned_nodes: 0,
+            fallback_dense: false,
+        };
+        let single = seeds.len() == 1;
+        let mut ranked_out = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            let spec = BoundedSpec {
+                k,
+                caps: &caps,
+                indexed: index.map(|ix| IndexedFinish {
+                    scale: ix.params().neighbor_scale(),
+                    stranger: ix.stranger(),
+                    window_end: ix.params().s - 1,
+                }),
+            };
+            let cfg = match index {
+                Some(ix) => ix.params().cpi_config(),
+                None => *exact_cfg,
+            };
+            let out = bounded_top_k(&self.backend, &SeedSet::single(seed), &cfg, policy, &spec);
+            if single {
+                resp.iterations = Some(out.run.last_iteration);
+                resp.residual = Some(out.run.final_residual);
+            }
+            agg.proven_exact &= out.proven.is_some() || out.run.converged || index.is_some();
+            agg.early_terminated |= out.iterations_saved > 0;
+            agg.iterations_saved += out.iterations_saved;
+            agg.pruned_nodes += out.pruned;
+            match out.proven {
+                Some(mut cut) => {
+                    if let Some(p) = &self.perm {
+                        for (id, _) in cut.iter_mut() {
+                            *id = p.old_of(*id);
+                        }
+                    }
+                    ranked_out.push(cut);
+                }
+                None => {
+                    let mut scores = out.run.scores;
+                    if let Some(ix) = index {
+                        scores = ix.finish_family(scores);
+                    }
+                    if let Some(p) = &self.perm {
+                        scores = p.unpermute_values(&scores);
+                    }
+                    ranked_out.push(top_k_scored(&scores, k));
+                }
+            }
+        }
+        resp.indexed = index.is_some();
+        resp.topk = Some(agg);
+        resp.result = QueryResult::Ranked(ranked_out);
+        Ok(self.finish(resp, req, started, run_started.elapsed()))
     }
 
     /// Stamps [`QueryResponse::elapsed`] and records the request into
@@ -536,6 +697,9 @@ impl<'g> Snapshot<'g> {
     ) -> QueryResponse {
         resp.elapsed = started.elapsed();
         if let Some(m) = &self.metrics {
+            if let Some(g) = &resp.topk {
+                m.record_topk(g);
+            }
             m.record_request(
                 crate::metrics::kind_index(req.seeds.len(), req.k.is_some()),
                 resp.backend,
@@ -1115,6 +1279,7 @@ impl RwrService {
             cache,
             metrics: self.metrics.clone(),
             epoch,
+            topk_caps: std::sync::OnceLock::new(),
         };
         *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(snap);
     }
@@ -1536,6 +1701,7 @@ impl ServiceBuilder {
             cache,
             metrics: metrics.clone(),
             epoch: 0,
+            topk_caps: std::sync::OnceLock::new(),
         };
         RwrService {
             current: RwLock::new(Arc::new(snap)),

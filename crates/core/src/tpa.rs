@@ -4,6 +4,18 @@ use crate::dynamic::{propagate_offset_policy, MaintenanceMode, RefreshStats};
 use crate::{cpi, cpi_policy, CpiConfig, FrontierPolicy, SeedSet, TpaError, Transition};
 use tpa_graph::{CsrGraph, NodeId, Permutation};
 
+/// One node's [`TpaIndex::finish_family`] fold:
+/// `family + (scale·family + stranger_v)`, in exactly that association.
+/// Every path that turns a family score into a final TPA score — the
+/// dense finish loop and the bounded top-k checker — must go through
+/// this helper so their floating-point results stay bitwise identical.
+/// The chain is monotone nondecreasing in `family` (each rounded op is),
+/// which is what makes it usable on score lower/upper bounds.
+#[inline]
+pub(crate) fn finish_one(scale: f64, family: f64, stranger_v: f64) -> f64 {
+    family + (scale * family + stranger_v)
+}
+
 /// TPA parameters: restart probability, tolerance, and the two split
 /// points of the CPI iteration series.
 #[derive(Clone, Copy, Debug)]
@@ -202,7 +214,7 @@ impl TpaIndex {
     pub fn finish_family(&self, mut family: Vec<f64>) -> Vec<f64> {
         let scale = self.params.neighbor_scale();
         for (ri, &si) in family.iter_mut().zip(&self.stranger) {
-            *ri += scale * *ri + si;
+            *ri = finish_one(scale, *ri, si);
         }
         family
     }
