@@ -34,6 +34,7 @@ fn main() {
             "query_latency",
             "topk_latency",
             "service_throughput",
+            "service_overload",
             "metrics_overhead",
         ])
         .collect();

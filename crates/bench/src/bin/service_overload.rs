@@ -1,0 +1,275 @@
+//! Overload behavior: goodput and tail latency of a gated `RwrService`
+//! under 4× oversubscription, with shedding on vs off.
+//!
+//! Two closed-loop client pools hammer the same graph through a
+//! two-slot admission gate for a fixed wall-clock window:
+//!
+//! * **shed off** — the gate queues every arrival (the queue is sized
+//!   so a closed-loop pool can never overflow it). Every request
+//!   eventually completes, but each one drags the whole waiting line
+//!   behind it: client-observed p99 is the queue, not the kernel.
+//! * **shed on** — `ShedPolicy::Reject` (no queue). Excess arrivals
+//!   fail fast with `TpaError::Overloaded` and the client retries after
+//!   a short backoff; admitted requests run immediately, so the p99 of
+//!   *successful* requests collapses back to kernel scale.
+//!
+//! The CI bar (enforced at smoke scale, exit 1 on failure):
+//!
+//! 1. `p99(shed on) <= 0.5 * p99(shed off)` — shedding must buy tail
+//!    latency, not just reject work.
+//! 2. The deadline probe: a request whose deadline expires mid-sweep
+//!    aborts at an iteration boundary — its observed latency stays well
+//!    under the full-sweep time it would otherwise have burned.
+//!
+//! Output: ASCII table, `results/service_overload.csv`, and
+//! `BENCH_overload.json`. Env knobs: `TPA_QUICK=1` for the smoke
+//! config.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+use tpa_bench::harness::results_dir;
+use tpa_bench::report::BenchReport;
+use tpa_core::{
+    AdmissionConfig, CancelToken, QueryRequest, RwrService, ServiceBuilder, ShedPolicy, TpaError,
+};
+use tpa_eval::Table;
+use tpa_graph::gen::{rmat, RmatConfig};
+use tpa_graph::{CsrGraph, NodeId};
+use tpa_obs::MetricsRegistry;
+
+/// Slots in the admission gate; the client pool is 4× this.
+const SLOTS: usize = 2;
+const OVERSUBSCRIPTION: usize = 4;
+/// Client-side retry backoff after an `Overloaded` rejection.
+const RETRY_BACKOFF: Duration = Duration::from_micros(200);
+
+fn main() {
+    let quick = tpa_bench::harness::quick();
+    let (n, m_target, window) = if quick {
+        (20_000, 200_000, Duration::from_millis(1500))
+    } else {
+        (50_000, 500_000, Duration::from_secs(4))
+    };
+    let threads = SLOTS * OVERSUBSCRIPTION;
+
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x10ad);
+    let g = rmat(n, m_target, RmatConfig::default(), &mut rng);
+    let m = g.m();
+    eprintln!(
+        "[service_overload] R-MAT n={n} m={m}; {threads} clients vs {SLOTS} slots \
+         ({OVERSUBSCRIPTION}x oversubscribed), {window:?} window per mode"
+    );
+
+    // With `TPA_METRICS_OUT` set, one registry watches every service in
+    // the bench; the dump then carries all the admission/abort families
+    // (what the CI smoke step scrapes with `tpa stats --require`).
+    let metrics_out = std::env::var("TPA_METRICS_OUT").ok().filter(|p| !p.is_empty());
+    let registry = metrics_out.as_ref().map(|_| Arc::new(MetricsRegistry::new()));
+
+    let off = run_mode(&g, false, threads, window, n, registry.as_ref());
+    let on = run_mode(&g, true, threads, window, n, registry.as_ref());
+    let p99_ratio = on.p99 / off.p99.max(1e-12);
+
+    let mut table = Table::new(
+        format!("overload: {threads} closed-loop clients vs {SLOTS} admission slots"),
+        &["mode", "goodput_qps", "shed_total", "p50_ms", "p99_ms"],
+    );
+    for (label, r) in [("shed off", &off), ("shed on", &on)] {
+        table.row(&[
+            label.to_string(),
+            format!("{:.1}", r.goodput),
+            r.shed.to_string(),
+            format!("{:.3}", r.p50 * 1e3),
+            format!("{:.3}", r.p99 * 1e3),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("p99 ratio (shed on / shed off): {p99_ratio:.3}");
+
+    // --- Deadline probe: an expired deadline must abort the sweep at
+    // an iteration boundary, not ride it to completion.
+    let probe = deadline_probe(&g, n, registry.as_ref());
+    println!(
+        "deadline probe: full sweep {:.3}ms, budget {:.3}ms, aborted after {:.3}ms",
+        probe.sweep * 1e3,
+        probe.budget * 1e3,
+        probe.abort * 1e3,
+    );
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    table.write_csv(dir.join("service_overload.csv")).unwrap();
+
+    // --- Bars (enforced even in the smoke run: this is the CI step).
+    let tail_pass = p99_ratio <= 0.5;
+    let deadline_pass = probe.abort <= 0.5 * probe.sweep;
+    let verdict = if tail_pass && deadline_pass { "PASS" } else { "FAIL" };
+    BenchReport::new("service_overload")
+        .field("graph", format!("{{\"generator\": \"rmat\", \"n\": {n}, \"m\": {m}}}"))
+        .field("slots", SLOTS.to_string())
+        .field("clients", threads.to_string())
+        .field("window_secs", format!("{:.3}", window.as_secs_f64()))
+        .field("shed_off", off.json())
+        .field("shed_on", on.json())
+        .field("p99_ratio", format!("{p99_ratio:.4}"))
+        .field(
+            "deadline_probe",
+            format!(
+                "{{\"sweep_secs\": {:.6}, \"budget_secs\": {:.6}, \"abort_secs\": {:.6}}}",
+                probe.sweep, probe.budget, probe.abort
+            ),
+        )
+        .field(
+            "verdict",
+            format!(
+                "{{\"pass\": {}, \"bars\": \"p99_ratio <= 0.5, deadline abort <= 0.5x sweep\"}}",
+                tail_pass && deadline_pass
+            ),
+        )
+        .write("BENCH_overload.json");
+    if let (Some(path), Some(reg)) = (&metrics_out, &registry) {
+        std::fs::write(path, reg.render_prometheus()).unwrap();
+        eprintln!("[service_overload] wrote metrics dump to {path}");
+    }
+    eprintln!(
+        "[service_overload] p99 ratio {p99_ratio:.3} (bar <= 0.5), deadline abort \
+         {:.1}% of sweep (bar <= 50%) -> {verdict}",
+        100.0 * probe.abort / probe.sweep.max(1e-12),
+    );
+    if verdict == "FAIL" {
+        std::process::exit(1);
+    }
+}
+
+struct ModeResult {
+    ok: u64,
+    shed: u64,
+    goodput: f64,
+    p50: f64,
+    p99: f64,
+}
+
+impl ModeResult {
+    fn json(&self) -> String {
+        format!(
+            "{{\"completed\": {}, \"shed\": {}, \"goodput_qps\": {:.2}, \
+             \"p50_secs\": {:.6}, \"p99_secs\": {:.6}}}",
+            self.ok, self.shed, self.goodput, self.p50, self.p99
+        )
+    }
+}
+
+/// One fixed-window closed-loop run: `threads` clients issuing exact
+/// single-seed sweeps as fast as the gate admits them.
+fn run_mode(
+    g: &CsrGraph,
+    shed_on: bool,
+    threads: usize,
+    window: Duration,
+    n: usize,
+    registry: Option<&Arc<MetricsRegistry>>,
+) -> ModeResult {
+    let cfg = if shed_on {
+        AdmissionConfig::new(SLOTS).with_shed(ShedPolicy::Reject)
+    } else {
+        // A closed-loop pool can never have more than `threads` requests
+        // in the system, so this queue never overflows: nothing sheds.
+        AdmissionConfig::new(SLOTS).with_queue(threads)
+    };
+    let mut builder = ServiceBuilder::in_memory(g.clone()).admission(cfg);
+    if let Some(reg) = registry {
+        builder = builder.metrics(Arc::clone(reg));
+    }
+    let service: Arc<RwrService> = Arc::new(builder.build().unwrap());
+    let ok = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let samples: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let barrier = Barrier::new(threads);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let service = Arc::clone(&service);
+            let (ok, shed, samples, barrier) = (&ok, &shed, &samples, &barrier);
+            s.spawn(move || {
+                let mut local = Vec::new();
+                let mut q = 0usize;
+                barrier.wait();
+                let t0 = Instant::now();
+                while t0.elapsed() < window {
+                    let seed = ((t * 7919 + q * 613 + 29) % n) as NodeId;
+                    q += 1;
+                    let req = QueryRequest::single(seed).exact();
+                    let before = Instant::now();
+                    match service.submit(&req) {
+                        Ok(resp) => {
+                            std::hint::black_box(&resp.result);
+                            local.push(before.elapsed().as_secs_f64());
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TpaError::Overloaded { .. }) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(RETRY_BACKOFF);
+                        }
+                        Err(e) => panic!("unexpected overload-bench error: {e}"),
+                    }
+                }
+                samples.lock().unwrap().append(&mut local);
+            });
+        }
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let mut lat = samples.into_inner().unwrap();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let q = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+    let (ok, shed) = (ok.load(Ordering::Relaxed), shed.load(Ordering::Relaxed));
+    assert!(!lat.is_empty(), "a {window:?} window must complete some requests");
+    if shed_on {
+        assert!(shed > 0, "4x oversubscription against a rejecting gate must shed");
+    } else {
+        assert_eq!(shed, 0, "the closed-loop pool must fit the shed-off queue");
+    }
+    ModeResult { ok, shed, goodput: ok as f64 / wall, p50: q(0.50), p99: q(0.99) }
+}
+
+struct DeadlineProbe {
+    sweep: f64,
+    budget: f64,
+    abort: f64,
+}
+
+/// Measures a full exact sweep, then re-issues it with a deadline far
+/// below the sweep time: the request must come back `DeadlineExceeded`
+/// promptly instead of finishing the sweep it can no longer use. Also
+/// fires one pre-cancelled request so the cancel counter is exercised.
+fn deadline_probe(
+    g: &CsrGraph,
+    n: usize,
+    registry: Option<&Arc<MetricsRegistry>>,
+) -> DeadlineProbe {
+    let mut builder = ServiceBuilder::in_memory(g.clone());
+    if let Some(reg) = registry {
+        builder = builder.metrics(Arc::clone(reg));
+    }
+    let service = builder.build().unwrap();
+    let seed = (n / 3) as NodeId;
+    let token = CancelToken::new();
+    token.cancel();
+    match service.submit(&QueryRequest::single(seed).with_cancel(token)) {
+        Err(TpaError::Cancelled) => {}
+        other => panic!("pre-cancelled probe must fail typed, got {other:?}"),
+    }
+    let (resp, dt) = tpa_eval::time(|| service.submit(&QueryRequest::single(seed).exact()));
+    std::hint::black_box(&resp.unwrap().result);
+    let sweep = dt.as_secs_f64();
+    let budget = Duration::from_secs_f64((sweep / 6.0).max(50e-6));
+    let req = QueryRequest::single(seed).exact().with_deadline(budget);
+    let (out, dt) = tpa_eval::time(|| service.submit(&req));
+    match out {
+        Err(TpaError::DeadlineExceeded { .. }) => {}
+        Ok(_) => panic!("a {budget:?} budget cannot cover a {sweep:.4}s sweep"),
+        Err(e) => panic!("unexpected deadline-probe error: {e}"),
+    }
+    DeadlineProbe { sweep, budget: budget.as_secs_f64(), abort: dt.as_secs_f64() }
+}

@@ -7,8 +7,9 @@ use std::io::Write;
 use std::path::Path;
 use std::sync::Arc;
 use tpa_core::{
-    top_k_scored, CpiConfig, FrontierPolicy, IndexStalenessPolicy, MaintenanceMode, QueryEngine,
-    QueryRequest, QueryResponse, ScoreCache, ServiceBuilder, TpaIndex, TpaParams,
+    top_k_scored, AdmissionConfig, CpiConfig, DegradationLevel, FrontierPolicy,
+    IndexStalenessPolicy, MaintenanceMode, QueryEngine, QueryRequest, QueryResponse, ScoreCache,
+    ServiceBuilder, ShedPolicy, TpaIndex, TpaParams,
 };
 use tpa_graph::{
     algo, io as gio, reorder, CsrGraph, DynamicGraph, EdgeUpdate, NodeId, ReorderStrategy,
@@ -115,6 +116,17 @@ can be scraped while it runs (requires --metrics-out).
 auto (default) runs the sparse-frontier kernel while the seed's
 neighborhood is small and switches to the dense kernels once it
 saturates; results are bitwise identical under every setting.
+--deadline-ms N (query, batch, update) gives every request a hard
+budget: expired requests fail with a typed deadline error at the next
+CPI iteration boundary instead of running to completion.
+--max-inflight N (query, batch, update) puts an admission gate in front
+of the serving layer: at most N requests execute concurrently, excess
+waits in a bounded queue, overflow is rejected with a typed overload
+error. --shed-policy off|reject|degrade (requires --max-inflight) picks
+what happens under pressure: off queues until a slot or the deadline,
+reject never queues, degrade climbs an explicit precision-shedding
+ladder (cache-first, loosened epsilon, dropped top-k proof, reject) —
+the applied level is printed in the response metadata, never silent.
 
 Dataset keys: slashdot-s google-s pokec-s livejournal-s wikilink-s
               twitter-s friendster-s"
@@ -348,14 +360,54 @@ fn print_response_meta(out: &mut dyn Write, resp: &QueryResponse, secs: f64) {
         Some(i) => format!(", {i} CPI iterations"),
         None => String::new(),
     };
+    let degraded = match resp.degradation {
+        DegradationLevel::None => String::new(),
+        level => format!(", degraded: {level}"),
+    };
     let _ = writeln!(
         out,
-        "query took {} (backend {}, epoch {}, {}{iters})",
+        "query took {} (backend {}, epoch {}, {}{iters}{degraded})",
         tpa_eval::format_secs(secs),
         resp.backend,
         resp.epoch,
         if resp.indexed { "indexed" } else { "exact" },
     );
+}
+
+/// Parses the shared resilience flags — `--deadline-ms` (per-request
+/// budget, whole milliseconds), `--max-inflight` (admission gate bound),
+/// and `--shed-policy off|reject|degrade` — into a per-request deadline
+/// and an optional [`AdmissionConfig`].
+fn admission_flags(
+    args: &Args,
+) -> Result<(Option<std::time::Duration>, Option<AdmissionConfig>), String> {
+    let deadline = match args.get("deadline-ms") {
+        None => None,
+        Some(raw) => {
+            let ms: u64 =
+                raw.parse().map_err(|_| format!("--deadline-ms: cannot parse {raw:?}"))?;
+            if ms == 0 {
+                return Err("--deadline-ms must be at least 1".into());
+            }
+            Some(std::time::Duration::from_millis(ms))
+        }
+    };
+    let admission = match (args.get("max-inflight"), args.get("shed-policy")) {
+        (None, None) => None,
+        (None, Some(_)) => {
+            return Err("--shed-policy requires --max-inflight (the gate it configures)".into())
+        }
+        (Some(raw), shed) => {
+            let max: usize =
+                raw.parse().map_err(|_| format!("--max-inflight: cannot parse {raw:?}"))?;
+            let mut cfg = AdmissionConfig::new(max);
+            if let Some(policy) = shed {
+                cfg = cfg.with_shed(ShedPolicy::parse(policy).map_err(|e| e.to_string())?);
+            }
+            Some(cfg)
+        }
+    };
+    Ok((deadline, admission))
 }
 
 fn load_index(path: &str, g: &CsrGraph) -> Result<TpaIndex, String> {
@@ -383,15 +435,22 @@ fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     }
     let metrics = metrics_registry_flag(args);
     let index = load_index(index_path, &g)?;
+    let (deadline, admission) = admission_flags(args)?;
     let mut builder = service_builder(g, args)?.index(index);
     if let Some((_, reg)) = &metrics {
         builder = builder.metrics(Arc::clone(reg));
+    }
+    if let Some(cfg) = admission {
+        builder = builder.admission(cfg);
     }
     let service = builder.build().map_err(|e| e.to_string())?;
     let bounded = exact_bounds_flag(args)?;
     let mut request = QueryRequest::single(seed).top_k(top);
     if bounded {
         request = request.with_exact_bounds();
+    }
+    if let Some(d) = deadline {
+        request = request.with_deadline(d);
     }
     let (resp, dt) = tpa_eval::time(|| service.submit(&request));
     let resp = resp.map_err(|e| e.to_string())?;
@@ -479,6 +538,10 @@ fn cmd_batch(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     if let Some((_, reg)) = &metrics {
         builder = builder.metrics(Arc::clone(reg));
     }
+    let (deadline, admission) = admission_flags(args)?;
+    if let Some(cfg) = admission {
+        builder = builder.admission(cfg);
+    }
     let service = builder.build().map_err(|e| e.to_string())?;
     // With --metrics-every the batch is submitted in chunks of that many
     // seeds and the dump re-written between chunks, so a long batch can
@@ -490,23 +553,32 @@ fn cmd_batch(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let mut backend = "";
     let mut epoch = 0;
     let started = std::time::Instant::now();
+    let mut worst_degradation = DegradationLevel::None;
     for part in seeds.chunks(chunk) {
         let mut request = QueryRequest::batch(part.to_vec()).top_k(top);
         if exact {
             request = request.exact();
         }
+        if let Some(d) = deadline {
+            request = request.with_deadline(d);
+        }
         let resp = service.submit(&request).map_err(|e| e.to_string())?;
         backend = resp.backend;
         epoch = resp.epoch;
+        worst_degradation = worst_degradation.max(resp.degradation);
         rankings.extend(resp.result.into_ranked());
         if let Some((path, reg)) = &metrics {
             write_metrics_dump(path, reg)?;
         }
     }
     let dt = started.elapsed();
+    let degraded = match worst_degradation {
+        DegradationLevel::None => String::new(),
+        level => format!(", degraded: {level}"),
+    };
     let _ = writeln!(
         out,
-        "batched {} seeds in {} ({} per seed, backend {backend}, epoch {epoch})",
+        "batched {} seeds in {} ({} per seed, backend {backend}, epoch {epoch}{degraded})",
         seeds.len(),
         tpa_eval::format_secs(dt.as_secs_f64()),
         tpa_eval::format_secs(dt.as_secs_f64() / seeds.len() as f64),
@@ -628,6 +700,11 @@ fn cmd_update(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     if let Some((_, reg)) = &metrics {
         engine = engine.with_metrics(Arc::clone(reg));
     }
+    // Attach after --metrics-out so the gate records into the registry.
+    let (deadline, admission) = admission_flags(args)?;
+    if let Some(cfg) = admission {
+        engine = engine.with_admission(cfg).map_err(|e| e.to_string())?;
+    }
     if let Some(path) = args.get("index") {
         let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
         let index = TpaIndex::load(std::io::BufReader::new(f)).map_err(|e| e.to_string())?;
@@ -670,6 +747,7 @@ fn cmd_update(args: &Args, out: &mut dyn Write) -> Result<(), String> {
                 flush_updates(&mut engine, &mut cache, &mut pending, patch_index, &mut stats)?;
                 dump_metrics(&stats, false)?;
                 stats.queries += 1;
+                let mut degradation = DegradationLevel::None;
                 let ranked = match &mut cache {
                     Some(cache) => {
                         let t = engine.dynamic_transition().expect("dynamic backend");
@@ -683,12 +761,25 @@ fn cmd_update(args: &Args, out: &mut dyn Write) -> Result<(), String> {
                         ranked
                     }
                     None => {
-                        let (ranked, dt) = tpa_eval::time(|| engine.top_k(seed, top));
+                        let mut request = QueryRequest::single(seed).top_k(top);
+                        if let Some(d) = deadline {
+                            request = request.with_deadline(d);
+                        }
+                        let (resp, dt) = tpa_eval::time(|| engine.submit(&request));
+                        let resp = resp.map_err(|e| e.to_string())?;
                         stats.query_time += dt;
-                        ranked
+                        degradation = resp.degradation;
+                        resp.result.into_ranked().pop().unwrap()
                     }
                 };
-                let _ = writeln!(out, "query seed {seed} (top {top}):");
+                match degradation {
+                    DegradationLevel::None => {
+                        let _ = writeln!(out, "query seed {seed} (top {top}):");
+                    }
+                    level => {
+                        let _ = writeln!(out, "query seed {seed} (top {top}, degraded: {level}):");
+                    }
+                }
                 print_ranking(out, &ranked);
             }
         }
@@ -1438,6 +1529,75 @@ mod tests {
         run_cmd(&format!("generate --dataset slashdot-s --scale 40 --out {}", graph.display()));
         let (code, _) = run_cmd(&format!("exact --graph {} --seed 999999", graph.display()));
         assert_eq!(code, 1);
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    #[test]
+    fn admission_flags_gate_query_batch_update() {
+        let d = tmpdir("admission");
+        let graph = d.join("g.bin");
+        let index = d.join("g.tpa");
+        let seeds = d.join("seeds.txt");
+        let stream = d.join("stream.txt");
+        run_cmd(&format!("generate --dataset slashdot-s --scale 20 --out {}", graph.display()));
+        run_cmd(&format!(
+            "preprocess --graph {} --s 5 --t 10 --out {}",
+            graph.display(),
+            index.display()
+        ));
+        std::fs::write(&seeds, "0 3 7\n").unwrap();
+        std::fs::write(&stream, "+ 1 5\n? 1\n").unwrap();
+
+        // A generous deadline + a one-wide gate pass on every command.
+        let (code, text) = run_cmd(&format!(
+            "query --graph {} --index {} --seed 3 --deadline-ms 60000 --max-inflight 1 \
+             --shed-policy degrade",
+            graph.display(),
+            index.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("rank"), "{text}");
+        let (code, text) = run_cmd(&format!(
+            "batch --graph {} --seeds {} --topk 2 --deadline-ms 60000 --max-inflight 2 \
+             --shed-policy off",
+            graph.display(),
+            seeds.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        let (code, text) = run_cmd(&format!(
+            "update --graph {} --stream {} --deadline-ms 60000 --max-inflight 1 \
+             --shed-policy reject",
+            graph.display(),
+            stream.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("query seed 1"), "{text}");
+
+        // Bad values are rejected with a message, not a panic.
+        let (code, _) = run_cmd(&format!(
+            "query --graph {} --index {} --seed 3 --deadline-ms 0",
+            graph.display(),
+            index.display()
+        ));
+        assert_eq!(code, 1, "--deadline-ms 0 must be rejected");
+        let (code, _) = run_cmd(&format!(
+            "query --graph {} --index {} --seed 3 --max-inflight 0",
+            graph.display(),
+            index.display()
+        ));
+        assert_eq!(code, 1, "--max-inflight 0 must be rejected");
+        let (code, _) = run_cmd(&format!(
+            "query --graph {} --index {} --seed 3 --shed-policy degrade",
+            graph.display(),
+            index.display()
+        ));
+        assert_eq!(code, 1, "--shed-policy without --max-inflight must be rejected");
+        let (code, _) = run_cmd(&format!(
+            "query --graph {} --index {} --seed 3 --max-inflight 2 --shed-policy sometimes",
+            graph.display(),
+            index.display()
+        ));
+        assert_eq!(code, 1, "an unknown shed policy must be rejected");
         let _ = std::fs::remove_dir_all(d);
     }
 }

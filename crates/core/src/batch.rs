@@ -117,6 +117,23 @@ pub fn cpi_batch<P: Propagator + ?Sized>(
     start: usize,
     end: Option<usize>,
 ) -> ScoreBlock {
+    cpi_batch_guarded(t, seeds, cfg, start, end, || false)
+}
+
+/// [`cpi_batch`] with an early-stop probe consulted before every fused
+/// propagation step — the batched twin of the sweep-guard hook on the
+/// scalar path, so a cancelled or deadline-expired batch request stops
+/// at an iteration boundary instead of streaming the whole window. A
+/// stopped run returns the partial window sum; the caller that
+/// requested the stop discards it.
+pub(crate) fn cpi_batch_guarded<P: Propagator + ?Sized>(
+    t: &P,
+    seeds: &[NodeId],
+    cfg: &crate::CpiConfig,
+    start: usize,
+    end: Option<usize>,
+    mut stop: impl FnMut() -> bool,
+) -> ScoreBlock {
     cfg.validate();
     let n = t.n();
     let lanes = seeds.len();
@@ -148,7 +165,7 @@ pub fn cpi_batch<P: Propagator + ?Sized>(
     };
     let hard_end = end.unwrap_or(usize::MAX);
     let mut i = 0usize;
-    while residual >= cfg.eps && i < hard_end && i < cfg.max_iters {
+    while residual >= cfg.eps && i < hard_end && i < cfg.max_iters && !stop() {
         i += 1;
         t.propagate_block_into(1.0 - cfg.c, &x, &mut next);
         std::mem::swap(&mut x.data, &mut next.data);

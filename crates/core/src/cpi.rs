@@ -160,6 +160,25 @@ pub fn cpi_trace_policy<P: Propagator + ?Sized>(
     cpi_sweep_policy(transition, seeds, cfg, start, end, policy, on_iteration, |_| false)
 }
 
+/// [`cpi_policy`] with an admission guard riding the sweep: the guard's
+/// probe is consulted after every accumulated iteration — exactly the
+/// hook the bounded top-k checker uses — so a cancelled or
+/// deadline-expired request stops at the next iteration boundary
+/// instead of running its sweep to completion. A tripped guard surfaces
+/// as `converged: false`; the caller maps the trip to its typed error
+/// via `SweepGuard::abort_error` and discards the partial scores.
+pub(crate) fn cpi_guarded_policy<P: Propagator + ?Sized>(
+    transition: &P,
+    seeds: &SeedSet,
+    cfg: &CpiConfig,
+    start: usize,
+    end: Option<usize>,
+    policy: FrontierPolicy,
+    guard: &crate::admission::SweepGuard,
+) -> CpiResult {
+    cpi_sweep_policy(transition, seeds, cfg, start, end, policy, |_, _| {}, |_| guard.probe())
+}
+
 /// Point-in-time view of a CPI sweep handed to an early-stop probe after
 /// each accumulated iteration (see [`cpi_sweep_policy`]).
 pub(crate) struct SweepProbe<'a> {

@@ -232,6 +232,11 @@ pub struct QueryEngine<'g> {
     /// (re)built or patched — the telescoped `Ã_old → Ã_now` change per
     /// source node, fuel for [`QueryEngine::patch_index`].
     index_deltas: HashMap<NodeId, SourceDelta>,
+    /// Optional admission gate in front of [`QueryEngine::submit`] —
+    /// the same bounded-concurrency/deadline/shed semantics as
+    /// [`crate::RwrService::submit`] (see
+    /// [`QueryEngine::with_admission`]). `None` admits unconditionally.
+    admission: Option<crate::admission::AdmissionGate>,
 }
 
 /// Default lane-tile width for batched plans (see
@@ -286,6 +291,7 @@ impl<'g> QueryEngine<'g> {
             staleness: IndexStalenessPolicy::default(),
             accumulated_drift: 0.0,
             index_deltas: HashMap::new(),
+            admission: None,
         }
     }
 
@@ -670,9 +676,36 @@ impl<'g> QueryEngine<'g> {
 
     /// [`QueryEngine::execute`] returning the full [`QueryResponse`]
     /// (scores plus backend/epoch/iteration metadata) — the same shape
-    /// [`crate::RwrService::submit`] returns.
+    /// [`crate::RwrService::submit`] returns. When an admission gate is
+    /// attached ([`QueryEngine::with_admission`]), the request clears it
+    /// first, with the same deadline/shed/rejection semantics as the
+    /// concurrent service.
     pub fn submit(&self, req: &QueryRequest) -> Result<QueryResponse, TpaError> {
-        self.snap.run(req)
+        let Some(gate) = &self.admission else {
+            return self.snap.run(req);
+        };
+        let started = std::time::Instant::now();
+        let (permit, level, deadline_at) =
+            crate::service::admit(gate, self.snap.metrics.as_deref(), req, started)?;
+        let result = self.snap.run_shaped(req, level, deadline_at, &gate.config().shed);
+        drop(permit);
+        result
+    }
+
+    /// Puts an admission gate in front of [`QueryEngine::submit`]: the
+    /// same bounded in-flight/queue, deadline, and shed-ladder semantics
+    /// as [`crate::ServiceBuilder::admission`] gives the concurrent
+    /// service. On a single-owner engine the gate mostly matters for its
+    /// deadline/shed behaviour (there is at most one caller), but the
+    /// semantics — and the stamped [`crate::DegradationLevel`] — are
+    /// identical, so CLI flows behave the same on either serving layer.
+    pub fn with_admission(self, cfg: crate::admission::AdmissionConfig) -> Result<Self, TpaError> {
+        cfg.check()?;
+        let metrics = self.snap.metrics.clone();
+        Ok(QueryEngine {
+            admission: Some(crate::admission::AdmissionGate::new(cfg, metrics)),
+            ..self
+        })
     }
 
     /// Full scores for one seed (index path when available). Panics on

@@ -15,6 +15,7 @@
 //! [`std::fmt::Display`] rendering, so every failure reads the same no
 //! matter which entry point raised it.
 
+use std::time::Duration;
 use tpa_graph::NodeId;
 
 /// Everything that can go wrong on the public serving paths.
@@ -59,6 +60,30 @@ pub enum TpaError {
     InvalidConfig(String),
     /// An I/O failure while loading or persisting a graph or index.
     Io(std::io::Error),
+    /// The admission gate refused the request: every in-flight slot
+    /// was busy and the bounded wait queue was full (or the shed
+    /// ladder reached [`crate::DegradationLevel::Rejected`]). Rejection
+    /// is immediate — under sustained oversubscription callers fail in
+    /// microseconds instead of queueing without bound.
+    Overloaded {
+        /// Requests running when this one was refused.
+        inflight: usize,
+        /// Requests already waiting in the bounded queue.
+        queued: usize,
+    },
+    /// The request's deadline ([`crate::QueryRequest::with_deadline`])
+    /// expired — in the admission queue or at a CPI iteration boundary
+    /// mid-sweep. The sweep stops cooperatively; no request consumes a
+    /// full sweep after its deadline passes.
+    DeadlineExceeded {
+        /// The deadline the request carried.
+        budget: Duration,
+        /// Wall time actually spent (queueing + kernel) before abort.
+        elapsed: Duration,
+    },
+    /// The request's [`crate::CancelToken`] fired; the sweep stopped
+    /// at the next iteration boundary.
+    Cancelled,
 }
 
 impl TpaError {
@@ -71,6 +96,9 @@ impl TpaError {
             TpaError::BackendMismatch { .. } => "backend_mismatch",
             TpaError::InvalidConfig(_) => "invalid_config",
             TpaError::Io(_) => "io",
+            TpaError::Overloaded { .. } => "overloaded",
+            TpaError::DeadlineExceeded { .. } => "deadline_exceeded",
+            TpaError::Cancelled => "cancelled",
         }
     }
 }
@@ -91,6 +119,15 @@ impl std::fmt::Display for TpaError {
             }
             TpaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             TpaError::Io(e) => write!(f, "I/O error: {e}"),
+            TpaError::Overloaded { inflight, queued } => write!(
+                f,
+                "service overloaded: {inflight} requests in flight, {queued} queued — retry with \
+                 backoff or raise --max-inflight"
+            ),
+            TpaError::DeadlineExceeded { budget, elapsed } => {
+                write!(f, "deadline of {budget:?} exceeded after {elapsed:?}")
+            }
+            TpaError::Cancelled => write!(f, "request cancelled by its caller"),
         }
     }
 }
@@ -144,6 +181,23 @@ mod tests {
         assert_eq!(e.to_string(), "backend sequential does not support edge updates");
         let e = TpaError::InvalidConfig("lane tile must be at least 1".into());
         assert!(e.to_string().starts_with("invalid configuration"));
+        let e = TpaError::Overloaded { inflight: 8, queued: 4 };
+        assert!(e.to_string().contains("8 requests in flight"), "{e}");
+        assert!(e.to_string().contains("4 queued"), "{e}");
+        let e = TpaError::DeadlineExceeded {
+            budget: Duration::from_millis(5),
+            elapsed: Duration::from_millis(7),
+        };
+        assert!(e.to_string().contains("5ms"), "{e}");
+        assert_eq!(TpaError::Cancelled.to_string(), "request cancelled by its caller");
+    }
+
+    #[test]
+    fn admission_variants_have_stable_metric_labels() {
+        assert_eq!(TpaError::Overloaded { inflight: 1, queued: 0 }.variant_name(), "overloaded");
+        let e = TpaError::DeadlineExceeded { budget: Duration::ZERO, elapsed: Duration::ZERO };
+        assert_eq!(e.variant_name(), "deadline_exceeded");
+        assert_eq!(TpaError::Cancelled.variant_name(), "cancelled");
     }
 
     #[test]

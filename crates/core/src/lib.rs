@@ -68,6 +68,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod batch;
 pub mod bounds;
 mod cpi;
@@ -91,6 +92,10 @@ mod tpa;
 mod transition;
 mod weighted;
 
+pub use admission::{
+    AdmissionConfig, CancelToken, DegradationLevel, FaultPlan, ShedConfig, ShedPolicy,
+    DEGRADATION_LEVELS,
+};
 pub use cpi::{cpi, cpi_policy, cpi_trace, cpi_trace_policy, CpiConfig, CpiResult};
 pub use decompose::{decompose, Decomposition};
 pub use dynamic::{
@@ -103,8 +108,8 @@ pub use engine::{
 pub use error::TpaError;
 pub use frontier::{FrontierPolicy, FrontierScratch, FrontierStep, FrontierWork};
 pub use metrics::{
-    EpochEvent, LatencyStats, MetricsSnapshot, RequestMetrics, ServiceMetrics, ValueStats,
-    WriterMetrics,
+    AdmissionMetrics, EpochEvent, LatencyStats, MetricsSnapshot, RequestMetrics, ServiceMetrics,
+    ValueStats, WriterMetrics,
 };
 pub use pagerank::{exact_rwr, pagerank, pagerank_window, personalized_pagerank};
 pub use parallel::ParallelTransition;

@@ -25,6 +25,7 @@
 //! `Option` branch per span site and two `Instant` reads per request
 //! (which also feed [`crate::QueryResponse::elapsed`]).
 
+use crate::admission::{DegradationLevel, DEGRADATION_LEVELS};
 use crate::error::TpaError;
 use crate::profiling::{kernel_profile, KernelProfile};
 use std::collections::VecDeque;
@@ -44,8 +45,16 @@ pub const BACKEND_NAMES: [&str; 5] =
 
 /// Error variants counted under `tpa_request_errors_total{variant=…}`
 /// (see [`TpaError::variant_name`]).
-pub const ERROR_VARIANTS: [&str; 5] =
-    ["seed_out_of_range", "dimension_mismatch", "backend_mismatch", "invalid_config", "io"];
+pub const ERROR_VARIANTS: [&str; 8] = [
+    "seed_out_of_range",
+    "dimension_mismatch",
+    "backend_mismatch",
+    "invalid_config",
+    "io",
+    "overloaded",
+    "deadline_exceeded",
+    "cancelled",
+];
 
 const EVENT_CAP: usize = 256;
 
@@ -122,6 +131,15 @@ pub struct ServiceMetrics {
     topk_early: Arc<Counter>,
     topk_fallback: Arc<Counter>,
 
+    // Admission / shedding side.
+    inflight: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
+    degradation_level: Arc<Gauge>,
+    degraded: Vec<Arc<Counter>>, // DEGRADATION_LEVELS[1..] order
+    shed_total: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    cancelled: Arc<Counter>,
+
     // Writer side.
     publishes: Arc<Counter>,
     publish_latency: Arc<Histogram>,
@@ -132,6 +150,7 @@ pub struct ServiceMetrics {
     compactions_started: Arc<Counter>,
     compactions_installed: Arc<Counter>,
     compactions_failed: Arc<Counter>,
+    compaction_retries: Arc<Counter>,
     compaction_latency: Arc<Histogram>,
 
     events: Mutex<VecDeque<EpochEvent>>,
@@ -162,6 +181,16 @@ impl ServiceMetrics {
                     "tpa_request_errors_total",
                     &[("variant", v)],
                     "admission/serving failures by TpaError variant",
+                )
+            })
+            .collect();
+        let degraded = DEGRADATION_LEVELS[1..]
+            .iter()
+            .map(|&level| {
+                r.counter_with(
+                    "tpa_requests_degraded_total",
+                    &[("level", level)],
+                    "requests served at a reduced fidelity rung of the shed ladder",
                 )
             })
             .collect();
@@ -207,6 +236,32 @@ impl ServiceMetrics {
                 "tpa_topk_fallback_dense_total",
                 "exact-bounds top-k requests answered by the dense path instead",
             ),
+            inflight: r.gauge(
+                "tpa_inflight_requests",
+                "requests currently holding an admission-gate slot",
+            ),
+            queue_depth: r.gauge(
+                "tpa_admission_queue_depth",
+                "requests waiting in the bounded admission queue",
+            ),
+            degradation_level: r.gauge(
+                "tpa_degradation_level",
+                "shed ladder rung applied to the most recent admitted request \
+                 (0 none … 4 rejected)",
+            ),
+            degraded,
+            shed_total: r.counter(
+                "tpa_requests_shed_total",
+                "requests rejected by the admission gate or shed ladder (Overloaded)",
+            ),
+            deadline_exceeded: r.counter(
+                "tpa_deadline_exceeded_total",
+                "requests aborted at a queue or CPI iteration boundary by their deadline",
+            ),
+            cancelled: r.counter(
+                "tpa_requests_cancelled_total",
+                "requests aborted cooperatively by their CancelToken",
+            ),
             publishes: r.counter("tpa_epoch_publishes_total", "snapshot epochs published"),
             publish_latency: r.histogram(
                 "tpa_publish_latency_seconds",
@@ -234,6 +289,10 @@ impl ServiceMetrics {
             compactions_failed: r.counter(
                 "tpa_compactions_failed_total",
                 "background base rebuilds that panicked (overlay untouched)",
+            ),
+            compaction_retries: r.counter(
+                "tpa_compaction_retries_total",
+                "background rebuilds re-spawned after a failure, post backoff",
             ),
             compaction_latency: r.histogram(
                 "tpa_compaction_seconds",
@@ -304,6 +363,41 @@ impl ServiceMetrics {
         if let Some(i) = ERROR_VARIANTS.iter().position(|&name| name == v) {
             self.errors[i].inc();
         }
+        match e {
+            TpaError::Overloaded { .. } => {
+                self.shed_total.inc();
+                self.degraded[DegradationLevel::Rejected.index() - 1].inc();
+            }
+            TpaError::DeadlineExceeded { .. } => self.deadline_exceeded.inc(),
+            TpaError::Cancelled => self.cancelled.inc(),
+            _ => {}
+        }
+    }
+
+    // ----- admission side -----
+
+    pub(crate) fn record_gate_depth(&self, inflight: u64, queued: u64) {
+        self.inflight.set(inflight as f64);
+        self.queue_depth.set(queued as f64);
+    }
+
+    pub(crate) fn record_degradation(&self, level: DegradationLevel) {
+        self.degradation_level.set(level.index() as f64);
+        let i = level.index();
+        if (1..DEGRADATION_LEVELS.len()).contains(&i) {
+            self.degraded[i - 1].inc();
+        }
+    }
+
+    /// Live kernel-run p99 in seconds — the latency signal the shed
+    /// ladder keys off (one histogram snapshot, no registry lock).
+    pub(crate) fn live_run_p99_secs(&self) -> f64 {
+        let s = self.run.snapshot();
+        if s.count == 0 {
+            0.0
+        } else {
+            s.quantile(0.99) as f64 * 1e-9
+        }
     }
 
     // ----- writer side -----
@@ -354,6 +448,10 @@ impl ServiceMetrics {
         self.push_event(EpochEvent::CompactionFailed { reason: reason.to_string() });
     }
 
+    pub(crate) fn record_compaction_retry(&self) {
+        self.compaction_retries.inc();
+    }
+
     // ----- readout -----
 
     /// Reads every instrument into one typed point-in-time snapshot.
@@ -401,11 +499,27 @@ impl ServiceMetrics {
                 compactions_started: self.compactions_started.get(),
                 compactions_installed: self.compactions_installed.get(),
                 compactions_failed: self.compactions_failed.get(),
+                compaction_retries: self.compaction_retries.get(),
                 compaction_latency: LatencyStats::from_hist(&self.compaction_latency),
                 recent_events: {
                     let events = self.events.lock().unwrap_or_else(|e| e.into_inner());
                     events.iter().cloned().collect()
                 },
+            },
+            admission: AdmissionMetrics {
+                inflight: self.inflight.get() as u64,
+                queue_depth: self.queue_depth.get() as u64,
+                degradation_level: DEGRADATION_LEVELS
+                    [(self.degradation_level.get() as usize).min(DEGRADATION_LEVELS.len() - 1)],
+                degraded: DEGRADATION_LEVELS[1..]
+                    .iter()
+                    .zip(&self.degraded)
+                    .map(|(&level, c)| (level, c.get()))
+                    .filter(|&(_, n)| n > 0)
+                    .collect(),
+                shed_total: self.shed_total.get(),
+                deadline_exceeded: self.deadline_exceeded.get(),
+                cancelled: self.cancelled.get(),
             },
             kernel: kernel_profile(),
         }
@@ -534,10 +648,32 @@ pub struct WriterMetrics {
     pub compactions_installed: u64,
     /// Background rebuilds that panicked.
     pub compactions_failed: u64,
+    /// Rebuilds re-spawned after a failure once the backoff elapsed.
+    pub compaction_retries: u64,
     /// Rebuild-thread fold duration.
     pub compaction_latency: LatencyStats,
     /// The bounded lifecycle event ring, oldest first.
     pub recent_events: Vec<EpochEvent>,
+}
+
+/// Admission-gate and shed-ladder readout.
+#[derive(Clone, Debug, Default)]
+pub struct AdmissionMetrics {
+    /// Requests currently holding an in-flight slot.
+    pub inflight: u64,
+    /// Requests waiting in the bounded admission queue.
+    pub queue_depth: u64,
+    /// Ladder rung applied to the most recent admitted request.
+    pub degradation_level: &'static str,
+    /// Nonzero per-rung degraded-request counts
+    /// (see [`DEGRADATION_LEVELS`]).
+    pub degraded: Vec<(&'static str, u64)>,
+    /// Requests rejected by the gate or ladder (`Overloaded`).
+    pub shed_total: u64,
+    /// Requests aborted by their deadline.
+    pub deadline_exceeded: u64,
+    /// Requests aborted by their cancel token.
+    pub cancelled: u64,
 }
 
 /// Everything [`ServiceMetrics::snapshot`] reads, as plain data.
@@ -549,6 +685,8 @@ pub struct MetricsSnapshot {
     pub requests: RequestMetrics,
     /// Writer-side epoch lifecycle.
     pub writer: WriterMetrics,
+    /// Admission-gate and shed-ladder state.
+    pub admission: AdmissionMetrics,
     /// Process-wide kernel profiling counters.
     pub kernel: KernelProfile,
 }

@@ -76,7 +76,12 @@
 //! assert_eq!(outcome.epoch, 1);
 //! ```
 
-use crate::batch::cpi_batch;
+use crate::admission::{
+    AdmissionConfig, AdmissionGate, CancelToken, DegradationLevel, FaultPlan, ShedPolicy,
+    SweepGuard,
+};
+use crate::batch::cpi_batch_guarded;
+use crate::cpi::cpi_guarded_policy;
 use crate::dynamic::{propagate_offset_policy, DynamicTransition, MaintenanceMode, SourceDelta};
 use crate::engine::{top_k_scored, EngineBackend, IndexStalenessPolicy, UpdateReport};
 use crate::error::check_seeds;
@@ -120,6 +125,8 @@ pub struct QueryRequest {
     frontier: Option<FrontierPolicy>,
     eps: Option<f64>,
     exact_bounds: bool,
+    deadline: Option<Duration>,
+    cancel: Option<CancelToken>,
 }
 
 impl QueryRequest {
@@ -139,6 +146,8 @@ impl QueryRequest {
             frontier: None,
             eps: None,
             exact_bounds: false,
+            deadline: None,
+            cancel: None,
         }
     }
 
@@ -219,6 +228,54 @@ impl QueryRequest {
     pub fn exact_bounds(&self) -> bool {
         self.exact_bounds
     }
+
+    /// Per-request deadline: the wall-clock budget covering admission
+    /// queueing *and* kernel execution. Once it expires the request
+    /// fails with [`TpaError::DeadlineExceeded`] — in the queue
+    /// immediately, mid-sweep at the next CPI iteration boundary — so
+    /// no request consumes a full sweep after its caller gave up. Must
+    /// be nonzero, checked at admission.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token: call
+    /// [`CancelToken::cancel`] from any thread and the running sweep
+    /// stops at the next iteration boundary with
+    /// [`TpaError::Cancelled`].
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The per-request deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Graph-independent admission checks, shared by
+    /// [`RwrService::submit`] (before the gate, so a malformed request
+    /// never queues) and [`Snapshot::run`]: the per-request ε must be
+    /// positive and finite, the deadline nonzero.
+    pub(crate) fn validate_limits(&self) -> Result<(), TpaError> {
+        if let Some(eps) = self.eps {
+            if !(eps.is_finite() && eps > 0.0) {
+                return Err(TpaError::InvalidConfig(format!(
+                    "per-request epsilon must be positive and finite, got {eps}"
+                )));
+            }
+        }
+        if self.deadline == Some(Duration::ZERO) {
+            return Err(TpaError::InvalidConfig("deadline must be a nonzero duration".into()));
+        }
+        Ok(())
+    }
 }
 
 /// What a request produced: one entry per seed, in request order.
@@ -285,6 +342,11 @@ pub struct QueryResponse {
     /// admission through result assembly — measured inside the call so
     /// callers get per-request timing without wrapping it themselves.
     pub elapsed: Duration,
+    /// How far the shed ladder downgraded this request (see
+    /// [`DegradationLevel`]). [`DegradationLevel::None`] — the vast
+    /// majority — means full fidelity; anything else was applied by
+    /// [`RwrService::submit`] under load and is never silent.
+    pub degradation: DegradationLevel,
 }
 
 /// Hot-seed score lanes folded into a published [`Snapshot`]: the
@@ -359,6 +421,11 @@ pub struct Snapshot<'g> {
     /// path at two `Instant` reads and a handful of `Option` branches.
     pub(crate) metrics: Option<Arc<ServiceMetrics>>,
     pub(crate) epoch: u64,
+    /// The deterministic fault plan the owning service injects from
+    /// ([`ServiceBuilder::fault_plan`]): carried by every published
+    /// snapshot so slow-kernel draws hit the read path. `None` (the
+    /// default) costs one `Option` branch per request.
+    pub(crate) fault: Option<Arc<FaultPlan>>,
     /// Per-node remaining-mass caps for the bounded top-k checker
     /// (`min((Ãᵀ𝟙)[v], 1)`, plus their max), computed lazily on the
     /// first exact-bounds request so epoch publishes stay O(batch).
@@ -381,6 +448,7 @@ impl<'g> Snapshot<'g> {
             cache: None,
             metrics: None,
             epoch: 0,
+            fault: None,
             topk_caps: std::sync::OnceLock::new(),
         }
     }
@@ -426,9 +494,22 @@ impl<'g> Snapshot<'g> {
     /// indexed snapshot only caches explicit [`ExecMode::Exact`]
     /// requests — the index path computes different, TPA-approximate
     /// scores).
-    fn cached_lane(&self, req: &QueryRequest, seeds: &[NodeId]) -> Option<Vec<f64>> {
+    ///
+    /// At [`DegradationLevel::PreferCache`] and above the eligibility
+    /// widens: a pinned single seed is served from its exact lane even
+    /// on the indexed path or under an ε override — the cheaper answer
+    /// the shed ladder prefers, labeled on the response rather than
+    /// silent.
+    fn cached_lane(
+        &self,
+        req: &QueryRequest,
+        seeds: &[NodeId],
+        level: DegradationLevel,
+    ) -> Option<Vec<f64>> {
         let cache = self.cache.as_ref()?;
-        if req.eps.is_some() || (req.mode == ExecMode::Auto && self.index.is_some()) {
+        if level < DegradationLevel::PreferCache
+            && (req.eps.is_some() || (req.mode == ExecMode::Auto && self.index.is_some()))
+        {
             return None;
         }
         let [seed] = seeds[..] else { return None };
@@ -451,8 +532,22 @@ impl<'g> Snapshot<'g> {
     /// the error variant. [`QueryResponse::elapsed`] is measured here
     /// regardless.
     pub fn run(&self, req: &QueryRequest) -> Result<QueryResponse, TpaError> {
+        self.run_shed(req, DegradationLevel::None, None)
+    }
+
+    /// [`Snapshot::run`] with the shed ladder's verdict and the
+    /// service-computed deadline instant. [`RwrService::submit`] enters
+    /// here so queue time counts against the deadline; direct
+    /// [`Snapshot::run`] calls compute their own instant from the
+    /// request's budget.
+    pub(crate) fn run_shed(
+        &self,
+        req: &QueryRequest,
+        level: DegradationLevel,
+        deadline_at: Option<Instant>,
+    ) -> Result<QueryResponse, TpaError> {
         let started = Instant::now();
-        match self.run_timed(req, started) {
+        match self.run_timed(req, started, level, deadline_at) {
             Ok(resp) => Ok(resp),
             Err(e) => {
                 if let Some(m) = &self.metrics {
@@ -463,8 +558,42 @@ impl<'g> Snapshot<'g> {
         }
     }
 
-    fn run_timed(&self, req: &QueryRequest, started: Instant) -> Result<QueryResponse, TpaError> {
+    /// [`Snapshot::run_shed`] after shaping the request per the shed
+    /// ladder rung: at [`DegradationLevel::LoosenedEpsilon`] and above
+    /// the per-request ε is floored at the policy's `shed_epsilon`, and
+    /// at [`DegradationLevel::DroppedProof`] the exact-bounds tie-order
+    /// proof is dropped to the cheaper dense cut. Shaping is explicit —
+    /// the response carries `level`, so no downgrade is ever silent.
+    pub(crate) fn run_shaped(
+        &self,
+        req: &QueryRequest,
+        level: DegradationLevel,
+        deadline_at: Option<Instant>,
+        shed: &ShedPolicy,
+    ) -> Result<QueryResponse, TpaError> {
+        if level < DegradationLevel::LoosenedEpsilon {
+            return self.run_shed(req, level, deadline_at);
+        }
+        let mut shaped = req.clone();
+        if let ShedPolicy::Degrade(cfg) = shed {
+            let floor = cfg.shed_epsilon;
+            shaped.eps = Some(shaped.eps.map_or(floor, |e| e.max(floor)));
+        }
+        if level >= DegradationLevel::DroppedProof {
+            shaped.exact_bounds = false;
+        }
+        self.run_shed(&shaped, level, deadline_at)
+    }
+
+    fn run_timed(
+        &self,
+        req: &QueryRequest,
+        started: Instant,
+        level: DegradationLevel,
+        deadline_at: Option<Instant>,
+    ) -> Result<QueryResponse, TpaError> {
         let n = self.backend.n();
+        req.validate_limits()?;
         check_seeds(&req.seeds, n)?;
         if let Some(k) = req.k {
             if k == 0 {
@@ -492,6 +621,11 @@ impl<'g> Snapshot<'g> {
         if let Some(m) = &self.metrics {
             m.record_admission(started.elapsed());
         }
+        // The guard rides every kernel below at iteration boundaries.
+        // A submit-provided instant already includes queue time; direct
+        // Snapshot::run callers start the clock here.
+        let deadline_at = deadline_at.or_else(|| req.deadline.map(|d| started + d));
+        let guard = SweepGuard::new(started, deadline_at, req.deadline, req.cancel.clone());
         let mut resp = QueryResponse {
             result: QueryResult::Scores(Vec::new()),
             backend: self.backend.name(),
@@ -502,6 +636,7 @@ impl<'g> Snapshot<'g> {
             cached: false,
             topk: None,
             elapsed: Duration::ZERO,
+            degradation: level,
         };
         if req.seeds.is_empty() {
             if req.k.is_some() {
@@ -524,15 +659,25 @@ impl<'g> Snapshot<'g> {
             }
         };
         let policy = req.frontier.unwrap_or(self.frontier);
+        // Fault injection (chaos harness only): a drawn slow-kernel
+        // fault sleeps here, before the pre-kernel guard check — a
+        // deadline-carrying request stalled by the fault fails with the
+        // explicit typed error instead of a silently late answer.
+        if let Some(f) = &self.fault {
+            if let Some(stall) = f.slow_kernel() {
+                std::thread::sleep(stall);
+            }
+        }
+        guard.check()?;
         // Bounded exact top-k: native on in-memory backends, bypassing
         // the snapshot cache (the bounded sweep is the point of the
         // request). Out-of-core lanes fall through to the dense path and
         // get stamped as a fallback below.
         if req.exact_bounds && !matches!(self.backend, EngineBackend::OutOfCore(_)) {
-            return self.run_bounded(req, seeds, policy, &exact_cfg, resp, started);
+            return self.run_bounded(req, seeds, policy, &exact_cfg, resp, started, &guard);
         }
         let run_started = Instant::now();
-        let mut scores = if let Some(lane) = self.cached_lane(req, seeds) {
+        let mut scores = if let Some(lane) = self.cached_lane(req, seeds, level) {
             resp.cached = true;
             vec![lane]
         } else {
@@ -540,35 +685,42 @@ impl<'g> Snapshot<'g> {
                 (ExecMode::Auto, Some(index)) => {
                     resp.indexed = true;
                     if let [seed] = seeds[..] {
-                        let (scores, iters, residual) = index.query_traced_policy_on(
+                        let (scores, iters, residual) = index.query_traced_guarded_on(
                             &self.backend,
                             &SeedSet::single(seed),
                             policy,
+                            &guard,
                         );
+                        guard.check()?;
                         resp.iterations = Some(iters);
                         resp.residual = Some(residual);
                         vec![scores]
                     } else {
-                        self.tiled(seeds, |tile| index.query_batch_on(&self.backend, tile))
+                        self.tiled(seeds, &guard, |tile| index.query_batch_on(&self.backend, tile))?
                     }
                 }
                 _ => {
                     if let [seed] = seeds[..] {
-                        let run = cpi_policy(
+                        let run = cpi_guarded_policy(
                             &self.backend,
                             &SeedSet::single(seed),
                             &exact_cfg,
                             0,
                             None,
                             policy,
+                            &guard,
                         );
+                        guard.check()?;
                         resp.iterations = Some(run.last_iteration);
                         resp.residual = Some(run.final_residual);
                         vec![run.scores]
                     } else {
-                        self.tiled(seeds, |tile| {
-                            cpi_batch(&self.backend, tile, &exact_cfg, 0, None).into_lanes()
-                        })
+                        self.tiled(seeds, &guard, |tile| {
+                            cpi_batch_guarded(&self.backend, tile, &exact_cfg, 0, None, || {
+                                guard.probe()
+                            })
+                            .into_lanes()
+                        })?
                     }
                 }
             }
@@ -604,6 +756,7 @@ impl<'g> Snapshot<'g> {
     /// proof fires before natural convergence return the proven
     /// candidates directly; lanes that reach the natural end finish
     /// densely — bitwise identical to the unbounded path.
+    #[allow(clippy::too_many_arguments)]
     fn run_bounded(
         &self,
         req: &QueryRequest,
@@ -612,6 +765,7 @@ impl<'g> Snapshot<'g> {
         exact_cfg: &CpiConfig,
         mut resp: QueryResponse,
         started: Instant,
+        guard: &SweepGuard,
     ) -> Result<QueryResponse, TpaError> {
         use crate::topk::{bounded_top_k, BoundedSpec, IndexedFinish};
         let k = req.k.expect("admission requires k for exact_bounds");
@@ -650,7 +804,15 @@ impl<'g> Snapshot<'g> {
                 Some(ix) => ix.params().cpi_config(),
                 None => *exact_cfg,
             };
-            let out = bounded_top_k(&self.backend, &SeedSet::single(seed), &cfg, policy, &spec);
+            let out = bounded_top_k(
+                &self.backend,
+                &SeedSet::single(seed),
+                &cfg,
+                policy,
+                &spec,
+                Some(guard),
+            );
+            guard.check()?;
             if single {
                 resp.iterations = Some(out.run.last_iteration);
                 resp.residual = Some(out.run.final_residual);
@@ -697,6 +859,7 @@ impl<'g> Snapshot<'g> {
     ) -> QueryResponse {
         resp.elapsed = started.elapsed();
         if let Some(m) = &self.metrics {
+            m.record_degradation(resp.degradation);
             if let Some(g) = &resp.topk {
                 m.record_topk(g);
             }
@@ -717,13 +880,16 @@ impl<'g> Snapshot<'g> {
     fn tiled(
         &self,
         seeds: &[NodeId],
+        guard: &SweepGuard,
         mut serve: impl FnMut(&[NodeId]) -> Vec<Vec<f64>>,
-    ) -> Vec<Vec<f64>> {
+    ) -> Result<Vec<Vec<f64>>, TpaError> {
         let mut out = Vec::with_capacity(seeds.len());
         for tile in seeds.chunks(self.lane_tile) {
+            guard.check()?;
             out.extend(serve(tile));
         }
-        out
+        guard.check()?;
+        Ok(out)
     }
 }
 
@@ -737,6 +903,40 @@ impl std::fmt::Debug for Snapshot<'_> {
             .field("reordered", &self.perm.is_some())
             .finish_non_exhaustive()
     }
+}
+
+/// The gate-side half of an admitted submission, shared by
+/// [`RwrService::submit`] and the engine shim: validate limits, start
+/// the deadline clock (queue wait counts), sample the shed ladder —
+/// [`DegradationLevel::Rejected`] fails *before* taking a slot — then
+/// acquire an execution permit. Gate-side failures are recorded into
+/// `metrics` here (they never reach [`Snapshot::run`], whose own error
+/// path records run failures).
+pub(crate) fn admit<'g>(
+    gate: &'g crate::admission::AdmissionGate,
+    metrics: Option<&ServiceMetrics>,
+    req: &QueryRequest,
+    started: Instant,
+) -> Result<(crate::admission::AdmissionPermit<'g>, DegradationLevel, Option<Instant>), TpaError> {
+    let record = |e: TpaError| {
+        if let Some(m) = metrics {
+            m.record_error(&e);
+        }
+        e
+    };
+    // Validate before queueing — malformed requests should fail fast,
+    // not occupy a queue slot first.
+    req.validate_limits().map_err(record)?;
+    let deadline_at = req.deadline.map(|d| started + d);
+    // Sample the shed ladder *before* acquiring: a rejected request
+    // must not consume (or even briefly hold) an execution slot.
+    let level = gate.degradation();
+    if level == DegradationLevel::Rejected {
+        let (inflight, queued) = gate.pressure();
+        return Err(record(TpaError::Overloaded { inflight, queued }));
+    }
+    let permit = gate.acquire(started, deadline_at, req.deadline).map_err(record)?;
+    Ok((permit, level, deadline_at))
 }
 
 /// Relabels caller-space updates into backend (new-id) space. Shared by
@@ -834,7 +1034,22 @@ struct WriterState {
     /// Test hook: poisons the next spawned rebuild so the failure path
     /// is exercisable (see [`RwrService::debug_fail_next_compaction`]).
     fail_next_compaction: bool,
+    /// Consecutive failed rebuilds since the last successful install —
+    /// drives the exponential retry backoff below. Reset on success.
+    compaction_attempts: u32,
+    /// No rebuild is spawned before this instant: capped exponential
+    /// backoff (`10ms · 2^(attempts−1)`, capped at 5s) after a failure,
+    /// so a persistently-poisoned fold can't spin a thread per batch.
+    compaction_backoff_until: Option<Instant>,
+    /// Rebuilds re-spawned after an earlier failure (the writer kept
+    /// publishing epochs in between — failures never stop the service).
+    compaction_retries: u64,
 }
+
+/// First retry delay after a failed background rebuild.
+const COMPACTION_BACKOFF_BASE: Duration = Duration::from_millis(10);
+/// Ceiling for the exponential rebuild backoff.
+const COMPACTION_BACKOFF_CAP: Duration = Duration::from_secs(5);
 
 impl WriterState {
     /// Splices a *finished* background rebuild into the overlay
@@ -861,6 +1076,8 @@ impl WriterState {
                     return false;
                 };
                 overlay.rebase(Arc::new(base), &job.log);
+                self.compaction_attempts = 0;
+                self.compaction_backoff_until = None;
                 if let Some(m) = metrics {
                     m.record_compaction_installed(took);
                 }
@@ -882,6 +1099,11 @@ impl WriterState {
 
     fn note_compaction_failure(&mut self, reason: String, metrics: Option<&ServiceMetrics>) {
         self.compaction_failures += 1;
+        self.compaction_attempts = self.compaction_attempts.saturating_add(1);
+        let delay = COMPACTION_BACKOFF_BASE
+            .saturating_mul(1u32 << (self.compaction_attempts - 1).min(16))
+            .min(COMPACTION_BACKOFF_CAP);
+        self.compaction_backoff_until = Some(Instant::now() + delay);
         if let Some(m) = metrics {
             m.record_compaction_failed(&reason);
         }
@@ -893,8 +1115,19 @@ impl WriterState {
     /// clone of the graph (cheap: the base CSR is shared by `Arc`) into
     /// a fresh CSR; publishes continue meanwhile. Panics inside the
     /// fold are caught and reported instead of silently dropped.
-    fn maybe_spawn_compaction(&mut self, metrics: Option<&ServiceMetrics>) {
+    ///
+    /// A rebuild whose predecessor failed waits out the capped
+    /// exponential backoff first, then counts as a *retry* — the writer
+    /// never stops publishing epochs while retrying.
+    fn maybe_spawn_compaction(
+        &mut self,
+        metrics: Option<&ServiceMetrics>,
+        fault: Option<&FaultPlan>,
+    ) {
         if self.compaction.is_some() {
+            return;
+        }
+        if self.compaction_backoff_until.is_some_and(|until| Instant::now() < until) {
             return;
         }
         let (Some(trigger), Some(overlay)) = (self.compact_trigger, self.overlay.as_ref()) else {
@@ -904,7 +1137,14 @@ impl WriterState {
         let delta_edges = g.delta_edges() as u64;
         if (delta_edges as f64) > trigger * g.base_arc().m() as f64 {
             let clone = g.clone();
-            let poison = std::mem::take(&mut self.fail_next_compaction);
+            let poison = std::mem::take(&mut self.fail_next_compaction)
+                || fault.is_some_and(|f| f.poison_compaction());
+            if self.compaction_attempts > 0 {
+                self.compaction_retries += 1;
+                if let Some(m) = metrics {
+                    m.record_compaction_retry();
+                }
+            }
             let failed = Arc::new(AtomicBool::new(false));
             let flag = Arc::clone(&failed);
             let handle = std::thread::spawn(move || {
@@ -944,6 +1184,13 @@ pub struct RwrService {
     /// Shared with every published snapshot; `None` unless the builder
     /// attached a registry ([`ServiceBuilder::metrics`]).
     metrics: Option<Arc<ServiceMetrics>>,
+    /// The admission gate, when [`ServiceBuilder::admission`] configured
+    /// one. `None` keeps [`RwrService::submit`] unconditional — the
+    /// pre-admission behaviour, bit for bit.
+    admission: Option<AdmissionGate>,
+    /// Deterministic fault plan for chaos testing; shared with every
+    /// published snapshot (see [`FaultPlan`]). `None` in production.
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl std::fmt::Debug for RwrService {
@@ -962,16 +1209,35 @@ impl RwrService {
         Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
     }
 
-    /// Executes a request on the current snapshot. Equivalent to
-    /// `self.snapshot().run(req)` — pin the snapshot explicitly instead
-    /// when several requests must observe the same epoch.
+    /// Executes a request on the current snapshot — through the
+    /// admission gate when one is configured.
+    ///
+    /// Without a gate this is equivalent to `self.snapshot().run(req)`
+    /// (pin the snapshot explicitly instead when several requests must
+    /// observe the same epoch). With a gate, the request first clears
+    /// admission: at most `max_inflight` requests execute concurrently,
+    /// excess submissions wait in a bounded queue (time spent queued
+    /// counts against the request's deadline), and overflow is rejected
+    /// with [`TpaError::Overloaded`]. Under [`ShedPolicy::Degrade`] the
+    /// shed ladder may additionally shape the request — the applied
+    /// [`DegradationLevel`] is stamped on the response, never silent.
     pub fn submit(&self, req: &QueryRequest) -> Result<QueryResponse, TpaError> {
-        let pin_started = Instant::now();
+        let started = Instant::now();
+        let Some(gate) = &self.admission else {
+            let snap = self.snapshot();
+            if let Some(m) = &snap.metrics {
+                m.record_pin(started.elapsed());
+            }
+            return snap.run(req);
+        };
+        let (permit, level, deadline_at) = admit(gate, self.metrics.as_deref(), req, started)?;
         let snap = self.snapshot();
         if let Some(m) = &snap.metrics {
-            m.record_pin(pin_started.elapsed());
+            m.record_pin(started.elapsed());
         }
-        snap.run(req)
+        let result = snap.run_shaped(req, level, deadline_at, &gate.config().shed);
+        drop(permit);
+        result
     }
 
     /// Full scores for one seed (index path when available).
@@ -1043,6 +1309,20 @@ impl RwrService {
             operation: "edge updates",
             backend: prev.backend.name(),
         })?;
+        // Fault injection (chaos harness): a drawn publish fault fails
+        // the batch *before* any overlay mutation, so the retry path is
+        // exercisable and a retried batch is bitwise equivalent to one
+        // that never failed.
+        if let Some(f) = &self.fault {
+            if f.publish_failure() {
+                let e =
+                    TpaError::Io(std::io::Error::other("injected publish failure (fault plan)"));
+                if let Some(m) = &self.metrics {
+                    m.record_error(&e);
+                }
+                return Err(e);
+            }
+        }
         // Callers speak old ids; a reordered service stores new ones.
         let mapped = map_updates(&prev.perm, updates);
         let updates = mapped.as_deref().unwrap_or(updates);
@@ -1095,7 +1375,7 @@ impl RwrService {
             }
             report.accumulated_drift = w.accumulated_drift;
         }
-        w.maybe_spawn_compaction(self.metrics.as_deref());
+        w.maybe_spawn_compaction(self.metrics.as_deref(), self.fault.as_deref());
         // The writer mutex serializes publishes, so the pinned snapshot's
         // epoch is the latest one and the successor is race-free.
         let epoch = prev.epoch + 1;
@@ -1238,6 +1518,12 @@ impl RwrService {
         self.writer_state().last_compaction_failure.clone()
     }
 
+    /// Number of background rebuilds re-spawned after an earlier
+    /// failure (each waited out the capped exponential backoff first).
+    pub fn compaction_retries(&self) -> u64 {
+        self.writer_state().compaction_retries
+    }
+
     /// Test hook: makes the *next* spawned background rebuild panic, so
     /// the failure-surfacing path is exercisable deterministically.
     #[doc(hidden)]
@@ -1280,6 +1566,7 @@ impl RwrService {
             metrics: self.metrics.clone(),
             epoch,
             topk_caps: std::sync::OnceLock::new(),
+            fault: self.fault.clone(),
         };
         *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(snap);
     }
@@ -1360,6 +1647,8 @@ pub struct ServiceBuilder {
     staleness: IndexStalenessPolicy,
     cache: Option<(Vec<NodeId>, MaintenanceMode)>,
     metrics: Option<Arc<MetricsRegistry>>,
+    admission: Option<AdmissionConfig>,
+    fault: Option<FaultPlan>,
 }
 
 impl ServiceBuilder {
@@ -1376,6 +1665,8 @@ impl ServiceBuilder {
             staleness: IndexStalenessPolicy::default(),
             cache: None,
             metrics: None,
+            admission: None,
+            fault: None,
         }
     }
 
@@ -1486,6 +1777,27 @@ impl ServiceBuilder {
         self
     }
 
+    /// Puts an admission gate in front of [`RwrService::submit`]: at
+    /// most [`AdmissionConfig::max_inflight`] requests execute
+    /// concurrently, excess waits in a bounded queue, overflow is
+    /// rejected with [`TpaError::Overloaded`], and — under
+    /// [`ShedPolicy::Degrade`] — the shed ladder trades precision for
+    /// goodput as pressure rises (see [`DegradationLevel`]). Without
+    /// this call `submit` admits unconditionally, exactly as before.
+    pub fn admission(mut self, cfg: AdmissionConfig) -> Self {
+        self.admission = Some(cfg);
+        self
+    }
+
+    /// Arms a deterministic fault plan for chaos testing: seeded slow
+    /// kernels, injected publish failures, and poisoned background
+    /// compactions (see [`FaultPlan`]). Test-only — never configure in
+    /// production.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     /// Validates the configuration and constructs the service.
     pub fn build(self) -> Result<RwrService, TpaError> {
         self.exact_cfg.check()?;
@@ -1496,6 +1808,9 @@ impl ServiceBuilder {
             params.check()?;
         }
         self.staleness.check()?;
+        if let Some(adm) = &self.admission {
+            adm.check()?;
+        }
         let metrics = self.metrics.as_ref().map(|r| ServiceMetrics::new(Arc::clone(r)));
         let sequential = self.threads == 1;
         let threads = match self.threads {
@@ -1542,6 +1857,8 @@ impl ServiceBuilder {
                 self.exact_cfg,
                 self.staleness,
                 metrics,
+                self.admission,
+                self.fault,
             ));
         }
 
@@ -1614,6 +1931,8 @@ impl ServiceBuilder {
                     self.exact_cfg,
                     self.staleness,
                     metrics,
+                    self.admission,
+                    self.fault,
                 ))
             }
             GraphSource::Dynamic(dg) => {
@@ -1668,6 +1987,8 @@ impl ServiceBuilder {
                     self.exact_cfg,
                     self.staleness,
                     metrics,
+                    self.admission,
+                    self.fault,
                 ))
             }
             GraphSource::Disk(_) => unreachable!("handled above"),
@@ -1687,10 +2008,14 @@ impl ServiceBuilder {
         exact_cfg: CpiConfig,
         staleness: IndexStalenessPolicy,
         metrics: Option<Arc<ServiceMetrics>>,
+        admission: Option<AdmissionConfig>,
+        fault: Option<FaultPlan>,
     ) -> RwrService {
         if let Some(m) = &metrics {
             m.record_epoch(0);
         }
+        let fault = fault.map(Arc::new);
+        let gate = admission.map(|cfg| AdmissionGate::new(cfg, metrics.clone()));
         let snap = Snapshot {
             backend,
             index,
@@ -1702,6 +2027,7 @@ impl ServiceBuilder {
             metrics: metrics.clone(),
             epoch: 0,
             topk_caps: std::sync::OnceLock::new(),
+            fault: fault.clone(),
         };
         RwrService {
             current: RwLock::new(Arc::new(snap)),
@@ -1715,8 +2041,13 @@ impl ServiceBuilder {
                 compaction_failures: 0,
                 last_compaction_failure: None,
                 fail_next_compaction: false,
+                compaction_attempts: 0,
+                compaction_backoff_until: None,
+                compaction_retries: 0,
             }),
             metrics,
+            admission: gate,
+            fault,
         }
     }
 }
@@ -1780,6 +2111,7 @@ fn resolve_index(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ShedConfig;
     use tpa_graph::gen::{lfr_lite, LfrConfig};
 
     fn test_graph() -> CsrGraph {
@@ -1926,6 +2258,166 @@ mod tests {
         let index = TpaIndex::preprocess(&other, TpaParams::new(3, 6));
         let err = ServiceBuilder::in_memory(g).index(index).build().unwrap_err();
         assert!(matches!(err, TpaError::DimensionMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn admission_gate_bounds_and_recovers() {
+        let g = test_graph();
+        let service = Arc::new(
+            ServiceBuilder::in_memory(g)
+                .admission(AdmissionConfig::new(2).with_queue(1))
+                .build()
+                .unwrap(),
+        );
+        // Sequential requests all pass: the gate only bounds concurrency.
+        for seed in 0..8 {
+            assert!(
+                service.submit(&QueryRequest::single(seed)).unwrap().degradation
+                    == DegradationLevel::None
+            );
+        }
+        // Hammer it from many threads: every outcome is either a full
+        // answer or an explicit typed rejection — never a panic, never
+        // a silent drop — and the gate drains back to empty.
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let svc = Arc::clone(&service);
+            handles.push(std::thread::spawn(move || {
+                let mut ok = 0usize;
+                let mut shed = 0usize;
+                for i in 0..20 {
+                    match svc.submit(&QueryRequest::single(((t * 20 + i) % 300) as NodeId)) {
+                        Ok(_) => ok += 1,
+                        Err(TpaError::Overloaded { .. }) => shed += 1,
+                        Err(e) => panic!("unexpected error under load: {e}"),
+                    }
+                }
+                (ok, shed)
+            }));
+        }
+        let (mut ok, mut shed) = (0, 0);
+        for h in handles {
+            let (o, s) = h.join().unwrap();
+            ok += o;
+            shed += s;
+        }
+        assert_eq!(ok + shed, 160);
+        assert!(ok > 0, "some requests must get through");
+        // Fully drained: a fresh submit admits immediately.
+        service.submit(&QueryRequest::single(0)).unwrap();
+    }
+
+    #[test]
+    fn deadline_and_cancellation_fail_fast_and_typed() {
+        let g = test_graph();
+        let service = ServiceBuilder::in_memory(g).build().unwrap();
+        // A zero deadline is rejected at validation.
+        let err =
+            service.submit(&QueryRequest::single(3).with_deadline(Duration::ZERO)).unwrap_err();
+        assert!(matches!(err, TpaError::InvalidConfig(_)), "{err}");
+        // A pre-cancelled request never runs a sweep.
+        let token = CancelToken::new();
+        token.cancel();
+        let err = service.submit(&QueryRequest::single(3).with_cancel(token)).unwrap_err();
+        assert!(matches!(err, TpaError::Cancelled), "{err}");
+        // An already-expired deadline fails with the typed error and
+        // reports the elapsed time past its budget.
+        let tiny = Duration::from_nanos(1);
+        let err = service.submit(&QueryRequest::single(3).with_deadline(tiny)).unwrap_err();
+        match err {
+            TpaError::DeadlineExceeded { budget, elapsed } => {
+                assert_eq!(budget, tiny);
+                assert!(elapsed >= budget);
+            }
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+        // A generous deadline passes untouched and answers exactly.
+        let quiet = service.submit(&QueryRequest::single(3)).unwrap();
+        let bounded = service
+            .submit(&QueryRequest::single(3).with_deadline(Duration::from_secs(60)))
+            .unwrap();
+        assert_eq!(quiet.result, bounded.result);
+        assert_eq!(bounded.degradation, DegradationLevel::None);
+    }
+
+    #[test]
+    fn degrade_policy_sheds_explicitly_under_pressure() {
+        let g = test_graph();
+        // A p99 target of zero-ish with a pre-filled run histogram would
+        // need traffic; instead drive pressure through the queue: one
+        // slot, tiny queue, and a degrade policy whose epsilon floor is
+        // loose enough to observe.
+        let service = ServiceBuilder::in_memory(g)
+            .admission(AdmissionConfig::new(1).with_queue(4).with_shed(ShedPolicy::Degrade(
+                ShedConfig { p99_target: Duration::from_secs(3600), shed_epsilon: 1e-3 },
+            )))
+            .build()
+            .unwrap();
+        // Unloaded: no degradation, full-precision answer.
+        let resp = service.submit(&QueryRequest::single(5)).unwrap();
+        assert_eq!(resp.degradation, DegradationLevel::None);
+        // The shaped-request path itself: run_shed with a ladder rung
+        // loosens epsilon and stamps the level.
+        let snap = service.snapshot();
+        let quiet = snap.run(&QueryRequest::single(5)).unwrap();
+        let shed = snap
+            .run_shed(
+                &QueryRequest::single(5).with_epsilon(1e-3),
+                DegradationLevel::LoosenedEpsilon,
+                None,
+            )
+            .unwrap();
+        assert_eq!(shed.degradation, DegradationLevel::LoosenedEpsilon);
+        assert!(shed.iterations.unwrap() < quiet.iterations.unwrap());
+    }
+
+    #[test]
+    fn builder_rejects_bad_admission_configs() {
+        let g = test_graph();
+        let err = ServiceBuilder::in_memory(g.clone())
+            .admission(AdmissionConfig::new(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TpaError::InvalidConfig(_)), "{err}");
+        let err = ServiceBuilder::in_memory(g)
+            .admission(AdmissionConfig::new(4).with_shed(ShedPolicy::Degrade(ShedConfig {
+                p99_target: Duration::from_millis(50),
+                shed_epsilon: f64::NAN,
+            })))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TpaError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn compaction_failure_backs_off_then_retries() {
+        let g = test_graph();
+        let service =
+            ServiceBuilder::dynamic(DynamicGraph::new(g).with_compact_threshold(Some(0.001)))
+                .build()
+                .unwrap();
+        service.debug_fail_next_compaction();
+        let ups: Vec<EdgeUpdate> =
+            (0..40).map(|i| EdgeUpdate::Insert(i % 300, (i * 7 + 1) % 300)).collect();
+        service.apply_updates(&ups).unwrap();
+        // Reap the poisoned rebuild.
+        while service.compaction_pending() {
+            std::thread::sleep(Duration::from_millis(2));
+            service.flush_compaction();
+        }
+        assert_eq!(service.compaction_failures(), 1);
+        assert_eq!(service.compaction_retries(), 0);
+        // Immediately re-triggering is suppressed by the backoff…
+        service.apply_updates(&[EdgeUpdate::Insert(1, 2)]).unwrap();
+        assert!(!service.compaction_pending());
+        // …but once it expires the writer retries, and the retry heals.
+        std::thread::sleep(Duration::from_millis(15));
+        service.apply_updates(&[EdgeUpdate::Insert(2, 3)]).unwrap();
+        assert!(service.flush_compaction(), "the retried rebuild must install");
+        assert_eq!(service.compaction_retries(), 1);
+        assert_eq!(service.compaction_failures(), 1);
+        // The service kept publishing throughout.
+        assert_eq!(service.epoch(), 3);
     }
 
     #[test]

@@ -502,6 +502,7 @@ pub(crate) fn bounded_top_k<P: Propagator + ?Sized>(
     cfg: &CpiConfig,
     policy: FrontierPolicy,
     spec: &BoundedSpec<'_>,
+    guard: Option<&crate::admission::SweepGuard>,
 ) -> BoundedRun {
     let n = backend.n();
     debug_assert!(spec.k >= 1 && spec.k <= n, "admission validates k");
@@ -518,7 +519,9 @@ pub(crate) fn bounded_top_k<P: Propagator + ?Sized>(
         end,
         policy,
         |_, _| {},
-        |probe| checker.observe(probe),
+        // The admission guard shares the checker's probe: a tripped
+        // deadline/cancel stops the sweep before the next bound check.
+        |probe| guard.is_some_and(|g| g.probe()) || checker.observe(probe),
     );
     // A sweep that hit ε-convergence holds fully converged scores: on
     // the exact path the dense finish is then free *and* bitwise equal
@@ -614,7 +617,7 @@ mod tests {
         let caps = chained_caps(&t);
         let spec = exact_spec(&caps, 3);
         let seeds = SeedSet::single(0);
-        let out = bounded_top_k(&t, &seeds, &cfg, FrontierPolicy::Auto, &spec);
+        let out = bounded_top_k(&t, &seeds, &cfg, FrontierPolicy::Auto, &spec, None);
         let dense = cpi_policy(&t, &seeds, &cfg, 0, None, FrontierPolicy::Auto);
         let want = top_k_scored(&dense.scores, 3);
         match out.proven {
@@ -647,7 +650,7 @@ mod tests {
         let cfg = CpiConfig::default();
         let caps = chained_caps(&t);
         let spec = exact_spec(&caps, 4);
-        let out = bounded_top_k(&t, &SeedSet::Uniform, &cfg, FrontierPolicy::Auto, &spec);
+        let out = bounded_top_k(&t, &SeedSet::Uniform, &cfg, FrontierPolicy::Auto, &spec, None);
         assert!(out.proven.is_none(), "equal scores cannot strictly separate");
         assert!(out.run.converged);
     }

@@ -206,6 +206,34 @@ impl TpaIndex {
         (self.finish_family(run.scores), run.last_iteration, run.final_residual)
     }
 
+    /// [`TpaIndex::query_traced_policy_on`] with an admission guard
+    /// riding the family sweep. A tripped guard stops the sweep at the
+    /// next iteration boundary and skips the `O(n)` family finish; the
+    /// caller detects the trip via the guard and discards the partial
+    /// result. Idle guards are bitwise invisible.
+    pub(crate) fn query_traced_guarded_on<P: crate::Propagator + ?Sized>(
+        &self,
+        backend: &P,
+        seeds: &SeedSet,
+        policy: FrontierPolicy,
+        guard: &crate::admission::SweepGuard,
+    ) -> (Vec<f64>, usize, f64) {
+        self.check_backend(backend).unwrap_or_else(|e| panic!("{e}"));
+        let run = crate::cpi::cpi_guarded_policy(
+            backend,
+            seeds,
+            &self.params.cpi_config(),
+            0,
+            Some(self.params.s - 1),
+            policy,
+            guard,
+        );
+        if guard.abort_error().is_some() {
+            return (run.scores, run.last_iteration, run.final_residual);
+        }
+        (self.finish_family(run.scores), run.last_iteration, run.final_residual)
+    }
+
     /// Folds the neighbor rescale and the precomputed stranger part into
     /// an exactly-computed family vector:
     /// `r = family + scale·family + stranger` per node, in that

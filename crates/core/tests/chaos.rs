@@ -1,0 +1,248 @@
+//! Deterministic chaos test for the resilience layer.
+//!
+//! Two replays of the same update/query script run side by side: a
+//! *quiet* service and a *faulted* one armed with a seeded [`FaultPlan`]
+//! (slow kernels, injected publish failures, poisoned background
+//! compactions, reader stalls). The property under test: **every
+//! response from the faulted run is either bit-identical to the quiet
+//! run or an explicit typed error/degradation — never a silently wrong
+//! answer.** Publish failures are injected before any overlay mutation,
+//! so a retried batch is bitwise equivalent to one that never failed;
+//! the test retries them and requires the two services to stay in
+//! epoch lockstep throughout. CI runs this file in `--release`.
+
+use std::time::Duration;
+use tpa_core::{
+    DegradationLevel, FaultPlan, QueryRequest, QueryResponse, RwrService, ServiceBuilder, TpaError,
+    TpaParams,
+};
+use tpa_graph::gen::{lfr_lite, LfrConfig};
+use tpa_graph::{CsrGraph, DynamicGraph, EdgeUpdate, NodeId};
+
+fn test_graph(seed: u64, n: usize, m: usize) -> CsrGraph {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    lfr_lite(LfrConfig { n, m, ..Default::default() }, &mut rng).graph
+}
+
+const ROUNDS: usize = 6;
+
+/// The deterministic update batch for one round of the script.
+fn round_updates(round: usize, n: usize) -> Vec<EdgeUpdate> {
+    let n = n as NodeId;
+    let r = round as NodeId;
+    vec![
+        EdgeUpdate::Insert((r * 13 + 1) % n, (r * 29 + 7) % n),
+        EdgeUpdate::Insert((r * 17 + 3) % n, (r * 31 + 5) % n),
+        EdgeUpdate::Delete((r * 13 + 1) % n, (r * 29 + 7) % n),
+        EdgeUpdate::Insert((r * 7 + 11) % n, (r * 23 + 2) % n),
+    ]
+}
+
+/// The deterministic query mix for one round: a scalar, a batch, an
+/// ε-override, and a bounded top-k — every kernel family the service
+/// dispatches to.
+fn round_queries(round: usize, n: usize) -> Vec<QueryRequest> {
+    let n = n as NodeId;
+    let r = round as NodeId;
+    vec![
+        QueryRequest::single((r * 37 + 5) % n),
+        QueryRequest::batch(vec![(r * 3) % n, (r * 5 + 1) % n, (r * 11 + 2) % n]).top_k(4),
+        QueryRequest::single((r * 41 + 9) % n).with_epsilon(1e-6),
+        QueryRequest::single((r * 43 + 4) % n).top_k(5).with_exact_bounds(),
+    ]
+}
+
+/// One recorded outcome of the script, shorn of timing.
+#[derive(Debug)]
+enum Outcome {
+    Ok { resp: QueryResponse },
+    Err(TpaError),
+}
+
+/// Applies one round's updates, retrying injected publish failures
+/// (they fire before any overlay mutation, so a retry is clean).
+/// Returns how many injections were absorbed.
+fn apply_with_retry(service: &RwrService, ups: &[EdgeUpdate]) -> u64 {
+    let mut injected = 0;
+    loop {
+        match service.apply_updates(ups) {
+            Ok(_) => return injected,
+            Err(TpaError::Io(e)) => {
+                assert!(e.to_string().contains("injected"), "unexpected io error: {e}");
+                injected += 1;
+            }
+            Err(e) => panic!("unexpected publish error: {e}"),
+        }
+    }
+}
+
+/// Runs the full script on `service`; `stall` (the faulted run's plan)
+/// injects deterministic reader stalls between submissions, exactly as
+/// a chaos harness would around a real reader.
+fn run_script(service: &RwrService, stall: Option<&FaultPlan>) -> (Vec<Outcome>, u64) {
+    let n = service.n();
+    let mut outcomes = Vec::new();
+    let mut injected = 0;
+    for round in 0..ROUNDS {
+        injected += apply_with_retry(service, &round_updates(round, n));
+        for req in round_queries(round, n) {
+            if let Some(d) = stall.and_then(|f| f.reader_stall()) {
+                std::thread::sleep(d);
+            }
+            match service.submit(&req) {
+                Ok(resp) => outcomes.push(Outcome::Ok { resp }),
+                Err(e) => outcomes.push(Outcome::Err(e)),
+            }
+        }
+    }
+    (outcomes, injected)
+}
+
+fn build(g: CsrGraph, fault: Option<FaultPlan>) -> RwrService {
+    let mut b = ServiceBuilder::dynamic(DynamicGraph::new(g).with_compact_threshold(Some(0.005)))
+        .preprocess(TpaParams::new(4, 9));
+    if let Some(plan) = fault {
+        b = b.fault_plan(plan);
+    }
+    b.build().unwrap()
+}
+
+/// The core property, swept over fault-plan seeds: faulted responses
+/// are bit-identical to the quiet run or explicitly typed — and the
+/// plan actually fired (a chaos test that injects nothing proves
+/// nothing).
+#[test]
+fn faulted_run_is_bit_identical_or_explicit() {
+    let g = test_graph(11, 250, 2000);
+    let quiet = build(g.clone(), None);
+    let (quiet_outcomes, quiet_injected) = run_script(&quiet, None);
+    assert_eq!(quiet_injected, 0, "the quiet run must see no injections");
+
+    let mut total_injected = 0;
+    for plan_seed in [1u64, 42, 777] {
+        let plan = FaultPlan::seeded(plan_seed)
+            .slow_kernels(5, Duration::from_micros(200))
+            .publish_failures(3)
+            .compaction_panics(2)
+            .reader_stalls(4, Duration::from_micros(100));
+        let faulted = build(g.clone(), Some(plan));
+        let stall_plan =
+            FaultPlan::seeded(plan_seed ^ 0x5eed).reader_stalls(3, Duration::from_micros(150));
+        let (outcomes, injected) = run_script(&faulted, Some(&stall_plan));
+        total_injected += injected;
+
+        // Publishes stayed in lockstep: same epochs, same graph.
+        assert_eq!(faulted.epoch(), quiet.epoch(), "plan {plan_seed}: epochs diverged");
+        assert_eq!(outcomes.len(), quiet_outcomes.len());
+        for (i, (q, f)) in quiet_outcomes.iter().zip(&outcomes).enumerate() {
+            let Outcome::Ok { resp: quiet_resp } = q else {
+                panic!("quiet run failed at step {i}: {q:?}");
+            };
+            match f {
+                Outcome::Ok { resp } => {
+                    // No gate, no deadline: nothing may degrade, and an
+                    // undegraded answer must be bitwise the quiet one.
+                    assert_eq!(
+                        resp.degradation,
+                        DegradationLevel::None,
+                        "plan {plan_seed}, step {i}: unexpected degradation"
+                    );
+                    assert_eq!(
+                        resp.result, quiet_resp.result,
+                        "plan {plan_seed}, step {i}: faulted answer diverged"
+                    );
+                    assert_eq!(resp.epoch, quiet_resp.epoch);
+                }
+                Outcome::Err(e) => {
+                    // The only admissible failures are the explicit
+                    // typed ones a caller can reason about.
+                    assert!(
+                        matches!(
+                            e,
+                            TpaError::DeadlineExceeded { .. }
+                                | TpaError::Cancelled
+                                | TpaError::Overloaded { .. }
+                        ),
+                        "plan {plan_seed}, step {i}: inadmissible error {e}"
+                    );
+                }
+            }
+        }
+        // The faulted service recovers fully: reap any background work
+        // and answer once more, still bit-identical.
+        faulted.flush_compaction();
+        let check = QueryRequest::single(17).top_k(5);
+        assert_eq!(
+            faulted.submit(&check).unwrap().result,
+            quiet.submit(&check).unwrap().result,
+            "plan {plan_seed}: post-recovery answer diverged"
+        );
+    }
+    assert!(total_injected > 0, "no publish failure ever fired — the chaos plan is inert");
+}
+
+/// Deadline-carrying requests under injected slow kernels: each either
+/// completes bit-identically or fails with the typed deadline error —
+/// and an expired deadline never burns a full sweep (satellite: no
+/// post-expiry completion).
+#[test]
+fn deadlines_under_slow_kernels_fail_typed_never_wrong() {
+    let g = test_graph(19, 250, 2000);
+    let quiet = build(g.clone(), None);
+    let faulted = build(
+        g,
+        // Every query sleeps 30ms before the first guard check — far
+        // past the 5ms budget below, so every faulted request must trip.
+        Some(FaultPlan::seeded(7).slow_kernels(1, Duration::from_millis(30))),
+    );
+    let budget = Duration::from_millis(5);
+    for seed in [3u32, 99, 200] {
+        let req = QueryRequest::single(seed).top_k(4).with_deadline(budget);
+        let quiet_resp = quiet.submit(&req).expect("quiet run is far under budget");
+        let started = std::time::Instant::now();
+        match faulted.submit(&req) {
+            Err(TpaError::DeadlineExceeded { budget: b, elapsed }) => {
+                assert_eq!(b, budget);
+                assert!(elapsed >= budget);
+                // The expired request aborted at the guard instead of
+                // completing its sweep: it returns promptly after the
+                // injected stall, nowhere near a full quiet-run sweep
+                // past the deadline.
+                assert!(
+                    started.elapsed() < Duration::from_millis(300),
+                    "expired request kept sweeping for {:?}",
+                    started.elapsed()
+                );
+            }
+            Ok(resp) => {
+                // Tolerated only if somehow under budget — then it must
+                // be the exact quiet answer.
+                assert_eq!(resp.result, quiet_resp.result);
+            }
+            Err(e) => panic!("inadmissible error under deadline: {e}"),
+        }
+    }
+}
+
+/// The fault plan is deterministic: the same seed replays the same
+/// injections (same retry count, same outcomes), a different seed
+/// draws a different schedule.
+#[test]
+fn fault_schedule_replays_deterministically() {
+    let g = test_graph(23, 200, 1600);
+    let runs: Vec<(Vec<bool>, u64)> = [5u64, 5, 6]
+        .iter()
+        .map(|&s| {
+            let plan = FaultPlan::seeded(s).publish_failures(2);
+            let service = build(g.clone(), Some(plan));
+            let (outcomes, injected) = run_script(&service, None);
+            (outcomes.iter().map(|o| matches!(o, Outcome::Ok { .. })).collect(), injected)
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "same seed must replay identically");
+    assert_ne!(
+        runs[0].1, runs[2].1,
+        "different seeds should draw different publish-failure schedules"
+    );
+}

@@ -186,12 +186,16 @@ fn compaction_panic_is_surfaced_and_recoverable() {
 
     // The overlay is untouched and the service still answers.
     service.query(1).unwrap();
-    // A later batch re-triggers; this one must succeed and install.
+    // A later batch re-triggers once the retry backoff (10ms after one
+    // failure) expires; the retry must succeed and install.
+    std::thread::sleep(std::time::Duration::from_millis(15));
     service.apply_updates(&[EdgeUpdate::Insert(3, 4), EdgeUpdate::Insert(4, 3)]).unwrap();
     assert!(service.flush_compaction(), "recovery compaction must install");
     assert_eq!(service.compaction_failures(), 1, "no new failures");
+    assert_eq!(service.compaction_retries(), 1, "the recovery spawn counts as a retry");
     let snap = service.metrics_snapshot().unwrap();
     assert!(snap.writer.compactions_installed >= 1);
+    assert_eq!(snap.writer.compaction_retries, 1);
 }
 
 /// `elapsed` is measured inside `Snapshot::run` and is consistent with

@@ -215,3 +215,150 @@ fn auto_refreshed_index_publishes_atomically() {
     let fresh = QueryEngine::sequential(&snap).preprocess(params);
     assert_eq!(service.query(42).unwrap(), fresh.query(42));
 }
+
+/// Cancellation safety under admission pressure: racing readers fire a
+/// mix of plain, pre-cancelled, and expired-deadline requests through a
+/// tiny rejecting gate while a writer publishes epochs. Afterwards:
+/// the client-side tally of every outcome class matches the metrics
+/// registry **exactly**, aborted/shed requests left no observable state
+/// (the service still answers bitwise like a quiet replay), pinned
+/// snapshots drop cleanly (a `Weak` to the pre-stress epoch dies), and
+/// the gate drains to zero.
+#[test]
+fn aborted_requests_leave_no_state_and_metrics_tally_exactly() {
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Barrier;
+    use tpa_core::{AdmissionConfig, CancelToken, FaultPlan, ShedPolicy};
+
+    const READERS: usize = 6;
+    const REQUESTS: usize = 24;
+    const ROUNDS: usize = 12;
+    let n = 250;
+    let g = test_graph(29, n, 2000);
+    let registry = Arc::new(tpa_obs::MetricsRegistry::new());
+    let service = Arc::new(
+        ServiceBuilder::dynamic(DynamicGraph::new(g.clone()).with_compact_threshold(Some(1e-9)))
+            .preprocess(TpaParams::new(4, 9))
+            .metrics(Arc::clone(&registry))
+            // Two slots, no queue: simultaneous submits beyond two are
+            // rejected with `Overloaded`, never silently queued.
+            .admission(AdmissionConfig::new(2).with_shed(ShedPolicy::Reject))
+            // Every admitted request holds its slot for 10ms before the
+            // kernel's first guard check, so the barrier-synced racers
+            // below reliably find the gate full — no wall-clock luck.
+            .fault_plan(FaultPlan::seeded(31).slow_kernels(1, std::time::Duration::from_millis(10)))
+            .build()
+            .unwrap(),
+    );
+
+    // Pin the pre-stress epoch; its Weak must die once released.
+    let pinned = service.snapshot();
+    let weak = Arc::downgrade(&pinned);
+
+    let ok = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let deadlined = Arc::new(AtomicU64::new(0));
+    let cancelled = Arc::new(AtomicU64::new(0));
+    // All readers submit in lockstep each iteration so the two-slot gate
+    // is genuinely oversubscribed (6 submits race for 2 slots).
+    let barrier = Arc::new(Barrier::new(READERS));
+    std::thread::scope(|s| {
+        for r in 0..READERS {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            let ok = Arc::clone(&ok);
+            let shed = Arc::clone(&shed);
+            let deadlined = Arc::clone(&deadlined);
+            let cancelled = Arc::clone(&cancelled);
+            s.spawn(move || {
+                for i in 0..REQUESTS {
+                    let seed = ((r * 53 + i * 7) % n) as NodeId;
+                    // Offset by reader id so every class collides with
+                    // every other class at the barrier.
+                    let req = match (i + r) % 4 {
+                        0 => QueryRequest::single(seed),
+                        1 => {
+                            let token = CancelToken::new();
+                            token.cancel();
+                            QueryRequest::single(seed).with_cancel(token)
+                        }
+                        2 => QueryRequest::single(seed)
+                            .with_deadline(std::time::Duration::from_nanos(1)),
+                        _ => QueryRequest::batch(vec![seed, (seed + 1) % n as NodeId]).top_k(4),
+                    };
+                    barrier.wait();
+                    match service.submit(&req) {
+                        Ok(resp) => {
+                            assert!(resp.elapsed.as_nanos() > 0);
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TpaError::Overloaded { .. }) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TpaError::DeadlineExceeded { .. }) => {
+                            deadlined.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TpaError::Cancelled) => {
+                            cancelled.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("inadmissible error under stress: {e}"),
+                    }
+                }
+            });
+        }
+        // A writer publishes epochs under the readers' feet the whole
+        // time; none of its batches may fail.
+        let service = Arc::clone(&service);
+        s.spawn(move || {
+            for round in 0..ROUNDS {
+                service.apply_updates(&stress_batch(round, n)).unwrap();
+                std::thread::yield_now();
+            }
+        });
+    });
+    service.flush_compaction();
+
+    // Exact accounting: the registry agrees with the client tally to
+    // the last request, for every outcome class.
+    let (ok, shed) = (ok.load(Ordering::Relaxed), shed.load(Ordering::Relaxed));
+    let deadlined = deadlined.load(Ordering::Relaxed);
+    let cancelled = cancelled.load(Ordering::Relaxed);
+    assert_eq!(ok + shed + deadlined + cancelled, (READERS * REQUESTS) as u64);
+    assert!(shed > 0, "6 racing submits against 2 slots must shed");
+    assert!(deadlined > 0 && cancelled > 0, "abort classes must fire");
+    let snap = service.metrics_snapshot().unwrap();
+    assert_eq!(snap.requests.total, ok, "completed-request count drifted");
+    assert_eq!(snap.requests.errors_total, shed + deadlined + cancelled);
+    assert_eq!(snap.admission.shed_total, shed, "shed tally drifted");
+    assert_eq!(snap.admission.deadline_exceeded, deadlined, "deadline tally drifted");
+    assert_eq!(snap.admission.cancelled, cancelled, "cancel tally drifted");
+
+    // The gate drained: nothing in flight, nothing queued, and every
+    // aborted request released its slot.
+    assert_eq!(snap.admission.inflight, 0, "gate leaked an in-flight slot");
+    assert_eq!(snap.admission.queue_depth, 0, "gate leaked a queued waiter");
+
+    // No observable state from aborted requests: the stressed service
+    // answers bitwise like a quiet replay of the same update script.
+    let quiet = ServiceBuilder::dynamic(DynamicGraph::new(g).with_compact_threshold(Some(1e-9)))
+        .preprocess(TpaParams::new(4, 9))
+        .build()
+        .unwrap();
+    for round in 0..ROUNDS {
+        quiet.apply_updates(&stress_batch(round, n)).unwrap();
+    }
+    quiet.flush_compaction();
+    assert_eq!(service.epoch(), quiet.epoch());
+    for seed in [0 as NodeId, 17, 101, 249] {
+        assert_eq!(
+            service.submit(&QueryRequest::single(seed)).unwrap().result,
+            quiet.submit(&QueryRequest::single(seed)).unwrap().result,
+            "stressed service diverged at seed {seed}"
+        );
+    }
+
+    // Pinned snapshots drop cleanly: the pre-stress epoch has been
+    // superseded, so releasing our pin must free the last reference.
+    drop(pinned);
+    assert!(weak.upgrade().is_none(), "pre-stress snapshot leaked a reference");
+}
