@@ -206,10 +206,10 @@ fn run_mode(
                         Ok(resp) => {
                             std::hint::black_box(&resp.result);
                             local.push(before.elapsed().as_secs_f64());
-                            ok.fetch_add(1, Ordering::Relaxed);
+                            ok.fetch_add(1, Ordering::Relaxed); // ord: harness tally; totals are read after thread::scope joins every worker
                         }
                         Err(TpaError::Overloaded { .. }) => {
-                            shed.fetch_add(1, Ordering::Relaxed);
+                            shed.fetch_add(1, Ordering::Relaxed); // ord: harness tally; totals are read after thread::scope joins every worker
                             std::thread::sleep(RETRY_BACKOFF);
                         }
                         Err(e) => panic!("unexpected overload-bench error: {e}"),
@@ -223,7 +223,7 @@ fn run_mode(
     let mut lat = samples.into_inner().unwrap();
     lat.sort_by(|a, b| a.total_cmp(b));
     let q = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
-    let (ok, shed) = (ok.load(Ordering::Relaxed), shed.load(Ordering::Relaxed));
+    let (ok, shed) = (ok.load(Ordering::Relaxed), shed.load(Ordering::Relaxed)); // ord: read after thread::scope joined every worker; the join is the synchronization
     assert!(!lat.is_empty(), "a {window:?} window must complete some requests");
     if shed_on {
         assert!(shed > 0, "4x oversubscription against a rejecting gate must shed");

@@ -238,6 +238,7 @@ fn run_readers(
             let done = Arc::clone(&done);
             scope.spawn(move || {
                 let mut round = 0usize;
+                // ord: Acquire pairs with the harness's Release store of the done flag
                 while !done.load(Ordering::Acquire) {
                     service.apply_updates(&update_batch(round, n)).unwrap();
                     round += 1;
@@ -259,7 +260,7 @@ fn run_readers(
         for h in handles {
             h.join().expect("reader thread");
         }
-        done.store(true, Ordering::Release);
+        done.store(true, Ordering::Release); // ord: Release pairs with the reader's Acquire poll of the done flag
     });
     let secs = started.elapsed().as_secs_f64();
     ReaderRun {
@@ -286,6 +287,7 @@ fn service_stall_probe(service: &Arc<RwrService>, n: usize, rounds: usize) -> St
             scope.spawn(move || {
                 let mut worst = 0.0f64;
                 let mut q = 0usize;
+                // ord: Acquire pairs with the harness's Release store of the done flag
                 while !done.load(Ordering::Acquire) {
                     let seed = ((q * 613 + 29) % n) as NodeId;
                     let (resp, dt) = tpa_eval::time(|| service.submit(&QueryRequest::single(seed)));
@@ -301,7 +303,7 @@ fn service_stall_probe(service: &Arc<RwrService>, n: usize, rounds: usize) -> St
             let (_, dt) = tpa_eval::time(|| service.refresh_index().unwrap());
             refresh_secs += dt.as_secs_f64() / rounds as f64;
         }
-        done.store(true, Ordering::Release);
+        done.store(true, Ordering::Release); // ord: Release pairs with the reader's Acquire poll of the done flag
         max_request = reader.join().expect("reader thread");
     });
     StallProbe { max_request, refresh_secs }
@@ -323,6 +325,7 @@ fn mutex_engine_stall_probe(g: &CsrGraph, n: usize, rounds: usize) -> StallProbe
             scope.spawn(move || {
                 let mut worst = 0.0f64;
                 let mut q = 0usize;
+                // ord: Acquire pairs with the harness's Release store of the done flag
                 while !done.load(Ordering::Acquire) {
                     let seed = ((q * 613 + 29) % n) as NodeId;
                     let (scores, dt) = tpa_eval::time(|| engine.lock().unwrap().query(seed));
@@ -338,7 +341,7 @@ fn mutex_engine_stall_probe(g: &CsrGraph, n: usize, rounds: usize) -> StallProbe
             e.apply_updates(&update_batch(round, n)).unwrap();
             e.refresh_index();
         }
-        done.store(true, Ordering::Release);
+        done.store(true, Ordering::Release); // ord: Release pairs with the reader's Acquire poll of the done flag
         max_request = reader.join().expect("reader thread");
     });
     StallProbe { max_request, refresh_secs: 0.0 }

@@ -234,12 +234,12 @@ impl CancelToken {
     /// Requests cancellation. Idempotent; takes effect at the next
     /// CPI iteration boundary of any sweep carrying this token.
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::Release);
+        self.0.store(true, Ordering::Release); // ord: Release pairs with the Acquire in is_cancelled — writes before cancel() are visible to the observer
     }
 
     /// True once [`CancelToken::cancel`] has been called.
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Acquire)
+        self.0.load(Ordering::Acquire) // ord: Acquire pairs with the Release in cancel(); see above
     }
 }
 
@@ -276,18 +276,19 @@ impl SweepGuard {
     /// Sticky — after the first trip every later probe is true without
     /// re-reading the clock.
     pub(crate) fn probe(&self) -> bool {
+        // ord: sticky one-way flag; only the trip reason is transferred, and abort_error re-reads it on the same thread
         if self.tripped.load(Ordering::Relaxed) != TRIP_NONE {
             return true;
         }
         if let Some(tok) = &self.cancel {
             if tok.is_cancelled() {
-                self.tripped.store(TRIP_CANCELLED, Ordering::Relaxed);
+                self.tripped.store(TRIP_CANCELLED, Ordering::Relaxed); // ord: single-threaded guard — probe and abort_error run on the request's own thread, no cross-thread edge needed
                 return true;
             }
         }
         if let Some(at) = self.deadline_at {
             if Instant::now() >= at {
-                self.tripped.store(TRIP_DEADLINE, Ordering::Relaxed);
+                self.tripped.store(TRIP_DEADLINE, Ordering::Relaxed); // ord: single-threaded guard — probe and abort_error run on the request's own thread, no cross-thread edge needed
                 return true;
             }
         }
@@ -296,6 +297,7 @@ impl SweepGuard {
 
     /// The typed error for a tripped guard, `None` while live.
     pub(crate) fn abort_error(&self) -> Option<TpaError> {
+        // ord: reads a flag this same thread stored in probe(); program order suffices
         match self.tripped.load(Ordering::Relaxed) {
             TRIP_DEADLINE => Some(TpaError::DeadlineExceeded {
                 budget: self.budget.unwrap_or_default(),
@@ -310,7 +312,10 @@ impl SweepGuard {
     /// tile-boundary check.
     pub(crate) fn check(&self) -> Result<(), TpaError> {
         if self.probe() {
-            Err(self.abort_error().expect("probe tripped"))
+            // probe() returning true means a trip reason was stored, so
+            // abort_error() is Some; the Cancelled fallback keeps this
+            // path panic-free even if that invariant ever broke.
+            Err(self.abort_error().unwrap_or(TpaError::Cancelled))
         } else {
             Ok(())
         }
@@ -535,27 +540,27 @@ impl FaultPlan {
 
     /// Kernel-side draw: `Some(duration)` when this run should sleep.
     pub(crate) fn slow_kernel(&self) -> Option<Duration> {
-        let k = self.queries.fetch_add(1, Ordering::Relaxed);
+        let k = self.queries.fetch_add(1, Ordering::Relaxed); // ord: deterministic draw counter; the splitmix hash, not ordering, decides fault placement
         self.hit(1, k, self.slow_every).then_some(self.slow_for)
     }
 
     /// Publish-side draw: true when this `apply_updates` should fail.
     pub(crate) fn publish_failure(&self) -> bool {
-        let k = self.publishes.fetch_add(1, Ordering::Relaxed);
+        let k = self.publishes.fetch_add(1, Ordering::Relaxed); // ord: deterministic draw counter; the splitmix hash, not ordering, decides fault placement
         self.hit(2, k, self.publish_fail_every)
     }
 
     /// Compaction-side draw: true when this spawned rebuild should
     /// panic.
     pub(crate) fn poison_compaction(&self) -> bool {
-        let k = self.compactions.fetch_add(1, Ordering::Relaxed);
+        let k = self.compactions.fetch_add(1, Ordering::Relaxed); // ord: deterministic draw counter; the splitmix hash, not ordering, decides fault placement
         self.hit(3, k, self.compaction_panic_every)
     }
 
     /// Harness-side draw: `Some(duration)` when this reader should
     /// stall while holding its pinned snapshot.
     pub fn reader_stall(&self) -> Option<Duration> {
-        let k = self.reads.fetch_add(1, Ordering::Relaxed);
+        let k = self.reads.fetch_add(1, Ordering::Relaxed); // ord: deterministic draw counter; the splitmix hash, not ordering, decides fault placement
         self.hit(4, k, self.reader_stall_every).then_some(self.reader_stall_for)
     }
 }

@@ -24,6 +24,15 @@ pub struct ScoreBlock {
     data: Vec<f64>,
 }
 
+impl std::fmt::Debug for ScoreBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScoreBlock")
+            .field("n", &self.n)
+            .field("lanes", &self.lanes)
+            .finish_non_exhaustive()
+    }
+}
+
 impl ScoreBlock {
     /// Zeroed block for `n` nodes × `lanes` vectors.
     pub fn zeros(n: usize, lanes: usize) -> Self {
@@ -191,6 +200,7 @@ impl TpaIndex {
     pub fn query_batch_on<P: Propagator + ?Sized>(&self, t: &P, seeds: &[NodeId]) -> Vec<Vec<f64>> {
         // Same admission guard as the scalar paths, rendered through
         // [`crate::TpaError`] so the message is uniform everywhere.
+        // lint:allow(panic-freedom, "documented panicking convenience mirroring TpaIndex::query; the concurrent serving path goes through QueryEngine::execute")
         self.check_backend(t).unwrap_or_else(|e| panic!("{e}"));
         let params = *self.params();
         let family = cpi_batch(t, seeds, &params.cpi_config(), 0, Some(params.s - 1));

@@ -36,6 +36,7 @@ impl CpiConfig {
     /// Validates parameter ranges.
     pub fn validate(&self) {
         if let Err(e) = self.check() {
+            // lint:allow(panic-freedom, "documented panicking wrapper over the fallible check(); admission paths call check() directly")
             panic!("{e}");
         }
     }
@@ -300,6 +301,7 @@ pub(crate) fn cpi_sweep_policy<P: Propagator + ?Sized>(
         }
         if sparse {
             tally.sparse_iterations += 1;
+            // lint:allow(panic-freedom, "scratch is allocated above whenever the sweep can enter sparse mode; sparse implies Some by construction")
             let scratch = scratch.as_mut().expect("sparse mode allocates its scratch");
             // `next` still holds x(i−2): zero its stale support so the
             // kernel's untouched entries are exact zeros.

@@ -85,6 +85,12 @@ pub struct DynamicTransition {
     strips: tiling::StripCache,
 }
 
+impl std::fmt::Debug for DynamicTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicTransition").finish_non_exhaustive()
+    }
+}
+
 /// The overlay's row view for the shared gather kernels: dirty
 /// destinations read their materialized merged row, everyone else reads
 /// the base CSC slice. Shared with [`crate::patch::PatchedTransition`],
@@ -756,6 +762,15 @@ pub struct ScoreCache {
     mode: MaintenanceMode,
     seeds: Vec<NodeId>,
     block: crate::batch::ScoreBlock,
+}
+
+impl std::fmt::Debug for ScoreCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScoreCache")
+            .field("seeds", &self.seeds.len())
+            .field("mode", &self.mode)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ScoreCache {

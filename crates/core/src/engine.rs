@@ -69,6 +69,12 @@ pub enum EngineBackend<'g> {
     Patched(PatchedTransition),
 }
 
+impl std::fmt::Debug for EngineBackend<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EngineBackend({})", self.name())
+    }
+}
+
 impl EngineBackend<'_> {
     /// Short human-readable backend name (for logs and bench tables).
     pub fn name(&self) -> &'static str {
@@ -239,6 +245,12 @@ pub struct QueryEngine<'g> {
     admission: Option<crate::admission::AdmissionGate>,
 }
 
+impl std::fmt::Debug for QueryEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine").field("backend", &self.snap.backend).finish_non_exhaustive()
+    }
+}
+
 /// Default lane-tile width for batched plans (see
 /// [`QueryEngine::with_lane_tile`]): wide enough to amortize the edge
 /// pass, narrow enough that the three working blocks
@@ -349,9 +361,11 @@ impl<'g> QueryEngine<'g> {
                 (reorder(&snap, strategy), Some(snap))
             }
             EngineBackend::OutOfCore(_) => {
+                // lint:allow(panic-freedom, "construction-time builder misuse, documented panic; never reached by a served request")
                 panic!("out-of-core backends cannot be reordered in place; permute the graph before DiskGraph::create")
             }
             EngineBackend::Patched(_) => {
+                // lint:allow(panic-freedom, "construction-time builder misuse, documented panic; never reached by a served request")
                 panic!("patched snapshots are immutable published views; reorder the dynamic source they were published from")
             }
         };
@@ -409,9 +423,11 @@ impl<'g> QueryEngine<'g> {
                 ))
             }
             EngineBackend::OutOfCore(_) => {
+                // lint:allow(panic-freedom, "construction-time builder misuse, documented panic; never reached by a served request")
                 panic!("out-of-core backends cannot be reordered in place; permute the graph before DiskGraph::create")
             }
             EngineBackend::Patched(_) => {
+                // lint:allow(panic-freedom, "construction-time builder misuse, documented panic; never reached by a served request")
                 panic!("patched snapshots are immutable published views; reorder the dynamic source they were published from")
             }
         };
@@ -463,6 +479,7 @@ impl<'g> QueryEngine<'g> {
     pub fn with_index(mut self, index: impl Into<Arc<TpaIndex>>) -> Self {
         let index = index.into();
         index.check_backend(&self.snap.backend).unwrap_or_else(|e| {
+            // lint:allow(panic-freedom, "construction-time builder handshake, documented panic; never reached by a served request")
             panic!("{e}");
         });
         match (index.permutation(), &self.snap.perm) {
@@ -470,6 +487,7 @@ impl<'g> QueryEngine<'g> {
             (Some(ip), Some(ep)) => {
                 assert!(ip == ep.as_ref(), "index and engine were reordered differently")
             }
+            // lint:allow(panic-freedom, "construction-time builder handshake, documented panic; never reached by a served request")
             (None, Some(_)) => panic!(
                 "engine is reordered but the index has no permutation; preprocess through the \
                  reordered engine"
@@ -712,6 +730,7 @@ impl<'g> QueryEngine<'g> {
     /// an invalid request; use [`QueryEngine::execute`] to handle
     /// [`TpaError`]s instead.
     pub fn query(&self, seed: NodeId) -> Vec<f64> {
+        // lint:allow(panic-freedom, "documented panicking convenience; the serving path is QueryEngine::execute, and a single request always yields one vector")
         self.expect(&QueryRequest::single(seed)).into_scores().pop().unwrap()
     }
 
@@ -720,24 +739,28 @@ impl<'g> QueryEngine<'g> {
     /// `⌈B / lane_tile⌉` edge passes per iteration instead of `B`; see
     /// [`QueryEngine::with_lane_tile`]). Panics on an invalid request.
     pub fn query_batch(&self, seeds: &[NodeId]) -> Vec<Vec<f64>> {
+        // lint:allow(panic-freedom, "documented panicking convenience; the serving path is QueryEngine::execute")
         self.expect(&QueryRequest::batch(seeds.to_vec())).into_scores()
     }
 
     /// Best `k` nodes for one seed, best first. Panics on an invalid
     /// request.
     pub fn top_k(&self, seed: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        // lint:allow(panic-freedom, "documented panicking convenience; the serving path is QueryEngine::execute, and a single request always yields one ranking")
         self.expect(&QueryRequest::single(seed).top_k(k)).into_ranked().pop().unwrap()
     }
 
     /// Best `k` nodes for each seed in a batch. Panics on an invalid
     /// request.
     pub fn top_k_batch(&self, seeds: &[NodeId], k: usize) -> Vec<Vec<(NodeId, f64)>> {
+        // lint:allow(panic-freedom, "documented panicking convenience; the serving path is QueryEngine::execute")
         self.expect(&QueryRequest::batch(seeds.to_vec()).top_k(k)).into_ranked()
     }
 
     /// Shared panic path of the infallible conveniences: renders the
     /// [`TpaError`] so every entry point fails with the same message.
     fn expect(&self, req: &QueryRequest) -> QueryResult {
+        // lint:allow(panic-freedom, "shared panic path of the documented panicking conveniences; fallible callers use execute")
         self.execute(req).unwrap_or_else(|e| panic!("{e}"))
     }
 }
@@ -752,12 +775,10 @@ pub fn top_k_scored(scores: &[f64], k: usize) -> Vec<(NodeId, f64)> {
         return Vec::new();
     }
     let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
-    let cmp = |a: &u32, b: &u32| {
-        scores[*b as usize]
-            .partial_cmp(&scores[*a as usize])
-            .expect("RWR scores are never NaN")
-            .then(a.cmp(b))
-    };
+    // `total_cmp`, not `partial_cmp().expect(…)`: RWR scores are finite
+    // and non-negative, so the two orders agree — and the total order
+    // keeps this path panic-free by construction.
+    let cmp = |a: &u32, b: &u32| scores[*b as usize].total_cmp(&scores[*a as usize]).then(a.cmp(b));
     idx.select_nth_unstable_by(k - 1, cmp);
     idx.truncate(k);
     idx.sort_unstable_by(cmp);

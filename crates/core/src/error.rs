@@ -84,6 +84,11 @@ pub enum TpaError {
     /// The request's [`crate::CancelToken`] fired; the sweep stopped
     /// at the next iteration boundary.
     Cancelled,
+    /// An internal invariant broke (e.g. a validated request reached a
+    /// kernel without the field admission guaranteed). Serving paths
+    /// return this instead of panicking so one bad request can never
+    /// take the process down; seeing it is a bug worth reporting.
+    Internal(&'static str),
 }
 
 impl TpaError {
@@ -99,6 +104,7 @@ impl TpaError {
             TpaError::Overloaded { .. } => "overloaded",
             TpaError::DeadlineExceeded { .. } => "deadline_exceeded",
             TpaError::Cancelled => "cancelled",
+            TpaError::Internal(_) => "internal",
         }
     }
 }
@@ -128,6 +134,9 @@ impl std::fmt::Display for TpaError {
                 write!(f, "deadline of {budget:?} exceeded after {elapsed:?}")
             }
             TpaError::Cancelled => write!(f, "request cancelled by its caller"),
+            TpaError::Internal(what) => {
+                write!(f, "internal invariant violated: {what} (this is a bug — please report it)")
+            }
         }
     }
 }

@@ -139,6 +139,12 @@ pub struct FrontierScratch {
     next_active: Vec<NodeId>,
 }
 
+impl std::fmt::Debug for FrontierScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrontierScratch").field("n", &self.mark.len()).finish_non_exhaustive()
+    }
+}
+
 impl FrontierScratch {
     /// Workspace for an `n`-node graph.
     pub fn new(n: usize) -> Self {

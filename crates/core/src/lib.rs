@@ -67,6 +67,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod admission;
 pub mod batch;

@@ -31,6 +31,16 @@ pub struct DiskGraph {
     inv_out_deg: Vec<f64>,
 }
 
+impl std::fmt::Debug for DiskGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskGraph")
+            .field("path", &self.path)
+            .field("n", &self.n)
+            .field("m", &self.m)
+            .finish_non_exhaustive()
+    }
+}
+
 impl DiskGraph {
     /// Converts an in-memory graph into the streaming format. Edges are
     /// written sorted by destination (gather order).

@@ -29,6 +29,14 @@ pub struct ParallelTransition<'g> {
     strips: tiling::StripCache,
 }
 
+impl std::fmt::Debug for ParallelTransition<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelTransition")
+            .field("threads", &self.ranges.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'g> ParallelTransition<'g> {
     /// Binds the operator with `threads` workers. The worker count is
     /// clamped to `[1, n]` — a range per worker is only useful while

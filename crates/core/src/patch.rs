@@ -57,6 +57,14 @@ pub struct PatchedTransition {
     strips: tiling::StripCache,
 }
 
+impl std::fmt::Debug for PatchedTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PatchedTransition")
+            .field("patched_rows", &self.in_rows.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Out-adjacency view for frontier discovery: changed sources read
 /// their materialized merged row, everyone else the base CSR slice —
 /// the out-side mirror of [`OverlayRows`].

@@ -40,13 +40,13 @@ static TOPK_PRUNED_NODES: AtomicU64 = AtomicU64::new(0);
 /// True when kernel profiling is collecting (process-wide).
 #[inline(always)]
 pub fn profiling_enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Relaxed) // ord: advisory enable flag; a stale read only delays toggling by one kernel run
 }
 
 /// Turns kernel profiling on or off (process-wide). Enabled
 /// automatically when a service or engine attaches a metrics registry.
 pub fn set_profiling_enabled(on: bool) {
-    ENABLED.store(on, Ordering::Relaxed);
+    ENABLED.store(on, Ordering::Relaxed); // ord: advisory enable flag; no data is published under it
 }
 
 /// Zeroes every profiling counter (benchmarks isolating one phase).
@@ -69,7 +69,7 @@ pub fn reset_profiling() {
         &TOPK_EARLY_TERMINATIONS,
         &TOPK_PRUNED_NODES,
     ] {
-        c.store(0, Ordering::Relaxed);
+        c.store(0, Ordering::Relaxed); // ord: benchmark-only reset of independent counters; nothing synchronizes with it
     }
 }
 
@@ -90,24 +90,24 @@ pub(crate) struct RunTally {
 }
 
 pub(crate) fn record_cpi_run(t: RunTally) {
-    CPI_RUNS.fetch_add(1, Ordering::Relaxed);
+    CPI_RUNS.fetch_add(1, Ordering::Relaxed); // ord: monotonic tally increment; no other memory is published with it
     flush_tally(&t);
-    CPI_ITERATIONS.fetch_add(t.iterations, Ordering::Relaxed);
+    CPI_ITERATIONS.fetch_add(t.iterations, Ordering::Relaxed); // ord: monotonic tally increment; no other memory is published with it
 }
 
 pub(crate) fn record_offset_run(t: RunTally) {
-    OFFSET_RUNS.fetch_add(1, Ordering::Relaxed);
+    OFFSET_RUNS.fetch_add(1, Ordering::Relaxed); // ord: monotonic tally increment; no other memory is published with it
     flush_tally(&t);
-    OFFSET_ITERATIONS.fetch_add(t.iterations, Ordering::Relaxed);
+    OFFSET_ITERATIONS.fetch_add(t.iterations, Ordering::Relaxed); // ord: monotonic tally increment; no other memory is published with it
 }
 
 fn flush_tally(t: &RunTally) {
-    SPARSE_ITERATIONS.fetch_add(t.sparse_iterations, Ordering::Relaxed);
-    DENSE_ITERATIONS.fetch_add(t.dense_iterations, Ordering::Relaxed);
-    AUTO_DENSE_SWITCHES.fetch_add(t.auto_dense_switches, Ordering::Relaxed);
-    GATHER_BAILS.fetch_add(t.gather_bails, Ordering::Relaxed);
-    SPARSE_EDGE_WORK.fetch_add(t.sparse_edge_work, Ordering::Relaxed);
-    DENSE_EDGE_WORK.fetch_add(t.dense_edge_work, Ordering::Relaxed);
+    SPARSE_ITERATIONS.fetch_add(t.sparse_iterations, Ordering::Relaxed); // ord: monotonic tally increment; no other memory is published with it
+    DENSE_ITERATIONS.fetch_add(t.dense_iterations, Ordering::Relaxed); // ord: monotonic tally increment; no other memory is published with it
+    AUTO_DENSE_SWITCHES.fetch_add(t.auto_dense_switches, Ordering::Relaxed); // ord: monotonic tally increment; no other memory is published with it
+    GATHER_BAILS.fetch_add(t.gather_bails, Ordering::Relaxed); // ord: monotonic tally increment; no other memory is published with it
+    SPARSE_EDGE_WORK.fetch_add(t.sparse_edge_work, Ordering::Relaxed); // ord: monotonic tally increment; no other memory is published with it
+    DENSE_EDGE_WORK.fetch_add(t.dense_edge_work, Ordering::Relaxed); // ord: monotonic tally increment; no other memory is published with it
 }
 
 /// One bounded top-k sweep ([`crate::topk`]), flushed once per run like
@@ -115,20 +115,20 @@ fn flush_tally(t: &RunTally) {
 /// terminated the sweep early, and how many nodes the last check
 /// pruned from contention.
 pub(crate) fn record_topk_run(bound_checks: u64, early_terminated: bool, pruned_nodes: u64) {
-    TOPK_RUNS.fetch_add(1, Ordering::Relaxed);
-    TOPK_BOUND_CHECKS.fetch_add(bound_checks, Ordering::Relaxed);
+    TOPK_RUNS.fetch_add(1, Ordering::Relaxed); // ord: monotonic tally increment; no other memory is published with it
+    TOPK_BOUND_CHECKS.fetch_add(bound_checks, Ordering::Relaxed); // ord: monotonic tally increment; no other memory is published with it
     if early_terminated {
-        TOPK_EARLY_TERMINATIONS.fetch_add(1, Ordering::Relaxed);
+        TOPK_EARLY_TERMINATIONS.fetch_add(1, Ordering::Relaxed); // ord: monotonic tally increment; no other memory is published with it
     }
-    TOPK_PRUNED_NODES.fetch_add(pruned_nodes, Ordering::Relaxed);
+    TOPK_PRUNED_NODES.fetch_add(pruned_nodes, Ordering::Relaxed); // ord: monotonic tally increment; no other memory is published with it
 }
 
 /// One [`crate::TilePolicy::Auto`] resolution (fresh, not memoized).
 pub(crate) fn record_tile_resolution(strip: bool) {
     if strip {
-        STRIP_RESOLUTIONS.fetch_add(1, Ordering::Relaxed);
+        STRIP_RESOLUTIONS.fetch_add(1, Ordering::Relaxed); // ord: monotonic tally increment; no other memory is published with it
     } else {
-        FLAT_RESOLUTIONS.fetch_add(1, Ordering::Relaxed);
+        FLAT_RESOLUTIONS.fetch_add(1, Ordering::Relaxed); // ord: monotonic tally increment; no other memory is published with it
     }
 }
 
@@ -193,21 +193,21 @@ impl KernelProfile {
 /// ran).
 pub fn kernel_profile() -> KernelProfile {
     KernelProfile {
-        cpi_runs: CPI_RUNS.load(Ordering::Relaxed),
-        cpi_iterations: CPI_ITERATIONS.load(Ordering::Relaxed),
-        sparse_iterations: SPARSE_ITERATIONS.load(Ordering::Relaxed),
-        dense_iterations: DENSE_ITERATIONS.load(Ordering::Relaxed),
-        auto_dense_switches: AUTO_DENSE_SWITCHES.load(Ordering::Relaxed),
-        gather_bails: GATHER_BAILS.load(Ordering::Relaxed),
-        sparse_edge_work: SPARSE_EDGE_WORK.load(Ordering::Relaxed),
-        dense_edge_work: DENSE_EDGE_WORK.load(Ordering::Relaxed),
-        offset_runs: OFFSET_RUNS.load(Ordering::Relaxed),
-        offset_iterations: OFFSET_ITERATIONS.load(Ordering::Relaxed),
-        strip_resolutions: STRIP_RESOLUTIONS.load(Ordering::Relaxed),
-        flat_resolutions: FLAT_RESOLUTIONS.load(Ordering::Relaxed),
-        topk_runs: TOPK_RUNS.load(Ordering::Relaxed),
-        topk_bound_checks: TOPK_BOUND_CHECKS.load(Ordering::Relaxed),
-        topk_early_terminations: TOPK_EARLY_TERMINATIONS.load(Ordering::Relaxed),
-        topk_pruned_nodes: TOPK_PRUNED_NODES.load(Ordering::Relaxed),
+        cpi_runs: CPI_RUNS.load(Ordering::Relaxed), // ord: statistical snapshot; counters are independent, cross-counter skew is fine
+        cpi_iterations: CPI_ITERATIONS.load(Ordering::Relaxed), // ord: statistical snapshot; counters are independent, cross-counter skew is fine
+        sparse_iterations: SPARSE_ITERATIONS.load(Ordering::Relaxed), // ord: statistical snapshot; counters are independent, cross-counter skew is fine
+        dense_iterations: DENSE_ITERATIONS.load(Ordering::Relaxed), // ord: statistical snapshot; counters are independent, cross-counter skew is fine
+        auto_dense_switches: AUTO_DENSE_SWITCHES.load(Ordering::Relaxed), // ord: statistical snapshot; counters are independent, cross-counter skew is fine
+        gather_bails: GATHER_BAILS.load(Ordering::Relaxed), // ord: statistical snapshot; counters are independent, cross-counter skew is fine
+        sparse_edge_work: SPARSE_EDGE_WORK.load(Ordering::Relaxed), // ord: statistical snapshot; counters are independent, cross-counter skew is fine
+        dense_edge_work: DENSE_EDGE_WORK.load(Ordering::Relaxed), // ord: statistical snapshot; counters are independent, cross-counter skew is fine
+        offset_runs: OFFSET_RUNS.load(Ordering::Relaxed), // ord: statistical snapshot; counters are independent, cross-counter skew is fine
+        offset_iterations: OFFSET_ITERATIONS.load(Ordering::Relaxed), // ord: statistical snapshot; counters are independent, cross-counter skew is fine
+        strip_resolutions: STRIP_RESOLUTIONS.load(Ordering::Relaxed), // ord: statistical snapshot; counters are independent, cross-counter skew is fine
+        flat_resolutions: FLAT_RESOLUTIONS.load(Ordering::Relaxed), // ord: statistical snapshot; counters are independent, cross-counter skew is fine
+        topk_runs: TOPK_RUNS.load(Ordering::Relaxed), // ord: statistical snapshot; counters are independent, cross-counter skew is fine
+        topk_bound_checks: TOPK_BOUND_CHECKS.load(Ordering::Relaxed), // ord: statistical snapshot; counters are independent, cross-counter skew is fine
+        topk_early_terminations: TOPK_EARLY_TERMINATIONS.load(Ordering::Relaxed), // ord: statistical snapshot; counters are independent, cross-counter skew is fine
+        topk_pruned_nodes: TOPK_PRUNED_NODES.load(Ordering::Relaxed), // ord: statistical snapshot; counters are independent, cross-counter skew is fine
     }
 }

@@ -292,6 +292,7 @@ impl QueryResult {
     pub fn into_scores(self) -> Vec<Vec<f64>> {
         match self {
             QueryResult::Scores(s) => s,
+            // lint:allow(panic-freedom, "documented caller-contract panic: the variant is fixed by the request shape the caller built")
             QueryResult::Ranked(_) => panic!("request returned rankings, not score vectors"),
         }
     }
@@ -300,6 +301,7 @@ impl QueryResult {
     pub fn into_ranked(self) -> Vec<Vec<(NodeId, f64)>> {
         match self {
             QueryResult::Ranked(r) => r,
+            // lint:allow(panic-freedom, "documented caller-contract panic: the variant is fixed by the request shape the caller built")
             QueryResult::Scores(_) => panic!("request returned score vectors, not rankings"),
         }
     }
@@ -370,6 +372,12 @@ pub struct SnapshotCache {
     /// How lanes are maintained across epochs (exact offset
     /// convergence, or tolerance-bounded with mass dropping).
     mode: MaintenanceMode,
+}
+
+impl std::fmt::Debug for SnapshotCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotCache").field("seeds", &self.seeds.len()).finish_non_exhaustive()
+    }
 }
 
 impl SnapshotCache {
@@ -768,7 +776,7 @@ impl<'g> Snapshot<'g> {
         guard: &SweepGuard,
     ) -> Result<QueryResponse, TpaError> {
         use crate::topk::{bounded_top_k, BoundedSpec, IndexedFinish};
-        let k = req.k.expect("admission requires k for exact_bounds");
+        let k = req.k.ok_or(TpaError::Internal("exact_bounds request admitted without k"))?;
         let run_started = Instant::now();
         // Per-node tail-share caps, computed once per epoch on first
         // use (a handful of dense propagations) and shared by every
@@ -979,6 +987,7 @@ struct CompactionJob {
     /// The rebuild thread. Panics are caught inside the closure so the
     /// join never sees an `Err`: the thread returns the fresh base and
     /// its own fold duration, or the panic message.
+    // lint:allow(stringly-error, "the Err arm carries a rendered panic payload (inherently a string); internal thread plumbing that never crosses the public API")
     handle: std::thread::JoinHandle<Result<(CsrGraph, Duration), String>>,
     /// Set by the thread before returning `Err` — lets
     /// [`RwrService::compaction_pending`] observe an aborted rebuild
@@ -1156,7 +1165,7 @@ impl WriterState {
                 match result {
                     Ok(base) => Ok((base, t.elapsed())),
                     Err(payload) => {
-                        flag.store(true, Ordering::Release);
+                        flag.store(true, Ordering::Release); // ord: Release pairs with the Acquire in compaction_pending — the reaper must see the failure flag no later than the thread's exit
                         Err(panic_reason(payload.as_ref()))
                     }
                 }
@@ -1243,13 +1252,19 @@ impl RwrService {
     /// Full scores for one seed (index path when available).
     pub fn query(&self, seed: NodeId) -> Result<Vec<f64>, TpaError> {
         let resp = self.submit(&QueryRequest::single(seed))?;
-        Ok(resp.result.into_scores().pop().expect("single request yields one vector"))
+        resp.result
+            .into_scores()
+            .pop()
+            .ok_or(TpaError::Internal("single request yielded no score vector"))
     }
 
     /// Best `k` nodes for one seed, best first.
     pub fn top_k(&self, seed: NodeId, k: usize) -> Result<Vec<(NodeId, f64)>, TpaError> {
         let resp = self.submit(&QueryRequest::single(seed).top_k(k))?;
-        Ok(resp.result.into_ranked().pop().expect("single request yields one ranking"))
+        resp.result
+            .into_ranked()
+            .pop()
+            .ok_or(TpaError::Internal("single request yielded no ranking"))
     }
 
     /// Number of nodes served.
@@ -1499,6 +1514,7 @@ impl RwrService {
     /// never mistaken for one that is still running.
     pub fn compaction_pending(&self) -> bool {
         let mut w = self.writer_state();
+        // ord: Acquire pairs with the Release store in the compaction thread's panic handler
         if w.compaction.as_ref().is_some_and(|job| job.failed.load(Ordering::Acquire)) {
             w.install_compaction(self.metrics.as_deref());
         }
@@ -1649,6 +1665,12 @@ pub struct ServiceBuilder {
     metrics: Option<Arc<MetricsRegistry>>,
     admission: Option<AdmissionConfig>,
     fault: Option<FaultPlan>,
+}
+
+impl std::fmt::Debug for ServiceBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceBuilder").field("threads", &self.threads).finish_non_exhaustive()
+    }
 }
 
 impl ServiceBuilder {
@@ -1991,6 +2013,7 @@ impl ServiceBuilder {
                     self.fault,
                 ))
             }
+            // lint:allow(panic-freedom, "build-time only: the Disk arm returned earlier in this function, so this match sees Csr/Dynamic sources only")
             GraphSource::Disk(_) => unreachable!("handled above"),
         }
     }

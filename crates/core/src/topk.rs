@@ -380,7 +380,7 @@ impl<'a> Checker<'a> {
         let push = |cand: Cand, heap: &mut BinaryHeap<Reverse<Cand>>| {
             if heap.len() < k {
                 heap.push(Reverse(cand));
-            } else if cand > heap.peek().expect("k ≥ 1 candidates").0 {
+            } else if heap.peek().is_some_and(|min| cand > min.0) {
                 heap.pop();
                 heap.push(Reverse(cand));
             }
@@ -391,7 +391,9 @@ impl<'a> Checker<'a> {
         for cand in top.iter() {
             push(Cand { lb: lb_of(cand.id), id: cand.id }, heap);
         }
-        let kth = heap.peek().expect("band ∪ top holds ≥ k nodes").0;
+        // Band ∪ top holds ≥ k nodes by the union-size gate above, but
+        // an empty heap simply means "no proof yet" — never a panic.
+        let Some(kth) = heap.peek().map(|r| r.0) else { return false };
         evicted.clear();
         for cand in top.iter() {
             evicted.push(cand.id);

@@ -128,6 +128,12 @@ pub struct Transition<'g> {
     strips: tiling::StripCache,
 }
 
+impl std::fmt::Debug for Transition<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transition").finish_non_exhaustive()
+    }
+}
+
 impl<'g> Transition<'g> {
     /// Binds the operator to a graph, precomputing `1/outdeg`.
     pub fn new(graph: &'g CsrGraph) -> Self {

@@ -15,6 +15,12 @@ pub struct WeightedTransition<'g> {
     inv_out_weight: Vec<f64>,
 }
 
+impl std::fmt::Debug for WeightedTransition<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WeightedTransition").finish_non_exhaustive()
+    }
+}
+
 impl<'g> WeightedTransition<'g> {
     /// Binds the operator, precomputing `1/Σ w(u,·)` per node.
     pub fn new(graph: &'g WeightedCsrGraph) -> Self {

@@ -1,0 +1,138 @@
+//! The ratcheted baseline: pre-existing debt, keyed by
+//! `(file, rule) → count`, committed as `lint-baseline.json`.
+//!
+//! Counts — not line numbers — so unrelated edits that shift lines
+//! don't invalidate the baseline, while any *new* finding in a
+//! `(file, rule)` cell pushes its count over the recorded value and
+//! fails the check. Burned-down debt leaves the baseline *stale*
+//! (recorded count above reality), which also fails: the ratchet only
+//! ever tightens, via `tpa-lint check --write-baseline`.
+
+use crate::json::{self, Value};
+use crate::Finding;
+use std::collections::BTreeMap;
+
+pub const FORMAT_VERSION: u64 = 1;
+
+/// `(file → rule → count)`, the committed debt ledger.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Baseline {
+    pub counts: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl Baseline {
+    /// Aggregates findings into a fresh baseline.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut counts: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        for f in findings {
+            *counts.entry(f.file.clone()).or_default().entry(f.rule.to_string()).or_default() += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Total recorded findings.
+    pub fn total(&self) -> u64 {
+        self.counts.values().flat_map(|r| r.values()).sum()
+    }
+
+    /// Renders the committed JSON form (stable ordering, so diffs are
+    /// reviewable).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {FORMAT_VERSION},\n"));
+        out.push_str(&format!("  \"total\": {},\n", self.total()));
+        out.push_str("  \"findings\": {");
+        let mut first_file = true;
+        for (file, rules) in &self.counts {
+            if !first_file {
+                out.push(',');
+            }
+            first_file = false;
+            out.push_str(&format!("\n    \"{}\": {{", json::escape(file)));
+            let mut first_rule = true;
+            for (rule, count) in rules {
+                if !first_rule {
+                    out.push(',');
+                }
+                first_rule = false;
+                out.push_str(&format!("\n      \"{}\": {}", json::escape(rule), count));
+            }
+            out.push_str("\n    }");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parses the committed JSON form, validating the version.
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let v = json::parse(src)?;
+        let obj = v.as_obj().ok_or("baseline root must be an object")?;
+        let version = obj.get("version").and_then(Value::as_num).ok_or("missing version")?;
+        if version != FORMAT_VERSION {
+            return Err(format!("baseline version {version}, expected {FORMAT_VERSION}"));
+        }
+        let mut counts: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        let findings =
+            obj.get("findings").and_then(Value::as_obj).ok_or("missing findings object")?;
+        for (file, rules) in findings {
+            let rules = rules.as_obj().ok_or("per-file entry must be an object")?;
+            let mut per: BTreeMap<String, u64> = BTreeMap::new();
+            for (rule, n) in rules {
+                per.insert(rule.clone(), n.as_num().ok_or("count must be a number")?);
+            }
+            counts.insert(file.clone(), per);
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+/// The verdict of checking current findings against a baseline.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Findings in `(file, rule)` cells whose count exceeds the
+    /// baseline — the *new* debt. Every finding in an over-budget cell
+    /// is listed (the analyzer cannot know which of them is the new
+    /// one).
+    pub new_findings: Vec<Finding>,
+    /// Cells where reality is *below* the recorded count: debt was
+    /// burned down but the baseline wasn't ratcheted. `(file, rule,
+    /// recorded, actual)`.
+    pub stale: Vec<(String, String, u64, u64)>,
+    /// Total current findings.
+    pub current_total: u64,
+}
+
+impl CheckReport {
+    pub fn passed(&self) -> bool {
+        self.new_findings.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Ratchet check: every `(file, rule)` count must equal the baseline
+/// exactly — above means new findings, below means a stale baseline.
+pub fn check(findings: &[Finding], baseline: &Baseline) -> CheckReport {
+    let current = Baseline::from_findings(findings);
+    let mut report = CheckReport { current_total: current.total(), ..Default::default() };
+    // Over-budget cells → list their findings.
+    for (file, rules) in &current.counts {
+        for (rule, &n) in rules {
+            let allowed = baseline.counts.get(file).and_then(|r| r.get(rule)).copied().unwrap_or(0);
+            if n > allowed {
+                report
+                    .new_findings
+                    .extend(findings.iter().filter(|f| &f.file == file && f.rule == rule).cloned());
+            }
+        }
+    }
+    // Under-budget or vanished cells → stale.
+    for (file, rules) in &baseline.counts {
+        for (rule, &recorded) in rules {
+            let actual = current.counts.get(file).and_then(|r| r.get(rule)).copied().unwrap_or(0);
+            if actual < recorded {
+                report.stale.push((file.clone(), rule.clone(), recorded, actual));
+            }
+        }
+    }
+    report
+}

@@ -1,0 +1,161 @@
+//! A deliberately tiny JSON subset — objects, strings, and unsigned
+//! integers — enough for the baseline file and `--format json` output.
+//! Hand-rolled because the linter must stay dependency-free (offline
+//! build environment, and the lint gate must never be the thing that
+//! breaks the build).
+
+use std::collections::BTreeMap;
+
+/// The subset of JSON values the baseline format uses.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Str(String),
+    Num(u64),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes a string for JSON output.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses `src` into a [`Value`]. Errors carry a byte offset for
+/// diagnostics.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let v = parse_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing content at byte {i}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && b[*i].is_ascii_whitespace() {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => {
+            *i += 1;
+            let mut m = BTreeMap::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(Value::Obj(m));
+            }
+            loop {
+                skip_ws(b, i);
+                let key = parse_string(b, i)?;
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {i}"));
+                }
+                *i += 1;
+                let val = parse_value(b, i)?;
+                m.insert(key, val);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(Value::Obj(m));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::Str(parse_string(b, i)?)),
+        Some(c) if c.is_ascii_digit() => {
+            let start = *i;
+            while *i < b.len() && b[*i].is_ascii_digit() {
+                *i += 1;
+            }
+            std::str::from_utf8(&b[start..*i])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Value::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        _ => Err(format!("unexpected character at byte {i}")),
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {i}"));
+    }
+    *i += 1;
+    let mut out = String::new();
+    while *i < b.len() {
+        match b[*i] {
+            b'"' => {
+                *i += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i + 1..*i + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .and_then(char::from_u32)
+                            .ok_or_else(|| format!("bad \\u escape at byte {i}"))?;
+                        out.push(hex);
+                        *i += 4;
+                    }
+                    Some(&c) => out.push(c as char),
+                    None => return Err("unterminated escape".into()),
+                }
+                *i += 1;
+            }
+            c => {
+                // Multi-byte UTF-8: copy the whole scalar.
+                let s = std::str::from_utf8(&b[*i..]).map_err(|_| "invalid utf8".to_string())?;
+                let ch = s.chars().next().ok_or_else(|| "empty".to_string())?;
+                out.push(ch);
+                *i += ch.len_utf8();
+                let _ = c;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}

@@ -1,0 +1,452 @@
+//! A hand-rolled Rust lexer, just enough for `tpa-lint`'s rules.
+//!
+//! The analyzer's whole credibility rests on the lexer getting the
+//! awkward cases right: `"a string containing unwrap()"` must not trip
+//! the panic-freedom rule, `'g>` is a lifetime and not an unterminated
+//! char literal, `r#"raw "quoted" text"#` swallows its body, block
+//! comments nest (`/* outer /* inner */ still comment */`), and
+//! `#[cfg(test)] mod tests { … }` is invisible to every rule. No `syn`
+//! here — the build environment is offline and the linter must stay
+//! dependency-free — so this is a small, fully-tested state machine.
+//!
+//! Output: a token stream (identifiers, punctuation, literals) each
+//! stamped with a 1-based line number, plus a per-line comment map the
+//! rules use to find `// ord:` justifications and
+//! `// lint:allow(rule, "reason")` escape hatches.
+
+use std::collections::HashMap;
+
+/// What a token is. Literal payloads are discarded — the rules only
+/// ever match identifiers and punctuation — but the *kind* is kept so
+/// fixture tests can assert strings and chars were skipped correctly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `Ordering`, …).
+    Ident,
+    /// Punctuation. Multi-char operators that the rules care about are
+    /// fused into one token: `::`, `->`, `=>`, `+=`, `-=`, `*=`, `/=`,
+    /// `..`, `..=`, `&&`, `||`, `==`, `!=`. (`>>`/`<<`/`>=`/`<=` are
+    /// deliberately *not* fused: `Vec<Vec<f64>>` must close two
+    /// generics.)
+    Punct,
+    /// String / raw string / byte-string literal (body discarded).
+    Str,
+    /// Char literal (`'a'`, `'\n'`).
+    Char,
+    /// Numeric literal (`42`, `1.5e-7`, `0xff`, `1_000u64`).
+    Num,
+    /// Lifetime (`'g`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token: kind, text (empty for literals), 1-based line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Token {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Lexer output: tokens plus the comment text attached to each line.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    /// Concatenated comment text per 1-based line. A block comment
+    /// spanning several lines contributes each line's slice to that
+    /// line's entry, so `// ord:` lookups work line-by-line.
+    pub comments: HashMap<usize, String>,
+    /// Lines that hold at least one token (used to find comment-only
+    /// lines when walking justification comments upward).
+    pub token_lines: std::collections::HashSet<usize>,
+}
+
+impl Lexed {
+    /// The comment text on `line`, if any.
+    pub fn comment_on(&self, line: usize) -> Option<&str> {
+        self.comments.get(&line).map(|s| s.as_str())
+    }
+
+    /// True when `line` has comment text but no tokens — a pure comment
+    /// line, eligible to justify the code line(s) below it.
+    pub fn is_comment_only_line(&self, line: usize) -> bool {
+        self.comments.contains_key(&line) && !self.token_lines.contains(&line)
+    }
+
+    /// Searches the comment on `line` itself, then contiguous
+    /// comment-only lines directly above, calling `pred` on each
+    /// comment. Returns the first `Some`.
+    pub fn find_justification<T>(
+        &self,
+        line: usize,
+        mut pred: impl FnMut(&str) -> Option<T>,
+    ) -> Option<T> {
+        if let Some(c) = self.comment_on(line) {
+            if let Some(v) = pred(c) {
+                return Some(v);
+            }
+        }
+        let mut l = line;
+        while l > 1 && self.is_comment_only_line(l - 1) {
+            l -= 1;
+            if let Some(v) = self.comment_on(l).and_then(&mut pred) {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+const FUSED: &[&str] =
+    &["::", "->", "=>", "..=", "..", "+=", "-=", "*=", "/=", "&&", "||", "==", "!="];
+
+/// Lexes `src`. Never fails: unterminated constructs consume to EOF,
+/// which is the forgiving behaviour a linter wants (the compiler is the
+/// authority on well-formedness, not us).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line = 1;
+
+    // Appends `text` to the comment map for `line`.
+    fn push_comment(out: &mut Lexed, line: usize, text: &str) {
+        let e = out.comments.entry(line).or_default();
+        if !e.is_empty() {
+            e.push(' ');
+        }
+        e.push_str(text);
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            // Line comment (incl. doc comments). Body recorded.
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                push_comment(&mut out, line, src[start..i].trim_start_matches('/').trim());
+            }
+            // Block comment, nesting, body recorded per line.
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                i += 2;
+                let mut seg_start = i;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else if b[i] == b'\n' {
+                        push_comment(&mut out, line, src[seg_start..i].trim_matches('*').trim());
+                        line += 1;
+                        i += 1;
+                        seg_start = i;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(seg_start);
+                push_comment(&mut out, line, src[seg_start..end].trim_matches('*').trim());
+            }
+            // Raw / byte string prefixes: r", r#…", b", br", br#…".
+            b'r' | b'b' if is_string_prefix(b, i) => {
+                let (kind_len, hashes, raw) = string_prefix(b, i);
+                i += kind_len + 1; // prefix + opening quote
+                if raw {
+                    // raw string: consume until `"` followed by `hashes` #s
+                    loop {
+                        if i >= b.len() {
+                            break;
+                        }
+                        if b[i] == b'\n' {
+                            line += 1;
+                            i += 1;
+                            continue;
+                        }
+                        if b[i] == b'"' {
+                            let mut h = 0;
+                            while h < hashes && b.get(i + 1 + h) == Some(&b'#') {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                i += 1 + hashes;
+                                break;
+                            }
+                        }
+                        i += 1;
+                    }
+                } else {
+                    // b"…": escape-aware, like a plain string.
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'"' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+                out.tokens.push(Token { kind: TokKind::Str, text: String::new(), line });
+                out.token_lines.insert(line);
+            }
+            b'"' => {
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.tokens.push(Token { kind: TokKind::Str, text: String::new(), line });
+                out.token_lines.insert(line);
+            }
+            // Lifetime or char literal.
+            b'\'' => {
+                let next = b.get(i + 1).copied().unwrap_or(0);
+                let after = b.get(i + 2).copied().unwrap_or(0);
+                if (next.is_ascii_alphabetic() || next == b'_') && after != b'\'' {
+                    // lifetime: 'ident (not closed by a quote)
+                    i += 1;
+                    let start = i;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                    out.token_lines.insert(line);
+                } else {
+                    // char literal, possibly escaped ('\'' '\\' '\u{..}')
+                    i += 1;
+                    if b.get(i) == Some(&b'\\') {
+                        i += 2;
+                        // \u{…}
+                        while i < b.len() && b[i] != b'\'' {
+                            i += 1;
+                        }
+                    } else if i < b.len() {
+                        i += 1;
+                    }
+                    if b.get(i) == Some(&b'\'') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token { kind: TokKind::Char, text: String::new(), line });
+                    out.token_lines.insert(line);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        i += 1;
+                    } else if d == b'.'
+                        && b.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        && b.get(i.wrapping_sub(1)).is_some_and(|p| p.is_ascii_digit())
+                    {
+                        // 1.5 but not 0..n
+                        i += 1;
+                    } else if (d == b'+' || d == b'-')
+                        && matches!(b.get(i.wrapping_sub(1)), Some(&b'e') | Some(&b'E'))
+                    {
+                        // 1e-7
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token { kind: TokKind::Num, text: String::new(), line });
+                out.token_lines.insert(line);
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                lex_ident(b, src, &mut i, line, &mut out);
+            }
+            _ => {
+                // Punctuation; fuse the operators the rules match on.
+                let rest = &src[i..];
+                let fused = FUSED.iter().find(|op| rest.starts_with(**op));
+                let text = match fused {
+                    Some(op) => (*op).to_string(),
+                    None => (c as char).to_string(),
+                };
+                i += text.len();
+                out.tokens.push(Token { kind: TokKind::Punct, text, line });
+                out.token_lines.insert(line);
+            }
+        }
+    }
+    out
+}
+
+fn lex_ident(b: &[u8], src: &str, i: &mut usize, line: usize, out: &mut Lexed) {
+    let start = *i;
+    while *i < b.len() && (b[*i].is_ascii_alphanumeric() || b[*i] == b'_') {
+        *i += 1;
+    }
+    out.tokens.push(Token { kind: TokKind::Ident, text: src[start..*i].to_string(), line });
+    out.token_lines.insert(line);
+}
+
+/// True when position `i` starts a raw/byte string prefix rather than a
+/// plain identifier beginning with `r`/`b`.
+fn is_string_prefix(b: &[u8], i: usize) -> bool {
+    let (len, _, _) = string_prefix(b, i);
+    // The prefix scanner already required the opening quote.
+    len > 0 && b.get(i + len) == Some(&b'"')
+}
+
+/// `(prefix_len_before_quote, hash_count, is_raw)` for r"/r#"/b"/br"/
+/// br#" prefixes, or `(0, 0, false)` when `i` does not start one.
+fn string_prefix(b: &[u8], i: usize) -> (usize, usize, bool) {
+    let raw_at = |j: usize| -> Option<usize> {
+        // b[j] == 'r': count #s, require a quote after them.
+        let mut h = 0;
+        while b.get(j + 1 + h) == Some(&b'#') {
+            h += 1;
+        }
+        (b.get(j + 1 + h) == Some(&b'"')).then_some(h)
+    };
+    match b[i] {
+        b'r' => match raw_at(i) {
+            Some(h) => (1 + h, h, true),
+            None => (0, 0, false),
+        },
+        b'b' => match b.get(i + 1) {
+            Some(&b'"') => (1, 0, false),
+            Some(&b'r') => match raw_at(i + 1) {
+                Some(h) => (2 + h, h, true),
+                None => (0, 0, false),
+            },
+            _ => (0, 0, false),
+        },
+        _ => (0, 0, false),
+    }
+}
+
+/// Strips items annotated `#[cfg(test)]` / `#[test]` (and any stack of
+/// attributes around them) from a token stream, returning the tokens
+/// every rule actually sees. Comment maps are left alone — an allow
+/// inside test code simply never matches anything.
+pub fn strip_test_items(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            // Parse the attribute's tokens to its closing bracket.
+            let (end, is_test) = scan_attribute(tokens, i + 1);
+            if is_test {
+                // Skip any further attributes, then the item itself.
+                let mut j = end;
+                while j < tokens.len()
+                    && tokens[j].is_punct("#")
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct("["))
+                {
+                    let (e, _) = scan_attribute(tokens, j + 1);
+                    j = e;
+                }
+                i = skip_item(tokens, j);
+                continue;
+            }
+            // Non-test attribute: keep its tokens (rules ignore them).
+            out.extend_from_slice(&tokens[i..end]);
+            i = end;
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// From the `[` at `open`, returns (index just past the matching `]`,
+/// whether the attribute marks test-only code: `test`, `cfg(test)`, or
+/// any `cfg(…)` whose argument list mentions `test`).
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut j = open;
+    let mut idents: Vec<&str> = Vec::new();
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokKind::Ident {
+            idents.push(&t.text);
+        }
+        match t.text.as_str() {
+            "[" | "(" if t.kind == TokKind::Punct => depth += 1,
+            "]" | ")" if t.kind == TokKind::Punct => {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let is_test = idents.first() == Some(&"test")
+        || (idents.contains(&"cfg") && idents.contains(&"test"))
+        || idents.first() == Some(&"bench");
+    (j, is_test)
+}
+
+/// From the first token of an item (post-attributes), returns the index
+/// just past it: either past the `;` of a braceless item or past the
+/// matching `}` of its body.
+fn skip_item(tokens: &[Token], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                ";" if depth == 0 => return j + 1,
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
+}

@@ -1,0 +1,199 @@
+//! `tpa-lint` — the workspace's static-analysis gate.
+//!
+//! ```text
+//! tpa-lint scan  [--root DIR] [--format text|json]
+//! tpa-lint check [--root DIR] [--format text|json] --baseline FILE [--write-baseline]
+//! ```
+//!
+//! `scan` prints every finding (after inline allows). `check` ratchets
+//! against the committed baseline: new findings fail, burned-down debt
+//! fails as *stale* until the baseline is rewritten with
+//! `--write-baseline`. Exit codes: 0 clean, 1 findings / stale
+//! baseline, 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tpa_lint::baseline::{check, Baseline};
+use tpa_lint::{analyze_workspace, json, Config, Finding};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("tpa-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Opts {
+    root: Option<PathBuf>,
+    format: String,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts { root: None, format: "text".into(), baseline: None, write_baseline: false };
+    let mut i = 0;
+    let take = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => o.root = Some(PathBuf::from(take(&mut i, "--root")?)),
+            "--format" => {
+                o.format = take(&mut i, "--format")?;
+                if o.format != "text" && o.format != "json" {
+                    return Err(format!("--format must be text or json, got {}", o.format));
+                }
+            }
+            "--baseline" => o.baseline = Some(PathBuf::from(take(&mut i, "--baseline")?)),
+            "--write-baseline" => o.write_baseline = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+/// Walks upward from the current directory to the workspace root (the
+/// first `Cargo.toml` declaring `[workspace]`).
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root found above the current directory".into());
+        }
+    }
+}
+
+fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"severity\": \"{}\", \
+             \"message\": \"{}\"}}",
+            json::escape(&f.file),
+            f.line,
+            f.rule,
+            f.severity,
+            json::escape(&f.message)
+        ));
+    }
+    out.push_str(&format!("\n  ],\n  \"total\": {}\n}}\n", findings.len()));
+    out
+}
+
+fn print_findings(findings: &[Finding], format: &str) {
+    if format == "json" {
+        print!("{}", render_json(findings));
+    } else {
+        for f in findings {
+            println!("{f}");
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        return Err("usage: tpa-lint <scan|check> [--root DIR] [--format text|json] \
+                    [--baseline FILE] [--write-baseline]"
+            .into());
+    };
+    let opts = parse_opts(&args[1..])?;
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => find_root()?,
+    };
+    let cfg = Config::repo();
+    let findings = analyze_workspace(&root, &cfg).map_err(|e| e.to_string())?;
+    match cmd.as_str() {
+        "scan" => {
+            print_findings(&findings, &opts.format);
+            if opts.format == "text" {
+                eprintln!("tpa-lint: {} finding(s)", findings.len());
+            }
+            Ok(if findings.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+        }
+        "check" => {
+            let path = opts
+                .baseline
+                .clone()
+                .ok_or("check needs --baseline FILE (use --write-baseline to create it)")?;
+            let baseline_path = if path.is_absolute() { path } else { root.join(path) };
+            if opts.write_baseline {
+                let b = Baseline::from_findings(&findings);
+                std::fs::write(&baseline_path, b.render()).map_err(|e| e.to_string())?;
+                eprintln!(
+                    "tpa-lint: wrote baseline ({} finding(s)) to {}",
+                    b.total(),
+                    baseline_path.display()
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            let text = std::fs::read_to_string(&baseline_path)
+                .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+            let baseline = Baseline::parse(&text)?;
+            let report = check(&findings, &baseline);
+            report_check(&report, &baseline, &opts.format, root.as_path());
+            Ok(if report.passed() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+fn report_check(
+    report: &tpa_lint::baseline::CheckReport,
+    baseline: &Baseline,
+    format: &str,
+    _root: &Path,
+) {
+    if format == "json" {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"passed\": {},\n", report.passed()));
+        out.push_str(&format!("  \"current_total\": {},\n", report.current_total));
+        out.push_str(&format!("  \"baseline_total\": {},\n", baseline.total()));
+        out.push_str(&format!("  \"stale_cells\": {},\n", report.stale.len()));
+        out.push_str("  \"new_findings\": ");
+        out.push_str(&render_json(&report.new_findings).replace('\n', "\n  "));
+        out = out.trim_end().to_string();
+        out.push_str("\n}\n");
+        print!("{out}");
+        return;
+    }
+    if !report.new_findings.is_empty() {
+        eprintln!(
+            "tpa-lint: NEW findings (cells over their baselined count — every finding in the \
+             cell is listed):"
+        );
+        for f in &report.new_findings {
+            println!("{f}");
+        }
+    }
+    for (file, rule, recorded, actual) in &report.stale {
+        eprintln!(
+            "tpa-lint: STALE baseline: {file} [{rule}] records {recorded} but only {actual} \
+             remain — debt was burned down, ratchet it with `tpa-lint check --baseline … \
+             --write-baseline`"
+        );
+    }
+    eprintln!(
+        "tpa-lint: {} current finding(s) against a baseline of {} — {}",
+        report.current_total,
+        baseline.total(),
+        if report.passed() { "OK" } else { "FAIL" }
+    );
+}

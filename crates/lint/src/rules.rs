@@ -1,0 +1,889 @@
+//! The four rule families. All rules operate on the lexed,
+//! test-stripped token stream of a [`SourceFile`] — never on raw text —
+//! so strings, comments, and `#[cfg(test)]` items are already out of
+//! the picture.
+
+use crate::lexer::{TokKind, Token};
+use crate::{Config, Finding, Severity, SourceFile};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Identifiers that read like keywords; an opening `[` after one of
+/// these is a slice pattern, type, or block — not an index expression.
+const KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "Self", "static", "struct", "super", "trait", "type", "unsafe", "use",
+    "where", "while", "yield",
+];
+
+fn push(
+    findings: &mut Vec<Finding>,
+    f: &SourceFile,
+    line: usize,
+    rule: &'static str,
+    sev: Severity,
+    msg: String,
+) {
+    findings.push(Finding { file: f.path.clone(), line, rule, severity: sev, message: msg });
+}
+
+// ---------------------------------------------------------------------
+// Family 1: panic-freedom
+// ---------------------------------------------------------------------
+
+/// Flags `unwrap()` / `expect(` / panicking macros and unchecked slice
+/// indexing in the serving / kernel path files.
+pub fn panic_freedom(f: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &f.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next = toks.get(i + 1);
+        match t.text.as_str() {
+            // `.unwrap()` / `.expect(` method calls: require a leading
+            // `.` so locals named `unwrap` (none, but cheap) and macro
+            // definitions don't trip it. `unwrap_or_else` is a distinct
+            // identifier and never matches.
+            "unwrap" | "expect"
+                if i > 0 && toks[i - 1].is_punct(".") && next.is_some_and(|n| n.is_punct("(")) =>
+            {
+                push(
+                    findings,
+                    f,
+                    t.line,
+                    "panic-freedom",
+                    Severity::Error,
+                    format!(
+                        ".{}() can panic on the serving path; return a typed TpaError instead \
+                         (or lint:allow with the unreachability proof)",
+                        t.text
+                    ),
+                );
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if next.is_some_and(|n| n.is_punct("!")) =>
+            {
+                push(
+                    findings,
+                    f,
+                    t.line,
+                    "panic-freedom",
+                    Severity::Error,
+                    format!(
+                        "{}! aborts the serving path; return a typed TpaError instead \
+                         (or lint:allow with the unreachability proof)",
+                        t.text
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+    // Unchecked indexing: `expr[...]` where expr ends in an identifier,
+    // `)`, or `]`. Types (`[f64; 4]`), slice patterns (`let [a] = …`),
+    // attributes (`#[…]`), and macro brackets (`vec![…]`) are excluded
+    // by the preceding-token test.
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_punct("[") || i == 0 {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let indexes = match prev.kind {
+            TokKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+            TokKind::Punct => prev.text == ")" || prev.text == "]",
+            _ => false,
+        };
+        if indexes {
+            push(
+                findings,
+                f,
+                t.line,
+                "unchecked-index",
+                Severity::Warning,
+                "unchecked slice index can panic on the serving path; prefer .get() or a \
+                 length-checked loop (or lint:allow with the bounds proof)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 2: atomic-ordering discipline
+// ---------------------------------------------------------------------
+
+const MEMORY_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Every `Ordering::<memory variant>` must carry a `// ord:` comment on
+/// its line (or the comment block directly above), or be pre-approved
+/// by the per-file policy table. `std::cmp::Ordering`'s variants never
+/// match.
+pub fn atomic_ordering(f: &SourceFile, cfg: &Config, findings: &mut Vec<Finding>) {
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("Ordering") {
+            continue;
+        }
+        let Some(sep) = toks.get(i + 1) else { continue };
+        let Some(var) = toks.get(i + 2) else { continue };
+        if !sep.is_punct("::") || var.kind != TokKind::Ident {
+            continue;
+        }
+        if !MEMORY_ORDERINGS.contains(&var.text.as_str()) {
+            continue;
+        }
+        if cfg.ordering_allowed(&f.path, &var.text) {
+            continue;
+        }
+        let justified =
+            f.lexed.find_justification(var.line, |c| c.contains("ord:").then_some(())).is_some();
+        if !justified {
+            push(
+                findings,
+                f,
+                var.line,
+                "atomic-ordering",
+                Severity::Error,
+                format!(
+                    "Ordering::{} without a `// ord:` justification naming the happens-before \
+                     edge it relies on (or a policy-table entry)",
+                    var.text
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 3: lock-order safety
+// ---------------------------------------------------------------------
+
+/// A lock identity: the declared field/static name. Field names are
+/// unique across the scoped files today; collisions would only make the
+/// analysis *more* conservative.
+type LockName = String;
+
+#[derive(Clone, Debug)]
+struct Acquisition {
+    lock: LockName,
+    /// Token index within the function body.
+    pos: usize,
+    line: usize,
+    /// Guard bound by `let` — held until an explicit `drop(binding)` or
+    /// the end of the function (conservative). Temporaries drop at
+    /// their statement's end and never hold.
+    held: bool,
+    /// The `let`-bound guard variable, when the pattern is a plain
+    /// identifier — what `drop(binding)` releases.
+    binding: Option<String>,
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+struct CallSite {
+    callee: String,
+    pos: usize,
+    line: usize,
+    /// `Some(name)` when the statement containing the call `let`-binds
+    /// its value: a call to a guard-returning alias function is then a
+    /// *held* acquisition under that binding.
+    let_binding: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct FnInfo {
+    file: usize,
+    acquisitions: Vec<Acquisition>,
+    /// Every call to a function defined in the scoped file set.
+    calls: Vec<CallSite>,
+    /// Condvar wait sites: `(pos, line)`.
+    waits: Vec<(usize, usize)>,
+    /// Explicit `drop(binding)` sites: `(pos, binding)`.
+    releases: Vec<(usize, String)>,
+}
+
+/// Builds the may-hold-while-acquiring graph over the `Mutex` /
+/// `RwLock` / `Condvar` fields declared in `files` and reports cycles
+/// (deadlock candidates) plus condvar waits taken while another lock is
+/// held. Conservative by design: a `let`-bound guard is assumed held to
+/// the end of its function, and calls are resolved by name across the
+/// whole scoped file set.
+pub fn lock_order(files: &[&SourceFile], findings: &mut Vec<Finding>) {
+    if files.is_empty() {
+        return;
+    }
+    // Pass 1: lock field declarations — `name: Mutex<` / `RwLock<` /
+    // `Condvar` in struct bodies or statics.
+    let mut locks: HashSet<LockName> = HashSet::new();
+    let mut condvars: HashSet<LockName> = HashSet::new();
+    for f in files {
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            if !toks[i].is_punct(":") {
+                continue;
+            }
+            let Some(name) = i.checked_sub(1).and_then(|j| toks.get(j)) else { continue };
+            if name.kind != TokKind::Ident {
+                continue;
+            }
+            // Skip path segments and type ascriptions in generics: the
+            // declared type must follow as `Mutex`/`RwLock`/`Condvar`
+            // (optionally behind a path like std::sync::Mutex).
+            let mut j = i + 1;
+            let mut ty = None;
+            while let Some(t) = toks.get(j) {
+                match t.kind {
+                    TokKind::Ident => {
+                        ty = Some(t.text.as_str());
+                        if toks.get(j + 1).is_some_and(|n| n.is_punct("::")) {
+                            j += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            match ty {
+                Some("Mutex") | Some("RwLock") => {
+                    locks.insert(name.text.clone());
+                }
+                Some("Condvar") => {
+                    condvars.insert(name.text.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+    if locks.is_empty() {
+        return;
+    }
+
+    // Pass 2: function bodies — acquisitions, calls, waits, aliases.
+    let mut fns: HashMap<String, FnInfo> = HashMap::new();
+    let mut aliases: HashMap<String, LockName> = HashMap::new();
+    let mut fn_order: Vec<String> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        let toks = &f.tokens;
+        let mut i = 0;
+        while i < toks.len() {
+            if !(toks[i].is_ident("fn")
+                && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident))
+            {
+                i += 1;
+                continue;
+            }
+            let name = toks[i + 1].text.clone();
+            // Find the body: first `{` after the signature (or `;` for
+            // a trait method declaration — skip those).
+            let mut j = i + 2;
+            let mut body_start = None;
+            while let Some(t) = toks.get(j) {
+                if t.is_punct(";") {
+                    break;
+                }
+                if t.is_punct("{") {
+                    body_start = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            let Some(start) = body_start else {
+                i = j + 1;
+                continue;
+            };
+            let mut depth = 0usize;
+            let mut end = start;
+            for (k, t) in toks.iter().enumerate().skip(start) {
+                if t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+            }
+            let body = &toks[start..=end.max(start)];
+            let info = scan_fn_body(fi, body, &locks, &condvars);
+            // Alias detection: the body's tail expression is directly a
+            // lock acquisition chain (`self.<field>.lock()…`), so call
+            // sites receive the guard.
+            if let Some(lock) = tail_lock_alias(body, &locks) {
+                aliases.insert(name.clone(), lock);
+            }
+            if !fns.contains_key(&name) {
+                fn_order.push(name.clone());
+            }
+            fns.entry(name).or_insert(info);
+            i = end.max(start) + 1;
+        }
+    }
+
+    // Keep only calls to functions we scanned (intra-crate, by name).
+    {
+        let known: HashSet<String> = fns.keys().cloned().collect();
+        for info in fns.values_mut() {
+            info.calls.retain(|c| known.contains(&c.callee));
+        }
+    }
+
+    // Fixpoint: transitive lock effects per function.
+    let mut effects: HashMap<String, BTreeSet<LockName>> = HashMap::new();
+    for (name, info) in &fns {
+        let mut s: BTreeSet<LockName> = info.acquisitions.iter().map(|a| a.lock.clone()).collect();
+        if let Some(l) = aliases.get(name) {
+            s.insert(l.clone());
+        }
+        effects.insert(name.clone(), s);
+    }
+    loop {
+        let mut changed = false;
+        for name in &fn_order {
+            let calls = fns[name].calls.clone();
+            let mut add: BTreeSet<LockName> = BTreeSet::new();
+            for c in &calls {
+                if let Some(l) = aliases.get(&c.callee) {
+                    add.insert(l.clone());
+                }
+                if let Some(e) = effects.get(&c.callee) {
+                    add.extend(e.iter().cloned());
+                }
+            }
+            let e = effects.entry(name.clone()).or_default();
+            let before = e.len();
+            e.extend(add);
+            if e.len() != before {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edges: held lock L → any lock M acquired later in the same
+    // function (directly, or transitively through a call).
+    #[derive(Clone)]
+    enum Event {
+        Acq(Acquisition),
+        Call(CallSite),
+        Wait(usize),
+        Release(String),
+    }
+    let mut edges: BTreeMap<(LockName, LockName), (usize, usize)> = BTreeMap::new();
+    for name in &fn_order {
+        let info = &fns[name];
+        let mut events: Vec<(usize, Event)> = Vec::new();
+        for a in &info.acquisitions {
+            events.push((a.pos, Event::Acq(a.clone())));
+        }
+        for c in &info.calls {
+            events.push((c.pos, Event::Call(c.clone())));
+        }
+        for &(pos, line) in &info.waits {
+            events.push((pos, Event::Wait(line)));
+        }
+        for (pos, binding) in &info.releases {
+            events.push((*pos, Event::Release(binding.clone())));
+        }
+        events.sort_by_key(|e| e.0);
+        let mut held: Vec<Acquisition> = Vec::new();
+        for (_, ev) in events {
+            match ev {
+                Event::Acq(a) => {
+                    for h in &held {
+                        // Includes same-lock reacquire: self-deadlock.
+                        edges
+                            .entry((h.lock.clone(), a.lock.clone()))
+                            .or_insert((info.file, a.line));
+                    }
+                    if a.held {
+                        held.push(a);
+                    }
+                }
+                Event::Call(c) => {
+                    if let Some(e) = effects.get(&c.callee) {
+                        for h in &held {
+                            for m in e {
+                                edges
+                                    .entry((h.lock.clone(), m.clone()))
+                                    .or_insert((info.file, c.line));
+                            }
+                        }
+                    }
+                    // A `let`-bound call to a guard-returning alias is
+                    // a held acquisition from here on.
+                    if let Some(l) = aliases.get(&c.callee) {
+                        if let Some(b) = &c.let_binding {
+                            held.push(Acquisition {
+                                lock: l.clone(),
+                                pos: c.pos,
+                                line: c.line,
+                                held: true,
+                                binding: Some(b.clone()).filter(|b| !b.is_empty()),
+                            });
+                        }
+                    }
+                }
+                Event::Release(binding) => {
+                    held.retain(|a| a.binding.as_deref() != Some(binding.as_str()));
+                }
+                Event::Wait(line) => {
+                    // The wait releases only its own mutex (assumed to
+                    // be the most recent held acquisition); any other
+                    // held lock blocks every other waiter.
+                    if held.len() >= 2 {
+                        let names: Vec<&str> = held.iter().map(|a| a.lock.as_str()).collect();
+                        findings.push(Finding {
+                            file: files[info.file].path.clone(),
+                            line,
+                            rule: "condvar-hold",
+                            severity: Severity::Error,
+                            message: format!(
+                                "condvar wait in `{name}` while holding locks [{}]: the wait \
+                                 releases only its own mutex — any other held lock blocks \
+                                 every other waiter",
+                                names.join(", ")
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Debugging aid: `TPA_LINT_DEBUG=1` dumps the full edge set.
+    if std::env::var_os("TPA_LINT_DEBUG").is_some() {
+        for ((a, b), (fi, line)) in &edges {
+            eprintln!("lock-edge: {a} -> {b} at {}:{line}", files[*fi].path);
+        }
+    }
+    // Cycle detection over the lock graph (includes self-loops).
+    let mut adj: BTreeMap<&LockName, Vec<&LockName>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a).or_default().push(b);
+    }
+    let lock_list: Vec<&LockName> = adj.keys().copied().collect();
+    for start in lock_list {
+        // DFS from `start` looking for a path back to `start`.
+        let mut stack = vec![start];
+        let mut visited: HashSet<&LockName> = HashSet::new();
+        let mut found = false;
+        while let Some(cur) = stack.pop() {
+            for next in adj.get(cur).into_iter().flatten() {
+                if *next == start {
+                    found = true;
+                    break;
+                }
+                if visited.insert(next) {
+                    stack.push(next);
+                }
+            }
+            if found {
+                break;
+            }
+        }
+        if found {
+            let (file_idx, line) =
+                edges.iter().find(|((a, _), _)| a == start).map(|(_, v)| *v).unwrap_or((0, 1));
+            findings.push(Finding {
+                file: files[file_idx].path.clone(),
+                line,
+                rule: "lock-order",
+                severity: Severity::Error,
+                message: format!(
+                    "lock `{start}` participates in a may-hold-while-acquiring cycle \
+                     ({}): deadlock candidate — impose a global acquisition order",
+                    describe_cycle(start, &adj)
+                ),
+            });
+        }
+    }
+}
+
+/// Renders one witness cycle starting at `start` for the finding text.
+fn describe_cycle(start: &LockName, adj: &BTreeMap<&LockName, Vec<&LockName>>) -> String {
+    // Short BFS back to start, rendering the first path found.
+    let mut path = vec![start.clone()];
+    let mut cur = start;
+    for _ in 0..8 {
+        let Some(nexts) = adj.get(cur) else { break };
+        let Some(next) = nexts.iter().min() else { break };
+        path.push((*next).clone());
+        if *next == start {
+            break;
+        }
+        cur = next;
+    }
+    path.join(" -> ")
+}
+
+/// Scans a function body for lock events. `body` starts at the opening
+/// `{`.
+fn scan_fn_body(
+    file: usize,
+    body: &[Token],
+    locks: &HashSet<LockName>,
+    condvars: &HashSet<LockName>,
+) -> FnInfo {
+    let mut info = FnInfo { file, ..Default::default() };
+    // Statement starts: after `{`, `}`, or `;`. Track the current
+    // statement's `let` binding: `None` outside a let, `Some(name)` for
+    // `let [mut] name = …`, `Some("")` for destructuring patterns
+    // (held, but not releasable via `drop(name)`).
+    let mut stmt_binding: Option<String> = None;
+    let mut at_stmt_start = true;
+    for i in 0..body.len() {
+        let t = &body[i];
+        if t.kind == TokKind::Punct && matches!(t.text.as_str(), "{" | "}" | ";") {
+            at_stmt_start = true;
+            stmt_binding = None;
+            continue;
+        }
+        if at_stmt_start {
+            stmt_binding = if t.is_ident("let") {
+                let mut j = i + 1;
+                if body.get(j).is_some_and(|n| n.is_ident("mut")) {
+                    j += 1;
+                }
+                match body.get(j) {
+                    Some(n) if n.kind == TokKind::Ident => Some(n.text.clone()),
+                    _ => Some(String::new()),
+                }
+            } else {
+                None
+            };
+            at_stmt_start = false;
+        }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && body[i - 1].is_punct(".");
+        let next_open = body.get(i + 1).is_some_and(|n| n.is_punct("("));
+        // `<field>.lock() / .read() / .write()` on a declared lock.
+        if matches!(t.text.as_str(), "lock" | "read" | "write") && prev_dot && next_open {
+            if let Some(field) = i.checked_sub(2).and_then(|j| body.get(j)) {
+                if field.kind == TokKind::Ident && locks.contains(&field.text) {
+                    info.acquisitions.push(Acquisition {
+                        lock: field.text.clone(),
+                        pos: i,
+                        line: t.line,
+                        held: stmt_binding.is_some(),
+                        binding: stmt_binding.clone().filter(|b| !b.is_empty()),
+                    });
+                }
+            }
+        }
+        // Condvar waits: `<cv>.wait(…)` / `.wait_timeout` / `.wait_while`.
+        if matches!(t.text.as_str(), "wait" | "wait_timeout" | "wait_while")
+            && prev_dot
+            && next_open
+        {
+            let on_condvar = i
+                .checked_sub(2)
+                .and_then(|j| body.get(j))
+                .is_some_and(|f| f.kind == TokKind::Ident && condvars.contains(&f.text));
+            if on_condvar || condvars.is_empty() {
+                info.waits.push((i, t.line));
+            }
+        }
+        // `drop(guard)` releases that binding's guard early. `drop` is
+        // always std's consuming drop here — `Drop::drop` is never
+        // called by name — so it must not resolve to local `fn drop`
+        // bodies (a Drop impl that re-locks would otherwise read as a
+        // self-deadlock at every `drop(guard)` site).
+        if t.is_ident("drop") && !prev_dot && next_open {
+            if let (Some(arg), Some(close)) = (body.get(i + 2), body.get(i + 3)) {
+                if arg.kind == TokKind::Ident && close.is_punct(")") {
+                    info.releases.push((i, arg.text.clone()));
+                }
+            }
+            continue;
+        }
+        // Calls: recorded for the transitive effect propagation;
+        // non-local names are filtered later. Method calls only resolve
+        // when the receiver chain is rooted at `self` (`self.f(…)`,
+        // `self.gate.f(…)`) — a method on a local variable sharing a
+        // name with a scoped fn (`overlay.compact()` vs
+        // `RwrService::compact`) must not inherit its effects.
+        // Qualified calls resolve only through `Self::`.
+        if next_open && !matches!(t.text.as_str(), "lock" | "read" | "write") {
+            let resolvable = if prev_dot {
+                let mut k = i;
+                while k >= 2 && body[k - 1].is_punct(".") && body[k - 2].kind == TokKind::Ident {
+                    k -= 2;
+                }
+                body[k].is_ident("self")
+            } else if i > 0 && body[i - 1].is_punct("::") {
+                i >= 2 && body[i - 2].is_ident("Self")
+            } else {
+                true
+            };
+            if resolvable {
+                info.calls.push(CallSite {
+                    callee: t.text.clone(),
+                    pos: i,
+                    line: t.line,
+                    let_binding: stmt_binding.clone(),
+                });
+            }
+        }
+    }
+    info
+}
+
+/// When the body's tail expression is directly `self.<field>.<lock|read|write>(…)`
+/// (followed only by `unwrap*` / `expect` adapters), the function hands
+/// its guard to the caller: treat call sites as acquisitions.
+fn tail_lock_alias(body: &[Token], locks: &HashSet<LockName>) -> Option<LockName> {
+    // Find the start of the final statement at depth 1.
+    let mut depth = 0usize;
+    let mut last_stmt_start = 1;
+    for (i, t) in body.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => depth = depth.saturating_sub(1),
+            ";" if depth == 1 => last_stmt_start = i + 1,
+            _ => {}
+        }
+    }
+    let tail = &body[last_stmt_start..];
+    // Accept `self . field . lock (` and `field . lock (` heads.
+    let head: Vec<&Token> = tail.iter().take(6).collect();
+    let idx = match head.first() {
+        Some(t) if t.is_ident("self") => 2,
+        _ => 0,
+    };
+    let field = head.get(idx)?;
+    let dot = head.get(idx + 1)?;
+    let method = head.get(idx + 2)?;
+    if field.kind == TokKind::Ident
+        && locks.contains(&field.text)
+        && dot.is_punct(".")
+        && matches!(method.text.as_str(), "lock" | "read" | "write")
+    {
+        Some(field.text.clone())
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 4: FP-determinism
+// ---------------------------------------------------------------------
+
+const MAP_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_METHODS: &[&str] =
+    &["iter", "iter_mut", "values", "values_mut", "keys", "drain", "into_iter"];
+const PAR_METHODS: &[&str] =
+    &["par_iter", "into_par_iter", "par_iter_mut", "par_chunks", "par_bridge", "reduce_with"];
+
+/// Kernel-module determinism: float folds over `HashMap` / `HashSet`
+/// iteration (arbitrary order ⇒ non-associative float sums differ run
+/// to run) and rayon-style unordered parallel reductions.
+pub fn fp_determinism(f: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &f.tokens;
+    // Names declared with a HashMap/HashSet type anywhere in the file
+    // (let bindings, fields, params): `name : HashMap<…>` or
+    // `name = HashMap::…` / `HashSet::…`.
+    let mut map_vars: HashSet<&str> = HashSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || !MAP_TYPES.contains(&toks[i].text.as_str()) {
+            continue;
+        }
+        // Walk back over a possible path prefix (std::collections::…),
+        // then over reference/mutability sigils (`&`, `&mut`).
+        let mut j = i;
+        while j >= 2 && toks[j - 1].is_punct("::") && toks[j - 2].kind == TokKind::Ident {
+            j -= 2;
+        }
+        while j >= 1 && (toks[j - 1].is_punct("&") || toks[j - 1].is_ident("mut")) {
+            j -= 1;
+        }
+        if let Some(k) = j.checked_sub(1) {
+            let before = &toks[k];
+            let name_at =
+                if before.is_punct(":") || before.is_punct("=") { k.checked_sub(1) } else { None };
+            if let Some(n) = name_at.and_then(|x| toks.get(x)) {
+                if n.kind == TokKind::Ident {
+                    map_vars.insert(&n.text);
+                }
+            }
+        }
+    }
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // Unordered parallel reductions, regardless of receiver.
+        if PAR_METHODS.contains(&t.text.as_str())
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            push(
+                findings,
+                f,
+                t.line,
+                "unordered-reduction",
+                Severity::Error,
+                format!(
+                    ".{}() reduces in nondeterministic order; kernel folds must be \
+                     blocked-canonical to stay bitwise identical across backends",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        // `mapvar.iter()/…` followed in the same statement by a float
+        // fold (`.sum(`, `.fold(`, `.product(`), or a `for … in` loop
+        // over the map whose body contains a compound float assignment.
+        if map_vars.contains(t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("."))
+            && toks.get(i + 2).is_some_and(|m| {
+                m.kind == TokKind::Ident && ITER_METHODS.contains(&m.text.as_str())
+            })
+        {
+            // Same-statement chained fold?
+            let mut j = i + 3;
+            let mut fold_line = None;
+            while let Some(n) = toks.get(j) {
+                if n.kind == TokKind::Punct && matches!(n.text.as_str(), ";" | "{" | "}") {
+                    break;
+                }
+                if n.kind == TokKind::Ident
+                    && matches!(n.text.as_str(), "sum" | "fold" | "product")
+                    && toks.get(j - 1).is_some_and(|p| p.is_punct("."))
+                {
+                    fold_line = Some(n.line);
+                    break;
+                }
+                j += 1;
+            }
+            // Or: inside a `for … in map.iter()` loop whose body has a
+            // compound assignment.
+            let in_for = (0..i).rev().take(24).any(|k| toks[k].is_ident("for"))
+                && (0..i).rev().take(24).any(|k| toks[k].is_ident("in"));
+            if fold_line.is_none() && in_for {
+                // Find the loop body `{ … }` and scan it.
+                let mut k = i;
+                while let Some(n) = toks.get(k) {
+                    if n.is_punct("{") {
+                        break;
+                    }
+                    if n.is_punct(";") {
+                        k = toks.len();
+                        break;
+                    }
+                    k += 1;
+                }
+                if k < toks.len() {
+                    let mut depth = 0usize;
+                    for n in &toks[k..] {
+                        if n.kind == TokKind::Punct {
+                            match n.text.as_str() {
+                                "{" => depth += 1,
+                                "}" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                "+=" | "-=" | "*=" | "/=" => {
+                                    fold_line = Some(n.line);
+                                    break;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(line) = fold_line {
+                push(
+                    findings,
+                    f,
+                    line,
+                    "fp-hashmap-fold",
+                    Severity::Error,
+                    format!(
+                        "fold over `{}` iteration: HashMap/HashSet order is arbitrary, so a \
+                         float accumulation here is nondeterministic — iterate a sorted view \
+                         or fold into per-index slots",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `Result<_, String>` / `Box<dyn Error>` anywhere in `tpa-core`:
+/// the typed-error migration (PR 5) must not regress.
+pub fn stringly_errors(f: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.is_ident("Result") && toks.get(i + 1).is_some_and(|n| n.is_punct("<")) {
+            // Scan the generic list at depth 1 for a top-level `,`
+            // followed by `String`.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while let Some(n) = toks.get(j) {
+                if n.kind == TokKind::Punct {
+                    match n.text.as_str() {
+                        "<" => depth += 1,
+                        ">" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        "," if depth == 1
+                            && toks.get(j + 1).is_some_and(|e| e.is_ident("String"))
+                            && toks.get(j + 2).is_some_and(|e| e.is_punct(">")) =>
+                        {
+                            push(
+                                findings,
+                                f,
+                                n.line,
+                                "stringly-error",
+                                Severity::Error,
+                                "Result<_, String> regresses the typed-error contract; \
+                                 use TpaError (add a variant if none fits)"
+                                    .to_string(),
+                            );
+                        }
+                        ";" | "{" => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Box<dyn Error> / Box<dyn std::error::Error>.
+        if t.is_ident("Box") && toks.get(i + 1).is_some_and(|n| n.is_punct("<")) {
+            let window: Vec<&Token> = toks.iter().skip(i + 2).take(8).collect();
+            let has_dyn = window.iter().any(|w| w.is_ident("dyn"));
+            let has_err = window.iter().any(|w| w.is_ident("Error"));
+            if has_dyn && has_err {
+                push(
+                    findings,
+                    f,
+                    t.line,
+                    "stringly-error",
+                    Severity::Error,
+                    "Box<dyn Error> erases the error type; use TpaError so callers can match"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}

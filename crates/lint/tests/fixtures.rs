@@ -1,0 +1,486 @@
+//! Fixture tests for every `tpa-lint` rule family, the lexer's edge
+//! cases, and the self-check that the workspace matches the committed
+//! baseline exactly.
+
+use tpa_lint::baseline::{check, Baseline};
+use tpa_lint::{analyze, analyze_workspace, Config, Finding, SourceFile};
+
+/// A config scoping every rule family onto fixture paths under `fix/`.
+fn fixture_config() -> Config {
+    Config {
+        panic_paths: vec!["fix/service.rs"],
+        lock_paths: vec!["fix/locks.rs"],
+        kernel_paths: vec!["fix/kernel.rs"],
+        stringly_prefixes: vec!["fix/"],
+        ordering_policy: vec![("fix/policy.rs", "Relaxed")],
+    }
+}
+
+fn run_one(path: &str, src: &str) -> Vec<Finding> {
+    analyze(&[SourceFile::parse(path, src)], &fixture_config())
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ------------------------------------------------------------------
+// Lexer edge cases: panic-looking text that must NOT be flagged.
+// ------------------------------------------------------------------
+
+#[test]
+fn string_literal_containing_unwrap_is_not_a_finding() {
+    let src = r#"
+        fn f() -> String {
+            let s = "please call x.unwrap() and panic!(now)";
+            s.to_string()
+        }
+    "#;
+    assert!(run_one("fix/service.rs", src).is_empty());
+}
+
+#[test]
+fn raw_string_containing_panic_is_not_a_finding() {
+    let src = r###"
+        fn f() -> &'static str {
+            r#"x.unwrap(); panic!("boom"); a[i]"#
+        }
+    "###;
+    assert!(run_one("fix/service.rs", src).is_empty());
+}
+
+#[test]
+fn nested_block_comment_is_skipped() {
+    let src = "
+        /* outer /* inner x.unwrap() */ still outer panic!(\"no\") */
+        fn f() {}
+    ";
+    assert!(run_one("fix/service.rs", src).is_empty());
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    // A naive lexer treats `'a` as an unterminated char and derails.
+    let src = "
+        fn f<'a>(x: &'a [u64]) -> &'a u64 { &x[0] }
+    ";
+    let f = run_one("fix/service.rs", src);
+    // The unchecked index IS real and must survive the lifetimes.
+    assert_eq!(rules_of(&f), vec!["unchecked-index"]);
+}
+
+#[test]
+fn cfg_test_items_are_stripped() {
+    let src = r#"
+        fn live() -> u64 { 1 }
+
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() {
+                let v: Vec<u64> = vec![1];
+                assert_eq!(v.first().unwrap(), &v[0]);
+                panic!("test-only");
+            }
+        }
+    "#;
+    assert!(run_one("fix/service.rs", src).is_empty());
+}
+
+#[test]
+fn test_attr_fn_is_stripped_but_sibling_is_not() {
+    let src = r#"
+        #[test]
+        fn t() { Some(1).unwrap(); }
+
+        fn live(x: Option<u64>) -> u64 { x.unwrap() }
+    "#;
+    let f = run_one("fix/service.rs", src);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "panic-freedom");
+    assert_eq!(f[0].line, 5);
+}
+
+// ------------------------------------------------------------------
+// Family 1: panic-freedom.
+// ------------------------------------------------------------------
+
+#[test]
+fn panic_freedom_catches_every_macro_and_method() {
+    let src = r#"
+        fn f(x: Option<u64>, v: &[u64], i: usize) -> u64 {
+            let a = x.unwrap();
+            let b = x.expect("present");
+            if a == 0 { panic!("zero"); }
+            if b == 1 { unreachable!(); }
+            if i == 2 { todo!(); }
+            v[i] + a + b
+        }
+    "#;
+    let f = run_one("fix/service.rs", src);
+    let mut rules = rules_of(&f);
+    rules.sort();
+    assert_eq!(
+        rules,
+        vec![
+            "panic-freedom",
+            "panic-freedom",
+            "panic-freedom",
+            "panic-freedom",
+            "panic-freedom",
+            "unchecked-index"
+        ]
+    );
+}
+
+#[test]
+fn out_of_scope_file_is_not_checked_for_panics() {
+    let src = "fn f(x: Option<u64>) -> u64 { x.unwrap() }";
+    assert!(run_one("fix/other.rs", src).is_empty());
+}
+
+#[test]
+fn allow_with_reason_waives_and_without_reason_does_not() {
+    let waived = r#"
+        fn f(x: Option<u64>) -> u64 {
+            // lint:allow(panic-freedom, "checked two lines up")
+            x.unwrap()
+        }
+    "#;
+    assert!(run_one("fix/service.rs", waived).is_empty());
+
+    let empty_reason = r#"
+        fn f(x: Option<u64>) -> u64 {
+            // lint:allow(panic-freedom, "")
+            x.unwrap()
+        }
+    "#;
+    assert_eq!(run_one("fix/service.rs", empty_reason).len(), 1);
+
+    let wrong_rule = r#"
+        fn f(x: Option<u64>) -> u64 {
+            // lint:allow(unchecked-index, "irrelevant")
+            x.unwrap()
+        }
+    "#;
+    assert_eq!(run_one("fix/service.rs", wrong_rule).len(), 1);
+}
+
+#[test]
+fn same_line_allow_waives() {
+    let src = r#"
+        fn f(x: Option<u64>) -> u64 {
+            x.unwrap() // lint:allow(panic-freedom, "proven Some by caller")
+        }
+    "#;
+    assert!(run_one("fix/service.rs", src).is_empty());
+}
+
+// ------------------------------------------------------------------
+// Family 2: atomic-ordering.
+// ------------------------------------------------------------------
+
+#[test]
+fn ordering_without_justification_is_flagged() {
+    let src = "
+        fn f(c: &std::sync::atomic::AtomicU64) -> u64 {
+            c.load(Ordering::Relaxed)
+        }
+    ";
+    let f = run_one("fix/any.rs", src);
+    assert_eq!(rules_of(&f), vec!["atomic-ordering"]);
+}
+
+#[test]
+fn ord_comment_justifies_same_line_or_above() {
+    let same_line = "
+        fn f(c: &A) -> u64 { c.load(Ordering::Relaxed) } // ord: statistical counter
+    ";
+    assert!(run_one("fix/any.rs", same_line).is_empty());
+
+    let above = "
+        fn f(c: &A) -> u64 {
+            // ord: pairs with the Release store in g()
+            c.load(Ordering::Acquire)
+        }
+    ";
+    assert!(run_one("fix/any.rs", above).is_empty());
+}
+
+#[test]
+fn ordering_policy_table_pre_approves() {
+    let src = "fn f(c: &A) -> u64 { c.load(Ordering::Relaxed) }";
+    assert!(run_one("fix/policy.rs", src).is_empty());
+    // The policy names Relaxed only — SeqCst still needs a comment.
+    let seqcst = "fn f(c: &A) -> u64 { c.load(Ordering::SeqCst) }";
+    assert_eq!(run_one("fix/policy.rs", seqcst).len(), 1);
+}
+
+// ------------------------------------------------------------------
+// Family 3: lock-order.
+// ------------------------------------------------------------------
+
+const LOCK_DECLS: &str = "
+    struct S {
+        a: Mutex<u64>,
+        b: Mutex<u64>,
+        cv: Condvar,
+    }
+";
+
+#[test]
+fn opposite_acquisition_orders_are_a_cycle() {
+    let src = format!(
+        "{LOCK_DECLS}
+        impl S {{
+            fn ab(&self) {{
+                let g = self.a.lock().unwrap();
+                let h = self.b.lock().unwrap();
+            }}
+            fn ba(&self) {{
+                let h = self.b.lock().unwrap();
+                let g = self.a.lock().unwrap();
+            }}
+        }}"
+    );
+    let f = run_one("fix/locks.rs", &src);
+    assert!(f.iter().any(|f| f.rule == "lock-order"), "{f:?}");
+}
+
+#[test]
+fn consistent_order_and_transient_guards_are_clean() {
+    let src = format!(
+        "{LOCK_DECLS}
+        impl S {{
+            fn ab(&self) {{
+                let g = self.a.lock().unwrap();
+                let h = self.b.lock().unwrap();
+            }}
+            fn also_ab(&self) {{
+                let g = self.a.lock().unwrap();
+                *self.b.lock().unwrap() += 1;
+            }}
+        }}"
+    );
+    assert!(run_one("fix/locks.rs", &src).is_empty());
+}
+
+#[test]
+fn explicit_drop_releases_the_guard() {
+    // Without the drop() this is ab vs ba — a cycle. The drop ends a's
+    // hold before b is taken, so no edge a→b survives.
+    let src = format!(
+        "{LOCK_DECLS}
+        impl S {{
+            fn ab(&self) {{
+                let g = self.a.lock().unwrap();
+                drop(g);
+                let h = self.b.lock().unwrap();
+            }}
+            fn ba(&self) {{
+                let h = self.b.lock().unwrap();
+                let g = self.a.lock().unwrap();
+            }}
+        }}"
+    );
+    assert!(run_one("fix/locks.rs", &src).is_empty());
+}
+
+#[test]
+fn transitive_call_effects_close_the_cycle() {
+    let src = format!(
+        "{LOCK_DECLS}
+        impl S {{
+            fn takes_b(&self) {{
+                let h = self.b.lock().unwrap();
+            }}
+            fn ab(&self) {{
+                let g = self.a.lock().unwrap();
+                self.takes_b();
+            }}
+            fn ba(&self) {{
+                let h = self.b.lock().unwrap();
+                let g = self.a.lock().unwrap();
+            }}
+        }}"
+    );
+    let f = run_one("fix/locks.rs", &src);
+    assert!(f.iter().any(|f| f.rule == "lock-order"), "{f:?}");
+}
+
+#[test]
+fn method_on_a_local_variable_does_not_inherit_effects() {
+    // `other.takes_b()` is a method on a local — not `self` — so it
+    // must NOT resolve to S::takes_b and fabricate an a→b edge.
+    let src = format!(
+        "{LOCK_DECLS}
+        impl S {{
+            fn takes_b(&self) {{
+                let h = self.b.lock().unwrap();
+            }}
+            fn ab(&self, other: &Unrelated) {{
+                let g = self.a.lock().unwrap();
+                other.takes_b();
+            }}
+            fn ba(&self) {{
+                let h = self.b.lock().unwrap();
+                let g = self.a.lock().unwrap();
+            }}
+        }}"
+    );
+    assert!(run_one("fix/locks.rs", &src).is_empty());
+}
+
+#[test]
+fn condvar_wait_while_holding_another_lock_is_flagged() {
+    let src = format!(
+        "{LOCK_DECLS}
+        impl S {{
+            fn waits(&self) {{
+                let g = self.a.lock().unwrap();
+                let h = self.b.lock().unwrap();
+                let h = self.cv.wait(h).unwrap();
+            }}
+        }}"
+    );
+    let f = run_one("fix/locks.rs", &src);
+    assert!(f.iter().any(|f| f.rule == "condvar-hold"), "{f:?}");
+}
+
+// ------------------------------------------------------------------
+// Family 4: FP-determinism.
+// ------------------------------------------------------------------
+
+#[test]
+fn float_fold_over_hashmap_iteration_is_flagged() {
+    let src = "
+        fn f(m: &HashMap<u32, f64>) -> f64 {
+            m.values().sum()
+        }
+    ";
+    let f = run_one("fix/kernel.rs", src);
+    assert_eq!(rules_of(&f), vec!["fp-hashmap-fold"]);
+}
+
+#[test]
+fn vec_fold_is_fine() {
+    let src = "
+        fn f(v: &Vec<f64>) -> f64 {
+            v.iter().sum()
+        }
+    ";
+    assert!(run_one("fix/kernel.rs", src).is_empty());
+}
+
+#[test]
+fn unordered_parallel_reduction_is_flagged() {
+    let src = "
+        fn f(v: &[f64]) -> f64 {
+            v.par_iter().sum()
+        }
+    ";
+    let f = run_one("fix/kernel.rs", src);
+    assert!(f.iter().any(|f| f.rule == "unordered-reduction"), "{f:?}");
+}
+
+#[test]
+fn stringly_error_signatures_are_flagged() {
+    let src = "
+        fn f() -> Result<u64, String> { Ok(1) }
+    ";
+    let f = run_one("fix/anything.rs", src);
+    assert_eq!(rules_of(&f), vec!["stringly-error"]);
+
+    let typed = "
+        fn f() -> Result<u64, TpaError> { Ok(1) }
+    ";
+    assert!(run_one("fix/anything.rs", typed).is_empty());
+
+    let boxed = "
+        fn f() -> Result<u64, Box<dyn std::error::Error>> { Ok(1) }
+    ";
+    let f = run_one("fix/anything.rs", boxed);
+    assert_eq!(rules_of(&f), vec!["stringly-error"]);
+}
+
+// ------------------------------------------------------------------
+// Baseline ratchet.
+// ------------------------------------------------------------------
+
+fn finding(file: &str, rule: &'static str) -> Finding {
+    Finding {
+        file: file.into(),
+        line: 1,
+        rule,
+        severity: tpa_lint::Severity::Error,
+        message: "x".into(),
+    }
+}
+
+#[test]
+fn baseline_roundtrips_through_json() {
+    let findings = vec![
+        finding("a.rs", "panic-freedom"),
+        finding("a.rs", "panic-freedom"),
+        finding("b.rs", "lock-order"),
+    ];
+    let b = Baseline::from_findings(&findings);
+    let parsed = Baseline::parse(&b.render()).unwrap();
+    assert_eq!(b, parsed);
+    assert_eq!(parsed.total(), 3);
+}
+
+#[test]
+fn ratchet_fails_on_new_and_on_stale() {
+    let baseline = Baseline::from_findings(&[finding("a.rs", "panic-freedom")]);
+
+    // Same counts: pass.
+    let now = vec![finding("a.rs", "panic-freedom")];
+    assert!(check(&now, &baseline).passed());
+
+    // One more in the same cell: new findings, fail.
+    let more = vec![finding("a.rs", "panic-freedom"), finding("a.rs", "panic-freedom")];
+    let r = check(&more, &baseline);
+    assert!(!r.passed());
+    assert_eq!(r.new_findings.len(), 2, "the whole over-budget cell is listed");
+
+    // Burned down to zero: stale baseline, fail (ratchet me).
+    let r = check(&[], &baseline);
+    assert!(!r.passed());
+    assert_eq!(r.stale.len(), 1);
+
+    // A fresh cell with no baseline entry: fail.
+    let fresh = vec![finding("a.rs", "panic-freedom"), finding("c.rs", "atomic-ordering")];
+    assert!(!check(&fresh, &baseline).passed());
+}
+
+// ------------------------------------------------------------------
+// Workspace self-check: the committed baseline is exact.
+// ------------------------------------------------------------------
+
+#[test]
+fn workspace_matches_committed_baseline_exactly() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = analyze_workspace(&root, &Config::repo()).expect("workspace scan");
+    let committed = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json is committed at the workspace root");
+    let baseline = Baseline::parse(&committed).expect("committed baseline parses");
+    let report = check(&findings, &baseline);
+    assert!(
+        report.passed(),
+        "workspace drifted from lint-baseline.json: {} new, {} stale — run \
+         `cargo run -p tpa-lint -- check --baseline lint-baseline.json --write-baseline` \
+         and review the diff\nnew: {:#?}\nstale: {:?}",
+        report.new_findings.len(),
+        report.stale.len(),
+        report.new_findings,
+        report.stale,
+    );
+    // The hard contract families hold at zero outside the ratchet.
+    for f in &findings {
+        assert!(
+            f.rule == "unchecked-index",
+            "only unchecked-index debt may remain baselined, found {f}"
+        );
+    }
+}

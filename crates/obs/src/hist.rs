@@ -74,7 +74,7 @@ impl Shard {
 /// thread's records never migrate mid-run.
 static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
 thread_local! {
-    static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS; // ord: shard assignment only needs uniqueness-ish spread; the modulo result is thread-local
 }
 
 /// A fixed-bucket log-linear histogram (HDR-style) for latency-scale
@@ -107,10 +107,10 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         let shard = &self.shards[MY_SHARD.with(|s| *s)];
-        shard.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        shard.count.fetch_add(1, Ordering::Relaxed);
-        shard.sum.fetch_add(v, Ordering::Relaxed);
-        shard.max.fetch_max(v, Ordering::Relaxed);
+        shard.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed); // ord: per-shard tally; the snapshot merge tolerates in-flight skew by design
+        shard.count.fetch_add(1, Ordering::Relaxed); // ord: per-shard tally; the snapshot merge tolerates in-flight skew by design
+        shard.sum.fetch_add(v, Ordering::Relaxed); // ord: per-shard tally; the snapshot merge tolerates in-flight skew by design
+        shard.max.fetch_max(v, Ordering::Relaxed); // ord: per-shard running max; commutative, no publication
     }
 
     /// Records a duration as nanoseconds.
@@ -134,11 +134,11 @@ impl Histogram {
         let (mut count, mut sum, mut max) = (0u64, 0u64, 0u64);
         for shard in self.shards.iter() {
             for (acc, b) in buckets.iter_mut().zip(shard.buckets.iter()) {
-                *acc += b.load(Ordering::Relaxed);
+                *acc += b.load(Ordering::Relaxed); // ord: statistical merge; documented to tolerate in-flight writes
             }
-            count += shard.count.load(Ordering::Relaxed);
-            sum += shard.sum.load(Ordering::Relaxed);
-            max = max.max(shard.max.load(Ordering::Relaxed));
+            count += shard.count.load(Ordering::Relaxed); // ord: statistical merge; documented to tolerate in-flight writes
+            sum += shard.sum.load(Ordering::Relaxed); // ord: statistical merge; documented to tolerate in-flight writes
+            max = max.max(shard.max.load(Ordering::Relaxed)); // ord: statistical merge; documented to tolerate in-flight writes
         }
         HistogramSnapshot { buckets: buckets.into_boxed_slice(), count, sum, max }
     }
@@ -151,7 +151,7 @@ impl Histogram {
 
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
-        self.shards.iter().map(|s| s.count.load(Ordering::Relaxed)).sum()
+        self.shards.iter().map(|s| s.count.load(Ordering::Relaxed)).sum() // ord: statistical readout; samples need no happens-before edge
     }
 }
 
@@ -216,6 +216,12 @@ impl HistogramSnapshot {
 pub struct Span<'h> {
     hist: &'h Histogram,
     start: Instant,
+}
+
+impl std::fmt::Debug for Span<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span").field("start", &self.start).finish_non_exhaustive()
+    }
 }
 
 impl Span<'_> {

@@ -30,6 +30,8 @@
 //! can record into one histogram while a scraper snapshots it.
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod export;
 mod hist;

@@ -19,19 +19,19 @@ impl Counter {
     /// Adds one.
     #[inline]
     pub fn inc(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
+        self.0.fetch_add(1, Ordering::Relaxed); // ord: statistical counter; readers tolerate being one increment behind
     }
 
     /// Adds `v`.
     #[inline]
     pub fn add(&self, v: u64) {
-        self.0.fetch_add(v, Ordering::Relaxed);
+        self.0.fetch_add(v, Ordering::Relaxed); // ord: statistical counter; readers tolerate being one increment behind
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // ord: statistical readout; no other memory rides on the value
     }
 }
 
@@ -48,13 +48,13 @@ impl Gauge {
     /// Sets the value.
     #[inline]
     pub fn set(&self, v: f64) {
-        self.0.store(v.to_bits(), Ordering::Relaxed);
+        self.0.store(v.to_bits(), Ordering::Relaxed); // ord: last-write-wins gauge; the bits are self-contained
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> f64 {
-        f64::from_bits(self.0.load(Ordering::Relaxed))
+        f64::from_bits(self.0.load(Ordering::Relaxed)) // ord: last-write-wins gauge readout; no other memory rides on the value
     }
 }
 
